@@ -1,0 +1,83 @@
+//! The kernel database system (KDS) interface.
+//!
+//! Language interfaces talk to "the kernel" — which is either a
+//! single-site [`Store`](super::Store) or the multi-backend system's
+//! controller (`mlds-mbds`). The trait covers exactly what the
+//! interfaces need: schema installation, globally-unique key
+//! reservation, and request execution.
+
+use super::response::Response;
+use super::store::Store;
+use crate::error::Result;
+use crate::record::DbKey;
+use crate::request::{Request, Transaction};
+
+/// A kernel database system executing ABDL.
+pub trait Kernel {
+    /// Declare a kernel file (idempotent).
+    fn create_file(&mut self, name: &str);
+
+    /// Register a `DUPLICATES ARE NOT ALLOWED` group on a file.
+    fn add_unique_constraint(&mut self, file: &str, attrs: Vec<String>);
+
+    /// Reserve a database key that is unique across the whole kernel
+    /// (all backends). Used by the language interfaces as the source of
+    /// artificial entity keys.
+    fn reserve_key(&mut self) -> DbKey;
+
+    /// Execute one request.
+    fn execute(&mut self, request: &Request) -> Result<Response>;
+
+    /// Execute a transaction (sequential requests, first error stops).
+    fn execute_transaction(&mut self, txn: &Transaction) -> Result<Vec<Response>> {
+        txn.requests.iter().map(|r| self.execute(r)).collect()
+    }
+}
+
+impl Kernel for Store {
+    fn create_file(&mut self, name: &str) {
+        Store::create_file(self, name);
+    }
+
+    fn add_unique_constraint(&mut self, file: &str, attrs: Vec<String>) {
+        Store::add_unique_constraint(self, file, attrs);
+    }
+
+    fn reserve_key(&mut self) -> DbKey {
+        Store::reserve_key(self)
+    }
+
+    fn execute(&mut self, request: &Request) -> Result<Response> {
+        Store::execute(self, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Predicate, Query};
+    use crate::record::Record;
+    use crate::value::Value;
+
+    fn through_kernel<K: Kernel>(k: &mut K) -> usize {
+        k.create_file("f");
+        let key = k.reserve_key();
+        k.execute(&Request::Insert {
+            record: Record::from_pairs([("FILE", Value::str("f"))])
+                .with("f", Value::Int(key.0 as i64)),
+        })
+        .unwrap();
+        k.execute(&Request::retrieve_all(Query::conjunction(vec![Predicate::eq(
+            "FILE", "f",
+        )])))
+        .unwrap()
+        .records()
+        .len()
+    }
+
+    #[test]
+    fn store_implements_kernel() {
+        let mut store = Store::new();
+        assert_eq!(through_kernel(&mut store), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Kernel responses: what KC receives back from KDS.
+
+use super::stats::ExecStats;
+use crate::record::{DbKey, Record};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of an aggregated / grouped RETRIEVE result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupRow {
+    /// The by-clause group value (`None` when there is no by-clause).
+    pub group: Option<Value>,
+    /// Aggregate results, in target-list order.
+    pub values: Vec<Value>,
+}
+
+/// The result of executing one ABDL request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Response {
+    records: Vec<(DbKey, Record)>,
+    /// Aggregated rows, present only for aggregate RETRIEVEs.
+    pub groups: Option<Vec<GroupRow>>,
+    /// Records inserted / updated / deleted by a mutation request.
+    pub affected: usize,
+    /// Cost accounting for this request.
+    pub stats: ExecStats,
+}
+
+impl Response {
+    /// A response carrying result records.
+    pub fn with_records(records: Vec<(DbKey, Record)>, stats: ExecStats) -> Self {
+        Response { records, groups: None, affected: 0, stats }
+    }
+
+    /// A mutation acknowledgement.
+    pub fn with_affected(affected: usize, stats: ExecStats) -> Self {
+        Response { records: Vec::new(), groups: None, affected, stats }
+    }
+
+    /// The result records (projected), with their database keys.
+    pub fn records(&self) -> &[(DbKey, Record)] {
+        &self.records
+    }
+
+    /// Consume the response, returning its records.
+    pub fn into_records(self) -> Vec<(DbKey, Record)> {
+        self.records
+    }
+
+    /// First record, if any (the thesis's requests are frequently
+    /// "satisfied by returning the first record").
+    pub fn first(&self) -> Option<&(DbKey, Record)> {
+        self.records.first()
+    }
+
+    /// True when no records, groups or mutations were produced.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+            && self.groups.as_ref().is_none_or(|g| g.is_empty())
+            && self.affected == 0
+    }
+
+    /// Merge another backend's partial response into this one (used by
+    /// the MBDS controller). Records are kept sorted by database key so
+    /// the merged response is deterministic regardless of backend count.
+    pub fn merge(&mut self, other: Response) {
+        self.records.extend(other.records);
+        self.records.sort_by_key(|(k, _)| *k);
+        self.affected += other.affected;
+        match (&mut self.groups, other.groups) {
+            (Some(mine), Some(theirs)) => mine.extend(theirs),
+            (mine @ None, Some(theirs)) => *mine = Some(theirs),
+            _ => {}
+        }
+        self.stats += other.stats;
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(groups) = &self.groups {
+            for row in groups {
+                match &row.group {
+                    Some(g) => write!(f, "[{g}]")?,
+                    None => write!(f, "[*]")?,
+                }
+                for v in &row.values {
+                    write!(f, " {v}")?;
+                }
+                writeln!(f)?;
+            }
+            return Ok(());
+        }
+        if !self.records.is_empty() {
+            for (key, rec) in &self.records {
+                writeln!(f, "{key} {rec}")?;
+            }
+            return Ok(());
+        }
+        writeln!(f, "{} record(s) affected", self.affected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_key_order() {
+        let mut a = Response::with_records(
+            vec![(DbKey(5), Record::new()), (DbKey(1), Record::new())],
+            ExecStats::default(),
+        );
+        let b = Response::with_records(vec![(DbKey(3), Record::new())], ExecStats::default());
+        a.merge(b);
+        let keys: Vec<u64> = a.records().iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Response::default().is_empty());
+        assert!(!Response::with_affected(1, ExecStats::default()).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Per-request execution cost accounting.
+//!
+//! The Multi-Backend Database System's two performance claims (Chapter
+//! I.B.2 of the thesis) are about response-time *shape* as records and
+//! backends scale; the deterministic simulator in `mlds-mbds` derives a
+//! backend's simulated disk time from these counters, so they are
+//! maintained by every execution path of the kernel.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counters accumulated while executing one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Records whose keywords were examined against a conjunction.
+    pub records_examined: u64,
+    /// Records that satisfied the qualification.
+    pub records_matched: u64,
+    /// Records returned to the caller (after projection/grouping).
+    pub records_returned: u64,
+    /// Records written (inserted, updated or deleted).
+    pub records_written: u64,
+    /// Directory (index) probes performed.
+    pub index_probes: u64,
+    /// Estimated data blocks touched (records examined + written,
+    /// divided by the blocking factor; at least one block per file
+    /// touched). Used as the simulated disk-I/O unit.
+    pub blocks_touched: u64,
+}
+
+/// Records per simulated disk block.
+///
+/// The MBDS literature describes track-sized block accesses; the exact
+/// figure only scales the simulated time axis, not the response-time
+/// shape, so a typical 1980s blocking factor is used.
+pub const BLOCKING_FACTOR: u64 = 16;
+
+impl ExecStats {
+    /// Account for examining `n` records.
+    pub fn examined(&mut self, n: u64) {
+        self.records_examined += n;
+    }
+
+    /// Finalize the block estimate from the record counters.
+    pub(crate) fn finish(&mut self, files_touched: u64) {
+        let recs = self.records_examined + self.records_written;
+        self.blocks_touched = recs.div_ceil(BLOCKING_FACTOR).max(files_touched);
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.records_examined += rhs.records_examined;
+        self.records_matched += rhs.records_matched;
+        self.records_returned += rhs.records_returned;
+        self.records_written += rhs.records_written;
+        self.index_probes += rhs.index_probes;
+        self.blocks_touched += rhs.blocks_touched;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_estimate_rounds_up_and_floors_at_files_touched() {
+        let mut s = ExecStats { records_examined: 17, ..Default::default() };
+        s.finish(1);
+        assert_eq!(s.blocks_touched, 2);
+        let mut s = ExecStats::default();
+        s.finish(3);
+        assert_eq!(s.blocks_touched, 3);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = ExecStats { records_examined: 1, index_probes: 2, ..Default::default() };
+        a += ExecStats { records_examined: 3, records_returned: 4, ..Default::default() };
+        assert_eq!(a.records_examined, 4);
+        assert_eq!(a.index_probes, 2);
+        assert_eq!(a.records_returned, 4);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared by the parser and the kernel engine.
+
+use std::fmt;
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by ABDL parsing and kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A syntax error at a byte offset of the request text.
+    Parse {
+        /// What went wrong.
+        msg: String,
+        /// Byte offset into the source text.
+        offset: usize,
+    },
+    /// The request referenced a kernel file that does not exist.
+    UnknownFile(String),
+    /// An INSERT violated a `DUPLICATES ARE NOT ALLOWED` constraint
+    /// registered on the target file.
+    DuplicateKey {
+        /// File whose constraint was violated.
+        file: String,
+        /// Attributes forming the violated uniqueness group.
+        attrs: Vec<String>,
+    },
+    /// An INSERT did not carry the mandatory `<FILE, f>` keyword first.
+    MissingFileKeyword,
+    /// An aggregate was applied to a non-numeric attribute value.
+    NonNumericAggregate {
+        /// The aggregated attribute.
+        attr: String,
+    },
+    /// Execution-level invariant violation (kernel bug surface).
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { msg, offset } => {
+                write!(f, "ABDL syntax error at byte {offset}: {msg}")
+            }
+            Error::UnknownFile(name) => write!(f, "unknown kernel file `{name}`"),
+            Error::DuplicateKey { file, attrs } => write!(
+                f,
+                "duplicate values for ({}) in file `{file}` where duplicates are not allowed",
+                attrs.join(", ")
+            ),
+            Error::MissingFileKeyword => {
+                write!(f, "INSERT must carry `<FILE, file-name>` as its first keyword")
+            }
+            Error::NonNumericAggregate { attr } => {
+                write!(f, "aggregate applied to non-numeric attribute `{attr}`")
+            }
+            Error::Internal(msg) => write!(f, "kernel internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,310 @@
+//! Keyword predicates and DNF queries.
+//!
+//! "A *keyword predicate* is a 3-tuple of the form (attribute, relational
+//! operator, attribute-value). A *query* of the database is then the
+//! combination, in disjunctive normal form, of keyword predicates."
+
+use crate::record::Record;
+use crate::value::Value;
+use crate::FILE_ATTR;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six relational operators of keyword predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl RelOp {
+    /// Apply the operator to two values using the total [`Value`] order.
+    ///
+    /// NULL semantics follow the thesis's currency convention (null means
+    /// "does not identify"): a NULL on either side satisfies no operator
+    /// except when *both* sides are NULL and the operator is `=` — that
+    /// case is what the translator's `(set = NULL)` membership tests rely
+    /// on. `!=` against NULL is satisfied only by non-NULL values.
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        match (lhs.is_null(), rhs.is_null()) {
+            (true, true) => self == RelOp::Eq,
+            (true, false) | (false, true) => self == RelOp::Ne,
+            (false, false) => {
+                let ord = lhs.cmp(rhs);
+                match self {
+                    RelOp::Eq => ord.is_eq(),
+                    RelOp::Ne => ord.is_ne(),
+                    RelOp::Lt => ord.is_lt(),
+                    RelOp::Le => ord.is_le(),
+                    RelOp::Gt => ord.is_gt(),
+                    RelOp::Ge => ord.is_ge(),
+                }
+            }
+        }
+    }
+
+    /// All operators, for exhaustive testing.
+    pub const ALL: [RelOp; 6] = [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge];
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOp::Eq => "=",
+            RelOp::Ne => "!=",
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A keyword predicate `(attribute relop value)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Attribute the predicate constrains.
+    pub attr: String,
+    /// Relational operator.
+    pub op: RelOp,
+    /// Comparison value.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    pub fn new(attr: impl Into<String>, op: RelOp, value: impl Into<Value>) -> Self {
+        Predicate { attr: attr.into(), op, value: value.into() }
+    }
+
+    /// Equality predicate shorthand.
+    pub fn eq(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::new(attr, RelOp::Eq, value)
+    }
+
+    /// "A keyword predicate is satisfied only when the attribute of a
+    /// particular record's keyword is identical to the attribute of the
+    /// keyword predicate and the relation … holds."
+    ///
+    /// A record without the attribute is treated as carrying NULL.
+    pub fn matches(&self, record: &Record) -> bool {
+        self.op.eval(record.get_or_null(&self.attr), &self.value)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.attr, self.op, self.value)
+    }
+}
+
+/// A conjunction of keyword predicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Conjunction {
+    /// The conjoined predicates; an empty conjunction is TRUE.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Conjunction {
+    /// Construct from predicates.
+    pub fn new(predicates: Vec<Predicate>) -> Self {
+        Conjunction { predicates }
+    }
+
+    /// All predicates satisfied?
+    pub fn matches(&self, record: &Record) -> bool {
+        self.predicates.iter().all(|p| p.matches(record))
+    }
+
+    /// The file named by a `(FILE = f)` predicate, if any.
+    pub fn file(&self) -> Option<&str> {
+        self.predicates
+            .iter()
+            .find(|p| p.attr == FILE_ATTR && p.op == RelOp::Eq)
+            .and_then(|p| p.value.as_str())
+    }
+}
+
+impl fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.predicates.is_empty() {
+            return write!(f, "(TRUE)");
+        }
+        write!(f, "(")?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A query in disjunctive normal form: `conj₁ or conj₂ or …`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Query {
+    /// The disjuncts; an empty disjunction is FALSE (identifies nothing).
+    pub disjuncts: Vec<Conjunction>,
+}
+
+impl Query {
+    /// Construct from disjuncts.
+    pub fn new(disjuncts: Vec<Conjunction>) -> Self {
+        Query { disjuncts }
+    }
+
+    /// A query with a single conjunction.
+    pub fn conjunction(predicates: Vec<Predicate>) -> Self {
+        Query { disjuncts: vec![Conjunction::new(predicates)] }
+    }
+
+    /// The always-true query (single empty conjunction).
+    pub fn all() -> Self {
+        Query::conjunction(vec![])
+    }
+
+    /// "A record satisfies a query only when all predicates of [some
+    /// disjunct of] the query are satisfied by certain keywords of the
+    /// record."
+    pub fn matches(&self, record: &Record) -> bool {
+        self.disjuncts.iter().any(|c| c.matches(record))
+    }
+
+    /// The single file this query is routed to, when *every* disjunct
+    /// names the same file via `(FILE = f)`. The kernel uses this for
+    /// directory routing; queries without a common file scan all files.
+    pub fn file(&self) -> Option<&str> {
+        let mut iter = self.disjuncts.iter();
+        let first = iter.next()?.file()?;
+        for conj in iter {
+            if conj.file() != Some(first) {
+                return None;
+            }
+        }
+        Some(first)
+    }
+
+    /// Append a predicate to every disjunct (used by the translator to
+    /// add currency restrictions to an existing qualification).
+    pub fn and_predicate(mut self, pred: Predicate) -> Self {
+        if self.disjuncts.is_empty() {
+            self.disjuncts.push(Conjunction::default());
+        }
+        for conj in &mut self.disjuncts {
+            conj.predicates.push(pred.clone());
+        }
+        self
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disjuncts.is_empty() {
+            return write!(f, "(FALSE)");
+        }
+        if self.disjuncts.len() == 1 {
+            return write!(f, "{}", self.disjuncts[0]);
+        }
+        write!(f, "(")?;
+        for (i, c) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " or ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> Record {
+        Record::from_pairs([("FILE", Value::str("course")), ("title", Value::str("DB"))])
+            .with("credits", 4i64)
+    }
+
+    #[test]
+    fn predicate_matching_by_type() {
+        assert!(Predicate::eq("title", "DB").matches(&rec()));
+        assert!(Predicate::new("credits", RelOp::Ge, 4i64).matches(&rec()));
+        assert!(!Predicate::new("credits", RelOp::Gt, 4i64).matches(&rec()));
+        // Numeric cross-type comparison.
+        assert!(Predicate::new("credits", RelOp::Lt, 4.5f64).matches(&rec()));
+    }
+
+    #[test]
+    fn null_semantics() {
+        let r = rec();
+        // Missing attribute behaves as NULL.
+        assert!(Predicate::eq("missing", Value::Null).matches(&r));
+        assert!(!Predicate::eq("missing", 1i64).matches(&r));
+        assert!(Predicate::new("missing", RelOp::Ne, 1i64).matches(&r));
+        assert!(!Predicate::new("missing", RelOp::Lt, 1i64).matches(&r));
+        // Present attribute never equals NULL.
+        assert!(!Predicate::eq("credits", Value::Null).matches(&r));
+        assert!(Predicate::new("credits", RelOp::Ne, Value::Null).matches(&r));
+    }
+
+    #[test]
+    fn dnf_semantics() {
+        let q = Query::new(vec![
+            Conjunction::new(vec![
+                Predicate::eq("title", "DB"),
+                Predicate::eq("credits", 5i64),
+            ]),
+            Conjunction::new(vec![Predicate::eq("credits", 4i64)]),
+        ]);
+        assert!(q.matches(&rec()));
+        let q2 = Query::conjunction(vec![
+            Predicate::eq("title", "DB"),
+            Predicate::eq("credits", 5i64),
+        ]);
+        assert!(!q2.matches(&rec()));
+    }
+
+    #[test]
+    fn empty_query_is_false_and_empty_conjunction_true() {
+        assert!(!Query::default().matches(&rec()));
+        assert!(Query::all().matches(&rec()));
+    }
+
+    #[test]
+    fn file_routing_requires_common_file() {
+        let q = Query::new(vec![
+            Conjunction::new(vec![Predicate::eq("FILE", "a")]),
+            Conjunction::new(vec![Predicate::eq("FILE", "b")]),
+        ]);
+        assert_eq!(q.file(), None);
+        let q = Query::new(vec![
+            Conjunction::new(vec![Predicate::eq("FILE", "a")]),
+            Conjunction::new(vec![Predicate::eq("FILE", "a"), Predicate::eq("x", 1i64)]),
+        ]);
+        assert_eq!(q.file(), Some("a"));
+    }
+
+    #[test]
+    fn and_predicate_distributes_over_disjuncts() {
+        let q = Query::new(vec![
+            Conjunction::new(vec![Predicate::eq("a", 1i64)]),
+            Conjunction::new(vec![Predicate::eq("b", 2i64)]),
+        ])
+        .and_predicate(Predicate::eq("c", 3i64));
+        for d in &q.disjuncts {
+            assert!(d.predicates.iter().any(|p| p.attr == "c"));
+        }
+    }
+}

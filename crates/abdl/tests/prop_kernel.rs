@@ -1,0 +1,200 @@
+//! Property-based tests for the ABDL kernel: query semantics, parser
+//! round-trips, and index/scan agreement.
+
+use abdl::engine::Store;
+use abdl::parse::{parse_request, parse_transaction};
+use abdl::{Conjunction, Predicate, Query, Record, RelOp, Request, TargetList, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-50i64..50).prop_map(Value::Int),
+        (-50i64..50).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        "[a-z]{0,6}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_nonnull_value() -> impl Strategy<Value = Value> {
+    arb_value().prop_filter("non-null", |v| !v.is_null())
+}
+
+fn arb_attr() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a".to_owned()), Just("b".to_owned()), Just("c".to_owned())]
+}
+
+fn arb_relop() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    (arb_attr(), arb_relop(), arb_value())
+        .prop_map(|(attr, op, value)| Predicate { attr, op, value })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    proptest::collection::vec(proptest::collection::vec(arb_predicate(), 0..4), 1..4)
+        .prop_map(|disjuncts| {
+            Query::new(disjuncts.into_iter().map(Conjunction::new).collect())
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    proptest::collection::vec((arb_attr(), arb_nonnull_value()), 0..4).prop_map(|pairs| {
+        let mut r = Record::from_pairs([("FILE", Value::str("f"))]);
+        // Records also need a key attribute so they are distinguishable.
+        for (a, v) in pairs {
+            r.set(a, v);
+        }
+        r
+    })
+}
+
+proptest! {
+    /// The relational operators agree with the total order on values.
+    #[test]
+    fn relop_consistency(a in arb_nonnull_value(), b in arb_nonnull_value()) {
+        let eq = RelOp::Eq.eval(&a, &b);
+        let ne = RelOp::Ne.eval(&a, &b);
+        let lt = RelOp::Lt.eval(&a, &b);
+        let le = RelOp::Le.eval(&a, &b);
+        let gt = RelOp::Gt.eval(&a, &b);
+        let ge = RelOp::Ge.eval(&a, &b);
+        prop_assert_eq!(eq, !ne);
+        prop_assert_eq!(le, lt || eq);
+        prop_assert_eq!(ge, gt || eq);
+        prop_assert!(!(lt && gt));
+        prop_assert_eq!(lt, RelOp::Gt.eval(&b, &a));
+    }
+
+    /// DNF semantics: a query matches iff some disjunct has all
+    /// predicates matching.
+    #[test]
+    fn dnf_matches_definition(q in arb_query(), r in arb_record()) {
+        let expected = q.disjuncts.iter().any(|c| c.predicates.iter().all(|p| p.matches(&r)));
+        prop_assert_eq!(q.matches(&r), expected);
+    }
+
+    /// Canonical request text round-trips through the parser.
+    #[test]
+    fn request_print_parse_roundtrip(q in arb_query(), r in arb_record()) {
+        let requests = vec![
+            Request::Insert { record: r },
+            Request::Delete { query: q.clone() },
+            Request::Update {
+                query: q.clone(),
+                modifier: abdl::Modifier::new("a", Value::Int(1)),
+            },
+            Request::Retrieve {
+                query: q,
+                target: TargetList::attrs(["a", "b"]),
+                by: Some("c".into()),
+            },
+        ];
+        for req in requests {
+            let text = req.to_string();
+            let reparsed = parse_request(&text)
+                .unwrap_or_else(|e| panic!("reparse failed for `{text}`: {e}"));
+            prop_assert_eq!(&req, &reparsed, "round trip failed for `{}`", text);
+        }
+    }
+
+    /// A transaction's canonical text round-trips too.
+    #[test]
+    fn transaction_roundtrip(qs in proptest::collection::vec(arb_query(), 1..4)) {
+        let txn = abdl::Transaction::new(
+            qs.into_iter().map(Request::retrieve_all).collect(),
+        );
+        let text = txn.to_string();
+        let reparsed = parse_transaction(&text).unwrap();
+        prop_assert_eq!(txn, reparsed);
+    }
+
+    /// Index-assisted evaluation returns exactly the records that brute
+    /// force predicate evaluation returns.
+    #[test]
+    fn index_and_scan_agree(
+        records in proptest::collection::vec(arb_record(), 0..30),
+        q in arb_query(),
+    ) {
+        let mut indexed = Store::new();
+        let mut scanned = Store::with_indexing(false);
+        for (i, mut rec) in records.into_iter().enumerate() {
+            rec.set("k", Value::Int(i as i64));
+            indexed.execute(&Request::Insert { record: rec.clone() }).unwrap();
+            scanned.execute(&Request::Insert { record: rec }).unwrap();
+        }
+        // Route the query to file f like real translator output does.
+        let routed = q.and_predicate(Predicate::eq("FILE", "f"));
+        let req = Request::retrieve_all(routed);
+        let a = indexed.execute(&req).unwrap();
+        let b = scanned.execute(&req).unwrap();
+        prop_assert_eq!(a.records(), b.records());
+    }
+
+    /// DELETE then RETRIEVE with the same query returns nothing, and no
+    /// other record disappears.
+    #[test]
+    fn delete_is_exact(
+        records in proptest::collection::vec(arb_record(), 0..30),
+        q in arb_query(),
+    ) {
+        let mut store = Store::new();
+        let mut kept = 0usize;
+        let routed = q.and_predicate(Predicate::eq("FILE", "f"));
+        for (i, mut rec) in records.into_iter().enumerate() {
+            rec.set("k", Value::Int(i as i64));
+            if !routed.matches(&rec) {
+                kept += 1;
+            }
+            store.execute(&Request::Insert { record: rec }).unwrap();
+        }
+        store.execute(&Request::Delete { query: routed.clone() }).unwrap();
+        let rest = store.execute(&Request::retrieve_all(
+            Query::conjunction(vec![Predicate::eq("FILE", "f")]),
+        )).unwrap();
+        prop_assert_eq!(rest.records().len(), kept);
+        let gone = store.execute(&Request::retrieve_all(routed)).unwrap();
+        prop_assert!(gone.records().is_empty());
+    }
+
+    /// UPDATE sets the attribute on every matching record and only
+    /// those.
+    #[test]
+    fn update_is_exact(
+        records in proptest::collection::vec(arb_record(), 0..30),
+        q in arb_query(),
+    ) {
+        let mut store = Store::new();
+        let routed = q.and_predicate(Predicate::eq("FILE", "f"));
+        let mut expect = 0usize;
+        for (i, mut rec) in records.into_iter().enumerate() {
+            rec.set("k", Value::Int(i as i64));
+            // The sentinel value must not pre-exist.
+            if rec.get("mark").is_some() { rec.remove("mark"); }
+            if routed.matches(&rec) {
+                expect += 1;
+            }
+            store.execute(&Request::Insert { record: rec }).unwrap();
+        }
+        let resp = store.execute(&Request::Update {
+            query: routed,
+            modifier: abdl::Modifier::new("mark", Value::Int(999)),
+        }).unwrap();
+        prop_assert_eq!(resp.affected, expect);
+        let marked = store.execute(&Request::retrieve_all(
+            Query::conjunction(vec![
+                Predicate::eq("FILE", "f"),
+                Predicate::eq("mark", Value::Int(999)),
+            ]),
+        )).unwrap();
+        prop_assert_eq!(marked.records().len(), expect);
+    }
+}

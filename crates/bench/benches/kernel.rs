@@ -1,0 +1,97 @@
+//! Kernel (ABDL engine) microbenchmarks, including the directory-index
+//! ablation called out in DESIGN.md.
+
+use abdl::{Record, Request, Store, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn loaded_store(indexing: bool, records: usize) -> Store {
+    let mut s = Store::with_indexing(indexing);
+    s.create_file("f");
+    for i in 0..records {
+        let rec = Record::from_pairs([("FILE", Value::str("f"))])
+            .with("f", Value::Int(i as i64))
+            .with("bucket", Value::Int((i % 100) as i64))
+            .with("payload", Value::str(format!("payload_{i}")));
+        s.execute(&Request::Insert { record: rec }).unwrap();
+    }
+    s
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/insert");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("indexed", |b| {
+        let mut s = Store::new();
+        s.create_file("f");
+        let mut i = 0i64;
+        b.iter(|| {
+            let rec = Record::from_pairs([("FILE", Value::str("f"))])
+                .with("f", Value::Int(i))
+                .with("bucket", Value::Int(i % 100));
+            i += 1;
+            s.execute(&Request::Insert { record: rec }).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_retrieve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/retrieve_point");
+    for records in [1_000usize, 10_000] {
+        for (label, indexing) in [("indexed", true), ("scan", false)] {
+            let mut store = loaded_store(indexing, records);
+            let req =
+                abdl::parse::parse_request("RETRIEVE ((FILE = f) and (bucket = 7)) (*)").unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, records),
+                &records,
+                |b, _| b.iter(|| store.execute(&req).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_range_and_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/range_and_aggregate");
+    let mut store = loaded_store(true, 10_000);
+    let range = abdl::parse::parse_request("RETRIEVE ((FILE = f) and (f < 500)) (*)").unwrap();
+    group.bench_function("range_500", |b| b.iter(|| store.execute(&range).unwrap()));
+    let agg = abdl::parse::parse_request("RETRIEVE (FILE = f) (COUNT(f), AVG(f)) BY bucket")
+        .unwrap();
+    group.bench_function("aggregate_by_bucket", |b| b.iter(|| store.execute(&agg).unwrap()));
+    group.finish();
+}
+
+fn bench_update_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/mutate");
+    group.bench_function("update_bucket", |b| {
+        let mut store = loaded_store(true, 10_000);
+        let req =
+            abdl::parse::parse_request("UPDATE ((FILE = f) and (bucket = 3)) (payload = 'x')")
+                .unwrap();
+        b.iter(|| store.execute(&req).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/parse");
+    let text = "RETRIEVE (((FILE = course) and (title = 'Advanced Database') and (credits >= 3)) \
+                or ((FILE = course) and (semester = 'F87'))) (title, credits) BY dept";
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("retrieve_request", |b| {
+        b.iter(|| abdl::parse::parse_request(text).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_retrieve,
+    bench_range_and_aggregate,
+    bench_update_delete,
+    bench_parser
+);
+criterion_main!(benches);

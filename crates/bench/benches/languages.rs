@@ -1,0 +1,122 @@
+//! Per-language-interface benchmarks: the same logical operations
+//! through SQL and DL/I (the CODASYL and Daplex paths live in
+//! `translation.rs`).
+
+use abdl::Store;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sql_fixture() -> (relational::SqlTranslator, Store) {
+    let schema = relational::ddl::parse_schema(
+        "CREATE DATABASE bench;
+         CREATE TABLE customer (cid INTEGER NOT NULL, cname CHAR(20), city CHAR(15),
+                                PRIMARY KEY (cid));
+         CREATE TABLE orders (oid INTEGER NOT NULL, cid INTEGER, total FLOAT,
+                              PRIMARY KEY (oid));",
+    )
+    .unwrap();
+    let mut store = Store::new();
+    relational::ab_map::install(&schema, &mut store);
+    let t = relational::SqlTranslator::new(schema);
+    for i in 0..2_000i64 {
+        let stmt = relational::dml::parse_statement_str(&format!(
+            "INSERT INTO customer (cid, cname, city) VALUES ({i}, 'c{i}', 'city{}');",
+            i % 50
+        ))
+        .unwrap();
+        t.execute(&mut store, &stmt).unwrap();
+        let stmt = relational::dml::parse_statement_str(&format!(
+            "INSERT INTO orders (oid, cid, total) VALUES ({i}, {}, {}.5);",
+            i % 2_000,
+            (i * 13) % 997
+        ))
+        .unwrap();
+        t.execute(&mut store, &stmt).unwrap();
+    }
+    (t, store)
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let (t, mut store) = sql_fixture();
+    let mut group = c.benchmark_group("sql");
+    let select = relational::dml::parse_statement_str(
+        "SELECT cname FROM customer WHERE city = 'city7';",
+    )
+    .unwrap();
+    group.bench_function("select_point", |b| {
+        b.iter(|| t.execute(&mut store, &select).unwrap().rows.len())
+    });
+    let agg = relational::dml::parse_statement_str(
+        "SELECT city, COUNT(cid) FROM customer GROUP BY city;",
+    )
+    .unwrap();
+    group.bench_function("group_by", |b| {
+        b.iter(|| t.execute(&mut store, &agg).unwrap().rows.len())
+    });
+    let join = relational::dml::parse_statement_str(
+        "SELECT c.cname, o.total FROM customer c, orders o \
+         WHERE c.cid = o.cid AND c.city = 'city7';",
+    )
+    .unwrap();
+    group.sample_size(20);
+    group.bench_function("equi_join", |b| {
+        b.iter(|| t.execute(&mut store, &join).unwrap().rows.len())
+    });
+    group.finish();
+}
+
+fn dli_fixture() -> (dli::DliSession, Store) {
+    let schema = dli::ddl::parse_schema(
+        "HIERARCHY NAME IS bench.
+         SEGMENT region.
+           02 rno TYPE IS FIXED.
+           SEQUENCE IS rno.
+         SEGMENT store PARENT IS region.
+           02 sno TYPE IS FIXED.
+           02 sales TYPE IS FIXED.
+           SEQUENCE IS sno.",
+    )
+    .unwrap();
+    let mut store = Store::new();
+    dli::ab_map::install(&schema, &mut store);
+    let mut session = dli::DliSession::new(schema);
+    for r in 0..20i64 {
+        let calls =
+            dli::calls::parse_calls(&format!("ISRT region (rno = {r})")).unwrap();
+        session.execute(&mut store, &calls[0]).unwrap();
+        for s in 0..50i64 {
+            let calls = dli::calls::parse_calls(&format!(
+                "ISRT store (sno = {s}, sales = {})",
+                (r * 50 + s) % 313
+            ))
+            .unwrap();
+            session.execute(&mut store, &calls[0]).unwrap();
+        }
+    }
+    session.reset_position();
+    (session, store)
+}
+
+fn bench_dli(c: &mut Criterion) {
+    let (mut session, mut store) = dli_fixture();
+    let mut group = c.benchmark_group("dli");
+    let gu = dli::calls::parse_calls("GU region (rno = 13) store (sno = 37)").unwrap();
+    group.bench_function("gu_path", |b| {
+        b.iter(|| session.execute(&mut store, &gu[0]).unwrap().affected)
+    });
+    let gu_root = dli::calls::parse_calls("GU region (rno = 5)").unwrap();
+    let gnp = dli::calls::parse_calls("GNP store").unwrap();
+    group.bench_function("gnp_sweep_50", |b| {
+        b.iter(|| {
+            session.execute(&mut store, &gu_root[0]).unwrap();
+            let mut n = 0;
+            while session.execute(&mut store, &gnp[0]).is_ok() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql, bench_dli);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! CODASYL-DML→ABDL translation benchmarks (E10's timing side): per
+//! statement-type execution cost against the AB(functional) store, and
+//! DML parsing throughput.
+
+use abdl::Store;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlds_bench::workload;
+
+fn fixture() -> (translator::Translator, Store) {
+    let mut store = Store::new();
+    daplex::ab_map::install(&daplex::university::schema(), &mut store);
+    workload::load_university_scaled(&mut store, workload::Scale::of(1_000), 13);
+    let net = transform::transform(&daplex::university::schema()).unwrap();
+    (translator::Translator::for_functional(net), store)
+}
+
+fn bench_statements(c: &mut Criterion) {
+    let (t, mut store) = fixture();
+    let mut group = c.benchmark_group("translation/statement");
+
+    let cases = [
+        ("find_any", "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student"),
+        (
+            "find_owner",
+            "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\n\
+             FIND OWNER WITHIN person_student",
+        ),
+        ("find_first", "FIND FIRST course WITHIN system_course"),
+        (
+            "get",
+            "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\nGET student",
+        ),
+        (
+            "modify",
+            "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\n\
+             MOVE 3.9 TO gpa IN student\nMODIFY gpa IN student",
+        ),
+    ];
+    for (label, script) in cases {
+        let stmts = codasyl::dml::parse_statements(script).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut ru = translator::RunUnit::new();
+                for s in &stmts {
+                    t.execute(&mut ru, &mut store, s).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_erase_cycle(c: &mut Criterion) {
+    let (t, mut store) = fixture();
+    let mut group = c.benchmark_group("translation/store_erase");
+    let mut i = 0usize;
+    group.bench_function("person_store_erase", |b| {
+        b.iter(|| {
+            i += 1;
+            let mut ru = translator::RunUnit::new();
+            let script = format!(
+                "MOVE 'bench_{i}' TO name IN person\nMOVE 30 TO age IN person\nSTORE person\nERASE person"
+            );
+            for s in &codasyl::dml::parse_statements(&script).unwrap() {
+                t.execute(&mut ru, &mut store, s).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_generated_script(c: &mut Criterion) {
+    let (t, mut store) = fixture();
+    let script = workload::codasyl_script(200, 17);
+    let stmts = codasyl::dml::parse_statements(&script).unwrap();
+    let mut group = c.benchmark_group("translation/mixed_script");
+    group.throughput(Throughput::Elements(stmts.len() as u64));
+    group.bench_function("200_statements", |b| {
+        b.iter(|| {
+            let mut ru = translator::RunUnit::new();
+            let mut executed = 0usize;
+            for s in &stmts {
+                if t.execute(&mut ru, &mut store, s).is_ok() {
+                    executed += 1;
+                }
+            }
+            executed
+        })
+    });
+    group.finish();
+}
+
+fn bench_dml_parse(c: &mut Criterion) {
+    let script = workload::codasyl_script(500, 23);
+    let mut group = c.benchmark_group("translation/parse");
+    group.throughput(Throughput::Bytes(script.len() as u64));
+    group.bench_function("500_statements", |b| {
+        b.iter(|| codasyl::dml::parse_statements(&script).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statements,
+    bench_store_erase_cycle,
+    bench_generated_script,
+    bench_dml_parse
+);
+criterion_main!(benches);

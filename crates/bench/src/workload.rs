@@ -1,0 +1,274 @@
+//! Synthetic workload generators.
+//!
+//! The thesis has no machine-readable workloads; these generators
+//! produce (a) scaled University-like populations for the MBDS
+//! experiments and (b) random-but-valid CODASYL-DML scripts for the
+//! translation experiments. Everything is seeded for reproducibility.
+
+use abdl::{Kernel, Record, Request, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale factor → population sizes (roughly the University schema's
+/// shape: many students, fewer courses/faculty).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of student entities.
+    pub students: usize,
+    /// Number of course entities.
+    pub courses: usize,
+    /// Number of faculty entities.
+    pub faculty: usize,
+}
+
+impl Scale {
+    /// A scale with `n` students and proportional everything else.
+    pub fn of(n: usize) -> Self {
+        Scale { students: n, courses: n / 5 + 1, faculty: n / 10 + 1 }
+    }
+
+    /// Total entities.
+    pub fn total(&self) -> usize {
+        self.students + self.courses + self.faculty
+    }
+}
+
+/// Majors used by the generator; selection predicates hit ~1/8 of the
+/// students regardless of placement (the values cycle with period 8,
+/// coprime with none of the usual backend counts mattering because
+/// selection is by key range in the MBDS experiments).
+pub const MAJORS: [&str; 8] =
+    ["CS", "Math", "Physics", "History", "Biology", "Chemistry", "Music", "Art"];
+
+/// Load a University-shaped population straight into a kernel in the
+/// `AB(functional)` layout (files must exist — use
+/// [`daplex::ab_map::install`] first). Returns the student keys.
+pub fn load_university_scaled<K: Kernel>(kernel: &mut K, scale: Scale, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let schema = daplex::university::schema();
+    let mut loader = daplex::ab_map::Loader::new(schema);
+
+    let mut faculty = Vec::with_capacity(scale.faculty);
+    for i in 0..scale.faculty {
+        let k = loader
+            .create_entity(
+                kernel,
+                "faculty",
+                &[
+                    ("ename", Value::str(format!("faculty_{i}"))),
+                    ("salary", Value::Float(40_000.0 + rng.gen_range(0..30_000) as f64)),
+                    ("rank", Value::str(["instructor", "assistant", "associate", "full"][i % 4])),
+                ],
+            )
+            .expect("faculty generation");
+        faculty.push(k);
+    }
+    let mut courses = Vec::with_capacity(scale.courses);
+    for i in 0..scale.courses {
+        let k = loader
+            .create_entity(
+                kernel,
+                "course",
+                &[
+                    ("title", Value::str(format!("course_{i}"))),
+                    ("semester", Value::str(if i % 2 == 0 { "F87" } else { "S88" })),
+                    ("credits", Value::Int(rng.gen_range(1..=5))),
+                ],
+            )
+            .expect("course generation");
+        courses.push(k);
+    }
+    let mut students = Vec::with_capacity(scale.students);
+    for i in 0..scale.students {
+        let k = loader
+            .create_entity(
+                kernel,
+                "student",
+                &[
+                    ("name", Value::str(format!("student_{i}"))),
+                    ("age", Value::Int(rng.gen_range(17..30))),
+                    ("major", Value::str(MAJORS[i % MAJORS.len()])),
+                    ("gpa", Value::Float((rng.gen_range(200..400) as f64) / 100.0)),
+                ],
+            )
+            .expect("student generation");
+        if !faculty.is_empty() {
+            let adv = faculty[rng.gen_range(0..faculty.len())];
+            loader.link(kernel, "student", k, "advisor", adv).expect("advisor link");
+        }
+        students.push(k);
+    }
+    // teaching pairs: each course taught by 1–2 faculty.
+    for &c in &courses {
+        let n = rng.gen_range(1..=2usize.min(faculty.len().max(1)));
+        for _ in 0..n {
+            let f = faculty[rng.gen_range(0..faculty.len())];
+            loader.link(kernel, "faculty", f, "teaching", c).expect("teaching link");
+        }
+    }
+    students
+}
+
+/// Load a flat keyed file (`f` with integer keys and a payload) for
+/// kernel-level experiments. Key-range predicates over it parallelize
+/// evenly under round-robin placement.
+pub fn load_flat<K: Kernel>(kernel: &mut K, records: usize) {
+    kernel.create_file("f");
+    for i in 0..records {
+        let rec = Record::from_pairs([("FILE", Value::str("f"))])
+            .with("f", Value::Int(i as i64))
+            .with("payload", Value::Int(((i * 37) % 1000) as i64));
+        kernel.execute(&Request::Insert { record: rec }).expect("flat load");
+    }
+}
+
+/// The retrieval used by the MBDS response-time experiments: a key
+/// range selecting `select` records.
+pub fn range_retrieval(select: usize) -> Request {
+    abdl::parse::parse_request(&format!("RETRIEVE ((FILE = f) and (f < {select})) (*)"))
+        .expect("static request")
+}
+
+/// A mixed kernel workload (reads, updates, deletes) for throughput
+/// benches.
+pub fn mixed_requests(n: usize, keyspace: usize, seed: u64) -> Vec<Request> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(0..keyspace);
+            match rng.gen_range(0..10) {
+                0..=6 => abdl::parse::parse_request(&format!(
+                    "RETRIEVE ((FILE = f) and (f >= {k}) and (f < {})) (*)",
+                    k + 20
+                )),
+                7 | 8 => abdl::parse::parse_request(&format!(
+                    "UPDATE ((FILE = f) and (f = {k})) (payload = {})",
+                    rng.gen_range(0..1000)
+                )),
+                _ => abdl::parse::parse_request(&format!(
+                    "RETRIEVE ((FILE = f) and (payload = {})) (COUNT(f))",
+                    rng.gen_range(0..1000)
+                )),
+            }
+            .expect("static request")
+        })
+        .collect()
+}
+
+/// A generated CODASYL-DML script over the University database: a
+/// random but *valid* statement sequence (currency is established
+/// before statements that need it).
+pub fn codasyl_script(statements: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(statements);
+    let mut store_no = 0usize;
+    while out.len() < statements {
+        match rng.gen_range(0..10) {
+            0 | 1 => {
+                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                out.push(format!("MOVE '{major}' TO major IN student"));
+                out.push("FIND ANY student USING major IN student".to_owned());
+                out.push("GET student".to_owned());
+            }
+            2 => {
+                out.push("FIND FIRST course WITHIN system_course".to_owned());
+                out.push("FIND NEXT course WITHIN system_course".to_owned());
+            }
+            3 => {
+                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                out.push(format!("MOVE '{major}' TO major IN student"));
+                out.push("FIND ANY student USING major IN student".to_owned());
+                out.push("FIND OWNER WITHIN person_student".to_owned());
+            }
+            4 => {
+                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                out.push(format!("MOVE '{major}' TO major IN student"));
+                out.push("FIND ANY student USING major IN student".to_owned());
+                out.push("FIND OWNER WITHIN advisor".to_owned());
+                out.push("FIND FIRST student WITHIN advisor".to_owned());
+            }
+            5 => {
+                store_no += 1;
+                out.push(format!("MOVE 'gen_{seed}_{store_no}' TO name IN person"));
+                out.push(format!("MOVE {} TO age IN person", rng.gen_range(17..60)));
+                out.push("STORE person".to_owned());
+            }
+            6 => {
+                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                out.push(format!("MOVE '{major}' TO major IN student"));
+                out.push("FIND ANY student USING major IN student".to_owned());
+                out.push(format!("MOVE {} TO gpa IN student", rng.gen_range(20..40) as f64 / 10.0));
+                out.push("MODIFY gpa IN student".to_owned());
+            }
+            7 => {
+                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                out.push(format!("MOVE '{major}' TO major IN student"));
+                out.push("FIND ANY student USING major IN student".to_owned());
+                out.push("FIND CURRENT student WITHIN person_student".to_owned());
+            }
+            8 => {
+                out.push("FIND FIRST person WITHIN system_person".to_owned());
+                out.push("GET name IN person".to_owned());
+            }
+            _ => {
+                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                out.push(format!("MOVE '{major}' TO major IN student"));
+                out.push("FIND ANY student USING major IN student".to_owned());
+                out.push("DISCONNECT student FROM advisor".to_owned());
+                out.push("FIND OWNER WITHIN person_student".to_owned());
+            }
+        }
+    }
+    out.truncate(statements);
+    out.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abdl::Store;
+
+    #[test]
+    fn scaled_population_loads_and_queries() {
+        let mut store = Store::new();
+        daplex::ab_map::install(&daplex::university::schema(), &mut store);
+        let students = load_university_scaled(&mut store, Scale::of(100), 7);
+        assert_eq!(students.len(), 100);
+        assert_eq!(store.file_len("student"), 100);
+        assert_eq!(store.file_len("person"), 100);
+        assert!(store.file_len("LINK_1") >= 21);
+    }
+
+    #[test]
+    fn generated_scripts_parse_and_mostly_run() {
+        let mut store = Store::new();
+        daplex::ab_map::install(&daplex::university::schema(), &mut store);
+        load_university_scaled(&mut store, Scale::of(50), 11);
+        let net = transform::transform(&daplex::university::schema()).unwrap();
+        let t = translator::Translator::for_functional(net);
+        let mut ru = translator::RunUnit::new();
+        let script = codasyl_script(120, 3);
+        let stmts = codasyl::dml::parse_statements(&script).unwrap();
+        let mut ok = 0usize;
+        for s in &stmts {
+            // End-of-set and no-currency conditions are legitimate
+            // outcomes of a random walk; translation failures are not.
+            match t.execute(&mut ru, &mut store, s) {
+                Ok(_) => ok += 1,
+                Err(translator::Error::EndOfSet { .. })
+                | Err(translator::Error::NoCurrency { .. }) => {}
+                Err(e) => panic!("generated statement `{s}` failed: {e}"),
+            }
+        }
+        assert!(ok > stmts.len() / 2, "most statements should succeed ({ok}/{})", stmts.len());
+    }
+
+    #[test]
+    fn mixed_requests_execute() {
+        let mut store = Store::new();
+        load_flat(&mut store, 500);
+        for req in mixed_requests(100, 500, 5) {
+            store.execute(&req).unwrap();
+        }
+    }
+}

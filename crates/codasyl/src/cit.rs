@@ -1,0 +1,188 @@
+//! The Currency Indicator Table (CIT).
+//!
+//! "A currency indicator defines the current position within a file by
+//! maintaining a value of either (1) null … or (2) the address of a
+//! record in the database. … The currency indicator serves as a database
+//! pointer by identifying the current record of the run unit, the
+//! current record of each record type, \[and\] the current record of each
+//! set type."
+//!
+//! Keys here are *entity keys*: the value of the `<record_type, key>`
+//! attribute-value pair of the kernel representation. In `AB(network)`
+//! every network record occurrence is exactly one kernel record, so the
+//! entity key addresses it; in `AB(functional)` an entity with scalar
+//! multi-valued functions is stored as several kernel records sharing
+//! one entity key, and the thesis's translation deliberately addresses
+//! them *as a group* ("we will update all records whose database key is
+//! the same as the database key of the current of the run-unit").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A record currency: which occurrence of which record type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Currency {
+    /// The record type.
+    pub record: String,
+    /// The entity key of the occurrence.
+    pub key: i64,
+}
+
+impl Currency {
+    /// Construct a currency.
+    pub fn new(record: impl Into<String>, key: i64) -> Self {
+        Currency { record: record.into(), key }
+    }
+}
+
+/// A set currency: the current occurrence (identified by its owner) and
+/// the current member within it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SetCurrency {
+    /// Entity key of the owner of the current set occurrence (`None`
+    /// until a FIND establishes one).
+    pub owner_key: Option<i64>,
+    /// The current member record within the occurrence.
+    pub member: Option<Currency>,
+}
+
+/// The per-run-unit currency indicator table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CurrencyTable {
+    run_unit: Option<Currency>,
+    records: BTreeMap<String, Currency>,
+    sets: BTreeMap<String, SetCurrency>,
+}
+
+impl CurrencyTable {
+    /// An empty CIT.
+    pub fn new() -> Self {
+        CurrencyTable::default()
+    }
+
+    /// The current of the run-unit.
+    pub fn run_unit(&self) -> Option<&Currency> {
+        self.run_unit.as_ref()
+    }
+
+    /// The current of a record type.
+    pub fn record(&self, record: &str) -> Option<&Currency> {
+        self.records.get(record)
+    }
+
+    /// The current of a set type.
+    pub fn set(&self, set: &str) -> Option<&SetCurrency> {
+        self.sets.get(set)
+    }
+
+    /// Make `record`/`key` the current of the run-unit and the current
+    /// of its record type (every successful FIND does this).
+    pub fn make_current(&mut self, record: &str, key: i64) {
+        let cur = Currency::new(record, key);
+        self.records.insert(record.to_owned(), cur.clone());
+        self.run_unit = Some(cur);
+    }
+
+    /// Update only the run-unit currency (FIND CURRENT: "the only
+    /// function of this statement is to update CIT").
+    pub fn set_run_unit(&mut self, record: &str, key: i64) {
+        self.run_unit = Some(Currency::new(record, key));
+    }
+
+    /// Establish the current occurrence of a set (its owner).
+    pub fn set_owner(&mut self, set: &str, owner_key: i64) {
+        let entry = self.sets.entry(set.to_owned()).or_default();
+        if entry.owner_key != Some(owner_key) {
+            entry.member = None;
+        }
+        entry.owner_key = Some(owner_key);
+    }
+
+    /// Establish the current member of a set occurrence (also fixes the
+    /// occurrence's owner).
+    pub fn set_member(&mut self, set: &str, owner_key: i64, record: &str, key: i64) {
+        let entry = self.sets.entry(set.to_owned()).or_default();
+        entry.owner_key = Some(owner_key);
+        entry.member = Some(Currency::new(record, key));
+    }
+
+    /// Forget the member currency of a set (used when the current member
+    /// is erased or disconnected).
+    pub fn clear_set_member(&mut self, set: &str) {
+        if let Some(entry) = self.sets.get_mut(set) {
+            entry.member = None;
+        }
+    }
+
+    /// Drop every currency that points at `record`/`key` (after ERASE).
+    pub fn forget(&mut self, record: &str, key: i64) {
+        let stale =
+            |c: &Currency| c.record == record && c.key == key;
+        if self.run_unit.as_ref().is_some_and(&stale) {
+            self.run_unit = None;
+        }
+        self.records.retain(|_, c| !stale(c));
+        for entry in self.sets.values_mut() {
+            if entry.member.as_ref().is_some_and(&stale) {
+                entry.member = None;
+            }
+        }
+    }
+
+    /// Clear the whole table (end of run-unit).
+    pub fn clear(&mut self) {
+        *self = CurrencyTable::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_current_sets_run_unit_and_record() {
+        let mut cit = CurrencyTable::new();
+        cit.make_current("course", 7);
+        assert_eq!(cit.run_unit(), Some(&Currency::new("course", 7)));
+        assert_eq!(cit.record("course"), Some(&Currency::new("course", 7)));
+        assert!(cit.record("student").is_none());
+    }
+
+    #[test]
+    fn find_current_updates_only_run_unit() {
+        let mut cit = CurrencyTable::new();
+        cit.make_current("course", 7);
+        cit.set_run_unit("student", 3);
+        assert_eq!(cit.run_unit(), Some(&Currency::new("student", 3)));
+        // Record currency of student untouched.
+        assert!(cit.record("student").is_none());
+        assert_eq!(cit.record("course"), Some(&Currency::new("course", 7)));
+    }
+
+    #[test]
+    fn changing_set_occurrence_clears_member() {
+        let mut cit = CurrencyTable::new();
+        cit.set_member("advisor", 1, "student", 10);
+        assert_eq!(cit.set("advisor").unwrap().member, Some(Currency::new("student", 10)));
+        cit.set_owner("advisor", 2);
+        assert_eq!(cit.set("advisor").unwrap().owner_key, Some(2));
+        assert!(cit.set("advisor").unwrap().member.is_none());
+        // Same owner keeps the member.
+        cit.set_member("advisor", 2, "student", 11);
+        cit.set_owner("advisor", 2);
+        assert!(cit.set("advisor").unwrap().member.is_some());
+    }
+
+    #[test]
+    fn forget_drops_all_matching_currencies() {
+        let mut cit = CurrencyTable::new();
+        cit.make_current("student", 10);
+        cit.set_member("advisor", 1, "student", 10);
+        cit.forget("student", 10);
+        assert!(cit.run_unit().is_none());
+        assert!(cit.record("student").is_none());
+        assert!(cit.set("advisor").unwrap().member.is_none());
+        // Owner currency survives (it points at the owner, not the member).
+        assert_eq!(cit.set("advisor").unwrap().owner_key, Some(1));
+    }
+}

@@ -1,0 +1,800 @@
+//! The functional→ABDM mapping: the `AB(functional)` kernel layout of
+//! Figure 3.3, plus a loader that maintains it.
+//!
+//! Layout (Chapter III.C.1, concretized as described in DESIGN.md):
+//!
+//! * **One kernel file per entity type and subtype.** The first keyword
+//!   is `<FILE, E>`; the second is `<E, key>`, the *artificial
+//!   attribute* whose value is the entity's unique key. An entity that
+//!   belongs to a subtype appears in the subtype's file *and* in every
+//!   ancestor's file **under the same key** — that is how "the value
+//!   [of a subtype record] consists of its entity supertype and its
+//!   unique key" realizes value inheritance.
+//! * **Scalar functions** become keywords of the declaring type's file.
+//! * **Scalar multi-valued functions** become keywords too, but an
+//!   entity with k values is stored as k *repeated records* differing
+//!   only in that keyword ("the related attributes for each related
+//!   record must be repeated").
+//! * **Entity-valued functions** become *member-side set attributes*,
+//!   uniformly with the `AB(network)` layout: the member file of the
+//!   corresponding network set carries `<set-name, owner-key>`.
+//!   For a single-valued `f : D → R` the set is named `f` with owner
+//!   `R`/member `D`, so `D`'s file carries `<f, key-of-R>`. For a
+//!   one-to-many multi-valued `f : D → set of R` the set has owner
+//!   `D`/member `R`, so `R`'s file carries `<f, key-of-D>`.
+//! * **Many-to-many pairs** get a `LINK_X` pair file whose records
+//!   carry `<forward-fn, key-of-left>` and `<inverse-fn, key-of-right>`
+//!   (the link record is the member of both sets).
+//! * **ISA relationships**: each subtype record carries
+//!   `<{super}_{sub}, key>` — the member-side attribute of the ISA set,
+//!   whose owner occurrence key equals the entity's own key.
+//! * **SYSTEM sets**: each root entity record carries
+//!   `<system_{E}, 0>`.
+//! * **Uniqueness constraints** become kernel `DUPLICATES ARE NOT
+//!   ALLOWED` groups on the declaring file.
+
+use crate::error::{Error, Result};
+use crate::names;
+use crate::schema::{FunctionalSchema, Function, M2MPair};
+use abdl::{Kernel, Predicate, Query, Record, Request, Value, FILE_ATTR};
+use std::collections::BTreeMap;
+
+/// Where a function's values live in the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FnStorage {
+    /// A keyword of the declaring type's file (scalar functions).
+    ScalarAttr {
+        /// The declaring entity-like type (= kernel file).
+        file: String,
+    },
+    /// A keyword of the declaring type's file, stored across repeated
+    /// records (scalar multi-valued functions).
+    ScalarMultiAttr {
+        /// The declaring entity-like type.
+        file: String,
+    },
+    /// Member-side set attribute in the *declaring* type's file
+    /// (single-valued entity function: declaring type is the set
+    /// member).
+    MemberAttr {
+        /// The kernel file carrying the attribute (= the set member).
+        file: String,
+        /// The set owner's entity type (the function's range).
+        owner: String,
+    },
+    /// Member-side set attribute in the *range* type's file
+    /// (one-to-many multi-valued function: range type is the set
+    /// member, declaring type the owner).
+    RangeMemberAttr {
+        /// The kernel file carrying the attribute (= the range type).
+        file: String,
+        /// The set owner's entity type (the declaring type).
+        owner: String,
+    },
+    /// One side of a many-to-many pair stored in a `LINK_X` file.
+    Link {
+        /// The pair descriptor.
+        pair: M2MPair,
+    },
+}
+
+/// Resolve where a function's values are stored.
+///
+/// `entity` is the type through which the function was reached; storage
+/// is always at the *declaring* type.
+pub fn fn_storage(schema: &FunctionalSchema, entity: &str, f: &Function) -> Result<FnStorage> {
+    let declaring = schema
+        .declaring_type(entity, &f.name)
+        .ok_or_else(|| Error::UnknownFunction { entity: entity.to_owned(), function: f.name.clone() })?;
+    if let Some(range) = schema.entity_range(f) {
+        if !f.set_valued {
+            return Ok(FnStorage::MemberAttr { file: declaring, owner: range.to_owned() });
+        }
+        if let Some(pair) = schema.m2m_pair_of(&declaring, &f.name) {
+            return Ok(FnStorage::Link { pair });
+        }
+        return Ok(FnStorage::RangeMemberAttr { file: range.to_owned(), owner: declaring });
+    }
+    if f.set_valued {
+        Ok(FnStorage::ScalarMultiAttr { file: declaring })
+    } else {
+        Ok(FnStorage::ScalarAttr { file: declaring })
+    }
+}
+
+/// Create the kernel files (entity, subtype and link files) and the
+/// uniqueness constraints for a functional schema.
+pub fn install<K: Kernel>(schema: &FunctionalSchema, store: &mut K) {
+    for name in schema.entity_like_names() {
+        store.create_file(name);
+    }
+    for pair in schema.m2m_pairs() {
+        store.create_file(&pair.link);
+    }
+    for u in &schema.uniques {
+        store.add_unique_constraint(&u.within, u.functions.clone());
+    }
+}
+
+/// Loads and maintains an `AB(functional)` database: assigns artificial
+/// keys, keeps repeated records for scalar multi-valued functions, and
+/// enforces overlap constraints on specialization.
+#[derive(Debug, Clone)]
+pub struct Loader {
+    schema: FunctionalSchema,
+}
+
+impl Loader {
+    /// A loader for a validated schema.
+    pub fn new(schema: FunctionalSchema) -> Self {
+        Loader { schema }
+    }
+
+    /// The schema this loader maintains.
+    pub fn schema(&self) -> &FunctionalSchema {
+        &self.schema
+    }
+
+    /// Reserve the next artificial key from the kernel (key 0 is
+    /// reserved for the SYSTEM owner; kernel keys start at 1).
+    pub fn reserve_key<K: Kernel>(&mut self, kernel: &mut K) -> i64 {
+        kernel.reserve_key().0 as i64
+    }
+
+    /// Create a new entity of `entity_type` (an entity type *or*
+    /// subtype — creating a subtype instance creates the ancestor
+    /// records too). `values` assigns scalar and single-valued entity
+    /// functions anywhere in the hierarchy; set-valued functions must
+    /// use [`Loader::add_scalar_value`] / [`Loader::link`].
+    ///
+    /// Returns the new entity's key.
+    pub fn create_entity<K: Kernel>(
+        &mut self,
+        store: &mut K,
+        entity_type: &str,
+        values: &[(&str, Value)],
+    ) -> Result<i64> {
+        self.schema.require_entity_like(entity_type)?;
+        let key = self.reserve_key(store);
+        // The chain of files this entity occupies: itself + ancestors.
+        let mut chain = vec![entity_type.to_owned()];
+        chain.extend(self.schema.ancestors(entity_type));
+
+        // Route each value to its declaring type's record.
+        let mut routed: BTreeMap<String, Vec<(String, Value)>> = BTreeMap::new();
+        for (fname, value) in values {
+            let f = self.schema.require_function(entity_type, fname)?.clone();
+            if f.set_valued {
+                return Err(Error::ValueOutOfRange {
+                    function: f.name.clone(),
+                    got: value.to_string(),
+                    why: "set-valued functions are populated with add_scalar_value/link".into(),
+                });
+            }
+            self.schema.check_value(&f, value)?;
+            match fn_storage(&self.schema, entity_type, &f)? {
+                FnStorage::ScalarAttr { file } | FnStorage::MemberAttr { file, .. } => {
+                    routed.entry(file).or_default().push((f.name.clone(), value.clone()));
+                }
+                other => {
+                    return Err(Error::InvalidSchema(format!(
+                        "unexpected storage {other:?} for non-set-valued function `{}`",
+                        f.name
+                    )))
+                }
+            }
+        }
+
+        for file in &chain {
+            let mut rec = self.base_record(file, key);
+            for (attr, value) in routed.remove(file).unwrap_or_default() {
+                rec.set(attr, value);
+            }
+            store.execute(&Request::Insert { record: rec }).map_err(wrap_kernel)?;
+        }
+        if let Some((file, _)) = routed.into_iter().next() {
+            return Err(Error::InvalidSchema(format!(
+                "value routed to `{file}`, which is not in the hierarchy of `{entity_type}`"
+            )));
+        }
+        Ok(key)
+    }
+
+    /// The skeleton kernel record of `file` for entity `key`: FILE and
+    /// key attributes, SYSTEM-set attribute for root entity types, ISA
+    /// attributes for subtypes.
+    fn base_record(&self, file: &str, key: i64) -> Record {
+        let mut rec = Record::new();
+        rec.set(FILE_ATTR, Value::str(file));
+        rec.set(names::key_attr(file).to_owned(), Value::Int(key));
+        if self.schema.entity(file).is_some() {
+            rec.set(names::system_set(file), Value::Int(names::SYSTEM_OWNER_KEY));
+        }
+        for sup in self.schema.supertypes(file) {
+            rec.set(names::isa_set(sup, file), Value::Int(key));
+        }
+        rec
+    }
+
+    /// Specialize an existing entity into a subtype (add it to the
+    /// subtype's file), enforcing overlap constraints: "the notion of
+    /// overlapping constraints is used to indicate whether or not an
+    /// entity can belong to more than one terminal entity subtype
+    /// within a hierarchy."
+    pub fn specialize<K: Kernel>(
+        &mut self,
+        store: &mut K,
+        key: i64,
+        subtype: &str,
+        values: &[(&str, Value)],
+    ) -> Result<()> {
+        let sub = self
+            .schema
+            .subtype(subtype)
+            .ok_or_else(|| Error::UnknownEntity(subtype.to_owned()))?
+            .clone();
+        // Overlap check against sibling terminal subtypes already
+        // holding this entity.
+        if self.schema.is_terminal(subtype) {
+            for other in self.schema.subtypes.clone() {
+                if other.name == subtype || !self.schema.is_terminal(&other.name) {
+                    continue;
+                }
+                // Same hierarchy only: share at least one ancestor.
+                let mine = self.schema.ancestors(subtype);
+                let theirs = self.schema.ancestors(&other.name);
+                if !mine.iter().any(|a| theirs.contains(a)) {
+                    continue;
+                }
+                if entity_in_file(store, &other.name, key) {
+                    let allowed = self
+                        .schema
+                        .overlaps
+                        .iter()
+                        .any(|o| o.allows_pair(subtype, &other.name));
+                    if !allowed {
+                        return Err(Error::OverlapViolation {
+                            subtype: subtype.to_owned(),
+                            conflicting: other.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Ancestor records must exist.
+        for sup in &sub.supertypes {
+            if !entity_in_file(store, sup, key) {
+                return Err(Error::UnknownEntity(format!(
+                    "entity #{key} does not exist in supertype `{sup}`"
+                )));
+            }
+        }
+        if entity_in_file(store, subtype, key) {
+            return Err(Error::InvalidSchema(format!(
+                "entity #{key} is already a `{subtype}`"
+            )));
+        }
+        let mut rec = self.base_record(subtype, key);
+        for (fname, value) in values {
+            let f = self.schema.require_function(subtype, fname)?.clone();
+            self.schema.check_value(&f, value)?;
+            match fn_storage(&self.schema, subtype, &f)? {
+                FnStorage::ScalarAttr { file } | FnStorage::MemberAttr { file, .. }
+                    if file == subtype =>
+                {
+                    rec.set(f.name.clone(), value.clone());
+                }
+                _ => {
+                    return Err(Error::InvalidSchema(format!(
+                        "specialize values must be declared on `{subtype}` itself (got `{fname}`)"
+                    )))
+                }
+            }
+        }
+        store.execute(&Request::Insert { record: rec }).map_err(wrap_kernel)?;
+        Ok(())
+    }
+
+    /// Assign a scalar or single-valued entity function of an existing
+    /// entity.
+    pub fn set_function<K: Kernel>(
+        &mut self,
+        store: &mut K,
+        entity_type: &str,
+        key: i64,
+        function: &str,
+        value: Value,
+    ) -> Result<()> {
+        let f = self.schema.require_function(entity_type, function)?.clone();
+        self.schema.check_value(&f, &value)?;
+        let file = match fn_storage(&self.schema, entity_type, &f)? {
+            FnStorage::ScalarAttr { file } | FnStorage::MemberAttr { file, .. } => file,
+            other => {
+                return Err(Error::ValueOutOfRange {
+                    function: function.to_owned(),
+                    got: value.to_string(),
+                    why: format!("set-valued storage {other:?}; use add_scalar_value/link"),
+                })
+            }
+        };
+        let resp = store
+            .execute(&Request::Update {
+                query: entity_query(&file, key),
+                modifier: abdl::Modifier::new(function.to_owned(), value),
+            })
+            .map_err(wrap_kernel)?;
+        if resp.affected == 0 {
+            return Err(Error::UnknownEntity(format!("entity #{key} of `{file}`")));
+        }
+        Ok(())
+    }
+
+    /// Add a value of a *scalar multi-valued* function: materializes a
+    /// repeated record (a copy of the entity's representative record
+    /// with the new value).
+    pub fn add_scalar_value<K: Kernel>(
+        &mut self,
+        store: &mut K,
+        entity_type: &str,
+        key: i64,
+        function: &str,
+        value: Value,
+    ) -> Result<()> {
+        let f = self.schema.require_function(entity_type, function)?.clone();
+        self.schema.check_value(&f, &value)?;
+        let file = match fn_storage(&self.schema, entity_type, &f)? {
+            FnStorage::ScalarMultiAttr { file } => file,
+            other => {
+                return Err(Error::ValueOutOfRange {
+                    function: function.to_owned(),
+                    got: value.to_string(),
+                    why: format!("not a scalar multi-valued function (storage {other:?})"),
+                })
+            }
+        };
+        let existing = store
+            .execute(&Request::retrieve_all(entity_query(&file, key)))
+            .map_err(wrap_kernel)?;
+        let Some((_, representative)) = existing.first() else {
+            return Err(Error::UnknownEntity(format!("entity #{key} of `{file}`")));
+        };
+        // If the representative still has NULL for the function (no
+        // value yet), fill it in place; otherwise insert a repeated
+        // record.
+        if representative.get_or_null(function).is_null() {
+            store
+                .execute(&Request::Update {
+                    query: entity_query(&file, key),
+                    modifier: abdl::Modifier::new(function.to_owned(), value),
+                })
+                .map_err(wrap_kernel)?;
+        } else {
+            let mut dup = representative.clone();
+            dup.set(function.to_owned(), value);
+            store.execute(&Request::Insert { record: dup }).map_err(wrap_kernel)?;
+        }
+        Ok(())
+    }
+
+    /// Establish an entity-valued relationship `function(from) = to`.
+    ///
+    /// * single-valued: updates the member-side attribute of `from`;
+    /// * one-to-many multi-valued: updates the member-side attribute of
+    ///   the *range* entity `to`;
+    /// * many-to-many: inserts a `LINK_X` pair record.
+    pub fn link<K: Kernel>(
+        &mut self,
+        store: &mut K,
+        entity_type: &str,
+        from_key: i64,
+        function: &str,
+        to_key: i64,
+    ) -> Result<()> {
+        let f = self.schema.require_function(entity_type, function)?.clone();
+        match fn_storage(&self.schema, entity_type, &f)? {
+            FnStorage::MemberAttr { file, .. } => {
+                let resp = store
+                    .execute(&Request::Update {
+                        query: entity_query(&file, from_key),
+                        modifier: abdl::Modifier::new(function.to_owned(), Value::Int(to_key)),
+                    })
+                    .map_err(wrap_kernel)?;
+                if resp.affected == 0 {
+                    return Err(Error::UnknownEntity(format!("entity #{from_key} of `{file}`")));
+                }
+                Ok(())
+            }
+            FnStorage::RangeMemberAttr { file, .. } => {
+                let resp = store
+                    .execute(&Request::Update {
+                        query: entity_query(&file, to_key),
+                        modifier: abdl::Modifier::new(function.to_owned(), Value::Int(from_key)),
+                    })
+                    .map_err(wrap_kernel)?;
+                if resp.affected == 0 {
+                    return Err(Error::UnknownEntity(format!("entity #{to_key} of `{file}`")));
+                }
+                Ok(())
+            }
+            FnStorage::Link { pair } => {
+                let (left_key, right_key) = if pair.left_entity
+                    == self.schema.declaring_type(entity_type, function).expect("declared")
+                    && pair.left_function == function
+                {
+                    (from_key, to_key)
+                } else {
+                    (to_key, from_key)
+                };
+                let link_key = self.reserve_key(store);
+                let mut rec = Record::new();
+                rec.set(FILE_ATTR, Value::str(pair.link.clone()));
+                rec.set(names::key_attr(&pair.link).to_owned(), Value::Int(link_key));
+                rec.set(pair.left_function.clone(), Value::Int(left_key));
+                rec.set(pair.right_function.clone(), Value::Int(right_key));
+                store.execute(&Request::Insert { record: rec }).map_err(wrap_kernel)?;
+                Ok(())
+            }
+            other => Err(Error::ValueOutOfRange {
+                function: function.to_owned(),
+                got: to_key.to_string(),
+                why: format!("not an entity-valued function (storage {other:?})"),
+            }),
+        }
+    }
+
+    /// Remove an entity-valued relationship `function(from) = to`:
+    /// the inverse of [`Loader::link`]. Single-valued and one-to-many
+    /// functions have their member-side attribute nulled; many-to-many
+    /// pairs have the matching `LINK_X` records deleted.
+    pub fn unlink<K: Kernel>(
+        &mut self,
+        store: &mut K,
+        entity_type: &str,
+        from_key: i64,
+        function: &str,
+        to_key: i64,
+    ) -> Result<()> {
+        let f = self.schema.require_function(entity_type, function)?.clone();
+        match fn_storage(&self.schema, entity_type, &f)? {
+            FnStorage::MemberAttr { file, .. } => {
+                let q = entity_query(&file, from_key)
+                    .and_predicate(Predicate::eq(function.to_owned(), Value::Int(to_key)));
+                store
+                    .execute(&Request::Update {
+                        query: q,
+                        modifier: abdl::Modifier::new(function.to_owned(), Value::Null),
+                    })
+                    .map_err(wrap_kernel)?;
+                Ok(())
+            }
+            FnStorage::RangeMemberAttr { file, .. } => {
+                let q = entity_query(&file, to_key)
+                    .and_predicate(Predicate::eq(function.to_owned(), Value::Int(from_key)));
+                store
+                    .execute(&Request::Update {
+                        query: q,
+                        modifier: abdl::Modifier::new(function.to_owned(), Value::Null),
+                    })
+                    .map_err(wrap_kernel)?;
+                Ok(())
+            }
+            FnStorage::Link { pair } => {
+                let (left_key, right_key) = if pair.left_entity
+                    == self.schema.declaring_type(entity_type, function).expect("declared")
+                    && pair.left_function == function
+                {
+                    (from_key, to_key)
+                } else {
+                    (to_key, from_key)
+                };
+                let q = Query::conjunction(vec![
+                    Predicate::eq(FILE_ATTR, Value::str(pair.link.clone())),
+                    Predicate::eq(pair.left_function.clone(), Value::Int(left_key)),
+                    Predicate::eq(pair.right_function.clone(), Value::Int(right_key)),
+                ]);
+                store.execute(&Request::Delete { query: q }).map_err(wrap_kernel)?;
+                Ok(())
+            }
+            other => Err(Error::ValueOutOfRange {
+                function: function.to_owned(),
+                got: to_key.to_string(),
+                why: format!("not an entity-valued function (storage {other:?})"),
+            }),
+        }
+    }
+
+    /// DESTROY an entity: delete its records from its file and every
+    /// subtype file in its hierarchy ("the entire hierarchy of the
+    /// entity type is deleted"), aborting when the entity "is
+    /// referenced by a database function".
+    pub fn destroy<K: Kernel>(&mut self, store: &mut K, entity_type: &str, key: i64) -> Result<()> {
+        self.schema.require_entity_like(entity_type)?;
+        // The entity's hierarchy: its type, ancestors, and (transitive)
+        // subtypes — keys are shared within this set of files.
+        let mut hierarchy = vec![entity_type.to_owned()];
+        hierarchy.extend(self.schema.ancestors(entity_type));
+        // Include sibling subtypes reachable through ancestors: the
+        // entity may have been specialized into several terminal
+        // subtypes (overlap constraints permitting), and all of its
+        // records share the key.
+        for name in hierarchy.clone() {
+            collect_subtypes(&self.schema, &name, &mut hierarchy);
+        }
+
+        // Reference check (stored-pointer semantics, see DESIGN.md): a
+        // member-side attribute named `f` holds keys of the *owner* of
+        // set `f`. The entity is referenced when some attribute whose
+        // owner type lies in its hierarchy holds `key` — excluding the
+        // entity's own records (self-references die with the entity).
+        for name in self.schema.entity_like_names() {
+            for f in self.schema.own_functions(name) {
+                let storage = fn_storage(&self.schema, name, f)?;
+                let (file, owner) = match &storage {
+                    FnStorage::MemberAttr { file, owner } => (file.clone(), owner.clone()),
+                    FnStorage::RangeMemberAttr { file, owner } => (file.clone(), owner.clone()),
+                    FnStorage::Link { pair } => {
+                        let owner = if pair.left_function == f.name {
+                            pair.left_entity.clone()
+                        } else {
+                            pair.right_entity.clone()
+                        };
+                        (pair.link.clone(), owner)
+                    }
+                    _ => continue,
+                };
+                if !hierarchy.contains(&owner) {
+                    continue;
+                }
+                let mut q = Query::conjunction(vec![
+                    Predicate::eq(FILE_ATTR, Value::str(file.clone())),
+                    Predicate::eq(f.name.clone(), Value::Int(key)),
+                ]);
+                if hierarchy.contains(&file) {
+                    // Exclude the entity's own records.
+                    q = q.and_predicate(Predicate::new(
+                        names::key_attr(&file).to_owned(),
+                        abdl::RelOp::Ne,
+                        Value::Int(key),
+                    ));
+                }
+                let resp = store.execute(&Request::retrieve_all(q)).map_err(wrap_kernel)?;
+                if !resp.records().is_empty() {
+                    return Err(Error::DestroyReferenced {
+                        entity: entity_type.to_owned(),
+                        function: f.name.clone(),
+                    });
+                }
+            }
+        }
+        // Delete the entity's records from every file of its hierarchy.
+        for file in hierarchy {
+            store
+                .execute(&Request::Delete { query: entity_query(&file, key) })
+                .map_err(wrap_kernel)?;
+        }
+        Ok(())
+    }
+}
+
+fn collect_subtypes(schema: &FunctionalSchema, name: &str, out: &mut Vec<String>) {
+    for sub in schema.direct_subtypes(name) {
+        if !out.contains(&sub.name) {
+            out.push(sub.name.clone());
+            collect_subtypes(schema, &sub.name, out);
+        }
+    }
+}
+
+/// The query addressing every kernel record of entity `key` in `file`
+/// (repeated records included).
+pub fn entity_query(file: &str, key: i64) -> Query {
+    Query::conjunction(vec![
+        Predicate::eq(FILE_ATTR, Value::str(file)),
+        Predicate::eq(names::key_attr(file).to_owned(), Value::Int(key)),
+    ])
+}
+
+fn entity_in_file<K: Kernel>(store: &mut K, file: &str, key: i64) -> bool {
+    store
+        .execute(&Request::retrieve_all(entity_query(file, key)))
+        .map(|r| !r.records().is_empty())
+        .unwrap_or(false)
+}
+
+fn wrap_kernel(e: abdl::Error) -> Error {
+    Error::Kernel(e)
+}
+
+impl crate::schema::OverlapConstraint {
+    /// True when `a` and `b` may overlap under this constraint.
+    pub fn allows_pair(&self, a: &str, b: &str) -> bool {
+        let l = |s: &str| self.left.iter().any(|x| x == s);
+        let r = |s: &str| self.right.iter().any(|x| x == s);
+        (l(a) && r(b)) || (l(b) && r(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::university;
+    use abdl::Store;
+
+    fn setup() -> (Loader, Store) {
+        let schema = university::schema();
+        let mut store = Store::new();
+        install(&schema, &mut store);
+        (Loader::new(schema), store)
+    }
+
+    #[test]
+    fn create_subtype_entity_populates_hierarchy() {
+        let (mut loader, mut store) = setup();
+        let key = loader
+            .create_entity(
+                &mut store,
+                "student",
+                &[
+                    ("name", Value::str("Jones")),
+                    ("age", Value::Int(21)),
+                    ("major", Value::str("Computer Science")),
+                ],
+            )
+            .unwrap();
+        // Person record with the scalar declared on person.
+        let person = store
+            .execute(&Request::retrieve_all(entity_query("person", key)))
+            .unwrap();
+        assert_eq!(person.records().len(), 1);
+        let prec = &person.records()[0].1;
+        assert_eq!(prec.get("name"), Some(&Value::str("Jones")));
+        assert_eq!(prec.get("system_person"), Some(&Value::Int(0)));
+        // Student record with the subtype scalar and the ISA attribute.
+        let student = store
+            .execute(&Request::retrieve_all(entity_query("student", key)))
+            .unwrap();
+        let srec = &student.records()[0].1;
+        assert_eq!(srec.get("major"), Some(&Value::str("Computer Science")));
+        assert_eq!(srec.get("person_student"), Some(&Value::Int(key)));
+        assert!(srec.get("system_student").is_none());
+    }
+
+    #[test]
+    fn value_routed_to_declaring_file() {
+        let (mut loader, mut store) = setup();
+        let fkey = loader
+            .create_entity(&mut store, "faculty", &[
+                ("ename", Value::str("Hsiao")),
+                ("rank", Value::str("full")),
+            ])
+            .unwrap();
+        // ename is declared on employee: must live in the employee file.
+        let emp =
+            store.execute(&Request::retrieve_all(entity_query("employee", fkey))).unwrap();
+        assert_eq!(emp.records()[0].1.get("ename"), Some(&Value::str("Hsiao")));
+        let fac = store.execute(&Request::retrieve_all(entity_query("faculty", fkey))).unwrap();
+        assert!(fac.records()[0].1.get("ename").is_none());
+        assert_eq!(fac.records()[0].1.get("rank"), Some(&Value::str("full")));
+    }
+
+    #[test]
+    fn single_valued_function_is_member_side() {
+        let (mut loader, mut store) = setup();
+        let f = loader.create_entity(&mut store, "faculty", &[]).unwrap();
+        let s = loader.create_entity(&mut store, "student", &[]).unwrap();
+        loader.link(&mut store, "student", s, "advisor", f).unwrap();
+        let student = store.execute(&Request::retrieve_all(entity_query("student", s))).unwrap();
+        assert_eq!(student.records()[0].1.get("advisor"), Some(&Value::Int(f)));
+    }
+
+    #[test]
+    fn many_to_many_goes_through_link_file() {
+        let (mut loader, mut store) = setup();
+        let f = loader.create_entity(&mut store, "faculty", &[]).unwrap();
+        let c1 = loader.create_entity(&mut store, "course", &[("title", Value::str("DB"))]).unwrap();
+        let c2 = loader.create_entity(&mut store, "course", &[("title", Value::str("OS"))]).unwrap();
+        loader.link(&mut store, "faculty", f, "teaching", c1).unwrap();
+        // Linking from the inverse side lands in the same pair file.
+        loader.link(&mut store, "course", c2, "taught_by", f).unwrap();
+        let links = store
+            .execute(&Request::retrieve_all(Query::conjunction(vec![Predicate::eq(
+                FILE_ATTR, "LINK_1",
+            )])))
+            .unwrap();
+        assert_eq!(links.records().len(), 2);
+        for (_, rec) in links.records() {
+            assert_eq!(rec.get("teaching"), Some(&Value::Int(f)));
+            assert!(matches!(rec.get("taught_by"), Some(Value::Int(k)) if *k == c1 || *k == c2));
+        }
+    }
+
+    #[test]
+    fn scalar_multi_valued_repeats_records() {
+        let (mut loader, mut store) = setup();
+        let f = loader.create_entity(&mut store, "faculty", &[("rank", Value::str("full"))]).unwrap();
+        loader.add_scalar_value(&mut store, "faculty", f, "degrees", Value::str("BS")).unwrap();
+        loader.add_scalar_value(&mut store, "faculty", f, "degrees", Value::str("PhD")).unwrap();
+        let recs = store.execute(&Request::retrieve_all(entity_query("faculty", f))).unwrap();
+        assert_eq!(recs.records().len(), 2, "two repeated records for two degrees");
+        // The non-multi-valued attributes are repeated in every record.
+        for (_, rec) in recs.records() {
+            assert_eq!(rec.get("rank"), Some(&Value::str("full")));
+        }
+        let degrees: Vec<&Value> =
+            recs.records().iter().map(|(_, r)| r.get_or_null("degrees")).collect();
+        assert!(degrees.contains(&&Value::str("BS")));
+        assert!(degrees.contains(&&Value::str("PhD")));
+    }
+
+    #[test]
+    fn overlap_constraint_enforced_on_specialize() {
+        let (mut loader, mut store) = setup();
+        // faculty and support_staff are declared overlappable in the
+        // university schema — allowed.
+        let e = loader.create_entity(&mut store, "faculty", &[]).unwrap();
+        loader.specialize(&mut store, e, "support_staff", &[]).unwrap();
+        // student/faculty share no hierarchy: not an overlap question.
+        // Add a non-overlappable sibling to prove rejection: remove the
+        // overlap constraint and retry.
+        let mut schema2 = loader.schema().clone();
+        schema2.overlaps.clear();
+        let mut loader2 = Loader::new(schema2);
+        let mut store2 = Store::new();
+        install(loader2.schema(), &mut store2);
+        let e2 = loader2.create_entity(&mut store2, "faculty", &[]).unwrap();
+        let err = loader2.specialize(&mut store2, e2, "support_staff", &[]).unwrap_err();
+        assert!(matches!(err, Error::OverlapViolation { .. }));
+    }
+
+    #[test]
+    fn destroy_removes_hierarchy_and_respects_references() {
+        let (mut loader, mut store) = setup();
+        let f = loader.create_entity(&mut store, "faculty", &[]).unwrap();
+        let s = loader.create_entity(&mut store, "student", &[]).unwrap();
+        loader.link(&mut store, "student", s, "advisor", f).unwrap();
+        // Faculty is referenced by advisor(s): DESTROY aborts.
+        let err = loader.destroy(&mut store, "faculty", f).unwrap_err();
+        assert!(matches!(err, Error::DestroyReferenced { .. }));
+        // Destroying the student first clears the reference.
+        loader.destroy(&mut store, "student", s).unwrap();
+        loader.destroy(&mut store, "faculty", f).unwrap();
+        assert_eq!(store.file_len("faculty"), 0);
+        assert_eq!(store.file_len("employee"), 0);
+        assert_eq!(store.file_len("student"), 0);
+        assert_eq!(store.file_len("person"), 0);
+    }
+
+    #[test]
+    fn range_violations_rejected_at_create() {
+        let (mut loader, mut store) = setup();
+        let err = loader
+            .create_entity(&mut store, "person", &[("age", Value::Int(7))])
+            .unwrap_err();
+        assert!(matches!(err, Error::ValueOutOfRange { .. }));
+    }
+
+    #[test]
+    fn uniqueness_constraint_installed() {
+        let (mut loader, mut store) = setup();
+        loader
+            .create_entity(&mut store, "course", &[
+                ("title", Value::str("DB")),
+                ("semester", Value::str("F87")),
+            ])
+            .unwrap();
+        let err = loader
+            .create_entity(&mut store, "course", &[
+                ("title", Value::str("DB")),
+                ("semester", Value::str("F87")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, Error::Kernel(abdl::Error::DuplicateKey { .. })));
+        // Different semester is fine.
+        loader
+            .create_entity(&mut store, "course", &[
+                ("title", Value::str("DB")),
+                ("semester", Value::str("S88")),
+            ])
+            .unwrap();
+    }
+}

@@ -1,0 +1,937 @@
+//! A Daplex DML subset — the MLDS functional language interface.
+//!
+//! The thesis builds on the existing Daplex interface of MLDS (Refs 19,
+//! 21); this module provides that substrate: a small Daplex-flavoured
+//! manipulation language translated onto the `AB(functional)` kernel
+//! layout. Statements:
+//!
+//! ```text
+//! FOR EACH student SUCH THAT major(student) = 'Computer Science'
+//!     PRINT name(student), gpa(student);
+//! CREATE student (name := 'Jones', age := 21, major := 'CS');
+//! ASSIGN gpa(student) := 3.9 SUCH THAT name(student) = 'Jones';
+//! DESTROY student SUCH THAT name(student) = 'Jones';
+//! INCLUDE course SUCH THAT title(course) = 'DB'
+//!     IN teaching(faculty) SUCH THAT ename(faculty) = 'Hsiao';
+//! EXCLUDE course SUCH THAT title(course) = 'DB'
+//!     IN teaching(faculty) SUCH THAT ename(faculty) = 'Hsiao';
+//! ```
+//!
+//! Predicates compare *scalar* functions (own or inherited) against
+//! literals; inherited functions transparently join through the
+//! ancestor files on the shared artificial key.
+
+use crate::ab_map::{entity_query, fn_storage, FnStorage, Loader};
+use crate::error::{Error, Result};
+use crate::lex::{Cursor, Tok};
+use crate::names;
+use abdl::{Kernel, Predicate, Query, RelOp, Request, Value, FILE_ATTR};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A predicate `f1(f2(…(var)…)) relop literal` — Daplex's function
+/// composition. `path` is outermost-first: `dname(dept(faculty))` is
+/// `["dname", "dept"]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnPredicate {
+    /// The applied function path, outermost first (length ≥ 1).
+    pub path: Vec<String>,
+    /// Relational operator.
+    pub op: RelOp,
+    /// Literal compared against.
+    pub value: Value,
+}
+
+impl FnPredicate {
+    /// The outermost (scalar) function of the path.
+    pub fn function(&self) -> &str {
+        &self.path[0]
+    }
+}
+
+impl fmt::Display for FnPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.path {
+            write!(f, "{p}(")?;
+        }
+        write!(f, "x")?;
+        for _ in &self.path {
+            write!(f, ")")?;
+        }
+        write!(f, " {} {}", self.op, self.value)
+    }
+}
+
+/// One entity designator: a type plus a (possibly empty) SUCH THAT
+/// conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Designator {
+    /// The entity type or subtype ranged over.
+    pub entity: String,
+    /// Conjoined predicates (empty = every entity of the type).
+    pub predicates: Vec<FnPredicate>,
+}
+
+/// A Daplex DML statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaplexStatement {
+    /// `FOR EACH d PRINT f1(x), …, fn(x);` — print items may be
+    /// composed paths like `dname(dept(x))`.
+    ForEach {
+        /// What to iterate.
+        designator: Designator,
+        /// Function paths printed per entity (outermost first).
+        print: Vec<Vec<String>>,
+    },
+    /// `CREATE type (f1 := v1, …);`
+    Create {
+        /// Entity type created.
+        entity: String,
+        /// Function assignments.
+        values: Vec<(String, Value)>,
+    },
+    /// `ASSIGN f(type) := v SUCH THAT …;`
+    Assign {
+        /// Target designator (the type carries the SUCH THAT).
+        designator: Designator,
+        /// Function assigned.
+        function: String,
+        /// New value.
+        value: Value,
+    },
+    /// `DESTROY d;`
+    Destroy {
+        /// What to destroy.
+        designator: Designator,
+    },
+    /// `INCLUDE member-designator IN f(owner-type) SUCH THAT …;`
+    Include {
+        /// The entity being included (the function's argument side
+        /// resolves through [`Loader::link`]).
+        member: Designator,
+        /// The multi-valued (or single-valued) function.
+        function: String,
+        /// The entity whose function set gains the member.
+        owner: Designator,
+    },
+    /// `EXCLUDE member-designator IN f(owner-type) SUCH THAT …;`
+    Exclude {
+        /// The entity being excluded.
+        member: Designator,
+        /// The function.
+        function: String,
+        /// The entity whose function set loses the member.
+        owner: Designator,
+    },
+}
+
+/// One row of FOR EACH output: the entity key plus the printed values
+/// (set-valued functions print every value, comma-joined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The entity's artificial key.
+    pub key: i64,
+    /// Printed values, in PRINT order.
+    pub values: Vec<Value>,
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// FOR EACH rows.
+    Rows(Vec<Row>),
+    /// Keys affected by CREATE/ASSIGN/DESTROY/INCLUDE/EXCLUDE.
+    Affected(Vec<i64>),
+}
+
+// ----- parsing -------------------------------------------------------
+
+/// Parse a sequence of Daplex DML statements.
+pub fn parse_statements(src: &str) -> Result<Vec<DaplexStatement>> {
+    let mut c = Cursor::new(src)?;
+    let mut out = Vec::new();
+    while *c.peek() == Tok::Semi {
+        c.bump();
+    }
+    while !c.at_eof() {
+        out.push(parse_statement(&mut c)?);
+        while *c.peek() == Tok::Semi {
+            c.bump();
+        }
+    }
+    Ok(out)
+}
+
+fn parse_statement(c: &mut Cursor) -> Result<DaplexStatement> {
+    if c.eat_kw("FOR") {
+        c.expect_kw("EACH")?;
+        let designator = parse_designator(c)?;
+        c.expect_kw("PRINT")?;
+        let print = parse_fn_list(c)?;
+        c.expect_tok(Tok::Semi, "`;`")?;
+        return Ok(DaplexStatement::ForEach { designator, print });
+    }
+    if c.eat_kw("CREATE") {
+        let entity = c.name("entity type")?;
+        c.expect_tok(Tok::LParen, "`(` opening assignments")?;
+        let mut values = Vec::new();
+        loop {
+            let f = c.name("function name")?;
+            c.expect_tok(Tok::Assign, "`:=`")?;
+            values.push((f, parse_literal(c)?));
+            if *c.peek() == Tok::Comma {
+                c.bump();
+            } else {
+                break;
+            }
+        }
+        c.expect_tok(Tok::RParen, "`)` closing assignments")?;
+        c.expect_tok(Tok::Semi, "`;`")?;
+        return Ok(DaplexStatement::Create { entity, values });
+    }
+    if c.eat_kw("ASSIGN") {
+        let function = c.name("function name")?;
+        c.expect_tok(Tok::LParen, "`(`")?;
+        let entity = c.name("entity type")?;
+        c.expect_tok(Tok::RParen, "`)`")?;
+        c.expect_tok(Tok::Assign, "`:=`")?;
+        let value = parse_literal(c)?;
+        let predicates = parse_such_that(c, &entity)?;
+        c.expect_tok(Tok::Semi, "`;`")?;
+        return Ok(DaplexStatement::Assign {
+            designator: Designator { entity, predicates },
+            function,
+            value,
+        });
+    }
+    if c.eat_kw("DESTROY") {
+        let designator = parse_designator(c)?;
+        c.expect_tok(Tok::Semi, "`;`")?;
+        return Ok(DaplexStatement::Destroy { designator });
+    }
+    let include = if c.eat_kw("INCLUDE") {
+        true
+    } else if c.eat_kw("EXCLUDE") {
+        false
+    } else {
+        return Err(c.err(format!(
+            "expected FOR EACH, CREATE, ASSIGN, DESTROY, INCLUDE or EXCLUDE, found {:?}",
+            c.peek()
+        )));
+    };
+    let member = parse_designator(c)?;
+    c.expect_kw("IN")?;
+    let function = c.name("function name")?;
+    c.expect_tok(Tok::LParen, "`(`")?;
+    let owner_entity = c.name("entity type")?;
+    c.expect_tok(Tok::RParen, "`)`")?;
+    let owner_preds = parse_such_that(c, &owner_entity)?;
+    c.expect_tok(Tok::Semi, "`;`")?;
+    let owner = Designator { entity: owner_entity, predicates: owner_preds };
+    Ok(if include {
+        DaplexStatement::Include { member, function, owner }
+    } else {
+        DaplexStatement::Exclude { member, function, owner }
+    })
+}
+
+fn parse_designator(c: &mut Cursor) -> Result<Designator> {
+    let entity = c.name("entity type")?;
+    let predicates = parse_such_that(c, &entity)?;
+    Ok(Designator { entity, predicates })
+}
+
+fn parse_such_that(c: &mut Cursor, entity: &str) -> Result<Vec<FnPredicate>> {
+    if !c.eat_kw("SUCH") {
+        return Ok(Vec::new());
+    }
+    c.expect_kw("THAT")?;
+    let mut preds = Vec::new();
+    loop {
+        // A function path: f1(f2(…(var)…)).
+        let mut path = vec![c.name("function name")?];
+        c.expect_tok(Tok::LParen, "`(`")?;
+        let mut depth = 1usize;
+        loop {
+            let word = c.name("function name or entity variable")?;
+            if *c.peek() == Tok::LParen {
+                c.bump();
+                depth += 1;
+                path.push(word);
+                continue;
+            }
+            // Innermost word is the entity variable.
+            if word != entity {
+                return Err(c.err(format!(
+                    "predicate variable `{word}` does not match designator type `{entity}`"
+                )));
+            }
+            break;
+        }
+        for _ in 0..depth {
+            c.expect_tok(Tok::RParen, "`)`")?;
+        }
+        let op = match c.bump() {
+            Tok::Eq => RelOp::Eq,
+            Tok::Ne => RelOp::Ne,
+            Tok::Lt => RelOp::Lt,
+            Tok::Le => RelOp::Le,
+            Tok::Gt => RelOp::Gt,
+            Tok::Ge => RelOp::Ge,
+            other => return Err(c.err(format!("expected relational operator, found {other:?}"))),
+        };
+        let value = parse_literal(c)?;
+        preds.push(FnPredicate { path, op, value });
+        if !c.eat_kw("AND") {
+            break;
+        }
+    }
+    Ok(preds)
+}
+
+fn parse_fn_list(c: &mut Cursor) -> Result<Vec<Vec<String>>> {
+    let mut out = Vec::new();
+    loop {
+        let mut path = vec![c.name("function name")?];
+        // Optional (possibly nested) application syntax: f(g(var)).
+        if *c.peek() == Tok::LParen {
+            c.bump();
+            let mut depth = 1usize;
+            loop {
+                let word = c.name("function name or entity variable")?;
+                if *c.peek() == Tok::LParen {
+                    c.bump();
+                    depth += 1;
+                    path.push(word);
+                } else {
+                    break; // innermost word is the entity variable
+                }
+            }
+            for _ in 0..depth {
+                c.expect_tok(Tok::RParen, "`)`")?;
+            }
+        }
+        out.push(path);
+        if *c.peek() == Tok::Comma {
+            c.bump();
+        } else {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_literal(c: &mut Cursor) -> Result<Value> {
+    let v = match c.peek().clone() {
+        Tok::Int(i) => Value::Int(i),
+        Tok::Float(f) => Value::Float(f),
+        Tok::Str(s) => Value::Str(s),
+        Tok::Word(w) if w.eq_ignore_ascii_case("NULL") => Value::Null,
+        Tok::Word(w) if w.eq_ignore_ascii_case("TRUE") => Value::str("true"),
+        Tok::Word(w) if w.eq_ignore_ascii_case("FALSE") => Value::str("false"),
+        other => return Err(c.err(format!("expected literal, found {other:?}"))),
+    };
+    c.bump();
+    Ok(v)
+}
+
+/// Render a multi-valued path result as a single display value (one
+/// value stays itself; several join comma-separated, like set-valued
+/// read_function results).
+fn join_values(mut vals: Vec<Value>) -> Value {
+    match vals.len() {
+        0 => Value::Null,
+        1 => vals.pop().expect("one value"),
+        _ => Value::Str(
+            vals.iter()
+                .map(|v| match v {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+    }
+}
+
+// ----- execution -----------------------------------------------------
+
+/// The Daplex DML interpreter: resolves designators to entity keys on
+/// the `AB(functional)` store and applies [`Loader`] operations.
+pub struct Interpreter<'a, K: Kernel> {
+    loader: &'a mut Loader,
+    store: &'a mut K,
+}
+
+impl<'a, K: Kernel> Interpreter<'a, K> {
+    /// Wrap a loader and its kernel.
+    pub fn new(loader: &'a mut Loader, store: &'a mut K) -> Self {
+        Interpreter { loader, store }
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, stmt: &DaplexStatement) -> Result<Outcome> {
+        match stmt {
+            DaplexStatement::ForEach { designator, print } => {
+                let keys = self.resolve(designator)?;
+                let mut rows = Vec::with_capacity(keys.len());
+                for key in keys {
+                    let mut values = Vec::with_capacity(print.len());
+                    for path in print {
+                        if path.len() == 1 {
+                            values.push(self.read_function(&designator.entity, key, &path[0])?);
+                        } else {
+                            let vals = self.path_values(&designator.entity, key, path)?;
+                            values.push(join_values(vals));
+                        }
+                    }
+                    rows.push(Row { key, values });
+                }
+                Ok(Outcome::Rows(rows))
+            }
+            DaplexStatement::Create { entity, values } => {
+                let pairs: Vec<(&str, Value)> =
+                    values.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
+                let key = self.loader.create_entity(self.store, entity, &pairs)?;
+                Ok(Outcome::Affected(vec![key]))
+            }
+            DaplexStatement::Assign { designator, function, value } => {
+                let keys = self.resolve(designator)?;
+                for &key in &keys {
+                    self.loader.set_function(
+                        self.store,
+                        &designator.entity,
+                        key,
+                        function,
+                        value.clone(),
+                    )?;
+                }
+                Ok(Outcome::Affected(keys))
+            }
+            DaplexStatement::Destroy { designator } => {
+                let keys = self.resolve(designator)?;
+                for &key in &keys {
+                    self.loader.destroy(self.store, &designator.entity, key)?;
+                }
+                Ok(Outcome::Affected(keys))
+            }
+            DaplexStatement::Include { member, function, owner } => {
+                self.in_or_exclude(member, function, owner, true)
+            }
+            DaplexStatement::Exclude { member, function, owner } => {
+                self.in_or_exclude(member, function, owner, false)
+            }
+        }
+    }
+
+    fn in_or_exclude(
+        &mut self,
+        member: &Designator,
+        function: &str,
+        owner: &Designator,
+        include: bool,
+    ) -> Result<Outcome> {
+        let member_keys = self.resolve(member)?;
+        let owner_keys = self.resolve(owner)?;
+        // `INCLUDE m IN f(o)`: `f` is usually declared on `o` (a
+        // set-valued function), but for set-derived single-valued
+        // functions (reverse-transformed network sets) it lives on the
+        // member and ranges over `o` — accept both orientations.
+        let schema = self.loader.schema().clone();
+        let on_owner = schema.function(&owner.entity, function).is_some();
+        let on_member = !on_owner
+            && schema
+                .function(&member.entity, function)
+                .is_some_and(|f| schema.entity_range(f) == Some(owner.entity.as_str()));
+        if !on_owner && !on_member {
+            return Err(Error::UnknownFunction {
+                entity: owner.entity.clone(),
+                function: function.to_owned(),
+            });
+        }
+        let mut affected = Vec::new();
+        for &o in &owner_keys {
+            for &m in &member_keys {
+                let (ty, from, to) = if on_owner {
+                    (&owner.entity, o, m)
+                } else {
+                    (&member.entity, m, o)
+                };
+                if include {
+                    self.loader.link(self.store, ty, from, function, to)?;
+                } else {
+                    self.loader.unlink(self.store, ty, from, function, to)?;
+                }
+                affected.push(m);
+            }
+        }
+        Ok(Outcome::Affected(affected))
+    }
+
+    /// Resolve a designator to the sorted set of matching entity keys.
+    pub fn resolve(&mut self, d: &Designator) -> Result<Vec<i64>> {
+        let schema = self.loader.schema().clone();
+        schema.require_entity_like(&d.entity)?;
+        // Start with every key present in the designator's own file.
+        let mut keys = self.keys_in_file(&d.entity, None)?;
+        for pred in &d.predicates {
+            if pred.path.len() == 1 {
+                // Single function: filter kernel-side (index-assisted).
+                let f = schema.require_function(&d.entity, pred.function())?.clone();
+                let file = match fn_storage(&schema, &d.entity, &f)? {
+                    FnStorage::ScalarAttr { file }
+                    | FnStorage::ScalarMultiAttr { file }
+                    | FnStorage::MemberAttr { file, .. } => file,
+                    other => {
+                        return Err(Error::ValueOutOfRange {
+                            function: pred.function().to_owned(),
+                            got: pred.value.to_string(),
+                            why: format!("cannot apply predicates to storage {other:?}"),
+                        })
+                    }
+                };
+                let matching = self.keys_in_file(
+                    &file,
+                    Some(Predicate::new(pred.function().to_owned(), pred.op, pred.value.clone())),
+                )?;
+                keys.retain(|k| matching.contains(k));
+            } else {
+                // Function composition: evaluate the path per entity;
+                // set-valued steps are existential ("some related
+                // entity satisfies").
+                let mut surviving = BTreeSet::new();
+                for &k in &keys {
+                    let values = self.path_values(&d.entity, k, &pred.path)?;
+                    if values.iter().any(|v| pred.op.eval(v, &pred.value)) {
+                        surviving.insert(k);
+                    }
+                }
+                keys = surviving;
+            }
+        }
+        Ok(keys.into_iter().collect())
+    }
+
+    /// Evaluate a function path (outermost first) on one entity: the
+    /// entity-valued inner steps are followed through the kernel, then
+    /// the outermost function's value(s) are returned. Set-valued steps
+    /// fan out (all related entities contribute).
+    pub fn path_values(&mut self, entity: &str, key: i64, path: &[String]) -> Result<Vec<Value>> {
+        let mut ty = entity.to_owned();
+        let mut keys = vec![key];
+        // Inner steps (innermost first): all must be entity-valued.
+        for f in path.iter().skip(1).rev() {
+            let mut next_ty = None;
+            let mut next_keys = BTreeSet::new();
+            for &k in &keys {
+                let (target, related) = self.related_keys(&ty, k, f)?;
+                next_ty = Some(target);
+                next_keys.extend(related);
+            }
+            match next_ty {
+                Some(t) => {
+                    ty = t;
+                    keys = next_keys.into_iter().collect();
+                }
+                None => {
+                    // No entities left to follow; resolve the target
+                    // type for the remaining steps anyway.
+                    let schema = self.loader.schema().clone();
+                    let func = schema.require_function(&ty, f)?;
+                    ty = schema
+                        .entity_range(func)
+                        .ok_or_else(|| Error::UnknownFunction {
+                            entity: ty.clone(),
+                            function: f.clone(),
+                        })?
+                        .to_owned();
+                    keys = Vec::new();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for &k in &keys {
+            out.extend(self.scalar_values(&ty, k, &path[0])?);
+        }
+        Ok(out)
+    }
+
+    /// Follow an entity-valued function from one entity: returns the
+    /// target entity type and the related keys.
+    fn related_keys(&mut self, entity: &str, key: i64, function: &str) -> Result<(String, Vec<i64>)> {
+        let schema = self.loader.schema().clone();
+        let f = schema.require_function(entity, function)?.clone();
+        let range = schema
+            .entity_range(&f)
+            .ok_or_else(|| Error::ValueOutOfRange {
+                function: function.to_owned(),
+                got: format!("#{key}"),
+                why: "inner path steps must be entity-valued".into(),
+            })?
+            .to_owned();
+        match fn_storage(&schema, entity, &f)? {
+            FnStorage::MemberAttr { file, .. } => {
+                let resp = self
+                    .store
+                    .execute(&Request::retrieve_all(entity_query(&file, key)))
+                    .map_err(Error::Kernel)?;
+                let keys: BTreeSet<i64> = resp
+                    .records()
+                    .iter()
+                    .filter_map(|(_, r)| r.get(function).and_then(Value::as_int))
+                    .collect();
+                Ok((range, keys.into_iter().collect()))
+            }
+            FnStorage::RangeMemberAttr { file, .. } => {
+                let q = Query::conjunction(vec![
+                    Predicate::eq(FILE_ATTR, Value::str(file.clone())),
+                    Predicate::eq(function.to_owned(), Value::Int(key)),
+                ]);
+                let resp = self
+                    .store
+                    .execute(&Request::retrieve_all(q))
+                    .map_err(Error::Kernel)?;
+                let keys: BTreeSet<i64> = resp
+                    .records()
+                    .iter()
+                    .filter_map(|(_, r)| r.get(names::key_attr(&file)).and_then(Value::as_int))
+                    .collect();
+                Ok((range, keys.into_iter().collect()))
+            }
+            FnStorage::Link { pair } => {
+                let (own_attr, other_attr) = if pair.left_function == f.name {
+                    (pair.left_function.clone(), pair.right_function.clone())
+                } else {
+                    (pair.right_function.clone(), pair.left_function.clone())
+                };
+                let q = Query::conjunction(vec![
+                    Predicate::eq(FILE_ATTR, Value::str(pair.link.clone())),
+                    Predicate::eq(own_attr, Value::Int(key)),
+                ]);
+                let resp = self
+                    .store
+                    .execute(&Request::retrieve_all(q))
+                    .map_err(Error::Kernel)?;
+                let keys: BTreeSet<i64> = resp
+                    .records()
+                    .iter()
+                    .filter_map(|(_, r)| r.get(&other_attr).and_then(Value::as_int))
+                    .collect();
+                Ok((range, keys.into_iter().collect()))
+            }
+            other => Err(Error::ValueOutOfRange {
+                function: function.to_owned(),
+                got: format!("#{key}"),
+                why: format!("inner path steps must be entity-valued (storage {other:?})"),
+            }),
+        }
+    }
+
+    /// All raw values of a function on one entity (repeated records of
+    /// scalar multi-valued functions each contribute; entity-valued
+    /// functions yield the related entity keys as integers).
+    fn scalar_values(&mut self, entity: &str, key: i64, function: &str) -> Result<Vec<Value>> {
+        let schema = self.loader.schema().clone();
+        let f = schema.require_function(entity, function)?.clone();
+        match fn_storage(&schema, entity, &f)? {
+            FnStorage::ScalarAttr { file }
+            | FnStorage::ScalarMultiAttr { file }
+            | FnStorage::MemberAttr { file, .. } => {
+                let resp = self
+                    .store
+                    .execute(&Request::retrieve_all(entity_query(&file, key)))
+                    .map_err(Error::Kernel)?;
+                let mut vals: Vec<Value> = Vec::new();
+                for (_, r) in resp.records() {
+                    let v = r.get_or_null(function).clone();
+                    if !v.is_null() && !vals.contains(&v) {
+                        vals.push(v);
+                    }
+                }
+                Ok(vals)
+            }
+            FnStorage::RangeMemberAttr { .. } | FnStorage::Link { .. } => {
+                let (_, keys) = self.related_keys(entity, key, function)?;
+                Ok(keys.into_iter().map(Value::Int).collect())
+            }
+        }
+    }
+
+    /// Keys of entities in `file` (repeated records deduplicated),
+    /// optionally restricted by a predicate.
+    fn keys_in_file(&mut self, file: &str, pred: Option<Predicate>) -> Result<BTreeSet<i64>> {
+        let mut q = Query::conjunction(vec![Predicate::eq(FILE_ATTR, Value::str(file))]);
+        if let Some(p) = pred {
+            q = q.and_predicate(p);
+        }
+        let resp = self
+            .store
+            .execute(&Request::retrieve_all(q))
+            .map_err(Error::Kernel)?;
+        Ok(resp
+            .records()
+            .iter()
+            .filter_map(|(_, r)| r.get(names::key_attr(file)).and_then(Value::as_int))
+            .collect())
+    }
+
+    /// Read a function's value(s) for an entity: scalars read from the
+    /// declaring file (joining through the hierarchy); scalar
+    /// multi-valued functions return their values comma-joined;
+    /// entity-valued functions return the related entity key(s).
+    pub fn read_function(&mut self, entity: &str, key: i64, function: &str) -> Result<Value> {
+        let schema = self.loader.schema().clone();
+        let f = schema.require_function(entity, function)?.clone();
+        match fn_storage(&schema, entity, &f)? {
+            FnStorage::ScalarAttr { file } | FnStorage::MemberAttr { file, .. } => {
+                let resp = self
+                    .store
+                    .execute(&Request::retrieve_all(entity_query(&file, key)))
+                    .map_err(Error::Kernel)?;
+                Ok(resp
+                    .records()
+                    .first()
+                    .map(|(_, r)| r.get_or_null(function).clone())
+                    .unwrap_or(Value::Null))
+            }
+            FnStorage::ScalarMultiAttr { file } => {
+                let resp = self
+                    .store
+                    .execute(&Request::retrieve_all(entity_query(&file, key)))
+                    .map_err(Error::Kernel)?;
+                let mut vals: Vec<String> = resp
+                    .records()
+                    .iter()
+                    .filter_map(|(_, r)| {
+                        let v = r.get_or_null(function);
+                        (!v.is_null()).then(|| match v {
+                            Value::Str(s) => s.clone(),
+                            other => other.to_string(),
+                        })
+                    })
+                    .collect();
+                vals.sort();
+                vals.dedup();
+                Ok(Value::Str(vals.join(", ")))
+            }
+            FnStorage::RangeMemberAttr { file, .. } => {
+                // Keys of range entities pointing back at `key`.
+                let q = Query::conjunction(vec![
+                    Predicate::eq(FILE_ATTR, Value::str(file.clone())),
+                    Predicate::eq(function.to_owned(), Value::Int(key)),
+                ]);
+                let resp = self
+                    .store
+                    .execute(&Request::retrieve_all(q))
+                    .map_err(Error::Kernel)?;
+                let keys: BTreeSet<i64> = resp
+                    .records()
+                    .iter()
+                    .filter_map(|(_, r)| r.get(names::key_attr(&file)).and_then(Value::as_int))
+                    .collect();
+                Ok(Value::Str(
+                    keys.iter().map(|k| format!("#{k}")).collect::<Vec<_>>().join(", "),
+                ))
+            }
+            FnStorage::Link { pair } => {
+                let (own_attr, other_attr) = if pair.left_function == f.name {
+                    (pair.left_function.clone(), pair.right_function.clone())
+                } else {
+                    (pair.right_function.clone(), pair.left_function.clone())
+                };
+                let q = Query::conjunction(vec![
+                    Predicate::eq(FILE_ATTR, Value::str(pair.link.clone())),
+                    Predicate::eq(own_attr, Value::Int(key)),
+                ]);
+                let resp = self
+                    .store
+                    .execute(&Request::retrieve_all(q))
+                    .map_err(Error::Kernel)?;
+                let keys: BTreeSet<i64> = resp
+                    .records()
+                    .iter()
+                    .filter_map(|(_, r)| r.get(&other_attr).and_then(Value::as_int))
+                    .collect();
+                Ok(Value::Str(
+                    keys.iter().map(|k| format!("#{k}")).collect::<Vec<_>>().join(", "),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::university;
+
+    fn run(src: &str) -> (Vec<Outcome>, Loader, abdl::Store) {
+        let (mut loader, mut store, _) = university::sample_database().unwrap();
+        let stmts = parse_statements(src).unwrap();
+        let mut outcomes = Vec::new();
+        {
+            let mut interp = Interpreter::new(&mut loader, &mut store);
+            for s in &stmts {
+                outcomes.push(interp.execute(s).unwrap());
+            }
+        }
+        (outcomes, loader, store)
+    }
+
+    #[test]
+    fn for_each_filters_and_prints_with_inheritance() {
+        let (outcomes, _, _) = run(
+            "FOR EACH student SUCH THAT major(student) = 'Computer Science' \
+             PRINT name(student), gpa(student);",
+        );
+        let Outcome::Rows(rows) = &outcomes[0] else { panic!("expected rows") };
+        assert_eq!(rows.len(), 3, "Coker, Rodeck, Zawis");
+        // `name` is inherited from person; values must resolve.
+        let names: Vec<&Value> = rows.iter().map(|r| &r.values[0]).collect();
+        assert!(names.contains(&&Value::str("Coker")));
+        assert!(names.iter().all(|v| !v.is_null()));
+    }
+
+    #[test]
+    fn predicates_on_inherited_functions_join_through_ancestors() {
+        let (outcomes, _, _) = run(
+            "FOR EACH student SUCH THAT age(student) >= 27 PRINT name(student);",
+        );
+        let Outcome::Rows(rows) = &outcomes[0] else { panic!("expected rows") };
+        assert_eq!(rows.len(), 2, "Coker (28) and Rodeck (27)");
+    }
+
+    #[test]
+    fn create_assign_destroy_lifecycle() {
+        let (outcomes, _, store) = run(
+            "CREATE student (name := 'Jones', age := 22, major := 'History', gpa := 2.9);\
+             ASSIGN gpa(student) := 3.1 SUCH THAT name(student) = 'Jones';\
+             FOR EACH student SUCH THAT name(student) = 'Jones' PRINT gpa(student);\
+             DESTROY student SUCH THAT name(student) = 'Jones';",
+        );
+        let Outcome::Affected(created) = &outcomes[0] else { panic!("expected keys") };
+        assert_eq!(created.len(), 1);
+        let Outcome::Rows(rows) = &outcomes[2] else { panic!("expected rows") };
+        assert_eq!(rows[0].values[0], Value::Float(3.1));
+        let Outcome::Affected(destroyed) = &outcomes[3] else { panic!("expected keys") };
+        assert_eq!(destroyed, created);
+        assert_eq!(store.file_len("student"), 4, "back to the original four");
+    }
+
+    #[test]
+    fn scalar_multi_valued_prints_all_values() {
+        let (outcomes, _, _) = run(
+            "FOR EACH faculty SUCH THAT ename(faculty) = 'Hsiao' PRINT degrees(faculty);",
+        );
+        let Outcome::Rows(rows) = &outcomes[0] else { panic!("expected rows") };
+        assert_eq!(rows.len(), 1, "repeated records deduplicate to one entity");
+        assert_eq!(rows[0].values[0], Value::str("BS, PhD"));
+    }
+
+    #[test]
+    fn include_and_exclude_maintain_link_pairs() {
+        let (outcomes, _, store) = run(
+            "INCLUDE course SUCH THAT title(course) = 'Linear Algebra' \
+                 IN teaching(faculty) SUCH THAT ename(faculty) = 'Hsiao';\
+             FOR EACH faculty SUCH THAT ename(faculty) = 'Hsiao' PRINT teaching(faculty);\
+             EXCLUDE course SUCH THAT title(course) = 'Linear Algebra' \
+                 IN teaching(faculty) SUCH THAT ename(faculty) = 'Hsiao';",
+        );
+        assert!(matches!(&outcomes[0], Outcome::Affected(k) if k.len() == 1));
+        let Outcome::Rows(rows) = &outcomes[1] else { panic!("expected rows") };
+        // Hsiao now teaches 3 courses.
+        let taught = rows[0].values[0].as_str().unwrap();
+        assert_eq!(taught.split(", ").count(), 3);
+        assert_eq!(store.file_len("LINK_1"), 5, "back to five pairs after EXCLUDE");
+    }
+
+    #[test]
+    fn destroy_referenced_entity_is_aborted() {
+        let (mut loader, mut store, _) = university::sample_database().unwrap();
+        let stmts =
+            parse_statements("DESTROY faculty SUCH THAT ename(faculty) = 'Hsiao';").unwrap();
+        let mut interp = Interpreter::new(&mut loader, &mut store);
+        let err = interp.execute(&stmts[0]).unwrap_err();
+        assert!(matches!(err, Error::DestroyReferenced { .. }));
+    }
+
+    #[test]
+    fn function_composition_follows_single_valued_paths() {
+        // Students whose advisor works in the Computer Science
+        // department: dname(dept(advisor(student))).
+        let (outcomes, _, _) = run(
+            "FOR EACH student SUCH THAT dname(dept(advisor(student))) = 'Computer Science' \
+             PRINT name(student);",
+        );
+        let Outcome::Rows(rows) = &outcomes[0] else { panic!("expected rows") };
+        // Coker & Zawis (advisor Hsiao, CS) and Rodeck (advisor Lum, CS).
+        assert_eq!(rows.len(), 3, "{rows:?}");
+    }
+
+    #[test]
+    fn function_composition_is_existential_over_sets() {
+        // Faculty teaching a 3-credit course: credits(teaching(faculty)).
+        let (outcomes, _, _) = run(
+            "FOR EACH faculty SUCH THAT credits(teaching(faculty)) = 3 \
+             PRINT ename(faculty);",
+        );
+        let Outcome::Rows(rows) = &outcomes[0] else { panic!("expected rows") };
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        assert_eq!(rows[0].values[0], Value::str("Marshall"));
+    }
+
+    #[test]
+    fn composition_through_inverse_m2m_side() {
+        // Courses taught by a full professor: rank(taught_by(course)).
+        let (outcomes, _, _) = run(
+            "FOR EACH course SUCH THAT rank(taught_by(course)) = 'full' \
+             PRINT title(course);",
+        );
+        let Outcome::Rows(rows) = &outcomes[0] else { panic!("expected rows") };
+        let titles: Vec<&Value> = rows.iter().map(|r| &r.values[0]).collect();
+        // Hsiao (full) teaches Advanced Database + Database Design;
+        // Marshall (full) teaches Linear Algebra.
+        assert_eq!(rows.len(), 3, "{titles:?}");
+    }
+
+    #[test]
+    fn composition_rejects_scalar_inner_step() {
+        let (mut loader, mut store, _) = university::sample_database().unwrap();
+        let stmts = parse_statements(
+            "FOR EACH student SUCH THAT name(gpa(student)) = 'x' PRINT name(student);",
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(&mut loader, &mut store);
+        assert!(interp.execute(&stmts[0]).is_err());
+    }
+
+    #[test]
+    fn print_accepts_composed_paths() {
+        let (outcomes, _, _) = run(
+            "FOR EACH student SUCH THAT name(student) = 'Coker' \
+             PRINT name(student), dname(dept(advisor(student)));",
+        );
+        let Outcome::Rows(rows) = &outcomes[0] else { panic!("expected rows") };
+        assert_eq!(rows[0].values[0], Value::str("Coker"));
+        assert_eq!(rows[0].values[1], Value::str("Computer Science"));
+    }
+
+    #[test]
+    fn print_path_over_sets_joins_values() {
+        let (outcomes, _, _) = run(
+            "FOR EACH faculty SUCH THAT ename(faculty) = 'Hsiao' \
+             PRINT title(teaching(faculty));",
+        );
+        let Outcome::Rows(rows) = &outcomes[0] else { panic!("expected rows") };
+        let v = rows[0].values[0].as_str().unwrap();
+        assert!(v.contains("Advanced Database") && v.contains("Database Design"), "{v}");
+    }
+
+    #[test]
+    fn parse_rejects_variable_mismatch() {
+        assert!(parse_statements(
+            "FOR EACH student SUCH THAT major(course) = 'CS' PRINT name(student);"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! Tokenizer shared by the Daplex DDL and DML parsers.
+
+use crate::error::{Error, Result};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A word: keyword or name.
+    Word(String),
+    /// A quoted string literal.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `..` (range constructor)
+    DotDot,
+    /// `=`
+    Eq,
+    /// `!=` (also `<>`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Tokenize a complete source text.
+pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        loop {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos + 1 < bytes.len() && bytes[pos] == b'-' && bytes[pos + 1] == b'-' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let offset = pos;
+        if pos >= bytes.len() {
+            out.push(SpannedTok { tok: Tok::Eof, offset });
+            return Ok(out);
+        }
+        let c = bytes[pos];
+        let tok = match c {
+            b':' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                    Tok::Assign
+                } else {
+                    Tok::Colon
+                }
+            }
+            b';' => {
+                pos += 1;
+                Tok::Semi
+            }
+            b',' => {
+                pos += 1;
+                Tok::Comma
+            }
+            b'(' => {
+                pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                pos += 1;
+                Tok::RParen
+            }
+            b'=' => {
+                pos += 1;
+                Tok::Eq
+            }
+            b'!' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                    Tok::Ne
+                } else {
+                    return Err(Error::Parse { msg: "expected `=` after `!`".into(), offset });
+                }
+            }
+            b'<' => {
+                pos += 1;
+                match bytes.get(pos) {
+                    Some(b'=') => {
+                        pos += 1;
+                        Tok::Le
+                    }
+                    Some(b'>') => {
+                        pos += 1;
+                        Tok::Ne
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            b'>' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'.' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'.') {
+                    pos += 1;
+                    Tok::DotDot
+                } else {
+                    return Err(Error::Parse {
+                        msg: "stray `.` (Daplex uses `;` terminators)".into(),
+                        offset,
+                    });
+                }
+            }
+            b'\'' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        return Err(Error::Parse {
+                            msg: "unterminated string literal".into(),
+                            offset,
+                        });
+                    }
+                    if bytes[pos] == b'\'' {
+                        if bytes.get(pos + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            pos += 2;
+                        } else {
+                            pos += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[pos] as char);
+                        pos += 1;
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'0'..=b'9' | b'-' | b'+' => {
+                let start = pos;
+                if matches!(bytes[pos], b'-' | b'+') {
+                    pos += 1;
+                }
+                if pos >= bytes.len() || !bytes[pos].is_ascii_digit() {
+                    return Err(Error::Parse { msg: "expected digits".into(), offset });
+                }
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                // `1..5` must lex as Int DotDot Int, so a float needs a
+                // digit right after a single `.`.
+                let mut is_float = false;
+                if pos + 1 < bytes.len() && bytes[pos] == b'.' && bytes[pos + 1].is_ascii_digit() {
+                    is_float = true;
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                if is_float {
+                    Tok::Float(text.parse().map_err(|e| Error::Parse {
+                        msg: format!("bad float: {e}"),
+                        offset,
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|e| Error::Parse {
+                        msg: format!("bad integer: {e}"),
+                        offset,
+                    })?)
+                }
+            }
+            c if c == b'_' || (c as char).is_alphabetic() => {
+                let start = pos;
+                while pos < bytes.len() {
+                    let c = bytes[pos];
+                    if c == b'_' || (c as char).is_alphanumeric() {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Word(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+            }
+            other => {
+                return Err(Error::Parse {
+                    msg: format!("unexpected character `{}`", other as char),
+                    offset,
+                })
+            }
+        };
+        out.push(SpannedTok { tok, offset });
+    }
+}
+
+/// A token cursor with keyword helpers.
+pub struct Cursor {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Tokenize and wrap.
+    pub fn new(src: &str) -> Result<Self> {
+        Ok(Cursor { toks: tokenize(src)?, pos: 0 })
+    }
+
+    /// Current token.
+    pub fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    /// Next token.
+    pub fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    /// Offset of the current token.
+    pub fn offset(&self) -> usize {
+        self.toks[self.pos.min(self.toks.len() - 1)].offset
+    }
+
+    /// Advance, returning the consumed token.
+    pub fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// At end of input?
+    pub fn at_eof(&self) -> bool {
+        *self.peek() == Tok::Eof
+    }
+
+    /// Parse error at the current token.
+    pub fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse { msg: msg.into(), offset: self.offset() }
+    }
+
+    /// Is the current token this keyword?
+    pub fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the keyword if present.
+    pub fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require the keyword.
+    pub fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    /// Require a name.
+    pub fn name(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Word(w) => {
+                self.bump();
+                Ok(w)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Require a punctuation token.
+    pub fn expect_tok(&mut self, tok: Tok, what: &str) -> Result<()> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Comma-separated names.
+    pub fn name_list(&mut self, what: &str) -> Result<Vec<String>> {
+        let mut names = vec![self.name(what)?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            names.push(self.name(what)?);
+        }
+        Ok(names)
+    }
+
+    /// Require an integer literal.
+    pub fn int(&mut self, what: &str) -> Result<i64> {
+        match *self.peek() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(i)
+            }
+            _ => Err(self.err(format!("expected {what}, found {:?}", self.peek()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn ranges_lex_as_dotdot() {
+        assert_eq!(
+            toks("RANGE 16..99"),
+            vec![Tok::Word("RANGE".into()), Tok::Int(16), Tok::DotDot, Tok::Int(99), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn floats_still_lex() {
+        assert_eq!(toks("0.5..3.5"), vec![Tok::Float(0.5), Tok::DotDot, Tok::Float(3.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn assignment_and_colon() {
+        assert_eq!(
+            toks("major := 'CS' : x"),
+            vec![
+                Tok::Word("major".into()),
+                Tok::Assign,
+                Tok::Str("CS".into()),
+                Tok::Colon,
+                Tok::Word("x".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn relops_lex() {
+        assert_eq!(
+            toks("= != < <= > >= <>"),
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Ne, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn stray_period_is_an_error() {
+        assert!(tokenize("x.").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Naming conventions shared by the functional→ABDM mapping, the
+//! functional→network schema transformer and the CODASYL-DML→ABDL
+//! translator.
+//!
+//! The three layers must agree on how constructs are named in the
+//! kernel, because the thesis's translated requests address kernel
+//! attributes *by the set names of the transformed network schema*
+//! (e.g. `RETRIEVE ((FILE = student) AND (person_student = …))`).
+
+/// The SYSTEM-owned set of a transformed entity type: `system_{entity}`.
+pub fn system_set(entity: &str) -> String {
+    format!("system_{entity}")
+}
+
+/// The ISA set between a supertype and one of its subtypes: the
+/// "concatenation of the subtype's entity supertype, an underscore (_),
+/// and the subtype's name".
+pub fn isa_set(supertype: &str, subtype: &str) -> String {
+    format!("{supertype}_{subtype}")
+}
+
+/// The kernel attribute carrying an entity occurrence's own key is
+/// named after its type (`<course, 17>`).
+pub fn key_attr(entity: &str) -> &str {
+    entity
+}
+
+/// The entity key representing the SYSTEM owner of singular sets.
+pub const SYSTEM_OWNER_KEY: i64 = 0;
+
+/// Name of the `X`-th synthesized many-to-many link record: `LINK_X`.
+pub fn link_record(index: usize) -> String {
+    format!("LINK_{index}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventions() {
+        assert_eq!(system_set("person"), "system_person");
+        assert_eq!(isa_set("person", "student"), "person_student");
+        assert_eq!(key_attr("course"), "course");
+        assert_eq!(link_record(1), "LINK_1");
+    }
+}

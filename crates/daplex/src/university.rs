@@ -1,0 +1,271 @@
+//! The University database schema of Figure 2.1 — the running example
+//! of the thesis — with a sample population.
+//!
+//! Entity types: `person`, `employee`, `department`, `course`.
+//! Subtypes: `student` (of person), `faculty` and `support_staff` (of
+//! employee). The transformed network schema of Figure 5.1 contains the
+//! eight record types person, employee, department, course, student,
+//! faculty, support_staff and `LINK_1` (teaching/taught_by), and the
+//! sets `system_*`, `person_student`, `employee_faculty`,
+//! `employee_support_staff`, `advisor`, `dept`, `supervisor`,
+//! `teaching` and `taught_by`.
+
+use crate::ab_map::Loader;
+use crate::ddl;
+use crate::schema::FunctionalSchema;
+use abdl::{Kernel, Store, Value};
+
+/// The University schema in Daplex DDL.
+pub const UNIVERSITY_DDL: &str = "
+DATABASE university IS
+
+TYPE age_type IS INTEGER RANGE 16..99;
+TYPE rank_type IS ENUMERATION (instructor, assistant, associate, full);
+TYPE credit_type IS NEW INTEGER RANGE 1..5;
+CONSTANT max_load IS 4;
+
+TYPE person IS
+  ENTITY
+    name : STRING(30);
+    age  : age_type;
+  END ENTITY;
+
+TYPE employee IS
+  ENTITY
+    ename  : STRING(30);
+    salary : FLOAT;
+  END ENTITY;
+
+TYPE department IS
+  ENTITY
+    dname    : STRING(20);
+    building : STRING(20);
+  END ENTITY;
+
+TYPE course IS
+  ENTITY
+    title     : STRING(30);
+    semester  : STRING(10);
+    credits   : credit_type;
+    taught_by : SET OF faculty;
+  END ENTITY;
+
+TYPE student IS
+  ENTITY SUBTYPE OF person
+    major   : STRING(20);
+    gpa     : FLOAT;
+    advisor : faculty;
+  END ENTITY;
+
+TYPE faculty IS
+  ENTITY SUBTYPE OF employee
+    rank     : rank_type;
+    degrees  : SET OF STRING(10);
+    dept     : department;
+    teaching : SET OF course;
+  END ENTITY;
+
+TYPE support_staff IS
+  ENTITY SUBTYPE OF employee
+    supervisor : employee;
+    hours      : INTEGER;
+  END ENTITY;
+
+UNIQUE title, semester WITHIN course;
+OVERLAP faculty WITH support_staff;
+
+END DATABASE;
+";
+
+/// Parse the University schema (panics only on an internal defect —
+/// the constant is covered by tests).
+pub fn schema() -> FunctionalSchema {
+    ddl::parse_schema(UNIVERSITY_DDL).expect("the built-in University schema is valid")
+}
+
+/// Keys of the entities created by [`populate`], for tests and examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniversityKeys {
+    /// `department` keys: CS, Math.
+    pub depts: Vec<i64>,
+    /// `faculty` keys: Hsiao (full, CS), Lum (associate, CS),
+    /// Marshall (full, Math).
+    pub faculty: Vec<i64>,
+    /// `support_staff` keys: Baker (supervised by Hsiao).
+    pub staff: Vec<i64>,
+    /// `student` keys: Coker (CS, advisor Hsiao), Rodeck (CS, advisor
+    /// Lum), Emdi (Math, advisor Marshall), Zawis (CS, advisor Hsiao).
+    pub students: Vec<i64>,
+    /// `course` keys: Advanced Database (F87), Operating Systems (F87),
+    /// Linear Algebra (S88), Database Design (S88).
+    pub courses: Vec<i64>,
+}
+
+/// Populate a store (already `install`ed) with the sample University
+/// data used by the examples, the integration tests and the worked
+/// Chapter-VI transactions.
+pub fn populate<K: Kernel>(loader: &mut Loader, store: &mut K) -> crate::Result<UniversityKeys> {
+    let mut depts = Vec::new();
+    for (dname, building) in [("Computer Science", "Spanagel"), ("Mathematics", "Root")] {
+        depts.push(loader.create_entity(
+            store,
+            "department",
+            &[("dname", Value::str(dname)), ("building", Value::str(building))],
+        )?);
+    }
+
+    let mut faculty = Vec::new();
+    for (name, salary, rank, dept) in [
+        ("Hsiao", 68_000.0, "full", depts[0]),
+        ("Lum", 61_000.0, "associate", depts[0]),
+        ("Marshall", 64_000.0, "full", depts[1]),
+    ] {
+        let k = loader.create_entity(
+            store,
+            "faculty",
+            &[
+                ("ename", Value::str(name)),
+                ("salary", Value::Float(salary)),
+                ("rank", Value::str(rank)),
+            ],
+        )?;
+        loader.link(store, "faculty", k, "dept", dept)?;
+        faculty.push(k);
+    }
+    loader.add_scalar_value(store, "faculty", faculty[0], "degrees", Value::str("BS"))?;
+    loader.add_scalar_value(store, "faculty", faculty[0], "degrees", Value::str("PhD"))?;
+    loader.add_scalar_value(store, "faculty", faculty[1], "degrees", Value::str("PhD"))?;
+
+    let mut staff = Vec::new();
+    let baker = loader.create_entity(
+        store,
+        "support_staff",
+        &[
+            ("ename", Value::str("Baker")),
+            ("salary", Value::Float(24_000.0)),
+            ("hours", Value::Int(40)),
+        ],
+    )?;
+    loader.link(store, "support_staff", baker, "supervisor", faculty[0])?;
+    staff.push(baker);
+
+    let mut students = Vec::new();
+    for (name, age, major, gpa, advisor) in [
+        ("Coker", 28, "Computer Science", 3.6, faculty[0]),
+        ("Rodeck", 27, "Computer Science", 3.4, faculty[1]),
+        ("Emdi", 26, "Mathematics", 3.8, faculty[2]),
+        ("Zawis", 25, "Computer Science", 3.2, faculty[0]),
+    ] {
+        let k = loader.create_entity(
+            store,
+            "student",
+            &[
+                ("name", Value::str(name)),
+                ("age", Value::Int(age)),
+                ("major", Value::str(major)),
+                ("gpa", Value::Float(gpa)),
+            ],
+        )?;
+        loader.link(store, "student", k, "advisor", advisor)?;
+        students.push(k);
+    }
+
+    let mut courses = Vec::new();
+    for (title, semester, credits) in [
+        ("Advanced Database", "F87", 4),
+        ("Operating Systems", "F87", 4),
+        ("Linear Algebra", "S88", 3),
+        ("Database Design", "S88", 4),
+    ] {
+        courses.push(loader.create_entity(
+            store,
+            "course",
+            &[
+                ("title", Value::str(title)),
+                ("semester", Value::str(semester)),
+                ("credits", Value::Int(credits)),
+            ],
+        )?);
+    }
+    // teaching/taught_by (many-to-many through LINK_1):
+    // Hsiao teaches Advanced Database and Database Design; Lum teaches
+    // Operating Systems; Marshall teaches Linear Algebra; Database
+    // Design is co-taught by Lum.
+    for (f, c) in [
+        (faculty[0], courses[0]),
+        (faculty[0], courses[3]),
+        (faculty[1], courses[1]),
+        (faculty[2], courses[2]),
+        (faculty[1], courses[3]),
+    ] {
+        loader.link(store, "faculty", f, "teaching", c)?;
+    }
+
+    Ok(UniversityKeys { depts, faculty, staff, students, courses })
+}
+
+/// Convenience: schema + installed store + population in one call.
+pub fn sample_database() -> crate::Result<(Loader, Store, UniversityKeys)> {
+    let schema = schema();
+    let mut store = Store::new();
+    crate::ab_map::install(&schema, &mut store);
+    let mut loader = Loader::new(schema);
+    let keys = populate(&mut loader, &mut store)?;
+    Ok((loader, store, keys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ab_map::entity_query;
+    use abdl::Request;
+
+    #[test]
+    fn schema_parses_and_matches_figure_2_1_census() {
+        let s = schema();
+        assert_eq!(s.name, "university");
+        assert_eq!(s.entities.len(), 4, "person, employee, department, course");
+        assert_eq!(s.subtypes.len(), 3, "student, faculty, support_staff");
+        assert_eq!(s.non_entities.len(), 4, "age, rank, credit types + max_load");
+        assert_eq!(s.uniques.len(), 1);
+        assert_eq!(s.overlaps.len(), 1);
+        // The one many-to-many pair: teaching/taught_by → LINK_1.
+        let pairs = s.m2m_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].link, "LINK_1");
+        assert_eq!(pairs[0].left_entity, "course");
+        assert_eq!(pairs[0].left_function, "taught_by");
+        assert_eq!(pairs[0].right_entity, "faculty");
+        assert_eq!(pairs[0].right_function, "teaching");
+    }
+
+    #[test]
+    fn population_loads() {
+        let (_, mut store, keys) = sample_database().unwrap();
+        assert_eq!(store.file_len("department"), 2);
+        assert_eq!(store.file_len("student"), 4);
+        assert_eq!(store.file_len("person"), 4);
+        // 3 faculty, but Hsiao has two degrees → one repeated record.
+        assert_eq!(store.file_len("faculty"), 4);
+        assert_eq!(store.file_len("employee"), 4, "3 faculty + 1 staff");
+        assert_eq!(store.file_len("support_staff"), 1);
+        assert_eq!(store.file_len("course"), 4);
+        assert_eq!(store.file_len("LINK_1"), 5);
+        // Spot-check a join: Coker's advisor is Hsiao.
+        let resp = store
+            .execute(&Request::retrieve_all(entity_query("student", keys.students[0])))
+            .unwrap();
+        assert_eq!(
+            resp.records()[0].1.get("advisor"),
+            Some(&Value::Int(keys.faculty[0]))
+        );
+    }
+
+    #[test]
+    fn ddl_round_trips() {
+        let s = schema();
+        let printed = crate::ddl::print_schema(&s);
+        let reparsed = crate::ddl::parse_schema(&printed).unwrap();
+        assert_eq!(s, reparsed);
+    }
+}

@@ -1,0 +1,249 @@
+//! Hierarchical schemas: segment trees.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A field type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldType {
+    /// `FIXED` — an integer.
+    Int,
+    /// `FLOAT`.
+    Float,
+    /// `CHARACTER n`.
+    Char {
+        /// Maximum length.
+        len: u16,
+    },
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldType::Int => write!(f, "FIXED"),
+            FieldType::Float => write!(f, "FLOAT"),
+            FieldType::Char { len } => write!(f, "CHARACTER {len}"),
+        }
+    }
+}
+
+/// A segment field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub typ: FieldType,
+}
+
+/// A segment type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Segment type name.
+    pub name: String,
+    /// Parent segment type (`None` for roots).
+    pub parent: Option<String>,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+    /// The sequence field: unique within one parent occurrence
+    /// (IMS-style), enforced on ISRT.
+    pub sequence: Option<String>,
+}
+
+impl Segment {
+    /// Find a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Require a field by name.
+    pub fn require_field(&self, name: &str) -> Result<&Field> {
+        self.field(name).ok_or_else(|| Error::UnknownField {
+            segment: self.name.clone(),
+            field: name.to_owned(),
+        })
+    }
+}
+
+/// A hierarchical database definition (the DBD).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct HierSchema {
+    /// Database name.
+    pub name: String,
+    /// Segments, in hierarchic (definition) order.
+    pub segments: Vec<Segment>,
+}
+
+/// The kernel attribute carrying the parent arc of a child segment:
+/// `{parent}_{child}` (the same convention as ISA sets — a parent-child
+/// arc is a 1:N set).
+pub fn arc_attr(parent: &str, child: &str) -> String {
+    format!("{parent}_{child}")
+}
+
+impl HierSchema {
+    /// Look a segment up by name.
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+
+    /// Require a segment.
+    pub fn require_segment(&self, name: &str) -> Result<&Segment> {
+        self.segment(name).ok_or_else(|| Error::UnknownSegment(name.to_owned()))
+    }
+
+    /// The child segment types of `name`, in definition order.
+    pub fn children<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Segment> {
+        self.segments.iter().filter(move |s| s.parent.as_deref() == Some(name))
+    }
+
+    /// The root segment types.
+    pub fn roots(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.parent.is_none())
+    }
+
+    /// Validate tree-ness, name uniqueness and field resolution.
+    pub fn validate(&self) -> Result<()> {
+        let mut names = std::collections::HashSet::new();
+        for s in &self.segments {
+            if !names.insert(&s.name) {
+                return Err(Error::InvalidSchema(format!("duplicate segment `{}`", s.name)));
+            }
+        }
+        for s in &self.segments {
+            let mut fields = std::collections::HashSet::new();
+            for f in &s.fields {
+                if !fields.insert(&f.name) {
+                    return Err(Error::InvalidSchema(format!(
+                        "duplicate field `{}` in segment `{}`",
+                        f.name, s.name
+                    )));
+                }
+                if f.name == s.name {
+                    return Err(Error::InvalidSchema(format!(
+                        "field `{}` collides with the kernel key attribute of segment `{}`",
+                        f.name, s.name
+                    )));
+                }
+            }
+            if let Some(p) = &s.parent {
+                let parent = self.segment(p).ok_or_else(|| {
+                    Error::InvalidSchema(format!(
+                        "segment `{}` has unknown parent `{p}`",
+                        s.name
+                    ))
+                })?;
+                if s.field(&arc_attr(&parent.name, &s.name)).is_some() {
+                    return Err(Error::InvalidSchema(format!(
+                        "field `{}` of `{}` collides with the parent-arc attribute",
+                        arc_attr(&parent.name, &s.name),
+                        s.name
+                    )));
+                }
+            }
+            if let Some(seq) = &s.sequence {
+                s.require_field(seq).map_err(|_| {
+                    Error::InvalidSchema(format!(
+                        "sequence field `{seq}` of `{}` is not declared",
+                        s.name
+                    ))
+                })?;
+            }
+            // Acyclicity: walk to the root, bounded by segment count.
+            let mut cur = s.parent.as_deref();
+            let mut hops = 0;
+            while let Some(p) = cur {
+                hops += 1;
+                if hops > self.segments.len() {
+                    return Err(Error::InvalidSchema(format!(
+                        "segment `{}` participates in a parent cycle",
+                        s.name
+                    )));
+                }
+                cur = self.segment(p).and_then(|seg| seg.parent.as_deref());
+            }
+        }
+        if self.roots().next().is_none() && !self.segments.is_empty() {
+            return Err(Error::InvalidSchema("no root segment".into()));
+        }
+        Ok(())
+    }
+
+    /// The ancestor chain of a segment type, nearest first.
+    pub fn ancestors(&self, name: &str) -> Vec<&Segment> {
+        let mut out = Vec::new();
+        let mut cur = self.segment(name).and_then(|s| s.parent.as_deref());
+        while let Some(p) = cur {
+            let Some(seg) = self.segment(p) else { break };
+            out.push(seg);
+            cur = seg.parent.as_deref();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn school() -> HierSchema {
+        HierSchema {
+            name: "school".into(),
+            segments: vec![
+                Segment {
+                    name: "department".into(),
+                    parent: None,
+                    fields: vec![
+                        Field { name: "dno".into(), typ: FieldType::Int },
+                        Field { name: "dname".into(), typ: FieldType::Char { len: 20 } },
+                    ],
+                    sequence: Some("dno".into()),
+                },
+                Segment {
+                    name: "course".into(),
+                    parent: Some("department".into()),
+                    fields: vec![
+                        Field { name: "cno".into(), typ: FieldType::Int },
+                        Field { name: "title".into(), typ: FieldType::Char { len: 30 } },
+                    ],
+                    sequence: Some("cno".into()),
+                },
+                Segment {
+                    name: "enrollment".into(),
+                    parent: Some("course".into()),
+                    fields: vec![Field { name: "student".into(), typ: FieldType::Char { len: 20 } }],
+                    sequence: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn validates_and_navigates() {
+        let s = school();
+        s.validate().unwrap();
+        assert_eq!(s.roots().count(), 1);
+        assert_eq!(s.children("department").count(), 1);
+        let anc: Vec<&str> = s.ancestors("enrollment").iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(anc, vec!["course", "department"]);
+    }
+
+    #[test]
+    fn validation_rejects_cycles_and_bad_refs() {
+        let mut s = school();
+        s.segments[0].parent = Some("enrollment".into());
+        assert!(s.validate().is_err(), "cycle");
+        let mut s = school();
+        s.segments[1].parent = Some("ghost".into());
+        assert!(s.validate().is_err(), "unknown parent");
+        let mut s = school();
+        s.segments[0].sequence = Some("ghost".into());
+        assert!(s.validate().is_err(), "bad sequence field");
+    }
+
+    #[test]
+    fn arc_attr_convention() {
+        assert_eq!(arc_attr("department", "course"), "department_course");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the DL/I interface: GN sweeps are complete and
+//! duplicate-free, GNP partitions by parent, and DLET removes exactly
+//! one subtree.
+
+use abdl::Store;
+use dli::{calls, ddl, DliSession};
+use proptest::prelude::*;
+
+const DBD: &str = "
+HIERARCHY NAME IS prop.
+SEGMENT parent.
+  02 pno TYPE IS FIXED.
+  SEQUENCE IS pno.
+SEGMENT child PARENT IS parent.
+  02 cno TYPE IS FIXED.
+  02 tag TYPE IS CHARACTER 4.
+";
+
+/// Load `shape[i]` children under parent i; returns total child count.
+fn load(session: &mut DliSession, store: &mut Store, shape: &[usize]) -> usize {
+    let mut total = 0;
+    for (p, &n) in shape.iter().enumerate() {
+        let call = calls::parse_calls(&format!("ISRT parent (pno = {p})")).unwrap();
+        session.execute(store, &call[0]).unwrap();
+        for c in 0..n {
+            let call = calls::parse_calls(&format!(
+                "ISRT child (cno = {c}, tag = 't{}')",
+                (p + c) % 3
+            ))
+            .unwrap();
+            session.execute(store, &call[0]).unwrap();
+            total += 1;
+        }
+    }
+    session.reset_position();
+    total
+}
+
+fn fixture() -> (DliSession, Store) {
+    let schema = ddl::parse_schema(DBD).unwrap();
+    let mut store = Store::new();
+    dli::ab_map::install(&schema, &mut store);
+    (DliSession::new(schema), store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A GN sweep visits every occurrence exactly once.
+    #[test]
+    fn gn_sweep_is_complete_and_duplicate_free(
+        shape in proptest::collection::vec(0usize..6, 1..6),
+    ) {
+        let (mut session, mut store) = fixture();
+        let total = load(&mut session, &mut store, &shape);
+        let gn = calls::parse_calls("GN child").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        while let Ok(out) = session.execute(&mut store, &gn[0]) {
+            let (_, key, _) = out.found.unwrap();
+            prop_assert!(seen.insert(key), "key {} delivered twice", key);
+        }
+        prop_assert_eq!(seen.len(), total);
+    }
+
+    /// GNP sweeps per parent partition the children exactly.
+    #[test]
+    fn gnp_partitions_by_parent(
+        shape in proptest::collection::vec(0usize..6, 1..6),
+    ) {
+        let (mut session, mut store) = fixture();
+        let total = load(&mut session, &mut store, &shape);
+        let gnp = calls::parse_calls("GNP child").unwrap();
+        let mut counted = 0;
+        for (p, &n) in shape.iter().enumerate() {
+            let gu = calls::parse_calls(&format!("GU parent (pno = {p})")).unwrap();
+            session.execute(&mut store, &gu[0]).unwrap();
+            let mut here = 0;
+            while session.execute(&mut store, &gnp[0]).is_ok() {
+                here += 1;
+            }
+            prop_assert_eq!(here, n, "parent {} should have {} children", p, n);
+            counted += here;
+        }
+        prop_assert_eq!(counted, total);
+    }
+
+    /// DLET of one parent removes exactly its subtree.
+    #[test]
+    fn dlet_removes_exactly_one_subtree(
+        shape in proptest::collection::vec(0usize..6, 1..6),
+        victim_idx in 0usize..6,
+    ) {
+        let (mut session, mut store) = fixture();
+        let total = load(&mut session, &mut store, &shape);
+        let victim = victim_idx % shape.len();
+        let gu = calls::parse_calls(&format!("GU parent (pno = {victim})")).unwrap();
+        session.execute(&mut store, &gu[0]).unwrap();
+        let dlet = calls::parse_calls("DLET parent").unwrap();
+        let out = session.execute(&mut store, &dlet[0]).unwrap();
+        prop_assert_eq!(out.affected, 1 + shape[victim]);
+        prop_assert_eq!(store.file_len("parent"), shape.len() - 1);
+        prop_assert_eq!(store.file_len("child"), total - shape[victim]);
+    }
+}

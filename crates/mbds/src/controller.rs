@@ -1,0 +1,417 @@
+//! The backend controller (the "master") and its backend worker
+//! threads (the "slaves").
+
+use crate::placement::Partitioner;
+use abdl::engine::aggregate;
+use abdl::{DbKey, Error, Kernel, Record, Request, Response, Result, Store};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+enum ToBackend {
+    CreateFile(String),
+    InsertWithKey(DbKey, Record),
+    Exec(Request),
+    Shutdown,
+}
+
+struct BackendHandle {
+    tx: Sender<ToBackend>,
+    rx: Receiver<Result<Response>>,
+    join: Option<JoinHandle<()>>,
+    alive: bool,
+}
+
+/// The MBDS controller: owns the backends, assigns database keys,
+/// places inserted records, broadcasts everything else and merges the
+/// partial responses.
+pub struct Controller {
+    backends: Vec<BackendHandle>,
+    partitioner: Partitioner,
+    next_key: u64,
+    /// `DUPLICATES ARE NOT ALLOWED` groups are enforced *globally* by
+    /// the controller (a per-backend check would only see its own
+    /// partition).
+    unique_groups: HashMap<String, Vec<Vec<String>>>,
+}
+
+impl Controller {
+    /// Spawn a controller with `n` backend threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "MBDS needs at least one backend");
+        let backends = (0..n)
+            .map(|i| {
+                let (tx, backend_rx) = unbounded::<ToBackend>();
+                let (backend_tx, rx) = unbounded::<Result<Response>>();
+                let join = std::thread::Builder::new()
+                    .name(format!("mbds-backend-{i}"))
+                    .spawn(move || backend_loop(backend_rx, backend_tx))
+                    .expect("spawn backend thread");
+                BackendHandle { tx, rx, join: Some(join), alive: true }
+            })
+            .collect();
+        Controller {
+            backends,
+            partitioner: Partitioner::new(n),
+            next_key: 1,
+            unique_groups: HashMap::new(),
+        }
+    }
+
+    /// Total number of backends (alive or killed).
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Number of live backends.
+    pub fn alive_count(&self) -> usize {
+        self.backends.iter().filter(|b| b.alive).count()
+    }
+
+    /// Failure injection: kill backend `i`. Its partition becomes
+    /// unavailable; the controller keeps serving from the survivors.
+    pub fn kill_backend(&mut self, i: usize) {
+        if let Some(b) = self.backends.get_mut(i) {
+            if b.alive {
+                let _ = b.tx.send(ToBackend::Shutdown);
+                if let Some(join) = b.join.take() {
+                    let _ = join.join();
+                }
+                b.alive = false;
+            }
+        }
+    }
+
+    fn alive(&self) -> impl Iterator<Item = &BackendHandle> {
+        self.backends.iter().filter(|b| b.alive)
+    }
+
+    /// Broadcast a request to every live backend and merge responses.
+    fn broadcast(&self, request: &Request) -> Result<Response> {
+        for b in self.alive() {
+            b.tx.send(ToBackend::Exec(request.clone()))
+                .map_err(|_| Error::Internal("backend channel closed".into()))?;
+        }
+        let mut merged = Response::default();
+        for b in self.alive() {
+            let resp = b
+                .rx
+                .recv()
+                .map_err(|_| Error::Internal("backend died mid-request".into()))??;
+            merged.merge(resp);
+        }
+        Ok(merged)
+    }
+
+    fn check_unique(&self, record: &Record) -> Result<()> {
+        let Some(file) = record.file() else {
+            return Err(Error::MissingFileKeyword);
+        };
+        let Some(groups) = self.unique_groups.get(file) else { return Ok(()) };
+        for group in groups {
+            if !group.iter().all(|a| record.get(a).is_some()) {
+                continue;
+            }
+            let query = abdl::Query::conjunction(
+                std::iter::once(abdl::Predicate::eq(abdl::FILE_ATTR, abdl::Value::str(file)))
+                    .chain(group.iter().map(|a| {
+                        abdl::Predicate::eq(a.clone(), record.get(a).expect("present").clone())
+                    }))
+                    .collect(),
+            );
+            let hits = self.broadcast(&Request::retrieve_all(query))?;
+            if !hits.records().is_empty() {
+                return Err(Error::DuplicateKey { file: file.to_owned(), attrs: group.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Kernel for Controller {
+    fn create_file(&mut self, name: &str) {
+        for b in self.alive() {
+            let _ = b.tx.send(ToBackend::CreateFile(name.to_owned()));
+        }
+        for b in self.alive() {
+            let _ = b.rx.recv();
+        }
+    }
+
+    fn add_unique_constraint(&mut self, file: &str, attrs: Vec<String>) {
+        self.unique_groups.entry(file.to_owned()).or_default().push(attrs);
+    }
+
+    fn reserve_key(&mut self) -> DbKey {
+        let key = DbKey(self.next_key);
+        self.next_key += 1;
+        key
+    }
+
+    fn execute(&mut self, request: &Request) -> Result<Response> {
+        match request {
+            Request::Insert { record } => {
+                self.check_unique(record)?;
+                let file = record.file().ok_or(Error::MissingFileKeyword)?.to_owned();
+                let key = self.reserve_key();
+                // Place on the next live backend in the file's rotation.
+                let mut target = self.partitioner.place(&file);
+                let mut guard = 0;
+                while !self.backends[target].alive {
+                    target = self.partitioner.place(&file);
+                    guard += 1;
+                    if guard > self.backends.len() {
+                        return Err(Error::Internal("no live backends".into()));
+                    }
+                }
+                let b = &self.backends[target];
+                b.tx.send(ToBackend::InsertWithKey(key, record.clone()))
+                    .map_err(|_| Error::Internal("backend channel closed".into()))?;
+                b.rx.recv().map_err(|_| Error::Internal("backend died mid-insert".into()))?
+            }
+            Request::Retrieve { query, target, by } if target.has_aggregates() => {
+                // Partial aggregates do not merge (AVG); fetch the
+                // matching records and aggregate globally.
+                let rows = self.broadcast(&Request::retrieve_all(query.clone()))?;
+                let mut stats = rows.stats;
+                let groups = aggregate(rows.records(), target, by.as_deref())?;
+                stats.records_returned = groups.len() as u64;
+                let mut resp = Response::with_records(Vec::new(), stats);
+                resp.groups = Some(groups);
+                Ok(resp)
+            }
+            Request::RetrieveCommon { left, left_attr, right, right_attr, target } => {
+                // Matching halves may live on different backends; join
+                // at the controller over the merged partials.
+                let l = self.broadcast(&Request::retrieve_all(left.clone()))?;
+                let r = self.broadcast(&Request::retrieve_all(right.clone()))?;
+                // Tag halves into scratch files (a record matching both
+                // qualifications must appear on both sides, so the keys
+                // are remapped disjointly).
+                let mut joiner = Store::new();
+                for (key, rec) in l.records() {
+                    let mut rec = rec.clone();
+                    rec.set(abdl::FILE_ATTR, abdl::Value::str("__mbds_left"));
+                    joiner.insert_with_key(DbKey(key.0 * 2), rec)?;
+                }
+                for (key, rec) in r.records() {
+                    let mut rec = rec.clone();
+                    rec.set(abdl::FILE_ATTR, abdl::Value::str("__mbds_right"));
+                    joiner.insert_with_key(DbKey(key.0 * 2 + 1), rec)?;
+                }
+                let mut stats = l.stats;
+                stats += r.stats;
+                let joined = joiner.execute(&Request::RetrieveCommon {
+                    left: abdl::Query::conjunction(vec![abdl::Predicate::eq(
+                        abdl::FILE_ATTR,
+                        "__mbds_left",
+                    )]),
+                    left_attr: left_attr.clone(),
+                    right: abdl::Query::conjunction(vec![abdl::Predicate::eq(
+                        abdl::FILE_ATTR,
+                        "__mbds_right",
+                    )]),
+                    right_attr: right_attr.clone(),
+                    target: target.clone(),
+                })?;
+                let mut out = joined;
+                out.stats += stats;
+                Ok(out)
+            }
+            other => self.broadcast(other),
+        }
+    }
+}
+
+impl Drop for Controller {
+    fn drop(&mut self) {
+        for b in &mut self.backends {
+            if b.alive {
+                let _ = b.tx.send(ToBackend::Shutdown);
+            }
+            if let Some(join) = b.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// One backend: a private store served over the bus.
+fn backend_loop(rx: Receiver<ToBackend>, tx: Sender<Result<Response>>) {
+    let mut store = Store::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToBackend::CreateFile(name) => {
+                store.create_file(name);
+                let _ = tx.send(Ok(Response::default()));
+            }
+            ToBackend::InsertWithKey(key, record) => {
+                let resp = store
+                    .insert_with_key(key, record)
+                    .map(|()| Response::with_affected(1, Default::default()));
+                let _ = tx.send(resp);
+            }
+            ToBackend::Exec(req) => {
+                let _ = tx.send(store.execute(&req));
+            }
+            ToBackend::Shutdown => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abdl::parse::parse_request;
+    use abdl::Value;
+
+    fn insert(k: &mut impl Kernel, file: &str, key: i64, extra: &[(&str, Value)]) {
+        let mut rec = Record::from_pairs([("FILE", Value::str(file))]);
+        rec.set(file.to_owned(), Value::Int(key));
+        for (a, v) in extra {
+            rec.set((*a).to_owned(), v.clone());
+        }
+        k.execute(&Request::Insert { record: rec }).unwrap();
+    }
+
+    #[test]
+    fn retrieve_merges_partitions() {
+        let mut c = Controller::new(4);
+        c.create_file("f");
+        for i in 0..20 {
+            insert(&mut c, "f", i, &[("bucket", Value::Int(i % 3))]);
+        }
+        let resp = c
+            .execute(&parse_request("RETRIEVE ((FILE = f) and (bucket = 1)) (*)").unwrap())
+            .unwrap();
+        assert_eq!(resp.records().len(), 7);
+        // Merged responses are sorted by database key.
+        let keys: Vec<u64> = resp.records().iter().map(|(k, _)| k.0).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn update_and_delete_broadcast() {
+        let mut c = Controller::new(3);
+        c.create_file("f");
+        for i in 0..12 {
+            insert(&mut c, "f", i, &[("x", Value::Int(0))]);
+        }
+        let resp = c.execute(&parse_request("UPDATE ((FILE = f) and (f >= 6)) (x = 1)").unwrap());
+        assert_eq!(resp.unwrap().affected, 6);
+        let resp = c.execute(&parse_request("DELETE ((FILE = f) and (x = 1))").unwrap()).unwrap();
+        assert_eq!(resp.affected, 6);
+        let rest = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(rest.records().len(), 6);
+    }
+
+    #[test]
+    fn aggregates_are_globally_correct() {
+        let mut c = Controller::new(4);
+        c.create_file("f");
+        for i in 0..10 {
+            insert(&mut c, "f", i, &[("v", Value::Int(i))]);
+        }
+        let resp =
+            c.execute(&parse_request("RETRIEVE (FILE = f) (COUNT(v), AVG(v), MAX(v))").unwrap());
+        let groups = resp.unwrap().groups.unwrap();
+        assert_eq!(groups[0].values[0], Value::Int(10));
+        // Global AVG = 4.5; a naive per-backend merge could not produce
+        // this for uneven partitions.
+        assert_eq!(groups[0].values[1], Value::Float(4.5));
+        assert_eq!(groups[0].values[2], Value::Int(9));
+    }
+
+    #[test]
+    fn unique_constraints_enforced_across_partitions() {
+        let mut c = Controller::new(4);
+        c.create_file("f");
+        c.add_unique_constraint("f", vec!["name".into()]);
+        insert(&mut c, "f", 1, &[("name", Value::str("a"))]);
+        // The duplicate would land on a different backend; the global
+        // check must still reject it.
+        let mut rec = Record::from_pairs([("FILE", Value::str("f"))]);
+        rec.set("f", Value::Int(2));
+        rec.set("name", Value::str("a"));
+        let err = c.execute(&Request::Insert { record: rec }).unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn retrieve_common_joins_across_backends() {
+        let mut c = Controller::new(3);
+        c.create_file("a");
+        c.create_file("b");
+        insert(&mut c, "a", 1, &[("j", Value::Int(7)), ("la", Value::str("left"))]);
+        insert(&mut c, "b", 1, &[("j", Value::Int(7)), ("lb", Value::str("right"))]);
+        insert(&mut c, "b", 2, &[("j", Value::Int(8))]);
+        let resp = c
+            .execute(
+                &parse_request(
+                    "RETRIEVE-COMMON ((FILE = a)) (j) COMMON ((FILE = b)) (j) (la, lb)",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.records().len(), 1);
+        assert_eq!(resp.records()[0].1.get("lb"), Some(&Value::str("right")));
+    }
+
+    #[test]
+    fn results_are_identical_to_single_store() {
+        let mut single = Store::new();
+        let mut multi = Controller::new(5);
+        single.create_file("f");
+        multi.create_file("f");
+        for i in 0..50 {
+            insert(&mut single, "f", i, &[("m", Value::Int(i % 4))]);
+            insert(&mut multi, "f", i, &[("m", Value::Int(i % 4))]);
+        }
+        for q in [
+            "RETRIEVE ((FILE = f) and (m = 2)) (f, m)",
+            "RETRIEVE ((FILE = f) and (f >= 40)) (*)",
+            "RETRIEVE (FILE = f) (COUNT(f)) BY m",
+        ] {
+            let a = single.execute(&parse_request(q).unwrap()).unwrap();
+            let b = multi.execute(&parse_request(q).unwrap()).unwrap();
+            assert_eq!(a.records(), b.records(), "records differ for {q}");
+            assert_eq!(a.groups, b.groups, "groups differ for {q}");
+        }
+    }
+
+    #[test]
+    fn transactions_execute_sequentially_through_the_controller() {
+        let mut c = Controller::new(3);
+        c.create_file("f");
+        let txn = abdl::parse::parse_transaction(
+            "INSERT (<FILE, f>, <f, 1>, <x, 1>);
+             INSERT (<FILE, f>, <f, 2>, <x, 1>);
+             UPDATE ((FILE = f) and (x = 1)) (x = 2);
+             RETRIEVE ((FILE = f) and (x = 2)) (*)",
+        )
+        .unwrap();
+        let responses = c.execute_transaction(&txn).unwrap();
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[2].affected, 2);
+        assert_eq!(responses[3].records().len(), 2);
+    }
+
+    #[test]
+    fn killing_a_backend_loses_only_its_partition() {
+        let mut c = Controller::new(4);
+        c.create_file("f");
+        for i in 0..20 {
+            insert(&mut c, "f", i, &[]);
+        }
+        c.kill_backend(2);
+        assert_eq!(c.alive_count(), 3);
+        let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 15, "one quarter of the records is gone");
+        // The system still accepts new work.
+        insert(&mut c, "f", 100, &[]);
+        let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 16);
+    }
+}

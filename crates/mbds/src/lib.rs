@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # MBDS — the Multi-Backend Database System
+//!
+//! "The Multi-Backend Database System (MBDS) uses a software
+//! multiple-backend approach … utilizing multiple backends connected in
+//! parallel. The backends have identical software and their own disks.
+//! There is a backend controller, the master, which supervises the
+//! execution of the database transactions … The backend controller is
+//! connected to the individual backends by a communication bus."
+//!
+//! Two performance claims are made for MBDS (§I.B.2 of the thesis) and
+//! reproduced by this crate's simulator:
+//!
+//! 1. *Response-time reduction*: "by increasing the number of backends,
+//!    while maintaining the size of the database … at a constant level,
+//!    MBDS yields a nearly reciprocal decrease in the response times."
+//! 2. *Capacity growth*: "by increasing the number of backends
+//!    proportionally with an increase in the size of the database …
+//!    MBDS produces invariant response-times."
+//!
+//! Provided here:
+//!
+//! * [`Controller`] — a real threaded controller: N backend worker
+//!   threads, each owning a private [`abdl::Store`] partition, connected
+//!   by channels (the "communication bus"). Implements [`abdl::Kernel`],
+//!   so every MLDS language interface runs on it unchanged. Records are
+//!   placed round-robin per file; non-INSERT requests are broadcast and
+//!   the partial responses merged (aggregates are re-aggregated
+//!   globally). Backends can be killed for failure-injection tests.
+//! * [`SimCluster`] — the deterministic simulated-time twin used for
+//!   the experiment tables: the same placement and merge logic executed
+//!   serially, with response time computed from a [`CostModel`] over the
+//!   per-backend disk-block counters (`max` over backends + bus and
+//!   merge costs), exactly the quantity whose *shape* the two claims
+//!   describe.
+
+//! ## Example
+//!
+//! ```
+//! use abdl::{Kernel, Record, Request, Value};
+//! use mbds::Controller;
+//!
+//! let mut mbds = Controller::new(4);
+//! mbds.create_file("f");
+//! for i in 0..20i64 {
+//!     mbds.execute(&Request::Insert {
+//!         record: Record::from_pairs([("FILE", Value::str("f"))])
+//!             .with("f", Value::Int(i)),
+//!     }).unwrap();
+//! }
+//! let resp = mbds
+//!     .execute(&abdl::parse::parse_request("RETRIEVE ((FILE = f) and (f < 10)) (*)").unwrap())
+//!     .unwrap();
+//! assert_eq!(resp.records().len(), 10);
+//! ```
+
+mod controller;
+mod placement;
+mod sim;
+
+pub use controller::Controller;
+pub use placement::Partitioner;
+pub use sim::{CostModel, SimCluster};

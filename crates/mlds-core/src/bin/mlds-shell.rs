@@ -1,0 +1,325 @@
+//! `mlds-shell` — an interactive MLDS terminal.
+//!
+//! The thesis's LIL "supports user interaction with the system via a
+//! user-selected data model with transactions written in a
+//! corresponding user data language"; this binary is that loop. Lines
+//! starting with `.` are shell commands; everything else is handed to
+//! the open session's language interface (CODASYL-DML or Daplex).
+//!
+//! ```text
+//! cargo run -p mlds-core --bin mlds-shell                 # interactive
+//! cargo run -p mlds-core --bin mlds-shell -- script.mlds  # batch
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! .help                         this text
+//! .demo                         load + populate the University database
+//! .create <path>                load a database from a DDL file (model auto-detected)
+//! .open <db> [codasyl|daplex|sql|dli]   open a session (default codasyl)
+//! .dbs                          list databases
+//! .schema <db>                  print a database's schema
+//! .transformed <db>             print a functional database's transformed network schema
+//! .abdl on|off                  echo generated ABDL requests (default on)
+//! .save <path> / .load <path>   dump / restore the kernel as ABDL text
+//! .quit                         exit
+//! ```
+
+use mlds::{daplex, CodasylSession, DaplexSession, HierSession, Mlds, SqlSession};
+use std::io::{BufRead, Write};
+
+enum Session {
+    None,
+    Codasyl(Box<CodasylSession>),
+    Daplex(Box<DaplexSession>),
+    Sql(Box<SqlSession>),
+    Dli(Box<HierSession>),
+}
+
+struct Shell {
+    mlds: Mlds,
+    session: Session,
+    echo_abdl: bool,
+}
+
+fn main() {
+    let mut shell = Shell { mlds: Mlds::single_backend(), session: Session::None, echo_abdl: true };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.first() {
+        match std::fs::read_to_string(path) {
+            Ok(script) => {
+                for line in script.lines() {
+                    shell.dispatch(line);
+                }
+            }
+            Err(e) => eprintln!("cannot read `{path}`: {e}"),
+        }
+        return;
+    }
+
+    println!("MLDS — the Multi-Lingual Database System (type .help)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("mlds> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        if !shell.dispatch(&line) {
+            break;
+        }
+    }
+}
+
+impl Shell {
+    /// Handle one input line; false means quit.
+    fn dispatch(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return true;
+        }
+        if let Some(cmd) = line.strip_prefix('.') {
+            return self.command(cmd);
+        }
+        self.statement(line);
+        true
+    }
+
+    fn command(&mut self, cmd: &str) -> bool {
+        let mut words = cmd.split_whitespace();
+        match words.next() {
+            Some("help") => print!("{}", HELP),
+            Some("quit") | Some("exit") => return false,
+            Some("demo") => {
+                match self.mlds.create_database(daplex::university::UNIVERSITY_DDL) {
+                    Ok(db) => {
+                        if let Err(e) = self.mlds.populate_university(&db) {
+                            eprintln!("populate failed: {e}");
+                        } else {
+                            println!("loaded and populated `{db}`; try `.open {db}`");
+                        }
+                    }
+                    Err(e) => eprintln!("{e}"),
+                }
+            }
+            Some("create") => match words.next() {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(ddl) => match self.mlds.create_database(&ddl) {
+                        Ok(db) => println!("created `{db}`"),
+                        Err(e) => eprintln!("{e}"),
+                    },
+                    Err(e) => eprintln!("cannot read `{path}`: {e}"),
+                },
+                None => eprintln!("usage: .create <ddl-file>"),
+            },
+            Some("open") => {
+                let Some(db) = words.next() else {
+                    eprintln!("usage: .open <db> [codasyl|daplex]");
+                    return true;
+                };
+                let lang = words.next().unwrap_or("codasyl");
+                match lang {
+                    "codasyl" => match self.mlds.connect_codasyl("shell", db) {
+                        Ok(s) => {
+                            println!(
+                                "opened `{db}` via CODASYL-DML{}",
+                                if s.is_cross_model() {
+                                    " (functional database, schema transformed)"
+                                } else {
+                                    ""
+                                }
+                            );
+                            self.session = Session::Codasyl(Box::new(s));
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    },
+                    "daplex" => match self.mlds.connect_daplex("shell", db) {
+                        Ok(s) => {
+                            println!("opened `{db}` via Daplex");
+                            self.session = Session::Daplex(Box::new(s));
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    },
+                    "sql" => match self.mlds.connect_sql("shell", db) {
+                        Ok(s) => {
+                            println!("opened `{db}` via SQL");
+                            self.session = Session::Sql(Box::new(s));
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    },
+                    "dli" => match self.mlds.connect_dli("shell", db) {
+                        Ok(s) => {
+                            println!("opened `{db}` via DL/I");
+                            self.session = Session::Dli(Box::new(s));
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    },
+                    other => eprintln!("unknown language `{other}` (codasyl|daplex|sql|dli)"),
+                }
+            }
+            Some("dbs") => {
+                for name in self.mlds.database_names() {
+                    let kind = if self.mlds.functional_schema(name).is_some() {
+                        "functional"
+                    } else if self.mlds.relational_schema(name).is_some() {
+                        "relational"
+                    } else if self.mlds.hierarchical_schema(name).is_some() {
+                        "hierarchical"
+                    } else {
+                        "network"
+                    };
+                    println!("{name} ({kind})");
+                }
+            }
+            Some("schema") => match words.next() {
+                Some(db) => {
+                    if let Some(s) = self.mlds.functional_schema(db) {
+                        print!("{}", daplex::ddl::print_schema(s));
+                    } else if let Some(s) = self.mlds.network_schema(db) {
+                        print!("{}", mlds::codasyl::ddl::print_schema(s));
+                    } else if let Some(s) = self.mlds.relational_schema(db) {
+                        print!("{}", mlds::relational::ddl::print_schema(s));
+                    } else if let Some(s) = self.mlds.hierarchical_schema(db) {
+                        print!("{}", mlds::dli::ddl::print_schema(s));
+                    } else {
+                        eprintln!("no database named `{db}`");
+                    }
+                }
+                None => eprintln!("usage: .schema <db>"),
+            },
+            Some("transformed") => match words.next() {
+                Some(db) => match self.mlds.connect_codasyl("shell-peek", db) {
+                    Ok(s) => print!("{}", mlds::codasyl::ddl::print_schema(s.schema())),
+                    Err(e) => eprintln!("{e}"),
+                },
+                None => eprintln!("usage: .transformed <db>"),
+            },
+            Some("functional") => match words.next() {
+                Some(db) => match self.mlds.connect_daplex("shell-peek", db) {
+                    Ok(s) => print!("{}", daplex::ddl::print_schema(s.schema())),
+                    Err(e) => eprintln!("{e}"),
+                },
+                None => eprintln!("usage: .functional <db>"),
+            },
+            Some("abdl") => match words.next() {
+                Some("on") => self.echo_abdl = true,
+                Some("off") => self.echo_abdl = false,
+                _ => eprintln!("usage: .abdl on|off"),
+            },
+            Some("save") => match words.next() {
+                Some(path) => {
+                    let text = mlds::abdl::engine::dump(self.mlds.kernel_mut());
+                    match std::fs::write(path, text) {
+                        Ok(()) => println!("kernel saved to `{path}`"),
+                        Err(e) => eprintln!("cannot write `{path}`: {e}"),
+                    }
+                }
+                None => eprintln!("usage: .save <path>"),
+            },
+            Some("load") => match words.next() {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(text) => match mlds::abdl::engine::restore(&text) {
+                        Ok(store) => {
+                            *self.mlds.kernel_mut() = store;
+                            println!("kernel restored from `{path}` (schemas are not part of \
+                                      dumps; .create them before .open)");
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    },
+                    Err(e) => eprintln!("cannot read `{path}`: {e}"),
+                },
+                None => eprintln!("usage: .load <path>"),
+            },
+            other => eprintln!("unknown command {other:?} (try .help)"),
+        }
+        true
+    }
+
+    fn statement(&mut self, line: &str) {
+        match &mut self.session {
+            Session::None => eprintln!("no open session (try `.demo` then `.open university`)"),
+            Session::Codasyl(s) => match self.mlds.execute_codasyl(s, line) {
+                Ok(outputs) => {
+                    for out in outputs {
+                        if self.echo_abdl {
+                            for req in &out.abdl {
+                                println!("  ABDL: {req}");
+                            }
+                        }
+                        if !out.display.is_empty() {
+                            println!("{}", out.display);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("{e}"),
+            },
+            Session::Daplex(s) => match self.mlds.execute_daplex(s, line) {
+                Ok(outputs) => {
+                    for out in outputs {
+                        if out.display.is_empty() {
+                            println!("({} affected)", out.affected);
+                        } else {
+                            println!("{}", out.display);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("{e}"),
+            },
+            Session::Sql(s) => match self.mlds.execute_sql(s, line) {
+                Ok(outputs) => {
+                    for out in outputs {
+                        if self.echo_abdl {
+                            for req in &out.abdl {
+                                println!("  ABDL: {req}");
+                            }
+                        }
+                        println!("{}", out.display);
+                    }
+                }
+                Err(e) => eprintln!("{e}"),
+            },
+            Session::Dli(s) => match self.mlds.execute_dli(s, line) {
+                Ok(outputs) => {
+                    for out in outputs {
+                        if self.echo_abdl {
+                            for req in &out.abdl {
+                                println!("  ABDL: {req}");
+                            }
+                        }
+                        if !out.display.is_empty() {
+                            println!("{}", out.display);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("{e}"),
+            },
+        }
+    }
+}
+
+const HELP: &str = "\
+.help                         this text
+.demo                         load + populate the University database
+.create <path>                load a database from a DDL file (model auto-detected)
+.open <db> [codasyl|daplex|sql|dli]   open a session (default codasyl)
+.dbs                          list databases
+.schema <db>                  print a database's schema
+.transformed <db>             print a functional database's transformed network schema
+.functional <db>              print a network database's reverse-transformed Daplex schema
+.abdl on|off                  echo generated ABDL requests (default on)
+.save <path> / .load <path>   dump / restore the kernel as ABDL text
+.quit                         exit
+Anything else is a statement for the open session, e.g.:
+  MOVE 'Advanced Database' TO title IN course
+  FIND ANY course USING title IN course
+  GET course
+or, in a Daplex session:
+  FOR EACH student SUCH THAT major(student) = 'Computer Science' PRINT name(student);
+";

@@ -1,0 +1,186 @@
+//! Per-database kernel namespacing.
+//!
+//! MLDS "allows the user to access and interact with numerous
+//! databases" over one kernel. Kernel files are a single flat
+//! namespace, so two databases may well both declare a `department`;
+//! LIL therefore routes every request through a namespacing adapter
+//! that prefixes kernel file names with the database name
+//! (`university.department`) on the way in and strips the prefix on
+//! the way out. The language interfaces never see the prefix.
+
+use abdl::{DbKey, Kernel, Record, Request, Response, Value, FILE_ATTR};
+
+/// The kernel file name of `file` within database `db`.
+pub fn kernel_file(db: &str, file: &str) -> String {
+    format!("{db}.{file}")
+}
+
+/// A kernel view scoped to one database.
+pub struct NamespacedKernel<'a, K: Kernel> {
+    inner: &'a mut K,
+    prefix: String,
+}
+
+impl<'a, K: Kernel> NamespacedKernel<'a, K> {
+    /// Scope `inner` to database `db`.
+    pub fn new(inner: &'a mut K, db: &str) -> Self {
+        NamespacedKernel { inner, prefix: format!("{db}.") }
+    }
+
+    fn add_prefix(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
+    fn map_value_in(&self, v: &mut Value) {
+        if let Value::Str(s) = v {
+            *s = self.add_prefix(s);
+        }
+    }
+
+    fn map_query_in(&self, q: &mut abdl::Query) {
+        for conj in &mut q.disjuncts {
+            for pred in &mut conj.predicates {
+                if pred.attr == FILE_ATTR {
+                    self.map_value_in(&mut pred.value);
+                }
+            }
+        }
+    }
+
+    fn map_record_in(&self, rec: &mut Record) {
+        if let Some(file) = rec.file().map(str::to_owned) {
+            rec.set(FILE_ATTR, Value::str(self.add_prefix(&file)));
+        }
+    }
+
+    fn map_record_out(&self, rec: &mut Record) {
+        if let Some(file) = rec.file().map(str::to_owned) {
+            if let Some(stripped) = file.strip_prefix(&self.prefix) {
+                rec.set(FILE_ATTR, Value::str(stripped));
+            }
+        }
+    }
+
+    fn map_request_in(&self, req: &Request) -> Request {
+        let mut req = req.clone();
+        match &mut req {
+            Request::Insert { record } => self.map_record_in(record),
+            Request::Delete { query } => self.map_query_in(query),
+            Request::Update { query, .. } => self.map_query_in(query),
+            Request::Retrieve { query, .. } => self.map_query_in(query),
+            Request::RetrieveCommon { left, right, .. } => {
+                self.map_query_in(left);
+                self.map_query_in(right);
+            }
+        }
+        req
+    }
+
+    fn map_response_out(&self, mut resp: Response) -> Response {
+        let records: Vec<(DbKey, Record)> = resp
+            .records()
+            .iter()
+            .map(|(k, r)| {
+                let mut r = r.clone();
+                self.map_record_out(&mut r);
+                (*k, r)
+            })
+            .collect();
+        let mut out = Response::with_records(records, resp.stats);
+        out.groups = resp.groups.take();
+        out.affected = resp.affected;
+        out
+    }
+}
+
+impl<K: Kernel> Kernel for NamespacedKernel<'_, K> {
+    fn create_file(&mut self, name: &str) {
+        let name = self.add_prefix(name);
+        self.inner.create_file(&name);
+    }
+
+    fn add_unique_constraint(&mut self, file: &str, attrs: Vec<String>) {
+        let file = self.add_prefix(file);
+        self.inner.add_unique_constraint(&file, attrs);
+    }
+
+    fn reserve_key(&mut self) -> DbKey {
+        self.inner.reserve_key()
+    }
+
+    fn execute(&mut self, request: &Request) -> abdl::Result<Response> {
+        let mapped = self.map_request_in(request);
+        let resp = self.inner.execute(&mapped)?;
+        Ok(self.map_response_out(resp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abdl::parse::parse_request;
+    use abdl::Store;
+
+    #[test]
+    fn two_databases_with_the_same_file_name_stay_apart() {
+        let mut store = Store::new();
+        for (db, v) in [("a", 1i64), ("b", 2i64)] {
+            let mut ns = NamespacedKernel::new(&mut store, db);
+            ns.create_file("t");
+            ns.execute(&Request::Insert {
+                record: Record::from_pairs([("FILE", Value::str("t"))])
+                    .with("t", Value::Int(v)),
+            })
+            .unwrap();
+        }
+        let mut ns_a = NamespacedKernel::new(&mut store, "a");
+        let resp = ns_a.execute(&parse_request("RETRIEVE (FILE = t) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 1);
+        assert_eq!(resp.records()[0].1.get("t"), Some(&Value::Int(1)));
+        // The record comes back with the *unprefixed* file name.
+        assert_eq!(resp.records()[0].1.file(), Some("t"));
+        // Raw kernel view shows the prefixed files.
+        assert!(store.file_names().any(|f| f == "a.t"));
+        assert!(store.file_names().any(|f| f == "b.t"));
+    }
+
+    #[test]
+    fn constraints_are_scoped() {
+        let mut store = Store::new();
+        {
+            let mut ns = NamespacedKernel::new(&mut store, "a");
+            ns.create_file("t");
+            ns.add_unique_constraint("t", vec!["x".into()]);
+            ns.execute(&parse_request("INSERT (<FILE, t>, <t, 1>, <x, 5>)").unwrap()).unwrap();
+            let err =
+                ns.execute(&parse_request("INSERT (<FILE, t>, <t, 2>, <x, 5>)").unwrap());
+            assert!(err.is_err());
+        }
+        // Database b has no such constraint.
+        let mut ns = NamespacedKernel::new(&mut store, "b");
+        ns.create_file("t");
+        ns.execute(&parse_request("INSERT (<FILE, t>, <t, 1>, <x, 5>)").unwrap()).unwrap();
+        ns.execute(&parse_request("INSERT (<FILE, t>, <t, 2>, <x, 5>)").unwrap()).unwrap();
+    }
+
+    #[test]
+    fn retrieve_common_maps_both_sides() {
+        let mut store = Store::new();
+        let mut ns = NamespacedKernel::new(&mut store, "db");
+        ns.create_file("l");
+        ns.create_file("r");
+        ns.execute(&parse_request("INSERT (<FILE, l>, <l, 1>, <j, 7>, <a, 'x'>)").unwrap())
+            .unwrap();
+        ns.execute(&parse_request("INSERT (<FILE, r>, <r, 1>, <j, 7>, <b, 'y'>)").unwrap())
+            .unwrap();
+        let resp = ns
+            .execute(
+                &parse_request(
+                    "RETRIEVE-COMMON ((FILE = l)) (j) COMMON ((FILE = r)) (j) (a, b)",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.records().len(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! The relational schema: tables, columns, primary keys.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A column type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    /// `INTEGER`.
+    Int,
+    /// `FLOAT`.
+    Float,
+    /// `CHAR(n)`.
+    Char {
+        /// Maximum length.
+        len: u16,
+    },
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColType::Int => write!(f, "INTEGER"),
+            ColType::Float => write!(f, "FLOAT"),
+            ColType::Char { len } => write!(f, "CHAR({len})"),
+        }
+    }
+}
+
+/// A column declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub typ: ColType,
+    /// `NOT NULL` declared?
+    pub not_null: bool,
+    /// The kernel attribute this column reads (defaults to `name`).
+    /// Derived views (e.g. the relational view of a hierarchical
+    /// database) use this to expose kernel key attributes under
+    /// non-colliding column names.
+    pub kernel_attr: Option<String>,
+}
+
+impl Column {
+    /// A plain writable column.
+    pub fn new(name: impl Into<String>, typ: ColType) -> Self {
+        Column { name: name.into(), typ, not_null: false, kernel_attr: None }
+    }
+
+    /// The kernel attribute backing this column.
+    pub fn kernel_attr(&self) -> &str {
+        self.kernel_attr.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// A table declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// The primary-key columns (may be empty).
+    pub primary_key: Vec<String>,
+}
+
+impl Table {
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Require a column by name.
+    pub fn require_column(&self, name: &str) -> Result<&Column> {
+        self.column(name).ok_or_else(|| Error::UnknownColumn {
+            table: self.name.clone(),
+            column: name.to_owned(),
+        })
+    }
+}
+
+/// A relational database schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RelSchema {
+    /// Database name.
+    pub name: String,
+    /// Tables in declaration order.
+    pub tables: Vec<Table>,
+    /// Read-only views (derived schemas) reject INSERT/UPDATE/DELETE.
+    pub read_only: bool,
+}
+
+impl RelSchema {
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Require a table.
+    pub fn require_table(&self, name: &str) -> Result<&Table> {
+        self.table(name).ok_or_else(|| Error::UnknownTable(name.to_owned()))
+    }
+
+    /// Validate name uniqueness and primary-key resolution.
+    pub fn validate(&self) -> Result<()> {
+        let mut names = std::collections::HashSet::new();
+        for t in &self.tables {
+            if !names.insert(&t.name) {
+                return Err(Error::InvalidSchema(format!("duplicate table `{}`", t.name)));
+            }
+            let mut cols = std::collections::HashSet::new();
+            for c in &t.columns {
+                if !cols.insert(&c.name) {
+                    return Err(Error::InvalidSchema(format!(
+                        "duplicate column `{}` in table `{}`",
+                        c.name, t.name
+                    )));
+                }
+                // Writable schemas must not alias the row-key attribute
+                // (INSERT would clobber it); read-only views may.
+                if !self.read_only && c.kernel_attr() == t.name {
+                    return Err(Error::InvalidSchema(format!(
+                        "column `{}` collides with the kernel row-key attribute of table `{}`",
+                        c.name, t.name
+                    )));
+                }
+            }
+            for k in &t.primary_key {
+                t.require_column(k).map_err(|_| {
+                    Error::InvalidSchema(format!(
+                        "primary key of `{}` names unknown column `{k}`",
+                        t.name
+                    ))
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table {
+            name: "supplier".into(),
+            columns: vec![
+                Column { name: "sno".into(), typ: ColType::Int, not_null: true, kernel_attr: None },
+                Column::new("sname", ColType::Char { len: 20 }),
+            ],
+            primary_key: vec!["sno".into()],
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let s = RelSchema { name: "t".into(), tables: vec![table()], read_only: false };
+        s.validate().unwrap();
+        assert!(s.table("supplier").is_some());
+        assert!(s.require_table("ghost").is_err());
+        assert!(s.table("supplier").unwrap().require_column("sno").is_ok());
+        assert!(s.table("supplier").unwrap().require_column("ghost").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_schemas() {
+        let mut s = RelSchema { name: "t".into(), tables: vec![table(), table()], read_only: false };
+        assert!(s.validate().is_err());
+        s.tables.pop();
+        s.tables[0].primary_key = vec!["ghost".into()];
+        assert!(s.validate().is_err());
+        s.tables[0].primary_key.clear();
+        s.tables[0].columns.push(Column::new("supplier", ColType::Int));
+        assert!(s.validate().is_err(), "column colliding with row-key attribute");
+        // …but a read-only view may alias the key attribute.
+        s.read_only = true;
+        s.tables[0].columns.pop();
+        s.tables[0].columns.push(Column {
+            name: "supplier_key".into(),
+            typ: ColType::Int,
+            not_null: false,
+            kernel_attr: Some("supplier".into()),
+        });
+        s.validate().unwrap();
+    }
+}

@@ -1,0 +1,603 @@
+//! SQL → ABDL translation and execution (the relational KMS).
+
+use crate::ab_map::{build_row, coerce, key_attr};
+use crate::dml::{ColRef, FromItem, Rhs, SelectItem, SqlStatement, Where};
+use crate::error::{Error, Result};
+use crate::schema::{RelSchema, Table};
+use abdl::{
+    Aggregate, Kernel, Modifier, Predicate, Query, Request, Target, TargetList, Value, FILE_ATTR,
+};
+
+/// A formatted relational result: column headers and value rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RowSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// The rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Rows affected by a mutation.
+    pub affected: usize,
+    /// The ABDL requests generated (for the fan-out accounting).
+    pub requests: Vec<Request>,
+}
+
+impl std::fmt::Display for RowSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.columns.is_empty() {
+            return write!(f, "{} row(s) affected", self.affected);
+        }
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        write!(f, "({} row(s))", self.rows.len())
+    }
+}
+
+/// The SQL translator bound to a relational schema.
+#[derive(Debug, Clone)]
+pub struct SqlTranslator {
+    schema: RelSchema,
+}
+
+impl SqlTranslator {
+    /// A translator for a validated schema.
+    pub fn new(schema: RelSchema) -> Self {
+        SqlTranslator { schema }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// Execute one SQL statement against a kernel.
+    pub fn execute<K: Kernel>(&self, kernel: &mut K, stmt: &SqlStatement) -> Result<RowSet> {
+        if self.schema.read_only && !matches!(stmt, SqlStatement::Select { .. }) {
+            return Err(Error::InvalidSchema(format!(
+                "`{}` is a read-only view; mutate through its native interface",
+                self.schema.name
+            )));
+        }
+        match stmt {
+            SqlStatement::Insert { table, columns, values } => {
+                self.insert(kernel, table, columns, values)
+            }
+            SqlStatement::Update { table, sets, wher } => self.update(kernel, table, sets, wher),
+            SqlStatement::Delete { table, wher } => self.delete(kernel, table, wher),
+            SqlStatement::Select { items, from, wher, group_by, order_by } => match from.len() {
+                1 => self.select_single(
+                    kernel,
+                    items,
+                    &from[0],
+                    wher,
+                    group_by.as_ref(),
+                    order_by.as_ref(),
+                ),
+                2 => self.select_join(kernel, items, from, wher, order_by.as_ref()),
+                n => Err(Error::InvalidSchema(format!(
+                    "SELECT over {n} tables is not supported (1 table, or 2 with one equi-join)"
+                ))),
+            },
+        }
+    }
+
+    // ----- mutations --------------------------------------------------
+
+    fn insert<K: Kernel>(
+        &self,
+        kernel: &mut K,
+        table: &str,
+        columns: &[String],
+        values: &[Value],
+    ) -> Result<RowSet> {
+        let t = self.schema.require_table(table)?;
+        if columns.len() != values.len() {
+            return Err(Error::ArityMismatch {
+                table: table.to_owned(),
+                columns: columns.len(),
+                values: values.len(),
+            });
+        }
+        let pairs: Vec<(String, Value)> =
+            columns.iter().cloned().zip(values.iter().cloned()).collect();
+        let key = kernel.reserve_key().0 as i64;
+        let record = build_row(t, key, &pairs)?;
+        let req = Request::Insert { record };
+        kernel.execute(&req)?;
+        Ok(RowSet { affected: 1, requests: vec![req], ..RowSet::default() })
+    }
+
+    fn update<K: Kernel>(
+        &self,
+        kernel: &mut K,
+        table: &str,
+        sets: &[(String, Value)],
+        wher: &Where,
+    ) -> Result<RowSet> {
+        let t = self.schema.require_table(table)?.clone();
+        let query = self.where_to_query(&t, None, wher)?;
+        let mut out = RowSet::default();
+        // "One UPDATE per SET column", mirroring the MODIFY translation.
+        for (col, v) in sets {
+            let v = coerce(&t, col, v.clone())?;
+            let attr = t.require_column(col)?.kernel_attr().to_owned();
+            let req = Request::Update {
+                query: query.clone(),
+                modifier: Modifier::new(attr, v),
+            };
+            let resp = kernel.execute(&req)?;
+            out.affected = out.affected.max(resp.affected);
+            out.requests.push(req);
+        }
+        Ok(out)
+    }
+
+    fn delete<K: Kernel>(&self, kernel: &mut K, table: &str, wher: &Where) -> Result<RowSet> {
+        let t = self.schema.require_table(table)?.clone();
+        let query = self.where_to_query(&t, None, wher)?;
+        let req = Request::Delete { query };
+        let resp = kernel.execute(&req)?;
+        Ok(RowSet { affected: resp.affected, requests: vec![req], ..RowSet::default() })
+    }
+
+    // ----- single-table SELECT ------------------------------------------
+
+    fn select_single<K: Kernel>(
+        &self,
+        kernel: &mut K,
+        items: &[SelectItem],
+        from: &FromItem,
+        wher: &Where,
+        group_by: Option<&ColRef>,
+        order_by: Option<&(ColRef, bool)>,
+    ) -> Result<RowSet> {
+        let t = self.schema.require_table(&from.table)?.clone();
+        let alias = from.alias.as_deref();
+        let query = self.where_to_query(&t, alias, wher)?;
+
+        let has_agg = items.iter().any(|i| matches!(i, SelectItem::Agg(..)));
+        if has_agg || group_by.is_some() {
+            let mut targets = Vec::new();
+            let mut headers = Vec::new();
+            for item in items {
+                match item {
+                    SelectItem::Agg(op, col) => {
+                        check_col(&t, alias, col)?;
+                        let attr = t.require_column(&col.column)?.kernel_attr().to_owned();
+                        targets.push(Target::Agg(*op, attr));
+                        headers.push(format!("{}({})", agg_name(*op), col.column));
+                    }
+                    SelectItem::Col(col) => {
+                        check_col(&t, alias, col)?;
+                        let attr = t.require_column(&col.column)?.kernel_attr().to_owned();
+                        targets.push(Target::Attr(attr));
+                        headers.push(col.column.clone());
+                    }
+                    SelectItem::All => {
+                        return Err(Error::InvalidSchema(
+                            "`*` cannot be mixed with aggregates".into(),
+                        ))
+                    }
+                }
+            }
+            let by = match group_by {
+                Some(col) => {
+                    check_col(&t, alias, col)?;
+                    Some(t.require_column(&col.column)?.kernel_attr().to_owned())
+                }
+                None => None,
+            };
+            let req = Request::Retrieve { query, target: TargetList { targets }, by };
+            let resp = kernel.execute(&req)?;
+            let rows = resp
+                .groups
+                .unwrap_or_default()
+                .into_iter()
+                .map(|g| g.values)
+                .collect();
+            return Ok(RowSet { columns: headers, rows, requests: vec![req], affected: 0 });
+        }
+
+        let pairs = self.projection(&t, alias, items)?;
+        let headers: Vec<String> = pairs.iter().map(|(h, _)| h.clone()).collect();
+        let attrs: Vec<String> = pairs.iter().map(|(_, a)| a.clone()).collect();
+        let req = Request::Retrieve {
+            query,
+            target: TargetList::attrs(attrs.clone()),
+            by: None,
+        };
+        let resp = kernel.execute(&req)?;
+        let mut rows: Vec<Vec<Value>> = resp
+            .records()
+            .iter()
+            .map(|(_, rec)| attrs.iter().map(|a| rec.get_or_null(a).clone()).collect())
+            .collect();
+        apply_order(&mut rows, &headers, order_by)?;
+        Ok(RowSet { columns: headers, rows, requests: vec![req], affected: 0 })
+    }
+
+    // ----- two-table equi-join SELECT --------------------------------------
+
+    fn select_join<K: Kernel>(
+        &self,
+        kernel: &mut K,
+        items: &[SelectItem],
+        from: &[FromItem],
+        wher: &Where,
+        order_by: Option<&(ColRef, bool)>,
+    ) -> Result<RowSet> {
+        let left_t = self.schema.require_table(&from[0].table)?.clone();
+        let right_t = self.schema.require_table(&from[1].table)?.clone();
+        let left_alias = from[0].alias.as_deref();
+        let right_alias = from[1].alias.as_deref();
+
+        if wher.len() != 1 {
+            return Err(Error::InvalidSchema(
+                "joins support a single conjunction (no OR) in this SQL subset".into(),
+            ));
+        }
+        // Split the conjunction into the join predicate and per-side
+        // locals.
+        let mut join: Option<(ColRef, ColRef)> = None;
+        let mut left_local = Vec::new();
+        let mut right_local = Vec::new();
+        for pred in &wher[0] {
+            match &pred.rhs {
+                Rhs::Col(rhs) => {
+                    if pred.op != abdl::RelOp::Eq {
+                        return Err(Error::InvalidSchema(
+                            "join predicates must be equalities".into(),
+                        ));
+                    }
+                    if join.is_some() {
+                        return Err(Error::InvalidSchema(
+                            "only one join predicate is supported".into(),
+                        ));
+                    }
+                    join = Some((pred.lhs.clone(), rhs.clone()));
+                }
+                Rhs::Value(_) => {
+                    if belongs(&left_t, left_alias, &pred.lhs) {
+                        left_local.push(pred.clone());
+                    } else if belongs(&right_t, right_alias, &pred.lhs) {
+                        right_local.push(pred.clone());
+                    } else {
+                        return Err(Error::UnknownColumn {
+                            table: format!("{} / {}", left_t.name, right_t.name),
+                            column: pred.lhs.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let Some((ja, jb)) = join else {
+            return Err(Error::InvalidSchema("two-table SELECT needs a join predicate".into()));
+        };
+        // Orient the join columns to (left, right).
+        let (left_col, right_col) = if belongs(&left_t, left_alias, &ja)
+            && belongs(&right_t, right_alias, &jb)
+        {
+            (ja, jb)
+        } else if belongs(&right_t, right_alias, &ja) && belongs(&left_t, left_alias, &jb) {
+            (jb, ja)
+        } else {
+            return Err(Error::InvalidSchema(format!(
+                "join predicate {ja} = {jb} does not span the two FROM tables"
+            )));
+        };
+
+        let left_query =
+            self.where_to_query(&left_t, left_alias, &vec![left_local])?;
+        let right_query =
+            self.where_to_query(&right_t, right_alias, &vec![right_local])?;
+
+        // Projection: qualified columns resolve per side; the merged
+        // record prefers the left side on collisions (kernel semantics).
+        let mut headers = Vec::new();
+        let mut attrs = Vec::new();
+        let mut push_col = |name: String, attr: String| {
+            headers.push(name);
+            attrs.push(attr);
+        };
+        for item in items {
+            match item {
+                SelectItem::All => {
+                    for c in &left_t.columns {
+                        push_col(c.name.clone(), c.kernel_attr().to_owned());
+                    }
+                    for c in &right_t.columns {
+                        if left_t.column(&c.name).is_none() {
+                            push_col(c.name.clone(), c.kernel_attr().to_owned());
+                        }
+                    }
+                }
+                SelectItem::Col(col) => {
+                    let owning = if belongs(&left_t, left_alias, col) {
+                        &left_t
+                    } else if belongs(&right_t, right_alias, col) {
+                        &right_t
+                    } else {
+                        return Err(Error::UnknownColumn {
+                            table: format!("{} / {}", left_t.name, right_t.name),
+                            column: col.to_string(),
+                        });
+                    };
+                    let attr = owning.require_column(&col.column)?.kernel_attr().to_owned();
+                    push_col(col.column.clone(), attr);
+                }
+                SelectItem::Agg(..) => {
+                    return Err(Error::InvalidSchema(
+                        "aggregates over joins are not supported in this SQL subset".into(),
+                    ))
+                }
+            }
+        }
+
+        let left_attr = left_t.require_column(&left_col.column)?.kernel_attr().to_owned();
+        let right_attr = right_t.require_column(&right_col.column)?.kernel_attr().to_owned();
+        let req = Request::RetrieveCommon {
+            left: left_query,
+            left_attr,
+            right: right_query,
+            right_attr,
+            target: TargetList::attrs(attrs.clone()),
+        };
+        let resp = kernel.execute(&req)?;
+        let mut rows: Vec<Vec<Value>> = resp
+            .records()
+            .iter()
+            .map(|(_, rec)| attrs.iter().map(|a| rec.get_or_null(a).clone()).collect())
+            .collect();
+        apply_order(&mut rows, &headers, order_by)?;
+        Ok(RowSet { columns: headers, rows, requests: vec![req], affected: 0 })
+    }
+
+    // ----- helpers --------------------------------------------------------
+
+    /// Resolve a select list to (header, kernel-attribute) pairs.
+    fn projection(
+        &self,
+        t: &Table,
+        alias: Option<&str>,
+        items: &[SelectItem],
+    ) -> Result<Vec<(String, String)>> {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::All => out.extend(
+                    t.columns.iter().map(|c| (c.name.clone(), c.kernel_attr().to_owned())),
+                ),
+                SelectItem::Col(col) => {
+                    check_col(t, alias, col)?;
+                    let attr = t.require_column(&col.column)?.kernel_attr().to_owned();
+                    out.push((col.column.clone(), attr));
+                }
+                SelectItem::Agg(..) => unreachable!("aggregates handled by caller"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convert a WHERE clause into a kernel query over one table.
+    fn where_to_query(&self, t: &Table, alias: Option<&str>, wher: &Where) -> Result<Query> {
+        let file_pred = Predicate::eq(FILE_ATTR, Value::str(t.name.clone()));
+        if wher.is_empty() {
+            return Ok(Query::conjunction(vec![file_pred]));
+        }
+        let mut disjuncts = Vec::with_capacity(wher.len());
+        for conj in wher {
+            let mut predicates = vec![file_pred.clone()];
+            for pred in conj {
+                let Rhs::Value(v) = &pred.rhs else {
+                    return Err(Error::InvalidSchema(format!(
+                        "column-to-column predicate `{}` outside a two-table join",
+                        pred.lhs
+                    )));
+                };
+                check_col(t, alias, &pred.lhs)?;
+                let v = if v.is_null() { Value::Null } else { coerce(t, &pred.lhs.column, v.clone())? };
+                let attr = t.require_column(&pred.lhs.column)?.kernel_attr().to_owned();
+                predicates.push(Predicate::new(attr, pred.op, v));
+            }
+            disjuncts.push(abdl::Conjunction::new(predicates));
+        }
+        Ok(Query::new(disjuncts))
+    }
+}
+
+/// ORDER BY: sort rows by the named output column (which must appear
+/// in the select list), ascending or descending.
+fn apply_order(
+    rows: &mut [Vec<Value>],
+    columns: &[String],
+    order_by: Option<&(ColRef, bool)>,
+) -> Result<()> {
+    let Some((col, desc)) = order_by else { return Ok(()) };
+    let Some(idx) = columns.iter().position(|c| c == &col.column) else {
+        return Err(Error::UnknownColumn {
+            table: "select list".into(),
+            column: col.to_string(),
+        });
+    };
+    rows.sort_by(|a, b| a[idx].cmp(&b[idx]));
+    if *desc {
+        rows.reverse();
+    }
+    Ok(())
+}
+
+/// Does a column reference belong to this table (by qualifier and
+/// column existence)?
+fn belongs(t: &Table, alias: Option<&str>, col: &ColRef) -> bool {
+    match &col.qualifier {
+        Some(q) => (q == &t.name || Some(q.as_str()) == alias) && t.column(&col.column).is_some(),
+        None => t.column(&col.column).is_some(),
+    }
+}
+
+fn check_col(t: &Table, alias: Option<&str>, col: &ColRef) -> Result<()> {
+    if belongs(t, alias, col) {
+        Ok(())
+    } else {
+        Err(Error::UnknownColumn { table: t.name.clone(), column: col.to_string() })
+    }
+}
+
+fn agg_name(op: Aggregate) -> &'static str {
+    match op {
+        Aggregate::Count => "COUNT",
+        Aggregate::Sum => "SUM",
+        Aggregate::Avg => "AVG",
+        Aggregate::Min => "MIN",
+        Aggregate::Max => "MAX",
+    }
+}
+
+/// The row-key attribute of a table, re-exported for sessions.
+pub fn row_key_attr(table: &str) -> &str {
+    key_attr(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::parse_schema;
+    use crate::dml::parse_statements;
+    use abdl::Store;
+
+    fn fixture() -> (SqlTranslator, Store) {
+        let schema = parse_schema(
+            "CREATE DATABASE suppliers;
+             CREATE TABLE supplier (
+                 sno INTEGER NOT NULL, sname CHAR(20), city CHAR(15), PRIMARY KEY (sno));
+             CREATE TABLE part (
+                 pno INTEGER NOT NULL, pname CHAR(20), city CHAR(15), PRIMARY KEY (pno));",
+        )
+        .unwrap();
+        let mut store = Store::new();
+        crate::ab_map::install(&schema, &mut store);
+        let t = SqlTranslator::new(schema);
+        let script = "
+            INSERT INTO supplier (sno, sname, city) VALUES (1, 'Smith', 'London');
+            INSERT INTO supplier (sno, sname, city) VALUES (2, 'Jones', 'Paris');
+            INSERT INTO supplier (sno, sname, city) VALUES (3, 'Blake', 'Paris');
+            INSERT INTO part (pno, pname, city) VALUES (1, 'Nut', 'London');
+            INSERT INTO part (pno, pname, city) VALUES (2, 'Bolt', 'Paris');
+            INSERT INTO part (pno, pname, city) VALUES (3, 'Screw', 'Rome');";
+        for s in parse_statements(script).unwrap() {
+            t.execute(&mut store, &s).unwrap();
+        }
+        (t, store)
+    }
+
+    fn run(t: &SqlTranslator, store: &mut Store, sql: &str) -> RowSet {
+        let stmts = parse_statements(sql).unwrap();
+        t.execute(store, &stmts[0]).unwrap()
+    }
+
+    #[test]
+    fn select_where_projects() {
+        let (t, mut store) = fixture();
+        let rs = run(&t, &mut store, "SELECT sname FROM supplier WHERE city = 'Paris';");
+        assert_eq!(rs.columns, vec!["sname"]);
+        assert_eq!(rs.rows.len(), 2);
+        // The translation is exactly one RETRIEVE.
+        assert_eq!(rs.requests.len(), 1);
+        assert!(rs.requests[0]
+            .to_string()
+            .starts_with("RETRIEVE ((FILE = 'supplier') and (city = 'Paris'))"));
+    }
+
+    #[test]
+    fn select_star_and_or() {
+        let (t, mut store) = fixture();
+        let rs = run(&t, &mut store, "SELECT * FROM supplier WHERE sno = 1 OR city = 'Paris';");
+        assert_eq!(rs.columns, vec!["sno", "sname", "city"]);
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let (t, mut store) = fixture();
+        let rs = run(&t, &mut store, "SELECT city, COUNT(sno) FROM supplier GROUP BY city;");
+        assert_eq!(rs.columns, vec!["city", "COUNT(sno)"]);
+        assert_eq!(rs.rows.len(), 2);
+        let paris = rs.rows.iter().find(|r| r[0] == Value::str("Paris")).unwrap();
+        assert_eq!(paris[1], Value::Int(2));
+    }
+
+    #[test]
+    fn join_via_retrieve_common() {
+        let (t, mut store) = fixture();
+        let rs = run(
+            &t,
+            &mut store,
+            "SELECT s.sname, p.pname FROM supplier s, part p \
+             WHERE s.city = p.city AND s.sno < 3;",
+        );
+        assert!(matches!(rs.requests[0], Request::RetrieveCommon { .. }));
+        // Smith-Nut (London), Jones-Bolt (Paris); Blake excluded by sno<3.
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn update_delete_roundtrip() {
+        let (t, mut store) = fixture();
+        let rs = run(&t, &mut store, "UPDATE supplier SET city = 'Athens' WHERE sno = 2;");
+        assert_eq!(rs.affected, 1);
+        let rs = run(&t, &mut store, "SELECT sname FROM supplier WHERE city = 'Athens';");
+        assert_eq!(rs.rows.len(), 1);
+        let rs = run(&t, &mut store, "DELETE FROM supplier WHERE city = 'Athens';");
+        assert_eq!(rs.affected, 1);
+        let rs = run(&t, &mut store, "SELECT * FROM supplier;");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn primary_key_enforced() {
+        let (t, mut store) = fixture();
+        let stmts =
+            parse_statements("INSERT INTO supplier (sno, sname) VALUES (1, 'Dup');").unwrap();
+        let err = t.execute(&mut store, &stmts[0]).unwrap_err();
+        assert!(matches!(err, Error::Kernel(abdl::Error::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn type_checks() {
+        let (t, mut store) = fixture();
+        let stmts =
+            parse_statements("INSERT INTO supplier (sno, sname) VALUES ('x', 'Bad');").unwrap();
+        assert!(matches!(t.execute(&mut store, &stmts[0]), Err(Error::TypeMismatch { .. })));
+        let stmts = parse_statements("INSERT INTO supplier (sname) VALUES ('NoKey');").unwrap();
+        assert!(matches!(t.execute(&mut store, &stmts[0]), Err(Error::TypeMismatch { .. })));
+        let stmts = parse_statements("SELECT ghost FROM supplier;").unwrap();
+        assert!(matches!(t.execute(&mut store, &stmts[0]), Err(Error::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn order_by_sorts_rows() {
+        let (t, mut store) = fixture();
+        let rs = run(&t, &mut store, "SELECT sname FROM supplier ORDER BY sname;");
+        let names: Vec<&str> = rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["Blake", "Jones", "Smith"]);
+        let rs = run(&t, &mut store, "SELECT sname FROM supplier ORDER BY sname DESC;");
+        let names: Vec<&str> = rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["Smith", "Jones", "Blake"]);
+        // Ordering by a column missing from the select list is an error.
+        let stmts = parse_statements("SELECT sname FROM supplier ORDER BY city;").unwrap();
+        assert!(matches!(t.execute(&mut store, &stmts[0]), Err(Error::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn update_generates_one_request_per_set_column() {
+        let (t, mut store) = fixture();
+        let rs = run(
+            &t,
+            &mut store,
+            "UPDATE supplier SET sname = 'X', city = 'Y' WHERE sno = 1;",
+        );
+        assert_eq!(rs.requests.len(), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the SQL interface: WHERE-clause translation
+//! agrees with a naive row-by-row reference evaluator.
+
+use abdl::{RelOp, Store, Value};
+use proptest::prelude::*;
+use relational::{ddl, dml, SqlTranslator};
+
+const SCHEMA: &str = "
+CREATE DATABASE prop;
+CREATE TABLE t (
+    a INTEGER,
+    b INTEGER,
+    c CHAR(8)
+);
+";
+
+#[derive(Debug, Clone)]
+struct Row {
+    a: i64,
+    b: i64,
+    c: String,
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    ((-10i64..10), (-10i64..10), "[a-c]{1,3}").prop_map(|(a, b, c)| Row { a, b, c })
+}
+
+#[derive(Debug, Clone)]
+struct Pred {
+    col: usize, // 0=a, 1=b, 2=c
+    op: RelOp,
+    int: i64,
+    text: String,
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    (
+        0usize..3,
+        prop_oneof![
+            Just(RelOp::Eq),
+            Just(RelOp::Ne),
+            Just(RelOp::Lt),
+            Just(RelOp::Le),
+            Just(RelOp::Gt),
+            Just(RelOp::Ge),
+        ],
+        -10i64..10,
+        "[a-c]{1,3}",
+    )
+        .prop_map(|(col, op, int, text)| Pred { col, op, int, text })
+}
+
+fn pred_sql(p: &Pred) -> String {
+    let col = ["a", "b", "c"][p.col];
+    let op = match p.op {
+        RelOp::Eq => "=",
+        RelOp::Ne => "!=",
+        RelOp::Lt => "<",
+        RelOp::Le => "<=",
+        RelOp::Gt => ">",
+        RelOp::Ge => ">=",
+    };
+    if p.col == 2 {
+        format!("{col} {op} '{}'", p.text)
+    } else {
+        format!("{col} {op} {}", p.int)
+    }
+}
+
+fn pred_eval(p: &Pred, row: &Row) -> bool {
+    let (lhs, rhs) = if p.col == 2 {
+        (Value::str(row.c.clone()), Value::str(p.text.clone()))
+    } else {
+        (Value::Int(if p.col == 0 { row.a } else { row.b }), Value::Int(p.int))
+    };
+    p.op.eval(&lhs, &rhs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SELECT … WHERE (DNF of random predicates) returns exactly the
+    /// rows a direct evaluation of the clause admits.
+    #[test]
+    fn where_clause_matches_reference_semantics(
+        rows in proptest::collection::vec(arb_row(), 0..25),
+        clause in proptest::collection::vec(
+            proptest::collection::vec(arb_pred(), 1..3), 1..3),
+    ) {
+        let schema = ddl::parse_schema(SCHEMA).unwrap();
+        let mut store = Store::new();
+        relational::ab_map::install(&schema, &mut store);
+        let t = SqlTranslator::new(schema);
+        for r in &rows {
+            let stmt = dml::parse_statement_str(&format!(
+                "INSERT INTO t (a, b, c) VALUES ({}, {}, '{}');",
+                r.a, r.b, r.c
+            ))
+            .unwrap();
+            t.execute(&mut store, &stmt).unwrap();
+        }
+        let wher = clause
+            .iter()
+            .map(|conj| conj.iter().map(pred_sql).collect::<Vec<_>>().join(" AND "))
+            .collect::<Vec<_>>()
+            .join(" OR ");
+        let stmt = dml::parse_statement_str(&format!("SELECT a, b, c FROM t WHERE {wher};"))
+            .unwrap();
+        let got = t.execute(&mut store, &stmt).unwrap().rows.len();
+        let expected = rows
+            .iter()
+            .filter(|r| clause.iter().any(|conj| conj.iter().all(|p| pred_eval(p, r))))
+            .count();
+        prop_assert_eq!(got, expected, "WHERE {}", wher);
+    }
+
+    /// DELETE removes exactly the WHERE-matching rows.
+    #[test]
+    fn delete_matches_reference_semantics(
+        rows in proptest::collection::vec(arb_row(), 0..25),
+        conj in proptest::collection::vec(arb_pred(), 1..3),
+    ) {
+        let schema = ddl::parse_schema(SCHEMA).unwrap();
+        let mut store = Store::new();
+        relational::ab_map::install(&schema, &mut store);
+        let t = SqlTranslator::new(schema);
+        for r in &rows {
+            let stmt = dml::parse_statement_str(&format!(
+                "INSERT INTO t (a, b, c) VALUES ({}, {}, '{}');",
+                r.a, r.b, r.c
+            ))
+            .unwrap();
+            t.execute(&mut store, &stmt).unwrap();
+        }
+        let wher = conj.iter().map(pred_sql).collect::<Vec<_>>().join(" AND ");
+        let del = dml::parse_statement_str(&format!("DELETE FROM t WHERE {wher};")).unwrap();
+        let affected = t.execute(&mut store, &del).unwrap().affected;
+        let expected = rows.iter().filter(|r| conj.iter().all(|p| pred_eval(p, r))).count();
+        prop_assert_eq!(affected, expected);
+        let rest = dml::parse_statement_str("SELECT a FROM t;").unwrap();
+        prop_assert_eq!(t.execute(&mut store, &rest).unwrap().rows.len(), rows.len() - expected);
+    }
+
+    /// COUNT via GROUP BY sums to the table size.
+    #[test]
+    fn group_by_count_partitions_the_table(
+        rows in proptest::collection::vec(arb_row(), 1..30),
+    ) {
+        let schema = ddl::parse_schema(SCHEMA).unwrap();
+        let mut store = Store::new();
+        relational::ab_map::install(&schema, &mut store);
+        let t = SqlTranslator::new(schema);
+        for r in &rows {
+            let stmt = dml::parse_statement_str(&format!(
+                "INSERT INTO t (a, b, c) VALUES ({}, {}, '{}');",
+                r.a, r.b, r.c
+            ))
+            .unwrap();
+            t.execute(&mut store, &stmt).unwrap();
+        }
+        let stmt = dml::parse_statement_str("SELECT c, COUNT(a) FROM t GROUP BY c;").unwrap();
+        let rs = t.execute(&mut store, &stmt).unwrap();
+        let total: i64 = rs.rows.iter().filter_map(|r| r[1].as_int()).sum();
+        prop_assert_eq!(total as usize, rows.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! The Zawis edge of the MMDS matrix: a relational (SQL) view of a
+//! hierarchical database.
+//!
+//! The thesis's conclusion reports this as the laboratory's concurrent
+//! work: "Zawis \[Ref 24\] … implements a means for accessing a
+//! hierarchical database via SQL transactions." The derivation here is
+//! read-only and direct:
+//!
+//! * every segment type becomes a table with its fields as columns;
+//! * a synthetic `{segment}_key` column exposes the kernel key
+//!   attribute (aliased through [`relational::Column::kernel_attr`],
+//!   since a column literally named after the table would collide with
+//!   the row-key convention);
+//! * every parent arc surfaces as an INTEGER column named
+//!   `{parent}_{child}` — exactly the kernel attribute the DL/I
+//!   interface maintains — so parent-child traversal is a SQL equi-join:
+//!
+//! ```sql
+//! SELECT d.dname, c.title
+//! FROM department d, course c
+//! WHERE c.department_course = d.department_key;
+//! ```
+//!
+//! The view is marked read-only: hierarchy maintenance (ISRT/REPL/DLET
+//! with positional semantics and sequence-field checks) stays with
+//! DL/I, and the SQL translator rejects mutations against it.
+
+use crate::transformer::TransformError;
+use dli::schema::{arc_attr, FieldType, HierSchema};
+use relational::{ColType, Column, RelSchema, Table};
+
+/// Derive the read-only relational view of a hierarchical schema.
+pub fn relational_view(hier: &HierSchema) -> Result<RelSchema, TransformError> {
+    hier.validate().map_err(|e| TransformError::InvalidFunctionalSchema(e.to_string()))?;
+    let mut schema = RelSchema { name: hier.name.clone(), tables: Vec::new(), read_only: true };
+    for seg in &hier.segments {
+        let mut table = Table { name: seg.name.clone(), columns: Vec::new(), primary_key: Vec::new() };
+        // The synthetic key column, aliased onto the kernel key attr.
+        table.columns.push(Column {
+            name: format!("{}_key", seg.name),
+            typ: ColType::Int,
+            not_null: true,
+            kernel_attr: Some(seg.name.clone()),
+        });
+        for f in &seg.fields {
+            table.columns.push(Column::new(f.name.clone(), col_type(&f.typ)));
+        }
+        if let Some(parent) = &seg.parent {
+            table.columns.push(Column::new(arc_attr(parent, &seg.name), ColType::Int));
+        }
+        schema.tables.push(table);
+    }
+    schema.validate().map_err(|e| TransformError::InvalidResult(e.to_string()))?;
+    Ok(schema)
+}
+
+fn col_type(t: &FieldType) -> ColType {
+    match t {
+        FieldType::Int => ColType::Int,
+        FieldType::Float => ColType::Float,
+        FieldType::Char { len } => ColType::Char { len: *len },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abdl::Store;
+    use relational::SqlTranslator;
+
+    fn school() -> (HierSchema, Store, dli::DliSession) {
+        let schema = dli::ddl::parse_schema(
+            "HIERARCHY NAME IS school.
+             SEGMENT department.
+               02 dno TYPE IS FIXED.
+               02 dname TYPE IS CHARACTER 20.
+               SEQUENCE IS dno.
+             SEGMENT course PARENT IS department.
+               02 cno TYPE IS FIXED.
+               02 title TYPE IS CHARACTER 30.",
+        )
+        .unwrap();
+        let mut store = Store::new();
+        dli::ab_map::install(&schema, &mut store);
+        let mut session = dli::DliSession::new(schema.clone());
+        for call in dli::calls::parse_calls(
+            "ISRT department (dno = 1, dname = 'CS')
+             ISRT course (cno = 10, title = 'Databases')
+             ISRT course (cno = 20, title = 'Compilers')
+             ISRT department (dno = 2, dname = 'Math')
+             ISRT course (cno = 30, title = 'Algebra')",
+        )
+        .unwrap()
+        {
+            session.execute(&mut store, &call).unwrap();
+        }
+        (schema, store, session)
+    }
+
+    #[test]
+    fn view_shape() {
+        let (hier, _, _) = school();
+        let view = relational_view(&hier).unwrap();
+        assert!(view.read_only);
+        let course = view.table("course").unwrap();
+        let names: Vec<&str> = course.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["course_key", "cno", "title", "department_course"]);
+        assert_eq!(course.column("course_key").unwrap().kernel_attr(), "course");
+    }
+
+    #[test]
+    fn sql_joins_parent_and_child_segments() {
+        let (hier, mut store, _) = school();
+        let sql = SqlTranslator::new(relational_view(&hier).unwrap());
+        let stmt = relational::dml::parse_statement_str(
+            "SELECT d.dname, c.title FROM department d, course c \
+             WHERE c.department_course = d.department_key AND d.dname = 'CS' \
+             ORDER BY title;",
+        )
+        .unwrap();
+        let rs = sql.execute(&mut store, &stmt).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][1], abdl::Value::str("Compilers"));
+        assert_eq!(rs.rows[1][1], abdl::Value::str("Databases"));
+    }
+
+    #[test]
+    fn sql_filters_and_aggregates_over_segments() {
+        let (hier, mut store, _) = school();
+        let sql = SqlTranslator::new(relational_view(&hier).unwrap());
+        let stmt = relational::dml::parse_statement_str(
+            "SELECT COUNT(course_key) FROM course;",
+        )
+        .unwrap();
+        let rs = sql.execute(&mut store, &stmt).unwrap();
+        assert_eq!(rs.rows[0][0], abdl::Value::Int(3));
+    }
+
+    #[test]
+    fn mutations_are_rejected_on_the_view() {
+        let (hier, mut store, _) = school();
+        let sql = SqlTranslator::new(relational_view(&hier).unwrap());
+        for text in [
+            "INSERT INTO course (cno, title) VALUES (99, 'X');",
+            "UPDATE course SET title = 'X' WHERE cno = 10;",
+            "DELETE FROM course;",
+        ] {
+            let stmt = relational::dml::parse_statement_str(text).unwrap();
+            let err = sql.execute(&mut store, &stmt).unwrap_err();
+            assert!(err.to_string().contains("read-only"), "{text}: {err}");
+        }
+        // The data is untouched.
+        assert_eq!(store.file_len("course"), 3);
+    }
+
+    #[test]
+    fn dli_mutations_are_immediately_visible_to_sql() {
+        let (hier, mut store, mut session) = school();
+        let sql = SqlTranslator::new(relational_view(&hier).unwrap());
+        for call in dli::calls::parse_calls(
+            "GU department (dno = 2)\nISRT course (cno = 40, title = 'Topology')",
+        )
+        .unwrap()
+        {
+            session.execute(&mut store, &call).unwrap();
+        }
+        let stmt = relational::dml::parse_statement_str(
+            "SELECT title FROM course WHERE cno = 40;",
+        )
+        .unwrap();
+        let rs = sql.execute(&mut store, &stmt).unwrap();
+        assert_eq!(rs.rows[0][0], abdl::Value::str("Topology"));
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # The functional→network schema transformer (Chapter V)
+//!
+//! "When an existing database … is found to be an existing functional
+//! database, a mapping process is initiated in order to transform the
+//! functional schema into a network schema. This transformed database is
+//! actually a network representation of the functional database which
+//! maintains the characteristics of the functional database while
+//! preserving its constraints."
+//!
+//! Six constructs are transformed (§V):
+//!
+//! 1. **Entity types** → record types, each a member of a SYSTEM-owned
+//!    set (AUTOMATIC / FIXED / BY APPLICATION).
+//! 2. **Entity subtypes** → record types plus an ISA set
+//!    `{supertype}_{subtype}` per direct supertype (AUTOMATIC / FIXED).
+//! 3. **Non-entity types** → network data types: strings→CHARACTER,
+//!    integers→FIXED, floats→FLOAT, enumerations→CHARACTER of the
+//!    longest literal.
+//! 4. **Functions**: scalar → attributes; scalar multi-valued →
+//!    attributes with `DUPLICATES NOT ALLOWED` (`nan_dup_flag`
+//!    cleared); single-valued → set named after the function, owner =
+//!    range record, member = domain record (MANUAL / OPTIONAL);
+//!    multi-valued one-to-many → set with domain as owner, range as
+//!    member; multi-valued many-to-many → a `LINK_X` record plus two
+//!    sets, one per side.
+//! 5. **Uniqueness constraints** → `DUPLICATES ARE NOT ALLOWED FOR …`
+//!    on the transformed record type.
+//! 6. **Overlap constraints** → the overlap table carried on the
+//!    network schema and consulted by the STORE translation.
+//!
+//! Every synthesized set records its provenance ([`codasyl::SetOrigin`])
+//! so the CODASYL-DML→ABDL translator can apply the Chapter-VI rules
+//! that differ between ISA sets and Daplex-function sets.
+
+//! ## Example
+//!
+//! ```
+//! let functional = daplex::university::schema();
+//! let network = transform::transform(&functional).unwrap();
+//! assert!(network.record("LINK_1").is_some());
+//! // The reverse transformer is an inverse up to type naming:
+//! let back = transform::reverse(&network).unwrap();
+//! assert_eq!(transform::transform(&back).unwrap(), network);
+//! ```
+
+mod hier_view;
+mod reverse;
+mod transformer;
+
+pub use hier_view::relational_view;
+pub use reverse::reverse;
+pub use transformer::{transform, TransformError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,326 @@
+//! The reverse transformer: network → functional schemas.
+//!
+//! The thesis closes with the MMDS vision: "the goal of the Multi-Model
+//! and Multi-Lingual Database System can be conceptualized by placing
+//! schema transformers between all model/language pairs." This module
+//! is the second transformer of that matrix: it derives a functional
+//! schema from a network schema so that a *Daplex* user can access a
+//! *network* database.
+//!
+//! The derivation is exact because of the member-side normalization
+//! shared by both kernel layouts (DESIGN.md): a set's kernel attribute
+//! `<set-name, owner-key>` on the member record is precisely the
+//! representation of a single-valued function `set-name : member →
+//! owner`. Concretely:
+//!
+//! * every record type becomes an entity type (or subtype, when the
+//!   schema carries ISA provenance from the forward transformer);
+//! * data items become scalar functions — carried `RANGE`/`VALUES`
+//!   checks are reconstructed as ranged non-entity types and inline
+//!   enumerations, and a cleared duplicate flag outside any uniqueness
+//!   group marks a scalar multi-valued function;
+//! * record-owned sets become functions: `Native` sets and
+//!   `SingleValuedFn` provenance give single-valued functions on the
+//!   member, `MultiValuedFn` gives `SET OF` functions on the owner,
+//!   and `ManyToManyFn` pairs collapse their `LINK_X` record back into
+//!   the original pair of `SET OF` functions;
+//! * SYSTEM-owned sets vanish (every entity type implies one);
+//! * `DUPLICATES ARE NOT ALLOWED` groups become UNIQUE constraints and
+//!   the overlap table becomes OVERLAP constraints.
+//!
+//! For schemas produced by [`crate::transform`], the reverse is a true
+//! inverse up to non-entity type naming: `transform(reverse(transform(F)))
+//! == transform(F)` (property-tested).
+
+use crate::transformer::TransformError;
+use codasyl::schema::{NetAttrType, NetworkSchema, Owner, SetOrigin, ValueCheck};
+use daplex::schema::{
+    BaseKind, EntitySubtype, EntityType, FnRange, Function, FunctionalSchema, NonEntityClass,
+    NonEntityType, OverlapConstraint, UniqueConstraint,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Derive a functional schema from a network schema.
+pub fn reverse(net: &NetworkSchema) -> Result<FunctionalSchema, TransformError> {
+    net.validate().map_err(|e| TransformError::InvalidFunctionalSchema(e.to_string()))?;
+
+    let mut schema = FunctionalSchema::new(net.name.clone());
+
+    // Link records of many-to-many pairs are absorbed back into their
+    // function pairs; collect them first.
+    let mut link_members: BTreeSet<&str> = BTreeSet::new();
+    // link record → (function, domain) per side.
+    let mut link_sides: BTreeMap<&str, Vec<(&str, &str)>> = BTreeMap::new();
+    for s in &net.sets {
+        if let SetOrigin::ManyToManyFn { function, domain, link } = &s.origin {
+            link_members.insert(link.as_str());
+            link_sides.entry(link.as_str()).or_default().push((function, domain));
+        }
+    }
+    for (link, sides) in &link_sides {
+        if sides.len() != 2 {
+            return Err(TransformError::InvalidFunctionalSchema(format!(
+                "link record `{link}` has {} many-to-many sides (expected 2)",
+                sides.len()
+            )));
+        }
+    }
+
+    // ISA provenance: subtype → supertypes.
+    let mut supertypes: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    for s in &net.sets {
+        if let SetOrigin::Isa { supertype, subtype } = &s.origin {
+            supertypes.entry(subtype.as_str()).or_default().push(supertype.clone());
+        }
+    }
+
+    // Functions per entity-like type, in a deterministic order.
+    let mut functions: BTreeMap<&str, Vec<Function>> = BTreeMap::new();
+
+    // Scalar functions from data items.
+    for r in &net.records {
+        if link_members.contains(r.name.as_str()) {
+            continue;
+        }
+        let fns = functions.entry(r.name.as_str()).or_default();
+        for a in &r.attrs {
+            let set_valued =
+                !a.dup_allowed && !r.unique_groups.iter().any(|g| g.contains(&a.name));
+            let range = scalar_range(&a.typ, a.check.as_ref(), &r.name, &a.name, &mut schema);
+            fns.push(Function { name: a.name.clone(), range, set_valued });
+        }
+    }
+
+    // Entity-valued functions from sets.
+    for s in &net.sets {
+        match (&s.origin, &s.owner) {
+            (_, Owner::System) | (SetOrigin::SystemOwned { .. }, _) => {}
+            (SetOrigin::Isa { .. }, _) => {}
+            (SetOrigin::SingleValuedFn { function, domain, range }, _) => {
+                functions.entry(domain_key(net, domain)?).or_default().push(Function {
+                    name: function.clone(),
+                    range: FnRange::Entity(range.clone()),
+                    set_valued: false,
+                });
+            }
+            (SetOrigin::MultiValuedFn { function, domain, range }, _) => {
+                functions.entry(domain_key(net, domain)?).or_default().push(Function {
+                    name: function.clone(),
+                    range: FnRange::Entity(range.clone()),
+                    set_valued: true,
+                });
+            }
+            (SetOrigin::ManyToManyFn { function, domain, link }, _) => {
+                // The range is the *other* side's domain.
+                let sides = &link_sides[link.as_str()];
+                let (_, other_domain) = sides
+                    .iter()
+                    .find(|(f, _)| f != function)
+                    .ok_or_else(|| {
+                        TransformError::InvalidFunctionalSchema(format!(
+                            "many-to-many pair of `{function}` not found on link `{link}`"
+                        ))
+                    })?;
+                functions.entry(domain_key(net, domain)?).or_default().push(Function {
+                    name: function.clone(),
+                    range: FnRange::Entity((*other_domain).to_owned()),
+                    set_valued: true,
+                });
+            }
+            (SetOrigin::Native, Owner::Record(owner)) => {
+                // A native 1:N set is exactly a single-valued function
+                // from the member to the owner, named after the set.
+                functions.entry(domain_key(net, &s.member)?).or_default().push(Function {
+                    name: s.name.clone(),
+                    range: FnRange::Entity(owner.clone()),
+                    set_valued: false,
+                });
+            }
+        }
+    }
+
+    // Assemble entities and subtypes in the network declaration order.
+    for r in &net.records {
+        if link_members.contains(r.name.as_str()) {
+            continue;
+        }
+        let fns = functions.remove(r.name.as_str()).unwrap_or_default();
+        match supertypes.remove(r.name.as_str()) {
+            Some(sups) => schema.subtypes.push(EntitySubtype {
+                name: r.name.clone(),
+                supertypes: sups,
+                functions: fns,
+            }),
+            None => {
+                schema.entities.push(EntityType { name: r.name.clone(), functions: fns })
+            }
+        }
+    }
+
+    // Constraints.
+    for r in &net.records {
+        for group in &r.unique_groups {
+            schema.uniques.push(UniqueConstraint {
+                functions: group.clone(),
+                within: r.name.clone(),
+            });
+        }
+    }
+    for o in &net.overlaps {
+        schema
+            .overlaps
+            .push(OverlapConstraint { left: o.left.clone(), right: o.right.clone() });
+    }
+
+    schema.validate().map_err(|e| TransformError::InvalidResult(e.to_string()))?;
+    Ok(schema)
+}
+
+/// Resolve a domain name to the record-key string slice owned by `net`
+/// (ensuring the record exists).
+fn domain_key<'a>(net: &'a NetworkSchema, name: &str) -> Result<&'a str, TransformError> {
+    net.record(name)
+        .map(|r| r.name.as_str())
+        .ok_or_else(|| {
+            TransformError::InvalidFunctionalSchema(format!("unknown record `{name}`"))
+        })
+}
+
+/// Reconstruct a scalar function range from a network data item,
+/// synthesizing a ranged non-entity type when a RANGE check is carried.
+fn scalar_range(
+    typ: &NetAttrType,
+    check: Option<&ValueCheck>,
+    record: &str,
+    item: &str,
+    schema: &mut FunctionalSchema,
+) -> FnRange {
+    match (typ, check) {
+        (NetAttrType::Int, Some(ValueCheck::Range { lo, hi })) => {
+            let name = format!("{record}_{item}_type");
+            schema.non_entities.push(NonEntityType {
+                name: name.clone(),
+                class: NonEntityClass::Base,
+                kind: BaseKind::Int,
+                range: Some((*lo, *hi)),
+                constant: false,
+                value: None,
+            });
+            FnRange::NonEntity(name)
+        }
+        (NetAttrType::Int, _) => FnRange::Int,
+        (NetAttrType::Float { .. }, _) => FnRange::Float,
+        (NetAttrType::Char { .. }, Some(ValueCheck::OneOf { literals })) => {
+            FnRange::Enum { literals: literals.clone() }
+        }
+        (NetAttrType::Char { len }, _) => FnRange::Str { len: *len },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform;
+    use daplex::university;
+
+    #[test]
+    fn reverse_of_transformed_university_restores_the_structure() {
+        let original = university::schema();
+        let net = transform(&original).unwrap();
+        let back = reverse(&net).unwrap();
+
+        // Entities and subtypes survive (LINK_1 vanished).
+        let entities: Vec<&str> = back.entities.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(entities, vec!["person", "employee", "department", "course"]);
+        let subs: Vec<&str> = back.subtypes.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(subs, vec!["student", "faculty", "support_staff"]);
+        assert_eq!(back.supertypes("student"), ["person".to_owned()]);
+
+        // Entity-valued functions are reconstructed with the right
+        // shape.
+        let advisor = back.function("student", "advisor").unwrap();
+        assert_eq!(advisor.range, FnRange::Entity("faculty".into()));
+        assert!(!advisor.set_valued);
+        let teaching = back.function("faculty", "teaching").unwrap();
+        assert_eq!(teaching.range, FnRange::Entity("course".into()));
+        assert!(teaching.set_valued);
+        let taught_by = back.function("course", "taught_by").unwrap();
+        assert_eq!(taught_by.range, FnRange::Entity("faculty".into()));
+        assert!(taught_by.set_valued);
+
+        // Scalar multi-valued reconstruction from the duplicate flag.
+        let degrees = back.function("faculty", "degrees").unwrap();
+        assert!(degrees.set_valued);
+        assert_eq!(degrees.range, FnRange::Str { len: 10 });
+
+        // Ranges and enumerations reconstructed.
+        let age = back.function("person", "age").unwrap();
+        let FnRange::NonEntity(t) = &age.range else { panic!("expected ranged type") };
+        assert_eq!(back.non_entity(t).unwrap().range, Some((16, 99)));
+        let rank = back.function("faculty", "rank").unwrap();
+        assert_eq!(
+            rank.range,
+            FnRange::Enum {
+                literals: vec![
+                    "instructor".into(),
+                    "assistant".into(),
+                    "associate".into(),
+                    "full".into()
+                ]
+            }
+        );
+
+        // Constraints.
+        assert_eq!(back.uniques.len(), 1);
+        assert_eq!(back.overlaps.len(), 1);
+    }
+
+    /// The fixed-point property: forward∘reverse∘forward = forward.
+    #[test]
+    fn forward_reverse_forward_is_a_fixed_point() {
+        let original = university::schema();
+        let once = transform(&original).unwrap();
+        let back = reverse(&once).unwrap();
+        let twice = transform(&back).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn native_network_schema_reverses_to_entities_with_set_functions() {
+        let net = codasyl::ddl::parse_schema(
+            "SCHEMA NAME IS company.
+             RECORD NAME IS department.
+               02 dname TYPE IS CHARACTER 20.
+               DUPLICATES ARE NOT ALLOWED FOR dname.
+             RECORD NAME IS employee.
+               02 ename TYPE IS CHARACTER 20.
+               02 grade TYPE IS FIXED RANGE 1..9.
+             SET NAME IS system_department.
+               OWNER IS SYSTEM.
+               MEMBER IS department.
+               INSERTION IS AUTOMATIC.
+               RETENTION IS FIXED.
+               SET SELECTION IS BY APPLICATION.
+             SET NAME IS works_in.
+               OWNER IS department.
+               MEMBER IS employee.
+               INSERTION IS MANUAL.
+               RETENTION IS OPTIONAL.
+               SET SELECTION IS BY APPLICATION.",
+        )
+        .unwrap();
+        let back = reverse(&net).unwrap();
+        assert_eq!(back.entities.len(), 2);
+        assert!(back.subtypes.is_empty());
+        // works_in became a single-valued function employee → department.
+        let f = back.function("employee", "works_in").unwrap();
+        assert_eq!(f.range, FnRange::Entity("department".into()));
+        assert!(!f.set_valued);
+        // The RANGE check became a ranged non-entity type.
+        let grade = back.function("employee", "grade").unwrap();
+        let FnRange::NonEntity(t) = &grade.range else { panic!("expected ranged type") };
+        assert_eq!(back.non_entity(t).unwrap().range, Some((1, 9)));
+        // The uniqueness group carried over.
+        assert_eq!(back.uniques[0].within, "department");
+    }
+}

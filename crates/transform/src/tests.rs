@@ -1,0 +1,326 @@
+//! Unit tests: the Chapter-V transformation rules, construct by
+//! construct, culminating in the full Figure-5.1 University schema.
+
+use crate::{transform, TransformError};
+use codasyl::schema::{Insertion, NetAttrType, Owner, Retention, Selection, SetOrigin};
+use daplex::ddl::parse_schema;
+use daplex::university;
+
+#[test]
+fn entity_type_becomes_record_plus_system_set() {
+    let s = parse_schema(
+        "DATABASE t IS TYPE course IS ENTITY title : STRING(30); credits : INTEGER; END ENTITY; END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    let rec = net.record("course").unwrap();
+    assert_eq!(rec.attrs.len(), 2);
+    assert_eq!(rec.attrs[0].typ, NetAttrType::Char { len: 30 });
+    assert_eq!(rec.attrs[1].typ, NetAttrType::Int);
+    let sys = net.set("system_course").unwrap();
+    assert_eq!(sys.owner, Owner::System);
+    assert_eq!(sys.member, "course");
+    assert_eq!(sys.insertion, Insertion::Automatic);
+    assert_eq!(sys.retention, Retention::Fixed);
+    assert_eq!(sys.selection, Selection::Application);
+    assert_eq!(sys.origin, SetOrigin::SystemOwned { entity: "course".into() });
+}
+
+#[test]
+fn subtype_becomes_record_plus_isa_set() {
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE person IS ENTITY name : STRING(30); END ENTITY;
+         TYPE student IS ENTITY SUBTYPE OF person major : STRING(20); END ENTITY;
+         END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    assert!(net.record("student").is_some());
+    let isa = net.set("person_student").unwrap();
+    assert_eq!(isa.owner, Owner::Record("person".into()));
+    assert_eq!(isa.member, "student");
+    assert_eq!(isa.insertion, Insertion::Automatic, "ISA members are inserted automatically");
+    assert_eq!(isa.retention, Retention::Fixed, "a subtype never changes supertype");
+    assert_eq!(
+        isa.origin,
+        SetOrigin::Isa { supertype: "person".into(), subtype: "student".into() }
+    );
+    // Subtypes get no SYSTEM set of their own.
+    assert!(net.set("system_student").is_none());
+}
+
+#[test]
+fn multiple_supertypes_give_multiple_isa_sets() {
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE person IS ENTITY name : STRING(30); END ENTITY;
+         TYPE employee IS ENTITY salary : FLOAT; END ENTITY;
+         TYPE ta IS ENTITY SUBTYPE OF person, employee hours : INTEGER; END ENTITY;
+         END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    assert!(net.set("person_ta").is_some());
+    assert!(net.set("employee_ta").is_some());
+}
+
+#[test]
+fn non_entity_types_map_per_section_v_c() {
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE rank_type IS ENUMERATION (instructor, assistant, associate, full);
+         TYPE age_type IS INTEGER RANGE 16..99;
+         TYPE e IS ENTITY
+           r : rank_type;
+           a : age_type;
+           g : FLOAT;
+           b : BOOLEAN;
+         END ENTITY;
+         END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    let rec = net.record("e").unwrap();
+    // Enumeration → CHARACTER of the longest literal ("instructor" = 10).
+    assert_eq!(rec.attr("r").unwrap().typ, NetAttrType::Char { len: 10 });
+    assert_eq!(rec.attr("a").unwrap().typ, NetAttrType::Int);
+    assert_eq!(rec.attr("g").unwrap().typ, NetAttrType::Float { dec: 2 });
+    // Boolean is an enumeration of true/false → CHARACTER 5.
+    assert_eq!(rec.attr("b").unwrap().typ, NetAttrType::Char { len: 5 });
+}
+
+#[test]
+fn scalar_multi_valued_function_clears_dup_flag() {
+    let s = parse_schema(
+        "DATABASE t IS TYPE e IS ENTITY tags : SET OF STRING(10); END ENTITY; END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    let attr = net.record("e").unwrap().attr("tags").unwrap();
+    assert!(!attr.dup_allowed, "scalar multi-valued attributes cannot have duplicates");
+}
+
+#[test]
+fn single_valued_function_owner_is_range_member_is_domain() {
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE faculty IS ENTITY fname : STRING(30); END ENTITY;
+         TYPE student IS ENTITY advisor : faculty; END ENTITY;
+         END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    let advisor = net.set("advisor").unwrap();
+    assert_eq!(advisor.owner, Owner::Record("faculty".into()), "owner is the range");
+    assert_eq!(advisor.member, "student", "member is the domain");
+    assert_eq!(advisor.insertion, Insertion::Manual);
+    assert_eq!(advisor.retention, Retention::Optional);
+    assert_eq!(
+        advisor.origin,
+        SetOrigin::SingleValuedFn {
+            function: "advisor".into(),
+            domain: "student".into(),
+            range: "faculty".into()
+        }
+    );
+}
+
+#[test]
+fn one_to_many_function_owner_is_domain_member_is_range() {
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE order_line IS ENTITY qty : INTEGER; END ENTITY;
+         TYPE order IS ENTITY lines : SET OF order_line; END ENTITY;
+         END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    let lines = net.set("lines").unwrap();
+    assert_eq!(lines.owner, Owner::Record("order".into()), "owner is the domain");
+    assert_eq!(lines.member, "order_line", "member is the range");
+    assert_eq!(
+        lines.origin,
+        SetOrigin::MultiValuedFn {
+            function: "lines".into(),
+            domain: "order".into(),
+            range: "order_line".into()
+        }
+    );
+}
+
+#[test]
+fn many_to_many_pair_synthesizes_link_record_and_two_sets() {
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE faculty IS ENTITY teaching : SET OF course; END ENTITY;
+         TYPE course IS ENTITY taught_by : SET OF faculty; END ENTITY;
+         END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    let link = net.record("LINK_1").unwrap();
+    assert!(link.attrs.is_empty(), "link records carry no data items");
+    let teaching = net.set("teaching").unwrap();
+    assert_eq!(teaching.owner, Owner::Record("faculty".into()));
+    assert_eq!(teaching.member, "LINK_1");
+    let taught_by = net.set("taught_by").unwrap();
+    assert_eq!(taught_by.owner, Owner::Record("course".into()));
+    assert_eq!(taught_by.member, "LINK_1");
+}
+
+#[test]
+fn uniqueness_constraint_maps_to_duplicates_not_allowed() {
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE course IS ENTITY title : STRING(30); semester : STRING(10); END ENTITY;
+         UNIQUE title, semester WITHIN course;
+         END DATABASE;",
+    )
+    .unwrap();
+    let net = transform(&s).unwrap();
+    let rec = net.record("course").unwrap();
+    assert!(!rec.attr("title").unwrap().dup_allowed);
+    assert!(!rec.attr("semester").unwrap().dup_allowed);
+    assert_eq!(rec.unique_groups, vec![vec!["title".to_owned(), "semester".to_owned()]]);
+}
+
+#[test]
+fn overlap_constraints_populate_overlap_table() {
+    let net = transform(&university::schema()).unwrap();
+    assert_eq!(net.overlaps.len(), 1);
+    assert!(net.overlaps[0].allows("faculty", "support_staff"));
+    assert!(!net.overlaps[0].allows("faculty", "student"));
+}
+
+#[test]
+fn university_schema_matches_figure_5_1() {
+    let net = transform(&university::schema()).unwrap();
+
+    // Eight record types incl. LINK_1.
+    let mut records: Vec<&str> = net.records.iter().map(|r| r.name.as_str()).collect();
+    records.sort_unstable();
+    assert_eq!(
+        records,
+        vec![
+            "LINK_1",
+            "course",
+            "department",
+            "employee",
+            "faculty",
+            "person",
+            "student",
+            "support_staff"
+        ]
+    );
+
+    // The sets of Figure 5.1.
+    let mut sets: Vec<&str> = net.sets.iter().map(|s| s.name.as_str()).collect();
+    sets.sort_unstable();
+    assert_eq!(
+        sets,
+        vec![
+            "advisor",
+            "dept",
+            "employee_faculty",
+            "employee_support_staff",
+            "person_student",
+            "supervisor",
+            "system_course",
+            "system_department",
+            "system_employee",
+            "system_person",
+            "taught_by",
+            "teaching",
+        ]
+    );
+
+    // Spot-check the modes quoted in Figure 5.1.
+    let supervisor = net.set("supervisor").unwrap();
+    assert_eq!(supervisor.owner, Owner::Record("employee".into()));
+    assert_eq!(supervisor.member, "support_staff");
+    assert_eq!(supervisor.insertion, Insertion::Manual);
+    assert_eq!(supervisor.retention, Retention::Optional);
+
+    let ess = net.set("employee_support_staff").unwrap();
+    assert_eq!(ess.insertion, Insertion::Automatic);
+    assert_eq!(ess.retention, Retention::Fixed);
+
+    let dept = net.set("dept").unwrap();
+    assert_eq!(dept.owner, Owner::Record("department".into()));
+    assert_eq!(dept.member, "faculty");
+
+    let advisor = net.set("advisor").unwrap();
+    assert_eq!(advisor.owner, Owner::Record("faculty".into()));
+    assert_eq!(advisor.member, "student");
+
+    // Uniqueness of title, semester → DUPLICATES ARE NOT ALLOWED.
+    let course = net.record("course").unwrap();
+    assert_eq!(course.unique_groups, vec![vec!["title".to_owned(), "semester".to_owned()]]);
+
+    // Every set selection is BY APPLICATION.
+    assert!(net.sets.iter().all(|s| s.selection == Selection::Application));
+
+    // The schema is flagged as transformed.
+    assert!(net.is_transformed());
+}
+
+#[test]
+fn transformed_schema_prints_as_ddl_and_reparses() {
+    let mut net = transform(&university::schema()).unwrap();
+    let ddl = codasyl::ddl::print_schema(&net);
+    let reparsed = codasyl::ddl::parse_schema(&ddl).unwrap();
+    // Origins are not expressible in DDL, and the scalar-multi-valued
+    // duplicate flag (an intra-entity constraint, not a uniqueness
+    // group) is not printable either — normalize it before comparing.
+    for r in &mut net.records {
+        let groups = r.unique_groups.clone();
+        for a in &mut r.attrs {
+            if !groups.iter().any(|g| g.contains(&a.name)) {
+                a.dup_allowed = true;
+            }
+        }
+    }
+    assert_eq!(net.records, reparsed.records);
+    assert_eq!(net.sets.len(), reparsed.sets.len());
+    for (a, b) in net.sets.iter().zip(&reparsed.sets) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.owner, b.owner);
+        assert_eq!(a.member, b.member);
+        assert_eq!(a.insertion, b.insertion);
+        assert_eq!(a.retention, b.retention);
+    }
+}
+
+#[test]
+fn function_named_after_its_own_entity_is_rejected() {
+    // A single-valued function `a` on entity `a` would make the member
+    // file carry a set attribute colliding with the kernel key
+    // attribute `<a, key>`.
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE b IS ENTITY x : INTEGER; END ENTITY;
+         TYPE a IS ENTITY a : b; END ENTITY;
+         END DATABASE;",
+    );
+    match s {
+        Err(_) => {}
+        Ok(s) => {
+            assert!(matches!(transform(&s), Err(TransformError::InvalidResult(_))));
+        }
+    }
+}
+
+#[test]
+fn function_ranging_over_another_entity_may_share_its_name() {
+    // `b : b` is fine: the set attribute `b` lives in file `a`, whose
+    // key attribute is `a` — no kernel collision.
+    let s = parse_schema(
+        "DATABASE t IS
+         TYPE b IS ENTITY x : INTEGER; END ENTITY;
+         TYPE a IS ENTITY b : b; END ENTITY;
+         END DATABASE;",
+    )
+    .unwrap();
+    transform(&s).unwrap();
+}

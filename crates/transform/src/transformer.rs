@@ -1,0 +1,240 @@
+//! The transformation algorithms of Chapter V.
+
+use codasyl::schema::{
+    AttrType, Insertion, NetAttrType, NetworkSchema, OverlapGroup, Owner, RecordType, Retention,
+    Selection, SetOrigin, SetType,
+};
+use daplex::names;
+use daplex::schema::{BaseKind, FunctionalSchema};
+use std::fmt;
+
+/// Errors raised by the schema transformer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The input schema failed validation.
+    InvalidFunctionalSchema(String),
+    /// The produced network schema failed validation (transformer bug
+    /// surface — e.g. a name collision between a function-set and a
+    /// record).
+    InvalidResult(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::InvalidFunctionalSchema(m) => {
+                write!(f, "invalid functional schema: {m}")
+            }
+            TransformError::InvalidResult(m) => {
+                write!(f, "transformation produced an invalid network schema: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Transform a functional schema into its network representation.
+///
+/// The result preserves the functional database's constraints: ISA sets
+/// are AUTOMATIC/FIXED (members can never change owners), function sets
+/// are MANUAL/OPTIONAL (members may be disconnected, connected or
+/// reconnected), set selection is always BY APPLICATION, scalar
+/// multi-valued functions and UNIQUE constraints clear the duplicate
+/// flags, and OVERLAP constraints are carried into the overlap table.
+pub fn transform(schema: &FunctionalSchema) -> Result<NetworkSchema, TransformError> {
+    schema
+        .validate()
+        .map_err(|e| TransformError::InvalidFunctionalSchema(e.to_string()))?;
+
+    let mut net = NetworkSchema::new(schema.name.clone());
+
+    // --- Record types from entity types and subtypes (§V.A, §V.B) ---
+    for name in schema.entity_like_names() {
+        let mut record = RecordType::new(name);
+        for f in schema.own_functions(name) {
+            if schema.is_entity_valued(f) {
+                continue; // becomes a set (or a LINK record), below
+            }
+            let kind = schema.scalar_kind(f).ok_or_else(|| {
+                TransformError::InvalidFunctionalSchema(format!(
+                    "function `{}` of `{name}` has unresolvable scalar type",
+                    f.name
+                ))
+            })?;
+            let mut attr = AttrType::new(f.name.clone(), net_type(&kind));
+            // "Only one occurrence of the single multi-valued function
+            // may be stored in the record, therefore the nan_dup_flag …
+            // is not set, indicating that the attribute cannot have
+            // duplicates."
+            if f.set_valued {
+                attr.dup_allowed = false;
+            }
+            // §V.C: "maintain the integrity constraints of the
+            // non-entity types" — ranges and enumerations become
+            // check clauses the kernel mapping enforces.
+            attr.check = value_check(schema, f, &kind);
+            record.attrs.push(attr);
+        }
+        net.records.push(record);
+    }
+
+    // --- SYSTEM sets for entity types (§V.A) --------------------------
+    for e in &schema.entities {
+        net.sets.push(SetType {
+            name: names::system_set(&e.name),
+            owner: Owner::System,
+            member: e.name.clone(),
+            insertion: Insertion::Automatic,
+            retention: Retention::Fixed,
+            selection: Selection::Application,
+            origin: SetOrigin::SystemOwned { entity: e.name.clone() },
+        });
+    }
+
+    // --- ISA sets for subtypes (§V.B) ---------------------------------
+    for sub in &schema.subtypes {
+        for sup in &sub.supertypes {
+            net.sets.push(SetType {
+                name: names::isa_set(sup, &sub.name),
+                owner: Owner::Record(sup.clone()),
+                member: sub.name.clone(),
+                insertion: Insertion::Automatic,
+                retention: Retention::Fixed,
+                selection: Selection::Application,
+                origin: SetOrigin::Isa { supertype: sup.clone(), subtype: sub.name.clone() },
+            });
+        }
+    }
+
+    // --- Function sets (§V.A item 4, §V.F) -----------------------------
+    let pairs = schema.m2m_pairs();
+    for name in schema.entity_like_names() {
+        for f in schema.own_functions(name) {
+            let Some(range) = schema.entity_range(f) else { continue };
+            if !f.set_valued {
+                // Single-valued: "the owner and the ancestor of the set
+                // type is the record type declared for the range entity
+                // type, and the set member is the record type declared
+                // for the domain entity type."
+                net.sets.push(SetType {
+                    name: f.name.clone(),
+                    owner: Owner::Record(range.to_owned()),
+                    member: name.to_owned(),
+                    insertion: Insertion::Manual,
+                    retention: Retention::Optional,
+                    selection: Selection::Application,
+                    origin: SetOrigin::SingleValuedFn {
+                        function: f.name.clone(),
+                        domain: name.to_owned(),
+                        range: range.to_owned(),
+                    },
+                });
+                continue;
+            }
+            if let Some(pair) = pairs.iter().find(|p| {
+                (p.left_entity == name && p.left_function == f.name)
+                    || (p.right_entity == name && p.right_function == f.name)
+            }) {
+                // Many-to-many: the LINK record and this side's set.
+                if net.record(&pair.link).is_none() {
+                    net.records.push(RecordType::new(pair.link.clone()));
+                }
+                net.sets.push(SetType {
+                    name: f.name.clone(),
+                    owner: Owner::Record(name.to_owned()),
+                    member: pair.link.clone(),
+                    insertion: Insertion::Manual,
+                    retention: Retention::Optional,
+                    selection: Selection::Application,
+                    origin: SetOrigin::ManyToManyFn {
+                        function: f.name.clone(),
+                        domain: name.to_owned(),
+                        link: pair.link.clone(),
+                    },
+                });
+            } else {
+                // One-to-many: "a set type is defined with the record
+                // type of the domain entity as the set owner, and its
+                // range entity record type as the set member."
+                net.sets.push(SetType {
+                    name: f.name.clone(),
+                    owner: Owner::Record(name.to_owned()),
+                    member: range.to_owned(),
+                    insertion: Insertion::Manual,
+                    retention: Retention::Optional,
+                    selection: Selection::Application,
+                    origin: SetOrigin::MultiValuedFn {
+                        function: f.name.clone(),
+                        domain: name.to_owned(),
+                        range: range.to_owned(),
+                    },
+                });
+            }
+        }
+    }
+
+    // --- Uniqueness constraints (§V.D) ---------------------------------
+    for u in &schema.uniques {
+        let record = net.record_mut(&u.within).ok_or_else(|| {
+            TransformError::InvalidFunctionalSchema(format!(
+                "UNIQUE WITHIN unknown type `{}`",
+                u.within
+            ))
+        })?;
+        for fname in &u.functions {
+            if let Some(attr) = record.attrs.iter_mut().find(|a| &a.name == fname) {
+                attr.dup_allowed = false;
+            }
+        }
+        record.unique_groups.push(u.functions.clone());
+    }
+
+    // --- Overlap constraints (§V.E) -------------------------------------
+    for o in &schema.overlaps {
+        net.overlaps.push(OverlapGroup { left: o.left.clone(), right: o.right.clone() });
+    }
+
+    net.validate().map_err(|e| TransformError::InvalidResult(e.to_string()))?;
+    Ok(net)
+}
+
+/// Derive the carried-over integrity check of a scalar function:
+/// integer ranges come from named non-entity types, enumerations (and
+/// booleans) from the resolved kind.
+fn value_check(
+    schema: &FunctionalSchema,
+    f: &daplex::schema::Function,
+    kind: &BaseKind,
+) -> Option<codasyl::schema::ValueCheck> {
+    use codasyl::schema::ValueCheck;
+    match kind {
+        BaseKind::Enum { literals } => Some(ValueCheck::OneOf { literals: literals.clone() }),
+        BaseKind::Bool => {
+            Some(ValueCheck::OneOf { literals: vec!["true".into(), "false".into()] })
+        }
+        BaseKind::Int => {
+            if let daplex::schema::FnRange::NonEntity(t) = &f.range {
+                let (lo, hi) = schema.non_entity(t)?.range?;
+                Some(ValueCheck::Range { lo, hi })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// §V.C: map a resolved scalar kind onto a network data type.
+fn net_type(kind: &BaseKind) -> NetAttrType {
+    match kind {
+        BaseKind::Str { len } => NetAttrType::Char { len: *len },
+        BaseKind::Int => NetAttrType::Int,
+        BaseKind::Float => NetAttrType::Float { dec: 2 },
+        // "Daplex enumeration types are mapped into network characters
+        // with the length … set equal to the length of the longest of
+        // the enumeration types." Booleans are enumerations.
+        BaseKind::Bool | BaseKind::Enum { .. } => NetAttrType::Char { len: kind.max_length() },
+    }
+}
+

@@ -1,0 +1,143 @@
+//! Translation and execution errors.
+
+use std::fmt;
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while translating or executing CODASYL-DML statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A required currency is not established (no current of run-unit,
+    /// record type, or set occurrence).
+    NoCurrency {
+        /// What currency was needed, e.g. "run-unit" or "set advisor".
+        what: String,
+    },
+    /// FIND NEXT ran off the end (or FIND PRIOR off the start) of the
+    /// set occurrence, or a FIND located no record. Hosts use this as
+    /// their loop-termination status.
+    EndOfSet {
+        /// The set (or "record search") that was exhausted.
+        set: String,
+    },
+    /// The statement names a record type that is not a member of the
+    /// named set.
+    NotMember {
+        /// The record type.
+        record: String,
+        /// The set.
+        set: String,
+    },
+    /// CONNECT on a set whose insertion mode is AUTOMATIC ("sets with
+    /// an insertion clause of automatic cannot be used in CONNECT
+    /// statements").
+    InsertionNotManual {
+        /// The set.
+        set: String,
+    },
+    /// DISCONNECT on a set whose retention is FIXED.
+    RetentionFixed {
+        /// The set.
+        set: String,
+    },
+    /// ERASE on a record owning a non-empty set occurrence.
+    EraseOwnerNotEmpty {
+        /// The occupied set.
+        set: String,
+    },
+    /// ERASE ALL against an `AB(functional)` target ("the statement is
+    /// not translated in this implementation").
+    EraseAllUnsupported,
+    /// STORE would violate an overlap constraint.
+    OverlapViolation {
+        /// Subtype record being stored.
+        subtype: String,
+        /// Conflicting subtype the entity already belongs to.
+        conflicting: String,
+    },
+    /// STORE would violate a `DUPLICATES ARE NOT ALLOWED` constraint.
+    DuplicateViolation {
+        /// The record type.
+        record: String,
+        /// The constrained items.
+        items: Vec<String>,
+    },
+    /// The current of the run-unit is not of the required record type.
+    WrongRunUnitType {
+        /// Expected record type.
+        expected: String,
+        /// Actual record type.
+        actual: String,
+    },
+    /// An operation addressed a set owned by SYSTEM where a record
+    /// owner is required (e.g. FIND OWNER).
+    SystemOwned {
+        /// The set.
+        set: String,
+    },
+    /// Schema-level failure (unknown record/set/item, type mismatch).
+    Schema(codasyl::Error),
+    /// Kernel-level failure.
+    Kernel(abdl::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoCurrency { what } => write!(f, "no currency established for {what}"),
+            Error::EndOfSet { set } => write!(f, "end of set `{set}`"),
+            Error::NotMember { record, set } => {
+                write!(f, "record type `{record}` is not a member of set `{set}`")
+            }
+            Error::InsertionNotManual { set } => write!(
+                f,
+                "set `{set}` has AUTOMATIC insertion and cannot be used in CONNECT/DISCONNECT"
+            ),
+            Error::RetentionFixed { set } => {
+                write!(f, "set `{set}` has FIXED retention; members cannot be disconnected")
+            }
+            Error::EraseOwnerNotEmpty { set } => {
+                write!(f, "ERASE aborted: record owns a non-empty occurrence of set `{set}`")
+            }
+            Error::EraseAllUnsupported => write!(
+                f,
+                "ERASE ALL is not translated for functional targets (CODASYL and Daplex \
+                 constraints clash); use repeated ERASE statements"
+            ),
+            Error::OverlapViolation { subtype, conflicting } => write!(
+                f,
+                "STORE aborted: entity already belongs to `{conflicting}`, which is disjoint \
+                 from `{subtype}` (no OVERLAP declared)"
+            ),
+            Error::DuplicateViolation { record, items } => write!(
+                f,
+                "STORE aborted: duplicates are not allowed for ({}) in `{record}`",
+                items.join(", ")
+            ),
+            Error::WrongRunUnitType { expected, actual } => write!(
+                f,
+                "current of run-unit is a `{actual}` record, statement requires `{expected}`"
+            ),
+            Error::SystemOwned { set } => {
+                write!(f, "set `{set}` is owned by SYSTEM; it has no owner record")
+            }
+            Error::Schema(e) => write!(f, "{e}"),
+            Error::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<codasyl::Error> for Error {
+    fn from(e: codasyl::Error) -> Self {
+        Error::Schema(e)
+    }
+}
+
+impl From<abdl::Error> for Error {
+    fn from(e: abdl::Error) -> Self {
+        Error::Kernel(e)
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # The CODASYL-DML → ABDL translation (Chapter VI)
+//!
+//! "The DML translation takes place in the Kernel Mapping System (KMS)
+//! … The two functions of KMS are: (1) parse the user's CODASYL-DML
+//! request to validate the syntax, and (2) map the request to an
+//! equivalent ABDL request." Parsing lives in `mlds-codasyl`; this crate
+//! is the mapping.
+//!
+//! A [`Translator`] is built over a network schema and a target mode:
+//!
+//! * [`TargetMode::AbNetwork`] — the Emdi baseline: the schema is a
+//!   native network schema and statements operate on the `AB(network)`
+//!   store layout;
+//! * [`TargetMode::AbFunctional`] — the thesis's contribution: the
+//!   schema was produced by the functional→network transformer
+//!   (`mlds-transform`) and statements operate on the `AB(functional)`
+//!   layout, with the Chapter-VI modifications: subtype STOREs share
+//!   the supertype's entity key through the automatic ISA set, overlap
+//!   constraints are verified against the overlap table, repeated
+//!   records of scalar multi-valued functions are addressed as a group
+//!   through the entity key, ERASE performs the Daplex reference
+//!   checks, and ERASE ALL is rejected ("the constraints imposed by
+//!   CODASYL-DML clash with those imposed by Daplex").
+//!
+//! Per-user state lives in a [`RunUnit`]: the Currency Indicator Table,
+//! the User Work Area, and the result buffers (RB) that hold the
+//! auxiliary-retrieve results FIND navigation consumes.
+//!
+//! Every executed statement reports the ABDL requests it generated
+//! ([`StepOutput::requests`]) — the observable of the thesis's
+//! statement-by-statement mapping and of the fan-out experiment (E10).
+
+//! ## Example
+//!
+//! ```
+//! use translator::{RunUnit, Translator};
+//!
+//! let (_, mut store, _) = daplex::university::sample_database().unwrap();
+//! let net = transform::transform(&daplex::university::schema()).unwrap();
+//! let t = Translator::for_functional(net);
+//! let mut ru = RunUnit::new();
+//! let stmts = codasyl::dml::parse_statements(
+//!     "MOVE 'Advanced Database' TO title IN course\n\
+//!      FIND ANY course USING title IN course",
+//! ).unwrap();
+//! for s in &stmts {
+//!     t.execute(&mut ru, &mut store, s).unwrap();
+//! }
+//! assert_eq!(ru.cit.run_unit().unwrap().record, "course");
+//! ```
+
+mod error;
+mod run_unit;
+mod translate;
+
+pub use error::{Error, Result};
+pub use run_unit::{Rb, RunUnit};
+pub use translate::{StepOutput, TargetMode, Translator};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,940 @@
+//! Statement-level tests of the Chapter-VI translation, in both target
+//! modes, including the thesis's worked examples.
+
+use crate::{Error, RunUnit, StepOutput, Translator};
+use abdl::{Store, Value};
+use codasyl::dml::parse_statements;
+use daplex::university;
+
+/// Functional-mode fixture: populated University database + its
+/// transformed network schema.
+fn functional_fixture() -> (Translator, RunUnit, Store) {
+    let (_, store, _) = university::sample_database().unwrap();
+    let net = transform::transform(&university::schema()).unwrap();
+    (Translator::for_functional(net), RunUnit::new(), store)
+}
+
+/// Run a script, panicking on the first error.
+fn run_script(t: &Translator, ru: &mut RunUnit, store: &mut Store, src: &str) -> Vec<StepOutput> {
+    parse_statements(src)
+        .unwrap()
+        .iter()
+        .map(|s| {
+            t.execute(ru, store, s)
+                .unwrap_or_else(|e| panic!("statement `{s}` failed: {e}"))
+        })
+        .collect()
+}
+
+/// Run a script, returning per-statement results.
+fn try_script(
+    t: &Translator,
+    ru: &mut RunUnit,
+    store: &mut Store,
+    src: &str,
+) -> Vec<crate::Result<StepOutput>> {
+    parse_statements(src).unwrap().iter().map(|s| t.execute(ru, store, s)).collect()
+}
+
+// ===== the thesis's worked examples (functional target) ==============
+
+#[test]
+fn find_any_advanced_database_example() {
+    // "MOVE 'Advanced Database' TO title IN course
+    //  FIND ANY course USING title IN course"
+    let (t, mut ru, mut store) = functional_fixture();
+    let out = run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Advanced Database' TO title IN course\n\
+         FIND ANY course USING title IN course\n\
+         GET course",
+    );
+    // MOVE generates no ABDL; FIND ANY generates exactly one RETRIEVE.
+    assert!(out[0].requests.is_empty());
+    assert_eq!(out[1].requests.len(), 1);
+    let retrieve = out[1].requests[0].to_string();
+    assert!(
+        retrieve.starts_with("RETRIEVE ((FILE = 'course') and (title = 'Advanced Database'))"),
+        "unexpected translation: {retrieve}"
+    );
+    let (rt, _, rec) = out[2].found.as_ref().unwrap();
+    assert_eq!(rt, "course");
+    assert_eq!(rec.get("credits"), Some(&Value::Int(4)));
+    // GET loaded the UWA.
+    assert_eq!(ru.uwa.get("course", "semester"), Value::str("F87"));
+}
+
+#[test]
+fn find_first_next_iterates_a_system_set() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let mut titles = Vec::new();
+    let stmts = parse_statements(
+        "FIND FIRST course WITHIN system_course\n\
+         FIND NEXT course WITHIN system_course\n\
+         FIND NEXT course WITHIN system_course\n\
+         FIND NEXT course WITHIN system_course",
+    )
+    .unwrap();
+    for s in &stmts {
+        let out = t.execute(&mut ru, &mut store, s).unwrap();
+        let (_, _, rec) = out.found.unwrap();
+        titles.push(rec.get("title").unwrap().as_str().unwrap().to_owned());
+    }
+    assert_eq!(titles.len(), 4);
+    assert!(titles.contains(&"Advanced Database".to_owned()));
+    // The fifth NEXT runs off the end.
+    let next = parse_statements("FIND NEXT course WITHIN system_course").unwrap();
+    let err = t.execute(&mut ru, &mut store, &next[0]).unwrap_err();
+    assert!(matches!(err, Error::EndOfSet { .. }));
+    // PRIOR walks back from the last record.
+    let prior = parse_statements("FIND PRIOR course WITHIN system_course").unwrap();
+    let out = t.execute(&mut ru, &mut store, &prior[0]).unwrap();
+    assert_eq!(
+        out.found.unwrap().2.get("title").unwrap().as_str().unwrap(),
+        titles[2].as_str()
+    );
+}
+
+#[test]
+fn isa_navigation_via_find_owner() {
+    // Find a CS student, then reach its person part through the ISA
+    // set — the functional model's value inheritance, seen through
+    // CODASYL eyes.
+    let (t, mut ru, mut store) = functional_fixture();
+    let out = run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Mathematics' TO major IN student\n\
+         FIND ANY student USING major IN student\n\
+         FIND OWNER WITHIN person_student",
+    );
+    let (rt, key, rec) = out[2].found.as_ref().unwrap();
+    assert_eq!(rt, "person");
+    assert_eq!(rec.get("name"), Some(&Value::str("Emdi")));
+    // Supertype and subtype share the entity key.
+    assert_eq!(*key, out[1].found.as_ref().unwrap().1);
+}
+
+#[test]
+fn students_majoring_in_cs_example() {
+    // The thesis's FIND FIRST/NEXT loop: students advised by Hsiao,
+    // reached through the advisor function set.
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Hsiao' TO ename IN employee\n\
+         FIND ANY employee USING ename IN employee\n\
+         FIND FIRST faculty WITHIN employee_faculty",
+    );
+    // Hsiao's faculty record is current → advisor occurrence is his.
+    let mut advised = Vec::new();
+    let first = parse_statements("FIND FIRST student WITHIN advisor").unwrap();
+    let next = parse_statements("FIND NEXT student WITHIN advisor").unwrap();
+    let mut res = t.execute(&mut ru, &mut store, &first[0]);
+    loop {
+        match res {
+            Ok(out) => {
+                advised.push(out.found.unwrap().1);
+                res = t.execute(&mut ru, &mut store, &next[0]);
+            }
+            Err(Error::EndOfSet { .. }) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(advised.len(), 2, "Coker and Zawis are advised by Hsiao");
+}
+
+#[test]
+fn many_to_many_navigation_through_link_records() {
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Hsiao' TO ename IN employee\n\
+         FIND ANY employee USING ename IN employee\n\
+         FIND FIRST faculty WITHIN employee_faculty",
+    );
+    // Iterate Hsiao's teaching set: LINK_1 members, then each link's
+    // taught_by owner is the course.
+    let mut courses = Vec::new();
+    let first = parse_statements("FIND FIRST LINK_1 WITHIN teaching").unwrap();
+    let next = parse_statements("FIND NEXT LINK_1 WITHIN teaching").unwrap();
+    let owner = parse_statements("FIND OWNER WITHIN taught_by").unwrap();
+    let mut res = t.execute(&mut ru, &mut store, &first[0]);
+    loop {
+        match res {
+            Ok(_) => {
+                let c = t.execute(&mut ru, &mut store, &owner[0]).unwrap();
+                let (_, _, rec) = c.found.unwrap();
+                courses.push(rec.get("title").unwrap().as_str().unwrap().to_owned());
+                res = t.execute(&mut ru, &mut store, &next[0]);
+            }
+            Err(Error::EndOfSet { .. }) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    courses.sort();
+    assert_eq!(courses, vec!["Advanced Database".to_owned(), "Database Design".to_owned()]);
+}
+
+#[test]
+fn scalar_multi_valued_entities_navigate_once() {
+    // Hsiao's faculty part is two repeated kernel records (two
+    // degrees); set navigation must see him once.
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Computer Science' TO dname IN department\n\
+         FIND ANY department USING dname IN department",
+    );
+    // CS department owns the dept set: Hsiao and Lum.
+    let mut seen = Vec::new();
+    let first = parse_statements("FIND FIRST faculty WITHIN dept").unwrap();
+    let next = parse_statements("FIND NEXT faculty WITHIN dept").unwrap();
+    let mut res = t.execute(&mut ru, &mut store, &first[0]);
+    loop {
+        match res {
+            Ok(out) => {
+                seen.push(out.found.unwrap().1);
+                res = t.execute(&mut ru, &mut store, &next[0]);
+            }
+            Err(Error::EndOfSet { .. }) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(seen.len(), 2, "two faculty entities, not three kernel records");
+}
+
+#[test]
+fn find_current_updates_only_the_run_unit() {
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Computer Science' TO major IN student\n\
+         FIND ANY student USING major IN student\n\
+         MOVE 'F87' TO semester IN course\n\
+         FIND ANY course USING semester IN course",
+    );
+    // Run-unit is now a course; FIND CURRENT flips it back to the
+    // student member of person_student — with zero kernel requests.
+    let stmts = parse_statements("FIND CURRENT student WITHIN person_student").unwrap();
+    let out = t.execute(&mut ru, &mut store, &stmts[0]).unwrap();
+    assert!(out.requests.is_empty(), "FIND CURRENT has no direct ABDL mapping");
+    assert_eq!(ru.cit.run_unit().unwrap().record, "student");
+}
+
+#[test]
+fn find_within_current_and_duplicate() {
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Hsiao' TO ename IN employee\n\
+         FIND ANY employee USING ename IN employee\n\
+         FIND FIRST faculty WITHIN employee_faculty",
+    );
+    // Students advised by Hsiao with a specific major, via FIND WITHIN
+    // CURRENT.
+    let out = run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Computer Science' TO major IN student\n\
+         FIND student WITHIN advisor CURRENT USING major IN student",
+    );
+    let (_, first_key, _) = out[1].found.as_ref().unwrap();
+    // FIND DUPLICATE: the next student in the occurrence with the same
+    // major as the current one.
+    let dup = parse_statements("FIND DUPLICATE WITHIN advisor USING major IN student").unwrap();
+    let out2 = t.execute(&mut ru, &mut store, &dup[0]).unwrap();
+    let (_, second_key, rec) = out2.found.unwrap();
+    assert_ne!(*first_key, second_key);
+    assert_eq!(rec.get("major"), Some(&Value::str("Computer Science")));
+    // No further duplicate.
+    let err = t.execute(&mut ru, &mut store, &dup[0]).unwrap_err();
+    assert!(matches!(err, Error::EndOfSet { .. }));
+}
+
+// ===== STORE ==========================================================
+
+#[test]
+fn store_entity_then_subtype_shares_the_key() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let out = run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Newman' TO name IN person\n\
+         MOVE 30 TO age IN person\n\
+         STORE person\n\
+         MOVE 'Physics' TO major IN student\n\
+         MOVE 3.0 TO gpa IN student\n\
+         STORE student",
+    );
+    let person_key = out[2].stored_key.unwrap();
+    let student_key = out[5].stored_key.unwrap();
+    assert_eq!(person_key, student_key, "ISA subtype shares the supertype's entity key");
+    // The ISA link attribute carries the shared key.
+    let resp = store
+        .execute(&abdl::parse::parse_request(&format!(
+            "RETRIEVE ((FILE = student) and (student = {student_key})) (*)"
+        )).unwrap())
+        .unwrap();
+    assert_eq!(resp.records().len(), 1);
+    assert_eq!(resp.records()[0].1.get("person_student"), Some(&Value::Int(person_key)));
+    assert_eq!(resp.records()[0].1.get("major"), Some(&Value::str("Physics")));
+}
+
+#[test]
+fn store_subtype_without_supertype_currency_fails() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(&t, &mut ru, &mut store, "MOVE 'X' TO major IN student\nSTORE student");
+    assert!(matches!(res[1], Err(Error::NoCurrency { .. })));
+}
+
+#[test]
+fn store_duplicate_course_is_rejected_by_arr() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Advanced Database' TO title IN course\n\
+         MOVE 'F87' TO semester IN course\n\
+         MOVE 4 TO credits IN course\n\
+         STORE course",
+    );
+    match &res[3] {
+        Err(Error::DuplicateViolation { record, items }) => {
+            assert_eq!(record, "course");
+            assert_eq!(items, &vec!["title".to_owned(), "semester".to_owned()]);
+        }
+        other => panic!("expected DuplicateViolation, got {other:?}"),
+    }
+    // A different semester stores fine and the dup-check ARR precedes
+    // the INSERT (2 requests).
+    let out = run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'W88' TO semester IN course\nSTORE course",
+    );
+    assert_eq!(out[1].requests.len(), 2, "one ARR + one INSERT");
+    assert!(matches!(out[1].requests[0], abdl::Request::Retrieve { .. }));
+    assert!(matches!(out[1].requests[1], abdl::Request::Insert { .. }));
+}
+
+#[test]
+fn store_respects_overlap_table() {
+    // The University schema declares OVERLAP faculty WITH support_staff,
+    // so an employee may be stored as both.
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Moonlighter' TO ename IN employee\n\
+         MOVE 30000.0 TO salary IN employee\n\
+         STORE employee\n\
+         MOVE 'instructor' TO rank IN faculty\n\
+         STORE faculty\n\
+         MOVE 20 TO hours IN support_staff\n\
+         STORE support_staff",
+    );
+    // Without the overlap constraint the same sequence must abort.
+    let mut fun_schema = university::schema();
+    fun_schema.overlaps.clear();
+    let net = transform::transform(&fun_schema).unwrap();
+    let t2 = Translator::for_functional(net);
+    let mut ru2 = RunUnit::new();
+    let mut store2 = Store::new();
+    daplex::ab_map::install(&fun_schema, &mut store2);
+    let res = try_script(
+        &t2,
+        &mut ru2,
+        &mut store2,
+        "MOVE 'Moonlighter' TO ename IN employee\n\
+         STORE employee\n\
+         STORE faculty\n\
+         MOVE 20 TO hours IN support_staff\n\
+         STORE support_staff",
+    );
+    assert!(
+        matches!(res[4], Err(Error::OverlapViolation { .. })),
+        "expected overlap violation, got {:?}",
+        res[4]
+    );
+}
+
+#[test]
+fn store_same_subtype_twice_is_rejected() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Solo' TO name IN person\n\
+         STORE person\n\
+         MOVE 'Art' TO major IN student\n\
+         STORE student\n\
+         STORE student",
+    );
+    assert!(res[3].is_ok());
+    assert!(matches!(res[4], Err(Error::DuplicateViolation { .. })));
+}
+
+// ===== CONNECT / DISCONNECT ==========================================
+
+#[test]
+fn connect_and_disconnect_advisor() {
+    // Reconnecting Emdi from Marshall to Hsiao requires the canonical
+    // CODASYL currency dance: find the member, disconnect, establish
+    // the *new* owner as the set's current occurrence, restore the
+    // member as current of run-unit (FIND CURRENT touches nothing
+    // else), then CONNECT.
+    let (t, mut ru, mut store) = functional_fixture();
+    let out = run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Mathematics' TO major IN student\n\
+         FIND ANY student USING major IN student\n\
+         DISCONNECT student FROM advisor\n\
+         MOVE 'Hsiao' TO ename IN employee\n\
+         FIND ANY employee USING ename IN employee\n\
+         FIND FIRST faculty WITHIN employee_faculty\n\
+         FIND CURRENT student WITHIN person_student\n\
+         CONNECT student TO advisor",
+    );
+    let hsiao = out[5].found.as_ref().unwrap().1;
+    // DISCONNECT is one UPDATE nulling the attribute; CONNECT one
+    // UPDATE setting it.
+    assert_eq!(out[2].requests.len(), 1);
+    assert_eq!(out[7].requests.len(), 1);
+    let emdi = out[1].found.as_ref().unwrap().1;
+    let resp = store
+        .execute(&abdl::parse::parse_request(&format!(
+            "RETRIEVE ((FILE = student) and (student = {emdi})) (advisor)"
+        )).unwrap())
+        .unwrap();
+    assert_eq!(resp.records()[0].1.get("advisor"), Some(&Value::Int(hsiao)));
+}
+
+#[test]
+fn connect_to_automatic_isa_set_is_rejected() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Computer Science' TO major IN student\n\
+         FIND ANY student USING major IN student\n\
+         CONNECT student TO person_student",
+    );
+    assert!(matches!(res[2], Err(Error::InsertionNotManual { .. })));
+}
+
+#[test]
+fn disconnect_fixed_retention_is_rejected() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Computer Science' TO major IN student\n\
+         FIND ANY student USING major IN student\n\
+         DISCONNECT student FROM person_student",
+    );
+    assert!(matches!(res[2], Err(Error::RetentionFixed { .. })));
+}
+
+#[test]
+fn connect_updates_every_repeated_record() {
+    // Hsiao's faculty part has two repeated kernel records (degrees);
+    // reconnecting his dept must update both.
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Mathematics' TO dname IN department\n\
+         FIND ANY department USING dname IN department\n\
+         MOVE 'Hsiao' TO ename IN employee\n\
+         FIND ANY employee USING ename IN employee\n\
+         FIND FIRST faculty WITHIN employee_faculty",
+    );
+    let out = run_script(&t, &mut ru, &mut store, "DISCONNECT faculty FROM dept\nCONNECT faculty TO dept");
+    assert_eq!(out[1].affected, 2, "both repeated records updated");
+}
+
+// ===== MODIFY =========================================================
+
+#[test]
+fn modify_items_generates_one_update_per_item() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let out = run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Linear Algebra' TO title IN course\n\
+         FIND ANY course USING title IN course\n\
+         MOVE 4 TO credits IN course\n\
+         MOVE 'W88' TO semester IN course\n\
+         MODIFY credits, semester IN course",
+    );
+    assert_eq!(out[4].requests.len(), 2, "one UPDATE per modified item");
+    let key = out[1].found.as_ref().unwrap().1;
+    let resp = store
+        .execute(&abdl::parse::parse_request(&format!(
+            "RETRIEVE ((FILE = course) and (course = {key})) (credits, semester)"
+        )).unwrap())
+        .unwrap();
+    assert_eq!(resp.records()[0].1.get("credits"), Some(&Value::Int(4)));
+    assert_eq!(resp.records()[0].1.get("semester"), Some(&Value::str("W88")));
+}
+
+#[test]
+fn modify_without_currency_fails() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(&t, &mut ru, &mut store, "MODIFY course");
+    assert!(matches!(res[0], Err(Error::NoCurrency { .. })));
+}
+
+// ===== ERASE ==========================================================
+
+#[test]
+fn erase_member_then_owner() {
+    let (t, mut ru, mut store) = functional_fixture();
+    // Zawis: erase the student part, then the person part.
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 3.2 TO gpa IN student\nFIND ANY student USING gpa IN student",
+    );
+    let key = ru.cit.run_unit().unwrap().key;
+    run_script(&t, &mut ru, &mut store, "ERASE student");
+    assert_eq!(store.file_len("student"), 3);
+    // The person part survives; now find and erase it.
+    let out = run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Zawis' TO name IN person\nFIND ANY person USING name IN person\nERASE person",
+    );
+    assert_eq!(out[1].found.as_ref().unwrap().1, key);
+    assert_eq!(store.file_len("person"), 3);
+}
+
+#[test]
+fn erase_owner_of_nonempty_set_is_aborted() {
+    let (t, mut ru, mut store) = functional_fixture();
+    // Hsiao's faculty record owns advisor/teaching occurrences.
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Hsiao' TO ename IN employee\n\
+         FIND ANY employee USING ename IN employee\n\
+         FIND FIRST faculty WITHIN employee_faculty\n\
+         ERASE faculty",
+    );
+    assert!(
+        matches!(res[3], Err(Error::EraseOwnerNotEmpty { .. })),
+        "expected abort, got {:?}",
+        res[3]
+    );
+    // The constraint ARRs ran before anything was deleted.
+    assert_eq!(store.file_len("faculty"), 4);
+}
+
+#[test]
+fn erase_all_is_rejected_on_functional_targets() {
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Linear Algebra' TO title IN course\nFIND ANY course USING title IN course",
+    );
+    let res = try_script(&t, &mut ru, &mut store, "ERASE ALL course");
+    assert!(matches!(res[0], Err(Error::EraseAllUnsupported)));
+}
+
+// ===== the AB(network) baseline ======================================
+
+const COMPANY_DDL: &str = "
+SCHEMA NAME IS company.
+
+RECORD NAME IS department.
+  02 dname TYPE IS CHARACTER 20.
+  DUPLICATES ARE NOT ALLOWED FOR dname.
+
+RECORD NAME IS employee.
+  02 ename TYPE IS CHARACTER 20.
+  02 salary TYPE IS FIXED.
+
+SET NAME IS system_department.
+  OWNER IS SYSTEM.
+  MEMBER IS department.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS system_employee.
+  OWNER IS SYSTEM.
+  MEMBER IS employee.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS works_in.
+  OWNER IS department.
+  MEMBER IS employee.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+";
+
+fn network_fixture() -> (Translator, RunUnit, Store) {
+    let schema = codasyl::ddl::parse_schema(COMPANY_DDL).unwrap();
+    let mut store = Store::new();
+    codasyl::ab_map::install(&schema, &mut store);
+    (Translator::for_network(schema), RunUnit::new(), Store::clone(&store))
+}
+
+#[test]
+fn network_store_find_connect_lifecycle() {
+    let (t, mut ru, mut store) = network_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Research' TO dname IN department\n\
+         STORE department\n\
+         MOVE 'Jones' TO ename IN employee\n\
+         MOVE 50000 TO salary IN employee\n\
+         STORE employee\n\
+         CONNECT employee TO works_in\n\
+         MOVE 'Smith' TO ename IN employee\n\
+         MOVE 45000 TO salary IN employee\n\
+         STORE employee\n\
+         CONNECT employee TO works_in",
+    );
+    // Iterate the works_in occurrence.
+    let mut names = Vec::new();
+    let first = parse_statements("FIND FIRST employee WITHIN works_in").unwrap();
+    let next = parse_statements("FIND NEXT employee WITHIN works_in").unwrap();
+    let mut res = t.execute(&mut ru, &mut store, &first[0]);
+    loop {
+        match res {
+            Ok(out) => {
+                names.push(
+                    out.found.unwrap().2.get("ename").unwrap().as_str().unwrap().to_owned(),
+                );
+                res = t.execute(&mut ru, &mut store, &next[0]);
+            }
+            Err(Error::EndOfSet { .. }) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    names.sort();
+    assert_eq!(names, vec!["Jones".to_owned(), "Smith".to_owned()]);
+}
+
+#[test]
+fn network_duplicate_dname_rejected() {
+    let (t, mut ru, mut store) = network_fixture();
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Research' TO dname IN department\n\
+         STORE department\n\
+         STORE department",
+    );
+    assert!(matches!(res[2], Err(Error::DuplicateViolation { .. })));
+}
+
+#[test]
+fn network_erase_all_cascades() {
+    let (t, mut ru, mut store) = network_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Research' TO dname IN department\n\
+         STORE department\n\
+         MOVE 'Jones' TO ename IN employee\n\
+         STORE employee\n\
+         CONNECT employee TO works_in\n\
+         MOVE 'Smith' TO ename IN employee\n\
+         STORE employee\n\
+         CONNECT employee TO works_in\n\
+         FIND FIRST department WITHIN system_department",
+    );
+    // Plain ERASE is aborted (the department owns two employees)…
+    let res = try_script(&t, &mut ru, &mut store, "ERASE department");
+    assert!(matches!(res[0], Err(Error::EraseOwnerNotEmpty { .. })));
+    // …but ERASE ALL cascades in the network baseline.
+    run_script(&t, &mut ru, &mut store, "FIND FIRST department WITHIN system_department");
+    let out = run_script(&t, &mut ru, &mut store, "ERASE ALL department");
+    assert_eq!(out[0].affected, 3, "department + 2 employees");
+    assert_eq!(store.file_len("department"), 0);
+    assert_eq!(store.file_len("employee"), 0);
+}
+
+#[test]
+fn network_erase_all_requires_currency_type_match() {
+    let (t, mut ru, mut store) = network_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Jones' TO ename IN employee\nSTORE employee",
+    );
+    let res = try_script(&t, &mut ru, &mut store, "ERASE department");
+    assert!(matches!(res[0], Err(Error::WrongRunUnitType { .. })));
+}
+
+// ===== request fan-out (the E10 observable) ===========================
+
+#[test]
+fn request_fanout_matches_chapter_vi() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let script = "MOVE 'Advanced Database' TO title IN course\n\
+                  FIND ANY course USING title IN course\n\
+                  GET course\n\
+                  FIND FIRST course WITHIN system_course\n\
+                  FIND NEXT course WITHIN system_course\n\
+                  FIND CURRENT course WITHIN system_course";
+    let outs = run_script(&t, &mut ru, &mut store, script);
+    let fanout: Vec<usize> = outs.iter().map(|o| o.requests.len()).collect();
+    // MOVE: 0 — host-language only.
+    // FIND ANY: 1 RETRIEVE.
+    // GET: 1 RETRIEVE (through KC).
+    // FIND FIRST: 1 RETRIEVE (fills RB).
+    // FIND NEXT: 0 — satisfied from RB.
+    // FIND CURRENT: 0 — CIT update only.
+    assert_eq!(fanout, vec![0, 1, 1, 1, 0, 0]);
+}
+
+// ===== additional edge cases ==========================================
+
+#[test]
+fn find_position_requires_current_occurrence_for_record_owned_sets() {
+    let (t, mut ru, mut store) = functional_fixture();
+    // No faculty currency established → the advisor occurrence is
+    // undefined.
+    let res = try_script(&t, &mut ru, &mut store, "FIND FIRST student WITHIN advisor");
+    assert!(matches!(res[0], Err(Error::NoCurrency { .. })));
+}
+
+#[test]
+fn find_last_and_prior_navigation() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let out = run_script(&t, &mut ru, &mut store, "FIND LAST course WITHIN system_course");
+    let last_key = out[0].found.as_ref().unwrap().1;
+    let out = run_script(&t, &mut ru, &mut store, "FIND PRIOR course WITHIN system_course");
+    assert!(out[0].found.as_ref().unwrap().1 < last_key);
+    // Walking PRIOR past the first record ends the set.
+    let prior = parse_statements("FIND PRIOR course WITHIN system_course").unwrap();
+    let mut hits = 1; // we are at len-2 already
+    loop {
+        match t.execute(&mut ru, &mut store, &prior[0]) {
+            Ok(_) => hits += 1,
+            Err(Error::EndOfSet { .. }) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert_eq!(hits, 3, "4 courses: LAST, then 3 PRIORs before end-of-set");
+}
+
+#[test]
+fn get_record_type_mismatch_is_rejected() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'F87' TO semester IN course\n\
+         FIND ANY course USING semester IN course\n\
+         GET student",
+    );
+    assert!(matches!(res[2], Err(Error::WrongRunUnitType { .. })));
+}
+
+#[test]
+fn get_items_loads_only_requested_items() {
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'F87' TO semester IN course\n\
+         FIND ANY course USING semester IN course\n\
+         GET title IN course",
+    );
+    assert!(!ru.uwa.get("course", "title").is_null());
+    // credits was not requested and was never MOVEd: stays NULL.
+    assert!(ru.uwa.get("course", "credits").is_null());
+}
+
+#[test]
+fn find_any_with_no_match_is_end_of_set() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Ghost Course' TO title IN course\nFIND ANY course USING title IN course",
+    );
+    assert!(matches!(res[1], Err(Error::EndOfSet { .. })));
+    // Currency is untouched by the failed FIND.
+    assert!(ru.cit.run_unit().is_none());
+}
+
+#[test]
+fn modify_after_erase_fails_cleanly() {
+    let (t, mut ru, mut store) = functional_fixture();
+    // A freshly stored course owns no occupied occurrences, so ERASE
+    // goes through.
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Ephemeral' TO title IN course\n\
+         MOVE 'S89' TO semester IN course\n\
+         MOVE 1 TO credits IN course\n\
+         STORE course\n\
+         ERASE course",
+    );
+    // ERASE forgot the currency.
+    let res = try_script(&t, &mut ru, &mut store, "MODIFY credits IN course");
+    assert!(matches!(res[0], Err(Error::NoCurrency { .. })));
+}
+
+#[test]
+fn network_store_automatic_record_owned_set_uses_current_occurrence() {
+    // A native schema where an automatic record-owned set connects the
+    // stored member to the current occurrence.
+    let ddl = "
+SCHEMA NAME IS shop.
+RECORD NAME IS invoice.
+  02 num TYPE IS FIXED.
+RECORD NAME IS line.
+  02 qty TYPE IS FIXED.
+SET NAME IS system_invoice.
+  OWNER IS SYSTEM.
+  MEMBER IS invoice.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+SET NAME IS lines.
+  OWNER IS invoice.
+  MEMBER IS line.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+";
+    let schema = codasyl::ddl::parse_schema(ddl).unwrap();
+    let mut store = Store::new();
+    codasyl::ab_map::install(&schema, &mut store);
+    let t = Translator::for_network(schema);
+    let mut ru = RunUnit::new();
+    // Without an invoice currency, STORE line has no occurrence.
+    let res = try_script(&t, &mut ru, &mut store, "MOVE 1 TO qty IN line\nSTORE line");
+    assert!(matches!(res[1], Err(Error::NoCurrency { .. })));
+    // After storing an invoice, lines connect to it automatically.
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 7 TO num IN invoice\nSTORE invoice\nMOVE 2 TO qty IN line\nSTORE line",
+    );
+    let out = run_script(&t, &mut ru, &mut store, "FIND FIRST line WITHIN lines");
+    assert_eq!(out[0].found.as_ref().unwrap().2.get("qty"), Some(&Value::Int(2)));
+}
+
+#[test]
+fn connect_requires_set_membership_of_the_record_type() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'F87' TO semester IN course\n\
+         FIND ANY course USING semester IN course\n\
+         CONNECT course TO advisor",
+    );
+    assert!(matches!(res[2], Err(Error::NotMember { .. })));
+}
+
+#[test]
+fn wrong_member_type_in_positional_find_is_rejected() {
+    let (t, mut ru, mut store) = functional_fixture();
+    let res = try_script(&t, &mut ru, &mut store, "FIND FIRST faculty WITHIN advisor");
+    assert!(matches!(res[0], Err(Error::NotMember { .. })));
+}
+
+#[test]
+fn buffers_invalidate_after_store_into_the_swept_set() {
+    // Sweep the system_course set, STORE a new course mid-sweep, and
+    // confirm navigation picks the fresh occurrence up (the RB is
+    // re-retrieved rather than served stale).
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(&t, &mut ru, &mut store, "FIND FIRST course WITHIN system_course");
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "MOVE 'Fresh Course' TO title IN course\n\
+         MOVE 'S89' TO semester IN course\n\
+         MOVE 2 TO credits IN course\n\
+         STORE course",
+    );
+    // After STORE, the new course is the current of system_course; a
+    // FIND FIRST sweep sees five courses now.
+    let first = parse_statements("FIND FIRST course WITHIN system_course").unwrap();
+    let next = parse_statements("FIND NEXT course WITHIN system_course").unwrap();
+    let mut n = 0;
+    let mut res = t.execute(&mut ru, &mut store, &first[0]);
+    loop {
+        match res {
+            Ok(_) => {
+                n += 1;
+                res = t.execute(&mut ru, &mut store, &next[0]);
+            }
+            Err(Error::EndOfSet { .. }) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert_eq!(n, 5, "four original courses plus the stored one");
+}
+
+#[test]
+fn modify_of_swept_attribute_is_visible_to_restarted_navigation() {
+    let (t, mut ru, mut store) = functional_fixture();
+    run_script(
+        &t,
+        &mut ru,
+        &mut store,
+        "FIND FIRST course WITHIN system_course\n\
+         MOVE 1 TO credits IN course\n\
+         MODIFY credits IN course",
+    );
+    // Restart the sweep: the first course now reports credits = 1.
+    let out = run_script(&t, &mut ru, &mut store, "FIND FIRST course WITHIN system_course");
+    assert_eq!(out[0].found.as_ref().unwrap().2.get("credits"), Some(&Value::Int(1)));
+}

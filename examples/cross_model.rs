@@ -1,0 +1,128 @@
+//! The thesis's headline scenario in full: a functional (Daplex)
+//! database accessed and *modified* through CODASYL-DML transactions —
+//! schema transformation, ISA navigation, many-to-many link traversal,
+//! STORE with shared entity keys, overlap enforcement, and the ERASE
+//! constraint checks.
+//!
+//! ```sh
+//! cargo run --example cross_model
+//! ```
+
+use mlds::{codasyl, daplex, transform, Mlds};
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn run(
+    mlds: &mut Mlds,
+    session: &mut mlds::CodasylSession,
+    script: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for out in mlds.execute_codasyl(session, script)? {
+        println!("> {}", out.statement);
+        for req in &out.abdl {
+            println!("    ABDL: {req}");
+        }
+        if !out.display.is_empty() {
+            println!("    => {}", out.display);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mlds = Mlds::single_backend();
+    mlds.create_database(daplex::university::UNIVERSITY_DDL)?;
+    mlds.populate_university("university")?;
+
+    banner("The functional schema (Figure 2.1) transformed to a network schema (Figure 5.1)");
+    let net = transform::transform(&daplex::university::schema())?;
+    println!("{}", codasyl::ddl::print_schema(&net));
+
+    let mut s = mlds.connect_codasyl("coker", "university")?;
+
+    banner("FIND ANY + GET (the Chapter VI opening example)");
+    run(
+        &mut mlds,
+        &mut s,
+        "MOVE 'Advanced Database' TO title IN course
+         FIND ANY course USING title IN course
+         GET course",
+    )?;
+
+    banner("ISA navigation: a student's person part via FIND OWNER");
+    run(
+        &mut mlds,
+        &mut s,
+        "MOVE 'Mathematics' TO major IN student
+         FIND ANY student USING major IN student
+         FIND OWNER WITHIN person_student",
+    )?;
+
+    banner("Many-to-many: the courses Hsiao teaches, through LINK_1");
+    run(
+        &mut mlds,
+        &mut s,
+        "MOVE 'Hsiao' TO ename IN employee
+         FIND ANY employee USING ename IN employee
+         FIND FIRST faculty WITHIN employee_faculty
+         FIND FIRST LINK_1 WITHIN teaching
+         FIND OWNER WITHIN taught_by",
+    )?;
+    run(
+        &mut mlds,
+        &mut s,
+        "FIND NEXT LINK_1 WITHIN teaching
+         FIND OWNER WITHIN taught_by",
+    )?;
+
+    banner("STORE: building a person + student entity (shared artificial key)");
+    run(
+        &mut mlds,
+        &mut s,
+        "MOVE 'Newman' TO name IN person
+         MOVE 30 TO age IN person
+         STORE person
+         MOVE 'Physics' TO major IN student
+         MOVE 3.0 TO gpa IN student
+         STORE student",
+    )?;
+
+    banner("Constraint enforcement seen by the network user");
+    // Duplicate course (UNIQUE title, semester WITHIN course).
+    let err = mlds
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Advanced Database' TO title IN course
+             MOVE 'F87' TO semester IN course
+             MOVE 4 TO credits IN course
+             STORE course",
+        )
+        .unwrap_err();
+    println!("STORE duplicate course   -> {err}");
+    // ERASE a record owning non-empty occurrences.
+    mlds.execute_codasyl(
+        &mut s,
+        "MOVE 'Computer Science' TO dname IN department
+         FIND ANY department USING dname IN department",
+    )?;
+    let err = mlds.execute_codasyl(&mut s, "ERASE department").unwrap_err();
+    println!("ERASE occupied owner     -> {err}");
+    // ERASE ALL clashes with Daplex constraints.
+    let err = mlds.execute_codasyl(&mut s, "ERASE ALL department").unwrap_err();
+    println!("ERASE ALL (functional)   -> {err}");
+
+    banner("Per-statement ABDL fan-out for this session");
+    let mut counts: std::collections::BTreeMap<&str, (usize, usize)> = Default::default();
+    for (verb, n) in &s.history {
+        let e = counts.entry(verb.as_str()).or_default();
+        e.0 += 1;
+        e.1 += n;
+    }
+    println!("{:<22} {:>6} {:>14}", "statement", "count", "ABDL requests");
+    for (verb, (count, reqs)) in counts {
+        println!("{verb:<22} {count:>6} {reqs:>14}");
+    }
+    Ok(())
+}

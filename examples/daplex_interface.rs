@@ -1,0 +1,97 @@
+//! The native functional interface: the same University database
+//! manipulated through the Daplex DML subset — the MLDS language
+//! interface the thesis's cross-model work builds upon.
+//!
+//! ```sh
+//! cargo run --example daplex_interface
+//! ```
+
+use mlds::{daplex, Mlds};
+
+fn run(
+    mlds: &mut Mlds,
+    session: &mut mlds::DaplexSession,
+    script: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for out in mlds.execute_daplex(session, script)? {
+        println!("> {}", script.trim().replace('\n', " "));
+        if out.display.is_empty() {
+            println!("    ({} affected)", out.affected);
+        } else {
+            for line in out.display.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mlds = Mlds::single_backend();
+    mlds.create_database(daplex::university::UNIVERSITY_DDL)?;
+    mlds.populate_university("university")?;
+    let mut s = mlds.connect_daplex("shipman", "university")?;
+
+    println!("=== Retrieval with inherited functions ===");
+    run(
+        &mut mlds,
+        &mut s,
+        "FOR EACH student SUCH THAT major(student) = 'Computer Science'
+             PRINT name(student), age(student), gpa(student);",
+    )?;
+
+    println!("\n=== Scalar multi-valued functions (repeated kernel records) ===");
+    run(&mut mlds, &mut s, "FOR EACH faculty PRINT ename(faculty), degrees(faculty);")?;
+
+    println!("\n=== Entity lifecycle ===");
+    run(
+        &mut mlds,
+        &mut s,
+        "CREATE student (name := 'Jones', age := 22, major := 'History', gpa := 2.9);",
+    )?;
+    run(
+        &mut mlds,
+        &mut s,
+        "ASSIGN gpa(student) := 3.2 SUCH THAT name(student) = 'Jones';",
+    )?;
+    run(
+        &mut mlds,
+        &mut s,
+        "FOR EACH student SUCH THAT name(student) = 'Jones' PRINT gpa(student);",
+    )?;
+    run(&mut mlds, &mut s, "DESTROY student SUCH THAT name(student) = 'Jones';")?;
+
+    println!("\n=== Set-valued manipulation (INCLUDE / EXCLUDE) ===");
+    run(
+        &mut mlds,
+        &mut s,
+        "INCLUDE course SUCH THAT title(course) = 'Linear Algebra'
+             IN teaching(faculty) SUCH THAT ename(faculty) = 'Hsiao';",
+    )?;
+    run(
+        &mut mlds,
+        &mut s,
+        "FOR EACH faculty SUCH THAT ename(faculty) = 'Hsiao' PRINT teaching(faculty);",
+    )?;
+    run(
+        &mut mlds,
+        &mut s,
+        "EXCLUDE course SUCH THAT title(course) = 'Linear Algebra'
+             IN teaching(faculty) SUCH THAT ename(faculty) = 'Hsiao';",
+    )?;
+
+    println!("\n=== Function composition (Shipman's derived paths) ===");
+    run(
+        &mut mlds,
+        &mut s,
+        "FOR EACH student SUCH THAT dname(dept(advisor(student))) = 'Computer Science'
+             PRINT name(student), dname(dept(advisor(student)));",
+    )?;
+
+    println!("\n=== The DESTROY reference check ===");
+    let err = mlds
+        .execute_daplex(&mut s, "DESTROY faculty SUCH THAT ename(faculty) = 'Hsiao';")
+        .unwrap_err();
+    println!("DESTROY referenced faculty -> {err}");
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Figure 1.2, live: one MLDS, five data languages — DL/I, SQL,
+//! CODASYL-DML, Daplex and raw ABDL — over one attribute-based kernel.
+//!
+//! ```sh
+//! cargo run --example five_languages
+//! ```
+
+use mlds::{daplex, Mlds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mlds = Mlds::single_backend();
+
+    // LIL auto-detects every DDL's data model.
+    mlds.create_database(daplex::university::UNIVERSITY_DDL)?; // functional
+    mlds.create_database(
+        "CREATE DATABASE suppliers;
+         CREATE TABLE supplier (sno INTEGER NOT NULL, sname CHAR(20), city CHAR(15),
+                                PRIMARY KEY (sno));
+         CREATE TABLE part (pno INTEGER NOT NULL, pname CHAR(20), city CHAR(15),
+                            PRIMARY KEY (pno));",
+    )?; // relational
+    mlds.create_database(
+        "HIERARCHY NAME IS school.
+         SEGMENT department.
+           02 dno TYPE IS FIXED.
+           02 dname TYPE IS CHARACTER 20.
+           SEQUENCE IS dno.
+         SEGMENT course PARENT IS department.
+           02 cno TYPE IS FIXED.
+           02 title TYPE IS CHARACTER 30.",
+    )?; // hierarchical
+    mlds.populate_university("university")?;
+    println!("databases: {:?}\n", mlds.database_names());
+
+    // --- Daplex (functional) ---
+    println!("== Daplex ==");
+    let mut dap = mlds.connect_daplex("shipman", "university")?;
+    for out in mlds.execute_daplex(
+        &mut dap,
+        "FOR EACH student SUCH THAT dname(dept(advisor(student))) = 'Computer Science'
+             PRINT name(student);",
+    )? {
+        println!("{}", out.display);
+    }
+
+    // --- CODASYL-DML on the same functional database (cross-model) ---
+    println!("\n== CODASYL-DML (on the functional database) ==");
+    let mut net = mlds.connect_codasyl("coker", "university")?;
+    for out in mlds.execute_codasyl(
+        &mut net,
+        "MOVE 'Advanced Database' TO title IN course
+         FIND ANY course USING title IN course
+         GET course",
+    )? {
+        if !out.display.is_empty() {
+            println!("{}", out.display);
+        }
+    }
+
+    // --- SQL (relational) ---
+    println!("\n== SQL ==");
+    let mut sql = mlds.connect_sql("codd", "suppliers")?;
+    mlds.execute_sql(
+        &mut sql,
+        "INSERT INTO supplier (sno, sname, city) VALUES (1, 'Smith', 'London');
+         INSERT INTO supplier (sno, sname, city) VALUES (2, 'Jones', 'Paris');
+         INSERT INTO part (pno, pname, city) VALUES (7, 'Bolt', 'Paris');",
+    )?;
+    for out in mlds.execute_sql(
+        &mut sql,
+        "SELECT s.sname, p.pname FROM supplier s, part p WHERE s.city = p.city;",
+    )? {
+        println!("{}", out.display);
+    }
+
+    // --- DL/I (hierarchical) ---
+    println!("\n== DL/I ==");
+    let mut ims = mlds.connect_dli("ibm", "school")?;
+    mlds.execute_dli(
+        &mut ims,
+        "ISRT department (dno = 1, dname = 'CS')
+         ISRT course (cno = 10, title = 'Databases')
+         ISRT course (cno = 20, title = 'Compilers')",
+    )?;
+    for out in mlds.execute_dli(&mut ims, "GU department (dno = 1) course (cno = 20)")? {
+        println!("{}", out.display);
+    }
+
+    // --- the Zawis edge: SQL over the *hierarchical* database ---
+    println!("\n== SQL on the hierarchical database (read-only view) ==");
+    let mut zawis = mlds.connect_sql("zawis", "school")?;
+    for out in mlds.execute_sql(
+        &mut zawis,
+        "SELECT d.dname, c.title FROM department d, course c
+         WHERE c.department_course = d.department_key ORDER BY title;",
+    )? {
+        println!("{}", out.display);
+    }
+
+    // --- raw ABDL (the kernel language itself) ---
+    println!("\n== ABDL ==");
+    let req = mlds::abdl::parse::parse_request(
+        "RETRIEVE (FILE = 'suppliers.supplier') (COUNT(sno)) BY city",
+    )?;
+    println!("> {req}");
+    print!("{}", mlds.kernel_mut().execute(&req)?);
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! The Emdi baseline: a *native* network database defined in CODASYL
+//! DDL and driven with CODASYL-DML — the `AB(network)` path the
+//! thesis's cross-model translation modifies.
+//!
+//! ```sh
+//! cargo run --example native_network
+//! ```
+
+use mlds::Mlds;
+
+const AIRLINE_DDL: &str = "
+SCHEMA NAME IS airline.
+
+RECORD NAME IS airport.
+  02 code TYPE IS CHARACTER 3.
+  02 city TYPE IS CHARACTER 20.
+  DUPLICATES ARE NOT ALLOWED FOR code.
+
+RECORD NAME IS flight.
+  02 num TYPE IS FIXED.
+  02 fare TYPE IS FLOAT 2.
+
+SET NAME IS system_airport.
+  OWNER IS SYSTEM.
+  MEMBER IS airport.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS departures.
+  OWNER IS airport.
+  MEMBER IS flight.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mlds = Mlds::single_backend();
+    let db = mlds.create_database(AIRLINE_DDL)?;
+    let mut s = mlds.connect_codasyl("pilot", &db)?;
+    assert!(!s.is_cross_model(), "a native network database needs no transformation");
+
+    // Load airports and flights through STORE + CONNECT.
+    for (code, city) in [("MRY", "Monterey"), ("SFO", "San Francisco")] {
+        mlds.execute_codasyl(
+            &mut s,
+            &format!(
+                "MOVE '{code}' TO code IN airport\nMOVE '{city}' TO city IN airport\nSTORE airport"
+            ),
+        )?;
+        // The airport just stored is the current occurrence of
+        // `departures`; connect a couple of flights to it.
+        for (num, fare) in [(100, 89.0), (200, 120.5)] {
+            mlds.execute_codasyl(
+                &mut s,
+                &format!(
+                    "MOVE {num} TO num IN flight\nMOVE {fare} TO fare IN flight\n\
+                     STORE flight\nCONNECT flight TO departures"
+                ),
+            )?;
+        }
+    }
+
+    // Walk each airport's departures.
+    println!("=== departures per airport ===");
+    let mut res = mlds.execute_codasyl(&mut s, "FIND FIRST airport WITHIN system_airport");
+    while let Ok(out) = res {
+        println!("{}", out.last().unwrap().display);
+        let mut flight = mlds.execute_codasyl(&mut s, "FIND FIRST flight WITHIN departures");
+        while let Ok(fo) = flight {
+            println!("    {}", fo.last().unwrap().display);
+            flight = mlds.execute_codasyl(&mut s, "FIND NEXT flight WITHIN departures");
+        }
+        res = mlds.execute_codasyl(&mut s, "FIND NEXT airport WITHIN system_airport");
+    }
+
+    // Uniqueness is enforced on STORE.
+    let err = mlds
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'MRY' TO code IN airport\nMOVE 'Duplicate' TO city IN airport\nSTORE airport",
+        )
+        .unwrap_err();
+    println!("\nduplicate airport code -> {err}");
+
+    // ERASE ALL cascades in the network baseline.
+    mlds.execute_codasyl(
+        &mut s,
+        "MOVE 'MRY' TO code IN airport\nFIND ANY airport USING code IN airport",
+    )?;
+    let out = mlds.execute_codasyl(&mut s, "ERASE ALL airport")?;
+    println!("ERASE ALL airport -> {} record(s) removed (airport + its flights)", out[0].affected);
+    Ok(())
+}

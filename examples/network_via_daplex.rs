@@ -1,0 +1,108 @@
+//! The MMDS matrix's reverse edge: a *network* database accessed via
+//! *Daplex*. LIL reverse-transforms the CODASYL schema into a
+//! functional view — native 1:N sets surface as single-valued
+//! functions on the member record.
+//!
+//! ```sh
+//! cargo run --example network_via_daplex
+//! ```
+
+use mlds::{daplex, Mlds};
+
+const COMPANY_DDL: &str = "
+SCHEMA NAME IS company.
+
+RECORD NAME IS department.
+  02 dname TYPE IS CHARACTER 20.
+  DUPLICATES ARE NOT ALLOWED FOR dname.
+
+RECORD NAME IS employee.
+  02 ename TYPE IS CHARACTER 20.
+  02 salary TYPE IS FIXED.
+  02 grade TYPE IS FIXED RANGE 1..9.
+
+SET NAME IS system_department.
+  OWNER IS SYSTEM.
+  MEMBER IS department.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS system_employee.
+  OWNER IS SYSTEM.
+  MEMBER IS employee.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS works_in.
+  OWNER IS department.
+  MEMBER IS employee.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mlds = Mlds::single_backend();
+    mlds.create_database(COMPANY_DDL)?;
+
+    // A CODASYL user loads the data natively…
+    let mut net = mlds.connect_codasyl("loader", "company")?;
+    for (dept, people) in [
+        ("Research", vec![("Jones", 50_000, 7), ("Wu", 48_000, 6)]),
+        ("Operations", vec![("Smith", 45_000, 5)]),
+    ] {
+        mlds.execute_codasyl(
+            &mut net,
+            &format!("MOVE '{dept}' TO dname IN department\nSTORE department"),
+        )?;
+        for (name, salary, grade) in people {
+            mlds.execute_codasyl(
+                &mut net,
+                &format!(
+                    "MOVE '{name}' TO ename IN employee\nMOVE {salary} TO salary IN employee\n\
+                     MOVE {grade} TO grade IN employee\nSTORE employee\nCONNECT employee TO works_in"
+                ),
+            )?;
+        }
+    }
+
+    // …and a Daplex user opens the same database.
+    let mut dap = mlds.connect_daplex("shipman", "company")?;
+    println!("=== the reverse-transformed functional view ===");
+    print!("{}", daplex::ddl::print_schema(dap.schema()));
+
+    println!("\n=== Daplex over network data ===");
+    for script in [
+        "FOR EACH employee SUCH THAT salary(employee) >= 48000 PRINT ename(employee), salary(employee);",
+        "FOR EACH employee SUCH THAT dname(works_in(employee)) = 'Research' PRINT ename(employee);",
+        "CREATE employee (ename := 'Rivera', salary := 42000, grade := 3);",
+        "INCLUDE employee SUCH THAT ename(employee) = 'Rivera' \
+             IN works_in(department) SUCH THAT dname(department) = 'Operations';",
+        "FOR EACH employee SUCH THAT dname(works_in(employee)) = 'Operations' PRINT ename(employee);",
+    ] {
+        println!("> {script}");
+        for out in mlds.execute_daplex(&mut dap, script)? {
+            if out.display.is_empty() {
+                println!("    ({} affected)", out.affected);
+            } else {
+                for line in out.display.lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+
+    // Constraints of the network schema bind the Daplex user too.
+    println!("\n=== network constraints bind the Daplex user ===");
+    let err = mlds
+        .execute_daplex(&mut dap, "CREATE employee (ename := 'Bad', grade := 12);")
+        .unwrap_err();
+    println!("grade out of RANGE 1..9 -> {err}");
+    let err = mlds
+        .execute_daplex(&mut dap, "CREATE department (dname := 'Research');")
+        .unwrap_err();
+    println!("duplicate dname        -> {err}");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: create the University functional database, populate it,
+//! and run the thesis's first worked transaction through the
+//! CODASYL-DML interface.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mlds::{daplex, Mlds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Bring up MLDS over a single-site kernel.
+    let mut mlds = Mlds::single_backend();
+
+    // 2. Load the University database from its Daplex DDL (Figure 2.1)
+    //    — LIL detects the data model automatically.
+    let db = mlds.create_database(daplex::university::UNIVERSITY_DDL)?;
+    println!("created functional database `{db}`");
+
+    // 3. Populate it with the thesis's sample data.
+    mlds.populate_university(&db)?;
+
+    // 4. A CODASYL-DML user connects. The database is *functional*, so
+    //    LIL transforms its schema into a network schema on the fly —
+    //    the thesis's direct-language-interface strategy.
+    let mut session = mlds.connect_codasyl("coker", &db)?;
+    println!(
+        "connected; cross-model session: {} (schema `{}` has {} record types, {} sets)\n",
+        session.is_cross_model(),
+        session.schema().name,
+        session.schema().records.len(),
+        session.schema().sets.len(),
+    );
+
+    // 5. The FIND ANY example of Chapter VI.
+    let outputs = mlds.execute_codasyl(
+        &mut session,
+        "MOVE 'Advanced Database' TO title IN course
+         FIND ANY course USING title IN course
+         GET course",
+    )?;
+    for out in &outputs {
+        println!("> {}", out.statement);
+        for req in &out.abdl {
+            println!("    KMS: {req}");
+        }
+        if !out.display.is_empty() {
+            println!("    KFS: {}", out.display);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,235 @@
+//! The thesis's headline, end to end: a functional database created
+//! from Daplex DDL, loaded through the Daplex interface, then accessed
+//! and *modified* through CODASYL-DML — with both interfaces observing
+//! each other's effects, on single- and multi-backend kernels.
+
+use mlds::abdl::Value;
+use mlds::{daplex, Mlds};
+
+#[test]
+fn full_lifecycle_across_both_languages() {
+    let mut m = Mlds::single_backend();
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+
+    // Build the population entirely through the Daplex interface.
+    let mut dap = m.connect_daplex("shipman", "university").unwrap();
+    m.execute_daplex(
+        &mut dap,
+        "CREATE department (dname := 'Computer Science', building := 'Spanagel');
+         CREATE faculty (ename := 'Hsiao', salary := 68000.0, rank := 'full');
+         CREATE student (name := 'Coker', age := 28, major := 'Computer Science', gpa := 3.6);
+         CREATE course (title := 'Advanced Database', semester := 'F87', credits := 4);
+         INCLUDE course SUCH THAT title(course) = 'Advanced Database'
+             IN teaching(faculty) SUCH THAT ename(faculty) = 'Hsiao';",
+    )
+    .unwrap();
+
+    // The CODASYL user reads what the Daplex user wrote …
+    let mut net = m.connect_codasyl("coker", "university").unwrap();
+    assert!(net.is_cross_model());
+    let out = m
+        .execute_codasyl(
+            &mut net,
+            "MOVE 'Advanced Database' TO title IN course\n\
+             FIND ANY course USING title IN course\n\
+             FIND FIRST LINK_1 WITHIN taught_by\n\
+             FIND OWNER WITHIN teaching",
+        )
+        .unwrap();
+    assert!(out[3].display.contains("rank = 'full'"), "{}", out[3].display);
+
+    // … and modifies it.
+    m.execute_codasyl(
+        &mut net,
+        "MOVE 'Advanced Database' TO title IN course\n\
+         FIND ANY course USING title IN course\n\
+         MOVE 5 TO credits IN course\n\
+         MODIFY credits IN course",
+    )
+    .unwrap();
+
+    // The Daplex user sees the CODASYL modification.
+    let rows = m
+        .execute_daplex(
+            &mut dap,
+            "FOR EACH course SUCH THAT title(course) = 'Advanced Database' PRINT credits(course);",
+        )
+        .unwrap();
+    assert!(rows[0].display.contains("credits = 5"), "{}", rows[0].display);
+}
+
+#[test]
+fn codasyl_store_builds_a_valid_functional_entity() {
+    let mut m = Mlds::single_backend();
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+
+    // Build a person+student entirely through CODASYL-DML.
+    let mut net = m.connect_codasyl("coker", "university").unwrap();
+    m.execute_codasyl(
+        &mut net,
+        "MOVE 'Tran' TO name IN person\n\
+         MOVE 24 TO age IN person\n\
+         STORE person\n\
+         MOVE 'Physics' TO major IN student\n\
+         MOVE 3.5 TO gpa IN student\n\
+         STORE student",
+    )
+    .unwrap();
+
+    // The Daplex user sees one coherent entity with inherited values.
+    let mut dap = m.connect_daplex("shipman", "university").unwrap();
+    let rows = m
+        .execute_daplex(
+            &mut dap,
+            "FOR EACH student SUCH THAT major(student) = 'Physics' \
+             PRINT name(student), age(student), gpa(student);",
+        )
+        .unwrap();
+    assert_eq!(rows[0].affected, 1);
+    assert!(rows[0].display.contains("name = 'Tran'"));
+    assert!(rows[0].display.contains("age = 24"));
+}
+
+#[test]
+fn same_results_on_single_and_multi_backend_kernels() {
+    let script = "MOVE 'Computer Science' TO major IN student\n\
+                  FIND ANY student USING major IN student\n\
+                  FIND OWNER WITHIN person_student\n\
+                  GET person";
+    let run = |out: Vec<mlds::StatementOutput>| -> Vec<String> {
+        out.into_iter().map(|o| o.display).collect()
+    };
+
+    let mut single = Mlds::single_backend();
+    single.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    single.populate_university("university").unwrap();
+    let mut s1 = single.connect_codasyl("u", "university").unwrap();
+    let a = run(single.execute_codasyl(&mut s1, script).unwrap());
+
+    let mut multi = Mlds::multi_backend(4);
+    multi.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    multi.populate_university("university").unwrap();
+    let mut s2 = multi.connect_codasyl("u", "university").unwrap();
+    let b = run(multi.execute_codasyl(&mut s2, script).unwrap());
+
+    assert_eq!(a, b, "kernel choice must be invisible to the language interfaces");
+}
+
+#[test]
+fn overlap_constraint_reaches_the_codasyl_user() {
+    // The network user cannot destroy the functional schema's overlap
+    // integrity: storing a disjoint second subtype part is rejected.
+    let ddl = "
+DATABASE firm IS
+TYPE worker IS
+  ENTITY
+    wname : STRING(20);
+  END ENTITY;
+TYPE engineer IS
+  ENTITY SUBTYPE OF worker
+    grade : INTEGER;
+  END ENTITY;
+TYPE manager IS
+  ENTITY SUBTYPE OF worker
+    level : INTEGER;
+  END ENTITY;
+END DATABASE;";
+    let mut m = Mlds::single_backend();
+    m.create_database(ddl).unwrap();
+    let mut s = m.connect_codasyl("u", "firm").unwrap();
+    m.execute_codasyl(
+        &mut s,
+        "MOVE 'Ada' TO wname IN worker\n\
+         STORE worker\n\
+         MOVE 2 TO grade IN engineer\n\
+         STORE engineer",
+    )
+    .unwrap();
+    // No OVERLAP engineer WITH manager declared → the second subtype
+    // part is rejected.
+    let err = m
+        .execute_codasyl(&mut s, "MOVE 1 TO level IN manager\nSTORE manager")
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        mlds::Error::Translator(mlds::translator::Error::OverlapViolation { .. })
+    ));
+}
+
+#[test]
+fn uwa_and_cit_are_per_session() {
+    let mut m = Mlds::single_backend();
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    m.populate_university("university").unwrap();
+    let mut a = m.connect_codasyl("a", "university").unwrap();
+    let mut b = m.connect_codasyl("b", "university").unwrap();
+    m.execute_codasyl(&mut a, "MOVE 'X' TO title IN course").unwrap();
+    assert_eq!(a.uwa().get("course", "title"), Value::str("X"));
+    assert!(b.uwa().get("course", "title").is_null());
+    m.execute_codasyl(
+        &mut b,
+        "MOVE 'F87' TO semester IN course\nFIND ANY course USING semester IN course",
+    )
+    .unwrap();
+    assert!(b.cit().run_unit().is_some());
+    assert!(a.cit().run_unit().is_none());
+}
+
+#[test]
+fn non_entity_integrity_survives_the_transformation() {
+    // §V.C: "preventing the network user from destroying the integrity
+    // of the functional schema." Ranges and enumerations of the Daplex
+    // non-entity types are enforced on STORE and MODIFY.
+    let mut m = Mlds::single_backend();
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    m.populate_university("university").unwrap();
+    let mut s = m.connect_codasyl("u", "university").unwrap();
+
+    // credits is credit_type = NEW INTEGER RANGE 1..5.
+    let err = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Overload' TO title IN course\n\
+             MOVE 'S88' TO semester IN course\n\
+             MOVE 9 TO credits IN course\n\
+             STORE course",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("RANGE 1..5"), "{err}");
+
+    // rank is an enumeration. Store a fresh employee so the ISA
+    // occurrence is current, then attempt a bad rank.
+    m.execute_codasyl(
+        &mut s,
+        "MOVE 'Freshman Prof' TO ename IN employee\n\
+         MOVE 50000.0 TO salary IN employee\n\
+         STORE employee",
+    )
+    .unwrap();
+    let err = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'emeritus' TO rank IN faculty\nSTORE faculty",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("VALUES"), "{err}");
+
+    // MODIFY is checked too.
+    let err = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Advanced Database' TO title IN course\n\
+             FIND ANY course USING title IN course\n\
+             MOVE 0 TO credits IN course\n\
+             MODIFY credits IN course",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("RANGE 1..5"), "{err}");
+
+    // In-range values still pass.
+    m.execute_codasyl(
+        &mut s,
+        "MOVE 5 TO credits IN course\nMODIFY credits IN course",
+    )
+    .unwrap();
+}

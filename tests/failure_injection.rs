@@ -1,0 +1,146 @@
+//! Failure injection: backend loss under the full MLDS stack, and
+//! malformed-input sweeps across every parser.
+
+use mlds::abdl::Kernel;
+use mlds::mbds::Controller;
+use mlds::{daplex, Mlds};
+
+#[test]
+fn mlds_survives_backend_loss_with_partial_data() {
+    let mut m = Mlds::multi_backend(4);
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    m.populate_university("university").unwrap();
+    let mut s = m.connect_codasyl("u", "university").unwrap();
+
+    // All four courses are visible before the failure.
+    let count_courses = |m: &mut Mlds<Controller>, s: &mut mlds::CodasylSession| {
+        let mut n = 0;
+        if m.execute_codasyl(s, "FIND FIRST course WITHIN system_course").is_ok() {
+            n = 1;
+            while m.execute_codasyl(s, "FIND NEXT course WITHIN system_course").is_ok() {
+                n += 1;
+            }
+        }
+        n
+    };
+    assert_eq!(count_courses(&mut m, &mut s), 4);
+
+    m.kernel_mut().kill_backend(1);
+    assert_eq!(m.kernel_mut().alive_count(), 3);
+
+    // The system keeps answering; one partition's worth of courses is
+    // unavailable (round-robin placed 4 courses on 4 backends).
+    let after = count_courses(&mut m, &mut s);
+    assert!(after < 4, "a partition must be missing, saw {after}");
+    assert!(after >= 2, "only one backend was killed, saw {after}");
+
+    // New work still executes.
+    m.execute_codasyl(
+        &mut s,
+        "MOVE 'Recovery' TO title IN course\n\
+         MOVE 'S89' TO semester IN course\n\
+         MOVE 3 TO credits IN course\n\
+         STORE course",
+    )
+    .unwrap();
+    assert_eq!(count_courses(&mut m, &mut s), after + 1);
+}
+
+#[test]
+fn malformed_codasyl_dml_never_panics() {
+    let mut m = Mlds::single_backend();
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    let mut s = m.connect_codasyl("u", "university").unwrap();
+    for src in [
+        "FIND",
+        "FIND ANY",
+        "FIND ANY course USING",
+        "FIND ANY course USING title IN student",
+        "GET title IN",
+        "MOVE TO x IN y",
+        "MOVE 'v' TO ghost IN course",
+        "MOVE 'v' TO title IN ghost",
+        "STORE",
+        "CONNECT student advisor",
+        "DISCONNECT student FROM",
+        "MODIFY a, b",
+        "ERASE",
+        "FROBNICATE course",
+        "FIND ANY course USING title IN course EXTRA",
+        "FIND OWNER WITHIN system_course", // SYSTEM owner
+        "FIND FIRST student WITHIN teaching", // wrong member
+    ] {
+        let res = m.execute_codasyl(&mut s, src);
+        assert!(res.is_err(), "`{src}` should fail cleanly");
+    }
+}
+
+#[test]
+fn malformed_ddl_never_panics() {
+    for src in [
+        "",
+        "DATABASE",
+        "DATABASE x IS",
+        "DATABASE x IS TYPE y IS ENTITY",
+        "DATABASE x IS TYPE y IS ENTITY f END ENTITY; END DATABASE;",
+        "SCHEMA NAME IS",
+        "SCHEMA NAME IS x. RECORD NAME IS r. 02 a TYPE IS.",
+        "SCHEMA NAME IS x. SET NAME IS s. OWNER IS a.",
+        "TYPE x IS INTEGER;",
+        "DATABASE x IS TYPE a IS ENTITY f : INTEGER; END ENTITY; OVERLAP a WITH a; END DATABASE;",
+    ] {
+        let mut m = Mlds::single_backend();
+        assert!(m.create_database(src).is_err(), "`{src}` should fail cleanly");
+    }
+}
+
+#[test]
+fn malformed_daplex_dml_never_panics() {
+    let mut m = Mlds::single_backend();
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    let mut s = m.connect_daplex("u", "university").unwrap();
+    for src in [
+        "FOR EACH;",
+        "FOR EACH student PRINT;",
+        "FOR EACH ghost PRINT name(ghost);",
+        "FOR EACH student SUCH THAT ghost(student) = 1 PRINT name(student);",
+        "CREATE student name := 'x';",
+        "CREATE student (ghost := 1);",
+        "CREATE student (age := 5);", // out of range
+        "DESTROY;",
+        "ASSIGN gpa(student) := ;",
+        "INCLUDE course IN teaching(faculty);", // missing SUCH THAT is fine syntactically…
+    ] {
+        // …so accept either a parse error or an execution error; the
+        // requirement is no panic and no partial corruption.
+        let _ = m.execute_daplex(&mut s, src);
+    }
+    // The database is still healthy.
+    m.populate_university("university").unwrap();
+    let rows = m
+        .execute_daplex(&mut s, "FOR EACH student PRINT name(student);")
+        .unwrap();
+    assert_eq!(rows[0].affected, 4);
+}
+
+#[test]
+fn killing_all_but_one_backend_still_serves() {
+    let mut c = Controller::new(3);
+    c.create_file("f");
+    for i in 0..9i64 {
+        c.execute(&mlds::abdl::Request::Insert {
+            record: mlds::abdl::Record::from_pairs([(
+                "FILE",
+                mlds::abdl::Value::str("f"),
+            )])
+            .with("f", mlds::abdl::Value::Int(i)),
+        })
+        .unwrap();
+    }
+    c.kill_backend(0);
+    c.kill_backend(2);
+    let resp = c
+        .execute(&mlds::abdl::parse::parse_request("RETRIEVE (FILE = f) (*)").unwrap())
+        .unwrap();
+    assert_eq!(resp.records().len(), 3, "one third of the data survives");
+}

@@ -1,0 +1,185 @@
+//! The MMDS matrix's other direction: a *network* database accessed
+//! through *Daplex* — enabled by the reverse schema transformer and the
+//! shared member-side kernel layout.
+
+use mlds::Mlds;
+
+const COMPANY_DDL: &str = "
+SCHEMA NAME IS company.
+
+RECORD NAME IS department.
+  02 dname TYPE IS CHARACTER 20.
+  DUPLICATES ARE NOT ALLOWED FOR dname.
+
+RECORD NAME IS employee.
+  02 ename TYPE IS CHARACTER 20.
+  02 salary TYPE IS FIXED.
+  02 grade TYPE IS FIXED RANGE 1..9.
+
+SET NAME IS system_department.
+  OWNER IS SYSTEM.
+  MEMBER IS department.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS system_employee.
+  OWNER IS SYSTEM.
+  MEMBER IS employee.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS works_in.
+  OWNER IS department.
+  MEMBER IS employee.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+";
+
+fn company() -> Mlds {
+    let mut m = Mlds::single_backend();
+    m.create_database(COMPANY_DDL).unwrap();
+    m
+}
+
+#[test]
+fn daplex_reads_what_codasyl_stored() {
+    let mut m = company();
+    // Load through the native CODASYL interface.
+    let mut net = m.connect_codasyl("loader", "company").unwrap();
+    m.execute_codasyl(
+        &mut net,
+        "MOVE 'Research' TO dname IN department\n\
+         STORE department\n\
+         MOVE 'Jones' TO ename IN employee\n\
+         MOVE 50000 TO salary IN employee\n\
+         MOVE 7 TO grade IN employee\n\
+         STORE employee\n\
+         CONNECT employee TO works_in\n\
+         MOVE 'Smith' TO ename IN employee\n\
+         MOVE 45000 TO salary IN employee\n\
+         MOVE 5 TO grade IN employee\n\
+         STORE employee\n\
+         CONNECT employee TO works_in",
+    )
+    .unwrap();
+
+    // Read through Daplex: LIL reverse-transforms the network schema.
+    let mut dap = m.connect_daplex("shipman", "company").unwrap();
+    assert!(m.reversed_schema("company").is_some());
+    let rows = m
+        .execute_daplex(
+            &mut dap,
+            "FOR EACH employee SUCH THAT salary(employee) >= 48000 PRINT ename(employee);",
+        )
+        .unwrap();
+    assert_eq!(rows[0].affected, 1);
+    assert!(rows[0].display.contains("ename = 'Jones'"));
+
+    // Function composition follows the set-derived function.
+    let rows = m
+        .execute_daplex(
+            &mut dap,
+            "FOR EACH employee SUCH THAT dname(works_in(employee)) = 'Research' \
+             PRINT ename(employee);",
+        )
+        .unwrap();
+    assert_eq!(rows[0].affected, 2);
+}
+
+#[test]
+fn codasyl_reads_what_daplex_created() {
+    let mut m = company();
+    let mut dap = m.connect_daplex("shipman", "company").unwrap();
+    m.execute_daplex(
+        &mut dap,
+        "CREATE department (dname := 'Ops');
+         CREATE employee (ename := 'Rivera', salary := 42000, grade := 3);
+         INCLUDE employee SUCH THAT ename(employee) = 'Rivera'
+             IN works_in(department) SUCH THAT dname(department) = 'Ops';",
+    )
+    .unwrap();
+
+    let mut net = m.connect_codasyl("coker", "company").unwrap();
+    let out = m
+        .execute_codasyl(
+            &mut net,
+            "MOVE 'Ops' TO dname IN department\n\
+             FIND ANY department USING dname IN department\n\
+             FIND FIRST employee WITHIN works_in\n\
+             GET employee",
+        )
+        .unwrap();
+    assert!(out[3].display.contains("ename = 'Rivera'"), "{}", out[3].display);
+    // Daplex-created entities are members of the (conventionally named)
+    // SYSTEM sets too.
+    let out = m
+        .execute_codasyl(&mut net, "FIND FIRST employee WITHIN system_employee")
+        .unwrap();
+    assert!(out[0].display.contains("Rivera"));
+}
+
+#[test]
+fn daplex_respects_network_constraints() {
+    let mut m = company();
+    let mut dap = m.connect_daplex("shipman", "company").unwrap();
+    m.execute_daplex(&mut dap, "CREATE department (dname := 'Research');").unwrap();
+    // DUPLICATES ARE NOT ALLOWED FOR dname → the uniqueness carries
+    // into the Daplex view.
+    let err = m
+        .execute_daplex(&mut dap, "CREATE department (dname := 'Research');")
+        .unwrap_err();
+    assert!(err.to_string().contains("duplicate") || err.to_string().contains("Duplicate"));
+    // The grade RANGE 1..9 check carries too.
+    let err = m
+        .execute_daplex(&mut dap, "CREATE employee (ename := 'X', grade := 12);")
+        .unwrap_err();
+    assert!(err.to_string().contains("1..9"), "{err}");
+}
+
+#[test]
+fn daplex_include_connects_like_connect() {
+    // INCLUDE on the set-derived function writes exactly the kernel
+    // attribute CONNECT writes — the two interfaces are interchangeable.
+    let mut m = company();
+    let mut dap = m.connect_daplex("shipman", "company").unwrap();
+    m.execute_daplex(
+        &mut dap,
+        "CREATE department (dname := 'QA');
+         CREATE employee (ename := 'Kim', salary := 40000, grade := 2);",
+    )
+    .unwrap();
+    let mut net = m.connect_codasyl("coker", "company").unwrap();
+    // CONNECT through CODASYL …
+    m.execute_codasyl(
+        &mut net,
+        "MOVE 'QA' TO dname IN department\n\
+         FIND ANY department USING dname IN department\n\
+         MOVE 'Kim' TO ename IN employee\n\
+         FIND ANY employee USING ename IN employee\n\
+         CONNECT employee TO works_in",
+    )
+    .unwrap();
+    // … is observable through Daplex …
+    let rows = m
+        .execute_daplex(
+            &mut dap,
+            "FOR EACH employee SUCH THAT dname(works_in(employee)) = 'QA' PRINT ename(employee);",
+        )
+        .unwrap();
+    assert_eq!(rows[0].affected, 1);
+    // … and EXCLUDE undoes it for the CODASYL view.
+    m.execute_daplex(
+        &mut dap,
+        "EXCLUDE employee SUCH THAT ename(employee) = 'Kim'
+             IN works_in(department) SUCH THAT dname(department) = 'QA';",
+    )
+    .unwrap();
+    let res = m.execute_codasyl(&mut net, "FIND FIRST employee WITHIN works_in");
+    assert!(matches!(
+        res,
+        Err(mlds::Error::Translator(mlds::translator::Error::EndOfSet { .. }))
+    ));
+}

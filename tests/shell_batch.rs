@@ -1,0 +1,80 @@
+//! Drive the `mlds-shell` binary in batch mode: the user-facing LIL
+//! loop, exercised end-to-end as a process.
+
+use std::process::Command;
+
+fn run_shell(script: &str) -> (String, String) {
+    let dir = std::env::temp_dir().join(format!("mlds-shell-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("script.mlds");
+    std::fs::write(&path, script).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_mlds-shell"))
+        .arg(&path)
+        .output()
+        .expect("shell runs");
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn batch_script_runs_the_demo_pipeline() {
+    let (stdout, stderr) = run_shell(
+        "# batch demo\n\
+         .demo\n\
+         .dbs\n\
+         .open university\n\
+         MOVE 'Advanced Database' TO title IN course\n\
+         FIND ANY course USING title IN course\n\
+         GET course\n\
+         .open university daplex\n\
+         FOR EACH student SUCH THAT major(student) = 'Computer Science' PRINT name(student);\n\
+         .quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("university (functional)"), "{stdout}");
+    assert!(stdout.contains("cross-model") || stdout.contains("schema transformed"), "{stdout}");
+    assert!(stdout.contains("title = 'Advanced Database'"), "{stdout}");
+    assert!(stdout.contains("name = 'Coker'"), "{stdout}");
+}
+
+#[test]
+fn batch_script_reports_errors_without_dying() {
+    let (stdout, stderr) = run_shell(
+        ".demo\n\
+         .open ghost\n\
+         .open university\n\
+         FROBNICATE course\n\
+         FIND ANY course USING ghost_item IN course\n\
+         MOVE 'F87' TO semester IN course\n\
+         FIND ANY course USING semester IN course\n",
+    );
+    assert!(stderr.contains("no database named `ghost`"), "{stderr}");
+    assert!(stderr.contains("FROBNICATE") || stderr.contains("unknown"), "{stderr}");
+    assert!(stderr.contains("ghost_item"), "{stderr}");
+    // The session survived all of it.
+    assert!(stdout.contains("semester = 'F87'"), "{stdout}");
+}
+
+#[test]
+fn save_and_load_round_trip_through_the_shell() {
+    let dir = std::env::temp_dir().join(format!("mlds-shell-save-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("kernel.abdl");
+    let (_, stderr) = run_shell(&format!(
+        ".demo\n.save {}\n.quit\n",
+        dump.display()
+    ));
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    let (stdout, stderr) = run_shell(&format!(
+        ".demo\n.load {}\n.open university\n\
+         MOVE 'Advanced Database' TO title IN course\n\
+         FIND ANY course USING title IN course\n",
+        dump.display()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("title = 'Advanced Database'"), "{stdout}");
+}

@@ -1,0 +1,191 @@
+//! E4/E5 — Figure 5.1: the functional University schema transformed to
+//! a network schema, compared against a golden rendering, plus the
+//! per-construct transformation examples of Figures 5.3 and 5.5.
+
+use mlds::codasyl::schema::{Insertion, Owner, Retention, SetOrigin};
+use mlds::{codasyl, daplex, transform};
+
+/// The golden Figure-5.1 DDL: eight record types (LINK_1 included),
+/// four SYSTEM sets, three ISA sets (AUTOMATIC/FIXED), three
+/// single-valued function sets and the teaching/taught_by pair
+/// (MANUAL/OPTIONAL), with the title/semester DUPLICATES clause.
+const FIGURE_5_1: &str = r#"SCHEMA NAME IS university.
+
+RECORD NAME IS person.
+  02 name TYPE IS CHARACTER 30.
+  02 age TYPE IS FIXED RANGE 16..99.
+
+RECORD NAME IS employee.
+  02 ename TYPE IS CHARACTER 30.
+  02 salary TYPE IS FLOAT 2.
+
+RECORD NAME IS department.
+  02 dname TYPE IS CHARACTER 20.
+  02 building TYPE IS CHARACTER 20.
+
+RECORD NAME IS course.
+  02 title TYPE IS CHARACTER 30.
+  02 semester TYPE IS CHARACTER 10.
+  02 credits TYPE IS FIXED RANGE 1..5.
+  DUPLICATES ARE NOT ALLOWED FOR title, semester.
+
+RECORD NAME IS student.
+  02 major TYPE IS CHARACTER 20.
+  02 gpa TYPE IS FLOAT 2.
+
+RECORD NAME IS faculty.
+  02 rank TYPE IS CHARACTER 10 VALUES (instructor, assistant, associate, full).
+  02 degrees TYPE IS CHARACTER 10.
+
+RECORD NAME IS support_staff.
+  02 hours TYPE IS FIXED.
+
+RECORD NAME IS LINK_1.
+
+SET NAME IS system_person.
+  OWNER IS SYSTEM.
+  MEMBER IS person.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS system_employee.
+  OWNER IS SYSTEM.
+  MEMBER IS employee.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS system_department.
+  OWNER IS SYSTEM.
+  MEMBER IS department.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS system_course.
+  OWNER IS SYSTEM.
+  MEMBER IS course.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS person_student.
+  OWNER IS person.
+  MEMBER IS student.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS employee_faculty.
+  OWNER IS employee.
+  MEMBER IS faculty.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS employee_support_staff.
+  OWNER IS employee.
+  MEMBER IS support_staff.
+  INSERTION IS AUTOMATIC.
+  RETENTION IS FIXED.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS taught_by.
+  OWNER IS course.
+  MEMBER IS LINK_1.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS advisor.
+  OWNER IS faculty.
+  MEMBER IS student.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS dept.
+  OWNER IS department.
+  MEMBER IS faculty.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS teaching.
+  OWNER IS faculty.
+  MEMBER IS LINK_1.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+
+SET NAME IS supervisor.
+  OWNER IS employee.
+  MEMBER IS support_staff.
+  INSERTION IS MANUAL.
+  RETENTION IS OPTIONAL.
+  SET SELECTION IS BY APPLICATION.
+"#;
+
+#[test]
+fn transformed_university_matches_figure_5_1_golden() {
+    let net = transform::transform(&daplex::university::schema()).unwrap();
+    let printed = codasyl::ddl::print_schema(&net);
+    assert_eq!(printed, FIGURE_5_1);
+}
+
+#[test]
+fn golden_ddl_reparses_into_a_valid_schema() {
+    let schema = codasyl::ddl::parse_schema(FIGURE_5_1).unwrap();
+    schema.validate().unwrap();
+    assert_eq!(schema.records.len(), 8);
+    assert_eq!(schema.sets.len(), 12);
+}
+
+/// Figure 5.3: a functional entity type (course) and its network
+/// representation.
+#[test]
+fn figure_5_3_entity_type_representation() {
+    let net = transform::transform(&daplex::university::schema()).unwrap();
+    let course = net.record("course").unwrap();
+    // Scalar functions became attributes.
+    assert!(course.attr("title").is_some());
+    assert!(course.attr("credits").is_some());
+    // The entity-valued taught_by did not.
+    assert!(course.attr("taught_by").is_none());
+    // "DUPLICATES ARE NOT ALLOWED FOR title, semester".
+    assert!(!course.attr("title").unwrap().dup_allowed);
+    assert!(!course.attr("semester").unwrap().dup_allowed);
+    // Member of a SYSTEM-owned set.
+    let sys = net.set("system_course").unwrap();
+    assert_eq!(sys.owner, Owner::System);
+    assert_eq!((sys.insertion, sys.retention), (Insertion::Automatic, Retention::Fixed));
+}
+
+/// Figure 5.5: a functional entity subtype (student) and its network
+/// representation.
+#[test]
+fn figure_5_5_subtype_representation() {
+    let net = transform::transform(&daplex::university::schema()).unwrap();
+    assert!(net.record("student").is_some());
+    let isa = net.set("person_student").unwrap();
+    assert_eq!(isa.owner, Owner::Record("person".into()));
+    assert_eq!(isa.member, "student");
+    assert_eq!((isa.insertion, isa.retention), (Insertion::Automatic, Retention::Fixed));
+    assert!(matches!(isa.origin, SetOrigin::Isa { .. }));
+    // The subtype's single-valued function became a MANUAL/OPTIONAL set
+    // owned by the range.
+    let advisor = net.set("advisor").unwrap();
+    assert_eq!(advisor.owner, Owner::Record("faculty".into()));
+    assert_eq!(advisor.member, "student");
+    assert_eq!((advisor.insertion, advisor.retention), (Insertion::Manual, Retention::Optional));
+}
+
+/// The transformation is deterministic (the one-step direct language
+/// interface caches it; two runs must agree).
+#[test]
+fn transformation_is_deterministic() {
+    let a = transform::transform(&daplex::university::schema()).unwrap();
+    let b = transform::transform(&daplex::university::schema()).unwrap();
+    assert_eq!(a, b);
+}

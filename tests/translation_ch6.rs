@@ -1,0 +1,219 @@
+//! E6 — the worked translation examples of Chapter VI, end-to-end
+//! through the full MLDS pipeline (LIL → KMS → KC → KDS → KFS).
+
+use mlds::{daplex, Mlds};
+
+fn university() -> Mlds {
+    let mut m = Mlds::single_backend();
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    m.populate_university("university").unwrap();
+    m
+}
+
+/// §VI.B.1 — the FIND ANY example: "find any course record whose title
+/// is 'Advanced Database'", with the exact ABDL translation shape.
+#[test]
+fn find_any_translation_text() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    let out = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Advanced Database' TO title IN course\n\
+             FIND ANY course USING title IN course",
+        )
+        .unwrap();
+    assert_eq!(out[0].abdl.len(), 0, "MOVE initializes the UWA only");
+    assert_eq!(out[1].abdl.len(), 1);
+    assert_eq!(
+        out[1].abdl[0],
+        "RETRIEVE ((FILE = 'course') and (title = 'Advanced Database')) (*)"
+    );
+    assert!(out[1].display.contains("title = 'Advanced Database'"));
+}
+
+/// §VI.B.2 — FIND CURRENT "is a relatively simple task for KMS … there
+/// is no direct mapping to an ABDL statement."
+#[test]
+fn find_current_generates_no_abdl() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    let out = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Computer Science' TO major IN student\n\
+             FIND ANY student USING major IN student\n\
+             FIND CURRENT student WITHIN person_student",
+        )
+        .unwrap();
+    assert!(out[2].abdl.is_empty());
+    assert_eq!(s.cit().run_unit().unwrap().record, "student");
+}
+
+/// §VI.B.4 — the "students majoring in Computer Science" loop, expressed
+/// through the advisor set exactly as the thesis's PERFORM-UNTIL sketch.
+#[test]
+fn find_first_next_loop_over_members() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    m.execute_codasyl(
+        &mut s,
+        "MOVE 'Computer Science' TO dname IN department\n\
+         FIND ANY department USING dname IN department",
+    )
+    .unwrap();
+    // The FIND FIRST fills the RB with one RETRIEVE of the member-side
+    // qualification `(FILE = faculty) and (dept = owner-key)`.
+    let out = m.execute_codasyl(&mut s, "FIND FIRST faculty WITHIN dept").unwrap();
+    assert_eq!(out[0].abdl.len(), 1);
+    assert!(out[0].abdl[0].starts_with("RETRIEVE ((FILE = 'faculty') and (dept = "));
+    // Subsequent NEXTs are served from the RB: zero further requests.
+    let out = m.execute_codasyl(&mut s, "FIND NEXT faculty WITHIN dept").unwrap();
+    assert!(out[0].abdl.is_empty());
+    // And the loop terminates with an end-of-set condition.
+    let err = m.execute_codasyl(&mut s, "FIND NEXT faculty WITHIN dept").unwrap_err();
+    assert!(matches!(
+        err,
+        mlds::Error::Translator(mlds::translator::Error::EndOfSet { .. })
+    ));
+}
+
+/// §VI.B.5 — FIND OWNER: "KMS extracts the set owner and database key
+/// for the specified set and issues a RETRIEVE."
+#[test]
+fn find_owner_translation() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    let out = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Computer Science' TO major IN student\n\
+             FIND ANY student USING major IN student\n\
+             FIND OWNER WITHIN advisor",
+        )
+        .unwrap();
+    assert_eq!(out[2].abdl.len(), 1);
+    assert!(out[2].abdl[0].starts_with("RETRIEVE ((FILE = 'faculty') and (faculty = "));
+    assert!(out[2].display.starts_with("faculty #"));
+}
+
+/// §VI.C — GET delivers the current record through KC into the UWA.
+#[test]
+fn get_loads_the_uwa() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    m.execute_codasyl(
+        &mut s,
+        "MOVE 'F87' TO semester IN course\n\
+         FIND ANY course USING semester IN course\n\
+         GET title, credits IN course",
+    )
+    .unwrap();
+    assert!(!s.uwa().get("course", "title").is_null());
+    assert!(!s.uwa().get("course", "credits").is_null());
+}
+
+/// §VI.G — STORE: "the mapping of the STORE statement consists of an
+/// INSERT request to store the request and possibly a RETRIEVE request
+/// to determine the status of duplicates."
+#[test]
+fn store_is_retrieve_plus_insert() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    let out = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Compiler Design' TO title IN course\n\
+             MOVE 'S88' TO semester IN course\n\
+             MOVE 4 TO credits IN course\n\
+             STORE course",
+        )
+        .unwrap();
+    let kinds: Vec<&str> =
+        out[3].abdl.iter().map(|r| r.split_whitespace().next().unwrap()).collect();
+    assert_eq!(kinds, vec!["RETRIEVE", "INSERT"]);
+    // The stored record is immediately findable.
+    let found = m
+        .execute_codasyl(&mut s, "FIND ANY course USING title IN course")
+        .unwrap();
+    assert!(found[0].display.contains("Compiler Design"));
+}
+
+/// §VI.F — MODIFY: "the UPDATE request is repeated for each field of
+/// the record that is to be modified."
+#[test]
+fn modify_repeats_update_per_field() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    let out = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Linear Algebra' TO title IN course\n\
+             FIND ANY course USING title IN course\n\
+             MOVE 4 TO credits IN course\n\
+             MOVE 'F88' TO semester IN course\n\
+             MODIFY credits, semester IN course",
+        )
+        .unwrap();
+    assert_eq!(out[4].abdl.len(), 2);
+    assert!(out[4].abdl.iter().all(|r| r.starts_with("UPDATE")));
+}
+
+/// §VI.H — ERASE issues the constraint ARRs first and aborts when the
+/// record owns a non-empty occurrence; ERASE ALL is not translated for
+/// functional targets.
+#[test]
+fn erase_constraints_and_erase_all_rejection() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    m.execute_codasyl(
+        &mut s,
+        "MOVE 'Computer Science' TO dname IN department\n\
+         FIND ANY department USING dname IN department",
+    )
+    .unwrap();
+    // The CS department owns the dept occurrence with two faculty.
+    let err = m.execute_codasyl(&mut s, "ERASE department").unwrap_err();
+    assert!(matches!(
+        err,
+        mlds::Error::Translator(mlds::translator::Error::EraseOwnerNotEmpty { .. })
+    ));
+    let err = m.execute_codasyl(&mut s, "ERASE ALL department").unwrap_err();
+    assert!(matches!(
+        err,
+        mlds::Error::Translator(mlds::translator::Error::EraseAllUnsupported)
+    ));
+}
+
+/// §VI.D/§VI.E — CONNECT/DISCONNECT against the advisor function set,
+/// and their one-UPDATE translations.
+#[test]
+fn connect_disconnect_translations() {
+    let mut m = university();
+    let mut s = m.connect_codasyl("coker", "university").unwrap();
+    let out = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Mathematics' TO major IN student\n\
+             FIND ANY student USING major IN student\n\
+             DISCONNECT student FROM advisor",
+        )
+        .unwrap();
+    assert_eq!(out[2].abdl.len(), 1);
+    assert!(out[2].abdl[0].starts_with("UPDATE"));
+    assert!(out[2].abdl[0].contains("(advisor = NULL)"));
+    // Re-establish an owner and reconnect.
+    let out = m
+        .execute_codasyl(
+            &mut s,
+            "MOVE 'Marshall' TO ename IN employee\n\
+             FIND ANY employee USING ename IN employee\n\
+             FIND FIRST faculty WITHIN employee_faculty\n\
+             FIND CURRENT student WITHIN person_student\n\
+             CONNECT student TO advisor",
+        )
+        .unwrap();
+    assert_eq!(out[4].abdl.len(), 1);
+    assert!(out[4].abdl[0].starts_with("UPDATE"));
+    assert!(!out[4].abdl[0].contains("NULL"));
+}

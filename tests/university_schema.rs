@@ -1,0 +1,96 @@
+//! E1 — Figures 2.1/2.2: the University Daplex schema.
+//!
+//! Parses the schema shipped in `daplex::university`, checks the
+//! entity/subtype/function census against the figure, and verifies the
+//! printer/parser round trip.
+
+use mlds::daplex::{self, FnRange};
+
+#[test]
+fn census_matches_figure_2_1() {
+    let s = daplex::university::schema();
+    assert_eq!(s.name, "university");
+
+    let entity_names: Vec<&str> = s.entities.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(entity_names, vec!["person", "employee", "department", "course"]);
+
+    let subtype_names: Vec<&str> = s.subtypes.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(subtype_names, vec!["student", "faculty", "support_staff"]);
+
+    // Subtype → supertype edges (the ISA arrows of Figure 2.2).
+    assert_eq!(s.supertypes("student"), ["person".to_owned()]);
+    assert_eq!(s.supertypes("faculty"), ["employee".to_owned()]);
+    assert_eq!(s.supertypes("support_staff"), ["employee".to_owned()]);
+
+    // Function census per type (own functions).
+    let fn_names = |t: &str| -> Vec<String> {
+        s.own_functions(t).iter().map(|f| f.name.clone()).collect()
+    };
+    assert_eq!(fn_names("person"), ["name", "age"]);
+    assert_eq!(fn_names("employee"), ["ename", "salary"]);
+    assert_eq!(fn_names("department"), ["dname", "building"]);
+    assert_eq!(fn_names("course"), ["title", "semester", "credits", "taught_by"]);
+    assert_eq!(fn_names("student"), ["major", "gpa", "advisor"]);
+    assert_eq!(fn_names("faculty"), ["rank", "degrees", "dept", "teaching"]);
+    assert_eq!(fn_names("support_staff"), ["supervisor", "hours"]);
+
+    // Value inheritance: students expose the person functions too.
+    let all: Vec<&str> = s.all_functions("student").iter().map(|f| f.name.as_str()).collect();
+    assert!(all.contains(&"name"));
+    assert!(all.contains(&"age"));
+}
+
+#[test]
+fn function_classification_matches_the_model() {
+    let s = daplex::university::schema();
+
+    // Scalar single-valued.
+    let title = s.function("course", "title").unwrap();
+    assert!(!title.set_valued);
+    assert!(matches!(title.range, FnRange::Str { len: 30 }));
+
+    // Scalar through a named non-entity type with a range.
+    let age = s.function("person", "age").unwrap();
+    assert!(matches!(&age.range, FnRange::NonEntity(t) if t == "age_type"));
+    let age_type = s.non_entity("age_type").unwrap();
+    assert_eq!(age_type.range, Some((16, 99)));
+
+    // Scalar multi-valued.
+    let degrees = s.function("faculty", "degrees").unwrap();
+    assert!(degrees.set_valued);
+    assert!(s.entity_range(degrees).is_none());
+
+    // Single-valued entity function.
+    let advisor = s.function("student", "advisor").unwrap();
+    assert!(!advisor.set_valued);
+    assert_eq!(s.entity_range(advisor), Some("faculty"));
+
+    // Many-to-many multi-valued pair.
+    assert!(s.m2m_pair_of("faculty", "teaching").is_some());
+    assert!(s.m2m_pair_of("course", "taught_by").is_some());
+
+    // Constraints.
+    assert_eq!(s.uniques.len(), 1);
+    assert_eq!(s.uniques[0].within, "course");
+    assert_eq!(s.overlaps.len(), 1);
+}
+
+#[test]
+fn schema_round_trips_through_the_printer() {
+    let s = daplex::university::schema();
+    let printed = daplex::ddl::print_schema(&s);
+    let reparsed = daplex::ddl::parse_schema(&printed).unwrap();
+    assert_eq!(s, reparsed);
+}
+
+#[test]
+fn terminality_follows_the_subtype_graph() {
+    let s = daplex::university::schema();
+    assert!(!s.is_terminal("person"));
+    assert!(!s.is_terminal("employee"));
+    assert!(s.is_terminal("department"));
+    assert!(s.is_terminal("course"));
+    assert!(s.is_terminal("student"));
+    assert!(s.is_terminal("faculty"));
+    assert!(s.is_terminal("support_staff"));
+}
