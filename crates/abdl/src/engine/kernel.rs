@@ -12,6 +12,29 @@ use crate::error::Result;
 use crate::record::DbKey;
 use crate::request::{Request, Transaction};
 
+/// Liveness and completeness summary of a kernel.
+///
+/// A single-site store is always healthy; the MBDS controller reports
+/// its backend health board here so sessions can distinguish a complete
+/// answer from a partial one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KernelHealth {
+    /// Total backends (1 for a single-site store).
+    pub backends: usize,
+    /// Indexes of backends currently unavailable.
+    pub unavailable: Vec<usize>,
+    /// True when some stored record has no live replica — answers may
+    /// be incomplete until the missing backends are restarted.
+    pub degraded: bool,
+}
+
+impl KernelHealth {
+    /// Number of live backends.
+    pub fn alive(&self) -> usize {
+        self.backends - self.unavailable.len()
+    }
+}
+
 /// A kernel database system executing ABDL.
 pub trait Kernel {
     /// Declare a kernel file (idempotent).
@@ -31,6 +54,12 @@ pub trait Kernel {
     /// Execute a transaction (sequential requests, first error stops).
     fn execute_transaction(&mut self, txn: &Transaction) -> Result<Vec<Response>> {
         txn.requests.iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// Liveness summary. A single-site kernel is always healthy; the
+    /// multi-backend controller overrides this with its health board.
+    fn health(&self) -> KernelHealth {
+        KernelHealth { backends: 1, ..Default::default() }
     }
 }
 

@@ -13,7 +13,7 @@ mod stats;
 mod store;
 
 pub use dump::{dump, restore, DUMP_HEADER};
-pub use kernel::Kernel;
+pub use kernel::{Kernel, KernelHealth};
 pub use response::{GroupRow, Response};
 pub use stats::ExecStats;
 pub use store::{aggregate, Store};

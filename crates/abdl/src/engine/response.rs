@@ -3,11 +3,10 @@
 use super::stats::ExecStats;
 use crate::record::{DbKey, Record};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One row of an aggregated / grouped RETRIEVE result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupRow {
     /// The by-clause group value (`None` when there is no by-clause).
     pub group: Option<Value>,
@@ -16,7 +15,7 @@ pub struct GroupRow {
 }
 
 /// The result of executing one ABDL request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Response {
     records: Vec<(DbKey, Record)>,
     /// Aggregated rows, present only for aggregate RETRIEVEs.
@@ -25,17 +24,25 @@ pub struct Response {
     pub affected: usize,
     /// Cost accounting for this request.
     pub stats: ExecStats,
+    /// True when the answering kernel could not reach every partition
+    /// holding relevant data: the result may be incomplete. Always
+    /// `false` from a single-site store; set by the MBDS controller
+    /// when every replica of some stored record is down.
+    pub degraded: bool,
+    /// Backends that were unavailable while this request executed
+    /// (empty for a single-site store or a fully healthy cluster).
+    pub unavailable_backends: Vec<usize>,
 }
 
 impl Response {
     /// A response carrying result records.
     pub fn with_records(records: Vec<(DbKey, Record)>, stats: ExecStats) -> Self {
-        Response { records, groups: None, affected: 0, stats }
+        Response { records, stats, ..Default::default() }
     }
 
     /// A mutation acknowledgement.
     pub fn with_affected(affected: usize, stats: ExecStats) -> Self {
-        Response { records: Vec::new(), groups: None, affected, stats }
+        Response { affected, stats, ..Default::default() }
     }
 
     /// The result records (projected), with their database keys.
@@ -74,6 +81,22 @@ impl Response {
             _ => {}
         }
         self.stats += other.stats;
+        self.degraded |= other.degraded;
+        for b in other.unavailable_backends {
+            if !self.unavailable_backends.contains(&b) {
+                self.unavailable_backends.push(b);
+            }
+        }
+        self.unavailable_backends.sort_unstable();
+    }
+
+    /// Collapse replicated copies: keep one record per database key.
+    /// Records must already be key-sorted (as [`merge`](Self::merge)
+    /// leaves them); replicas of a record share its key, so the merged
+    /// result of a k-way replicated cluster becomes byte-identical to a
+    /// single store's answer.
+    pub fn dedup_by_key(&mut self) {
+        self.records.dedup_by_key(|(k, _)| *k);
     }
 }
 

@@ -6,11 +6,10 @@
 //! backend's simulated disk time from these counters, so they are
 //! maintained by every execution path of the kernel.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Counters accumulated while executing one request.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Records whose keywords were examined against a conjunction.
     pub records_examined: u64,

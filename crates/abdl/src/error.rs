@@ -32,6 +32,9 @@ pub enum Error {
         /// The aggregated attribute.
         attr: String,
     },
+    /// No live backend could serve the request: the whole cluster is
+    /// down, or every replica of some required partition is dead.
+    Unavailable(String),
     /// Execution-level invariant violation (kernel bug surface).
     Internal(String),
 }
@@ -54,6 +57,7 @@ impl fmt::Display for Error {
             Error::NonNumericAggregate { attr } => {
                 write!(f, "aggregate applied to non-numeric attribute `{attr}`")
             }
+            Error::Unavailable(msg) => write!(f, "kernel unavailable: {msg}"),
             Error::Internal(msg) => write!(f, "kernel internal error: {msg}"),
         }
     }

@@ -49,12 +49,13 @@
 pub mod engine;
 pub mod error;
 pub mod parse;
+pub mod prng;
 pub mod query;
 pub mod record;
 pub mod request;
 pub mod value;
 
-pub use engine::{Kernel, Response, Store};
+pub use engine::{Kernel, KernelHealth, Response, Store};
 pub use error::{Error, Result};
 pub use query::{Conjunction, Predicate, Query, RelOp};
 pub use record::{DbKey, Keyword, Record};

@@ -7,11 +7,10 @@
 use crate::record::Record;
 use crate::value::Value;
 use crate::FILE_ATTR;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The six relational operators of keyword predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RelOp {
     /// `=`
     Eq,
@@ -72,7 +71,7 @@ impl fmt::Display for RelOp {
 }
 
 /// A keyword predicate `(attribute relop value)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Predicate {
     /// Attribute the predicate constrains.
     pub attr: String,
@@ -110,7 +109,7 @@ impl fmt::Display for Predicate {
 }
 
 /// A conjunction of keyword predicates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Conjunction {
     /// The conjoined predicates; an empty conjunction is TRUE.
     pub predicates: Vec<Predicate>,
@@ -153,7 +152,7 @@ impl fmt::Display for Conjunction {
 }
 
 /// A query in disjunctive normal form: `conj₁ or conj₂ or …`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Query {
     /// The disjuncts; an empty disjunction is FALSE (identifies nothing).
     pub disjuncts: Vec<Conjunction>,

@@ -4,7 +4,6 @@
 
 use crate::value::Value;
 use crate::FILE_ATTR;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A kernel database key: the unique address of a record in the store.
@@ -12,7 +11,7 @@ use std::fmt;
 /// CODASYL currency indicators hold either null or "the address of a
 /// record in the database"; `DbKey` is that address.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct DbKey(pub u64);
 
@@ -27,7 +26,7 @@ impl fmt::Display for DbKey {
 /// "These attribute-value pairs are formed from a cartesian product of
 /// the attribute names and the domains of the values for the attributes.
 /// This allows for the representation of any and all logical concepts."
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Keyword {
     /// The attribute name.
     pub attr: String,
@@ -54,7 +53,7 @@ impl fmt::Display for Keyword {
 /// The keyword order is preserved (the `<FILE, f>` keyword is first by
 /// convention); lookup by attribute is linear, which is fine because
 /// kernel records are short (one keyword per schema attribute).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Record {
     keywords: Vec<Keyword>,
     /// The optional record body (free text).

@@ -8,11 +8,10 @@
 use crate::query::Query;
 use crate::record::Record;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Aggregate operations usable in a RETRIEVE target list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Aggregate {
     /// `COUNT(attr)` — number of non-NULL values.
     Count,
@@ -40,7 +39,7 @@ impl fmt::Display for Aggregate {
 }
 
 /// One element of a RETRIEVE target list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Target {
     /// A plain output attribute.
     Attr(String),
@@ -58,7 +57,7 @@ impl fmt::Display for Target {
 }
 
 /// A RETRIEVE target list: "a list of output attributes".
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TargetList {
     /// The targets, in output order.
     pub targets: Vec<Target>,
@@ -102,7 +101,7 @@ impl fmt::Display for TargetList {
 
 /// An UPDATE modifier: "the modifier specifies how the target record(s)
 /// are to be modified".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Modifier {
     /// Attribute to modify.
     pub attr: String,
@@ -124,7 +123,7 @@ impl fmt::Display for Modifier {
 }
 
 /// A single ABDL request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// "INSERT places a new record into the database and is qualified by
     /// a list of keywords."
@@ -224,7 +223,7 @@ impl fmt::Display for Request {
 /// "A transaction is defined as the grouping together of two or more
 /// sequentially executed requests." (We also allow 0 or 1 for harness
 /// convenience.)
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Transaction {
     /// The requests, executed in order.
     pub requests: Vec<Request>,

@@ -5,7 +5,6 @@
 //! constraints of the functional model (Chapter V.C) survive the trip
 //! through the kernel without string re-parsing.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -16,7 +15,7 @@ use std::fmt;
 /// deterministically even across types: `Null < Int ≈ Float < Str`.
 /// Integer/float comparisons are numeric; everything else orders by type
 /// first, then within type.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// The null value ("does not identify a record / no value").
     Null,

@@ -1,90 +1,112 @@
-//! Property-based tests for the ABDL kernel: query semantics, parser
-//! round-trips, and index/scan agreement.
+//! Randomized property tests for the ABDL kernel: query semantics,
+//! parser round-trips, and index/scan agreement. Inputs are generated
+//! with the in-tree seeded PRNG so failures reproduce exactly.
 
 use abdl::engine::Store;
 use abdl::parse::{parse_request, parse_transaction};
+use abdl::prng::Prng;
 use abdl::{Conjunction, Predicate, Query, Record, RelOp, Request, TargetList, Value};
-use proptest::prelude::*;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        (-50i64..50).prop_map(Value::Int),
-        (-50i64..50).prop_map(|i| Value::Float(i as f64 / 2.0)),
-        "[a-z]{0,6}".prop_map(Value::Str),
-    ]
-}
+const CASES: u64 = 200;
 
-fn arb_nonnull_value() -> impl Strategy<Value = Value> {
-    arb_value().prop_filter("non-null", |v| !v.is_null())
-}
-
-fn arb_attr() -> impl Strategy<Value = String> {
-    prop_oneof![Just("a".to_owned()), Just("b".to_owned()), Just("c".to_owned())]
-}
-
-fn arb_relop() -> impl Strategy<Value = RelOp> {
-    prop_oneof![
-        Just(RelOp::Eq),
-        Just(RelOp::Ne),
-        Just(RelOp::Lt),
-        Just(RelOp::Le),
-        Just(RelOp::Gt),
-        Just(RelOp::Ge),
-    ]
-}
-
-fn arb_predicate() -> impl Strategy<Value = Predicate> {
-    (arb_attr(), arb_relop(), arb_value())
-        .prop_map(|(attr, op, value)| Predicate { attr, op, value })
-}
-
-fn arb_query() -> impl Strategy<Value = Query> {
-    proptest::collection::vec(proptest::collection::vec(arb_predicate(), 0..4), 1..4)
-        .prop_map(|disjuncts| {
-            Query::new(disjuncts.into_iter().map(Conjunction::new).collect())
-        })
-}
-
-fn arb_record() -> impl Strategy<Value = Record> {
-    proptest::collection::vec((arb_attr(), arb_nonnull_value()), 0..4).prop_map(|pairs| {
-        let mut r = Record::from_pairs([("FILE", Value::str("f"))]);
-        // Records also need a key attribute so they are distinguishable.
-        for (a, v) in pairs {
-            r.set(a, v);
+fn gen_value(rng: &mut Prng) -> Value {
+    match rng.index(4) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen_range(-50, 50)),
+        2 => Value::Float(rng.gen_range(-50, 50) as f64 / 2.0),
+        _ => {
+            let len = rng.index(7);
+            let s: String =
+                (0..len).map(|_| (b'a' + rng.index(26) as u8) as char).collect();
+            Value::Str(s)
         }
-        r
-    })
+    }
 }
 
-proptest! {
-    /// The relational operators agree with the total order on values.
-    #[test]
-    fn relop_consistency(a in arb_nonnull_value(), b in arb_nonnull_value()) {
+fn gen_nonnull_value(rng: &mut Prng) -> Value {
+    loop {
+        let v = gen_value(rng);
+        if !v.is_null() {
+            return v;
+        }
+    }
+}
+
+fn gen_attr(rng: &mut Prng) -> String {
+    ["a", "b", "c"][rng.index(3)].to_owned()
+}
+
+fn gen_relop(rng: &mut Prng) -> RelOp {
+    [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge][rng.index(6)]
+}
+
+fn gen_predicate(rng: &mut Prng) -> Predicate {
+    Predicate { attr: gen_attr(rng), op: gen_relop(rng), value: gen_value(rng) }
+}
+
+fn gen_query(rng: &mut Prng) -> Query {
+    let disjuncts = (0..1 + rng.index(3))
+        .map(|_| Conjunction::new((0..rng.index(4)).map(|_| gen_predicate(rng)).collect()))
+        .collect();
+    Query::new(disjuncts)
+}
+
+fn gen_record(rng: &mut Prng) -> Record {
+    let mut r = Record::from_pairs([("FILE", Value::str("f"))]);
+    for _ in 0..rng.index(4) {
+        let a = gen_attr(rng);
+        let v = gen_nonnull_value(rng);
+        r.set(a, v);
+    }
+    r
+}
+
+fn gen_records(rng: &mut Prng, max: usize) -> Vec<Record> {
+    (0..rng.index(max + 1)).map(|_| gen_record(rng)).collect()
+}
+
+/// The relational operators agree with the total order on values.
+#[test]
+fn relop_consistency() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5e_1000 + seed);
+        let a = gen_nonnull_value(&mut rng);
+        let b = gen_nonnull_value(&mut rng);
         let eq = RelOp::Eq.eval(&a, &b);
         let ne = RelOp::Ne.eval(&a, &b);
         let lt = RelOp::Lt.eval(&a, &b);
         let le = RelOp::Le.eval(&a, &b);
         let gt = RelOp::Gt.eval(&a, &b);
         let ge = RelOp::Ge.eval(&a, &b);
-        prop_assert_eq!(eq, !ne);
-        prop_assert_eq!(le, lt || eq);
-        prop_assert_eq!(ge, gt || eq);
-        prop_assert!(!(lt && gt));
-        prop_assert_eq!(lt, RelOp::Gt.eval(&b, &a));
+        assert_eq!(eq, !ne, "seed {seed}: {a:?} vs {b:?}");
+        assert_eq!(le, lt || eq, "seed {seed}: {a:?} vs {b:?}");
+        assert_eq!(ge, gt || eq, "seed {seed}: {a:?} vs {b:?}");
+        assert!(!(lt && gt), "seed {seed}: {a:?} vs {b:?}");
+        assert_eq!(lt, RelOp::Gt.eval(&b, &a), "seed {seed}: {a:?} vs {b:?}");
     }
+}
 
-    /// DNF semantics: a query matches iff some disjunct has all
-    /// predicates matching.
-    #[test]
-    fn dnf_matches_definition(q in arb_query(), r in arb_record()) {
-        let expected = q.disjuncts.iter().any(|c| c.predicates.iter().all(|p| p.matches(&r)));
-        prop_assert_eq!(q.matches(&r), expected);
+/// DNF semantics: a query matches iff some disjunct has all predicates
+/// matching.
+#[test]
+fn dnf_matches_definition() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5e_2000 + seed);
+        let q = gen_query(&mut rng);
+        let r = gen_record(&mut rng);
+        let expected =
+            q.disjuncts.iter().any(|c| c.predicates.iter().all(|p| p.matches(&r)));
+        assert_eq!(q.matches(&r), expected, "seed {seed}: {q:?} on {r:?}");
     }
+}
 
-    /// Canonical request text round-trips through the parser.
-    #[test]
-    fn request_print_parse_roundtrip(q in arb_query(), r in arb_record()) {
+/// Canonical request text round-trips through the parser.
+#[test]
+fn request_print_parse_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5e_3000 + seed);
+        let q = gen_query(&mut rng);
+        let r = gen_record(&mut rng);
         let requests = vec![
             Request::Insert { record: r },
             Request::Delete { query: q.clone() },
@@ -102,28 +124,33 @@ proptest! {
             let text = req.to_string();
             let reparsed = parse_request(&text)
                 .unwrap_or_else(|e| panic!("reparse failed for `{text}`: {e}"));
-            prop_assert_eq!(&req, &reparsed, "round trip failed for `{}`", text);
+            assert_eq!(req, reparsed, "round trip failed for `{text}` (seed {seed})");
         }
     }
+}
 
-    /// A transaction's canonical text round-trips too.
-    #[test]
-    fn transaction_roundtrip(qs in proptest::collection::vec(arb_query(), 1..4)) {
+/// A transaction's canonical text round-trips too.
+#[test]
+fn transaction_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5e_4000 + seed);
         let txn = abdl::Transaction::new(
-            qs.into_iter().map(Request::retrieve_all).collect(),
+            (0..1 + rng.index(3)).map(|_| Request::retrieve_all(gen_query(&mut rng))).collect(),
         );
         let text = txn.to_string();
         let reparsed = parse_transaction(&text).unwrap();
-        prop_assert_eq!(txn, reparsed);
+        assert_eq!(txn, reparsed, "seed {seed}");
     }
+}
 
-    /// Index-assisted evaluation returns exactly the records that brute
-    /// force predicate evaluation returns.
-    #[test]
-    fn index_and_scan_agree(
-        records in proptest::collection::vec(arb_record(), 0..30),
-        q in arb_query(),
-    ) {
+/// Index-assisted evaluation returns exactly the records that brute
+/// force predicate evaluation returns.
+#[test]
+fn index_and_scan_agree() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5e_5000 + seed);
+        let records = gen_records(&mut rng, 30);
+        let q = gen_query(&mut rng);
         let mut indexed = Store::new();
         let mut scanned = Store::with_indexing(false);
         for (i, mut rec) in records.into_iter().enumerate() {
@@ -136,16 +163,18 @@ proptest! {
         let req = Request::retrieve_all(routed);
         let a = indexed.execute(&req).unwrap();
         let b = scanned.execute(&req).unwrap();
-        prop_assert_eq!(a.records(), b.records());
+        assert_eq!(a.records(), b.records(), "seed {seed}");
     }
+}
 
-    /// DELETE then RETRIEVE with the same query returns nothing, and no
-    /// other record disappears.
-    #[test]
-    fn delete_is_exact(
-        records in proptest::collection::vec(arb_record(), 0..30),
-        q in arb_query(),
-    ) {
+/// DELETE then RETRIEVE with the same query returns nothing, and no
+/// other record disappears.
+#[test]
+fn delete_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5e_6000 + seed);
+        let records = gen_records(&mut rng, 30);
+        let q = gen_query(&mut rng);
         let mut store = Store::new();
         let mut kept = 0usize;
         let routed = q.and_predicate(Predicate::eq("FILE", "f"));
@@ -157,44 +186,51 @@ proptest! {
             store.execute(&Request::Insert { record: rec }).unwrap();
         }
         store.execute(&Request::Delete { query: routed.clone() }).unwrap();
-        let rest = store.execute(&Request::retrieve_all(
-            Query::conjunction(vec![Predicate::eq("FILE", "f")]),
-        )).unwrap();
-        prop_assert_eq!(rest.records().len(), kept);
+        let rest = store
+            .execute(&Request::retrieve_all(Query::conjunction(vec![Predicate::eq(
+                "FILE", "f",
+            )])))
+            .unwrap();
+        assert_eq!(rest.records().len(), kept, "seed {seed}");
         let gone = store.execute(&Request::retrieve_all(routed)).unwrap();
-        prop_assert!(gone.records().is_empty());
+        assert!(gone.records().is_empty(), "seed {seed}");
     }
+}
 
-    /// UPDATE sets the attribute on every matching record and only
-    /// those.
-    #[test]
-    fn update_is_exact(
-        records in proptest::collection::vec(arb_record(), 0..30),
-        q in arb_query(),
-    ) {
+/// UPDATE sets the attribute on every matching record and only those.
+#[test]
+fn update_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5e_7000 + seed);
+        let records = gen_records(&mut rng, 30);
+        let q = gen_query(&mut rng);
         let mut store = Store::new();
         let routed = q.and_predicate(Predicate::eq("FILE", "f"));
         let mut expect = 0usize;
         for (i, mut rec) in records.into_iter().enumerate() {
             rec.set("k", Value::Int(i as i64));
             // The sentinel value must not pre-exist.
-            if rec.get("mark").is_some() { rec.remove("mark"); }
+            if rec.get("mark").is_some() {
+                rec.remove("mark");
+            }
             if routed.matches(&rec) {
                 expect += 1;
             }
             store.execute(&Request::Insert { record: rec }).unwrap();
         }
-        let resp = store.execute(&Request::Update {
-            query: routed,
-            modifier: abdl::Modifier::new("mark", Value::Int(999)),
-        }).unwrap();
-        prop_assert_eq!(resp.affected, expect);
-        let marked = store.execute(&Request::retrieve_all(
-            Query::conjunction(vec![
+        let resp = store
+            .execute(&Request::Update {
+                query: routed,
+                modifier: abdl::Modifier::new("mark", Value::Int(999)),
+            })
+            .unwrap();
+        assert_eq!(resp.affected, expect, "seed {seed}");
+        let marked = store
+            .execute(&Request::retrieve_all(Query::conjunction(vec![
                 Predicate::eq("FILE", "f"),
                 Predicate::eq("mark", Value::Int(999)),
-            ]),
-        )).unwrap();
-        prop_assert_eq!(marked.records().len(), expect);
+            ])))
+            .unwrap();
+        assert_eq!(marked.records().len(), expect, "seed {seed}");
     }
 }

@@ -2,7 +2,7 @@
 //! ablation called out in DESIGN.md.
 
 use abdl::{Record, Request, Store, Value};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlds_bench::timing::{bench, group};
 
 fn loaded_store(indexing: bool, records: usize) -> Store {
     let mut s = Store::with_indexing(indexing);
@@ -17,81 +17,54 @@ fn loaded_store(indexing: bool, records: usize) -> Store {
     s
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel/insert");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("indexed", |b| {
+fn main() {
+    group("kernel/insert");
+    {
         let mut s = Store::new();
         s.create_file("f");
         let mut i = 0i64;
-        b.iter(|| {
+        bench("indexed", || {
             let rec = Record::from_pairs([("FILE", Value::str("f"))])
                 .with("f", Value::Int(i))
                 .with("bucket", Value::Int(i % 100));
             i += 1;
             s.execute(&Request::Insert { record: rec }).unwrap()
         });
-    });
-    group.finish();
-}
+    }
 
-fn bench_retrieve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel/retrieve_point");
+    group("kernel/retrieve_point");
     for records in [1_000usize, 10_000] {
         for (label, indexing) in [("indexed", true), ("scan", false)] {
             let mut store = loaded_store(indexing, records);
             let req =
                 abdl::parse::parse_request("RETRIEVE ((FILE = f) and (bucket = 7)) (*)").unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(label, records),
-                &records,
-                |b, _| b.iter(|| store.execute(&req).unwrap()),
-            );
+            bench(&format!("{label}/{records}"), || store.execute(&req).unwrap());
         }
     }
-    group.finish();
-}
 
-fn bench_range_and_aggregate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel/range_and_aggregate");
-    let mut store = loaded_store(true, 10_000);
-    let range = abdl::parse::parse_request("RETRIEVE ((FILE = f) and (f < 500)) (*)").unwrap();
-    group.bench_function("range_500", |b| b.iter(|| store.execute(&range).unwrap()));
-    let agg = abdl::parse::parse_request("RETRIEVE (FILE = f) (COUNT(f), AVG(f)) BY bucket")
-        .unwrap();
-    group.bench_function("aggregate_by_bucket", |b| b.iter(|| store.execute(&agg).unwrap()));
-    group.finish();
-}
+    group("kernel/range_and_aggregate");
+    {
+        let mut store = loaded_store(true, 10_000);
+        let range = abdl::parse::parse_request("RETRIEVE ((FILE = f) and (f < 500)) (*)").unwrap();
+        bench("range_500", || store.execute(&range).unwrap());
+        let agg = abdl::parse::parse_request("RETRIEVE (FILE = f) (COUNT(f), AVG(f)) BY bucket")
+            .unwrap();
+        bench("aggregate_by_bucket", || store.execute(&agg).unwrap());
+    }
 
-fn bench_update_delete(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel/mutate");
-    group.bench_function("update_bucket", |b| {
+    group("kernel/mutate");
+    {
         let mut store = loaded_store(true, 10_000);
         let req =
             abdl::parse::parse_request("UPDATE ((FILE = f) and (bucket = 3)) (payload = 'x')")
                 .unwrap();
-        b.iter(|| store.execute(&req).unwrap());
-    });
-    group.finish();
-}
+        bench("update_bucket", || store.execute(&req).unwrap());
+    }
 
-fn bench_parser(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel/parse");
-    let text = "RETRIEVE (((FILE = course) and (title = 'Advanced Database') and (credits >= 3)) \
-                or ((FILE = course) and (semester = 'F87'))) (title, credits) BY dept";
-    group.throughput(Throughput::Bytes(text.len() as u64));
-    group.bench_function("retrieve_request", |b| {
-        b.iter(|| abdl::parse::parse_request(text).unwrap())
-    });
-    group.finish();
+    group("kernel/parse");
+    {
+        let text = "RETRIEVE (((FILE = course) and (title = 'Advanced Database') and (credits >= 3)) \
+                    or ((FILE = course) and (semester = 'F87'))) (title, credits) BY dept";
+        bench("retrieve_request", || abdl::parse::parse_request(text).unwrap());
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_insert,
-    bench_retrieve,
-    bench_range_and_aggregate,
-    bench_update_delete,
-    bench_parser
-);
-criterion_main!(benches);

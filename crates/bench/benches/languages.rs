@@ -3,7 +3,7 @@
 //! `translation.rs`).
 
 use abdl::Store;
-use criterion::{criterion_group, criterion_main, Criterion};
+use mlds_bench::timing::{bench, group};
 
 fn sql_fixture() -> (relational::SqlTranslator, Store) {
     let schema = relational::ddl::parse_schema(
@@ -33,35 +33,6 @@ fn sql_fixture() -> (relational::SqlTranslator, Store) {
         t.execute(&mut store, &stmt).unwrap();
     }
     (t, store)
-}
-
-fn bench_sql(c: &mut Criterion) {
-    let (t, mut store) = sql_fixture();
-    let mut group = c.benchmark_group("sql");
-    let select = relational::dml::parse_statement_str(
-        "SELECT cname FROM customer WHERE city = 'city7';",
-    )
-    .unwrap();
-    group.bench_function("select_point", |b| {
-        b.iter(|| t.execute(&mut store, &select).unwrap().rows.len())
-    });
-    let agg = relational::dml::parse_statement_str(
-        "SELECT city, COUNT(cid) FROM customer GROUP BY city;",
-    )
-    .unwrap();
-    group.bench_function("group_by", |b| {
-        b.iter(|| t.execute(&mut store, &agg).unwrap().rows.len())
-    });
-    let join = relational::dml::parse_statement_str(
-        "SELECT c.cname, o.total FROM customer c, orders o \
-         WHERE c.cid = o.cid AND c.city = 'city7';",
-    )
-    .unwrap();
-    group.sample_size(20);
-    group.bench_function("equi_join", |b| {
-        b.iter(|| t.execute(&mut store, &join).unwrap().rows.len())
-    });
-    group.finish();
 }
 
 fn dli_fixture() -> (dli::DliSession, Store) {
@@ -96,27 +67,42 @@ fn dli_fixture() -> (dli::DliSession, Store) {
     (session, store)
 }
 
-fn bench_dli(c: &mut Criterion) {
-    let (mut session, mut store) = dli_fixture();
-    let mut group = c.benchmark_group("dli");
-    let gu = dli::calls::parse_calls("GU region (rno = 13) store (sno = 37)").unwrap();
-    group.bench_function("gu_path", |b| {
-        b.iter(|| session.execute(&mut store, &gu[0]).unwrap().affected)
-    });
-    let gu_root = dli::calls::parse_calls("GU region (rno = 5)").unwrap();
-    let gnp = dli::calls::parse_calls("GNP store").unwrap();
-    group.bench_function("gnp_sweep_50", |b| {
-        b.iter(|| {
+fn main() {
+    group("sql");
+    {
+        let (t, mut store) = sql_fixture();
+        let select = relational::dml::parse_statement_str(
+            "SELECT cname FROM customer WHERE city = 'city7';",
+        )
+        .unwrap();
+        bench("select_point", || t.execute(&mut store, &select).unwrap().rows.len());
+        let agg = relational::dml::parse_statement_str(
+            "SELECT city, COUNT(cid) FROM customer GROUP BY city;",
+        )
+        .unwrap();
+        bench("group_by", || t.execute(&mut store, &agg).unwrap().rows.len());
+        let join = relational::dml::parse_statement_str(
+            "SELECT c.cname, o.total FROM customer c, orders o \
+             WHERE c.cid = o.cid AND c.city = 'city7';",
+        )
+        .unwrap();
+        bench("equi_join", || t.execute(&mut store, &join).unwrap().rows.len());
+    }
+
+    group("dli");
+    {
+        let (mut session, mut store) = dli_fixture();
+        let gu = dli::calls::parse_calls("GU region (rno = 13) store (sno = 37)").unwrap();
+        bench("gu_path", || session.execute(&mut store, &gu[0]).unwrap().affected);
+        let gu_root = dli::calls::parse_calls("GU region (rno = 5)").unwrap();
+        let gnp = dli::calls::parse_calls("GNP store").unwrap();
+        bench("gnp_sweep_50", || {
             session.execute(&mut store, &gu_root[0]).unwrap();
             let mut n = 0;
             while session.execute(&mut store, &gnp[0]).is_ok() {
                 n += 1;
             }
             n
-        })
-    });
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_sql, bench_dli);
-criterion_main!(benches);

@@ -4,63 +4,42 @@
 //! whose response-time *model* regenerates E7/E8.
 
 use abdl::Kernel;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mbds::{Controller, SimCluster};
+use mlds_bench::timing::{bench, group};
 use mlds_bench::workload;
 
 const DB: usize = 20_000;
 
-fn bench_controller_throughput(c: &mut Criterion) {
+fn main() {
+    group("mbds/controller_mixed64");
     let requests = workload::mixed_requests(64, DB, 3);
-    let mut group = c.benchmark_group("mbds/controller_mixed64");
-    group.throughput(Throughput::Elements(requests.len() as u64));
-    group.sample_size(10);
     for n in [1usize, 2, 4, 8] {
         let mut controller = Controller::new(n);
         workload::load_flat(&mut controller, DB);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                for req in &requests {
-                    controller.execute(req).unwrap();
-                }
-            })
+        bench(&format!("{n}_backends"), || {
+            for req in &requests {
+                controller.execute(req).unwrap();
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_sim_cluster(c: &mut Criterion) {
+    group("mbds/sim_mixed64");
     let requests = workload::mixed_requests(64, DB, 5);
-    let mut group = c.benchmark_group("mbds/sim_mixed64");
-    group.throughput(Throughput::Elements(requests.len() as u64));
-    group.sample_size(10);
     for n in [1usize, 8] {
         let mut sim = SimCluster::new(n);
         workload::load_flat(&mut sim, DB);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                for req in &requests {
-                    sim.execute(req).unwrap();
-                }
-            })
+        bench(&format!("{n}_backends"), || {
+            for req in &requests {
+                sim.execute(req).unwrap();
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_broadcast_retrieval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mbds/range_retrieval");
-    group.sample_size(10);
+    group("mbds/range_retrieval");
     let req = workload::range_retrieval(2_000);
     for n in [1usize, 4] {
         let mut controller = Controller::new(n);
         workload::load_flat(&mut controller, DB);
-        group.bench_with_input(BenchmarkId::new("controller", n), &n, |b, _| {
-            b.iter(|| controller.execute(&req).unwrap())
-        });
+        bench(&format!("controller/{n}"), || controller.execute(&req).unwrap());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_controller_throughput, bench_sim_cluster, bench_broadcast_retrieval);
-criterion_main!(benches);

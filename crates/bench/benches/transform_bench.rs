@@ -2,32 +2,24 @@
 //! functional→network transformation, and the E9 strategy ablation
 //! (one-step vs per-transaction transformation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlds_bench::timing::{bench, group};
 use mlds_bench::workload;
 
-fn bench_ddl_parsing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schema/parse");
-    group.bench_function("daplex_university", |b| {
-        b.iter(|| daplex::ddl::parse_schema(daplex::university::UNIVERSITY_DDL).unwrap())
+fn main() {
+    group("schema/parse");
+    bench("daplex_university", || {
+        daplex::ddl::parse_schema(daplex::university::UNIVERSITY_DDL).unwrap()
     });
     let net = transform::transform(&daplex::university::schema()).unwrap();
     let net_ddl = codasyl::ddl::print_schema(&net);
-    group.bench_function("codasyl_university", |b| {
-        b.iter(|| codasyl::ddl::parse_schema(&net_ddl).unwrap())
-    });
-    group.finish();
-}
+    bench("codasyl_university", || codasyl::ddl::parse_schema(&net_ddl).unwrap());
 
-fn bench_transform(c: &mut Criterion) {
+    group("schema/transform");
     let schema = daplex::university::schema();
-    let mut group = c.benchmark_group("schema/transform");
-    group.bench_function("university", |b| b.iter(|| transform::transform(&schema).unwrap()));
-    group.finish();
-}
+    bench("university", || transform::transform(&schema).unwrap());
 
-/// E9: the thesis's chosen strategy amortizes the transformation.
-fn bench_strategy_ablation(c: &mut Criterion) {
-    let schema = daplex::university::schema();
+    // E9: the thesis's chosen strategy amortizes the transformation.
+    group("schema/strategy_ablation");
     let mut store = abdl::Store::new();
     daplex::ab_map::install(&schema, &mut store);
     workload::load_university_scaled(&mut store, workload::Scale::of(200), 1);
@@ -35,36 +27,26 @@ fn bench_strategy_ablation(c: &mut Criterion) {
         "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student",
     )
     .unwrap();
-
-    let mut group = c.benchmark_group("schema/strategy_ablation");
     for k in [1usize, 10, 100] {
-        group.bench_with_input(BenchmarkId::new("direct_one_step", k), &k, |b, &k| {
-            b.iter(|| {
+        bench(&format!("direct_one_step/{k}"), || {
+            let net = transform::transform(&schema).unwrap();
+            let t = translator::Translator::for_functional(net);
+            for _ in 0..k {
+                let mut ru = translator::RunUnit::new();
+                for s in &stmts {
+                    let _ = t.execute(&mut ru, &mut store, s);
+                }
+            }
+        });
+        bench(&format!("per_transaction/{k}"), || {
+            for _ in 0..k {
                 let net = transform::transform(&schema).unwrap();
                 let t = translator::Translator::for_functional(net);
-                for _ in 0..k {
-                    let mut ru = translator::RunUnit::new();
-                    for s in &stmts {
-                        let _ = t.execute(&mut ru, &mut store, s);
-                    }
+                let mut ru = translator::RunUnit::new();
+                for s in &stmts {
+                    let _ = t.execute(&mut ru, &mut store, s);
                 }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("per_transaction", k), &k, |b, &k| {
-            b.iter(|| {
-                for _ in 0..k {
-                    let net = transform::transform(&schema).unwrap();
-                    let t = translator::Translator::for_functional(net);
-                    let mut ru = translator::RunUnit::new();
-                    for s in &stmts {
-                        let _ = t.execute(&mut ru, &mut store, s);
-                    }
-                }
-            })
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ddl_parsing, bench_transform, bench_strategy_ablation);
-criterion_main!(benches);

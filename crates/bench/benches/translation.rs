@@ -3,7 +3,7 @@
 //! DML parsing throughput.
 
 use abdl::Store;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlds_bench::timing::{bench, group};
 use mlds_bench::workload;
 
 fn fixture() -> (translator::Translator, Store) {
@@ -14,48 +14,44 @@ fn fixture() -> (translator::Translator, Store) {
     (translator::Translator::for_functional(net), store)
 }
 
-fn bench_statements(c: &mut Criterion) {
-    let (t, mut store) = fixture();
-    let mut group = c.benchmark_group("translation/statement");
-
-    let cases = [
-        ("find_any", "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student"),
-        (
-            "find_owner",
-            "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\n\
-             FIND OWNER WITHIN person_student",
-        ),
-        ("find_first", "FIND FIRST course WITHIN system_course"),
-        (
-            "get",
-            "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\nGET student",
-        ),
-        (
-            "modify",
-            "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\n\
-             MOVE 3.9 TO gpa IN student\nMODIFY gpa IN student",
-        ),
-    ];
-    for (label, script) in cases {
-        let stmts = codasyl::dml::parse_statements(script).unwrap();
-        group.bench_function(label, |b| {
-            b.iter(|| {
+fn main() {
+    group("translation/statement");
+    {
+        let (t, mut store) = fixture();
+        let cases = [
+            ("find_any", "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student"),
+            (
+                "find_owner",
+                "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\n\
+                 FIND OWNER WITHIN person_student",
+            ),
+            ("find_first", "FIND FIRST course WITHIN system_course"),
+            (
+                "get",
+                "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\nGET student",
+            ),
+            (
+                "modify",
+                "MOVE 'CS' TO major IN student\nFIND ANY student USING major IN student\n\
+                 MOVE 3.9 TO gpa IN student\nMODIFY gpa IN student",
+            ),
+        ];
+        for (label, script) in cases {
+            let stmts = codasyl::dml::parse_statements(script).unwrap();
+            bench(label, || {
                 let mut ru = translator::RunUnit::new();
                 for s in &stmts {
                     t.execute(&mut ru, &mut store, s).unwrap();
                 }
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_store_erase_cycle(c: &mut Criterion) {
-    let (t, mut store) = fixture();
-    let mut group = c.benchmark_group("translation/store_erase");
-    let mut i = 0usize;
-    group.bench_function("person_store_erase", |b| {
-        b.iter(|| {
+    group("translation/store_erase");
+    {
+        let (t, mut store) = fixture();
+        let mut i = 0usize;
+        bench("person_store_erase", || {
             i += 1;
             let mut ru = translator::RunUnit::new();
             let script = format!(
@@ -64,19 +60,15 @@ fn bench_store_erase_cycle(c: &mut Criterion) {
             for s in &codasyl::dml::parse_statements(&script).unwrap() {
                 t.execute(&mut ru, &mut store, s).unwrap();
             }
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn bench_generated_script(c: &mut Criterion) {
-    let (t, mut store) = fixture();
-    let script = workload::codasyl_script(200, 17);
-    let stmts = codasyl::dml::parse_statements(&script).unwrap();
-    let mut group = c.benchmark_group("translation/mixed_script");
-    group.throughput(Throughput::Elements(stmts.len() as u64));
-    group.bench_function("200_statements", |b| {
-        b.iter(|| {
+    group("translation/mixed_script");
+    {
+        let (t, mut store) = fixture();
+        let script = workload::codasyl_script(200, 17);
+        let stmts = codasyl::dml::parse_statements(&script).unwrap();
+        bench("200_statements", || {
             let mut ru = translator::RunUnit::new();
             let mut executed = 0usize;
             for s in &stmts {
@@ -85,26 +77,12 @@ fn bench_generated_script(c: &mut Criterion) {
                 }
             }
             executed
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn bench_dml_parse(c: &mut Criterion) {
-    let script = workload::codasyl_script(500, 23);
-    let mut group = c.benchmark_group("translation/parse");
-    group.throughput(Throughput::Bytes(script.len() as u64));
-    group.bench_function("500_statements", |b| {
-        b.iter(|| codasyl::dml::parse_statements(&script).unwrap().len())
-    });
-    group.finish();
+    group("translation/parse");
+    {
+        let script = workload::codasyl_script(500, 23);
+        bench("500_statements", || codasyl::dml::parse_statements(&script).unwrap().len());
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_statements,
-    bench_store_erase_cycle,
-    bench_generated_script,
-    bench_dml_parse
-);
-criterion_main!(benches);

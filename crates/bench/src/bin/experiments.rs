@@ -18,7 +18,8 @@ fn main() {
     };
     for id in selected {
         let Some((_, desc)) = EXPERIMENTS.iter().find(|(eid, _)| *eid == id) else {
-            eprintln!("unknown experiment `{id}`; known: e1..e10");
+            let last = EXPERIMENTS.last().map(|(eid, _)| *eid).unwrap_or("e1");
+            eprintln!("unknown experiment `{id}`; known: e1..{last}");
             std::process::exit(1);
         };
         println!("============================================================");

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Experiment ids with one-line descriptions.
-pub const EXPERIMENTS: [(&str, &str); 12] = [
+pub const EXPERIMENTS: [(&str, &str); 13] = [
     ("e1", "Figure 2.1/2.2 — the University Daplex schema census"),
     ("e2", "Figure 2.3 — ABDM records, keyword predicates and DNF queries"),
     ("e3", "Figure 3.3 — the AB(functional) University kernel layout"),
@@ -21,6 +21,7 @@ pub const EXPERIMENTS: [(&str, &str); 12] = [
     ("e10", "Chapter VI — ABDL request fan-out per CODASYL-DML statement"),
     ("e11", "Figure 1.2 — one kernel, five languages: per-interface ABDL fan-out"),
     ("e12", "Directory-index ablation — records examined, indexed vs full scan"),
+    ("e13", "Fault tolerance — availability vs replication factor, and recovery cost"),
 ];
 
 /// Run one experiment by id.
@@ -38,6 +39,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e10" => Some(e10()),
         "e11" => Some(e11()),
         "e12" => Some(e12()),
+        "e13" => Some(e13()),
         _ => None,
     }
 }
@@ -263,7 +265,7 @@ pub fn e7() -> String {
     let _ = writeln!(out, "{:>9} {:>16} {:>9} {:>7}", "backends", "response (ms)", "speedup", "ideal");
     let mut base = None;
     for n in BACKENDS {
-        let mut cluster = mbds::SimCluster::new(n);
+        let mut cluster = mbds::SimCluster::unreplicated(n);
         workload::load_flat(&mut cluster, E7_DB);
         cluster.reset_clock();
         cluster.execute(&workload::range_retrieval(E7_SELECT)).expect("retrieval");
@@ -282,7 +284,7 @@ pub fn e8() -> String {
     let _ = writeln!(out, "{:>9} {:>10} {:>16} {:>8}", "backends", "records", "response (ms)", "ratio");
     let mut base = None;
     for n in BACKENDS {
-        let mut cluster = mbds::SimCluster::new(n);
+        let mut cluster = mbds::SimCluster::unreplicated(n);
         workload::load_flat(&mut cluster, per_backend * n);
         cluster.reset_clock();
         cluster.execute(&workload::range_retrieval((E7_SELECT / 8) * n)).expect("retrieval");
@@ -507,6 +509,57 @@ pub fn e12() -> String {
                 scan_examined as f64 / idx_examined.max(1) as f64
             );
         }
+    }
+    out
+}
+
+// ----- E13 ------------------------------------------------------------
+
+/// Fault tolerance in the deterministic simulator: what fraction of a
+/// database stays answerable as backends fail, for replication factors
+/// k = 1 (the paper's unreplicated MBDS), 2 (the default) and 3 — and
+/// what recovery (restart + re-replication from surviving replicas)
+/// costs in simulated time. Failures kill adjacent backends, the worst
+/// case for adjacent replica groups.
+pub fn e13() -> String {
+    const N: usize = 8;
+    const DB: usize = 8_000;
+    let mut out = String::new();
+    let _ = writeln!(out, "{N} backends, {DB} records; killed backends are adjacent");
+    let _ = writeln!(
+        out,
+        "{:>2} {:>9} {:>18} {:>10} {:>9}",
+        "k", "failures", "records visible", "coverage", "degraded"
+    );
+    for k in [1usize, 2, 3] {
+        for failures in [0usize, 1, 2, 3] {
+            let mut cluster =
+                mbds::SimCluster::with_config(N, k, mbds::CostModel::default());
+            workload::load_flat(&mut cluster, DB);
+            for b in 0..failures {
+                cluster.kill_backend(b);
+            }
+            let resp = cluster
+                .execute(&workload::range_retrieval(DB))
+                .expect("a live backend remains");
+            let visible = resp.records().len();
+            let _ = writeln!(
+                out,
+                "{k:>2} {failures:>9} {visible:>13}/{DB} {:>9.1}% {:>9}",
+                100.0 * visible as f64 / DB as f64,
+                resp.degraded
+            );
+        }
+    }
+    let _ = writeln!(out, "\nrecovery (k = 2): restart one backend, re-replicate from survivors");
+    let _ = writeln!(out, "{:>9} {:>22}", "records", "recovery time (sim ms)");
+    for db in [1_000usize, 4_000, 16_000] {
+        let mut cluster = mbds::SimCluster::with_config(N, 2, mbds::CostModel::default());
+        workload::load_flat(&mut cluster, db);
+        cluster.kill_backend(0);
+        cluster.reset_clock();
+        cluster.restart_backend(0).expect("restart");
+        let _ = writeln!(out, "{db:>9} {:>22.1}", cluster.last_response_us() / 1000.0);
     }
     out
 }

@@ -6,8 +6,7 @@
 //! translation experiments. Everything is seeded for reproducibility.
 
 use abdl::{Kernel, Record, Request, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use abdl::prng::Prng;
 
 /// Scale factor → population sizes (roughly the University schema's
 /// shape: many students, fewer courses/faculty).
@@ -44,7 +43,7 @@ pub const MAJORS: [&str; 8] =
 /// `AB(functional)` layout (files must exist — use
 /// [`daplex::ab_map::install`] first). Returns the student keys.
 pub fn load_university_scaled<K: Kernel>(kernel: &mut K, scale: Scale, seed: u64) -> Vec<i64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let schema = daplex::university::schema();
     let mut loader = daplex::ab_map::Loader::new(schema);
 
@@ -56,7 +55,7 @@ pub fn load_university_scaled<K: Kernel>(kernel: &mut K, scale: Scale, seed: u64
                 "faculty",
                 &[
                     ("ename", Value::str(format!("faculty_{i}"))),
-                    ("salary", Value::Float(40_000.0 + rng.gen_range(0..30_000) as f64)),
+                    ("salary", Value::Float(40_000.0 + rng.gen_range(0, 30_000) as f64)),
                     ("rank", Value::str(["instructor", "assistant", "associate", "full"][i % 4])),
                 ],
             )
@@ -72,7 +71,7 @@ pub fn load_university_scaled<K: Kernel>(kernel: &mut K, scale: Scale, seed: u64
                 &[
                     ("title", Value::str(format!("course_{i}"))),
                     ("semester", Value::str(if i % 2 == 0 { "F87" } else { "S88" })),
-                    ("credits", Value::Int(rng.gen_range(1..=5))),
+                    ("credits", Value::Int(rng.gen_range(1, 6))),
                 ],
             )
             .expect("course generation");
@@ -86,23 +85,23 @@ pub fn load_university_scaled<K: Kernel>(kernel: &mut K, scale: Scale, seed: u64
                 "student",
                 &[
                     ("name", Value::str(format!("student_{i}"))),
-                    ("age", Value::Int(rng.gen_range(17..30))),
+                    ("age", Value::Int(rng.gen_range(17, 30))),
                     ("major", Value::str(MAJORS[i % MAJORS.len()])),
-                    ("gpa", Value::Float((rng.gen_range(200..400) as f64) / 100.0)),
+                    ("gpa", Value::Float((rng.gen_range(200, 400) as f64) / 100.0)),
                 ],
             )
             .expect("student generation");
         if !faculty.is_empty() {
-            let adv = faculty[rng.gen_range(0..faculty.len())];
+            let adv = faculty[rng.index(faculty.len())];
             loader.link(kernel, "student", k, "advisor", adv).expect("advisor link");
         }
         students.push(k);
     }
     // teaching pairs: each course taught by 1–2 faculty.
     for &c in &courses {
-        let n = rng.gen_range(1..=2usize.min(faculty.len().max(1)));
+        let n = rng.gen_range(1, 2i64.min(faculty.len().max(1) as i64) + 1);
         for _ in 0..n {
-            let f = faculty[rng.gen_range(0..faculty.len())];
+            let f = faculty[rng.index(faculty.len())];
             loader.link(kernel, "faculty", f, "teaching", c).expect("teaching link");
         }
     }
@@ -132,22 +131,22 @@ pub fn range_retrieval(select: usize) -> Request {
 /// A mixed kernel workload (reads, updates, deletes) for throughput
 /// benches.
 pub fn mixed_requests(n: usize, keyspace: usize, seed: u64) -> Vec<Request> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let k = rng.gen_range(0..keyspace);
-            match rng.gen_range(0..10) {
+            let k = rng.index(keyspace);
+            match rng.index(10) {
                 0..=6 => abdl::parse::parse_request(&format!(
                     "RETRIEVE ((FILE = f) and (f >= {k}) and (f < {})) (*)",
                     k + 20
                 )),
                 7 | 8 => abdl::parse::parse_request(&format!(
                     "UPDATE ((FILE = f) and (f = {k})) (payload = {})",
-                    rng.gen_range(0..1000)
+                    rng.gen_range(0, 1000)
                 )),
                 _ => abdl::parse::parse_request(&format!(
                     "RETRIEVE ((FILE = f) and (payload = {})) (COUNT(f))",
-                    rng.gen_range(0..1000)
+                    rng.gen_range(0, 1000)
                 )),
             }
             .expect("static request")
@@ -159,13 +158,13 @@ pub fn mixed_requests(n: usize, keyspace: usize, seed: u64) -> Vec<Request> {
 /// random but *valid* statement sequence (currency is established
 /// before statements that need it).
 pub fn codasyl_script(statements: usize, seed: u64) -> String {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(statements);
     let mut store_no = 0usize;
     while out.len() < statements {
-        match rng.gen_range(0..10) {
+        match rng.index(10) {
             0 | 1 => {
-                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                let major = *rng.pick(&MAJORS);
                 out.push(format!("MOVE '{major}' TO major IN student"));
                 out.push("FIND ANY student USING major IN student".to_owned());
                 out.push("GET student".to_owned());
@@ -175,13 +174,13 @@ pub fn codasyl_script(statements: usize, seed: u64) -> String {
                 out.push("FIND NEXT course WITHIN system_course".to_owned());
             }
             3 => {
-                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                let major = *rng.pick(&MAJORS);
                 out.push(format!("MOVE '{major}' TO major IN student"));
                 out.push("FIND ANY student USING major IN student".to_owned());
                 out.push("FIND OWNER WITHIN person_student".to_owned());
             }
             4 => {
-                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                let major = *rng.pick(&MAJORS);
                 out.push(format!("MOVE '{major}' TO major IN student"));
                 out.push("FIND ANY student USING major IN student".to_owned());
                 out.push("FIND OWNER WITHIN advisor".to_owned());
@@ -190,18 +189,18 @@ pub fn codasyl_script(statements: usize, seed: u64) -> String {
             5 => {
                 store_no += 1;
                 out.push(format!("MOVE 'gen_{seed}_{store_no}' TO name IN person"));
-                out.push(format!("MOVE {} TO age IN person", rng.gen_range(17..60)));
+                out.push(format!("MOVE {} TO age IN person", rng.gen_range(17, 60)));
                 out.push("STORE person".to_owned());
             }
             6 => {
-                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                let major = *rng.pick(&MAJORS);
                 out.push(format!("MOVE '{major}' TO major IN student"));
                 out.push("FIND ANY student USING major IN student".to_owned());
-                out.push(format!("MOVE {} TO gpa IN student", rng.gen_range(20..40) as f64 / 10.0));
+                out.push(format!("MOVE {} TO gpa IN student", rng.gen_range(20, 40) as f64 / 10.0));
                 out.push("MODIFY gpa IN student".to_owned());
             }
             7 => {
-                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                let major = *rng.pick(&MAJORS);
                 out.push(format!("MOVE '{major}' TO major IN student"));
                 out.push("FIND ANY student USING major IN student".to_owned());
                 out.push("FIND CURRENT student WITHIN person_student".to_owned());
@@ -211,7 +210,7 @@ pub fn codasyl_script(statements: usize, seed: u64) -> String {
                 out.push("GET name IN person".to_owned());
             }
             _ => {
-                let major = MAJORS[rng.gen_range(0..MAJORS.len())];
+                let major = *rng.pick(&MAJORS);
                 out.push(format!("MOVE '{major}' TO major IN student"));
                 out.push("FIND ANY student USING major IN student".to_owned());
                 out.push("DISCONNECT student FROM advisor".to_owned());

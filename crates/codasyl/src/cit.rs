@@ -16,11 +16,10 @@
 //! them *as a group* ("we will update all records whose database key is
 //! the same as the database key of the current of the run-unit").
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A record currency: which occurrence of which record type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Currency {
     /// The record type.
     pub record: String,
@@ -37,7 +36,7 @@ impl Currency {
 
 /// A set currency: the current occurrence (identified by its owner) and
 /// the current member within it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SetCurrency {
     /// Entity key of the owner of the current set occurrence (`None`
     /// until a FIND establishes one).
@@ -47,7 +46,7 @@ pub struct SetCurrency {
 }
 
 /// The per-run-unit currency indicator table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CurrencyTable {
     run_unit: Option<Currency>,
     records: BTreeMap<String, Currency>,

@@ -14,11 +14,10 @@
 use crate::error::Result;
 use crate::lex::{Cursor, Tok};
 use abdl::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Positional FIND variants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Position {
     /// `FIND FIRST r WITHIN s`
     First,
@@ -42,7 +41,7 @@ impl fmt::Display for Position {
 }
 
 /// The three GET forms.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GetSpec {
     /// `GET` — the entire current record of the run-unit.
     CurrentOfRunUnit,
@@ -59,7 +58,7 @@ pub enum GetSpec {
 }
 
 /// A CODASYL-DML statement (or the host-language MOVE).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// `MOVE value TO item IN record` — host-language UWA assignment.
     Move {

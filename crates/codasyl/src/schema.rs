@@ -6,11 +6,10 @@
 
 use crate::error::{Error, Result};
 use crate::SYSTEM;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A network data-item type (the `nan_type`/`nan_length` pair).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetAttrType {
     /// `FIXED` — an integer.
     Int,
@@ -40,7 +39,7 @@ impl fmt::Display for NetAttrType {
 /// types (§V.C: "the task is to maintain the integrity constraints of
 /// the non-entity types as they are mapped into the network data
 /// types").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValueCheck {
     /// An integer range `RANGE lo..hi`.
     Range {
@@ -81,7 +80,7 @@ impl fmt::Display for ValueCheck {
 }
 
 /// A data item (attribute) of a record type — the `nattr_node`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttrType {
     /// Attribute name.
     pub name: String,
@@ -110,7 +109,7 @@ impl AttrType {
 }
 
 /// A record type — the `nrec_node`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordType {
     /// Record type name.
     pub name: String,
@@ -142,7 +141,7 @@ impl RecordType {
 }
 
 /// Set insertion mode (`nsn_insert_mode`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Insertion {
     /// `AUTOMATIC` — a newly stored member record is inserted into the
     /// current set occurrence automatically.
@@ -161,7 +160,7 @@ impl fmt::Display for Insertion {
 }
 
 /// Set retention mode (`nsn_retent_mode`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Retention {
     /// `FIXED` — records connected to a set occurrence remain in it.
     Fixed,
@@ -182,7 +181,7 @@ impl fmt::Display for Retention {
 }
 
 /// Set selection mode (the `set_select_node`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Selection {
     /// `BY APPLICATION` — the current set occurrence is used.
     Application,
@@ -217,7 +216,7 @@ impl fmt::Display for Selection {
 }
 
 /// A set owner: SYSTEM or a record type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Owner {
     /// The schema-defined SYSTEM owner (singular sets).
     System,
@@ -251,7 +250,7 @@ impl fmt::Display for Owner {
 /// because the Chapter-VI translation differs per flavor ("Recalling the
 /// two types of sets in the functional data model, ISA relationships and
 /// Daplex functions…").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SetOrigin {
     /// Declared directly in network DDL.
     Native,
@@ -302,7 +301,7 @@ pub enum SetOrigin {
 }
 
 /// A set type — the `nset_node`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetType {
     /// Set name.
     pub name: String,
@@ -346,7 +345,7 @@ impl SetType {
 /// An overlap constraint group carried over from a functional schema:
 /// members of any subtype on the `left` may also belong to subtypes on
 /// the `right` (and vice versa).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverlapGroup {
     /// Left subtype record names.
     pub left: Vec<String>,
@@ -365,7 +364,7 @@ impl OverlapGroup {
 }
 
 /// A network database schema — the `net_dbid_node`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NetworkSchema {
     /// Schema (database) name.
     pub name: String,

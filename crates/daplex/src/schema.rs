@@ -7,11 +7,10 @@
 
 use crate::error::{Error, Result};
 use abdl::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// The scalar kind of a non-entity type (the `ennt_type` character).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BaseKind {
     /// `STRING(n)`.
     Str {
@@ -49,7 +48,7 @@ impl BaseKind {
 }
 
 /// Classification of a non-entity type declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NonEntityClass {
     /// A base type: `TYPE age IS INTEGER RANGE 16..99;`.
     Base,
@@ -68,7 +67,7 @@ pub enum NonEntityClass {
 }
 
 /// A non-entity type (`ent_non_node` / `sub_non_node` / `der_non_node`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NonEntityType {
     /// Type name.
     pub name: String,
@@ -122,7 +121,7 @@ impl NonEntityType {
 }
 
 /// The result type of a function (`fn_type` plus its target pointers).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FnRange {
     /// An inline `STRING(n)`.
     Str {
@@ -147,7 +146,7 @@ pub enum FnRange {
 }
 
 /// A function declared on an entity type or subtype (`function_node`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name.
     pub name: String,
@@ -171,7 +170,7 @@ impl Function {
 }
 
 /// An entity type (`ent_node`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EntityType {
     /// Entity type name.
     pub name: String,
@@ -180,7 +179,7 @@ pub struct EntityType {
 }
 
 /// An entity subtype (`gen_sub_node`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EntitySubtype {
     /// Subtype name.
     pub name: String,
@@ -192,7 +191,7 @@ pub struct EntitySubtype {
 }
 
 /// `UNIQUE A, B, C WITHIN D;`
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UniqueConstraint {
     /// The functions whose combined values are unique.
     pub functions: Vec<String>,
@@ -201,7 +200,7 @@ pub struct UniqueConstraint {
 }
 
 /// `OVERLAP E, F WITH G, H;`
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverlapConstraint {
     /// Left subtype list.
     pub left: Vec<String>,
@@ -211,7 +210,7 @@ pub struct OverlapConstraint {
 
 /// A many-to-many multi-valued function pair, realized as a `LINK_X`
 /// record in the network view and a `LINK_X` pair file in the kernel.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct M2MPair {
     /// The synthesized link name (`LINK_1`, `LINK_2`, …).
     pub link: String,
@@ -227,7 +226,7 @@ pub struct M2MPair {
 }
 
 /// A complete functional database schema (`fun_dbid_node`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FunctionalSchema {
     /// Database name.
     pub name: String,

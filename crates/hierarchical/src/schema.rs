@@ -1,11 +1,10 @@
 //! Hierarchical schemas: segment trees.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A field type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldType {
     /// `FIXED` — an integer.
     Int,
@@ -29,7 +28,7 @@ impl fmt::Display for FieldType {
 }
 
 /// A segment field.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Field name.
     pub name: String,
@@ -38,7 +37,7 @@ pub struct Field {
 }
 
 /// A segment type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Segment {
     /// Segment type name.
     pub name: String,
@@ -67,7 +66,7 @@ impl Segment {
 }
 
 /// A hierarchical database definition (the DBD).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HierSchema {
     /// Database name.
     pub name: String,

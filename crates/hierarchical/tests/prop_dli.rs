@@ -1,10 +1,13 @@
-//! Property tests for the DL/I interface: GN sweeps are complete and
-//! duplicate-free, GNP partitions by parent, and DLET removes exactly
-//! one subtree.
+//! Randomized property tests for the DL/I interface: GN sweeps are
+//! complete and duplicate-free, GNP partitions by parent, and DLET
+//! removes exactly one subtree. Tree shapes come from the in-tree
+//! seeded PRNG so failures reproduce exactly.
 
+use abdl::prng::Prng;
 use abdl::Store;
 use dli::{calls, ddl, DliSession};
-use proptest::prelude::*;
+
+const CASES: u64 = 32;
 
 const DBD: &str = "
 HIERARCHY NAME IS prop.
@@ -15,6 +18,11 @@ SEGMENT child PARENT IS parent.
   02 cno TYPE IS FIXED.
   02 tag TYPE IS CHARACTER 4.
 ";
+
+/// A random tree shape: 1–5 parents with 0–5 children each.
+fn gen_shape(rng: &mut Prng) -> Vec<usize> {
+    (0..1 + rng.index(5)).map(|_| rng.index(6)).collect()
+}
 
 /// Load `shape[i]` children under parent i; returns total child count.
 fn load(session: &mut DliSession, store: &mut Store, shape: &[usize]) -> usize {
@@ -43,30 +51,30 @@ fn fixture() -> (DliSession, Store) {
     (DliSession::new(schema), store)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// A GN sweep visits every occurrence exactly once.
-    #[test]
-    fn gn_sweep_is_complete_and_duplicate_free(
-        shape in proptest::collection::vec(0usize..6, 1..6),
-    ) {
+/// A GN sweep visits every occurrence exactly once.
+#[test]
+fn gn_sweep_is_complete_and_duplicate_free() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xd11_1000 + seed);
+        let shape = gen_shape(&mut rng);
         let (mut session, mut store) = fixture();
         let total = load(&mut session, &mut store, &shape);
         let gn = calls::parse_calls("GN child").unwrap();
         let mut seen = std::collections::HashSet::new();
         while let Ok(out) = session.execute(&mut store, &gn[0]) {
             let (_, key, _) = out.found.unwrap();
-            prop_assert!(seen.insert(key), "key {} delivered twice", key);
+            assert!(seen.insert(key), "key {key} delivered twice (seed {seed})");
         }
-        prop_assert_eq!(seen.len(), total);
+        assert_eq!(seen.len(), total, "seed {seed}, shape {shape:?}");
     }
+}
 
-    /// GNP sweeps per parent partition the children exactly.
-    #[test]
-    fn gnp_partitions_by_parent(
-        shape in proptest::collection::vec(0usize..6, 1..6),
-    ) {
+/// GNP sweeps per parent partition the children exactly.
+#[test]
+fn gnp_partitions_by_parent() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xd11_2000 + seed);
+        let shape = gen_shape(&mut rng);
         let (mut session, mut store) = fixture();
         let total = load(&mut session, &mut store, &shape);
         let gnp = calls::parse_calls("GNP child").unwrap();
@@ -78,27 +86,28 @@ proptest! {
             while session.execute(&mut store, &gnp[0]).is_ok() {
                 here += 1;
             }
-            prop_assert_eq!(here, n, "parent {} should have {} children", p, n);
+            assert_eq!(here, n, "parent {p} should have {n} children (seed {seed})");
             counted += here;
         }
-        prop_assert_eq!(counted, total);
+        assert_eq!(counted, total, "seed {seed}, shape {shape:?}");
     }
+}
 
-    /// DLET of one parent removes exactly its subtree.
-    #[test]
-    fn dlet_removes_exactly_one_subtree(
-        shape in proptest::collection::vec(0usize..6, 1..6),
-        victim_idx in 0usize..6,
-    ) {
+/// DLET of one parent removes exactly its subtree.
+#[test]
+fn dlet_removes_exactly_one_subtree() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xd11_3000 + seed);
+        let shape = gen_shape(&mut rng);
+        let victim = rng.index(shape.len());
         let (mut session, mut store) = fixture();
         let total = load(&mut session, &mut store, &shape);
-        let victim = victim_idx % shape.len();
         let gu = calls::parse_calls(&format!("GU parent (pno = {victim})")).unwrap();
         session.execute(&mut store, &gu[0]).unwrap();
         let dlet = calls::parse_calls("DLET parent").unwrap();
         let out = session.execute(&mut store, &dlet[0]).unwrap();
-        prop_assert_eq!(out.affected, 1 + shape[victim]);
-        prop_assert_eq!(store.file_len("parent"), shape.len() - 1);
-        prop_assert_eq!(store.file_len("child"), total - shape[victim]);
+        assert_eq!(out.affected, 1 + shape[victim], "seed {seed}, shape {shape:?}");
+        assert_eq!(store.file_len("parent"), shape.len() - 1, "seed {seed}");
+        assert_eq!(store.file_len("child"), total - shape[victim], "seed {seed}");
     }
 }

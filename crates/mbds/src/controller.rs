@@ -1,113 +1,385 @@
 //! The backend controller (the "master") and its backend worker
 //! threads (the "slaves").
+//!
+//! Beyond the 1987 design — a controller broadcasting to N backends
+//! with private, unreplicated partitions — this controller adds the
+//! availability machinery a production deployment needs:
+//!
+//! * **k-way replicated placement** (default k = 2): every insert goes
+//!   to a replica group chosen by the [`Partitioner`]; reads are
+//!   broadcast, merged, and deduplicated by database key, so replicated
+//!   answers are byte-identical to a single store's.
+//! * **failure detection** via reply sequence numbers, `recv_timeout`
+//!   and the per-backend [`HealthBoard`] (Alive → Suspect → Dead);
+//!   requests are retried on survivors instead of erroring.
+//! * **recovery**: [`Controller::restart_backend`] respawns a worker
+//!   and re-replicates its lost records from surviving replicas.
+//! * **degraded-mode reporting**: every response carries `degraded` and
+//!   `unavailable_backends`, and [`Kernel::health`] exposes the board.
+//! * **deterministic fault injection** ([`FaultPlan`]) applied inside
+//!   the worker loop, for reproducible availability experiments.
 
+use crate::fault::{FaultKind, FaultPlan};
+use crate::health::{BackendState, HealthBoard};
 use crate::placement::Partitioner;
 use abdl::engine::aggregate;
-use abdl::{DbKey, Error, Kernel, Record, Request, Response, Result, Store};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use abdl::{DbKey, Error, Kernel, KernelHealth, Record, Request, Response, Result, Store};
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default replica count per record (clamped to the backend count).
+pub const DEFAULT_REPLICATION: usize = 2;
 
 enum ToBackend {
-    CreateFile(String),
-    InsertWithKey(DbKey, Record),
-    Exec(Request),
+    CreateFile(u64, String),
+    InsertWithKey(u64, DbKey, Record),
+    Exec(u64, Request),
     Shutdown,
+}
+
+struct Reply {
+    seq: u64,
+    result: Result<Response>,
 }
 
 struct BackendHandle {
     tx: Sender<ToBackend>,
-    rx: Receiver<Result<Response>>,
+    rx: Receiver<Reply>,
     join: Option<JoinHandle<()>>,
-    alive: bool,
 }
 
 /// The MBDS controller: owns the backends, assigns database keys,
-/// places inserted records, broadcasts everything else and merges the
-/// partial responses.
+/// places inserted records on replica groups, broadcasts everything
+/// else and merges (and deduplicates) the partial responses.
 pub struct Controller {
     backends: Vec<BackendHandle>,
+    health: HealthBoard,
     partitioner: Partitioner,
+    replication: usize,
     next_key: u64,
+    next_seq: u64,
     /// `DUPLICATES ARE NOT ALLOWED` groups are enforced *globally* by
     /// the controller (a per-backend check would only see its own
     /// partition).
     unique_groups: HashMap<String, Vec<Vec<String>>>,
+    /// Files created so far, in creation order; replayed into restarted
+    /// backends before re-replication.
+    files: Vec<String>,
+    /// Which backends hold each record — the recovery and degraded-mode
+    /// source of truth.
+    directory: HashMap<DbKey, Vec<usize>>,
+    /// Shared with the worker threads; swap via `set_fault_plan`.
+    faults: Arc<Mutex<FaultPlan>>,
+    reply_timeout: Duration,
+    /// `create_file` cannot return an error through the `Kernel` trait;
+    /// a total failure is stashed here and surfaced by the next
+    /// `execute` (see `try_create_file` for the fallible API).
+    pending_error: Option<Error>,
+    degraded_cache: bool,
+    degraded_dirty: bool,
 }
 
 impl Controller {
-    /// Spawn a controller with `n` backend threads.
+    /// Spawn a controller with `n` backend threads and the default
+    /// replication factor (2, clamped to `n`).
     pub fn new(n: usize) -> Self {
+        Controller::with_replication(n, DEFAULT_REPLICATION.min(n))
+    }
+
+    /// Spawn a controller with `n` backends and an unreplicated layout
+    /// (k = 1): the paper's original MBDS, where each record lives on
+    /// exactly one backend. Killing a backend loses its partition.
+    pub fn unreplicated(n: usize) -> Self {
+        Controller::with_replication(n, 1)
+    }
+
+    /// Spawn a controller with `n` backend threads keeping `k` copies
+    /// of every record (`1 <= k <= n`).
+    pub fn with_replication(n: usize, k: usize) -> Self {
         assert!(n > 0, "MBDS needs at least one backend");
-        let backends = (0..n)
-            .map(|i| {
-                let (tx, backend_rx) = unbounded::<ToBackend>();
-                let (backend_tx, rx) = unbounded::<Result<Response>>();
-                let join = std::thread::Builder::new()
-                    .name(format!("mbds-backend-{i}"))
-                    .spawn(move || backend_loop(backend_rx, backend_tx))
-                    .expect("spawn backend thread");
-                BackendHandle { tx, rx, join: Some(join), alive: true }
-            })
-            .collect();
+        assert!((1..=n).contains(&k), "replication factor must be in 1..=n, got {k}");
+        let faults: Arc<Mutex<FaultPlan>> = Arc::default();
+        let backends = (0..n).map(|i| spawn_backend(i, Arc::clone(&faults))).collect();
         Controller {
             backends,
+            health: HealthBoard::new(n),
             partitioner: Partitioner::new(n),
+            replication: k,
             next_key: 1,
+            next_seq: 1,
             unique_groups: HashMap::new(),
+            files: Vec::new(),
+            directory: HashMap::new(),
+            faults,
+            reply_timeout: Duration::from_millis(1000),
+            pending_error: None,
+            degraded_cache: false,
+            degraded_dirty: false,
         }
     }
 
-    /// Total number of backends (alive or killed).
+    /// Total number of backends (alive or dead).
     pub fn backend_count(&self) -> usize {
         self.backends.len()
     }
 
-    /// Number of live backends.
+    /// Number of backends not marked dead.
     pub fn alive_count(&self) -> usize {
-        self.backends.iter().filter(|b| b.alive).count()
+        self.health.serving_count()
     }
 
-    /// Failure injection: kill backend `i`. Its partition becomes
-    /// unavailable; the controller keeps serving from the survivors.
+    /// Copies kept per record.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Install a fault plan; it applies to messages the backends have
+    /// not yet processed. Message counters are per-backend and count
+    /// from the backend's first message ever, so install the plan
+    /// before the traffic it should disturb.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        *self.faults.lock().expect("fault plan lock") = plan;
+    }
+
+    /// How long the controller waits for one reply window before
+    /// demoting a backend (two windows: Alive → Suspect → Dead).
+    pub fn set_reply_timeout(&mut self, timeout: Duration) {
+        self.reply_timeout = timeout;
+    }
+
+    /// Failure injection: kill backend `i`. With replication, its
+    /// records stay answerable from the surviving replicas; without, the
+    /// partition is unavailable until `restart_backend` (which can then
+    /// only recover what other replicas still hold).
     pub fn kill_backend(&mut self, i: usize) {
-        if let Some(b) = self.backends.get_mut(i) {
-            if b.alive {
-                let _ = b.tx.send(ToBackend::Shutdown);
-                if let Some(join) = b.join.take() {
-                    let _ = join.join();
+        if i >= self.backends.len() || !self.health.is_serving(i) {
+            return;
+        }
+        let b = &mut self.backends[i];
+        let _ = b.tx.send(ToBackend::Shutdown);
+        if let Some(join) = b.join.take() {
+            let _ = join.join();
+        }
+        self.health.channel_closed(i);
+        self.degraded_dirty = true;
+    }
+
+    /// Recovery: respawn backend `i` with an empty store, replay the
+    /// schema (files), and re-replicate every record whose replica
+    /// group contains `i` from the surviving replicas (anti-entropy
+    /// driven by the controller's directory). Restores full redundancy:
+    /// a subsequent single-backend failure loses nothing again.
+    pub fn restart_backend(&mut self, i: usize) -> Result<()> {
+        if i >= self.backends.len() {
+            return Err(Error::Internal(format!("no such backend {i}")));
+        }
+        if self.health.is_serving(i) && self.health.state(i) == BackendState::Alive {
+            return Ok(());
+        }
+        // Drop the old handle (closing its channels) and join the dead
+        // worker if it has not exited yet.
+        let old = std::mem::replace(&mut self.backends[i], spawn_backend(i, Arc::clone(&self.faults)));
+        let _ = old.tx.send(ToBackend::Shutdown);
+        drop(old.tx);
+        if let Some(join) = old.join {
+            let _ = join.join();
+        }
+        self.health.restarted(i);
+        self.degraded_dirty = true;
+
+        // Replay the schema.
+        for file in self.files.clone() {
+            let seq = self.next_seq();
+            if !self.send_to(i, ToBackend::CreateFile(seq, file)) {
+                return Err(Error::Unavailable(format!("backend {i} died during restart")));
+            }
+            if self.recv_reply(i, seq).is_none() {
+                return Err(Error::Unavailable(format!("backend {i} died during restart")));
+            }
+        }
+        // Anti-entropy: pull surviving copies and re-insert the records
+        // this backend is supposed to hold.
+        for file in self.files.clone() {
+            let query = abdl::Query::conjunction(vec![abdl::Predicate::eq(
+                abdl::FILE_ATTR,
+                abdl::Value::str(file),
+            )]);
+            let survivors = self.broadcast(&Request::retrieve_all(query))?;
+            for (key, rec) in survivors.into_records() {
+                if self.directory.get(&key).is_some_and(|g| g.contains(&i)) {
+                    let seq = self.next_seq();
+                    if !self.send_to(i, ToBackend::InsertWithKey(seq, key, rec)) {
+                        return Err(Error::Unavailable(format!("backend {i} died during recovery")));
+                    }
+                    match self.recv_reply(i, seq) {
+                        Some(result) => {
+                            result?;
+                        }
+                        None => {
+                            return Err(Error::Unavailable(format!(
+                                "backend {i} died during recovery"
+                            )))
+                        }
+                    }
                 }
-                b.alive = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible file creation: sends the create through the health
+    /// machine and fails only when *no* backend acknowledged it.
+    /// Backends that die mid-create are marked dead; a later
+    /// `restart_backend` replays the schema into them, so live stores
+    /// never diverge.
+    pub fn try_create_file(&mut self, name: &str) -> Result<()> {
+        if !self.files.iter().any(|f| f == name) {
+            self.files.push(name.to_owned());
+        }
+        let seq = self.next_seq();
+        let mut sent = Vec::new();
+        for i in 0..self.backends.len() {
+            if self.health.is_serving(i)
+                && self.send_to(i, ToBackend::CreateFile(seq, name.to_owned()))
+            {
+                sent.push(i);
+            }
+        }
+        let mut acked = 0usize;
+        for i in sent {
+            if self.recv_reply(i, seq).is_some() {
+                acked += 1;
+            }
+        }
+        if acked == 0 {
+            return Err(Error::Unavailable(format!(
+                "no live backend acknowledged CREATE FILE `{name}`"
+            )));
+        }
+        Ok(())
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Send a message to backend `i`; a closed channel marks it dead.
+    fn send_to(&mut self, i: usize, msg: ToBackend) -> bool {
+        if self.backends[i].tx.send(msg).is_err() {
+            self.health.channel_closed(i);
+            self.degraded_dirty = true;
+            return false;
+        }
+        true
+    }
+
+    /// Await backend `i`'s reply to `seq`. Stale replies (from earlier
+    /// rounds that timed out) are discarded; a missed window demotes
+    /// the backend one step and `Suspect` earns one more window.
+    /// Returns `None` when the backend is (now) dead.
+    fn recv_reply(&mut self, i: usize, seq: u64) -> Option<Result<Response>> {
+        loop {
+            match self.backends[i].rx.recv_timeout(self.reply_timeout) {
+                Ok(reply) if reply.seq == seq => {
+                    self.health.reply_received(i);
+                    return Some(reply.result);
+                }
+                Ok(_) => continue, // stale reply from a timed-out round
+                Err(RecvTimeoutError::Timeout) => match self.health.missed_reply(i) {
+                    BackendState::Suspect => continue,
+                    _ => {
+                        self.degraded_dirty = true;
+                        return None;
+                    }
+                },
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.health.channel_closed(i);
+                    self.degraded_dirty = true;
+                    return None;
+                }
             }
         }
     }
 
-    fn alive(&self) -> impl Iterator<Item = &BackendHandle> {
-        self.backends.iter().filter(|b| b.alive)
-    }
-
-    /// Broadcast a request to every live backend and merge responses.
-    fn broadcast(&self, request: &Request) -> Result<Response> {
-        for b in self.alive() {
-            b.tx.send(ToBackend::Exec(request.clone()))
-                .map_err(|_| Error::Internal("backend channel closed".into()))?;
+    /// Broadcast a request to every serving backend, merge and dedup
+    /// the partial responses, and retry-tolerate failures: a backend
+    /// dying mid-round only removes its partial answer (the merged
+    /// result stays correct as long as each record has a live replica,
+    /// which `degraded` reports). All in-flight replies are drained
+    /// before any error is returned, so the per-backend reply queues
+    /// never desynchronize.
+    fn broadcast(&mut self, request: &Request) -> Result<Response> {
+        let seq = self.next_seq();
+        let mut sent = Vec::new();
+        for i in 0..self.backends.len() {
+            if self.health.is_serving(i)
+                && self.send_to(i, ToBackend::Exec(seq, request.clone()))
+            {
+                sent.push(i);
+            }
+        }
+        if sent.is_empty() {
+            return Err(Error::Unavailable("no live backends".into()));
         }
         let mut merged = Response::default();
-        for b in self.alive() {
-            let resp = b
-                .rx
-                .recv()
-                .map_err(|_| Error::Internal("backend died mid-request".into()))??;
-            merged.merge(resp);
+        let mut first_err = None;
+        for i in sent {
+            match self.recv_reply(i, seq) {
+                Some(Ok(resp)) => merged.merge(resp),
+                // Keep draining the other backends' replies even after
+                // an error — bailing early would leave stale replies
+                // desynchronizing the next round.
+                Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                Some(Err(_)) => {}
+                None => {} // dead mid-round; survivors carry the answer
+            }
         }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        merged.dedup_by_key();
         Ok(merged)
     }
 
-    fn check_unique(&self, record: &Record) -> Result<()> {
+    /// Attach health metadata to an outgoing response.
+    fn finalize(&mut self, mut resp: Response) -> Response {
+        resp.degraded = self.is_degraded();
+        resp.unavailable_backends = self.health.unavailable();
+        resp
+    }
+
+    /// True when some record's whole replica group is dead.
+    fn is_degraded(&mut self) -> bool {
+        if self.degraded_dirty {
+            self.degraded_cache = self.compute_degraded();
+            self.degraded_dirty = false;
+        }
+        self.degraded_cache
+    }
+
+    fn compute_degraded(&self) -> bool {
+        let dead: Vec<bool> =
+            (0..self.backends.len()).map(|i| !self.health.is_serving(i)).collect();
+        self.directory.values().any(|group| group.iter().all(|&r| dead[r]))
+    }
+
+    /// The keys currently matching `query`, deduplicated across
+    /// replicas — the *logical* affected set of a mutation.
+    fn matching_keys(&mut self, query: &abdl::Query) -> Result<Vec<DbKey>> {
+        let resp = self.broadcast(&Request::retrieve_all(query.clone()))?;
+        Ok(resp.records().iter().map(|(k, _)| *k).collect())
+    }
+
+    fn check_unique(&mut self, record: &Record) -> Result<()> {
         let Some(file) = record.file() else {
             return Err(Error::MissingFileKeyword);
         };
-        let Some(groups) = self.unique_groups.get(file) else { return Ok(()) };
+        let Some(groups) = self.unique_groups.get(file).cloned() else { return Ok(()) };
         for group in groups {
             if !group.iter().all(|a| record.get(a).is_some()) {
                 continue;
@@ -126,15 +398,49 @@ impl Controller {
         }
         Ok(())
     }
+
+    fn insert(&mut self, record: &Record) -> Result<Response> {
+        self.check_unique(record)?;
+        let file = record.file().ok_or(Error::MissingFileKeyword)?.to_owned();
+        let key = self.reserve_key();
+        // Preferred replica group, then every other backend as fallback
+        // so a dead group member is substituted by the next live one.
+        let group = self.partitioner.place_group(&file, self.replication);
+        let primary = group[0];
+        let n = self.backends.len();
+        let mut assigned = Vec::new();
+        for j in 0..n {
+            if assigned.len() == self.replication {
+                break;
+            }
+            let i = (primary + j) % n;
+            if !self.health.is_serving(i) {
+                continue;
+            }
+            let seq = self.next_seq();
+            if !self.send_to(i, ToBackend::InsertWithKey(seq, key, record.clone())) {
+                continue;
+            }
+            match self.recv_reply(i, seq) {
+                Some(Ok(_)) => assigned.push(i),
+                Some(Err(e)) => return Err(e),
+                None => continue, // died mid-insert; try the next backend
+            }
+        }
+        if assigned.is_empty() {
+            return Err(Error::Unavailable("no live backend accepted the insert".into()));
+        }
+        self.directory.insert(key, assigned);
+        Ok(Response::with_affected(1, Default::default()))
+    }
 }
 
 impl Kernel for Controller {
     fn create_file(&mut self, name: &str) {
-        for b in self.alive() {
-            let _ = b.tx.send(ToBackend::CreateFile(name.to_owned()));
-        }
-        for b in self.alive() {
-            let _ = b.rx.recv();
+        if let Err(e) = self.try_create_file(name) {
+            // The trait's signature is infallible; surface the failure
+            // at the caller's next fallible step instead of losing it.
+            self.pending_error.get_or_insert(e);
         }
     }
 
@@ -149,36 +455,43 @@ impl Kernel for Controller {
     }
 
     fn execute(&mut self, request: &Request) -> Result<Response> {
+        if let Some(e) = self.pending_error.take() {
+            return Err(e);
+        }
         match request {
             Request::Insert { record } => {
-                self.check_unique(record)?;
-                let file = record.file().ok_or(Error::MissingFileKeyword)?.to_owned();
-                let key = self.reserve_key();
-                // Place on the next live backend in the file's rotation.
-                let mut target = self.partitioner.place(&file);
-                let mut guard = 0;
-                while !self.backends[target].alive {
-                    target = self.partitioner.place(&file);
-                    guard += 1;
-                    if guard > self.backends.len() {
-                        return Err(Error::Internal("no live backends".into()));
-                    }
+                let resp = self.insert(record)?;
+                Ok(self.finalize(resp))
+            }
+            Request::Delete { query } => {
+                // Logical affected count: matching keys, deduplicated
+                // across replicas, *before* the broadcast mutates them.
+                let keys = self.matching_keys(query)?;
+                let resp = self.broadcast(request)?;
+                for k in &keys {
+                    self.directory.remove(k);
                 }
-                let b = &self.backends[target];
-                b.tx.send(ToBackend::InsertWithKey(key, record.clone()))
-                    .map_err(|_| Error::Internal("backend channel closed".into()))?;
-                b.rx.recv().map_err(|_| Error::Internal("backend died mid-insert".into()))?
+                self.degraded_dirty = true;
+                let out = Response::with_affected(keys.len(), resp.stats);
+                Ok(self.finalize(out))
+            }
+            Request::Update { query, .. } => {
+                let keys = self.matching_keys(query)?;
+                let resp = self.broadcast(request)?;
+                let out = Response::with_affected(keys.len(), resp.stats);
+                Ok(self.finalize(out))
             }
             Request::Retrieve { query, target, by } if target.has_aggregates() => {
                 // Partial aggregates do not merge (AVG); fetch the
-                // matching records and aggregate globally.
+                // matching records (deduplicated) and aggregate
+                // globally.
                 let rows = self.broadcast(&Request::retrieve_all(query.clone()))?;
                 let mut stats = rows.stats;
                 let groups = aggregate(rows.records(), target, by.as_deref())?;
                 stats.records_returned = groups.len() as u64;
                 let mut resp = Response::with_records(Vec::new(), stats);
                 resp.groups = Some(groups);
-                Ok(resp)
+                Ok(self.finalize(resp))
             }
             Request::RetrieveCommon { left, left_attr, right, right_attr, target } => {
                 // Matching halves may live on different backends; join
@@ -216,9 +529,24 @@ impl Kernel for Controller {
                 })?;
                 let mut out = joined;
                 out.stats += stats;
-                Ok(out)
+                Ok(self.finalize(out))
             }
-            other => self.broadcast(other),
+            other => {
+                let resp = self.broadcast(other)?;
+                Ok(self.finalize(resp))
+            }
+        }
+    }
+
+    fn health(&self) -> KernelHealth {
+        KernelHealth {
+            backends: self.backends.len(),
+            unavailable: self.health.unavailable(),
+            degraded: if self.degraded_dirty {
+                self.compute_degraded()
+            } else {
+                self.degraded_cache
+            },
         }
     }
 }
@@ -226,9 +554,7 @@ impl Kernel for Controller {
 impl Drop for Controller {
     fn drop(&mut self) {
         for b in &mut self.backends {
-            if b.alive {
-                let _ = b.tx.send(ToBackend::Shutdown);
-            }
+            let _ = b.tx.send(ToBackend::Shutdown);
             if let Some(join) = b.join.take() {
                 let _ = join.join();
             }
@@ -236,26 +562,61 @@ impl Drop for Controller {
     }
 }
 
-/// One backend: a private store served over the bus.
-fn backend_loop(rx: Receiver<ToBackend>, tx: Sender<Result<Response>>) {
+fn spawn_backend(index: usize, faults: Arc<Mutex<FaultPlan>>) -> BackendHandle {
+    let (tx, backend_rx) = channel::<ToBackend>();
+    let (backend_tx, rx) = channel::<Reply>();
+    let join = std::thread::Builder::new()
+        .name(format!("mbds-backend-{index}"))
+        .spawn(move || backend_loop(index, backend_rx, backend_tx, faults))
+        .expect("spawn backend thread");
+    BackendHandle { tx, rx, join: Some(join) }
+}
+
+/// One backend: a private store served over the bus, with fault
+/// injection on the per-backend message counter.
+fn backend_loop(
+    index: usize,
+    rx: Receiver<ToBackend>,
+    tx: Sender<Reply>,
+    faults: Arc<Mutex<FaultPlan>>,
+) {
     let mut store = Store::new();
+    let mut handled: u64 = 0;
     while let Ok(msg) = rx.recv() {
-        match msg {
-            ToBackend::CreateFile(name) => {
-                store.create_file(name);
-                let _ = tx.send(Ok(Response::default()));
-            }
-            ToBackend::InsertWithKey(key, record) => {
-                let resp = store
-                    .insert_with_key(key, record)
-                    .map(|()| Response::with_affected(1, Default::default()));
-                let _ = tx.send(resp);
-            }
-            ToBackend::Exec(req) => {
-                let _ = tx.send(store.execute(&req));
-            }
-            ToBackend::Shutdown => return,
+        if matches!(msg, ToBackend::Shutdown) {
+            return;
         }
+        handled += 1;
+        let fault = faults.lock().ok().and_then(|p| p.action(index, handled));
+        match fault {
+            Some(FaultKind::Crash) => return,
+            Some(FaultKind::Panic) => {
+                panic!("injected fault: backend {index} panics at message {handled}")
+            }
+            _ => {}
+        }
+        let (seq, result) = match msg {
+            ToBackend::CreateFile(seq, name) => {
+                store.create_file(name);
+                (seq, Ok(Response::default()))
+            }
+            ToBackend::InsertWithKey(seq, key, record) => (
+                seq,
+                store
+                    .insert_with_key(key, record)
+                    .map(|()| Response::with_affected(1, Default::default())),
+            ),
+            ToBackend::Exec(seq, req) => (seq, store.execute(&req)),
+            ToBackend::Shutdown => unreachable!("handled above"),
+        };
+        match fault {
+            Some(FaultKind::DropReply) => continue,
+            Some(FaultKind::DelayReplyMs(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            _ => {}
+        }
+        let _ = tx.send(Reply { seq, result });
     }
 }
 
@@ -293,12 +654,14 @@ mod tests {
     }
 
     #[test]
-    fn update_and_delete_broadcast() {
+    fn update_and_delete_report_logical_counts() {
         let mut c = Controller::new(3);
         c.create_file("f");
         for i in 0..12 {
             insert(&mut c, "f", i, &[("x", Value::Int(0))]);
         }
+        // With k = 2, twelve records occupy twenty-four replica slots;
+        // the affected counts must still be the logical ones.
         let resp = c.execute(&parse_request("UPDATE ((FILE = f) and (f >= 6)) (x = 1)").unwrap());
         assert_eq!(resp.unwrap().affected, 6);
         let resp = c.execute(&parse_request("DELETE ((FILE = f) and (x = 1))").unwrap()).unwrap();
@@ -319,7 +682,8 @@ mod tests {
         let groups = resp.unwrap().groups.unwrap();
         assert_eq!(groups[0].values[0], Value::Int(10));
         // Global AVG = 4.5; a naive per-backend merge could not produce
-        // this for uneven partitions.
+        // this for uneven partitions — and replicated copies must not
+        // count twice.
         assert_eq!(groups[0].values[1], Value::Float(4.5));
         assert_eq!(groups[0].values[2], Value::Int(9));
     }
@@ -399,7 +763,7 @@ mod tests {
     }
 
     #[test]
-    fn killing_a_backend_loses_only_its_partition() {
+    fn killing_one_backend_loses_nothing_with_replication() {
         let mut c = Controller::new(4);
         c.create_file("f");
         for i in 0..20 {
@@ -408,10 +772,94 @@ mod tests {
         c.kill_backend(2);
         assert_eq!(c.alive_count(), 3);
         let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
-        assert_eq!(resp.records().len(), 15, "one quarter of the records is gone");
+        assert_eq!(resp.records().len(), 20, "replication keeps every record answerable");
+        assert!(!resp.degraded, "one failure with k=2 is not degraded");
+        assert_eq!(resp.unavailable_backends, vec![2]);
         // The system still accepts new work.
         insert(&mut c, "f", 100, &[]);
         let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
-        assert_eq!(resp.records().len(), 16);
+        assert_eq!(resp.records().len(), 21);
+    }
+
+    #[test]
+    fn unreplicated_loss_is_reported_as_degraded() {
+        let mut c = Controller::unreplicated(4);
+        c.create_file("f");
+        for i in 0..20 {
+            insert(&mut c, "f", i, &[]);
+        }
+        c.kill_backend(2);
+        let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 15, "one quarter of the records is gone");
+        assert!(resp.degraded, "the partial answer must be flagged");
+        assert_eq!(resp.unavailable_backends, vec![2]);
+    }
+
+    #[test]
+    fn killing_a_whole_replica_pair_degrades() {
+        let mut c = Controller::new(4);
+        c.create_file("f");
+        for i in 0..20 {
+            insert(&mut c, "f", i, &[]);
+        }
+        // Replica groups are (p, p+1); killing 1 and 2 removes both
+        // copies of the records placed on group (1, 2).
+        c.kill_backend(1);
+        c.kill_backend(2);
+        let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert!(resp.degraded, "both replicas of some records are dead");
+        assert_eq!(resp.unavailable_backends, vec![1, 2]);
+        assert!(resp.records().len() < 20);
+    }
+
+    #[test]
+    fn restart_restores_redundancy() {
+        let mut c = Controller::new(4);
+        c.create_file("f");
+        for i in 0..20 {
+            insert(&mut c, "f", i, &[]);
+        }
+        c.kill_backend(2);
+        c.restart_backend(2).unwrap();
+        assert_eq!(c.alive_count(), 4);
+        let h = c.health();
+        assert!(!h.degraded);
+        assert!(h.unavailable.is_empty());
+        // Full redundancy is back: killing the *neighbor* (which shares
+        // replica pairs with 2) now loses nothing.
+        c.kill_backend(3);
+        let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 20, "second failure after recovery loses nothing");
+        assert!(!resp.degraded);
+    }
+
+    #[test]
+    fn create_file_failure_is_propagated() {
+        let mut c = Controller::new(2);
+        c.kill_backend(0);
+        c.kill_backend(1);
+        assert!(matches!(c.try_create_file("f"), Err(Error::Unavailable(_))));
+        // Through the infallible trait surface, the error arrives at
+        // the next execute.
+        c.create_file("g");
+        let err = c
+            .execute(&parse_request("RETRIEVE (FILE = g) (*)").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)));
+    }
+
+    #[test]
+    fn crash_fault_is_survived_and_detected() {
+        let mut c = Controller::new(3);
+        c.set_reply_timeout(Duration::from_millis(100));
+        c.create_file("f");
+        // Backend 1 crashes on its 5th message.
+        c.set_fault_plan(FaultPlan::new().with(1, 5, FaultKind::Crash));
+        for i in 0..20 {
+            insert(&mut c, "f", i, &[]);
+        }
+        assert_eq!(c.alive_count(), 2, "the crash was detected");
+        let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 20, "no record was lost to the crash");
     }
 }

@@ -1,0 +1,116 @@
+//! Per-backend failure detection: the Alive → Suspect → Dead state
+//! machine driven by the controller's send/receive outcomes.
+//!
+//! The 1987 MBDS assumed a perfectly reliable bus and perfectly
+//! reliable backends; this module is the substitute failure detector a
+//! production deployment needs. The controller consults the board
+//! before every broadcast, demotes a backend one step per missed reply
+//! window (`Alive → Suspect`, `Suspect → Dead`), demotes straight to
+//! `Dead` on a closed channel, and promotes `Suspect → Alive` when a
+//! tardy reply does arrive. `Dead` is terminal until an explicit
+//! `restart_backend`.
+
+/// Health of one backend as observed by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendState {
+    /// Responding normally.
+    Alive,
+    /// Missed one reply window; still tried, one more miss kills it.
+    Suspect,
+    /// Channel closed or repeatedly unresponsive; excluded from service
+    /// until restarted.
+    Dead,
+}
+
+/// The controller's view of every backend's health.
+#[derive(Debug, Clone)]
+pub struct HealthBoard {
+    states: Vec<BackendState>,
+}
+
+impl HealthBoard {
+    /// A board of `n` backends, all alive.
+    pub fn new(n: usize) -> Self {
+        HealthBoard { states: vec![BackendState::Alive; n] }
+    }
+
+    /// Current state of backend `i`.
+    pub fn state(&self, i: usize) -> BackendState {
+        self.states[i]
+    }
+
+    /// True unless backend `i` is dead (suspects are still served).
+    pub fn is_serving(&self, i: usize) -> bool {
+        self.states[i] != BackendState::Dead
+    }
+
+    /// Number of backends not dead.
+    pub fn serving_count(&self) -> usize {
+        self.states.iter().filter(|s| **s != BackendState::Dead).count()
+    }
+
+    /// Indexes of dead backends, ascending.
+    pub fn unavailable(&self) -> Vec<usize> {
+        (0..self.states.len()).filter(|&i| self.states[i] == BackendState::Dead).collect()
+    }
+
+    /// A reply window elapsed without an answer from `i`: demote one
+    /// step. Returns the new state so the caller can decide whether to
+    /// wait one more window (`Suspect`) or give up (`Dead`).
+    pub fn missed_reply(&mut self, i: usize) -> BackendState {
+        self.states[i] = match self.states[i] {
+            BackendState::Alive => BackendState::Suspect,
+            _ => BackendState::Dead,
+        };
+        self.states[i]
+    }
+
+    /// The channel to `i` is closed (send failed, receiver dropped, or
+    /// the worker thread exited): immediately dead.
+    pub fn channel_closed(&mut self, i: usize) {
+        self.states[i] = BackendState::Dead;
+    }
+
+    /// A reply arrived from `i`: a suspect is vindicated. Dead backends
+    /// stay dead — only [`restarted`](Self::restarted) revives them.
+    pub fn reply_received(&mut self, i: usize) {
+        if self.states[i] == BackendState::Suspect {
+            self.states[i] = BackendState::Alive;
+        }
+    }
+
+    /// Backend `i` was restarted with a fresh worker.
+    pub fn restarted(&mut self, i: usize) {
+        self.states[i] = BackendState::Alive;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demotion_is_stepwise_and_recovery_explicit() {
+        let mut board = HealthBoard::new(2);
+        assert_eq!(board.missed_reply(0), BackendState::Suspect);
+        assert!(board.is_serving(0), "suspects are still tried");
+        board.reply_received(0);
+        assert_eq!(board.state(0), BackendState::Alive);
+        board.missed_reply(0);
+        assert_eq!(board.missed_reply(0), BackendState::Dead);
+        board.reply_received(0);
+        assert_eq!(board.state(0), BackendState::Dead, "stale replies do not revive the dead");
+        board.restarted(0);
+        assert_eq!(board.state(0), BackendState::Alive);
+        assert_eq!(board.unavailable(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn closed_channel_skips_suspect() {
+        let mut board = HealthBoard::new(3);
+        board.channel_closed(1);
+        assert_eq!(board.state(1), BackendState::Dead);
+        assert_eq!(board.serving_count(), 2);
+        assert_eq!(board.unavailable(), vec![1]);
+    }
+}

@@ -34,6 +34,21 @@
 //!   per-backend disk-block counters (`max` over backends + bus and
 //!   merge costs), exactly the quantity whose *shape* the two claims
 //!   describe.
+//!
+//! Beyond the 1987 design, both kernels are *fault tolerant*:
+//!
+//! * records are placed on **k-way replica groups** (default k = 2) and
+//!   reads deduplicate by database key, so replicated answers equal a
+//!   single store's byte-for-byte;
+//! * the controller detects failures with reply timeouts and the
+//!   [`HealthBoard`] (Alive → Suspect → Dead), keeps serving from
+//!   survivors, reports `degraded`/`unavailable_backends` on every
+//!   response, and `restart_backend` re-replicates lost records from
+//!   surviving replicas;
+//! * a seeded, deterministic [`FaultPlan`] injects reply drops, delays,
+//!   crashes and panics at exact per-backend message counts —
+//!   bit-identical across runs in both the threaded and the simulated
+//!   kernel (experiment E13).
 
 //! ## Example
 //!
@@ -56,9 +71,13 @@
 //! ```
 
 mod controller;
+pub mod fault;
+pub mod health;
 mod placement;
 mod sim;
 
-pub use controller::Controller;
+pub use controller::{Controller, DEFAULT_REPLICATION};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use health::{BackendState, HealthBoard};
 pub use placement::Partitioner;
 pub use sim::{CostModel, SimCluster};

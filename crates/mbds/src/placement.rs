@@ -33,6 +33,18 @@ impl Partitioner {
         *slot = (*slot + 1) % self.backends;
         chosen
     }
+
+    /// The replica group for the next record of `file`: the primary
+    /// from the round-robin rotation plus the `k - 1` following
+    /// backends (mod n, all distinct). `k` is clamped to the backend
+    /// count. Deterministic and independent of backend health — the
+    /// controller substitutes live backends for dead group members so
+    /// the preferred layout is restored after recovery.
+    pub fn place_group(&mut self, file: &str, k: usize) -> Vec<usize> {
+        let primary = self.place(file);
+        let k = k.clamp(1, self.backends);
+        (0..k).map(|j| (primary + j) % self.backends).collect()
+    }
 }
 
 #[cfg(test)]
@@ -52,5 +64,17 @@ mod tests {
     #[should_panic(expected = "at least one backend")]
     fn zero_backends_is_rejected() {
         let _ = Partitioner::new(0);
+    }
+
+    #[test]
+    fn replica_groups_are_distinct_and_rotate() {
+        let mut p = Partitioner::new(4);
+        assert_eq!(p.place_group("f", 2), vec![0, 1]);
+        assert_eq!(p.place_group("f", 2), vec![1, 2]);
+        assert_eq!(p.place_group("f", 2), vec![2, 3]);
+        assert_eq!(p.place_group("f", 2), vec![3, 0]);
+        // k is clamped to the backend count.
+        let mut p = Partitioner::new(2);
+        assert_eq!(p.place_group("f", 5), vec![0, 1]);
     }
 }

@@ -21,13 +21,23 @@
 //! growing the response size proportionally with the backends leaves
 //! the per-backend phase — and the response time — invariant.
 //!
+//! The simulator mirrors the threaded controller's availability
+//! machinery exactly: k-way replicated placement with dedup-by-key
+//! merging, `kill_backend`/`restart_backend` (recovery is charged in
+//! simulated time), degraded-mode reporting, and the same
+//! [`FaultPlan`] applied on the same per-backend message counters — so
+//! a seeded fault schedule produces bit-identical results in both
+//! kernels.
+//!
 //! The parameters are calibrated to 1980s hardware orders of magnitude
 //! (a ~30 ms track read, millisecond-scale bus messages); only the
 //! *shape* of the curves matters for the reproduction.
 
+use crate::controller::DEFAULT_REPLICATION;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::placement::Partitioner;
 use abdl::engine::aggregate;
-use abdl::{DbKey, Error, Kernel, Record, Request, Response, Result, Store};
+use abdl::{DbKey, Error, Kernel, KernelHealth, Record, Request, Response, Result, Store};
 use std::collections::HashMap;
 
 /// Cost-model parameters (microseconds).
@@ -54,10 +64,19 @@ impl Default for CostModel {
 /// times. Implements [`Kernel`], so whole MLDS workloads run on it.
 pub struct SimCluster {
     backends: Vec<Store>,
+    alive: Vec<bool>,
     partitioner: Partitioner,
+    replication: usize,
     next_key: u64,
     cost: CostModel,
     unique_groups: HashMap<String, Vec<Vec<String>>>,
+    files: Vec<String>,
+    directory: HashMap<DbKey, Vec<usize>>,
+    faults: FaultPlan,
+    /// Messages each backend has processed, mirroring the threaded
+    /// workers' 1-based counters (creates, inserts and execs all
+    /// count); drives [`FaultPlan`] lookups.
+    msg_counts: Vec<u64>,
     /// Simulated time of the last executed request (µs).
     last_response_us: f64,
     /// Accumulated simulated time (µs).
@@ -66,29 +85,119 @@ pub struct SimCluster {
 }
 
 impl SimCluster {
-    /// A cluster of `n` backends with the default cost model.
+    /// A cluster of `n` backends with the default cost model and the
+    /// default replication factor (2, clamped to `n`).
     pub fn new(n: usize) -> Self {
-        SimCluster::with_cost(n, CostModel::default())
+        SimCluster::with_config(n, DEFAULT_REPLICATION.min(n), CostModel::default())
     }
 
-    /// A cluster of `n` backends with an explicit cost model.
+    /// An unreplicated (k = 1) cluster: the paper's original MBDS
+    /// layout, used by the scaling experiments whose claims are about
+    /// partitioning, not redundancy.
+    pub fn unreplicated(n: usize) -> Self {
+        SimCluster::with_config(n, 1, CostModel::default())
+    }
+
+    /// A cluster of `n` backends with an explicit cost model and the
+    /// default replication factor.
     pub fn with_cost(n: usize, cost: CostModel) -> Self {
+        SimCluster::with_config(n, DEFAULT_REPLICATION.min(n), cost)
+    }
+
+    /// Full control: `n` backends, `k` copies per record, explicit cost
+    /// model.
+    pub fn with_config(n: usize, k: usize, cost: CostModel) -> Self {
         assert!(n > 0, "MBDS needs at least one backend");
+        assert!((1..=n).contains(&k), "replication factor must be in 1..=n, got {k}");
         SimCluster {
             backends: (0..n).map(|_| Store::new()).collect(),
+            alive: vec![true; n],
             partitioner: Partitioner::new(n),
+            replication: k,
             next_key: 1,
             cost,
             unique_groups: HashMap::new(),
+            files: Vec::new(),
+            directory: HashMap::new(),
+            faults: FaultPlan::new(),
+            msg_counts: vec![0; n],
             last_response_us: 0.0,
             total_us: 0.0,
             requests_executed: 0,
         }
     }
 
-    /// Number of backends.
+    /// Number of backends (alive or dead).
     pub fn backend_count(&self) -> usize {
         self.backends.len()
+    }
+
+    /// Number of backends currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Copies kept per record.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Install a fault plan (same semantics and message counters as the
+    /// threaded controller's).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Failure injection: backend `i` is gone and its store with it
+    /// (mirroring a killed worker thread).
+    pub fn kill_backend(&mut self, i: usize) {
+        if i < self.alive.len() {
+            self.alive[i] = false;
+        }
+    }
+
+    /// Recovery: bring backend `i` back with an empty store, replay the
+    /// schema, and re-replicate its records from surviving replicas.
+    /// The recovery traffic is charged in simulated time, so E13 can
+    /// measure recovery cost against data volume.
+    pub fn restart_backend(&mut self, i: usize) -> Result<()> {
+        if i >= self.backends.len() {
+            return Err(Error::Internal(format!("no such backend {i}")));
+        }
+        if self.alive[i] {
+            return Ok(());
+        }
+        self.backends[i] = Store::new();
+        self.alive[i] = true;
+        for file in &self.files {
+            self.msg_counts[i] += 1;
+            self.backends[i].create_file(file);
+        }
+        // Anti-entropy from the directory: copy each record this
+        // backend should hold from any surviving replica.
+        let mut copied = 0u64;
+        let keys: Vec<(DbKey, Vec<usize>)> = self
+            .directory
+            .iter()
+            .filter(|(_, group)| group.contains(&i))
+            .map(|(k, g)| (*k, g.clone()))
+            .collect();
+        for (key, group) in keys {
+            let Some(donor) = group.iter().copied().find(|&j| j != i && self.alive[j]) else {
+                continue; // both replicas were lost; nothing to copy
+            };
+            let Some(rec) = self.backends[donor].get(key).cloned() else { continue };
+            self.msg_counts[i] += 1;
+            self.backends[i].insert_with_key(key, rec)?;
+            copied += 1;
+        }
+        // Schema replay + per-record copy messages, then the restarted
+        // backend writes the copied blocks while donors read them in
+        // parallel.
+        let mut busy = vec![0.0; self.backends.len()];
+        busy[i] = copied as f64 * self.cost.block_time_us;
+        self.charge(&busy);
+        Ok(())
     }
 
     /// Simulated response time of the most recent request, µs.
@@ -113,9 +222,9 @@ impl SimCluster {
         self.requests_executed = 0;
     }
 
-    /// Total records stored.
+    /// Total records stored across backends (replicas counted once).
     pub fn len(&self) -> usize {
-        self.backends.iter().map(Store::len).sum()
+        self.directory.len()
     }
 
     /// True when no records are stored.
@@ -134,19 +243,85 @@ impl SimCluster {
         self.requests_executed += 1;
     }
 
+    /// Deliver one message to backend `i`, mirroring the threaded
+    /// fault semantics: `Crash`/`Panic` kill the backend before it
+    /// executes; `DropReply` executes but the controller never hears
+    /// back (and gives the backend up for dead); `DelayReplyMs` arrives
+    /// late, charged on the clock. Returns the reply, or `None` when
+    /// the controller gets nothing.
+    fn deliver<F: FnOnce(&mut Store) -> Result<Response>>(
+        &mut self,
+        i: usize,
+        extra_busy_us: &mut f64,
+        op: F,
+    ) -> Option<Result<Response>> {
+        self.msg_counts[i] += 1;
+        let fault = self.faults.action(i, self.msg_counts[i]);
+        match fault {
+            Some(FaultKind::Crash) | Some(FaultKind::Panic) => {
+                self.alive[i] = false;
+                return None;
+            }
+            _ => {}
+        }
+        let result = op(&mut self.backends[i]);
+        match fault {
+            Some(FaultKind::DropReply) => {
+                self.alive[i] = false;
+                None
+            }
+            Some(FaultKind::DelayReplyMs(ms)) => {
+                *extra_busy_us += ms as f64 * 1000.0;
+                Some(result)
+            }
+            _ => Some(result),
+        }
+    }
+
     fn broadcast(&mut self, request: &Request) -> Result<Response> {
+        if self.alive_count() == 0 {
+            return Err(Error::Unavailable("no live backends".into()));
+        }
         let mut merged = Response::default();
         let mut busy = Vec::with_capacity(self.backends.len());
-        for b in &mut self.backends {
-            let resp = b.execute(request)?;
-            busy.push(
-                resp.stats.blocks_touched as f64 * self.cost.block_time_us
-                    + resp.stats.records_returned as f64 * self.cost.record_time_us,
-            );
-            merged.merge(resp);
+        let mut first_err = None;
+        for i in 0..self.backends.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let mut extra = 0.0;
+            match self.deliver(i, &mut extra, |b| b.execute(request)) {
+                Some(Ok(resp)) => {
+                    busy.push(
+                        resp.stats.blocks_touched as f64 * self.cost.block_time_us
+                            + resp.stats.records_returned as f64 * self.cost.record_time_us
+                            + extra,
+                    );
+                    merged.merge(resp);
+                }
+                Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                Some(Err(_)) => {}
+                None => {} // dead mid-round; survivors carry the answer
+            }
         }
         self.charge(&busy);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        merged.dedup_by_key();
         Ok(merged)
+    }
+
+    fn finalize(&self, mut resp: Response) -> Response {
+        let h = self.health();
+        resp.degraded = h.degraded;
+        resp.unavailable_backends = h.unavailable;
+        resp
+    }
+
+    fn matching_keys(&mut self, query: &abdl::Query) -> Result<Vec<DbKey>> {
+        let resp = self.broadcast(&Request::retrieve_all(query.clone()))?;
+        Ok(resp.records().iter().map(|(k, _)| *k).collect())
     }
 
     fn check_unique(&mut self, record: &Record) -> Result<()> {
@@ -175,12 +350,62 @@ impl SimCluster {
         }
         Ok(())
     }
+
+    fn insert(&mut self, record: &Record) -> Result<Response> {
+        self.check_unique(record)?;
+        let file = record.file().ok_or(Error::MissingFileKeyword)?.to_owned();
+        let key = self.reserve_key();
+        let group = self.partitioner.place_group(&file, self.replication);
+        let primary = group[0];
+        let n = self.backends.len();
+        let mut assigned = Vec::new();
+        let mut busy = vec![0.0; n];
+        for j in 0..n {
+            if assigned.len() == self.replication {
+                break;
+            }
+            let i = (primary + j) % n;
+            if !self.alive[i] {
+                continue;
+            }
+            let mut extra = 0.0;
+            let rec = record.clone();
+            match self.deliver(i, &mut extra, move |b| {
+                b.insert_with_key(key, rec)
+                    .map(|()| Response::with_affected(1, Default::default()))
+            }) {
+                Some(Ok(_)) => {
+                    busy[i] = self.cost.block_time_us + extra;
+                    assigned.push(i);
+                }
+                Some(Err(e)) => return Err(e),
+                None => continue,
+            }
+        }
+        if assigned.is_empty() {
+            return Err(Error::Unavailable("no live backend accepted the insert".into()));
+        }
+        self.directory.insert(key, assigned);
+        self.charge(&busy);
+        Ok(Response::with_affected(1, Default::default()))
+    }
 }
 
 impl Kernel for SimCluster {
     fn create_file(&mut self, name: &str) {
-        for b in &mut self.backends {
-            b.create_file(name);
+        if !self.files.iter().any(|f| f == name) {
+            self.files.push(name.to_owned());
+        }
+        for i in 0..self.backends.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let name = name.to_owned();
+            let mut extra = 0.0;
+            let _ = self.deliver(i, &mut extra, move |b| {
+                b.create_file(name);
+                Ok(Response::default())
+            });
         }
     }
 
@@ -197,16 +422,23 @@ impl Kernel for SimCluster {
     fn execute(&mut self, request: &Request) -> Result<Response> {
         match request {
             Request::Insert { record } => {
-                self.check_unique(record)?;
-                let file = record.file().ok_or(Error::MissingFileKeyword)?.to_owned();
-                let key = self.reserve_key();
-                let target = self.partitioner.place(&file);
-                self.backends[target].insert_with_key(key, record.clone())?;
-                // One message out, one block written, one ack.
-                let mut busy = vec![0.0; self.backends.len()];
-                busy[target] = self.cost.block_time_us;
-                self.charge(&busy);
-                Ok(Response::with_affected(1, Default::default()))
+                let resp = self.insert(record)?;
+                Ok(self.finalize(resp))
+            }
+            Request::Delete { query } => {
+                let keys = self.matching_keys(query)?;
+                let resp = self.broadcast(request)?;
+                for k in &keys {
+                    self.directory.remove(k);
+                }
+                let out = Response::with_affected(keys.len(), resp.stats);
+                Ok(self.finalize(out))
+            }
+            Request::Update { query, .. } => {
+                let keys = self.matching_keys(query)?;
+                let resp = self.broadcast(request)?;
+                let out = Response::with_affected(keys.len(), resp.stats);
+                Ok(self.finalize(out))
             }
             Request::Retrieve { query, target, by } if target.has_aggregates() => {
                 let rows = self.broadcast(&Request::retrieve_all(query.clone()))?;
@@ -215,10 +447,59 @@ impl Kernel for SimCluster {
                 stats.records_returned = groups.len() as u64;
                 let mut resp = Response::with_records(Vec::new(), stats);
                 resp.groups = Some(groups);
-                Ok(resp)
+                Ok(self.finalize(resp))
             }
-            other => self.broadcast(other),
+            Request::RetrieveCommon { left, left_attr, right, right_attr, target } => {
+                // Matching halves may live on different backends; join
+                // at the controller over the merged partials (same
+                // scratch-store technique as the threaded controller).
+                let l = self.broadcast(&Request::retrieve_all(left.clone()))?;
+                let r = self.broadcast(&Request::retrieve_all(right.clone()))?;
+                let mut joiner = Store::new();
+                for (key, rec) in l.records() {
+                    let mut rec = rec.clone();
+                    rec.set(abdl::FILE_ATTR, abdl::Value::str("__mbds_left"));
+                    joiner.insert_with_key(DbKey(key.0 * 2), rec)?;
+                }
+                for (key, rec) in r.records() {
+                    let mut rec = rec.clone();
+                    rec.set(abdl::FILE_ATTR, abdl::Value::str("__mbds_right"));
+                    joiner.insert_with_key(DbKey(key.0 * 2 + 1), rec)?;
+                }
+                let mut stats = l.stats;
+                stats += r.stats;
+                let joined = joiner.execute(&Request::RetrieveCommon {
+                    left: abdl::Query::conjunction(vec![abdl::Predicate::eq(
+                        abdl::FILE_ATTR,
+                        "__mbds_left",
+                    )]),
+                    left_attr: left_attr.clone(),
+                    right: abdl::Query::conjunction(vec![abdl::Predicate::eq(
+                        abdl::FILE_ATTR,
+                        "__mbds_right",
+                    )]),
+                    right_attr: right_attr.clone(),
+                    target: target.clone(),
+                })?;
+                let mut out = joined;
+                out.stats += stats;
+                Ok(self.finalize(out))
+            }
+            other => {
+                let resp = self.broadcast(other)?;
+                Ok(self.finalize(resp))
+            }
         }
+    }
+
+    fn health(&self) -> KernelHealth {
+        let unavailable: Vec<usize> =
+            (0..self.alive.len()).filter(|&i| !self.alive[i]).collect();
+        let degraded = self
+            .directory
+            .values()
+            .any(|group| group.iter().all(|&r| !self.alive[r]));
+        KernelHealth { backends: self.backends.len(), unavailable, degraded }
     }
 }
 
@@ -249,13 +530,13 @@ mod tests {
     /// Claim 1: fixed database, growing backends → response time falls
     /// nearly reciprocally. The selection predicate is a key range,
     /// which round-robin placement spreads evenly over any backend
-    /// count.
+    /// count. Unreplicated — the claim is about partitioning.
     #[test]
     fn response_time_falls_reciprocally_with_backends() {
         let query = parse_request("RETRIEVE ((FILE = f) and (f < 4000)) (*)").unwrap();
         let mut times = Vec::new();
         for n in [1usize, 2, 4, 8] {
-            let mut cluster = SimCluster::with_cost(n, shape_cost());
+            let mut cluster = SimCluster::with_config(n, 1, shape_cost());
             load(&mut cluster, 40_000);
             cluster.execute(&query).unwrap();
             times.push(cluster.last_response_us());
@@ -283,7 +564,7 @@ mod tests {
             let query =
                 parse_request(&format!("RETRIEVE ((FILE = f) and (f < {})) (*)", 100 * n))
                     .unwrap();
-            let mut cluster = SimCluster::with_cost(n, shape_cost());
+            let mut cluster = SimCluster::with_config(n, 1, shape_cost());
             load(&mut cluster, 1_000 * n);
             cluster.execute(&query).unwrap();
             times.push(cluster.last_response_us());
@@ -299,7 +580,7 @@ mod tests {
     }
 
     /// The simulator returns exactly the same answers as a single
-    /// store — simulation only changes the clock.
+    /// store — simulation (and replication) only changes the clock.
     #[test]
     fn sim_results_match_single_store() {
         let mut single = Store::new();
@@ -336,5 +617,63 @@ mod tests {
         assert!(cluster.last_response_us() > 0.0);
         assert_eq!(cluster.total_us(), cluster.last_response_us());
         assert_eq!(cluster.requests_executed(), 1);
+    }
+
+    #[test]
+    fn kill_and_restart_mirror_the_threaded_controller() {
+        let mut sim = SimCluster::new(4);
+        load(&mut sim, 20);
+        sim.kill_backend(2);
+        let resp = sim.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 20, "replication keeps every record answerable");
+        assert!(!resp.degraded);
+        assert_eq!(resp.unavailable_backends, vec![2]);
+
+        let before = sim.total_us();
+        sim.restart_backend(2).unwrap();
+        assert!(sim.total_us() > before, "recovery costs simulated time");
+        assert!(!sim.health().degraded);
+
+        // Redundancy is restored: a second, different failure loses
+        // nothing.
+        sim.kill_backend(3);
+        let resp = sim.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 20, "second failure after recovery loses nothing");
+        assert!(!resp.degraded);
+    }
+
+    #[test]
+    fn losing_a_whole_replica_group_is_degraded_not_silent() {
+        let mut sim = SimCluster::new(4);
+        load(&mut sim, 20);
+        sim.kill_backend(1);
+        sim.kill_backend(2);
+        let resp = sim.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert!(resp.records().len() < 20);
+        assert!(resp.degraded, "partial answers must be flagged");
+        assert_eq!(resp.unavailable_backends, vec![1, 2]);
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_bit_identical_across_runs() {
+        let run = || {
+            let mut sim = SimCluster::new(5);
+            sim.set_fault_plan(FaultPlan::seeded(7, 5, 40));
+            sim.create_file("f");
+            let mut out = Vec::new();
+            for i in 0..30i64 {
+                let mut rec = Record::from_pairs([("FILE", Value::str("f"))]);
+                rec.set("f", Value::Int(i));
+                let _ = sim.execute(&Request::Insert { record: rec });
+                if i % 5 == 0 {
+                    let resp = sim
+                        .execute(&parse_request("RETRIEVE (FILE = f) (COUNT(f))").unwrap())
+                        .unwrap();
+                    out.push(format!("{:?} {:?}", resp.groups, resp.unavailable_backends));
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run(), "same seed, same failure schedule, same answers");
     }
 }

@@ -89,6 +89,9 @@ impl<'a, K: Kernel> NamespacedKernel<'a, K> {
         let mut out = Response::with_records(records, resp.stats);
         out.groups = resp.groups.take();
         out.affected = resp.affected;
+        // Namespacing must not hide the kernel's availability view.
+        out.degraded = resp.degraded;
+        out.unavailable_backends = std::mem::take(&mut resp.unavailable_backends);
         out
     }
 }
@@ -112,6 +115,10 @@ impl<K: Kernel> Kernel for NamespacedKernel<'_, K> {
         let mapped = self.map_request_in(request);
         let resp = self.inner.execute(&mapped)?;
         Ok(self.map_response_out(resp))
+    }
+
+    fn health(&self) -> abdl::engine::KernelHealth {
+        self.inner.health()
     }
 }
 

@@ -17,6 +17,10 @@ pub struct StatementOutput {
     pub display: String,
     /// Records affected by a mutation.
     pub affected: usize,
+    /// True when the kernel answered in degraded mode: some records
+    /// have no live replica, so results may be incomplete until a
+    /// backend is restarted (always `false` on a single-site kernel).
+    pub degraded: bool,
 }
 
 /// A CODASYL-DML session: the `dml_info` of the thesis — currency

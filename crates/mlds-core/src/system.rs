@@ -89,6 +89,14 @@ impl<K: Kernel> Mlds<K> {
         &mut self.kernel
     }
 
+    /// The kernel's availability view: backend count, unavailable
+    /// backends, and whether any record currently has no live replica
+    /// (degraded mode). A single-site kernel always reports one healthy
+    /// backend.
+    pub fn health(&self) -> abdl::engine::KernelHealth {
+        self.kernel.health()
+    }
+
     /// Names of all loaded databases (network first, then functional —
     /// LIL's search order).
     pub fn database_names(&self) -> Vec<&str> {
@@ -266,6 +274,7 @@ impl<K: Kernel> Mlds<K> {
                 abdl: rs.requests.iter().map(ToString::to_string).collect(),
                 display: rs.to_string(),
                 affected: rs.affected.max(rs.rows.len()),
+                degraded: self.kernel.health().degraded,
             });
         }
         Ok(out)
@@ -307,6 +316,7 @@ impl<K: Kernel> Mlds<K> {
                 abdl: res.requests.iter().map(ToString::to_string).collect(),
                 display,
                 affected: res.affected,
+                degraded: self.kernel.health().degraded,
             });
         }
         Ok(out)
@@ -416,6 +426,7 @@ impl<K: Kernel> Mlds<K> {
             abdl: out.requests.iter().map(ToString::to_string).collect(),
             display,
             affected: out.affected,
+            degraded: self.kernel.health().degraded,
         })
     }
 
@@ -475,6 +486,7 @@ impl<K: Kernel> Mlds<K> {
                 abdl: Vec::new(),
                 display,
                 affected,
+                degraded: self.kernel.health().degraded,
             });
         }
         Ok(outputs)

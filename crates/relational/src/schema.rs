@@ -1,11 +1,10 @@
 //! The relational schema: tables, columns, primary keys.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A column type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ColType {
     /// `INTEGER`.
     Int,
@@ -29,7 +28,7 @@ impl fmt::Display for ColType {
 }
 
 /// A column declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name.
     pub name: String,
@@ -57,7 +56,7 @@ impl Column {
 }
 
 /// A table declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Table name.
     pub name: String,
@@ -83,7 +82,7 @@ impl Table {
 }
 
 /// A relational database schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RelSchema {
     /// Database name.
     pub name: String,

@@ -1,9 +1,13 @@
-//! Property tests for the SQL interface: WHERE-clause translation
-//! agrees with a naive row-by-row reference evaluator.
+//! Randomized property tests for the SQL interface: WHERE-clause
+//! translation agrees with a naive row-by-row reference evaluator.
+//! Inputs come from the in-tree seeded PRNG so failures reproduce
+//! exactly.
 
+use abdl::prng::Prng;
 use abdl::{RelOp, Store, Value};
-use proptest::prelude::*;
 use relational::{ddl, dml, SqlTranslator};
+
+const CASES: u64 = 64;
 
 const SCHEMA: &str = "
 CREATE DATABASE prop;
@@ -21,8 +25,12 @@ struct Row {
     c: String,
 }
 
-fn arb_row() -> impl Strategy<Value = Row> {
-    ((-10i64..10), (-10i64..10), "[a-c]{1,3}").prop_map(|(a, b, c)| Row { a, b, c })
+fn gen_text(rng: &mut Prng) -> String {
+    (0..1 + rng.index(3)).map(|_| (b'a' + rng.index(3) as u8) as char).collect()
+}
+
+fn gen_row(rng: &mut Prng) -> Row {
+    Row { a: rng.gen_range(-10, 10), b: rng.gen_range(-10, 10), c: gen_text(rng) }
 }
 
 #[derive(Debug, Clone)]
@@ -33,21 +41,13 @@ struct Pred {
     text: String,
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    (
-        0usize..3,
-        prop_oneof![
-            Just(RelOp::Eq),
-            Just(RelOp::Ne),
-            Just(RelOp::Lt),
-            Just(RelOp::Le),
-            Just(RelOp::Gt),
-            Just(RelOp::Ge),
-        ],
-        -10i64..10,
-        "[a-c]{1,3}",
-    )
-        .prop_map(|(col, op, int, text)| Pred { col, op, int, text })
+fn gen_pred(rng: &mut Prng) -> Pred {
+    Pred {
+        col: rng.index(3),
+        op: [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge][rng.index(6)],
+        int: rng.gen_range(-10, 10),
+        text: gen_text(rng),
+    }
 }
 
 fn pred_sql(p: &Pred) -> String {
@@ -76,91 +76,81 @@ fn pred_eval(p: &Pred, row: &Row) -> bool {
     p.op.eval(&lhs, &rhs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn fixture_with_rows(rows: &[Row]) -> (SqlTranslator, Store) {
+    let schema = ddl::parse_schema(SCHEMA).unwrap();
+    let mut store = Store::new();
+    relational::ab_map::install(&schema, &mut store);
+    let t = SqlTranslator::new(schema);
+    for r in rows {
+        let stmt = dml::parse_statement_str(&format!(
+            "INSERT INTO t (a, b, c) VALUES ({}, {}, '{}');",
+            r.a, r.b, r.c
+        ))
+        .unwrap();
+        t.execute(&mut store, &stmt).unwrap();
+    }
+    (t, store)
+}
 
-    /// SELECT … WHERE (DNF of random predicates) returns exactly the
-    /// rows a direct evaluation of the clause admits.
-    #[test]
-    fn where_clause_matches_reference_semantics(
-        rows in proptest::collection::vec(arb_row(), 0..25),
-        clause in proptest::collection::vec(
-            proptest::collection::vec(arb_pred(), 1..3), 1..3),
-    ) {
-        let schema = ddl::parse_schema(SCHEMA).unwrap();
-        let mut store = Store::new();
-        relational::ab_map::install(&schema, &mut store);
-        let t = SqlTranslator::new(schema);
-        for r in &rows {
-            let stmt = dml::parse_statement_str(&format!(
-                "INSERT INTO t (a, b, c) VALUES ({}, {}, '{}');",
-                r.a, r.b, r.c
-            ))
-            .unwrap();
-            t.execute(&mut store, &stmt).unwrap();
-        }
+/// SELECT … WHERE (DNF of random predicates) returns exactly the rows a
+/// direct evaluation of the clause admits.
+#[test]
+fn where_clause_matches_reference_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5a1_1000 + seed);
+        let rows: Vec<Row> = (0..rng.index(25)).map(|_| gen_row(&mut rng)).collect();
+        let clause: Vec<Vec<Pred>> = (0..1 + rng.index(2))
+            .map(|_| (0..1 + rng.index(2)).map(|_| gen_pred(&mut rng)).collect())
+            .collect();
+        let (t, mut store) = fixture_with_rows(&rows);
         let wher = clause
             .iter()
             .map(|conj| conj.iter().map(pred_sql).collect::<Vec<_>>().join(" AND "))
             .collect::<Vec<_>>()
             .join(" OR ");
-        let stmt = dml::parse_statement_str(&format!("SELECT a, b, c FROM t WHERE {wher};"))
-            .unwrap();
+        let stmt =
+            dml::parse_statement_str(&format!("SELECT a, b, c FROM t WHERE {wher};")).unwrap();
         let got = t.execute(&mut store, &stmt).unwrap().rows.len();
         let expected = rows
             .iter()
             .filter(|r| clause.iter().any(|conj| conj.iter().all(|p| pred_eval(p, r))))
             .count();
-        prop_assert_eq!(got, expected, "WHERE {}", wher);
+        assert_eq!(got, expected, "WHERE {wher} (seed {seed})");
     }
+}
 
-    /// DELETE removes exactly the WHERE-matching rows.
-    #[test]
-    fn delete_matches_reference_semantics(
-        rows in proptest::collection::vec(arb_row(), 0..25),
-        conj in proptest::collection::vec(arb_pred(), 1..3),
-    ) {
-        let schema = ddl::parse_schema(SCHEMA).unwrap();
-        let mut store = Store::new();
-        relational::ab_map::install(&schema, &mut store);
-        let t = SqlTranslator::new(schema);
-        for r in &rows {
-            let stmt = dml::parse_statement_str(&format!(
-                "INSERT INTO t (a, b, c) VALUES ({}, {}, '{}');",
-                r.a, r.b, r.c
-            ))
-            .unwrap();
-            t.execute(&mut store, &stmt).unwrap();
-        }
+/// DELETE removes exactly the WHERE-matching rows.
+#[test]
+fn delete_matches_reference_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5a1_2000 + seed);
+        let rows: Vec<Row> = (0..rng.index(25)).map(|_| gen_row(&mut rng)).collect();
+        let conj: Vec<Pred> = (0..1 + rng.index(2)).map(|_| gen_pred(&mut rng)).collect();
+        let (t, mut store) = fixture_with_rows(&rows);
         let wher = conj.iter().map(pred_sql).collect::<Vec<_>>().join(" AND ");
         let del = dml::parse_statement_str(&format!("DELETE FROM t WHERE {wher};")).unwrap();
         let affected = t.execute(&mut store, &del).unwrap().affected;
         let expected = rows.iter().filter(|r| conj.iter().all(|p| pred_eval(p, r))).count();
-        prop_assert_eq!(affected, expected);
+        assert_eq!(affected, expected, "WHERE {wher} (seed {seed})");
         let rest = dml::parse_statement_str("SELECT a FROM t;").unwrap();
-        prop_assert_eq!(t.execute(&mut store, &rest).unwrap().rows.len(), rows.len() - expected);
+        assert_eq!(
+            t.execute(&mut store, &rest).unwrap().rows.len(),
+            rows.len() - expected,
+            "seed {seed}"
+        );
     }
+}
 
-    /// COUNT via GROUP BY sums to the table size.
-    #[test]
-    fn group_by_count_partitions_the_table(
-        rows in proptest::collection::vec(arb_row(), 1..30),
-    ) {
-        let schema = ddl::parse_schema(SCHEMA).unwrap();
-        let mut store = Store::new();
-        relational::ab_map::install(&schema, &mut store);
-        let t = SqlTranslator::new(schema);
-        for r in &rows {
-            let stmt = dml::parse_statement_str(&format!(
-                "INSERT INTO t (a, b, c) VALUES ({}, {}, '{}');",
-                r.a, r.b, r.c
-            ))
-            .unwrap();
-            t.execute(&mut store, &stmt).unwrap();
-        }
+/// COUNT via GROUP BY sums to the table size.
+#[test]
+fn group_by_count_partitions_the_table() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5a1_3000 + seed);
+        let rows: Vec<Row> = (0..1 + rng.index(29)).map(|_| gen_row(&mut rng)).collect();
+        let (t, mut store) = fixture_with_rows(&rows);
         let stmt = dml::parse_statement_str("SELECT c, COUNT(a) FROM t GROUP BY c;").unwrap();
         let rs = t.execute(&mut store, &stmt).unwrap();
         let total: i64 = rs.rows.iter().filter_map(|r| r[1].as_int()).sum();
-        prop_assert_eq!(total as usize, rows.len());
+        assert_eq!(total as usize, rows.len(), "seed {seed}");
     }
 }

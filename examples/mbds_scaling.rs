@@ -34,7 +34,7 @@ fn main() {
     println!("{:>9} {:>18} {:>9} {:>11}", "backends", "response (ms)", "speedup", "ideal");
     let mut base = None;
     for n in [1usize, 2, 4, 6, 8, 12, 16] {
-        let mut cluster = SimCluster::new(n);
+        let mut cluster = SimCluster::unreplicated(n);
         load(&mut cluster, DB_SIZE);
         cluster.execute(&retrieval(SELECT)).unwrap();
         let ms = cluster.last_response_us() / 1000.0;
@@ -47,7 +47,7 @@ fn main() {
     let mut base = None;
     for n in [1usize, 2, 4, 6, 8, 12, 16] {
         let per_backend = DB_SIZE / 8;
-        let mut cluster = SimCluster::new(n);
+        let mut cluster = SimCluster::unreplicated(n);
         load(&mut cluster, per_backend * n);
         cluster.execute(&retrieval((SELECT / 8) * n as i64)).unwrap();
         let ms = cluster.last_response_us() / 1000.0;

@@ -1,40 +1,48 @@
 //! Failure injection: backend loss under the full MLDS stack, and
 //! malformed-input sweeps across every parser.
+//!
+//! With k-way replicated placement (default k = 2) a single backend
+//! failure must lose *nothing*: the full query suite keeps returning
+//! exactly what a never-failed system would, with `degraded == false`.
+//! Only when every replica of some record is dead may results shrink —
+//! and then the response must say so (`degraded == true`), never return
+//! a silent partial answer.
 
 use mlds::abdl::Kernel;
-use mlds::mbds::Controller;
+use mlds::mbds::{Controller, FaultPlan};
 use mlds::{daplex, Mlds};
+use std::time::Duration;
+
+fn count_courses(m: &mut Mlds<Controller>, s: &mut mlds::CodasylSession) -> usize {
+    let mut n = 0;
+    if m.execute_codasyl(s, "FIND FIRST course WITHIN system_course").is_ok() {
+        n = 1;
+        while m.execute_codasyl(s, "FIND NEXT course WITHIN system_course").is_ok() {
+            n += 1;
+        }
+    }
+    n
+}
 
 #[test]
-fn mlds_survives_backend_loss_with_partial_data() {
+fn mlds_survives_backend_loss_without_data_loss() {
     let mut m = Mlds::multi_backend(4);
     m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
     m.populate_university("university").unwrap();
     let mut s = m.connect_codasyl("u", "university").unwrap();
 
-    // All four courses are visible before the failure.
-    let count_courses = |m: &mut Mlds<Controller>, s: &mut mlds::CodasylSession| {
-        let mut n = 0;
-        if m.execute_codasyl(s, "FIND FIRST course WITHIN system_course").is_ok() {
-            n = 1;
-            while m.execute_codasyl(s, "FIND NEXT course WITHIN system_course").is_ok() {
-                n += 1;
-            }
-        }
-        n
-    };
     assert_eq!(count_courses(&mut m, &mut s), 4);
 
     m.kernel_mut().kill_backend(1);
     assert_eq!(m.kernel_mut().alive_count(), 3);
 
-    // The system keeps answering; one partition's worth of courses is
-    // unavailable (round-robin placed 4 courses on 4 backends).
-    let after = count_courses(&mut m, &mut s);
-    assert!(after < 4, "a partition must be missing, saw {after}");
-    assert!(after >= 2, "only one backend was killed, saw {after}");
+    // Every record had a replica outside backend 1: nothing is lost and
+    // the system does not consider itself degraded.
+    assert_eq!(count_courses(&mut m, &mut s), 4, "replication must hide a single failure");
+    assert!(!m.health().degraded);
+    assert_eq!(m.health().unavailable, vec![1]);
 
-    // New work still executes.
+    // New work still executes (placed on the survivors).
     m.execute_codasyl(
         &mut s,
         "MOVE 'Recovery' TO title IN course\n\
@@ -43,7 +51,70 @@ fn mlds_survives_backend_loss_with_partial_data() {
          STORE course",
     )
     .unwrap();
-    assert_eq!(count_courses(&mut m, &mut s), after + 1);
+    assert_eq!(count_courses(&mut m, &mut s), 5);
+
+    // Recovery restores full redundancy: after restarting backend 1, a
+    // *different* backend can die and still nothing is lost.
+    m.kernel_mut().restart_backend(1).unwrap();
+    assert_eq!(m.kernel_mut().alive_count(), 4);
+    assert!(!m.health().degraded);
+    m.kernel_mut().kill_backend(2);
+    assert_eq!(count_courses(&mut m, &mut s), 5, "second failure after recovery loses nothing");
+    assert!(!m.health().degraded);
+}
+
+#[test]
+fn degraded_mode_is_reported_not_silent() {
+    let mut m = Mlds::multi_backend(4);
+    m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
+    m.populate_university("university").unwrap();
+    let mut s = m.connect_codasyl("u", "university").unwrap();
+
+    // Replica groups are adjacent pairs; killing two adjacent backends
+    // removes both copies of some records.
+    m.kernel_mut().kill_backend(1);
+    m.kernel_mut().kill_backend(2);
+    let h = m.health();
+    assert_eq!(h.unavailable, vec![1, 2]);
+    assert!(h.degraded, "losing a whole replica group must be reported");
+
+    // The flag reaches the per-statement output the language
+    // interfaces hand to the user.
+    let out = m.execute_codasyl(&mut s, "FIND FIRST course WITHIN system_course").unwrap();
+    assert!(out.last().unwrap().degraded);
+}
+
+#[test]
+fn seeded_fault_plan_is_deterministic_in_the_threaded_controller() {
+    let run = || {
+        let mut c = Controller::new(4);
+        c.set_reply_timeout(Duration::from_millis(50));
+        c.set_fault_plan(FaultPlan::seeded(11, 4, 30));
+        c.create_file("f");
+        let mut log = Vec::new();
+        for i in 0..25i64 {
+            let rec = mlds::abdl::Record::from_pairs([("FILE", mlds::abdl::Value::str("f"))])
+                .with("f", mlds::abdl::Value::Int(i));
+            // Inserts may legitimately fail while a fault fires; the
+            // *sequence* of outcomes must be identical across runs.
+            let ins = c.execute(&mlds::abdl::Request::Insert { record: rec });
+            log.push(format!("ins {} {}", i, ins.is_ok()));
+            if i % 5 == 4 {
+                let resp = c
+                    .execute(
+                        &mlds::abdl::parse::parse_request("RETRIEVE (FILE = f) (COUNT(f))")
+                            .unwrap(),
+                    )
+                    .unwrap();
+                log.push(format!(
+                    "count {:?} unavailable {:?} degraded {}",
+                    resp.groups, resp.unavailable_backends, resp.degraded
+                ));
+            }
+        }
+        log
+    };
+    assert_eq!(run(), run(), "same seed, same failure schedule, same answers");
 }
 
 #[test]
@@ -137,10 +208,15 @@ fn killing_all_but_one_backend_still_serves() {
         })
         .unwrap();
     }
+    // Nine records on replica groups (0,1), (1,2), (2,0); killing 0
+    // and 2 leaves only backend 1, which holds the six records of the
+    // two groups it belongs to.
     c.kill_backend(0);
     c.kill_backend(2);
     let resp = c
         .execute(&mlds::abdl::parse::parse_request("RETRIEVE (FILE = f) (*)").unwrap())
         .unwrap();
-    assert_eq!(resp.records().len(), 3, "one third of the data survives");
+    assert_eq!(resp.records().len(), 6, "backend 1's replicas survive");
+    assert!(resp.degraded, "the other three records have no live replica");
+    assert_eq!(resp.unavailable_backends, vec![0, 2]);
 }

@@ -1,26 +1,34 @@
-//! Property-based tests across the whole pipeline: transformer
-//! invariants over randomly generated functional schemas, and CIT
-//! consistency under random navigation sequences.
+//! Randomized property tests across the whole pipeline: transformer
+//! invariants over randomly generated functional schemas, CIT
+//! consistency under random navigation sequences, and parser
+//! robustness. Inputs come from the in-tree seeded PRNG so failures
+//! reproduce exactly.
 
+use mlds::abdl::prng::Prng;
 use mlds::codasyl::schema::{Insertion, Owner, Retention, Selection, SetOrigin};
 use mlds::daplex::{
     BaseKind, EntitySubtype, EntityType, FnRange, Function, FunctionalSchema, NonEntityClass,
     NonEntityType,
 };
 use mlds::{daplex, transform, Mlds};
-use proptest::prelude::*;
 
 // ----- random functional schemas -------------------------------------
 
-fn arb_scalar_range() -> impl Strategy<Value = FnRange> {
-    prop_oneof![
-        (1u16..40).prop_map(|len| FnRange::Str { len }),
-        Just(FnRange::Int),
-        Just(FnRange::Float),
-        Just(FnRange::Bool),
-        proptest::collection::vec("[a-z]{2,8}", 1..4)
-            .prop_map(|literals| FnRange::Enum { literals }),
-    ]
+fn gen_word(rng: &mut Prng, min: usize, max: usize) -> String {
+    let len = min + rng.index(max - min + 1);
+    (0..len).map(|_| (b'a' + rng.index(26) as u8) as char).collect()
+}
+
+fn gen_scalar_range(rng: &mut Prng) -> FnRange {
+    match rng.index(5) {
+        0 => FnRange::Str { len: rng.gen_range(1, 40) as u16 },
+        1 => FnRange::Int,
+        2 => FnRange::Float,
+        3 => FnRange::Bool,
+        _ => FnRange::Enum {
+            literals: (0..1 + rng.index(3)).map(|_| gen_word(rng, 2, 8)).collect(),
+        },
+    }
 }
 
 /// A random but *valid* functional schema: 2–4 entity types named
@@ -28,99 +36,98 @@ fn arb_scalar_range() -> impl Strategy<Value = FnRange> {
 /// functions plus a sprinkling of entity-valued ones. Function names
 /// are globally unique to dodge name collisions and inheritance
 /// shadowing by construction.
-fn arb_schema() -> impl Strategy<Value = FunctionalSchema> {
-    (
-        2usize..=4,                                    // entity count
-        0usize..=3,                                    // subtype count
-        proptest::collection::vec(arb_scalar_range(), 12), // scalar pool
-        proptest::collection::vec(0usize..4, 8),       // entity-fn targets
-        proptest::collection::vec(any::<bool>(), 8),   // set-valued flags
-    )
-        .prop_map(|(n_ent, n_sub, scalars, targets, setflags)| {
-            let mut schema = FunctionalSchema::new("random");
-            schema.non_entities.push(NonEntityType {
-                name: "small".into(),
-                class: NonEntityClass::Base,
-                kind: BaseKind::Int,
-                range: Some((0, 9)),
-                constant: false,
-                value: None,
+fn gen_schema(rng: &mut Prng) -> FunctionalSchema {
+    loop {
+        let n_ent = 2 + rng.index(3);
+        let n_sub = rng.index(4);
+        let mut scalar_iter: Vec<FnRange> = (0..12).map(|_| gen_scalar_range(rng)).collect();
+        scalar_iter.reverse(); // pop() delivers in generation order
+        let targets: Vec<usize> = (0..8).map(|_| rng.index(4)).collect();
+        let setflags: Vec<bool> = (0..8).map(|_| rng.chance(1, 2)).collect();
+
+        let mut schema = FunctionalSchema::new("random");
+        schema.non_entities.push(NonEntityType {
+            name: "small".into(),
+            class: NonEntityClass::Base,
+            kind: BaseKind::Int,
+            range: Some((0, 9)),
+            constant: false,
+            value: None,
+        });
+        let mut fn_no = 0usize;
+        for i in 0..n_ent {
+            let mut functions = vec![Function {
+                name: format!("f{fn_no}"),
+                range: scalar_iter.pop().unwrap_or(FnRange::Int),
+                set_valued: false,
+            }];
+            fn_no += 1;
+            // One extra scalar, possibly set-valued.
+            functions.push(Function {
+                name: format!("f{fn_no}"),
+                range: scalar_iter.pop().unwrap_or(FnRange::Int),
+                set_valued: setflags.get(i).copied().unwrap_or(false),
             });
-            let mut fn_no = 0usize;
-            let mut scalar_iter = scalars.into_iter();
-            for i in 0..n_ent {
-                let mut functions = vec![Function {
-                    name: format!("f{fn_no}"),
-                    range: scalar_iter.next().unwrap_or(FnRange::Int),
-                    set_valued: false,
-                }];
-                fn_no += 1;
-                // One extra scalar, possibly set-valued.
-                functions.push(Function {
-                    name: format!("f{fn_no}"),
-                    range: scalar_iter.next().unwrap_or(FnRange::Int),
-                    set_valued: setflags.get(i).copied().unwrap_or(false),
-                });
-                fn_no += 1;
-                schema.entities.push(EntityType { name: format!("e{i}"), functions });
-            }
-            // Entity-valued functions between entity types.
-            for (i, &target) in targets.iter().take(n_ent).enumerate() {
-                let target = target % n_ent;
-                let set_valued = setflags.get(i + 4).copied().unwrap_or(false);
-                let fname = format!("f{fn_no}");
-                fn_no += 1;
-                schema.entities[i].functions.push(Function {
-                    name: fname,
-                    range: FnRange::Entity(format!("e{target}")),
-                    set_valued,
-                });
-            }
-            for j in 0..n_sub {
-                let sup = format!("e{}", j % n_ent);
-                let functions = vec![Function {
-                    name: format!("f{fn_no}"),
-                    range: FnRange::NonEntity("small".into()),
-                    set_valued: false,
-                }];
-                fn_no += 1;
-                schema.subtypes.push(EntitySubtype {
-                    name: format!("s{j}"),
-                    supertypes: vec![sup],
-                    functions,
-                });
-            }
-            schema
-        })
-        .prop_filter("schema must validate", |s| s.validate().is_ok())
+            fn_no += 1;
+            schema.entities.push(EntityType { name: format!("e{i}"), functions });
+        }
+        // Entity-valued functions between entity types.
+        for (i, &target) in targets.iter().take(n_ent).enumerate() {
+            let target = target % n_ent;
+            let set_valued = setflags.get(i + 4).copied().unwrap_or(false);
+            let fname = format!("f{fn_no}");
+            fn_no += 1;
+            schema.entities[i].functions.push(Function {
+                name: fname,
+                range: FnRange::Entity(format!("e{target}")),
+                set_valued,
+            });
+        }
+        for j in 0..n_sub {
+            let sup = format!("e{}", j % n_ent);
+            let functions = vec![Function {
+                name: format!("f{fn_no}"),
+                range: FnRange::NonEntity("small".into()),
+                set_valued: false,
+            }];
+            fn_no += 1;
+            schema.subtypes.push(EntitySubtype {
+                name: format!("s{j}"),
+                supertypes: vec![sup],
+                functions,
+            });
+        }
+        if schema.validate().is_ok() {
+            return schema;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Chapter-V invariants hold for every valid functional schema.
-    #[test]
-    fn transformer_invariants(schema in arb_schema()) {
+/// Chapter-V invariants hold for every valid functional schema.
+#[test]
+fn transformer_invariants() {
+    for seed in 0..64u64 {
+        let mut rng = Prng::seed_from_u64(0x9199_1000 + seed);
+        let schema = gen_schema(&mut rng);
         let net = transform::transform(&schema).unwrap();
         net.validate().unwrap();
 
         // Every entity type: a record and a SYSTEM set, AUTOMATIC/FIXED.
         for e in &schema.entities {
-            prop_assert!(net.record(&e.name).is_some());
+            assert!(net.record(&e.name).is_some(), "seed {seed}");
             let sys = net.set(&daplex::names::system_set(&e.name)).unwrap();
-            prop_assert_eq!(sys.owner.clone(), Owner::System);
-            prop_assert_eq!(sys.insertion, Insertion::Automatic);
-            prop_assert_eq!(sys.retention, Retention::Fixed);
+            assert_eq!(sys.owner.clone(), Owner::System, "seed {seed}");
+            assert_eq!(sys.insertion, Insertion::Automatic, "seed {seed}");
+            assert_eq!(sys.retention, Retention::Fixed, "seed {seed}");
         }
         // Every subtype: a record and ISA sets per supertype.
         for s in &schema.subtypes {
-            prop_assert!(net.record(&s.name).is_some());
+            assert!(net.record(&s.name).is_some(), "seed {seed}");
             for sup in &s.supertypes {
                 let isa = net.set(&daplex::names::isa_set(sup, &s.name)).unwrap();
-                prop_assert_eq!(isa.insertion, Insertion::Automatic);
-                prop_assert_eq!(isa.retention, Retention::Fixed);
-                let is_isa = matches!(isa.origin, SetOrigin::Isa { .. });
-                prop_assert!(is_isa);
+                assert_eq!(isa.insertion, Insertion::Automatic, "seed {seed}");
+                assert_eq!(isa.retention, Retention::Fixed, "seed {seed}");
+                assert!(matches!(isa.origin, SetOrigin::Isa { .. }), "seed {seed}");
             }
         }
         // Every function lands in exactly one place: attribute or set.
@@ -128,44 +135,45 @@ proptest! {
             for f in schema.own_functions(name) {
                 let as_attr = net.record(name).unwrap().attr(&f.name).is_some();
                 let as_set = net.set(&f.name).is_some();
-                prop_assert!(
+                assert!(
                     as_attr ^ as_set,
-                    "function {} must map to exactly one construct (attr={}, set={})",
-                    f.name, as_attr, as_set
+                    "function {} must map to exactly one construct (attr={as_attr}, \
+                     set={as_set}, seed {seed})",
+                    f.name
                 );
                 if as_set {
                     let set = net.set(&f.name).unwrap();
-                    prop_assert_eq!(set.insertion, Insertion::Manual);
-                    prop_assert_eq!(set.retention, Retention::Optional);
+                    assert_eq!(set.insertion, Insertion::Manual, "seed {seed}");
+                    assert_eq!(set.retention, Retention::Optional, "seed {seed}");
                 }
                 if as_attr && f.set_valued {
-                    prop_assert!(
+                    assert!(
                         !net.record(name).unwrap().attr(&f.name).unwrap().dup_allowed,
-                        "scalar multi-valued attributes clear the duplicate flag"
+                        "scalar multi-valued attributes clear the duplicate flag (seed {seed})"
                     );
                 }
             }
         }
         // Set selection is always BY APPLICATION.
-        prop_assert!(net.sets.iter().all(|s| s.selection == Selection::Application));
+        assert!(net.sets.iter().all(|s| s.selection == Selection::Application), "seed {seed}");
         // Determinism.
-        prop_assert_eq!(net, transform::transform(&schema).unwrap());
+        assert_eq!(net, transform::transform(&schema).unwrap(), "seed {seed}");
     }
 }
 
 // ----- CIT consistency under random navigation ------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Any sequence of FIND FIRST/NEXT/PRIOR/LAST over the University
+/// database keeps the CIT coherent: the run-unit always names a record
+/// that exists, and set member currencies always belong to the set's
+/// member record type.
+#[test]
+fn cit_stays_coherent_under_random_navigation() {
+    for seed in 0..32u64 {
+        let mut rng = Prng::seed_from_u64(0x9199_2000 + seed);
+        let steps: Vec<(usize, usize)> =
+            (0..1 + rng.index(24)).map(|_| (rng.index(4), rng.index(4))).collect();
 
-    /// Any sequence of FIND FIRST/NEXT/PRIOR/LAST over the University
-    /// database keeps the CIT coherent: the run-unit always names a
-    /// record that exists, and set member currencies always belong to
-    /// the set's member record type.
-    #[test]
-    fn cit_stays_coherent_under_random_navigation(
-        steps in proptest::collection::vec((0usize..4, 0usize..4), 1..25)
-    ) {
         let mut m = Mlds::single_backend();
         m.create_database(daplex::university::UNIVERSITY_DDL).unwrap();
         m.populate_university("university").unwrap();
@@ -183,19 +191,18 @@ proptest! {
             let stmt = format!("FIND {} {record} WITHIN {set}", verbs[verb_idx]);
             // End-of-set conditions are expected; anything else is not.
             match m.execute_codasyl(&mut s, &stmt) {
-                Ok(_) | Err(mlds::Error::Translator(
-                    mlds::translator::Error::EndOfSet { .. }
-                )) => {}
-                Err(e) => prop_assert!(false, "unexpected failure of `{}`: {}", stmt, e),
+                Ok(_)
+                | Err(mlds::Error::Translator(mlds::translator::Error::EndOfSet { .. })) => {}
+                Err(e) => panic!("unexpected failure of `{stmt}`: {e} (seed {seed})"),
             }
             if let Some(cur) = s.cit().run_unit() {
                 let schema = s.schema().clone();
-                prop_assert!(schema.record(&cur.record).is_some());
+                assert!(schema.record(&cur.record).is_some(), "seed {seed}");
             }
             for (rec, set) in &sweeps {
                 if let Some(sc) = s.cit().set(set) {
                     if let Some(member) = &sc.member {
-                        prop_assert_eq!(member.record.as_str(), *rec);
+                        assert_eq!(member.record.as_str(), *rec, "seed {seed}");
                     }
                 }
             }
@@ -205,12 +212,21 @@ proptest! {
 
 // ----- parser robustness ----------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random printable-ish string including multibyte characters and the
+/// odd control character, the adversarial case for hand-rolled lexers.
+fn gen_arbitrary_text(rng: &mut Prng) -> String {
+    let pool: Vec<char> = ('!'..='~')
+        .chain(['\t', '\n', ' ', 'é', 'ß', '→', '∑', '中', '🙂', '\'', '"', '\\'])
+        .collect();
+    (0..rng.index(121)).map(|_| *rng.pick(&pool)).collect()
+}
 
-    /// No parser panics on arbitrary input — they return errors.
-    #[test]
-    fn parsers_never_panic_on_arbitrary_text(src in "\\PC{0,120}") {
+/// No parser panics on arbitrary input — they return errors.
+#[test]
+fn parsers_never_panic_on_arbitrary_text() {
+    for seed in 0..256u64 {
+        let mut rng = Prng::seed_from_u64(0x9199_3000 + seed);
+        let src = gen_arbitrary_text(&mut rng);
         let _ = mlds::abdl::parse::parse_request(&src);
         let _ = mlds::abdl::parse::parse_transaction(&src);
         let _ = mlds::codasyl::ddl::parse_schema(&src);
@@ -223,23 +239,21 @@ proptest! {
         let _ = mlds::dli::calls::parse_calls(&src);
         let _ = mlds::abdl::engine::restore(&src);
     }
+}
 
-    /// Keyword-ish soups (the adversarial case for recursive-descent
-    /// parsers) do not panic either.
-    #[test]
-    fn parsers_never_panic_on_keyword_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("FIND"), Just("ANY"), Just("WITHIN"), Just("USING"), Just("IN"),
-                Just("SET"), Just("RECORD"), Just("OWNER"), Just("SELECT"), Just("FROM"),
-                Just("WHERE"), Just("TYPE"), Just("IS"), Just("ENTITY"), Just("END"),
-                Just("GU"), Just("ISRT"), Just("("), Just(")"), Just(","), Just(";"),
-                Just("."), Just("="), Just("<"), Just("'x'"), Just("42"), Just("a"),
-            ],
-            0..30,
-        )
-    ) {
-        let src = words.join(" ");
+/// Keyword-ish soups (the adversarial case for recursive-descent
+/// parsers) do not panic either.
+#[test]
+fn parsers_never_panic_on_keyword_soup() {
+    let words = [
+        "FIND", "ANY", "WITHIN", "USING", "IN", "SET", "RECORD", "OWNER", "SELECT", "FROM",
+        "WHERE", "TYPE", "IS", "ENTITY", "END", "GU", "ISRT", "(", ")", ",", ";", ".", "=",
+        "<", "'x'", "42", "a",
+    ];
+    for seed in 0..256u64 {
+        let mut rng = Prng::seed_from_u64(0x9199_4000 + seed);
+        let src =
+            (0..rng.index(30)).map(|_| *rng.pick(&words)).collect::<Vec<_>>().join(" ");
         let _ = mlds::abdl::parse::parse_request(&src);
         let _ = mlds::codasyl::ddl::parse_schema(&src);
         let _ = mlds::codasyl::dml::parse_statements(&src);

@@ -1,0 +1,83 @@
+//! Property test: the k = 2 replicated controller is observationally
+//! identical to a single kernel store — for arbitrary seeded request
+//! sequences, *including one backend killed at a random point*. The
+//! single store never fails; the controller must hide its failure
+//! completely (same records, same groups, same affected counts,
+//! `degraded == false` throughout).
+
+use mlds::abdl::prng::Prng;
+use mlds::abdl::{parse::parse_request, Kernel, Record, Request, Store, Value};
+use mlds::mbds::Controller;
+
+const CASES: usize = 12;
+const OPS: usize = 40;
+
+fn gen_record(rng: &mut Prng) -> Record {
+    Record::from_pairs([("FILE", Value::str("f"))])
+        .with("a", Value::Int(rng.gen_range(0, 5)))
+        .with("b", Value::Int(rng.gen_range(0, 100)))
+}
+
+/// One random request, as canonical ABDL text (so the same text drives
+/// both kernels).
+fn gen_request(rng: &mut Prng) -> Option<String> {
+    match rng.index(10) {
+        // Inserts dominate so the database keeps growing.
+        0..=4 => None, // caller inserts a generated record
+        5 => Some(format!("DELETE ((FILE = f) and (a = {}))", rng.gen_range(0, 5))),
+        6 => Some(format!(
+            "UPDATE ((FILE = f) and (a = {})) (b = {})",
+            rng.gen_range(0, 5),
+            rng.gen_range(0, 100)
+        )),
+        7 => Some(format!("RETRIEVE ((FILE = f) and (a = {})) (*)", rng.gen_range(0, 5))),
+        8 => Some(format!("RETRIEVE ((FILE = f) and (b >= {})) (a, b)", rng.gen_range(0, 100))),
+        _ => Some("RETRIEVE (FILE = f) (COUNT(a), AVG(b)) BY a".to_owned()),
+    }
+}
+
+#[test]
+fn replicated_controller_equals_single_store_despite_one_failure() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xfa11_0000 + case as u64);
+        let mut single = Store::new();
+        let mut multi = Controller::new(4);
+        assert_eq!(multi.replication(), 2);
+        single.create_file("f");
+        multi.create_file("f");
+
+        let kill_at = rng.index(OPS);
+        let victim = rng.index(4);
+
+        for op in 0..OPS {
+            if op == kill_at {
+                multi.kill_backend(victim);
+            }
+            let (a, b) = match gen_request(&mut rng) {
+                None => {
+                    let rec = gen_record(&mut rng);
+                    (
+                        single.execute(&Request::Insert { record: rec.clone() }),
+                        multi.execute(&Request::Insert { record: rec }),
+                    )
+                }
+                Some(text) => {
+                    let req = parse_request(&text).unwrap();
+                    (single.execute(&req), multi.execute(&req))
+                }
+            };
+            let (a, b) = (a.unwrap(), b.unwrap());
+            let ctx = format!("case {case}, op {op}, victim {victim}@{kill_at}");
+            assert_eq!(a.records(), b.records(), "records diverged ({ctx})");
+            assert_eq!(a.groups, b.groups, "groups diverged ({ctx})");
+            assert_eq!(a.affected, b.affected, "affected diverged ({ctx})");
+            assert!(!b.degraded, "one failure under k=2 must never degrade ({ctx})");
+        }
+
+        // Final full-table scan: byte-identical end state.
+        let scan = parse_request("RETRIEVE (FILE = f) (*)").unwrap();
+        let a = single.execute(&scan).unwrap();
+        let b = multi.execute(&scan).unwrap();
+        assert_eq!(a.records(), b.records(), "case {case}: end states diverged");
+    }
+}
