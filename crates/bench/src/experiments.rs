@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Experiment ids with one-line descriptions.
-pub const EXPERIMENTS: [(&str, &str); 13] = [
+pub const EXPERIMENTS: [(&str, &str); 14] = [
     ("e1", "Figure 2.1/2.2 — the University Daplex schema census"),
     ("e2", "Figure 2.3 — ABDM records, keyword predicates and DNF queries"),
     ("e3", "Figure 3.3 — the AB(functional) University kernel layout"),
@@ -22,6 +22,7 @@ pub const EXPERIMENTS: [(&str, &str); 13] = [
     ("e11", "Figure 1.2 — one kernel, five languages: per-interface ABDL fan-out"),
     ("e12", "Directory-index ablation — records examined, indexed vs full scan"),
     ("e13", "Fault tolerance — availability vs replication factor, and recovery cost"),
+    ("e14", "Durability — controller recovery time vs WAL length and snapshot interval"),
 ];
 
 /// Run one experiment by id.
@@ -40,6 +41,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e11" => Some(e11()),
         "e12" => Some(e12()),
         "e13" => Some(e13()),
+        "e14" => Some(e14()),
         _ => None,
     }
 }
@@ -560,6 +562,80 @@ pub fn e13() -> String {
         cluster.reset_clock();
         cluster.restart_backend(0).expect("restart");
         let _ = writeln!(out, "{db:>9} {:>22.1}", cluster.last_response_us() / 1000.0);
+    }
+    out
+}
+
+// ----- E14 ------------------------------------------------------------
+
+/// Durability cost: wall-clock time for `Controller::recover` as a
+/// function of write-ahead-log length, with and without snapshot
+/// compaction.
+///
+/// Two regimes. A growing database (insert-only log): the snapshot
+/// holds the same records the log would replay, so compaction shortens
+/// the log but recovery stays linear in *database size* either way. A
+/// stable database under churn (update-heavy log): without snapshots
+/// recovery re-executes every update and grows linearly with the log;
+/// with compaction it is bounded by snapshot interval + database size
+/// — the textbook case for checkpointing.
+pub fn e14() -> String {
+    let recover_ms = |inserts: usize, updates: usize, snapshot_every: u64| {
+        let log = mbds::MemLog::new();
+        let mut c =
+            mbds::Controller::durable_with(4, 2, log.clone()).expect("durable controller");
+        c.set_snapshot_every(snapshot_every);
+        workload::load_flat(&mut c, inserts);
+        for u in 0..updates {
+            let req = abdl::parse::parse_request(&format!(
+                "UPDATE ((FILE = f) and (f = {})) (payload = {})",
+                u % inserts,
+                u % 1000
+            ))
+            .expect("static update");
+            c.execute(&req).expect("update");
+        }
+        drop(c);
+        let entries = log.log_len();
+        let start = Instant::now();
+        drop(mbds::Controller::recover_with(log).expect("recover"));
+        (entries, start.elapsed().as_secs_f64() * 1000.0)
+    };
+    let cadence = |n: u64| if n == 0 { "off".to_owned() } else { n.to_string() };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "4 backends, k = 2; durable controller over an in-memory log\n");
+    let _ = writeln!(out, "growing database: N inserts, log length = N");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>15} {:>13} {:>14}",
+        "inserts", "snapshot every", "log entries", "recovery (ms)"
+    );
+    for inserts in [500usize, 2_000, 8_000] {
+        for snapshot_every in [0u64, 1_000] {
+            let (entries, ms) = recover_ms(inserts, 0, snapshot_every);
+            let _ = writeln!(
+                out,
+                "{inserts:>8} {:>15} {entries:>13} {ms:>14.1}",
+                cadence(snapshot_every)
+            );
+        }
+    }
+    let _ = writeln!(out, "\nstable database (500 records) under churn: log length = updates");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>15} {:>13} {:>14}",
+        "updates", "snapshot every", "log entries", "recovery (ms)"
+    );
+    for updates in [1_000usize, 4_000, 16_000] {
+        for snapshot_every in [0u64, 1_000] {
+            let (entries, ms) = recover_ms(500, updates, snapshot_every);
+            let _ = writeln!(
+                out,
+                "{updates:>8} {:>15} {entries:>13} {ms:>14.1}",
+                cadence(snapshot_every)
+            );
+        }
     }
     out
 }

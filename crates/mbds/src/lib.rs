@@ -48,7 +48,14 @@
 //! * a seeded, deterministic [`FaultPlan`] injects reply drops, delays,
 //!   crashes and panics at exact per-backend message counts —
 //!   bit-identical across runs in both the threaded and the simulated
-//!   kernel (experiment E13).
+//!   kernel (experiment E13);
+//! * controller state itself is **durable and recoverable** (the [`wal`]
+//!   module): every directory mutation is written to a checksummed
+//!   write-ahead log with periodic compacted snapshots, and
+//!   [`Controller::recover`] rebuilds an equivalent controller —
+//!   directory, key allocator, placement rotors, health board and
+//!   backend contents — after a crash between any two operations
+//!   (experiment E14, `tests/crash_recovery.rs`).
 
 //! ## Example
 //!
@@ -75,9 +82,11 @@ pub mod fault;
 pub mod health;
 mod placement;
 mod sim;
+pub mod wal;
 
 pub use controller::{Controller, DEFAULT_REPLICATION};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{BackendState, HealthBoard};
 pub use placement::Partitioner;
 pub use sim::{CostModel, SimCluster};
+pub use wal::{FileLog, LogRecord, LogStore, MemLog, SnapshotData, Wal};

@@ -45,6 +45,27 @@ impl Partitioner {
         let k = k.clamp(1, self.backends);
         (0..k).map(|j| (primary + j) % self.backends).collect()
     }
+
+    /// Advance `file`'s rotor by one step without placing anything —
+    /// used by WAL replay to re-consume the rotation a logged insert
+    /// consumed, without re-running placement.
+    pub fn advance(&mut self, file: &str) {
+        let _ = self.place(file);
+    }
+
+    /// Current rotor positions, sorted by file name (deterministic,
+    /// for snapshots).
+    pub fn rotors(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> =
+            self.next.iter().map(|(f, v)| (f.clone(), *v)).collect();
+        out.sort();
+        out
+    }
+
+    /// Restore `file`'s rotor to `v` (snapshot replay).
+    pub fn set_rotor(&mut self, file: &str, v: usize) {
+        self.next.insert(file.to_owned(), v % self.backends);
+    }
 }
 
 #[cfg(test)]
@@ -64,6 +85,24 @@ mod tests {
     #[should_panic(expected = "at least one backend")]
     fn zero_backends_is_rejected() {
         let _ = Partitioner::new(0);
+    }
+
+    #[test]
+    fn rotors_round_trip_through_snapshot_accessors() {
+        let mut p = Partitioner::new(3);
+        p.place("b");
+        p.place("a");
+        p.place("a");
+        assert_eq!(p.rotors(), vec![("a".to_owned(), 2), ("b".to_owned(), 1)]);
+        let mut q = Partitioner::new(3);
+        for (f, v) in p.rotors() {
+            q.set_rotor(&f, v);
+        }
+        assert_eq!(q.place("a"), 2);
+        assert_eq!(q.place("b"), 1);
+        // `advance` consumes one rotation exactly like `place`.
+        q.advance("a");
+        assert_eq!(q.place("a"), 1);
     }
 
     #[test]

@@ -36,9 +36,10 @@
 use crate::controller::DEFAULT_REPLICATION;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::placement::Partitioner;
+use crate::wal::{LogRecord, LogStore, SnapshotData, Wal};
 use abdl::engine::aggregate;
 use abdl::{DbKey, Error, Kernel, KernelHealth, Record, Request, Response, Result, Store};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Cost-model parameters (microseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +83,14 @@ pub struct SimCluster {
     /// Accumulated simulated time (µs).
     total_us: f64,
     requests_executed: u64,
+    /// Write-ahead log for durable clusters (`None` on the plain
+    /// constructors and during recovery replay). Typically a
+    /// [`crate::MemLog`] — the simulator's whole point is staying
+    /// in-memory and deterministic.
+    wal: Option<Wal>,
+    /// Log failures from infallible trait methods, surfaced by the next
+    /// `execute` (same convention as the threaded controller).
+    pending_error: Option<Error>,
 }
 
 impl SimCluster {
@@ -124,7 +133,56 @@ impl SimCluster {
             last_response_us: 0.0,
             total_us: 0.0,
             requests_executed: 0,
+            wal: None,
+            pending_error: None,
         }
+    }
+
+    /// A **durable** simulated cluster: every directory mutation is
+    /// appended to `store` exactly like the threaded controller's WAL,
+    /// so crash-recovery schedules can be explored deterministically
+    /// without threads.
+    pub fn durable_with(
+        n: usize,
+        k: usize,
+        cost: CostModel,
+        store: impl LogStore + 'static,
+    ) -> Result<Self> {
+        if store.has_state()? {
+            return Err(Error::Internal(
+                "log already holds cluster state; use SimCluster::recover_with".into(),
+            ));
+        }
+        let mut sim = SimCluster::with_config(n, k, cost);
+        sim.wal = Some(Wal::create(Box::new(store)));
+        sim.snapshot_now()?;
+        Ok(sim)
+    }
+
+    /// Rebuild a simulated cluster from a snapshot+WAL store. The
+    /// replayed traffic is not charged: the recovered cluster starts
+    /// with a zeroed clock. The cost model is not part of durable state
+    /// and is supplied by the caller.
+    pub fn recover_with(cost: CostModel, store: impl LogStore + 'static) -> Result<Self> {
+        let (snapshot, entries, wal) = Wal::load(Box::new(store))?;
+        let snapshot = snapshot.ok_or_else(|| {
+            Error::Internal("no snapshot found — nothing to recover".into())
+        })?;
+        if snapshot.backends == 0 || !(1..=snapshot.backends).contains(&snapshot.replication) {
+            return Err(Error::Internal(format!(
+                "snapshot has invalid configuration: {} backends, replication {}",
+                snapshot.backends, snapshot.replication
+            )));
+        }
+        let mut sim = SimCluster::with_config(snapshot.backends, snapshot.replication, cost);
+        // `sim.wal` stays `None` through the replay so nothing re-logs.
+        sim.apply_snapshot(&snapshot)?;
+        for entry in &entries {
+            sim.apply_entry(entry)?;
+        }
+        sim.reset_clock();
+        sim.wal = Some(wal);
+        Ok(sim)
     }
 
     /// Number of backends (alive or dead).
@@ -148,12 +206,193 @@ impl SimCluster {
         self.faults = plan;
     }
 
+    /// Compact the log into a snapshot every `every` appends (0
+    /// disables). No-op on a non-durable cluster.
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        if let Some(w) = self.wal.as_mut() {
+            w.set_snapshot_every(every);
+        }
+    }
+
+    /// Crash-point injection: the `n`th WAL append completes durably
+    /// and then fails the cluster. No-op when not durable.
+    pub fn set_wal_crash_after(&mut self, n: u64) {
+        if let Some(w) = self.wal.as_mut() {
+            w.set_crash_after(n);
+        }
+    }
+
+    /// True once an armed crash point has fired.
+    pub fn wal_crashed(&self) -> bool {
+        self.wal.as_ref().is_some_and(Wal::crashed)
+    }
+
+    /// WAL appends performed by this incarnation (0 when not durable).
+    pub fn wal_appends(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::total_appends)
+    }
+
+    /// The key allocator's high-water mark.
+    pub fn key_high_water(&self) -> u64 {
+        self.next_key
+    }
+
+    fn log_append(&mut self, rec: LogRecord) -> Result<()> {
+        match self.wal.as_mut() {
+            Some(w) => w.append(&rec),
+            None => Ok(()),
+        }
+    }
+
+    fn log_append_stashing(&mut self, rec: LogRecord) {
+        if let Err(e) = self.log_append(rec) {
+            self.pending_error.get_or_insert(e);
+        }
+    }
+
+    fn maybe_snapshot(&mut self) {
+        if self.wal.as_ref().is_some_and(Wal::needs_snapshot) {
+            if let Err(e) = self.snapshot_now() {
+                self.pending_error.get_or_insert(e);
+            }
+        }
+    }
+
+    /// Write a compacted snapshot now and truncate the log. No-op when
+    /// not durable.
+    pub fn snapshot_now(&mut self) -> Result<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let text = self.snapshot_data().to_text();
+        self.wal.as_mut().expect("wal present").install_snapshot(&text)
+    }
+
+    /// The full compacted state, read straight off the stores (the
+    /// simulator needs no broadcasts). Deterministic rendering — also
+    /// the state digest.
+    pub fn snapshot_data(&self) -> SnapshotData {
+        let mut places: Vec<(u64, Vec<usize>, Option<Record>)> = self
+            .directory
+            .iter()
+            .map(|(k, group)| {
+                let rec = group
+                    .iter()
+                    .copied()
+                    .filter(|&j| self.alive[j])
+                    .find_map(|j| self.backends[j].get(*k).cloned());
+                (k.0, group.clone(), rec)
+            })
+            .collect();
+        places.sort_by_key(|(k, _, _)| *k);
+        let mut uniques: Vec<(String, Vec<String>)> = self
+            .unique_groups
+            .iter()
+            .flat_map(|(f, groups)| groups.iter().map(|g| (f.clone(), g.clone())))
+            .collect();
+        uniques.sort();
+        SnapshotData {
+            backends: self.backends.len(),
+            replication: self.replication,
+            next_key: self.next_key,
+            dead: (0..self.alive.len()).filter(|&i| !self.alive[i]).collect(),
+            rotors: self.partitioner.rotors(),
+            files: self.files.clone(),
+            uniques,
+            places,
+        }
+    }
+
+    /// A deterministic, byte-comparable rendering of the cluster's full
+    /// logical state (exactly the snapshot text).
+    pub fn state_digest(&self) -> String {
+        self.snapshot_data().to_text()
+    }
+
+    fn apply_snapshot(&mut self, snap: &SnapshotData) -> Result<()> {
+        self.next_key = snap.next_key;
+        for file in &snap.files {
+            if !self.files.iter().any(|f| f == file) {
+                self.files.push(file.clone());
+            }
+            for b in &mut self.backends {
+                b.create_file(file.clone());
+            }
+        }
+        for (file, v) in &snap.rotors {
+            self.partitioner.set_rotor(file, *v);
+        }
+        for (file, attrs) in &snap.uniques {
+            self.unique_groups.entry(file.clone()).or_default().push(attrs.clone());
+        }
+        let dead: HashSet<usize> = snap.dead.iter().copied().collect();
+        for (key, group, record) in &snap.places {
+            self.directory.insert(DbKey(*key), group.clone());
+            let Some(record) = record else { continue };
+            for &i in group {
+                if !dead.contains(&i) {
+                    self.backends[i].insert_with_key(DbKey(*key), record.clone())?;
+                }
+            }
+        }
+        for &i in &snap.dead {
+            self.alive[i] = false;
+        }
+        Ok(())
+    }
+
+    fn apply_entry(&mut self, entry: &LogRecord) -> Result<()> {
+        match entry {
+            LogRecord::CreateFile { name } => {
+                self.create_file(name);
+                Ok(())
+            }
+            LogRecord::Unique { file, attrs } => {
+                self.unique_groups.entry(file.clone()).or_default().push(attrs.clone());
+                Ok(())
+            }
+            LogRecord::ReserveKey { key } => {
+                self.next_key = self.next_key.max(key + 1);
+                Ok(())
+            }
+            LogRecord::Alloc { key, file } => {
+                self.next_key = self.next_key.max(key + 1);
+                self.partitioner.advance(file);
+                Ok(())
+            }
+            LogRecord::Insert { key, group, record } => {
+                self.next_key = self.next_key.max(key + 1);
+                if let Some(file) = record.file() {
+                    let file = file.to_owned();
+                    self.partitioner.advance(&file);
+                }
+                self.directory.insert(DbKey(*key), group.clone());
+                for &i in group {
+                    if self.alive[i] {
+                        self.backends[i].insert_with_key(DbKey(*key), record.clone())?;
+                    }
+                }
+                Ok(())
+            }
+            LogRecord::Exec { request } => self.execute_inner(request).map(|_| ()),
+            LogRecord::Dead { backend } => {
+                self.kill_backend(*backend);
+                Ok(())
+            }
+            LogRecord::RestartBegin { backend } => self.restart_backend(*backend),
+            LogRecord::RestartEnd { .. } => Ok(()),
+        }
+    }
+
     /// Failure injection: backend `i` is gone and its store with it
     /// (mirroring a killed worker thread).
     pub fn kill_backend(&mut self, i: usize) {
-        if i < self.alive.len() {
-            self.alive[i] = false;
+        if i >= self.alive.len() || !self.alive[i] {
+            return;
         }
+        self.alive[i] = false;
+        self.log_append_stashing(LogRecord::Dead { backend: i });
+        self.maybe_snapshot();
     }
 
     /// Recovery: bring backend `i` back with an empty store, replay the
@@ -167,6 +406,10 @@ impl SimCluster {
         if self.alive[i] {
             return Ok(());
         }
+        // Same WAL protocol as the threaded controller: begin before
+        // any effect, end after re-replication; replay re-runs the
+        // restart at the begin marker.
+        self.log_append(LogRecord::RestartBegin { backend: i })?;
         self.backends[i] = Store::new();
         self.alive[i] = true;
         for file in &self.files {
@@ -197,6 +440,8 @@ impl SimCluster {
         let mut busy = vec![0.0; self.backends.len()];
         busy[i] = copied as f64 * self.cost.block_time_us;
         self.charge(&busy);
+        self.log_append(LogRecord::RestartEnd { backend: i })?;
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -260,6 +505,7 @@ impl SimCluster {
         match fault {
             Some(FaultKind::Crash) | Some(FaultKind::Panic) => {
                 self.alive[i] = false;
+                self.log_append_stashing(LogRecord::Dead { backend: i });
                 return None;
             }
             _ => {}
@@ -268,6 +514,7 @@ impl SimCluster {
         match fault {
             Some(FaultKind::DropReply) => {
                 self.alive[i] = false;
+                self.log_append_stashing(LogRecord::Dead { backend: i });
                 None
             }
             Some(FaultKind::DelayReplyMs(ms)) => {
@@ -351,10 +598,18 @@ impl SimCluster {
         Ok(())
     }
 
+    /// Allocate a key for an internal insert; the insert's `Insert`
+    /// (or `Alloc`) WAL entry carries it, so no separate log entry.
+    fn alloc_key(&mut self) -> DbKey {
+        let key = DbKey(self.next_key);
+        self.next_key += 1;
+        key
+    }
+
     fn insert(&mut self, record: &Record) -> Result<Response> {
         self.check_unique(record)?;
         let file = record.file().ok_or(Error::MissingFileKeyword)?.to_owned();
-        let key = self.reserve_key();
+        let key = self.alloc_key();
         let group = self.partitioner.place_group(&file, self.replication);
         let primary = group[0];
         let n = self.backends.len();
@@ -378,14 +633,21 @@ impl SimCluster {
                     busy[i] = self.cost.block_time_us + extra;
                     assigned.push(i);
                 }
-                Some(Err(e)) => return Err(e),
+                Some(Err(e)) => {
+                    // Key and rotor step are consumed even though the
+                    // insert failed; log that so recovery agrees.
+                    self.log_append(LogRecord::Alloc { key: key.0, file })?;
+                    return Err(e);
+                }
                 None => continue,
             }
         }
         if assigned.is_empty() {
+            self.log_append(LogRecord::Alloc { key: key.0, file })?;
             return Err(Error::Unavailable("no live backend accepted the insert".into()));
         }
-        self.directory.insert(key, assigned);
+        self.directory.insert(key, assigned.clone());
+        self.log_append(LogRecord::Insert { key: key.0, group: assigned, record: record.clone() })?;
         self.charge(&busy);
         Ok(Response::with_affected(1, Default::default()))
     }
@@ -407,19 +669,45 @@ impl Kernel for SimCluster {
                 Ok(Response::default())
             });
         }
+        self.log_append_stashing(LogRecord::CreateFile { name: name.to_owned() });
+        self.maybe_snapshot();
     }
 
     fn add_unique_constraint(&mut self, file: &str, attrs: Vec<String>) {
-        self.unique_groups.entry(file.to_owned()).or_default().push(attrs);
+        self.unique_groups.entry(file.to_owned()).or_default().push(attrs.clone());
+        self.log_append_stashing(LogRecord::Unique { file: file.to_owned(), attrs });
     }
 
     fn reserve_key(&mut self) -> DbKey {
-        let key = DbKey(self.next_key);
-        self.next_key += 1;
+        let key = self.alloc_key();
+        self.log_append_stashing(LogRecord::ReserveKey { key: key.0 });
         key
     }
 
     fn execute(&mut self, request: &Request) -> Result<Response> {
+        if let Some(e) = self.pending_error.take() {
+            return Err(e);
+        }
+        let resp = self.execute_inner(request)?;
+        self.maybe_snapshot();
+        Ok(resp)
+    }
+
+    fn health(&self) -> KernelHealth {
+        let unavailable: Vec<usize> =
+            (0..self.alive.len()).filter(|&i| !self.alive[i]).collect();
+        let degraded = self
+            .directory
+            .values()
+            .any(|group| group.iter().all(|&r| !self.alive[r]));
+        KernelHealth { backends: self.backends.len(), unavailable, degraded }
+    }
+}
+
+impl SimCluster {
+    /// The request dispatcher behind [`Kernel::execute`], shared with
+    /// WAL replay.
+    fn execute_inner(&mut self, request: &Request) -> Result<Response> {
         match request {
             Request::Insert { record } => {
                 let resp = self.insert(record)?;
@@ -431,12 +719,14 @@ impl Kernel for SimCluster {
                 for k in &keys {
                     self.directory.remove(k);
                 }
+                self.log_append(LogRecord::Exec { request: request.clone() })?;
                 let out = Response::with_affected(keys.len(), resp.stats);
                 Ok(self.finalize(out))
             }
             Request::Update { query, .. } => {
                 let keys = self.matching_keys(query)?;
                 let resp = self.broadcast(request)?;
+                self.log_append(LogRecord::Exec { request: request.clone() })?;
                 let out = Response::with_affected(keys.len(), resp.stats);
                 Ok(self.finalize(out))
             }
@@ -490,16 +780,6 @@ impl Kernel for SimCluster {
                 Ok(self.finalize(resp))
             }
         }
-    }
-
-    fn health(&self) -> KernelHealth {
-        let unavailable: Vec<usize> =
-            (0..self.alive.len()).filter(|&i| !self.alive[i]).collect();
-        let degraded = self
-            .directory
-            .values()
-            .any(|group| group.iter().all(|&r| !self.alive[r]));
-        KernelHealth { backends: self.backends.len(), unavailable, degraded }
     }
 }
 
@@ -675,5 +955,55 @@ mod tests {
             out
         };
         assert_eq!(run(), run(), "same seed, same failure schedule, same answers");
+    }
+
+    /// A durable simulator rebuilt from its log equals the live one:
+    /// same state digest, key high-water mark and query answers.
+    #[test]
+    fn durable_sim_cluster_rebuilds_identically_from_the_log() {
+        let log = crate::wal::MemLog::new();
+        let mut sim =
+            SimCluster::durable_with(4, 2, CostModel::default(), log.clone()).unwrap();
+        sim.create_file("f");
+        sim.add_unique_constraint("f", vec!["f".to_owned()]);
+        for i in 0..15i64 {
+            let mut rec = Record::from_pairs([("FILE", Value::str("f"))]);
+            rec.set("f", Value::Int(i));
+            sim.execute(&Request::Insert { record: rec }).unwrap();
+        }
+        sim.execute(&parse_request("UPDATE ((FILE = f) and (f < 3)) (m = 1)").unwrap())
+            .unwrap();
+        sim.execute(&parse_request("DELETE ((FILE = f) and (f = 9))").unwrap()).unwrap();
+        sim.kill_backend(1);
+        sim.restart_backend(1).unwrap();
+        let _ = sim.reserve_key();
+
+        let mut back = SimCluster::recover_with(CostModel::default(), log).unwrap();
+        assert_eq!(back.state_digest(), sim.state_digest());
+        assert_eq!(back.key_high_water(), sim.key_high_water());
+        for q in ["RETRIEVE (FILE = f) (*)", "RETRIEVE (m = 1) (COUNT(f))"] {
+            let want = sim.execute(&parse_request(q).unwrap()).unwrap();
+            let got = back.execute(&parse_request(q).unwrap()).unwrap();
+            assert_eq!(got.records(), want.records(), "query {q}");
+            assert_eq!(got.groups, want.groups, "query {q}");
+        }
+    }
+
+    /// Snapshots compact the sim log without changing recovery.
+    #[test]
+    fn sim_snapshots_compact_and_preserve_recovery() {
+        let log = crate::wal::MemLog::new();
+        let mut sim =
+            SimCluster::durable_with(3, 2, CostModel::default(), log.clone()).unwrap();
+        sim.set_snapshot_every(6);
+        sim.create_file("f");
+        for i in 0..20i64 {
+            let mut rec = Record::from_pairs([("FILE", Value::str("f"))]);
+            rec.set("f", Value::Int(i));
+            sim.execute(&Request::Insert { record: rec }).unwrap();
+        }
+        assert!(log.log_len() < 20, "snapshots should truncate the log");
+        let back = SimCluster::recover_with(CostModel::default(), log).unwrap();
+        assert_eq!(back.state_digest(), sim.state_digest());
     }
 }

@@ -1,0 +1,829 @@
+//! Durable controller state: a checksummed write-ahead log plus
+//! periodic compacted snapshots.
+//!
+//! The 1987 MBDS controller kept the record directory, the key
+//! allocator and the placement rotors only in memory — a controller
+//! crash lost the record-to-backend mapping even though every backend
+//! still held its partition. This module makes that state durable:
+//!
+//! * every directory mutation (file create, key allocation, record
+//!   placement, kill/restart) is appended to a **write-ahead log**
+//!   before the operation completes, one line per entry, each line
+//!   carrying a sequence number and a CRC-32 checksum;
+//! * a **snapshot** is a full compacted rendering of controller state
+//!   (metadata *and* record data — the backends here are in-process
+//!   worker threads, so their stores die with the controller and must
+//!   be rebuilt from the log); installing a snapshot truncates the log;
+//! * recovery ([`Wal::load`]) reads the snapshot, then replays log
+//!   entries in order, verifying checksum and sequence continuity and
+//!   stopping at the first torn or corrupt line (a crash mid-append
+//!   loses at most the entry being written, never earlier state).
+//!
+//! Storage is behind the [`LogStore`] trait: [`FileLog`] persists to a
+//! directory (`snapshot.mbds` + `wal.log`, snapshot installs via
+//! atomic rename), while [`MemLog`] keeps everything in a shared
+//! in-memory buffer for the deterministic crash-recovery harness and
+//! the simulated cluster.
+//!
+//! The crash-point injector ([`Wal::set_crash_after`]) makes the Nth
+//! append *succeed durably and then fail the controller*, which is
+//! exactly the adversarial schedule the recovery property tests sweep.
+
+use abdl::parse::parse_request;
+use abdl::{Error, Record, Request, Result};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`. Table-free bitwise
+/// implementation — the log appends dozens of bytes per entry, so
+/// throughput is irrelevant next to the `fsync`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One logged directory mutation. The payload grammar reuses ABDL's
+/// canonical text (records and requests print and re-parse exactly),
+/// so the log is human-readable and diffable like an ABDL dump.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A kernel file was created (acknowledged by at least one backend).
+    CreateFile {
+        /// The file name.
+        name: String,
+    },
+    /// A `DUPLICATES ARE NOT ALLOWED` group was registered.
+    Unique {
+        /// The constrained file.
+        file: String,
+        /// The attribute group.
+        attrs: Vec<String>,
+    },
+    /// A database key was handed out through the public `reserve_key`
+    /// (language interfaces mint entity ids this way; losing these
+    /// would re-issue ids after recovery).
+    ReserveKey {
+        /// The reserved key.
+        key: u64,
+    },
+    /// An insert consumed a key and a placement rotor step but placed
+    /// nothing (no backend accepted it). Logged so the recovered
+    /// allocator and rotor agree with the live run.
+    Alloc {
+        /// The consumed key.
+        key: u64,
+        /// The file whose rotor advanced.
+        file: String,
+    },
+    /// A record was placed on a replica group.
+    Insert {
+        /// The record's database key.
+        key: u64,
+        /// The backends that acknowledged the copy.
+        group: Vec<usize>,
+        /// The record itself (backends are in-process; their stores are
+        /// rebuilt from the log on recovery).
+        record: Record,
+    },
+    /// A mutation (UPDATE/DELETE) executed successfully; replayed
+    /// verbatim on recovery.
+    Exec {
+        /// The request, re-executed on replay.
+        request: Request,
+    },
+    /// A backend died (killed or detected dead mid-operation).
+    Dead {
+        /// The backend index.
+        backend: usize,
+    },
+    /// A `restart_backend` re-replication began. Replay performs the
+    /// whole restart here; the matching [`LogRecord::RestartEnd`] marks
+    /// it completed (its absence means the controller crashed
+    /// mid-restart — re-running the restart is idempotent).
+    RestartBegin {
+        /// The backend index.
+        backend: usize,
+    },
+    /// The matching restart completed.
+    RestartEnd {
+        /// The backend index.
+        backend: usize,
+    },
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::Internal(msg.into())
+}
+
+impl LogRecord {
+    /// The entry payload (without sequence number or checksum).
+    pub fn encode(&self) -> String {
+        match self {
+            LogRecord::CreateFile { name } => format!("create {name}"),
+            LogRecord::Unique { file, attrs } => format!("unique {file} {}", attrs.join(" ")),
+            LogRecord::ReserveKey { key } => format!("key {key}"),
+            LogRecord::Alloc { key, file } => format!("alloc {key} {file}"),
+            LogRecord::Insert { key, group, record } => {
+                let group: Vec<String> = group.iter().map(usize::to_string).collect();
+                format!("insert {key} {} {record}", group.join(","))
+            }
+            LogRecord::Exec { request } => format!("exec {request}"),
+            LogRecord::Dead { backend } => format!("dead {backend}"),
+            LogRecord::RestartBegin { backend } => format!("restart-begin {backend}"),
+            LogRecord::RestartEnd { backend } => format!("restart-end {backend}"),
+        }
+    }
+
+    /// Parse an entry payload produced by [`LogRecord::encode`].
+    pub fn decode(payload: &str) -> Result<LogRecord> {
+        let (verb, rest) = payload.split_once(' ').unwrap_or((payload, ""));
+        match verb {
+            "create" if !rest.is_empty() => Ok(LogRecord::CreateFile { name: rest.to_owned() }),
+            "unique" => {
+                let mut parts = rest.split(' ').filter(|s| !s.is_empty());
+                let file = parts.next().ok_or_else(|| bad("wal: unique without file"))?;
+                let attrs: Vec<String> = parts.map(str::to_owned).collect();
+                if attrs.is_empty() {
+                    return Err(bad("wal: unique without attributes"));
+                }
+                Ok(LogRecord::Unique { file: file.to_owned(), attrs })
+            }
+            "key" => Ok(LogRecord::ReserveKey { key: parse_u64(rest)? }),
+            "alloc" => {
+                let (key, file) =
+                    rest.split_once(' ').ok_or_else(|| bad("wal: alloc without file"))?;
+                Ok(LogRecord::Alloc { key: parse_u64(key)?, file: file.to_owned() })
+            }
+            "insert" => {
+                let (key, rest) =
+                    rest.split_once(' ').ok_or_else(|| bad("wal: insert without group"))?;
+                let (group, record) =
+                    rest.split_once(' ').ok_or_else(|| bad("wal: insert without record"))?;
+                let group: Result<Vec<usize>> = group
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|_| bad(format!("wal: bad group member `{s}`")))
+                    })
+                    .collect();
+                match parse_request(&format!("INSERT {record}"))? {
+                    Request::Insert { record } => {
+                        Ok(LogRecord::Insert { key: parse_u64(key)?, group: group?, record })
+                    }
+                    _ => Err(bad("wal: insert payload did not parse as a record")),
+                }
+            }
+            "exec" => Ok(LogRecord::Exec { request: parse_request(rest)? }),
+            "dead" => Ok(LogRecord::Dead { backend: parse_usize(rest)? }),
+            "restart-begin" => Ok(LogRecord::RestartBegin { backend: parse_usize(rest)? }),
+            "restart-end" => Ok(LogRecord::RestartEnd { backend: parse_usize(rest)? }),
+            _ => Err(bad(format!("wal: unknown entry `{payload}`"))),
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64> {
+    s.parse().map_err(|_| bad(format!("wal: bad number `{s}`")))
+}
+
+fn parse_usize(s: &str) -> Result<usize> {
+    s.parse().map_err(|_| bad(format!("wal: bad backend index `{s}`")))
+}
+
+/// The snapshot-format header line.
+pub const SNAPSHOT_HEADER: &str = "--! mbds-snapshot v1";
+
+/// A full compacted rendering of controller state. Rendering is
+/// deterministic (directory, rotors and constraints are emitted in
+/// sorted order), so the text doubles as a byte-comparable state
+/// digest for the recovery property tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotData {
+    /// Total backend count (alive or dead).
+    pub backends: usize,
+    /// Copies kept per record.
+    pub replication: usize,
+    /// The key allocator's high-water mark.
+    pub next_key: u64,
+    /// Dead backends, ascending.
+    pub dead: Vec<usize>,
+    /// Per-file placement rotor positions, sorted by file.
+    pub rotors: Vec<(String, usize)>,
+    /// Kernel files in creation order.
+    pub files: Vec<String>,
+    /// Uniqueness groups, sorted by file (insertion order within).
+    pub uniques: Vec<(String, Vec<String>)>,
+    /// The directory sorted by key: each record's replica group and,
+    /// when at least one live replica still held it, the record data.
+    /// A `None` record is a directory entry whose every replica is
+    /// dead — the mapping survives even though the data currently does
+    /// not.
+    pub places: Vec<(u64, Vec<usize>, Option<Record>)>,
+}
+
+impl SnapshotData {
+    /// Render as snapshot text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{SNAPSHOT_HEADER}");
+        let _ = writeln!(out, "--! backends {} replication {}", self.backends, self.replication);
+        let _ = writeln!(out, "--! next-key {}", self.next_key);
+        if !self.dead.is_empty() {
+            let dead: Vec<String> = self.dead.iter().map(usize::to_string).collect();
+            let _ = writeln!(out, "--! dead {}", dead.join(" "));
+        }
+        for (file, v) in &self.rotors {
+            let _ = writeln!(out, "--! rotor {file} {v}");
+        }
+        for file in &self.files {
+            let _ = writeln!(out, "--! file {file}");
+        }
+        for (file, attrs) in &self.uniques {
+            let _ = writeln!(out, "--! unique {file} {}", attrs.join(" "));
+        }
+        for (key, group, record) in &self.places {
+            let group: Vec<String> = group.iter().map(usize::to_string).collect();
+            let _ = writeln!(out, "--! place {key} {}", group.join(","));
+            if let Some(record) = record {
+                let _ = writeln!(out, "INSERT {record}");
+            }
+        }
+        out
+    }
+
+    /// Parse snapshot text produced by [`SnapshotData::to_text`].
+    pub fn parse(text: &str) -> Result<SnapshotData> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(line) if line.trim() == SNAPSHOT_HEADER => {}
+            other => {
+                return Err(bad(format!(
+                    "not an MBDS snapshot (expected `{SNAPSHOT_HEADER}`, found {other:?})"
+                )))
+            }
+        }
+        let mut snap = SnapshotData::default();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(directive) = line.strip_prefix("--! ") {
+                let (verb, rest) = directive.split_once(' ').unwrap_or((directive, ""));
+                match verb {
+                    "backends" => {
+                        let mut parts = rest.split(' ');
+                        snap.backends = parse_usize(parts.next().unwrap_or(""))?;
+                        match (parts.next(), parts.next()) {
+                            (Some("replication"), Some(k)) => snap.replication = parse_usize(k)?,
+                            _ => return Err(bad("snapshot: malformed backends line")),
+                        }
+                    }
+                    "next-key" => snap.next_key = parse_u64(rest)?,
+                    "dead" => {
+                        snap.dead = rest
+                            .split(' ')
+                            .filter(|s| !s.is_empty())
+                            .map(parse_usize)
+                            .collect::<Result<_>>()?;
+                    }
+                    "rotor" => {
+                        let (file, v) =
+                            rest.split_once(' ').ok_or_else(|| bad("snapshot: malformed rotor"))?;
+                        snap.rotors.push((file.to_owned(), parse_usize(v)?));
+                    }
+                    "file" => snap.files.push(rest.to_owned()),
+                    "unique" => {
+                        let (file, attrs) = rest
+                            .split_once(' ')
+                            .ok_or_else(|| bad("snapshot: malformed unique"))?;
+                        snap.uniques.push((
+                            file.to_owned(),
+                            attrs.split(' ').filter(|s| !s.is_empty()).map(str::to_owned).collect(),
+                        ));
+                    }
+                    "place" => {
+                        let (key, group) = rest
+                            .split_once(' ')
+                            .ok_or_else(|| bad("snapshot: malformed place"))?;
+                        let group: Result<Vec<usize>> = group
+                            .split(',')
+                            .map(|s| {
+                                s.parse::<usize>()
+                                    .map_err(|_| bad(format!("snapshot: bad group member `{s}`")))
+                            })
+                            .collect();
+                        snap.places.push((parse_u64(key)?, group?, None));
+                    }
+                    other => return Err(bad(format!("snapshot: unknown directive `{other}`"))),
+                }
+            } else if let Some(rest) = line.strip_prefix("INSERT ") {
+                let record = match parse_request(&format!("INSERT {rest}"))? {
+                    Request::Insert { record } => record,
+                    _ => return Err(bad("snapshot: record line did not parse")),
+                };
+                match snap.places.last_mut() {
+                    Some((_, _, slot @ None)) => *slot = Some(record),
+                    _ => return Err(bad("snapshot: record line without a place directive")),
+                }
+            } else {
+                return Err(bad(format!("snapshot: unrecognized line `{line}`")));
+            }
+        }
+        if snap.backends == 0 {
+            return Err(bad("snapshot: missing backends directive"));
+        }
+        Ok(snap)
+    }
+}
+
+/// Where the snapshot and the log physically live.
+pub trait LogStore: Send {
+    /// Durably append one log line.
+    fn append_line(&mut self, line: &str) -> Result<()>;
+    /// All log lines appended since the last snapshot install.
+    fn log_lines(&self) -> Result<Vec<String>>;
+    /// The installed snapshot text, if any.
+    fn read_snapshot(&self) -> Result<Option<String>>;
+    /// Atomically install a snapshot and truncate the log.
+    fn install_snapshot(&mut self, text: &str) -> Result<()>;
+    /// True when the store already holds a snapshot or log entries.
+    fn has_state(&self) -> Result<bool>;
+    /// Drop every log line after the first `keep` — recovery discards a
+    /// torn tail so appends that follow are not shadowed by it.
+    fn drop_torn_tail(&mut self, keep: usize) -> Result<()>;
+}
+
+#[derive(Debug, Default)]
+struct MemLogInner {
+    snapshot: Option<String>,
+    lines: Vec<String>,
+}
+
+/// An in-memory [`LogStore`]. Cloning shares the underlying buffer, so
+/// the crash-recovery harness can keep a handle that survives dropping
+/// the crashed controller — the in-memory analogue of a disk surviving
+/// a process crash.
+#[derive(Debug, Clone, Default)]
+pub struct MemLog {
+    inner: Arc<Mutex<MemLogInner>>,
+}
+
+impl MemLog {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        MemLog::default()
+    }
+
+    /// Number of log lines since the last snapshot install.
+    pub fn log_len(&self) -> usize {
+        self.inner.lock().expect("memlog lock").lines.len()
+    }
+
+    /// Test hook: flip one byte of line `idx` (corruption the reader's
+    /// checksum must catch).
+    pub fn corrupt_line(&self, idx: usize) {
+        let mut inner = self.inner.lock().expect("memlog lock");
+        if let Some(line) = inner.lines.get_mut(idx) {
+            let mut bytes = std::mem::take(line).into_bytes();
+            if let Some(last) = bytes.last_mut() {
+                *last ^= 0x01;
+            }
+            *line = String::from_utf8_lossy(&bytes).into_owned();
+        }
+    }
+
+    /// Test hook: keep only the first `keep` log lines (a torn tail).
+    pub fn truncate_log(&self, keep: usize) {
+        self.inner.lock().expect("memlog lock").lines.truncate(keep);
+    }
+}
+
+impl LogStore for MemLog {
+    fn append_line(&mut self, line: &str) -> Result<()> {
+        self.inner.lock().expect("memlog lock").lines.push(line.to_owned());
+        Ok(())
+    }
+
+    fn log_lines(&self) -> Result<Vec<String>> {
+        Ok(self.inner.lock().expect("memlog lock").lines.clone())
+    }
+
+    fn read_snapshot(&self) -> Result<Option<String>> {
+        Ok(self.inner.lock().expect("memlog lock").snapshot.clone())
+    }
+
+    fn install_snapshot(&mut self, text: &str) -> Result<()> {
+        let mut inner = self.inner.lock().expect("memlog lock");
+        inner.snapshot = Some(text.to_owned());
+        inner.lines.clear();
+        Ok(())
+    }
+
+    fn has_state(&self) -> Result<bool> {
+        let inner = self.inner.lock().expect("memlog lock");
+        Ok(inner.snapshot.is_some() || !inner.lines.is_empty())
+    }
+
+    fn drop_torn_tail(&mut self, keep: usize) -> Result<()> {
+        self.truncate_log(keep);
+        Ok(())
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Internal(format!("wal: {what} {}: {e}", path.display()))
+}
+
+/// A directory-backed [`LogStore`]: `wal.log` (appended and synced per
+/// entry) plus `snapshot.mbds` (installed via write-to-temp + atomic
+/// rename, after which the log is truncated).
+#[derive(Debug)]
+pub struct FileLog {
+    dir: PathBuf,
+    appender: Option<fs::File>,
+}
+
+impl FileLog {
+    /// Open (creating if needed) the log directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FileLog> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
+        Ok(FileLog { dir, appender: None })
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.mbds")
+    }
+}
+
+impl LogStore for FileLog {
+    fn append_line(&mut self, line: &str) -> Result<()> {
+        let path = self.wal_path();
+        if self.appender.is_none() {
+            let f = fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&path)
+                .map_err(|e| io_err("open", &path, e))?;
+            self.appender = Some(f);
+        }
+        let f = self.appender.as_mut().expect("appender");
+        writeln!(f, "{line}").map_err(|e| io_err("append", &path, e))?;
+        f.sync_data().map_err(|e| io_err("sync", &path, e))?;
+        Ok(())
+    }
+
+    fn log_lines(&self) -> Result<Vec<String>> {
+        let path = self.wal_path();
+        match fs::read_to_string(&path) {
+            Ok(text) => Ok(text.lines().map(str::to_owned).collect()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(io_err("read", &path, e)),
+        }
+    }
+
+    fn read_snapshot(&self) -> Result<Option<String>> {
+        let path = self.snapshot_path();
+        match fs::read_to_string(&path) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", &path, e)),
+        }
+    }
+
+    fn install_snapshot(&mut self, text: &str) -> Result<()> {
+        let tmp = self.dir.join("snapshot.tmp");
+        fs::write(&tmp, text).map_err(|e| io_err("write", &tmp, e))?;
+        let snap = self.snapshot_path();
+        fs::rename(&tmp, &snap).map_err(|e| io_err("install", &snap, e))?;
+        // Truncate the log only after the snapshot is durably in place.
+        self.appender = None;
+        let wal = self.wal_path();
+        fs::write(&wal, "").map_err(|e| io_err("truncate", &wal, e))?;
+        Ok(())
+    }
+
+    fn has_state(&self) -> Result<bool> {
+        Ok(self.snapshot_path().exists()
+            || self.wal_path().metadata().map(|m| m.len() > 0).unwrap_or(false))
+    }
+
+    fn drop_torn_tail(&mut self, keep: usize) -> Result<()> {
+        let kept: Vec<String> = self.log_lines()?.into_iter().take(keep).collect();
+        self.appender = None;
+        let wal = self.wal_path();
+        let mut text = kept.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        fs::write(&wal, text).map_err(|e| io_err("truncate", &wal, e))?;
+        Ok(())
+    }
+}
+
+/// The write-ahead log: sequence numbering, per-line checksums,
+/// snapshot cadence, and the deterministic crash-point injector used
+/// by the recovery harness.
+pub struct Wal {
+    store: Box<dyn LogStore>,
+    /// Sequence number of the next entry; resets to 1 at each snapshot
+    /// install (the log only ever holds post-snapshot entries).
+    next_seq: u64,
+    appends_since_snapshot: u64,
+    total_appends: u64,
+    snapshot_every: Option<u64>,
+    crash_after: Option<u64>,
+    crashed: bool,
+}
+
+impl Wal {
+    /// A fresh log over `store` (which must not already hold state —
+    /// callers enforce that with [`LogStore::has_state`]).
+    pub fn create(store: Box<dyn LogStore>) -> Wal {
+        Wal {
+            store,
+            next_seq: 1,
+            appends_since_snapshot: 0,
+            total_appends: 0,
+            snapshot_every: None,
+            crash_after: None,
+            crashed: false,
+        }
+    }
+
+    /// Read back a store written by a previous incarnation: the parsed
+    /// snapshot (if any), the decoded post-snapshot entries in order,
+    /// and a [`Wal`] positioned to continue appending. Entries after
+    /// the first checksum, sequence-gap or parse failure are discarded
+    /// (a torn tail loses at most the append in flight).
+    pub fn load(store: Box<dyn LogStore>) -> Result<(Option<SnapshotData>, Vec<LogRecord>, Wal)> {
+        let snapshot = match store.read_snapshot()? {
+            Some(text) => Some(SnapshotData::parse(&text)?),
+            None => None,
+        };
+        let mut store = store;
+        let lines = store.log_lines()?;
+        let mut entries = Vec::new();
+        let mut next_seq = 1u64;
+        for line in &lines {
+            let Ok((seq, rec)) = decode_line(line) else { break };
+            if seq != next_seq {
+                break; // sequence gap: treat the rest as torn
+            }
+            entries.push(rec);
+            next_seq += 1;
+        }
+        if entries.len() < lines.len() {
+            // Physically drop the torn tail so entries appended after
+            // this recovery are not shadowed by it on the next one.
+            store.drop_torn_tail(entries.len())?;
+        }
+        let appends = entries.len() as u64;
+        let mut wal = Wal::create(store);
+        wal.next_seq = next_seq;
+        wal.appends_since_snapshot = appends;
+        Ok((snapshot, entries, wal))
+    }
+
+    /// Durably append one entry. With a crash point armed, the Nth
+    /// append **writes the entry durably and then fails** — modelling a
+    /// controller that dies immediately after its log write. Every
+    /// append after the crash point fails without writing.
+    pub fn append(&mut self, rec: &LogRecord) -> Result<()> {
+        if self.crashed {
+            return Err(Error::Unavailable("controller crashed (injected)".into()));
+        }
+        let seq = self.next_seq;
+        let body = format!("{seq} {}", rec.encode());
+        let line = format!("{:08x} {body}", crc32(body.as_bytes()));
+        self.store.append_line(&line)?;
+        self.next_seq += 1;
+        self.appends_since_snapshot += 1;
+        self.total_appends += 1;
+        if self.crash_after.is_some_and(|n| self.total_appends >= n) {
+            self.crashed = true;
+            return Err(Error::Unavailable(format!(
+                "injected controller crash after WAL append {}",
+                self.total_appends
+            )));
+        }
+        Ok(())
+    }
+
+    /// Install a compacted snapshot and truncate the log.
+    pub fn install_snapshot(&mut self, text: &str) -> Result<()> {
+        self.store.install_snapshot(text)?;
+        self.appends_since_snapshot = 0;
+        self.next_seq = 1;
+        Ok(())
+    }
+
+    /// Snapshot every `every` appends (0 disables).
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        self.snapshot_every = (every > 0).then_some(every);
+    }
+
+    /// Arm the crash-point injector: the `n`th append (counted across
+    /// the log's lifetime, snapshots included) succeeds durably and
+    /// then fails the controller.
+    pub fn set_crash_after(&mut self, n: u64) {
+        self.crash_after = Some(n);
+    }
+
+    /// True once the armed crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Appends performed over this log's lifetime.
+    pub fn total_appends(&self) -> u64 {
+        self.total_appends
+    }
+
+    /// True when the snapshot cadence says it is time to compact.
+    pub fn needs_snapshot(&self) -> bool {
+        !self.crashed && self.snapshot_every.is_some_and(|n| self.appends_since_snapshot >= n)
+    }
+}
+
+fn decode_line(line: &str) -> Result<(u64, LogRecord)> {
+    let (crc_s, body) = line.split_once(' ').ok_or_else(|| bad("wal: malformed line"))?;
+    let crc = u32::from_str_radix(crc_s, 16).map_err(|_| bad("wal: malformed checksum"))?;
+    if crc32(body.as_bytes()) != crc {
+        return Err(bad("wal: checksum mismatch"));
+    }
+    let (seq_s, payload) = body.split_once(' ').ok_or_else(|| bad("wal: missing seq"))?;
+    Ok((parse_u64(seq_s)?, LogRecord::decode(payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abdl::{Record, Value};
+
+    fn rec(file: &str, v: i64) -> Record {
+        Record::from_pairs([("FILE", Value::str(file))]).with(file.to_owned(), Value::Int(v))
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn every_entry_kind_round_trips() {
+        let entries = vec![
+            LogRecord::CreateFile { name: "university.course".into() },
+            LogRecord::Unique { file: "f".into(), attrs: vec!["a".into(), "b".into()] },
+            LogRecord::ReserveKey { key: 42 },
+            LogRecord::Alloc { key: 7, file: "f".into() },
+            LogRecord::Insert {
+                key: 9,
+                group: vec![2, 3],
+                record: rec("f", 1).with("s", Value::str("it's quoted")),
+            },
+            LogRecord::Exec {
+                request: parse_request("DELETE ((FILE = f) and (x = 1))").unwrap(),
+            },
+            LogRecord::Dead { backend: 3 },
+            LogRecord::RestartBegin { backend: 0 },
+            LogRecord::RestartEnd { backend: 0 },
+        ];
+        for e in entries {
+            let decoded = LogRecord::decode(&e.encode()).unwrap();
+            assert_eq!(decoded, e, "round trip failed for {e:?}");
+        }
+    }
+
+    #[test]
+    fn wal_appends_and_loads_with_sequence_continuity() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        for i in 0..5 {
+            wal.append(&LogRecord::ReserveKey { key: i }).unwrap();
+        }
+        let (snap, entries, wal2) = Wal::load(Box::new(log)).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(entries.len(), 5);
+        assert_eq!(entries[3], LogRecord::ReserveKey { key: 3 });
+        // The loaded wal continues the sequence — appending more and
+        // reloading sees all entries.
+        let mut wal2 = wal2;
+        wal2.append(&LogRecord::Dead { backend: 1 }).unwrap();
+        drop(wal);
+        assert_eq!(wal2.next_seq, 7);
+    }
+
+    #[test]
+    fn corruption_and_torn_tails_stop_the_replay_cleanly() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        for i in 0..10 {
+            wal.append(&LogRecord::ReserveKey { key: i }).unwrap();
+        }
+        // A flipped byte in entry 6 discards it and everything after.
+        log.corrupt_line(6);
+        let (_, entries, _) = Wal::load(Box::new(log.clone())).unwrap();
+        assert_eq!(entries.len(), 6);
+        // A torn tail (partial final line) loses only that line.
+        log.truncate_log(4);
+        let (_, entries, _) = Wal::load(Box::new(log)).unwrap();
+        assert_eq!(entries.len(), 4);
+    }
+
+    #[test]
+    fn crash_point_fires_after_a_durable_append() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        wal.set_crash_after(3);
+        wal.append(&LogRecord::ReserveKey { key: 0 }).unwrap();
+        wal.append(&LogRecord::ReserveKey { key: 1 }).unwrap();
+        let err = wal.append(&LogRecord::ReserveKey { key: 2 }).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)));
+        assert!(wal.crashed());
+        // The crashing append is on disk; later appends are refused and
+        // leave no trace.
+        assert!(wal.append(&LogRecord::ReserveKey { key: 3 }).is_err());
+        assert_eq!(log.log_len(), 3);
+    }
+
+    #[test]
+    fn snapshot_text_round_trips_and_is_deterministic() {
+        let snap = SnapshotData {
+            backends: 4,
+            replication: 2,
+            next_key: 17,
+            dead: vec![1, 3],
+            rotors: vec![("a".into(), 2), ("b".into(), 0)],
+            files: vec!["a".into(), "b".into()],
+            uniques: vec![("a".into(), vec!["name".into()])],
+            places: vec![
+                (3, vec![0, 1], Some(rec("a", 3))),
+                (5, vec![1, 2], None), // every replica dead: mapping survives, data does not
+            ],
+        };
+        let text = snap.to_text();
+        assert_eq!(SnapshotData::parse(&text).unwrap(), snap);
+        assert_eq!(snap.to_text(), text, "rendering is deterministic");
+        assert!(SnapshotData::parse("not a snapshot").is_err());
+    }
+
+    #[test]
+    fn snapshot_install_truncates_and_resets_sequence() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        wal.set_snapshot_every(3);
+        for i in 0..3 {
+            assert!(!wal.needs_snapshot());
+            wal.append(&LogRecord::ReserveKey { key: i }).unwrap();
+        }
+        assert!(wal.needs_snapshot());
+        let snap = SnapshotData { backends: 2, replication: 1, ..Default::default() };
+        wal.install_snapshot(&snap.to_text()).unwrap();
+        assert!(!wal.needs_snapshot());
+        assert_eq!(log.log_len(), 0);
+        wal.append(&LogRecord::ReserveKey { key: 9 }).unwrap();
+        let (loaded, entries, _) = Wal::load(Box::new(log)).unwrap();
+        assert_eq!(loaded.unwrap().backends, 2);
+        assert_eq!(entries, vec![LogRecord::ReserveKey { key: 9 }]);
+    }
+
+    #[test]
+    fn file_log_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("mbds-wal-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut wal = Wal::create(Box::new(FileLog::open(&dir).unwrap()));
+            wal.append(&LogRecord::CreateFile { name: "f".into() }).unwrap();
+            wal.append(&LogRecord::Insert { key: 1, group: vec![0], record: rec("f", 1) })
+                .unwrap();
+        }
+        let store = FileLog::open(&dir).unwrap();
+        assert!(store.has_state().unwrap());
+        let (snap, entries, mut wal) = Wal::load(Box::new(store)).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(entries.len(), 2);
+        // Install a snapshot; reloading sees it and an empty log.
+        let snap = SnapshotData { backends: 3, replication: 2, ..Default::default() };
+        wal.install_snapshot(&snap.to_text()).unwrap();
+        let (loaded, entries, _) = Wal::load(Box::new(FileLog::open(&dir).unwrap())).unwrap();
+        assert_eq!(loaded.unwrap(), snap);
+        assert!(entries.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -23,10 +23,12 @@
 //! .transformed <db>             print a functional database's transformed network schema
 //! .abdl on|off                  echo generated ABDL requests (default on)
 //! .save <path> / .load <path>   dump / restore the kernel as ABDL text
+//! .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
+//! .recover <dir>                rebuild the kernel from the write-ahead log in <dir>
 //! .quit                         exit
 //! ```
 
-use mlds::{daplex, CodasylSession, DaplexSession, HierSession, Mlds, SqlSession};
+use mlds::{daplex, mbds, CodasylSession, DaplexSession, HierSession, Mlds, SqlSession};
 use std::io::{BufRead, Write};
 
 enum Session {
@@ -37,14 +39,36 @@ enum Session {
     Dli(Box<HierSession>),
 }
 
+/// The shell's kernel: a single in-memory store (default) or a durable
+/// multi-backend controller with a write-ahead log (`.durable`).
+enum Kern {
+    Single(Box<Mlds>),
+    Durable(Box<Mlds<mbds::Controller>>),
+}
+
+/// Run `$body` with `$m` bound to the active `Mlds`, whichever kernel
+/// backs it — every MLDS operation is kernel-generic.
+macro_rules! with_mlds {
+    ($kern:expr, $m:ident, $body:expr) => {
+        match $kern {
+            Kern::Single($m) => $body,
+            Kern::Durable($m) => $body,
+        }
+    };
+}
+
 struct Shell {
-    mlds: Mlds,
+    kern: Kern,
     session: Session,
     echo_abdl: bool,
 }
 
 fn main() {
-    let mut shell = Shell { mlds: Mlds::single_backend(), session: Session::None, echo_abdl: true };
+    let mut shell = Shell {
+        kern: Kern::Single(Box::new(Mlds::single_backend())),
+        session: Session::None,
+        echo_abdl: true,
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(path) = args.first() {
         match std::fs::read_to_string(path) {
@@ -97,10 +121,10 @@ impl Shell {
         match words.next() {
             Some("help") => print!("{}", HELP),
             Some("quit") | Some("exit") => return false,
-            Some("demo") => {
-                match self.mlds.create_database(daplex::university::UNIVERSITY_DDL) {
+            Some("demo") => with_mlds!(&mut self.kern, m, {
+                match m.create_database(daplex::university::UNIVERSITY_DDL) {
                     Ok(db) => {
-                        if let Err(e) = self.mlds.populate_university(&db) {
+                        if let Err(e) = m.populate_university(&db) {
                             eprintln!("populate failed: {e}");
                         } else {
                             println!("loaded and populated `{db}`; try `.open {db}`");
@@ -108,13 +132,15 @@ impl Shell {
                     }
                     Err(e) => eprintln!("{e}"),
                 }
-            }
+            }),
             Some("create") => match words.next() {
                 Some(path) => match std::fs::read_to_string(path) {
-                    Ok(ddl) => match self.mlds.create_database(&ddl) {
-                        Ok(db) => println!("created `{db}`"),
-                        Err(e) => eprintln!("{e}"),
-                    },
+                    Ok(ddl) => with_mlds!(&mut self.kern, m, {
+                        match m.create_database(&ddl) {
+                            Ok(db) => println!("created `{db}`"),
+                            Err(e) => eprintln!("{e}"),
+                        }
+                    }),
                     Err(e) => eprintln!("cannot read `{path}`: {e}"),
                 },
                 None => eprintln!("usage: .create <ddl-file>"),
@@ -125,87 +151,93 @@ impl Shell {
                     return true;
                 };
                 let lang = words.next().unwrap_or("codasyl");
-                match lang {
-                    "codasyl" => match self.mlds.connect_codasyl("shell", db) {
-                        Ok(s) => {
-                            println!(
-                                "opened `{db}` via CODASYL-DML{}",
-                                if s.is_cross_model() {
-                                    " (functional database, schema transformed)"
-                                } else {
-                                    ""
-                                }
-                            );
-                            self.session = Session::Codasyl(Box::new(s));
-                        }
-                        Err(e) => eprintln!("{e}"),
-                    },
-                    "daplex" => match self.mlds.connect_daplex("shell", db) {
-                        Ok(s) => {
-                            println!("opened `{db}` via Daplex");
-                            self.session = Session::Daplex(Box::new(s));
-                        }
-                        Err(e) => eprintln!("{e}"),
-                    },
-                    "sql" => match self.mlds.connect_sql("shell", db) {
-                        Ok(s) => {
-                            println!("opened `{db}` via SQL");
-                            self.session = Session::Sql(Box::new(s));
-                        }
-                        Err(e) => eprintln!("{e}"),
-                    },
-                    "dli" => match self.mlds.connect_dli("shell", db) {
-                        Ok(s) => {
-                            println!("opened `{db}` via DL/I");
-                            self.session = Session::Dli(Box::new(s));
-                        }
-                        Err(e) => eprintln!("{e}"),
-                    },
-                    other => eprintln!("unknown language `{other}` (codasyl|daplex|sql|dli)"),
-                }
+                with_mlds!(&mut self.kern, m, {
+                    match lang {
+                        "codasyl" => match m.connect_codasyl("shell", db) {
+                            Ok(s) => {
+                                println!(
+                                    "opened `{db}` via CODASYL-DML{}",
+                                    if s.is_cross_model() {
+                                        " (functional database, schema transformed)"
+                                    } else {
+                                        ""
+                                    }
+                                );
+                                self.session = Session::Codasyl(Box::new(s));
+                            }
+                            Err(e) => eprintln!("{e}"),
+                        },
+                        "daplex" => match m.connect_daplex("shell", db) {
+                            Ok(s) => {
+                                println!("opened `{db}` via Daplex");
+                                self.session = Session::Daplex(Box::new(s));
+                            }
+                            Err(e) => eprintln!("{e}"),
+                        },
+                        "sql" => match m.connect_sql("shell", db) {
+                            Ok(s) => {
+                                println!("opened `{db}` via SQL");
+                                self.session = Session::Sql(Box::new(s));
+                            }
+                            Err(e) => eprintln!("{e}"),
+                        },
+                        "dli" => match m.connect_dli("shell", db) {
+                            Ok(s) => {
+                                println!("opened `{db}` via DL/I");
+                                self.session = Session::Dli(Box::new(s));
+                            }
+                            Err(e) => eprintln!("{e}"),
+                        },
+                        other => eprintln!("unknown language `{other}` (codasyl|daplex|sql|dli)"),
+                    }
+                })
             }
-            Some("dbs") => {
-                for name in self.mlds.database_names() {
-                    let kind = if self.mlds.functional_schema(name).is_some() {
+            Some("dbs") => with_mlds!(&mut self.kern, m, {
+                for name in m.database_names() {
+                    let kind = if m.functional_schema(name).is_some() {
                         "functional"
-                    } else if self.mlds.relational_schema(name).is_some() {
+                    } else if m.relational_schema(name).is_some() {
                         "relational"
-                    } else if self.mlds.hierarchical_schema(name).is_some() {
+                    } else if m.hierarchical_schema(name).is_some() {
                         "hierarchical"
                     } else {
                         "network"
                     };
                     println!("{name} ({kind})");
                 }
-            }
+            }),
             Some("schema") => match words.next() {
-                Some(db) => {
-                    if let Some(s) = self.mlds.functional_schema(db) {
+                Some(db) => with_mlds!(&mut self.kern, m, {
+                    if let Some(s) = m.functional_schema(db) {
                         print!("{}", daplex::ddl::print_schema(s));
-                    } else if let Some(s) = self.mlds.network_schema(db) {
+                    } else if let Some(s) = m.network_schema(db) {
                         print!("{}", mlds::codasyl::ddl::print_schema(s));
-                    } else if let Some(s) = self.mlds.relational_schema(db) {
+                    } else if let Some(s) = m.relational_schema(db) {
                         print!("{}", mlds::relational::ddl::print_schema(s));
-                    } else if let Some(s) = self.mlds.hierarchical_schema(db) {
+                    } else if let Some(s) = m.hierarchical_schema(db) {
                         print!("{}", mlds::dli::ddl::print_schema(s));
                     } else {
                         eprintln!("no database named `{db}`");
                     }
-                }
+                }),
                 None => eprintln!("usage: .schema <db>"),
             },
             Some("transformed") => match words.next() {
-                Some(db) => match self.mlds.connect_codasyl("shell-peek", db) {
-                    Ok(s) => print!("{}", mlds::codasyl::ddl::print_schema(s.schema())),
-                    Err(e) => eprintln!("{e}"),
-                },
+                Some(db) => with_mlds!(&mut self.kern, m, {
+                    match m.connect_codasyl("shell-peek", db) {
+                        Ok(s) => print!("{}", mlds::codasyl::ddl::print_schema(s.schema())),
+                        Err(e) => eprintln!("{e}"),
+                    }
+                }),
                 None => eprintln!("usage: .transformed <db>"),
             },
             Some("functional") => match words.next() {
-                Some(db) => match self.mlds.connect_daplex("shell-peek", db) {
-                    Ok(s) => print!("{}", daplex::ddl::print_schema(s.schema())),
-                    Err(e) => eprintln!("{e}"),
-                },
+                Some(db) => with_mlds!(&mut self.kern, m, {
+                    match m.connect_daplex("shell-peek", db) {
+                        Ok(s) => print!("{}", daplex::ddl::print_schema(s.schema())),
+                        Err(e) => eprintln!("{e}"),
+                    }
+                }),
                 None => eprintln!("usage: .functional <db>"),
             },
             Some("abdl") => match words.next() {
@@ -213,21 +245,25 @@ impl Shell {
                 Some("off") => self.echo_abdl = false,
                 _ => eprintln!("usage: .abdl on|off"),
             },
-            Some("save") => match words.next() {
-                Some(path) => {
-                    let text = mlds::abdl::engine::dump(self.mlds.kernel_mut());
+            Some("save") => match (words.next(), &mut self.kern) {
+                (Some(path), Kern::Single(m)) => {
+                    let text = mlds::abdl::engine::dump(m.kernel_mut());
                     match std::fs::write(path, text) {
                         Ok(()) => println!("kernel saved to `{path}`"),
                         Err(e) => eprintln!("cannot write `{path}`: {e}"),
                     }
                 }
-                None => eprintln!("usage: .save <path>"),
+                (Some(_), Kern::Durable(_)) => {
+                    eprintln!(".save works on the single-store kernel; a durable kernel \
+                               already persists itself in its log directory")
+                }
+                (None, _) => eprintln!("usage: .save <path>"),
             },
-            Some("load") => match words.next() {
-                Some(path) => match std::fs::read_to_string(path) {
+            Some("load") => match (words.next(), &mut self.kern) {
+                (Some(path), Kern::Single(m)) => match std::fs::read_to_string(path) {
                     Ok(text) => match mlds::abdl::engine::restore(&text) {
                         Ok(store) => {
-                            *self.mlds.kernel_mut() = store;
+                            *m.kernel_mut() = store;
                             println!("kernel restored from `{path}` (schemas are not part of \
                                       dumps; .create them before .open)");
                         }
@@ -235,7 +271,53 @@ impl Shell {
                     },
                     Err(e) => eprintln!("cannot read `{path}`: {e}"),
                 },
-                None => eprintln!("usage: .load <path>"),
+                (Some(_), Kern::Durable(_)) => {
+                    eprintln!(".load works on the single-store kernel; use .recover <dir> to \
+                               rebuild a durable kernel from its log")
+                }
+                (None, _) => eprintln!("usage: .load <path>"),
+            },
+            Some("durable") => match words.next() {
+                Some(dir) => {
+                    let backends = words.next().and_then(|w| w.parse().ok()).unwrap_or(4);
+                    match Mlds::durable_backend(backends, dir) {
+                        Ok(m) => {
+                            self.kern = Kern::Durable(Box::new(m));
+                            self.session = Session::None;
+                            println!(
+                                "durable {backends}-backend kernel logging to `{dir}` \
+                                 (fresh kernel: .create or .demo, then .open)"
+                            );
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    }
+                }
+                None => eprintln!("usage: .durable <dir> [backends]"),
+            },
+            Some("recover") => match words.next() {
+                Some(dir) => match &mut self.kern {
+                    // Mid-run crash simulation: swap the kernel in
+                    // place; schemas and open sessions (currency
+                    // indicators included) carry across.
+                    Kern::Durable(m) => match m.recover_kernel(dir) {
+                        Ok(()) => println!(
+                            "kernel recovered from `{dir}` (schemas and sessions kept)"
+                        ),
+                        Err(e) => eprintln!("{e}"),
+                    },
+                    Kern::Single(_) => match Mlds::recover_backend(dir) {
+                        Ok(m) => {
+                            self.kern = Kern::Durable(Box::new(m));
+                            self.session = Session::None;
+                            println!(
+                                "kernel recovered from `{dir}` (schemas are not part of the \
+                                 log; .create them before .open)"
+                            );
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    },
+                },
+                None => eprintln!("usage: .recover <dir>"),
             },
             other => eprintln!("unknown command {other:?} (try .help)"),
         }
@@ -243,12 +325,14 @@ impl Shell {
     }
 
     fn statement(&mut self, line: &str) {
-        match &mut self.session {
+        let Shell { kern, session, echo_abdl } = self;
+        let echo_abdl = *echo_abdl;
+        match session {
             Session::None => eprintln!("no open session (try `.demo` then `.open university`)"),
-            Session::Codasyl(s) => match self.mlds.execute_codasyl(s, line) {
+            Session::Codasyl(s) => match with_mlds!(kern, m, m.execute_codasyl(s, line)) {
                 Ok(outputs) => {
                     for out in outputs {
-                        if self.echo_abdl {
+                        if echo_abdl {
                             for req in &out.abdl {
                                 println!("  ABDL: {req}");
                             }
@@ -260,7 +344,7 @@ impl Shell {
                 }
                 Err(e) => eprintln!("{e}"),
             },
-            Session::Daplex(s) => match self.mlds.execute_daplex(s, line) {
+            Session::Daplex(s) => match with_mlds!(kern, m, m.execute_daplex(s, line)) {
                 Ok(outputs) => {
                     for out in outputs {
                         if out.display.is_empty() {
@@ -272,10 +356,10 @@ impl Shell {
                 }
                 Err(e) => eprintln!("{e}"),
             },
-            Session::Sql(s) => match self.mlds.execute_sql(s, line) {
+            Session::Sql(s) => match with_mlds!(kern, m, m.execute_sql(s, line)) {
                 Ok(outputs) => {
                     for out in outputs {
-                        if self.echo_abdl {
+                        if echo_abdl {
                             for req in &out.abdl {
                                 println!("  ABDL: {req}");
                             }
@@ -285,10 +369,10 @@ impl Shell {
                 }
                 Err(e) => eprintln!("{e}"),
             },
-            Session::Dli(s) => match self.mlds.execute_dli(s, line) {
+            Session::Dli(s) => match with_mlds!(kern, m, m.execute_dli(s, line)) {
                 Ok(outputs) => {
                     for out in outputs {
-                        if self.echo_abdl {
+                        if echo_abdl {
                             for req in &out.abdl {
                                 println!("  ABDL: {req}");
                             }
@@ -315,6 +399,8 @@ const HELP: &str = "\
 .functional <db>              print a network database's reverse-transformed Daplex schema
 .abdl on|off                  echo generated ABDL requests (default on)
 .save <path> / .load <path>   dump / restore the kernel as ABDL text
+.durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
+.recover <dir>                rebuild the kernel from the write-ahead log in <dir>
 .quit                         exit
 Anything else is a statement for the open session, e.g.:
   MOVE 'Advanced Database' TO title IN course

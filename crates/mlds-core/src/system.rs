@@ -60,6 +60,38 @@ impl Mlds<mbds::Controller> {
     pub fn multi_backend(backends: usize) -> Self {
         Mlds::with_kernel(mbds::Controller::new(backends))
     }
+
+    /// An MLDS over a *durable* multi-backend kernel: every directory
+    /// mutation is written to a checksummed write-ahead log under
+    /// `dir` so the controller can be rebuilt with
+    /// [`Mlds::recover_backend`] after a crash. `dir` must not already
+    /// hold controller state.
+    pub fn durable_backend(backends: usize, dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(Mlds::with_kernel(mbds::Controller::durable(
+            backends,
+            mbds::DEFAULT_REPLICATION,
+            dir,
+        )?))
+    }
+
+    /// An MLDS whose kernel is recovered from the write-ahead log in
+    /// `dir` (written by a previous [`Mlds::durable_backend`]
+    /// controller). Database schemas are not part of the kernel log —
+    /// recreate them with [`Mlds::create_database`], as after
+    /// [`Mlds::restore_kernel`].
+    pub fn recover_backend(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(Mlds::with_kernel(mbds::Controller::recover(dir)?))
+    }
+
+    /// Replace the kernel in place with one recovered from `dir`,
+    /// keeping loaded schemas, transformation caches and open sessions
+    /// (currency indicators stay valid — the log preserves every
+    /// database key). This is the shell's `.recover` path: simulate a
+    /// controller crash, rebuild from the log, and carry on mid-run.
+    pub fn recover_kernel(&mut self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        self.kernel = mbds::Controller::recover(dir)?;
+        Ok(())
+    }
 }
 
 impl Mlds<mbds::SimCluster> {

@@ -220,3 +220,87 @@ fn killing_all_but_one_backend_still_serves() {
     assert!(resp.degraded, "the other three records have no live replica");
     assert_eq!(resp.unavailable_backends, vec![0, 2]);
 }
+
+/// A small replicated controller preloaded with `n` records on file
+/// `f`, for the restart edge-case tests.
+fn loaded_controller(backends: usize, k: usize, n: i64) -> Controller {
+    let mut c = Controller::with_replication(backends, k);
+    c.create_file("f");
+    for i in 0..n {
+        c.execute(&mlds::abdl::Request::Insert {
+            record: mlds::abdl::Record::from_pairs([(
+                "FILE",
+                mlds::abdl::Value::str("f"),
+            )])
+            .with("f", mlds::abdl::Value::Int(i)),
+        })
+        .unwrap();
+    }
+    c
+}
+
+fn count_f(c: &mut Controller) -> usize {
+    c.execute(&mlds::abdl::parse::parse_request("RETRIEVE (FILE = f) (*)").unwrap())
+        .unwrap()
+        .records()
+        .len()
+}
+
+#[test]
+fn restarting_an_alive_backend_is_a_no_op() {
+    let mut c = loaded_controller(3, 2, 9);
+    assert_eq!(c.alive_count(), 3);
+    c.restart_backend(1).unwrap();
+    assert_eq!(c.alive_count(), 3);
+    assert_eq!(count_f(&mut c), 9, "a redundant restart must not disturb data");
+}
+
+#[test]
+fn restart_with_k1_cannot_resurrect_lost_data() {
+    // Unreplicated: killing a backend genuinely destroys its third of
+    // the records, and a restart has no surviving replica to copy from.
+    let mut c = loaded_controller(3, 1, 9);
+    c.kill_backend(1);
+    assert_eq!(count_f(&mut c), 6);
+    c.restart_backend(1).unwrap();
+    assert_eq!(c.alive_count(), 3, "the backend itself is back in service");
+    assert_eq!(count_f(&mut c), 6, "its records are gone for good with k = 1");
+    // The restarted backend rejoins empty but serviceable: new inserts
+    // spread over all three backends again.
+    for i in 100..103i64 {
+        c.execute(&mlds::abdl::Request::Insert {
+            record: mlds::abdl::Record::from_pairs([(
+                "FILE",
+                mlds::abdl::Value::str("f"),
+            )])
+            .with("f", mlds::abdl::Value::Int(i)),
+        })
+        .unwrap();
+    }
+    assert_eq!(count_f(&mut c), 9);
+}
+
+#[test]
+fn double_kill_of_both_replicas_loses_the_group_despite_restart() {
+    // k = 2 on 3 backends: groups (0,1), (1,2), (2,0). Killing 0 and 1
+    // destroys both replicas of the three group-(0,1) records; the
+    // other six keep one live copy on backend 2.
+    let mut c = loaded_controller(3, 2, 9);
+    c.kill_backend(0);
+    c.kill_backend(1);
+    let resp = c
+        .execute(&mlds::abdl::parse::parse_request("RETRIEVE (FILE = f) (*)").unwrap())
+        .unwrap();
+    assert_eq!(resp.records().len(), 6);
+    assert!(resp.degraded);
+    // Restarting both brings the backends back and re-replicates every
+    // record that still has a donor — but the group whose two replicas
+    // both died has no donor and stays lost.
+    c.restart_backend(0).unwrap();
+    c.restart_backend(1).unwrap();
+    assert_eq!(c.alive_count(), 3);
+    let resp = c
+        .execute(&mlds::abdl::parse::parse_request("RETRIEVE (FILE = f) (*)").unwrap())
+        .unwrap();
+    assert_eq!(resp.records().len(), 6, "no donor, no resurrection");
+}
