@@ -7,6 +7,7 @@
 //! reservation, and request execution.
 
 use super::response::Response;
+use super::stats::ExecTotals;
 use super::store::Store;
 use crate::error::Result;
 use crate::record::DbKey;
@@ -61,6 +62,13 @@ pub trait Kernel {
     fn health(&self) -> KernelHealth {
         KernelHealth { backends: 1, ..Default::default() }
     }
+
+    /// Cumulative execution counters since the kernel was built (see
+    /// [`ExecTotals`]). The default is all-zero for kernels that do not
+    /// keep them.
+    fn exec_totals(&self) -> ExecTotals {
+        ExecTotals::default()
+    }
 }
 
 impl Kernel for Store {
@@ -78,6 +86,10 @@ impl Kernel for Store {
 
     fn execute(&mut self, request: &Request) -> Result<Response> {
         Store::execute(self, request)
+    }
+
+    fn exec_totals(&self) -> ExecTotals {
+        Store::exec_totals(self)
     }
 }
 

@@ -15,5 +15,5 @@ mod store;
 pub use dump::{dump, restore, DUMP_HEADER};
 pub use kernel::{Kernel, KernelHealth};
 pub use response::{GroupRow, Response};
-pub use stats::ExecStats;
+pub use stats::{ExecStats, ExecTotals};
 pub use store::{aggregate, Store};

@@ -32,6 +32,10 @@ pub struct Response {
     /// Backends that were unavailable while this request executed
     /// (empty for a single-site store or a fully healthy cluster).
     pub unavailable_backends: Vec<usize>,
+    /// Messages the kernel sent to backends to answer this request
+    /// (0 for a single-site store; set by the MBDS controller so scoped
+    /// routing's smaller fan-out is observable).
+    pub messages_sent: u64,
 }
 
 impl Response {
@@ -81,6 +85,7 @@ impl Response {
             _ => {}
         }
         self.stats += other.stats;
+        self.messages_sent += other.messages_sent;
         self.degraded |= other.degraded;
         for b in other.unavailable_backends {
             if !self.unavailable_backends.contains(&b) {

@@ -27,6 +27,21 @@ pub struct ExecStats {
     pub blocks_touched: u64,
 }
 
+/// Cumulative execution counters over every request a kernel has run
+/// since construction — the lifetime view of [`ExecStats`], surfaced
+/// through [`Kernel::exec_totals`](super::Kernel::exec_totals) so the
+/// shell and experiments can show how much work (and, on the MBDS
+/// controller, how much backend fan-out) a workload cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecTotals {
+    /// Requests executed.
+    pub requests: u64,
+    /// Records examined, summed over all requests.
+    pub records_examined: u64,
+    /// Messages sent to backends (always 0 on a single-site kernel).
+    pub messages_sent: u64,
+}
+
 /// Records per simulated disk block.
 ///
 /// The MBDS literature describes track-sized block accesses; the exact

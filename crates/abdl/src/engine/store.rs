@@ -1,7 +1,7 @@
 //! The kernel store: files, directory indexes, and the request executor.
 
 use super::response::{GroupRow, Response};
-use super::stats::ExecStats;
+use super::stats::{ExecStats, ExecTotals};
 use crate::error::{Error, Result};
 use crate::query::{Conjunction, Predicate, Query, RelOp};
 use crate::record::{DbKey, Record};
@@ -54,14 +54,25 @@ impl FileData {
 #[derive(Debug, Default, Clone)]
 pub struct Store {
     files: BTreeMap<String, FileData>,
+    /// Which file each stored key lives in, so point lookups by key
+    /// need not scan every file.
+    key_files: HashMap<DbKey, String>,
     next_key: u64,
     indexing: bool,
+    /// Lifetime execution counters (see [`ExecTotals`]).
+    totals: ExecTotals,
 }
 
 impl Store {
     /// An empty store with directory indexing enabled.
     pub fn new() -> Self {
-        Store { files: BTreeMap::new(), next_key: 1, indexing: true }
+        Store {
+            files: BTreeMap::new(),
+            key_files: HashMap::new(),
+            next_key: 1,
+            indexing: true,
+            totals: ExecTotals::default(),
+        }
     }
 
     /// An empty store with indexing configurable — `false` forces full
@@ -104,9 +115,10 @@ impl Store {
         self.len() == 0
     }
 
-    /// Look a record up by database key.
+    /// Look a record up by database key. Goes through the key→file map
+    /// rather than scanning every file.
     pub fn get(&self, key: DbKey) -> Option<&Record> {
-        self.files.values().find_map(|f| f.records.get(&key))
+        self.files.get(self.key_files.get(&key)?)?.records.get(&key)
     }
 
     /// Iterate every record in the store, in (file, key) order — the
@@ -138,6 +150,7 @@ impl Store {
     pub fn insert_with_key(&mut self, key: DbKey, record: Record) -> Result<()> {
         let file = record.file().ok_or(Error::MissingFileKeyword)?.to_owned();
         self.next_key = self.next_key.max(key.0 + 1);
+        self.key_files.insert(key, file.clone());
         let data = self.files.entry(file).or_default();
         if self.indexing {
             data.index_insert(key, &record);
@@ -146,9 +159,15 @@ impl Store {
         Ok(())
     }
 
+    /// Cumulative execution counters since the store was built.
+    pub fn exec_totals(&self) -> ExecTotals {
+        self.totals
+    }
+
     /// Execute a single request.
     pub fn execute(&mut self, request: &Request) -> Result<Response> {
-        match request {
+        self.totals.requests += 1;
+        let resp = match request {
             Request::Insert { record } => self.exec_insert(record.clone()),
             Request::Delete { query } => self.exec_delete(query),
             Request::Update { query, modifier } => {
@@ -160,7 +179,11 @@ impl Store {
             Request::RetrieveCommon { left, left_attr, right, right_attr, target } => {
                 self.exec_retrieve_common(left, left_attr, right, right_attr, target)
             }
+        };
+        if let Ok(resp) = &resp {
+            self.totals.records_examined += resp.stats.records_examined;
         }
+        resp
     }
 
     /// Execute requests sequentially; stops at the first error.
@@ -197,6 +220,7 @@ impl Store {
             }
         }
         let key = self.reserve_key();
+        self.key_files.insert(key, file_name.clone());
         let data = self.files.entry(file_name).or_default();
         if self.indexing {
             data.index_insert(key, &record);
@@ -218,6 +242,7 @@ impl Store {
                 if self.indexing {
                     data.index_remove(key, &record);
                 }
+                self.key_files.remove(&key);
                 affected += 1;
             }
         }

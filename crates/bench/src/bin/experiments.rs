@@ -7,7 +7,7 @@
 //! cargo run --release -p mlds-bench --bin experiments -- e7 e8 # subset
 //! ```
 
-use mlds_bench::{run_experiment, EXPERIMENTS};
+use mlds_bench::{e15_report, run_experiment, EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +25,16 @@ fn main() {
         println!("============================================================");
         println!("{} — {desc}", id.to_uppercase());
         println!("============================================================");
+        if id == "e15" {
+            // e15 also emits its raw numbers for CI to archive.
+            let report = e15_report();
+            println!("{}", report.table);
+            match std::fs::write("BENCH_PR4.json", &report.json) {
+                Ok(()) => eprintln!("wrote BENCH_PR4.json"),
+                Err(e) => eprintln!("could not write BENCH_PR4.json: {e}"),
+            }
+            continue;
+        }
         match run_experiment(id) {
             Some(out) => println!("{out}"),
             None => eprintln!("experiment `{id}` failed to run"),

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Experiment ids with one-line descriptions.
-pub const EXPERIMENTS: [(&str, &str); 14] = [
+pub const EXPERIMENTS: [(&str, &str); 15] = [
     ("e1", "Figure 2.1/2.2 — the University Daplex schema census"),
     ("e2", "Figure 2.3 — ABDM records, keyword predicates and DNF queries"),
     ("e3", "Figure 3.3 — the AB(functional) University kernel layout"),
@@ -23,6 +23,7 @@ pub const EXPERIMENTS: [(&str, &str); 14] = [
     ("e12", "Directory-index ablation — records examined, indexed vs full scan"),
     ("e13", "Fault tolerance — availability vs replication factor, and recovery cost"),
     ("e14", "Durability — controller recovery time vs WAL length and snapshot interval"),
+    ("e15", "Broadcast-tax ablation — unique index, scoped routing, parallel writes, group commit"),
 ];
 
 /// Run one experiment by id.
@@ -42,6 +43,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e12" => Some(e12()),
         "e13" => Some(e13()),
         "e14" => Some(e14()),
+        "e15" => Some(e15()),
         _ => None,
     }
 }
@@ -640,6 +642,201 @@ pub fn e14() -> String {
     out
 }
 
+// ----- E15 ------------------------------------------------------------
+
+/// Raw numbers from the E15 broadcast-tax ablation, plus the rendered
+/// table. The `experiments` binary writes `json` to `BENCH_PR4.json`
+/// whenever e15 is selected so CI can archive the run.
+pub struct E15Report {
+    /// The human-readable table (what [`e15`] returns).
+    pub table: String,
+    /// The same numbers as a machine-readable JSON document.
+    pub json: String,
+    /// Wall-clock speedup of unique-constrained inserts with every
+    /// optimisation on versus the legacy probe+broadcast+serial
+    /// configuration, measured in the same run.
+    pub unique_insert_speedup: f64,
+    /// Backend messages per point retrieval under scoped routing.
+    pub scoped_messages_per_query: f64,
+    /// Backend messages per point retrieval under broadcast routing.
+    pub broadcast_messages_per_query: f64,
+}
+
+fn e15_insert(u: i64) -> abdl::Request {
+    abdl::Request::Insert {
+        record: abdl::Record::from_pairs([("FILE", abdl::Value::str("f"))])
+            .with("u", abdl::Value::Int(u))
+            .with("v", abdl::Value::Int((u * 7) % 1000)),
+    }
+}
+
+/// A fresh 8-backend, k = 2 threaded controller holding file `f` with
+/// the three optimisation toggles set explicitly.
+fn e15_controller(unique: bool, index: bool, scoped: bool, parallel: bool) -> mbds::Controller {
+    let mut c = mbds::Controller::with_replication(8, 2);
+    c.set_unique_via_index(index);
+    c.set_scoped_routing(scoped);
+    c.set_parallel_writes(parallel);
+    c.try_create_file("f").expect("create f");
+    if unique {
+        c.add_unique_constraint("f", vec!["u".to_owned()]);
+    }
+    c
+}
+
+/// Best-of-two wall-clock milliseconds for `n` inserts into the
+/// unique-constrained file under one toggle configuration.
+fn e15_unique_insert_ms(index: bool, scoped: bool, parallel: bool, n: i64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let mut c = e15_controller(true, index, scoped, parallel);
+        let start = Instant::now();
+        for u in 0..n {
+            c.execute(&e15_insert(u)).expect("unique insert");
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+/// Per-query (messages sent, records examined) for point retrievals on
+/// the unique attribute, with routing scoped or broadcast.
+fn e15_retrieval_counters(scoped: bool) -> (f64, f64) {
+    const LOAD: i64 = 256;
+    const QUERIES: usize = 64;
+    let mut c = e15_controller(true, true, scoped, true);
+    for u in 0..LOAD {
+        c.execute(&e15_insert(u)).expect("load");
+    }
+    let before = c.exec_totals();
+    for i in 0..QUERIES {
+        let q = abdl::parse::parse_request(&format!(
+            "RETRIEVE ((FILE = f) and (u = {})) (*)",
+            (i as i64 * 5) % LOAD
+        ))
+        .expect("static query");
+        let resp = c.execute(&q).expect("point query");
+        assert_eq!(resp.records().len(), 1, "point query must hit exactly one record");
+    }
+    let after = c.exec_totals();
+    (
+        (after.messages_sent - before.messages_sent) as f64 / QUERIES as f64,
+        (after.records_examined - before.records_examined) as f64 / QUERIES as f64,
+    )
+}
+
+/// Wall-clock milliseconds and WAL append count for 120 durable inserts
+/// over a file-backed log, committed either as ten 12-request
+/// transactions (one sync each, group commit) or one request at a time
+/// (one sync per insert).
+fn e15_wal_ms(grouped: bool) -> (f64, u64) {
+    const INSERTS: i64 = 120;
+    const BATCH: i64 = 12;
+    let dir = std::env::temp_dir().join(format!(
+        "mlds-e15-{}-{}",
+        std::process::id(),
+        if grouped { "txn" } else { "single" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c = mbds::Controller::durable(4, 2, &dir).expect("durable controller");
+    c.try_create_file("f").expect("create f");
+    let start = Instant::now();
+    if grouped {
+        for b in 0..(INSERTS / BATCH) {
+            let txn =
+                abdl::Transaction::new((0..BATCH).map(|i| e15_insert(b * BATCH + i)).collect());
+            c.execute_transaction(&txn).expect("transaction");
+        }
+    } else {
+        for u in 0..INSERTS {
+            c.execute(&e15_insert(u)).expect("insert");
+        }
+    }
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    let appends = c.wal_appends();
+    drop(c);
+    let _ = std::fs::remove_dir_all(&dir);
+    (ms, appends)
+}
+
+/// Run the E15 ablation: every optimisation of the broadcast-tax PR
+/// measured against its own baseline in a single run.
+pub fn e15_report() -> E15Report {
+    const INSERTS: i64 = 400;
+    let optimised = e15_unique_insert_ms(true, true, true, INSERTS);
+    let legacy = e15_unique_insert_ms(false, false, false, INSERTS);
+    let no_index = e15_unique_insert_ms(false, true, true, INSERTS);
+    let no_scope = e15_unique_insert_ms(true, false, true, INSERTS);
+    let no_parallel = e15_unique_insert_ms(true, true, false, INSERTS);
+    let speedup = legacy / optimised;
+
+    let (scoped_msgs, scoped_exam) = e15_retrieval_counters(true);
+    let (bcast_msgs, bcast_exam) = e15_retrieval_counters(false);
+
+    let (txn_ms, txn_appends) = e15_wal_ms(true);
+    let (single_ms, single_appends) = e15_wal_ms(false);
+
+    let rate = |ms: f64| (INSERTS as f64 / (ms / 1000.0)) as u64;
+    let mut out = String::new();
+    let _ = writeln!(out, "8 threaded backends, k = 2; every row measured in this run\n");
+    let _ = writeln!(out, "unique-constrained inserts ({INSERTS} records, best of 2 runs)");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>8} {:>11} {:>8}",
+        "configuration", "ms", "inserts/s", "speedup"
+    );
+    for (name, ms) in [
+        ("all optimisations", optimised),
+        ("legacy (probe+broadcast+serial)", legacy),
+        ("  ablate unique index only", no_index),
+        ("  ablate scoped routing only", no_scope),
+        ("  ablate parallel writes only", no_parallel),
+    ] {
+        let _ =
+            writeln!(out, "{name:<34} {ms:>8.1} {:>11} {:>7.2}x", rate(ms), legacy / ms);
+    }
+    let _ = writeln!(out, "\npoint retrieval on the unique attribute (64 queries, 256 records)");
+    let _ = writeln!(out, "{:<11} {:>11} {:>22}", "routing", "msgs/query", "records examined/qry");
+    let _ = writeln!(out, "{:<11} {scoped_msgs:>11.1} {scoped_exam:>22.1}", "scoped");
+    let _ = writeln!(out, "{:<11} {bcast_msgs:>11.1} {bcast_exam:>22.1}", "broadcast");
+    let _ = writeln!(out, "\nWAL group commit (file-backed log, 120 inserts, 4 backends)");
+    let _ = writeln!(out, "{:<24} {:>8} {:>12}", "commit discipline", "ms", "wal appends");
+    let _ = writeln!(out, "{:<24} {txn_ms:>8.1} {txn_appends:>12}", "10 transactions of 12");
+    let _ = writeln!(out, "{:<24} {single_ms:>8.1} {single_appends:>12}", "per-request sync");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e15\",\n  \"backends\": 8,\n  \"replication\": 2,\n  \
+         \"unique_insert\": {{\n    \"inserts\": {INSERTS},\n    \
+         \"optimised_ms\": {optimised:.3},\n    \"legacy_probe_ms\": {legacy:.3},\n    \
+         \"speedup\": {speedup:.3},\n    \"ablate_unique_index_ms\": {no_index:.3},\n    \
+         \"ablate_scoped_routing_ms\": {no_scope:.3},\n    \
+         \"ablate_parallel_writes_ms\": {no_parallel:.3}\n  }},\n  \
+         \"point_retrieval\": {{\n    \"queries\": 64,\n    \"records\": 256,\n    \
+         \"scoped_messages_per_query\": {scoped_msgs:.2},\n    \
+         \"broadcast_messages_per_query\": {bcast_msgs:.2},\n    \
+         \"scoped_examined_per_query\": {scoped_exam:.2},\n    \
+         \"broadcast_examined_per_query\": {bcast_exam:.2}\n  }},\n  \
+         \"group_commit\": {{\n    \"inserts\": 120,\n    \"transaction_ms\": {txn_ms:.3},\n    \
+         \"per_request_ms\": {single_ms:.3},\n    \"speedup\": {:.3},\n    \
+         \"transaction_appends\": {txn_appends},\n    \
+         \"per_request_appends\": {single_appends}\n  }}\n}}\n",
+        single_ms / txn_ms
+    );
+
+    E15Report {
+        table: out,
+        json,
+        unique_insert_speedup: speedup,
+        scoped_messages_per_query: scoped_msgs,
+        broadcast_messages_per_query: bcast_msgs,
+    }
+}
+
+/// The broadcast-tax ablation table; [`e15_report`] has the raw numbers.
+pub fn e15() -> String {
+    e15_report().table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,6 +871,26 @@ mod tests {
         let last = e8.lines().last().unwrap();
         let ratio: f64 = last.split_whitespace().nth(3).unwrap().parse().unwrap();
         assert!((0.9..1.2).contains(&ratio), "E8 drifted: {ratio} in\n{e8}");
+    }
+
+    #[test]
+    fn e15_optimisations_beat_the_legacy_configuration() {
+        let r = e15_report();
+        // Floor well below the typical 3–6x so scheduler noise cannot
+        // flake the suite; BENCH_PR4.json records the measured number.
+        assert!(
+            r.unique_insert_speedup >= 1.5,
+            "unique-insert speedup collapsed: {:.2}x\n{}",
+            r.unique_insert_speedup,
+            r.table
+        );
+        assert!(
+            r.scoped_messages_per_query < r.broadcast_messages_per_query,
+            "scoped routing sent no fewer messages: {} vs {}",
+            r.scoped_messages_per_query,
+            r.broadcast_messages_per_query
+        );
+        assert!(r.json.contains("\"speedup\""), "JSON missing speedup:\n{}", r.json);
     }
 
     #[test]

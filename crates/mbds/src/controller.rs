@@ -24,8 +24,11 @@ use crate::health::{BackendState, HealthBoard};
 use crate::placement::Partitioner;
 use crate::wal::{FileLog, LogRecord, LogStore, SnapshotData, Wal};
 use abdl::engine::aggregate;
-use abdl::{DbKey, Error, Kernel, KernelHealth, Record, Request, Response, Result, Store};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use abdl::{
+    DbKey, Error, ExecTotals, Kernel, KernelHealth, Record, RelOp, Request, Response, Result,
+    Store, Transaction, Value,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::path::Path;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -86,6 +89,28 @@ pub struct Controller {
     /// in-memory constructors, and during recovery replay — replayed
     /// operations must not be re-logged).
     wal: Option<Wal>,
+    /// Exact unique-value index: for each `DUPLICATES ARE NOT ALLOWED`
+    /// group of a file, the value tuple of every stored record → the
+    /// keys holding it. Every insert flows through the controller, so
+    /// this is authoritative and replaces the pre-insert broadcast
+    /// probe; it is rebuilt (incrementally) by snapshot + WAL replay.
+    unique_index: HashMap<(String, usize), BTreeMap<Vec<Value>, BTreeSet<DbKey>>>,
+    /// Per-file, per-backend record counts derived from the directory —
+    /// which backends can hold records of each file. Drives file-scoped
+    /// routing; may over-count for records whose data was lost (safe:
+    /// routing to an extra backend only costs a message).
+    resident: HashMap<String, Vec<u64>>,
+    /// Scoped routing on/off (`false` = broadcast every request, the
+    /// pre-router behaviour and the E15 ablation baseline).
+    scoped_routing: bool,
+    /// Unique checks through the in-memory index (`false` = legacy
+    /// broadcast retrieve probe, the E15 ablation baseline).
+    unique_via_index: bool,
+    /// Replica writes sent to the whole wave concurrently (`false` =
+    /// one sequential round trip per replica, the E15 baseline).
+    parallel_writes: bool,
+    /// Lifetime execution counters (requests, messages, examined).
+    totals: ExecTotals,
 }
 
 impl Controller {
@@ -125,6 +150,12 @@ impl Controller {
             degraded_cache: false,
             degraded_dirty: false,
             wal: None,
+            unique_index: HashMap::new(),
+            resident: HashMap::new(),
+            scoped_routing: true,
+            unique_via_index: true,
+            parallel_writes: true,
+            totals: ExecTotals::default(),
         }
     }
 
@@ -247,6 +278,162 @@ impl Controller {
         self.next_key
     }
 
+    /// Toggle scoped routing (on by default). Off = every request is
+    /// broadcast to all serving backends, the pre-router behaviour.
+    pub fn set_scoped_routing(&mut self, on: bool) {
+        self.scoped_routing = on;
+    }
+
+    /// Toggle index-based unique checks (on by default). Off = the
+    /// legacy full-cluster retrieve probe before every INSERT. The
+    /// index is maintained either way, so the modes can be flipped
+    /// mid-run for ablation.
+    pub fn set_unique_via_index(&mut self, on: bool) {
+        self.unique_via_index = on;
+    }
+
+    /// Toggle concurrent replica writes (on by default). Off = one
+    /// sequential round trip per replica. Either mode contacts the same
+    /// backends in the same scan order.
+    pub fn set_parallel_writes(&mut self, on: bool) {
+        self.parallel_writes = on;
+    }
+
+    /// A deterministic rendering of the unique-value index, for the
+    /// recovery harness: a rebuilt controller must produce exactly the
+    /// live controller's digest.
+    pub fn unique_index_digest(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for ((file, gi), by_tuple) in &self.unique_index {
+            for (tuple, keys) in by_tuple {
+                let vals: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+                let ks: Vec<String> = keys.iter().map(|k| k.0.to_string()).collect();
+                lines.push(format!("{file}#{gi} [{}] {}", vals.join(","), ks.join(",")));
+            }
+        }
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// The index tuple of `record` under a constraint group: one value
+    /// per attribute, NULL standing in for absent ones — exactly the
+    /// values an equality probe would compare against.
+    fn group_tuple(record: &Record, group: &[String]) -> Vec<Value> {
+        group.iter().map(|a| record.get_or_null(a).clone()).collect()
+    }
+
+    /// Index every constraint-group tuple of a newly stored record.
+    fn index_insert(&mut self, key: DbKey, record: &Record) {
+        let Some(file) = record.file().map(str::to_owned) else { return };
+        let Some(groups) = self.unique_groups.get(&file) else { return };
+        for (gi, group) in groups.iter().enumerate() {
+            let tuple = Controller::group_tuple(record, group);
+            self.unique_index
+                .entry((file.clone(), gi))
+                .or_default()
+                .entry(tuple)
+                .or_default()
+                .insert(key);
+        }
+    }
+
+    /// Drop a deleted record's tuples from the index (tolerates missing
+    /// entries, so replay and live deletion are both safe).
+    fn index_remove(&mut self, key: DbKey, record: &Record) {
+        let Some(file) = record.file().map(str::to_owned) else { return };
+        let Some(groups) = self.unique_groups.get(&file) else { return };
+        for (gi, group) in groups.iter().enumerate() {
+            let tuple = Controller::group_tuple(record, group);
+            if let Some(by_tuple) = self.unique_index.get_mut(&(file.clone(), gi)) {
+                if let Some(keys) = by_tuple.get_mut(&tuple) {
+                    keys.remove(&key);
+                    if keys.is_empty() {
+                        by_tuple.remove(&tuple);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move a record's tuples when an UPDATE changes a constraint-group
+    /// attribute. `record` is the pre-image; duplicates created this
+    /// way (the kernel does not re-check uniqueness on UPDATE) simply
+    /// list several keys under one tuple.
+    fn index_update(&mut self, key: DbKey, record: &Record, attr: &str, value: &Value) {
+        let Some(file) = record.file().map(str::to_owned) else { return };
+        let Some(groups) = self.unique_groups.get(&file).cloned() else { return };
+        let mut updated = record.clone();
+        updated.set(attr.to_owned(), value.clone());
+        for (gi, group) in groups.iter().enumerate() {
+            if !group.iter().any(|a| a == attr) {
+                continue;
+            }
+            let old_t = Controller::group_tuple(record, group);
+            let new_t = Controller::group_tuple(&updated, group);
+            if old_t == new_t {
+                continue;
+            }
+            let by_tuple = self.unique_index.entry((file.clone(), gi)).or_default();
+            if let Some(keys) = by_tuple.get_mut(&old_t) {
+                keys.remove(&key);
+                if keys.is_empty() {
+                    by_tuple.remove(&old_t);
+                }
+            }
+            by_tuple.entry(new_t).or_default().insert(key);
+        }
+    }
+
+    /// Count a newly placed record against its group members' per-file
+    /// residency.
+    fn resident_add(&mut self, file: &str, members: &[usize]) {
+        let n = self.backends.len();
+        let counts = self.resident.entry(file.to_owned()).or_insert_with(|| vec![0; n]);
+        for &i in members {
+            counts[i] += 1;
+        }
+    }
+
+    /// Un-count a deleted record.
+    fn resident_remove(&mut self, file: &str, members: &[usize]) {
+        if let Some(counts) = self.resident.get_mut(file) {
+            for &i in members {
+                counts[i] = counts[i].saturating_sub(1);
+            }
+        }
+    }
+
+    /// Register a constraint group, backfilling the index from existing
+    /// records when the file already holds data (constraints are
+    /// usually declared before loading, so the backfill broadcast is
+    /// rare). Shared by the live path and WAL replay.
+    fn register_unique(&mut self, file: &str, attrs: Vec<String>) {
+        let groups = self.unique_groups.entry(file.to_owned()).or_default();
+        groups.push(attrs);
+        let gi = groups.len() - 1;
+        let populated =
+            self.resident.get(file).is_some_and(|counts| counts.iter().any(|&c| c > 0));
+        if !populated {
+            return;
+        }
+        let query = abdl::Query::conjunction(vec![abdl::Predicate::eq(
+            abdl::FILE_ATTR,
+            abdl::Value::str(file),
+        )]);
+        if let Ok(resp) = self.broadcast(&Request::retrieve_all(query)) {
+            let group = self.unique_groups[file][gi].clone();
+            for (key, rec) in resp.into_records() {
+                let tuple = Controller::group_tuple(&rec, &group);
+                self.unique_index
+                    .entry((file.to_owned(), gi))
+                    .or_default()
+                    .entry(tuple)
+                    .or_default()
+                    .insert(key);
+            }
+        }
+    }
+
     /// Append `rec` if this controller is durable. During recovery
     /// replay `wal` is `None`, so replayed operations never re-log.
     fn log_append(&mut self, rec: LogRecord) -> Result<()> {
@@ -261,6 +448,21 @@ impl Controller {
     fn log_append_stashing(&mut self, rec: LogRecord) {
         if let Err(e) = self.log_append(rec) {
             self.pending_error.get_or_insert(e);
+        }
+    }
+
+    /// Open a WAL group-commit batch (no-op when not durable).
+    fn wal_begin_batch(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            w.begin_batch();
+        }
+    }
+
+    /// Close a WAL batch, flushing its buffered appends with one sync.
+    fn wal_commit_batch(&mut self) -> Result<()> {
+        match self.wal.as_mut() {
+            Some(w) => w.commit_batch(),
+            None => Ok(()),
         }
     }
 
@@ -356,7 +558,15 @@ impl Controller {
         let dead: HashSet<usize> = snap.dead.iter().copied().collect();
         for (key, group, record) in &snap.places {
             self.directory.insert(DbKey(*key), group.clone());
+            // Records whose data did not survive (no live replica at
+            // snapshot time) keep their directory entry but cannot be
+            // indexed or counted — no backend holds them, so routing
+            // never needs to reach them either.
             let Some(record) = record else { continue };
+            if let Some(file) = record.file().map(str::to_owned) {
+                self.resident_add(&file, group);
+            }
+            self.index_insert(DbKey(*key), record);
             for &i in group {
                 if dead.contains(&i) {
                     continue;
@@ -376,7 +586,7 @@ impl Controller {
         match entry {
             LogRecord::CreateFile { name } => self.try_create_file(name),
             LogRecord::Unique { file, attrs } => {
-                self.unique_groups.entry(file.clone()).or_default().push(attrs.clone());
+                self.register_unique(file, attrs.clone());
                 Ok(())
             }
             LogRecord::ReserveKey { key } => {
@@ -394,8 +604,10 @@ impl Controller {
                 if let Some(file) = record.file() {
                     let file = file.to_owned();
                     self.partitioner.advance(&file);
+                    self.resident_add(&file, group);
                 }
                 self.directory.insert(DbKey(*key), group.clone());
+                self.index_insert(DbKey(*key), record);
                 for &i in group {
                     if self.health.is_serving(i) {
                         self.load_replica(i, DbKey(*key), record)?;
@@ -458,6 +670,20 @@ impl Controller {
         if self.health.is_serving(i) && self.health.state(i) == BackendState::Alive {
             return Ok(());
         }
+        // Group commit: the restart's begin/end markers (and any deaths
+        // detected along the way) are buffered and synced together. A
+        // crash point landing inside the batch still flushes durably
+        // through the crashing append, so the per-append sweep holds.
+        self.wal_begin_batch();
+        let result = self.restart_backend_inner(i);
+        let flush = self.wal_commit_batch();
+        result?;
+        flush?;
+        self.maybe_snapshot();
+        Ok(())
+    }
+
+    fn restart_backend_inner(&mut self, i: usize) -> Result<()> {
         // WAL protocol: `restart-begin` before any effect, `restart-end`
         // after re-replication completes. Recovery replays the whole
         // restart at the begin marker; an unmatched begin (crash
@@ -512,9 +738,7 @@ impl Controller {
                 }
             }
         }
-        self.log_append(LogRecord::RestartEnd { backend: i })?;
-        self.maybe_snapshot();
-        Ok(())
+        self.log_append(LogRecord::RestartEnd { backend: i })
     }
 
     /// Fallible file creation: sends the create through the health
@@ -567,6 +791,7 @@ impl Controller {
 
     /// Send a message to backend `i`; a closed channel marks it dead.
     fn send_to(&mut self, i: usize, msg: ToBackend) -> bool {
+        self.totals.messages_sent += 1;
         if self.backends[i].tx.send(msg).is_err() {
             self.health.channel_closed(i);
             self.note_dead(i);
@@ -603,25 +828,50 @@ impl Controller {
         }
     }
 
-    /// Broadcast a request to every serving backend, merge and dedup
-    /// the partial responses, and retry-tolerate failures: a backend
-    /// dying mid-round only removes its partial answer (the merged
-    /// result stays correct as long as each record has a live replica,
-    /// which `degraded` reports). All in-flight replies are drained
-    /// before any error is returned, so the per-backend reply queues
-    /// never desynchronize.
+    /// Broadcast a request to every serving backend — the unscoped
+    /// [`Controller::send_round`].
     fn broadcast(&mut self, request: &Request) -> Result<Response> {
+        self.send_round(request, None)
+    }
+
+    /// Send a request to one round of backends (`None` = every serving
+    /// backend, the broadcast path; `Some` = a routed subset), merge
+    /// and dedup the partial responses, and retry-tolerate failures: a
+    /// backend dying mid-round only removes its partial answer (the
+    /// merged result stays correct as long as each record has a live
+    /// replica, which `degraded` reports). All in-flight replies are
+    /// drained before any error is returned, so the per-backend reply
+    /// queues never desynchronize. An empty routed target set answers
+    /// immediately with an empty response — exactly what a broadcast
+    /// would have merged.
+    fn send_round(&mut self, request: &Request, targets: Option<&[usize]>) -> Result<Response> {
+        if targets.is_some() && self.health.serving_count() == 0 {
+            return Err(Error::Unavailable("no live backends".into()));
+        }
         let seq = self.next_seq();
         let mut sent = Vec::new();
-        for i in 0..self.backends.len() {
-            if self.health.is_serving(i)
-                && self.send_to(i, ToBackend::Exec(seq, request.clone()))
-            {
-                sent.push(i);
+        match targets {
+            None => {
+                for i in 0..self.backends.len() {
+                    if self.health.is_serving(i)
+                        && self.send_to(i, ToBackend::Exec(seq, request.clone()))
+                    {
+                        sent.push(i);
+                    }
+                }
+                if sent.is_empty() {
+                    return Err(Error::Unavailable("no live backends".into()));
+                }
             }
-        }
-        if sent.is_empty() {
-            return Err(Error::Unavailable("no live backends".into()));
+            Some(targets) => {
+                for &i in targets {
+                    if self.health.is_serving(i)
+                        && self.send_to(i, ToBackend::Exec(seq, request.clone()))
+                    {
+                        sent.push(i);
+                    }
+                }
+            }
         }
         let mut merged = Response::default();
         let mut first_err = None;
@@ -641,6 +891,66 @@ impl Controller {
         }
         merged.dedup_by_key();
         Ok(merged)
+    }
+
+    /// The backends worth contacting for `query`: the union, over its
+    /// disjuncts, of either (a) the replica groups of the keys a fully
+    /// pinned unique group names (key-scoped), or (b) the backends the
+    /// directory says hold records of the disjunct's file. `None` means
+    /// the query cannot be scoped (routing disabled, or some disjunct
+    /// names no file) and the caller must broadcast.
+    fn route_targets(&self, query: &abdl::Query) -> Option<Vec<usize>> {
+        if !self.scoped_routing {
+            return None;
+        }
+        let mut targets = BTreeSet::new();
+        for conj in &query.disjuncts {
+            let file = conj.file()?;
+            if let Some(keys) = self.unique_candidates(file, conj) {
+                for k in keys {
+                    if let Some(group) = self.directory.get(&k) {
+                        targets.extend(group.iter().copied());
+                    }
+                }
+            } else if let Some(counts) = self.resident.get(file) {
+                targets.extend(
+                    counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, _)| i),
+                );
+            }
+            // A file nobody holds contributes no targets.
+        }
+        Some(targets.into_iter().collect())
+    }
+
+    /// Key-scoped fast path: when a conjunction pins every attribute of
+    /// some `DUPLICATES ARE NOT ALLOWED` group with an equality
+    /// predicate, the unique index names the only keys that can match
+    /// (further predicates can only narrow the answer, never widen it).
+    fn unique_candidates(&self, file: &str, conj: &abdl::Conjunction) -> Option<Vec<DbKey>> {
+        let groups = self.unique_groups.get(file)?;
+        for (gi, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let tuple: Option<Vec<Value>> = group
+                .iter()
+                .map(|a| {
+                    conj.predicates
+                        .iter()
+                        .find(|p| p.attr == *a && p.op == RelOp::Eq)
+                        .map(|p| p.value.clone())
+                })
+                .collect();
+            let Some(tuple) = tuple else { continue };
+            let keys = self
+                .unique_index
+                .get(&(file.to_owned(), gi))
+                .and_then(|m| m.get(&tuple))
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            return Some(keys);
+        }
+        None
     }
 
     /// Attach health metadata to an outgoing response.
@@ -665,11 +975,16 @@ impl Controller {
         self.directory.values().any(|group| group.iter().all(|&r| dead[r]))
     }
 
-    /// The keys currently matching `query`, deduplicated across
-    /// replicas — the *logical* affected set of a mutation.
-    fn matching_keys(&mut self, query: &abdl::Query) -> Result<Vec<DbKey>> {
-        let resp = self.broadcast(&Request::retrieve_all(query.clone()))?;
-        Ok(resp.records().iter().map(|(k, _)| *k).collect())
+    /// The records currently matching `query`, deduplicated across
+    /// replicas — the *logical* affected set of a mutation, with the
+    /// pre-images the index maintenance needs.
+    fn matching_records(
+        &mut self,
+        query: &abdl::Query,
+        targets: Option<&[usize]>,
+    ) -> Result<Vec<(DbKey, Record)>> {
+        let resp = self.send_round(&Request::retrieve_all(query.clone()), targets)?;
+        Ok(resp.into_records())
     }
 
     fn check_unique(&mut self, record: &Record) -> Result<()> {
@@ -677,6 +992,29 @@ impl Controller {
             return Err(Error::MissingFileKeyword);
         };
         let Some(groups) = self.unique_groups.get(file).cloned() else { return Ok(()) };
+        if self.unique_via_index {
+            // Every insert flows through this controller, so the index
+            // is exact: one map lookup replaces a full-cluster retrieve
+            // probe (and, unlike the probe, still sees records whose
+            // replicas are all currently down).
+            let file = file.to_owned();
+            for (gi, group) in groups.iter().enumerate() {
+                if !group.iter().all(|a| record.get(a).is_some()) {
+                    continue;
+                }
+                let tuple = Controller::group_tuple(record, group);
+                let hit = self
+                    .unique_index
+                    .get(&(file.clone(), gi))
+                    .and_then(|m| m.get(&tuple))
+                    .is_some_and(|keys| !keys.is_empty());
+                if hit {
+                    return Err(Error::DuplicateKey { file, attrs: group.clone() });
+                }
+            }
+            return Ok(());
+        }
+        // Legacy pre-insert broadcast probe (the E15 ablation baseline).
         for group in groups {
             if !group.iter().all(|a| record.get(a).is_some()) {
                 continue;
@@ -711,31 +1049,52 @@ impl Controller {
         let key = self.alloc_key();
         // Preferred replica group, then every other backend as fallback
         // so a dead group member is substituted by the next live one.
+        // Replicas are written in waves: all outstanding copies are
+        // sent before any reply is awaited (send-all-then-collect, like
+        // a broadcast round), so a k-way write costs one round trip
+        // instead of k. A wave member that dies is substituted by the
+        // next serving backend along the scan in the following wave.
         let group = self.partitioner.place_group(&file, self.replication);
         let primary = group[0];
         let n = self.backends.len();
         let mut assigned = Vec::new();
-        for j in 0..n {
-            if assigned.len() == self.replication {
+        let mut scanned = 0usize;
+        while assigned.len() < self.replication && scanned < n {
+            let want = if self.parallel_writes { self.replication - assigned.len() } else { 1 };
+            let mut wave = Vec::new();
+            while wave.len() < want && scanned < n {
+                let i = (primary + scanned) % n;
+                scanned += 1;
+                if self.health.is_serving(i) {
+                    wave.push(i);
+                }
+            }
+            if wave.is_empty() {
                 break;
             }
-            let i = (primary + j) % n;
-            if !self.health.is_serving(i) {
-                continue;
-            }
             let seq = self.next_seq();
-            if !self.send_to(i, ToBackend::InsertWithKey(seq, key, record.clone())) {
-                continue;
-            }
-            match self.recv_reply(i, seq) {
-                Some(Ok(_)) => assigned.push(i),
-                Some(Err(e)) => {
-                    // Key and rotor step are consumed even though the
-                    // insert failed; log that so recovery agrees.
-                    self.log_append(LogRecord::Alloc { key: key.0, file })?;
-                    return Err(e);
+            let mut sent = Vec::new();
+            for &i in &wave {
+                if self.send_to(i, ToBackend::InsertWithKey(seq, key, record.clone())) {
+                    sent.push(i);
                 }
-                None => continue, // died mid-insert; try the next backend
+            }
+            let mut first_err = None;
+            for i in sent {
+                match self.recv_reply(i, seq) {
+                    Some(Ok(_)) => assigned.push(i),
+                    // Drain the whole wave before erroring so reply
+                    // queues stay synchronized.
+                    Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                    Some(Err(_)) => {}
+                    None => {} // died mid-insert; the next wave substitutes
+                }
+            }
+            if let Some(e) = first_err {
+                // Key and rotor step are consumed even though the
+                // insert failed; log that so recovery agrees.
+                self.log_append(LogRecord::Alloc { key: key.0, file })?;
+                return Err(e);
             }
         }
         if assigned.is_empty() {
@@ -743,6 +1102,8 @@ impl Controller {
             return Err(Error::Unavailable("no live backend accepted the insert".into()));
         }
         self.directory.insert(key, assigned.clone());
+        self.resident_add(&file, &assigned);
+        self.index_insert(key, record);
         self.log_append(LogRecord::Insert { key: key.0, group: assigned, record: record.clone() })?;
         Ok(Response::with_affected(1, Default::default()))
     }
@@ -758,7 +1119,7 @@ impl Kernel for Controller {
     }
 
     fn add_unique_constraint(&mut self, file: &str, attrs: Vec<String>) {
-        self.unique_groups.entry(file.to_owned()).or_default().push(attrs.clone());
+        self.register_unique(file, attrs.clone());
         self.log_append_stashing(LogRecord::Unique { file: file.to_owned(), attrs });
     }
 
@@ -775,9 +1136,31 @@ impl Kernel for Controller {
         if let Some(e) = self.pending_error.take() {
             return Err(e);
         }
-        let resp = self.execute_inner(request)?;
+        self.totals.requests += 1;
+        let msgs_before = self.totals.messages_sent;
+        let mut resp = self.execute_inner(request)?;
+        resp.messages_sent = self.totals.messages_sent - msgs_before;
+        self.totals.records_examined += resp.stats.records_examined;
         self.maybe_snapshot();
         Ok(resp)
+    }
+
+    fn execute_transaction(&mut self, txn: &Transaction) -> Result<Vec<Response>> {
+        // Group commit: every WAL append the transaction produces is
+        // buffered and synced once when it completes. (Effects of the
+        // requests before a mid-transaction error are still applied and
+        // still logged — the batch is a durability optimisation, not
+        // atomicity.)
+        self.wal_begin_batch();
+        let result: Result<Vec<Response>> = txn.requests.iter().map(|r| self.execute(r)).collect();
+        let flush = self.wal_commit_batch();
+        let out = result?;
+        flush?;
+        Ok(out)
+    }
+
+    fn exec_totals(&self) -> ExecTotals {
+        self.totals
     }
 
     fn health(&self) -> KernelHealth {
@@ -804,30 +1187,43 @@ impl Controller {
                 Ok(self.finalize(resp))
             }
             Request::Delete { query } => {
-                // Logical affected count: matching keys, deduplicated
-                // across replicas, *before* the broadcast mutates them.
-                let keys = self.matching_keys(query)?;
-                let resp = self.broadcast(request)?;
-                for k in &keys {
-                    self.directory.remove(k);
+                // Logical affected set: matching records, deduplicated
+                // across replicas, *before* the round mutates them (the
+                // pre-images also feed the index/residency bookkeeping).
+                let targets = self.route_targets(query);
+                let matched = self.matching_records(query, targets.as_deref())?;
+                let resp = self.send_round(request, targets.as_deref())?;
+                for (k, rec) in &matched {
+                    if let Some(group) = self.directory.remove(k) {
+                        if let Some(file) = rec.file().map(str::to_owned) {
+                            self.resident_remove(&file, &group);
+                        }
+                    }
+                    self.index_remove(*k, rec);
                 }
                 self.degraded_dirty = true;
                 self.log_append(LogRecord::Exec { request: request.clone() })?;
-                let out = Response::with_affected(keys.len(), resp.stats);
+                let out = Response::with_affected(matched.len(), resp.stats);
                 Ok(self.finalize(out))
             }
-            Request::Update { query, .. } => {
-                let keys = self.matching_keys(query)?;
-                let resp = self.broadcast(request)?;
+            Request::Update { query, modifier } => {
+                let targets = self.route_targets(query);
+                let matched = self.matching_records(query, targets.as_deref())?;
+                let resp = self.send_round(request, targets.as_deref())?;
+                for (k, rec) in &matched {
+                    self.index_update(*k, rec, &modifier.attr, &modifier.value);
+                }
                 self.log_append(LogRecord::Exec { request: request.clone() })?;
-                let out = Response::with_affected(keys.len(), resp.stats);
+                let out = Response::with_affected(matched.len(), resp.stats);
                 Ok(self.finalize(out))
             }
             Request::Retrieve { query, target, by } if target.has_aggregates() => {
                 // Partial aggregates do not merge (AVG); fetch the
                 // matching records (deduplicated) and aggregate
                 // globally.
-                let rows = self.broadcast(&Request::retrieve_all(query.clone()))?;
+                let targets = self.route_targets(query);
+                let rows =
+                    self.send_round(&Request::retrieve_all(query.clone()), targets.as_deref())?;
                 let mut stats = rows.stats;
                 let groups = aggregate(rows.records(), target, by.as_deref())?;
                 stats.records_returned = groups.len() as u64;
@@ -837,9 +1233,12 @@ impl Controller {
             }
             Request::RetrieveCommon { left, left_attr, right, right_attr, target } => {
                 // Matching halves may live on different backends; join
-                // at the controller over the merged partials.
-                let l = self.broadcast(&Request::retrieve_all(left.clone()))?;
-                let r = self.broadcast(&Request::retrieve_all(right.clone()))?;
+                // at the controller over the merged partials. Each half
+                // routes independently.
+                let lt = self.route_targets(left);
+                let l = self.send_round(&Request::retrieve_all(left.clone()), lt.as_deref())?;
+                let rt = self.route_targets(right);
+                let r = self.send_round(&Request::retrieve_all(right.clone()), rt.as_deref())?;
                 // Tag halves into scratch files (a record matching both
                 // qualifications must appear on both sides, so the keys
                 // are remapped disjointly).
@@ -874,7 +1273,11 @@ impl Controller {
                 Ok(self.finalize(out))
             }
             other => {
-                let resp = self.broadcast(other)?;
+                let targets = match other {
+                    Request::Retrieve { query, .. } => self.route_targets(query),
+                    _ => None,
+                };
+                let resp = self.send_round(other, targets.as_deref())?;
                 Ok(self.finalize(resp))
             }
         }

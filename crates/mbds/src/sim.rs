@@ -38,8 +38,11 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::placement::Partitioner;
 use crate::wal::{LogRecord, LogStore, SnapshotData, Wal};
 use abdl::engine::aggregate;
-use abdl::{DbKey, Error, Kernel, KernelHealth, Record, Request, Response, Result, Store};
-use std::collections::{HashMap, HashSet};
+use abdl::{
+    DbKey, Error, ExecTotals, Kernel, KernelHealth, Record, RelOp, Request, Response, Result,
+    Store, Transaction, Value,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Cost-model parameters (microseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +94,24 @@ pub struct SimCluster {
     /// Log failures from infallible trait methods, surfaced by the next
     /// `execute` (same convention as the threaded controller).
     pending_error: Option<Error>,
+    /// Exact mirror of the threaded controller's unique-value index:
+    /// `(file, group-index) → tuple of group values → keys`.
+    unique_index: HashMap<(String, usize), BTreeMap<Vec<Value>, BTreeSet<DbKey>>>,
+    /// Per-file, per-backend resident-record counts (directory-derived,
+    /// liveness-independent), driving file-scoped routing.
+    resident: HashMap<String, Vec<u64>>,
+    /// Route file/key-scoped requests to the backends that can hold
+    /// matches (on by default; off = broadcast everything).
+    scoped_routing: bool,
+    /// Check uniqueness against the controller-side index (on by
+    /// default; off = legacy pre-insert broadcast probe).
+    unique_via_index: bool,
+    /// Write replicas in send-all-then-collect waves (on by default;
+    /// off = one round trip per replica). Same contacted backends in
+    /// the same scan order either way.
+    parallel_writes: bool,
+    /// Cumulative execution counters (see [`ExecTotals`]).
+    totals: ExecTotals,
 }
 
 impl SimCluster {
@@ -135,6 +156,12 @@ impl SimCluster {
             requests_executed: 0,
             wal: None,
             pending_error: None,
+            unique_index: HashMap::new(),
+            resident: HashMap::new(),
+            scoped_routing: true,
+            unique_via_index: true,
+            parallel_writes: true,
+            totals: ExecTotals::default(),
         }
     }
 
@@ -237,6 +264,171 @@ impl SimCluster {
         self.next_key
     }
 
+    /// Toggle scoped routing (on by default). Off = every request is
+    /// broadcast to all live backends, the pre-router behaviour.
+    pub fn set_scoped_routing(&mut self, on: bool) {
+        self.scoped_routing = on;
+    }
+
+    /// Toggle index-based unique checks (on by default). Off = the
+    /// legacy full-cluster retrieve probe before every INSERT.
+    pub fn set_unique_via_index(&mut self, on: bool) {
+        self.unique_via_index = on;
+    }
+
+    /// Toggle wave-style replica writes (on by default). The simulator
+    /// is serial either way; the toggle mirrors the threaded
+    /// controller's contacted-backend membership exactly.
+    pub fn set_parallel_writes(&mut self, on: bool) {
+        self.parallel_writes = on;
+    }
+
+    /// A deterministic rendering of the unique-value index — the same
+    /// format as `Controller::unique_index_digest`, so the two kernels
+    /// (and a recovered cluster) can be compared byte-for-byte.
+    pub fn unique_index_digest(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for ((file, gi), by_tuple) in &self.unique_index {
+            for (tuple, keys) in by_tuple {
+                let vals: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+                let ks: Vec<String> = keys.iter().map(|k| k.0.to_string()).collect();
+                lines.push(format!("{file}#{gi} [{}] {}", vals.join(","), ks.join(",")));
+            }
+        }
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// The index tuple of `record` under a constraint group: one value
+    /// per attribute, NULL standing in for absent ones.
+    fn group_tuple(record: &Record, group: &[String]) -> Vec<Value> {
+        group.iter().map(|a| record.get_or_null(a).clone()).collect()
+    }
+
+    /// Index every constraint-group tuple of a newly stored record.
+    fn index_insert(&mut self, key: DbKey, record: &Record) {
+        let Some(file) = record.file().map(str::to_owned) else { return };
+        let Some(groups) = self.unique_groups.get(&file) else { return };
+        for (gi, group) in groups.iter().enumerate() {
+            let tuple = SimCluster::group_tuple(record, group);
+            self.unique_index
+                .entry((file.clone(), gi))
+                .or_default()
+                .entry(tuple)
+                .or_default()
+                .insert(key);
+        }
+    }
+
+    /// Drop a deleted record's tuples from the index (tolerates missing
+    /// entries).
+    fn index_remove(&mut self, key: DbKey, record: &Record) {
+        let Some(file) = record.file().map(str::to_owned) else { return };
+        let Some(groups) = self.unique_groups.get(&file) else { return };
+        for (gi, group) in groups.iter().enumerate() {
+            let tuple = SimCluster::group_tuple(record, group);
+            if let Some(by_tuple) = self.unique_index.get_mut(&(file.clone(), gi)) {
+                if let Some(keys) = by_tuple.get_mut(&tuple) {
+                    keys.remove(&key);
+                    if keys.is_empty() {
+                        by_tuple.remove(&tuple);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move a record's tuples when an UPDATE changes a constraint-group
+    /// attribute. `record` is the pre-image.
+    fn index_update(&mut self, key: DbKey, record: &Record, attr: &str, value: &Value) {
+        let Some(file) = record.file().map(str::to_owned) else { return };
+        let Some(groups) = self.unique_groups.get(&file).cloned() else { return };
+        let mut updated = record.clone();
+        updated.set(attr.to_owned(), value.clone());
+        for (gi, group) in groups.iter().enumerate() {
+            if !group.iter().any(|a| a == attr) {
+                continue;
+            }
+            let old_t = SimCluster::group_tuple(record, group);
+            let new_t = SimCluster::group_tuple(&updated, group);
+            if old_t == new_t {
+                continue;
+            }
+            let by_tuple = self.unique_index.entry((file.clone(), gi)).or_default();
+            if let Some(keys) = by_tuple.get_mut(&old_t) {
+                keys.remove(&key);
+                if keys.is_empty() {
+                    by_tuple.remove(&old_t);
+                }
+            }
+            by_tuple.entry(new_t).or_default().insert(key);
+        }
+    }
+
+    /// Count a newly placed record against its group members' per-file
+    /// residency.
+    fn resident_add(&mut self, file: &str, members: &[usize]) {
+        let n = self.backends.len();
+        let counts = self.resident.entry(file.to_owned()).or_insert_with(|| vec![0; n]);
+        for &i in members {
+            counts[i] += 1;
+        }
+    }
+
+    /// Un-count a deleted record.
+    fn resident_remove(&mut self, file: &str, members: &[usize]) {
+        if let Some(counts) = self.resident.get_mut(file) {
+            for &i in members {
+                counts[i] = counts[i].saturating_sub(1);
+            }
+        }
+    }
+
+    /// Register a constraint group, backfilling the index from existing
+    /// records when the file already holds data. Shared by the live
+    /// path and WAL replay (same gate as the threaded controller).
+    fn register_unique(&mut self, file: &str, attrs: Vec<String>) {
+        let groups = self.unique_groups.entry(file.to_owned()).or_default();
+        groups.push(attrs);
+        let gi = groups.len() - 1;
+        let populated =
+            self.resident.get(file).is_some_and(|counts| counts.iter().any(|&c| c > 0));
+        if !populated {
+            return;
+        }
+        let query = abdl::Query::conjunction(vec![abdl::Predicate::eq(
+            abdl::FILE_ATTR,
+            abdl::Value::str(file),
+        )]);
+        if let Ok(resp) = self.broadcast(&Request::retrieve_all(query)) {
+            let group = self.unique_groups[file][gi].clone();
+            for (key, rec) in resp.into_records() {
+                let tuple = SimCluster::group_tuple(&rec, &group);
+                self.unique_index
+                    .entry((file.to_owned(), gi))
+                    .or_default()
+                    .entry(tuple)
+                    .or_default()
+                    .insert(key);
+            }
+        }
+    }
+
+    /// Open a WAL group-commit batch (no-op when not durable).
+    fn wal_begin_batch(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            w.begin_batch();
+        }
+    }
+
+    /// Close a WAL batch, flushing its buffered appends with one sync.
+    fn wal_commit_batch(&mut self) -> Result<()> {
+        match self.wal.as_mut() {
+            Some(w) => w.commit_batch(),
+            None => Ok(()),
+        }
+    }
+
     fn log_append(&mut self, rec: LogRecord) -> Result<()> {
         match self.wal.as_mut() {
             Some(w) => w.append(&rec),
@@ -328,7 +520,13 @@ impl SimCluster {
         let dead: HashSet<usize> = snap.dead.iter().copied().collect();
         for (key, group, record) in &snap.places {
             self.directory.insert(DbKey(*key), group.clone());
+            // Records without surviving data keep their directory entry
+            // but cannot be indexed or counted — no backend holds them.
             let Some(record) = record else { continue };
+            if let Some(file) = record.file().map(str::to_owned) {
+                self.resident_add(&file, group);
+            }
+            self.index_insert(DbKey(*key), record);
             for &i in group {
                 if !dead.contains(&i) {
                     self.backends[i].insert_with_key(DbKey(*key), record.clone())?;
@@ -348,7 +546,7 @@ impl SimCluster {
                 Ok(())
             }
             LogRecord::Unique { file, attrs } => {
-                self.unique_groups.entry(file.clone()).or_default().push(attrs.clone());
+                self.register_unique(file, attrs.clone());
                 Ok(())
             }
             LogRecord::ReserveKey { key } => {
@@ -365,8 +563,10 @@ impl SimCluster {
                 if let Some(file) = record.file() {
                     let file = file.to_owned();
                     self.partitioner.advance(&file);
+                    self.resident_add(&file, group);
                 }
                 self.directory.insert(DbKey(*key), group.clone());
+                self.index_insert(DbKey(*key), record);
                 for &i in group {
                     if self.alive[i] {
                         self.backends[i].insert_with_key(DbKey(*key), record.clone())?;
@@ -406,6 +606,18 @@ impl SimCluster {
         if self.alive[i] {
             return Ok(());
         }
+        // Group commit: the restart's begin/end markers are buffered
+        // and synced together, exactly like the threaded controller.
+        self.wal_begin_batch();
+        let result = self.restart_backend_inner(i);
+        let flush = self.wal_commit_batch();
+        result?;
+        flush?;
+        self.maybe_snapshot();
+        Ok(())
+    }
+
+    fn restart_backend_inner(&mut self, i: usize) -> Result<()> {
         // Same WAL protocol as the threaded controller: begin before
         // any effect, end after re-replication; replay re-runs the
         // restart at the begin marker.
@@ -414,6 +626,7 @@ impl SimCluster {
         self.alive[i] = true;
         for file in &self.files {
             self.msg_counts[i] += 1;
+            self.totals.messages_sent += 1;
             self.backends[i].create_file(file);
         }
         // Anti-entropy from the directory: copy each record this
@@ -431,6 +644,7 @@ impl SimCluster {
             };
             let Some(rec) = self.backends[donor].get(key).cloned() else { continue };
             self.msg_counts[i] += 1;
+            self.totals.messages_sent += 1;
             self.backends[i].insert_with_key(key, rec)?;
             copied += 1;
         }
@@ -440,9 +654,7 @@ impl SimCluster {
         let mut busy = vec![0.0; self.backends.len()];
         busy[i] = copied as f64 * self.cost.block_time_us;
         self.charge(&busy);
-        self.log_append(LogRecord::RestartEnd { backend: i })?;
-        self.maybe_snapshot();
-        Ok(())
+        self.log_append(LogRecord::RestartEnd { backend: i })
     }
 
     /// Simulated response time of the most recent request, µs.
@@ -478,11 +690,17 @@ impl SimCluster {
     }
 
     fn charge(&mut self, busy_us_per_backend: &[f64]) {
+        self.charge_replies(busy_us_per_backend, self.backends.len());
+    }
+
+    /// Like [`SimCluster::charge`] but with an explicit reply count: a
+    /// routed round only hears back from the backends it contacted, so
+    /// scoped requests pay fewer reply messages than a broadcast.
+    fn charge_replies(&mut self, busy_us_per_backend: &[f64], replies: usize) {
         let parallel = busy_us_per_backend.iter().copied().fold(0.0f64, f64::max);
-        let n = self.backends.len() as f64;
         let t = self.cost.msg_time_us // broadcast on the bus
             + parallel                 // disk + result forwarding, max over backends
-            + n * self.cost.msg_time_us; // per-backend replies
+            + replies as f64 * self.cost.msg_time_us; // per-backend replies
         self.last_response_us = t;
         self.total_us += t;
         self.requests_executed += 1;
@@ -501,6 +719,7 @@ impl SimCluster {
         op: F,
     ) -> Option<Result<Response>> {
         self.msg_counts[i] += 1;
+        self.totals.messages_sent += 1;
         let fault = self.faults.action(i, self.msg_counts[i]);
         match fault {
             Some(FaultKind::Crash) | Some(FaultKind::Panic) => {
@@ -526,16 +745,31 @@ impl SimCluster {
     }
 
     fn broadcast(&mut self, request: &Request) -> Result<Response> {
+        self.send_round(request, None)
+    }
+
+    /// Send a request to one round of backends (`None` = every live
+    /// backend, the broadcast path; `Some` = a routed subset), mirroring
+    /// the threaded controller's `send_round` exactly: an empty routed
+    /// target set answers immediately with an empty response, and a
+    /// backend dying mid-round only removes its partial answer.
+    fn send_round(&mut self, request: &Request, targets: Option<&[usize]>) -> Result<Response> {
         if self.alive_count() == 0 {
             return Err(Error::Unavailable("no live backends".into()));
         }
+        let round: Vec<usize> = match targets {
+            None => (0..self.backends.len()).collect(),
+            Some(t) => t.to_vec(),
+        };
         let mut merged = Response::default();
-        let mut busy = Vec::with_capacity(self.backends.len());
+        let mut busy = Vec::with_capacity(round.len());
         let mut first_err = None;
-        for i in 0..self.backends.len() {
+        let mut contacted = 0usize;
+        for i in round {
             if !self.alive[i] {
                 continue;
             }
+            contacted += 1;
             let mut extra = 0.0;
             match self.deliver(i, &mut extra, |b| b.execute(request)) {
                 Some(Ok(resp)) => {
@@ -551,12 +785,74 @@ impl SimCluster {
                 None => {} // dead mid-round; survivors carry the answer
             }
         }
-        self.charge(&busy);
+        match targets {
+            // Broadcast keeps the historical all-backend reply charge.
+            None => self.charge(&busy),
+            Some(_) => self.charge_replies(&busy, contacted),
+        }
         if let Some(e) = first_err {
             return Err(e);
         }
         merged.dedup_by_key();
         Ok(merged)
+    }
+
+    /// The backends worth contacting for `query` — same logic as the
+    /// threaded controller's router: per disjunct, either the replica
+    /// groups of the keys a fully pinned unique group names, or the
+    /// backends the residency counts say hold the disjunct's file.
+    /// `None` means the query cannot be scoped and must broadcast.
+    fn route_targets(&self, query: &abdl::Query) -> Option<Vec<usize>> {
+        if !self.scoped_routing {
+            return None;
+        }
+        let mut targets = BTreeSet::new();
+        for conj in &query.disjuncts {
+            let file = conj.file()?;
+            if let Some(keys) = self.unique_candidates(file, conj) {
+                for k in keys {
+                    if let Some(group) = self.directory.get(&k) {
+                        targets.extend(group.iter().copied());
+                    }
+                }
+            } else if let Some(counts) = self.resident.get(file) {
+                targets.extend(
+                    counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, _)| i),
+                );
+            }
+            // A file nobody holds contributes no targets.
+        }
+        Some(targets.into_iter().collect())
+    }
+
+    /// Key-scoped fast path: a conjunction pinning every attribute of a
+    /// unique group with equality predicates can only match the keys
+    /// the index lists for that tuple.
+    fn unique_candidates(&self, file: &str, conj: &abdl::Conjunction) -> Option<Vec<DbKey>> {
+        let groups = self.unique_groups.get(file)?;
+        for (gi, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let tuple: Option<Vec<Value>> = group
+                .iter()
+                .map(|a| {
+                    conj.predicates
+                        .iter()
+                        .find(|p| p.attr == *a && p.op == RelOp::Eq)
+                        .map(|p| p.value.clone())
+                })
+                .collect();
+            let Some(tuple) = tuple else { continue };
+            let keys = self
+                .unique_index
+                .get(&(file.to_owned(), gi))
+                .and_then(|m| m.get(&tuple))
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            return Some(keys);
+        }
+        None
     }
 
     fn finalize(&self, mut resp: Response) -> Response {
@@ -566,19 +862,44 @@ impl SimCluster {
         resp
     }
 
-    fn matching_keys(&mut self, query: &abdl::Query) -> Result<Vec<DbKey>> {
-        let resp = self.broadcast(&Request::retrieve_all(query.clone()))?;
-        Ok(resp.records().iter().map(|(k, _)| *k).collect())
+    /// The records currently matching `query`, deduplicated across
+    /// replicas — the *logical* affected set of a mutation, with the
+    /// pre-images the index maintenance needs.
+    fn matching_records(
+        &mut self,
+        query: &abdl::Query,
+        targets: Option<&[usize]>,
+    ) -> Result<Vec<(DbKey, Record)>> {
+        let resp = self.send_round(&Request::retrieve_all(query.clone()), targets)?;
+        Ok(resp.into_records())
     }
 
     fn check_unique(&mut self, record: &Record) -> Result<()> {
         let Some(file) = record.file() else {
             return Err(Error::MissingFileKeyword);
         };
-        let groups = match self.unique_groups.get(file) {
-            Some(g) => g.clone(),
-            None => return Ok(()),
-        };
+        let Some(groups) = self.unique_groups.get(file).cloned() else { return Ok(()) };
+        if self.unique_via_index {
+            // One map lookup replaces the full-cluster retrieve probe,
+            // same as the threaded controller.
+            let file = file.to_owned();
+            for (gi, group) in groups.iter().enumerate() {
+                if !group.iter().all(|a| record.get(a).is_some()) {
+                    continue;
+                }
+                let tuple = SimCluster::group_tuple(record, group);
+                let hit = self
+                    .unique_index
+                    .get(&(file.clone(), gi))
+                    .and_then(|m| m.get(&tuple))
+                    .is_some_and(|keys| !keys.is_empty());
+                if hit {
+                    return Err(Error::DuplicateKey { file, attrs: group.clone() });
+                }
+            }
+            return Ok(());
+        }
+        // Legacy pre-insert broadcast probe (the E15 ablation baseline).
         for group in groups {
             if !group.iter().all(|a| record.get(a).is_some()) {
                 continue;
@@ -610,36 +931,54 @@ impl SimCluster {
         self.check_unique(record)?;
         let file = record.file().ok_or(Error::MissingFileKeyword)?.to_owned();
         let key = self.alloc_key();
+        // Same wave-structured scan as the threaded controller: with
+        // parallel writes on, all outstanding copies of a wave are sent
+        // before any reply is observed. The simulator is serial, so the
+        // waves only matter for contacted-backend membership — the cost
+        // model already charges the disk phase as a max over backends.
         let group = self.partitioner.place_group(&file, self.replication);
         let primary = group[0];
         let n = self.backends.len();
         let mut assigned = Vec::new();
         let mut busy = vec![0.0; n];
-        for j in 0..n {
-            if assigned.len() == self.replication {
+        let mut scanned = 0usize;
+        while assigned.len() < self.replication && scanned < n {
+            let want = if self.parallel_writes { self.replication - assigned.len() } else { 1 };
+            let mut wave = Vec::new();
+            while wave.len() < want && scanned < n {
+                let i = (primary + scanned) % n;
+                scanned += 1;
+                if self.alive[i] {
+                    wave.push(i);
+                }
+            }
+            if wave.is_empty() {
                 break;
             }
-            let i = (primary + j) % n;
-            if !self.alive[i] {
-                continue;
+            let mut first_err = None;
+            for &i in &wave {
+                let mut extra = 0.0;
+                let rec = record.clone();
+                match self.deliver(i, &mut extra, move |b| {
+                    b.insert_with_key(key, rec)
+                        .map(|()| Response::with_affected(1, Default::default()))
+                }) {
+                    Some(Ok(_)) => {
+                        busy[i] = self.cost.block_time_us + extra;
+                        assigned.push(i);
+                    }
+                    // Drain the whole wave before erroring, like the
+                    // threaded controller's reply loop.
+                    Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                    Some(Err(_)) => {}
+                    None => {} // died mid-insert; the next wave substitutes
+                }
             }
-            let mut extra = 0.0;
-            let rec = record.clone();
-            match self.deliver(i, &mut extra, move |b| {
-                b.insert_with_key(key, rec)
-                    .map(|()| Response::with_affected(1, Default::default()))
-            }) {
-                Some(Ok(_)) => {
-                    busy[i] = self.cost.block_time_us + extra;
-                    assigned.push(i);
-                }
-                Some(Err(e)) => {
-                    // Key and rotor step are consumed even though the
-                    // insert failed; log that so recovery agrees.
-                    self.log_append(LogRecord::Alloc { key: key.0, file })?;
-                    return Err(e);
-                }
-                None => continue,
+            if let Some(e) = first_err {
+                // Key and rotor step are consumed even though the
+                // insert failed; log that so recovery agrees.
+                self.log_append(LogRecord::Alloc { key: key.0, file })?;
+                return Err(e);
             }
         }
         if assigned.is_empty() {
@@ -647,6 +986,8 @@ impl SimCluster {
             return Err(Error::Unavailable("no live backend accepted the insert".into()));
         }
         self.directory.insert(key, assigned.clone());
+        self.resident_add(&file, &assigned);
+        self.index_insert(key, record);
         self.log_append(LogRecord::Insert { key: key.0, group: assigned, record: record.clone() })?;
         self.charge(&busy);
         Ok(Response::with_affected(1, Default::default()))
@@ -674,7 +1015,7 @@ impl Kernel for SimCluster {
     }
 
     fn add_unique_constraint(&mut self, file: &str, attrs: Vec<String>) {
-        self.unique_groups.entry(file.to_owned()).or_default().push(attrs.clone());
+        self.register_unique(file, attrs.clone());
         self.log_append_stashing(LogRecord::Unique { file: file.to_owned(), attrs });
     }
 
@@ -688,9 +1029,29 @@ impl Kernel for SimCluster {
         if let Some(e) = self.pending_error.take() {
             return Err(e);
         }
-        let resp = self.execute_inner(request)?;
+        self.totals.requests += 1;
+        let msgs_before = self.totals.messages_sent;
+        let mut resp = self.execute_inner(request)?;
+        resp.messages_sent = self.totals.messages_sent - msgs_before;
+        self.totals.records_examined += resp.stats.records_examined;
         self.maybe_snapshot();
         Ok(resp)
+    }
+
+    fn execute_transaction(&mut self, txn: &Transaction) -> Result<Vec<Response>> {
+        // Group commit: one sync for the whole transaction's appends
+        // (a durability optimisation, not atomicity — mirrors the
+        // threaded controller).
+        self.wal_begin_batch();
+        let result: Result<Vec<Response>> = txn.requests.iter().map(|r| self.execute(r)).collect();
+        let flush = self.wal_commit_batch();
+        let out = result?;
+        flush?;
+        Ok(out)
+    }
+
+    fn exec_totals(&self) -> ExecTotals {
+        self.totals
     }
 
     fn health(&self) -> KernelHealth {
@@ -714,24 +1075,38 @@ impl SimCluster {
                 Ok(self.finalize(resp))
             }
             Request::Delete { query } => {
-                let keys = self.matching_keys(query)?;
-                let resp = self.broadcast(request)?;
-                for k in &keys {
-                    self.directory.remove(k);
+                // Logical affected set *before* the round mutates it;
+                // the pre-images feed the index/residency bookkeeping.
+                let targets = self.route_targets(query);
+                let matched = self.matching_records(query, targets.as_deref())?;
+                let resp = self.send_round(request, targets.as_deref())?;
+                for (k, rec) in &matched {
+                    if let Some(group) = self.directory.remove(k) {
+                        if let Some(file) = rec.file().map(str::to_owned) {
+                            self.resident_remove(&file, &group);
+                        }
+                    }
+                    self.index_remove(*k, rec);
                 }
                 self.log_append(LogRecord::Exec { request: request.clone() })?;
-                let out = Response::with_affected(keys.len(), resp.stats);
+                let out = Response::with_affected(matched.len(), resp.stats);
                 Ok(self.finalize(out))
             }
-            Request::Update { query, .. } => {
-                let keys = self.matching_keys(query)?;
-                let resp = self.broadcast(request)?;
+            Request::Update { query, modifier } => {
+                let targets = self.route_targets(query);
+                let matched = self.matching_records(query, targets.as_deref())?;
+                let resp = self.send_round(request, targets.as_deref())?;
+                for (k, rec) in &matched {
+                    self.index_update(*k, rec, &modifier.attr, &modifier.value);
+                }
                 self.log_append(LogRecord::Exec { request: request.clone() })?;
-                let out = Response::with_affected(keys.len(), resp.stats);
+                let out = Response::with_affected(matched.len(), resp.stats);
                 Ok(self.finalize(out))
             }
             Request::Retrieve { query, target, by } if target.has_aggregates() => {
-                let rows = self.broadcast(&Request::retrieve_all(query.clone()))?;
+                let targets = self.route_targets(query);
+                let rows =
+                    self.send_round(&Request::retrieve_all(query.clone()), targets.as_deref())?;
                 let mut stats = rows.stats;
                 let groups = aggregate(rows.records(), target, by.as_deref())?;
                 stats.records_returned = groups.len() as u64;
@@ -743,8 +1118,11 @@ impl SimCluster {
                 // Matching halves may live on different backends; join
                 // at the controller over the merged partials (same
                 // scratch-store technique as the threaded controller).
-                let l = self.broadcast(&Request::retrieve_all(left.clone()))?;
-                let r = self.broadcast(&Request::retrieve_all(right.clone()))?;
+                // Each half routes independently.
+                let lt = self.route_targets(left);
+                let l = self.send_round(&Request::retrieve_all(left.clone()), lt.as_deref())?;
+                let rt = self.route_targets(right);
+                let r = self.send_round(&Request::retrieve_all(right.clone()), rt.as_deref())?;
                 let mut joiner = Store::new();
                 for (key, rec) in l.records() {
                     let mut rec = rec.clone();
@@ -776,7 +1154,11 @@ impl SimCluster {
                 Ok(self.finalize(out))
             }
             other => {
-                let resp = self.broadcast(other)?;
+                let targets = match other {
+                    Request::Retrieve { query, .. } => self.route_targets(query),
+                    _ => None,
+                };
+                let resp = self.send_round(other, targets.as_deref())?;
                 Ok(self.finalize(resp))
             }
         }

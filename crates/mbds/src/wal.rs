@@ -350,6 +350,15 @@ impl SnapshotData {
 pub trait LogStore: Send {
     /// Durably append one log line.
     fn append_line(&mut self, line: &str) -> Result<()>;
+    /// Durably append several log lines with (at most) one sync — the
+    /// group-commit path. The default writes them one at a time; stores
+    /// with an expensive sync override this to batch it.
+    fn append_lines(&mut self, lines: &[String]) -> Result<()> {
+        for line in lines {
+            self.append_line(line)?;
+        }
+        Ok(())
+    }
     /// All log lines appended since the last snapshot install.
     fn log_lines(&self) -> Result<Vec<String>>;
     /// The installed snapshot text, if any.
@@ -487,6 +496,28 @@ impl LogStore for FileLog {
         Ok(())
     }
 
+    fn append_lines(&mut self, lines: &[String]) -> Result<()> {
+        if lines.is_empty() {
+            return Ok(());
+        }
+        // Group commit: write every line, then pay for one sync.
+        let path = self.wal_path();
+        if self.appender.is_none() {
+            let f = fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&path)
+                .map_err(|e| io_err("open", &path, e))?;
+            self.appender = Some(f);
+        }
+        let f = self.appender.as_mut().expect("appender");
+        for line in lines {
+            writeln!(f, "{line}").map_err(|e| io_err("append", &path, e))?;
+        }
+        f.sync_data().map_err(|e| io_err("sync", &path, e))?;
+        Ok(())
+    }
+
     fn log_lines(&self) -> Result<Vec<String>> {
         let path = self.wal_path();
         match fs::read_to_string(&path) {
@@ -548,6 +579,11 @@ pub struct Wal {
     snapshot_every: Option<u64>,
     crash_after: Option<u64>,
     crashed: bool,
+    /// Encoded lines buffered by an open group-commit batch, written
+    /// (and synced) together when the outermost batch commits.
+    buffered: Vec<String>,
+    /// Open [`begin_batch`](Wal::begin_batch) nesting depth.
+    batch_depth: u32,
 }
 
 impl Wal {
@@ -562,6 +598,8 @@ impl Wal {
             snapshot_every: None,
             crash_after: None,
             crashed: false,
+            buffered: Vec::new(),
+            batch_depth: 0,
         }
     }
 
@@ -610,12 +648,21 @@ impl Wal {
         let seq = self.next_seq;
         let body = format!("{seq} {}", rec.encode());
         let line = format!("{:08x} {body}", crc32(body.as_bytes()));
-        self.store.append_line(&line)?;
+        if self.batch_depth > 0 {
+            self.buffered.push(line);
+        } else {
+            self.store.append_line(&line)?;
+        }
         self.next_seq += 1;
         self.appends_since_snapshot += 1;
         self.total_appends += 1;
         if self.crash_after.is_some_and(|n| self.total_appends >= n) {
+            // The crashing append must still be durable (the injector
+            // models a controller dying right *after* its log write),
+            // so a pending batch is flushed through this entry first.
+            let flush = self.flush_buffered();
             self.crashed = true;
+            flush?;
             return Err(Error::Unavailable(format!(
                 "injected controller crash after WAL append {}",
                 self.total_appends
@@ -624,8 +671,36 @@ impl Wal {
         Ok(())
     }
 
+    /// Open a group-commit batch: subsequent appends are buffered and
+    /// written with one sync when the outermost batch commits. Batches
+    /// nest (a transaction that triggers a backend restart, say).
+    pub fn begin_batch(&mut self) {
+        self.batch_depth += 1;
+    }
+
+    /// Close a batch; the outermost close flushes the buffered appends
+    /// durably in one [`LogStore::append_lines`] call.
+    pub fn commit_batch(&mut self) -> Result<()> {
+        self.batch_depth = self.batch_depth.saturating_sub(1);
+        if self.batch_depth == 0 && !self.crashed {
+            self.flush_buffered()?;
+        }
+        Ok(())
+    }
+
+    fn flush_buffered(&mut self) -> Result<()> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        let lines = std::mem::take(&mut self.buffered);
+        self.store.append_lines(&lines)
+    }
+
     /// Install a compacted snapshot and truncate the log.
     pub fn install_snapshot(&mut self, text: &str) -> Result<()> {
+        // Entries still buffered by an open batch describe mutations the
+        // snapshot already reflects; installing it makes them moot.
+        self.buffered.clear();
         self.store.install_snapshot(text)?;
         self.appends_since_snapshot = 0;
         self.next_seq = 1;

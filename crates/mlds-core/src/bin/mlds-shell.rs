@@ -22,6 +22,7 @@
 //! .schema <db>                  print a database's schema
 //! .transformed <db>             print a functional database's transformed network schema
 //! .abdl on|off                  echo generated ABDL requests (default on)
+//! .stats                        kernel work counters (requests, records, messages)
 //! .save <path> / .load <path>   dump / restore the kernel as ABDL text
 //! .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
 //! .recover <dir>                rebuild the kernel from the write-ahead log in <dir>
@@ -240,6 +241,20 @@ impl Shell {
                 }),
                 None => eprintln!("usage: .functional <db>"),
             },
+            Some("stats") => with_mlds!(&self.kern, m, {
+                let t = m.exec_totals();
+                let h = m.health();
+                println!(
+                    "requests executed:  {}\nrecords examined:   {}\nbackend messages:   {}\n\
+                     backends:           {} ({} down{})",
+                    t.requests,
+                    t.records_examined,
+                    t.messages_sent,
+                    h.backends,
+                    h.unavailable.len(),
+                    if h.degraded { ", degraded" } else { "" }
+                );
+            }),
             Some("abdl") => match words.next() {
                 Some("on") => self.echo_abdl = true,
                 Some("off") => self.echo_abdl = false,
@@ -398,6 +413,7 @@ const HELP: &str = "\
 .transformed <db>             print a functional database's transformed network schema
 .functional <db>              print a network database's reverse-transformed Daplex schema
 .abdl on|off                  echo generated ABDL requests (default on)
+.stats                        kernel work counters (requests, records, messages)
 .save <path> / .load <path>   dump / restore the kernel as ABDL text
 .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
 .recover <dir>                rebuild the kernel from the write-ahead log in <dir>

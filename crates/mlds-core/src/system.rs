@@ -129,6 +129,13 @@ impl<K: Kernel> Mlds<K> {
         self.kernel.health()
     }
 
+    /// Cumulative kernel work counters — requests executed, records
+    /// examined, and backend messages sent (always 0 messages on a
+    /// single-site kernel). The shell's `.stats` prints these.
+    pub fn exec_totals(&self) -> abdl::ExecTotals {
+        self.kernel.exec_totals()
+    }
+
     /// Names of all loaded databases (network first, then functional —
     /// LIL's search order).
     pub fn database_names(&self) -> Vec<&str> {

@@ -24,7 +24,7 @@
 
 use mlds::abdl::parse::parse_request;
 use mlds::abdl::prng::Prng;
-use mlds::abdl::{Kernel, Record, Request, Value};
+use mlds::abdl::{Kernel, Record, Request, Transaction, Value};
 use mlds::mbds::{Controller, MemLog};
 
 const BACKENDS: usize = 4;
@@ -37,12 +37,30 @@ const REPLICATION: usize = 2;
 #[derive(Clone, Debug)]
 enum Op {
     CreateFile,
+    AddUnique,
     Insert { v: i64 },
+    /// Insert carrying a `u` value under a `DUPLICATES NOT ALLOWED`
+    /// constraint — collisions are rejected by the controller's unique
+    /// index (appending nothing, deterministically).
+    InsertU { v: i64, u: i64 },
     Update { below: i64, set: i64 },
+    /// Update that rewrites the constrained attribute, exercising the
+    /// index's tuple-move path.
+    UpdateU { below: i64, set: i64 },
     Delete { v: i64 },
     Retrieve { below: i64 },
     Kill { backend: usize },
     Restart { backend: usize },
+    /// A multi-insert transaction: its WAL appends are group-committed
+    /// (buffered, one sync). Values are drawn from a disjoint range and
+    /// carry no `u`, so every insert appends exactly one entry.
+    Txn { vs: Vec<i64> },
+}
+
+fn txn_insert(v: i64) -> Request {
+    Request::Insert {
+        record: Record::from_pairs([("FILE", Value::str("f"))]).with("v", Value::Int(v)),
+    }
 }
 
 fn gen_ops(seed: u64, n: usize) -> Vec<Op> {
@@ -79,6 +97,48 @@ fn gen_ops(seed: u64, n: usize) -> Vec<Op> {
     ops
 }
 
+/// A workload over a `DUPLICATES NOT ALLOWED` file: unique-index
+/// checks, tuple-moving updates, group-committed transactions. Kills
+/// keep at least three of four backends alive (at most one down at a
+/// time), so adjacent k=2 replica groups never lose both members and
+/// no record data is ever permanently lost — the rebuilt unique index
+/// must then match the live one exactly.
+fn gen_ops_unique(seed: u64, n: usize) -> Vec<Op> {
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut alive = [true; BACKENDS];
+    let mut ops = vec![Op::CreateFile, Op::AddUnique];
+    while ops.len() <= n {
+        let live: Vec<usize> = (0..BACKENDS).filter(|&i| alive[i]).collect();
+        let dead: Vec<usize> = (0..BACKENDS).filter(|&i| !alive[i]).collect();
+        let roll = rng.gen_range(0, 100);
+        let op = if roll < 40 {
+            // A small u-space, so duplicate rejections actually happen.
+            Op::InsertU { v: rng.gen_range(0, 1000), u: rng.gen_range(0, 40) }
+        } else if roll < 50 {
+            let len = rng.gen_range(2, 5);
+            Op::Txn { vs: (0..len).map(|_| rng.gen_range(2000, 3000)).collect() }
+        } else if roll < 58 {
+            Op::UpdateU { below: rng.gen_range(0, 1000), set: rng.gen_range(0, 40) }
+        } else if roll < 68 {
+            Op::Delete { v: rng.gen_range(0, 1000) }
+        } else if roll < 78 {
+            Op::Retrieve { below: rng.gen_range(0, 1000) }
+        } else if roll < 89 && live.len() == BACKENDS {
+            let b = *rng.pick(&live);
+            alive[b] = false;
+            Op::Kill { backend: b }
+        } else if !dead.is_empty() {
+            let b = *rng.pick(&dead);
+            alive[b] = true;
+            Op::Restart { backend: b }
+        } else {
+            Op::InsertU { v: rng.gen_range(0, 1000), u: rng.gen_range(0, 40) }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
 /// Apply one op, ignoring the result — a crashed append surfaces as an
 /// error here, and the harness decides what to do from `wal_crashed`.
 fn apply(c: &mut Controller, op: &Op) {
@@ -86,14 +146,27 @@ fn apply(c: &mut Controller, op: &Op) {
         Op::CreateFile => {
             let _ = c.try_create_file("f");
         }
+        Op::AddUnique => c.add_unique_constraint("f", vec!["u".to_owned()]),
         Op::Insert { v } => {
             let rec =
                 Record::from_pairs([("FILE", Value::str("f"))]).with("v", Value::Int(*v));
             let _ = c.execute(&Request::Insert { record: rec });
         }
+        Op::InsertU { v, u } => {
+            let rec = Record::from_pairs([("FILE", Value::str("f"))])
+                .with("v", Value::Int(*v))
+                .with("u", Value::Int(*u));
+            let _ = c.execute(&Request::Insert { record: rec });
+        }
         Op::Update { below, set } => {
             let req =
                 parse_request(&format!("UPDATE ((FILE = f) and (v < {below})) (m = {set})"))
+                    .unwrap();
+            let _ = c.execute(&req);
+        }
+        Op::UpdateU { below, set } => {
+            let req =
+                parse_request(&format!("UPDATE ((FILE = f) and (v < {below})) (u = {set})"))
                     .unwrap();
             let _ = c.execute(&req);
         }
@@ -110,16 +183,23 @@ fn apply(c: &mut Controller, op: &Op) {
         Op::Restart { backend } => {
             let _ = c.restart_backend(*backend);
         }
+        Op::Txn { vs } => {
+            let txn = Transaction::new(vs.iter().map(|v| txn_insert(*v)).collect());
+            let _ = c.execute_transaction(&txn);
+        }
     }
 }
 
-/// Run ops until the armed crash point fires; the index of the op
-/// whose append crashed, or None if the workload finished.
-fn run_until_crash(c: &mut Controller, ops: &[Op]) -> Option<usize> {
+/// Run ops until the armed crash point fires. Returns the index of the
+/// op whose append crashed and the WAL append count just before that
+/// op started (so a partially logged transaction knows how many of its
+/// inserts are durable), or None if the workload finished.
+fn run_until_crash(c: &mut Controller, ops: &[Op]) -> Option<(usize, u64)> {
     for (i, op) in ops.iter().enumerate() {
+        let before = c.wal_appends();
         apply(c, op);
         if c.wal_crashed() {
-            return Some(i);
+            return Some((i, before));
         }
     }
     None
@@ -132,6 +212,9 @@ fn probe(c: &mut Controller) -> Vec<String> {
         "RETRIEVE (FILE = f) (*)",
         "RETRIEVE ((FILE = f) and (v < 500)) (*)",
         "RETRIEVE (FILE = f) (COUNT(v)) BY m",
+        // Key-scoped: when `u` is constrained unique, this routes
+        // through the rebuilt index rather than a broadcast.
+        "RETRIEVE ((FILE = f) and (u = 3)) (*)",
     ]
     .iter()
     .map(|q| {
@@ -145,6 +228,7 @@ fn probe(c: &mut Controller) -> Vec<String> {
 
 struct Reference {
     digest: String,
+    index_digest: String,
     high_water: u64,
     answers: Vec<String>,
     total_appends: u64,
@@ -158,6 +242,7 @@ fn reference_run(ops: &[Op], snapshot_every: u64) -> Reference {
     }
     Reference {
         digest: c.state_digest().unwrap(),
+        index_digest: c.unique_index_digest(),
         high_water: c.key_high_water(),
         answers: probe(&mut c),
         total_appends: c.wal_appends(),
@@ -171,7 +256,7 @@ fn crash_recover_check(ops: &[Op], crash_n: u64, snapshot_every: u64, want: &Ref
     let mut c = Controller::durable_with(BACKENDS, REPLICATION, log.clone()).unwrap();
     c.set_snapshot_every(snapshot_every);
     c.set_wal_crash_after(crash_n);
-    let crashed_at = run_until_crash(&mut c, ops)
+    let (crashed_at, appends_before) = run_until_crash(&mut c, ops)
         .unwrap_or_else(|| panic!("crash point {crash_n} never fired"));
     drop(c);
 
@@ -179,17 +264,28 @@ fn crash_recover_check(ops: &[Op], crash_n: u64, snapshot_every: u64, want: &Ref
     r.set_snapshot_every(snapshot_every);
     // Single-append ops are durably complete once their append is on
     // disk — skip them. A restart is two appends and idempotent, so
-    // re-run it whichever of the two crashed.
-    let resume_from = if matches!(ops[crashed_at], Op::Restart { .. }) {
-        crashed_at
-    } else {
-        crashed_at + 1
+    // re-run it whichever of the two crashed. A transaction appends one
+    // entry per insert (group-committed, but the crashing append is
+    // still flushed durably): the first `crash_n - appends_before`
+    // inserts are durable and applied, the rest never ran — finish the
+    // tail, then continue with the next op.
+    let resume_from = match &ops[crashed_at] {
+        Op::Restart { .. } => crashed_at,
+        Op::Txn { vs } => {
+            let done = (crash_n - appends_before) as usize;
+            for v in &vs[done..] {
+                let _ = r.execute(&txn_insert(*v));
+            }
+            crashed_at + 1
+        }
+        _ => crashed_at + 1,
     };
     for op in &ops[resume_from..] {
         apply(&mut r, op);
     }
     let ctx = format!("crash after append {crash_n} (op {crashed_at}: {:?})", ops[crashed_at]);
     assert_eq!(r.state_digest().unwrap(), want.digest, "digest diverged: {ctx}");
+    assert_eq!(r.unique_index_digest(), want.index_digest, "unique index diverged: {ctx}");
     assert_eq!(r.key_high_water(), want.high_water, "key allocator diverged: {ctx}");
     assert_eq!(probe(&mut r), want.answers, "query answers diverged: {ctx}");
 }
@@ -288,6 +384,54 @@ fn torn_tail_loses_only_the_last_append_even_across_double_crash() {
     assert_eq!(r2.execute(&all).unwrap().records().len(), 10);
 }
 
+/// Apply one op to the simulated cluster, mirroring [`apply`].
+fn apply_sim(s: &mut mlds::mbds::SimCluster, op: &Op) {
+    match op {
+        Op::CreateFile => s.create_file("f"),
+        Op::AddUnique => s.add_unique_constraint("f", vec!["u".to_owned()]),
+        Op::Insert { v } => {
+            let rec =
+                Record::from_pairs([("FILE", Value::str("f"))]).with("v", Value::Int(*v));
+            let _ = s.execute(&Request::Insert { record: rec });
+        }
+        Op::InsertU { v, u } => {
+            let rec = Record::from_pairs([("FILE", Value::str("f"))])
+                .with("v", Value::Int(*v))
+                .with("u", Value::Int(*u));
+            let _ = s.execute(&Request::Insert { record: rec });
+        }
+        Op::Update { below, set } => {
+            let req =
+                parse_request(&format!("UPDATE ((FILE = f) and (v < {below})) (m = {set})"))
+                    .unwrap();
+            let _ = s.execute(&req);
+        }
+        Op::UpdateU { below, set } => {
+            let req =
+                parse_request(&format!("UPDATE ((FILE = f) and (v < {below})) (u = {set})"))
+                    .unwrap();
+            let _ = s.execute(&req);
+        }
+        Op::Delete { v } => {
+            let req = parse_request(&format!("DELETE ((FILE = f) and (v = {v}))")).unwrap();
+            let _ = s.execute(&req);
+        }
+        Op::Retrieve { below } => {
+            let req =
+                parse_request(&format!("RETRIEVE ((FILE = f) and (v < {below})) (*)")).unwrap();
+            let _ = s.execute(&req);
+        }
+        Op::Kill { backend } => s.kill_backend(*backend),
+        Op::Restart { backend } => {
+            let _ = s.restart_backend(*backend);
+        }
+        Op::Txn { vs } => {
+            let txn = Transaction::new(vs.iter().map(|v| txn_insert(*v)).collect());
+            let _ = s.execute_transaction(&txn);
+        }
+    }
+}
+
 /// The threaded controller and the simulated cluster produce the same
 /// snapshot text (and hence the same recovered state) for the same
 /// operation sequence — the durable analogue of E13's equivalence.
@@ -301,38 +445,76 @@ fn controller_and_sim_cluster_agree_on_durable_state() {
             .unwrap();
     for op in &ops {
         apply(&mut c, op);
-        match op {
-            Op::CreateFile => s.create_file("f"),
-            Op::Insert { v } => {
-                let rec = Record::from_pairs([("FILE", Value::str("f"))])
-                    .with("v", Value::Int(*v));
-                let _ = s.execute(&Request::Insert { record: rec });
-            }
-            Op::Update { below, set } => {
-                let req = parse_request(&format!(
-                    "UPDATE ((FILE = f) and (v < {below})) (m = {set})"
-                ))
-                .unwrap();
-                let _ = s.execute(&req);
-            }
-            Op::Delete { v } => {
-                let req =
-                    parse_request(&format!("DELETE ((FILE = f) and (v = {v}))")).unwrap();
-                let _ = s.execute(&req);
-            }
-            Op::Retrieve { below } => {
-                let req = parse_request(&format!(
-                    "RETRIEVE ((FILE = f) and (v < {below})) (*)"
-                ))
-                .unwrap();
-                let _ = s.execute(&req);
-            }
-            Op::Kill { backend } => s.kill_backend(*backend),
-            Op::Restart { backend } => {
-                let _ = s.restart_backend(*backend);
-            }
-        }
+        apply_sim(&mut s, op);
     }
     assert_eq!(c.state_digest().unwrap(), s.state_digest());
     assert_eq!(c.key_high_water(), s.key_high_water());
+}
+
+/// The same twin-kernel equivalence over a unique-constrained workload:
+/// scoped routing, index-based duplicate rejection, tuple-moving
+/// updates and group-committed transactions all produce identical
+/// durable state — and identical unique indexes — in both kernels.
+#[test]
+fn controller_and_sim_cluster_agree_on_unique_constrained_state() {
+    use mlds::mbds::{CostModel, SimCluster};
+    let ops = gen_ops_unique(0xA11CE, 80);
+    let mut c = Controller::durable_with(BACKENDS, REPLICATION, MemLog::new()).unwrap();
+    let mut s =
+        SimCluster::durable_with(BACKENDS, REPLICATION, CostModel::default(), MemLog::new())
+            .unwrap();
+    for op in &ops {
+        apply(&mut c, op);
+        apply_sim(&mut s, op);
+    }
+    assert_eq!(c.state_digest().unwrap(), s.state_digest());
+    assert_eq!(c.unique_index_digest(), s.unique_index_digest());
+    assert!(!c.unique_index_digest().is_empty(), "workload never populated the index");
+    assert_eq!(c.key_high_water(), s.key_high_water());
+}
+
+/// The headline sweep over the unique-constrained workload: crash
+/// after every WAL append — including appends buffered inside
+/// group-committed transactions and duplicate-rejecting inserts —
+/// recover, resume, and state, answers *and the rebuilt unique index*
+/// match the never-crashed run.
+#[test]
+fn every_crash_point_in_a_unique_constrained_workload_recovers_identically() {
+    let ops = gen_ops_unique(0x1DECAFE, 140);
+    let want = reference_run(&ops, 0);
+    assert!(want.total_appends > 100, "workload too light: {} appends", want.total_appends);
+    assert!(!want.index_digest.is_empty(), "workload never populated the index");
+    for crash_n in 1..=want.total_appends {
+        crash_recover_check(&ops, crash_n, 0, &want);
+    }
+}
+
+/// The unique-constrained sweep with snapshot compaction: the index
+/// must also rebuild correctly from a snapshot + log suffix.
+#[test]
+fn unique_constrained_crash_sweep_recovers_with_snapshots() {
+    let ops = gen_ops_unique(0x5EED, 100);
+    let want = reference_run(&ops, 11);
+    for crash_n in 1..=want.total_appends {
+        crash_recover_check(&ops, crash_n, 11, &want);
+    }
+}
+
+/// Focused group-commit coverage: a single large transaction, crashed
+/// at each of its buffered appends in turn. The crashing append is
+/// flushed durably (flush-through-crash), so exactly the first
+/// `crash_n` inserts survive; the harness finishes the tail and the
+/// final state matches the uninterrupted run.
+#[test]
+fn crash_inside_a_group_committed_transaction_recovers() {
+    let mut ops = vec![Op::CreateFile, Op::AddUnique];
+    for v in 0..4 {
+        ops.push(Op::InsertU { v, u: v });
+    }
+    ops.push(Op::Txn { vs: (2000..2008).collect() });
+    ops.push(Op::InsertU { v: 50, u: 20 });
+    let want = reference_run(&ops, 0);
+    for crash_n in 1..=want.total_appends {
+        crash_recover_check(&ops, crash_n, 0, &want);
+    }
 }

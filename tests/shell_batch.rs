@@ -93,6 +93,41 @@ fn codasyl_currency_survives_controller_recovery() {
     assert!(stdout.matches("title = ").count() >= 3, "{stdout}");
 }
 
+/// `.stats` surfaces the kernel work counters. The single-store kernel
+/// never sends backend messages; a durable multi-backend kernel running
+/// the same demo must report a non-zero message count.
+#[test]
+fn stats_reports_kernel_work_counters() {
+    let field = |stdout: &str, name: &str| -> u64 {
+        stdout
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("no `{name}` line in {stdout}"))
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("unparsable `{name}` line in {stdout}"))
+    };
+
+    let (stdout, stderr) = run_shell(".demo\n.stats\n.quit\n");
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(field(&stdout, "requests executed:") > 0, "{stdout}");
+    assert_eq!(field(&stdout, "backend messages:"), 0, "{stdout}");
+
+    let dir = std::env::temp_dir().join(format!("mlds-shell-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("wal");
+    let (stdout, stderr) =
+        run_shell(&format!(".durable {} 4\n.demo\n.stats\n.quit\n", wal.display()));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(field(&stdout, "requests executed:") > 0, "{stdout}");
+    assert!(field(&stdout, "backend messages:") > 0, "{stdout}");
+    assert!(stdout.contains("backends:           4 (0 down)"), "{stdout}");
+}
+
 #[test]
 fn save_and_load_round_trip_through_the_shell() {
     let dir = std::env::temp_dir().join(format!("mlds-shell-save-{}", std::process::id()));
