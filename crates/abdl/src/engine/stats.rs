@@ -40,6 +40,14 @@ pub struct ExecTotals {
     pub records_examined: u64,
     /// Messages sent to backends (always 0 on a single-site kernel).
     pub messages_sent: u64,
+    /// WAL records appended (0 on a non-durable kernel).
+    pub wal_appends: u64,
+    /// WAL group-commit batches flushed.
+    pub wal_batches: u64,
+    /// WAL sync operations (one per unbatched append or flushed batch).
+    pub wal_syncs: u64,
+    /// WAL snapshots installed (log truncations).
+    pub wal_snapshots: u64,
 }
 
 /// Records per simulated disk block.

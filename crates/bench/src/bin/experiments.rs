@@ -7,7 +7,7 @@
 //! cargo run --release -p mlds-bench --bin experiments -- e7 e8 # subset
 //! ```
 
-use mlds_bench::{e15_report, run_experiment, EXPERIMENTS};
+use mlds_bench::{e15_report, e16_report, run_experiment, EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +32,16 @@ fn main() {
             match std::fs::write("BENCH_PR4.json", &report.json) {
                 Ok(()) => eprintln!("wrote BENCH_PR4.json"),
                 Err(e) => eprintln!("could not write BENCH_PR4.json: {e}"),
+            }
+            continue;
+        }
+        if id == "e16" {
+            // e16 also emits its raw numbers for CI to archive.
+            let report = e16_report();
+            println!("{}", report.table);
+            match std::fs::write("BENCH_PR5.json", &report.json) {
+                Ok(()) => eprintln!("wrote BENCH_PR5.json"),
+                Err(e) => eprintln!("could not write BENCH_PR5.json: {e}"),
             }
             continue;
         }

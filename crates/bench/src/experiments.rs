@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Experiment ids with one-line descriptions.
-pub const EXPERIMENTS: [(&str, &str); 15] = [
+pub const EXPERIMENTS: [(&str, &str); 16] = [
     ("e1", "Figure 2.1/2.2 — the University Daplex schema census"),
     ("e2", "Figure 2.3 — ABDM records, keyword predicates and DNF queries"),
     ("e3", "Figure 3.3 — the AB(functional) University kernel layout"),
@@ -24,6 +24,7 @@ pub const EXPERIMENTS: [(&str, &str); 15] = [
     ("e13", "Fault tolerance — availability vs replication factor, and recovery cost"),
     ("e14", "Durability — controller recovery time vs WAL length and snapshot interval"),
     ("e15", "Broadcast-tax ablation — unique index, scoped routing, parallel writes, group commit"),
+    ("e16", "Failover — hot-standby promotion vs cold recovery under churn"),
 ];
 
 /// Run one experiment by id.
@@ -44,6 +45,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e13" => Some(e13()),
         "e14" => Some(e14()),
         "e15" => Some(e15()),
+        "e16" => Some(e16()),
         _ => None,
     }
 }
@@ -837,6 +839,125 @@ pub fn e15() -> String {
     e15_report().table
 }
 
+// ----- E16 ------------------------------------------------------------
+
+/// Raw numbers from the E16 failover comparison, plus the rendered
+/// table. The `experiments` binary writes `json` to `BENCH_PR5.json`
+/// whenever e16 is selected so CI can archive the run.
+pub struct E16Report {
+    /// The human-readable table (what [`e16`] returns).
+    pub table: String,
+    /// The same numbers as a machine-readable JSON document.
+    pub json: String,
+    /// Promotion speedup over cold recovery at the heaviest churn
+    /// (16 000 updates) with snapshot compaction off — the regime where
+    /// cold recovery replays the entire log and the warm standby has
+    /// already absorbed it.
+    pub promotion_speedup_16k: f64,
+}
+
+/// One E16 regime: a stable 500-record database under `updates` of
+/// churn, a standby tailing the log throughout. Returns (log entries,
+/// records shipped to the standby, promotion ms, cold-recovery ms).
+///
+/// Both paths are measured on the *same* log: promotion first (the
+/// primary is still alive, so its drop detaches from the shared
+/// backends), then `Controller::recover_with` replaying the identical
+/// snapshot + suffix into a fresh cluster.
+fn e16_measure(updates: usize, snapshot_every: u64) -> (usize, u64, f64, f64) {
+    const RECORDS: usize = 500;
+    let log = mbds::MemLog::new();
+    let mut c = mbds::Controller::durable_with(4, 2, log.clone()).expect("durable controller");
+    c.set_snapshot_every(snapshot_every);
+    workload::load_flat(&mut c, RECORDS);
+    let mut sb = c.standby(Box::new(log.clone())).expect("standby");
+    for u in 0..updates {
+        let req = abdl::parse::parse_request(&format!(
+            "UPDATE ((FILE = f) and (f = {})) (payload = {})",
+            u % RECORDS,
+            u % 1000
+        ))
+        .expect("static update");
+        c.execute(&req).expect("update");
+        // Continuous tailing at a realistic cadence: the standby stays
+        // warm, so promotion has at most a batch of entries to absorb.
+        if u % 64 == 0 {
+            sb.poll().expect("poll");
+        }
+    }
+    sb.poll().expect("final poll");
+    let shipped = sb.lag().records_shipped;
+    let entries = log.log_len();
+
+    let start = Instant::now();
+    let p = sb.promote().expect("promote");
+    let promote_ms = start.elapsed().as_secs_f64() * 1000.0;
+    drop(c); // demoted: detaches from the backends the promoted controller now owns
+    drop(p);
+
+    let start = Instant::now();
+    drop(mbds::Controller::recover_with(log).expect("recover"));
+    let recover_ms = start.elapsed().as_secs_f64() * 1000.0;
+    (entries, shipped, promote_ms, recover_ms)
+}
+
+/// Run the E16 comparison: epoch-fenced hot-standby promotion versus
+/// cold WAL replay, over the same stable-database churn regimes as E14.
+pub fn e16_report() -> E16Report {
+    let cadence = |n: u64| if n == 0 { "off".to_owned() } else { n.to_string() };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "4 backends, k = 2; stable database (500 records) under churn;\n\
+         standby tails the log during the run, then the primary dies\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>15} {:>12} {:>10} {:>13} {:>12} {:>9}",
+        "updates", "snapshot every", "log entries", "shipped", "promote (ms)", "recover (ms)", "speedup"
+    );
+    let mut rows = String::new();
+    let mut speedup_16k = 0.0;
+    for updates in [1_000usize, 4_000, 16_000] {
+        for snapshot_every in [0u64, 1_000] {
+            let (entries, shipped, promote_ms, recover_ms) =
+                e16_measure(updates, snapshot_every);
+            let speedup = recover_ms / promote_ms;
+            if updates == 16_000 && snapshot_every == 0 {
+                speedup_16k = speedup;
+            }
+            let _ = writeln!(
+                out,
+                "{updates:>8} {:>15} {entries:>12} {shipped:>10} {promote_ms:>13.2} \
+                 {recover_ms:>12.1} {:>8.0}x",
+                cadence(snapshot_every),
+                speedup
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            let _ = write!(
+                rows,
+                "    {{ \"updates\": {updates}, \"snapshot_every\": {snapshot_every}, \
+                 \"log_entries\": {entries}, \"records_shipped\": {shipped}, \
+                 \"promote_ms\": {promote_ms:.4}, \"recover_ms\": {recover_ms:.3}, \
+                 \"speedup\": {speedup:.1} }}"
+            );
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e16\",\n  \"backends\": 4,\n  \"replication\": 2,\n  \
+         \"records\": 500,\n  \"promotion_speedup_16k\": {speedup_16k:.1},\n  \
+         \"regimes\": [\n{rows}\n  ]\n}}\n"
+    );
+    E16Report { table: out, json, promotion_speedup_16k: speedup_16k }
+}
+
+/// The failover comparison table; [`e16_report`] has the raw numbers.
+pub fn e16() -> String {
+    e16_report().table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -891,6 +1012,21 @@ mod tests {
             r.broadcast_messages_per_query
         );
         assert!(r.json.contains("\"speedup\""), "JSON missing speedup:\n{}", r.json);
+    }
+
+    #[test]
+    fn e16_promotion_beats_cold_recovery() {
+        let r = e16_report();
+        // Typical speedups are orders of magnitude (promotion replays
+        // nothing); a 5x floor keeps scheduler noise from flaking the
+        // suite while BENCH_PR5.json records the measured number.
+        assert!(
+            r.promotion_speedup_16k >= 5.0,
+            "promotion speedup collapsed: {:.1}x\n{}",
+            r.promotion_speedup_16k,
+            r.table
+        );
+        assert!(r.json.contains("\"promotion_speedup_16k\""), "JSON malformed:\n{}", r.json);
     }
 
     #[test]

@@ -19,10 +19,11 @@
 //! * **deterministic fault injection** ([`FaultPlan`]) applied inside
 //!   the worker loop, for reproducible availability experiments.
 
+use crate::directory::Directory;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::health::{BackendState, HealthBoard};
 use crate::placement::Partitioner;
-use crate::wal::{FileLog, LogRecord, LogStore, SnapshotData, Wal};
+use crate::wal::{FileLog, LogRecord, LogStore, SnapshotData, Wal, WalStats};
 use abdl::engine::aggregate;
 use abdl::{
     DbKey, Error, ExecTotals, Kernel, KernelHealth, Record, RelOp, Request, Response, Result,
@@ -30,6 +31,7 @@ use abdl::{
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -38,11 +40,24 @@ use std::time::Duration;
 /// Default replica count per record (clamped to the backend count).
 pub const DEFAULT_REPLICATION: usize = 2;
 
-enum ToBackend {
-    CreateFile(u64, String),
-    InsertWithKey(u64, DbKey, Record),
-    Exec(u64, Request),
+pub(crate) enum BackendOp {
+    CreateFile(String),
+    InsertWithKey(DbKey, Record),
+    Exec(Request),
     Shutdown,
+}
+
+/// One message on the controller→backend bus. The reply sender rides
+/// in the envelope (rather than being fixed at spawn) so a promoted
+/// standby can address the same backend threads over fresh reply
+/// channels — stale replies queued for the demoted controller can
+/// never reach the new one. `epoch` is the sender's controller epoch;
+/// backends reject envelopes below the cluster fence.
+pub(crate) struct Envelope {
+    seq: u64,
+    epoch: u64,
+    reply: Sender<Reply>,
+    op: BackendOp,
 }
 
 struct Reply {
@@ -51,9 +66,35 @@ struct Reply {
 }
 
 struct BackendHandle {
-    tx: Sender<ToBackend>,
+    tx: Sender<Envelope>,
     rx: Receiver<Reply>,
+    reply_tx: Sender<Reply>,
     join: Option<JoinHandle<()>>,
+}
+
+/// Everything a [`crate::Standby`] needs to take over the primary's
+/// backend threads at promotion time: the shared sender bus (kept
+/// current across backend restarts), the shared fence, the shared
+/// fault plan, and the reply timeout.
+pub(crate) struct ClusterLink {
+    pub(crate) bus: Arc<Mutex<Vec<Sender<Envelope>>>>,
+    pub(crate) fence: Arc<AtomicU64>,
+    pub(crate) faults: Arc<Mutex<FaultPlan>>,
+    pub(crate) reply_timeout: Duration,
+}
+
+/// The warm state a standby's mirror hands to
+/// [`Controller::promoted`].
+pub(crate) struct PromotedParts {
+    pub(crate) partitioner: Partitioner,
+    pub(crate) replication: usize,
+    pub(crate) next_key: u64,
+    pub(crate) unique_groups: HashMap<String, Vec<Vec<String>>>,
+    pub(crate) files: Vec<String>,
+    pub(crate) directory: Directory,
+    pub(crate) unique_index: HashMap<(String, usize), BTreeMap<Vec<Value>, BTreeSet<DbKey>>>,
+    pub(crate) resident: HashMap<String, Vec<u64>>,
+    pub(crate) dead: Vec<usize>,
 }
 
 /// The MBDS controller: owns the backends, assigns database keys,
@@ -66,6 +107,19 @@ pub struct Controller {
     replication: usize,
     next_key: u64,
     next_seq: u64,
+    /// This controller's epoch: 0 for a fresh controller, higher for
+    /// one installed by standby promotion. Stamped into every WAL line
+    /// and backend envelope.
+    epoch: u64,
+    /// The cluster fence, shared with every backend thread (and any
+    /// standby): envelopes below it are rejected, so a demoted
+    /// controller's stray writes go nowhere.
+    fence: Arc<AtomicU64>,
+    /// The live command senders, one per backend, shared with any
+    /// standby. `restart_backend` replaces a slot in place, so a
+    /// standby attached before the restart still promotes onto the
+    /// *current* channels.
+    bus: Arc<Mutex<Vec<Sender<Envelope>>>>,
     /// `DUPLICATES ARE NOT ALLOWED` groups are enforced *globally* by
     /// the controller (a per-backend check would only see its own
     /// partition).
@@ -74,8 +128,9 @@ pub struct Controller {
     /// backends before re-replication.
     files: Vec<String>,
     /// Which backends hold each record — the recovery and degraded-mode
-    /// source of truth.
-    directory: HashMap<DbKey, Vec<usize>>,
+    /// source of truth. Replica sets are interned ([`Directory`]), so a
+    /// million records cost a map slot each, not a `Vec` each.
+    directory: Directory,
     /// Shared with the worker threads; swap via `set_fault_plan`.
     faults: Arc<Mutex<FaultPlan>>,
     reply_timeout: Duration,
@@ -133,7 +188,10 @@ impl Controller {
         assert!(n > 0, "MBDS needs at least one backend");
         assert!((1..=n).contains(&k), "replication factor must be in 1..=n, got {k}");
         let faults: Arc<Mutex<FaultPlan>> = Arc::default();
-        let backends = (0..n).map(|i| spawn_backend(i, Arc::clone(&faults))).collect();
+        let fence: Arc<AtomicU64> = Arc::default();
+        let backends: Vec<BackendHandle> =
+            (0..n).map(|i| spawn_backend(i, Arc::clone(&fence), Arc::clone(&faults))).collect();
+        let bus = Arc::new(Mutex::new(backends.iter().map(|b| b.tx.clone()).collect()));
         Controller {
             backends,
             health: HealthBoard::new(n),
@@ -141,9 +199,12 @@ impl Controller {
             replication: k,
             next_key: 1,
             next_seq: 1,
+            epoch: 0,
+            fence,
+            bus,
             unique_groups: HashMap::new(),
             files: Vec::new(),
-            directory: HashMap::new(),
+            directory: Directory::new(),
             faults,
             reply_timeout: Duration::from_millis(1000),
             pending_error: None,
@@ -210,8 +271,91 @@ impl Controller {
         for entry in &entries {
             c.apply_entry(entry)?;
         }
+        // Recovery continues the store's lineage: adopt the highest
+        // epoch the log has seen so a recovered post-promotion
+        // controller is not fenced out by its own store.
+        c.epoch = wal.epoch();
+        c.fence.store(c.epoch, Ordering::SeqCst);
         c.wal = Some(wal);
         Ok(c)
+    }
+
+    /// Attach a hot standby to this (durable) controller: the standby
+    /// tails `store` — which must be another handle onto the same log
+    /// this controller writes (a cloned [`crate::MemLog`], or a second
+    /// [`FileLog`] opened on the same directory) — keeps a warm replica
+    /// of the full controller state, and can
+    /// [`promote`](crate::Standby::promote) itself over these same
+    /// backend threads without a replay pause.
+    pub fn standby(&self, store: Box<dyn LogStore>) -> Result<crate::Standby> {
+        if self.wal.is_none() {
+            return Err(Error::Internal(
+                "only a durable controller can ship its log to a standby".into(),
+            ));
+        }
+        crate::Standby::attach(self.cluster_link(), store)
+    }
+
+    /// The handles a standby needs to take over this cluster.
+    pub(crate) fn cluster_link(&self) -> ClusterLink {
+        ClusterLink {
+            bus: Arc::clone(&self.bus),
+            fence: Arc::clone(&self.fence),
+            faults: Arc::clone(&self.faults),
+            reply_timeout: self.reply_timeout,
+        }
+    }
+
+    /// Build the promoted controller a standby installs at failover:
+    /// fresh reply channels over the cluster's existing command
+    /// senders (`join: None` — the primary spawned the threads), warm
+    /// state copied from the standby's mirror, and a [`Wal`] resuming
+    /// the shipped log at the fenced `epoch`.
+    pub(crate) fn promoted(
+        link: ClusterLink,
+        wal: Wal,
+        epoch: u64,
+        parts: PromotedParts,
+    ) -> Controller {
+        let senders: Vec<Sender<Envelope>> = link.bus.lock().expect("bus lock").clone();
+        let n = senders.len();
+        let mut health = HealthBoard::new(n);
+        for &i in &parts.dead {
+            health.channel_closed(i);
+        }
+        let backends = senders
+            .into_iter()
+            .map(|tx| {
+                let (reply_tx, rx) = channel::<Reply>();
+                BackendHandle { tx, rx, reply_tx, join: None }
+            })
+            .collect();
+        Controller {
+            backends,
+            health,
+            partitioner: parts.partitioner,
+            replication: parts.replication,
+            next_key: parts.next_key,
+            next_seq: 1,
+            epoch,
+            fence: link.fence,
+            bus: link.bus,
+            unique_groups: parts.unique_groups,
+            files: parts.files,
+            directory: parts.directory,
+            faults: link.faults,
+            reply_timeout: link.reply_timeout,
+            pending_error: None,
+            degraded_cache: false,
+            degraded_dirty: true,
+            wal: Some(wal),
+            unique_index: parts.unique_index,
+            resident: parts.resident,
+            scoped_routing: true,
+            unique_via_index: true,
+            parallel_writes: true,
+            totals: ExecTotals::default(),
+        }
     }
 
     /// Total number of backends (alive or dead).
@@ -276,6 +420,22 @@ impl Controller {
     /// The key allocator's high-water mark (the next key to be issued).
     pub fn key_high_water(&self) -> u64 {
         self.next_key
+    }
+
+    /// This controller's epoch (0 unless installed by promotion or
+    /// recovered from a post-promotion log).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Directory-memory gauges: live entries, distinct replica-set
+    /// groups in use, and the estimated resident bytes.
+    pub fn directory_stats(&self) -> (usize, usize, u64) {
+        (
+            self.directory.len(),
+            self.directory.groups_in_use().count(),
+            self.directory.estimated_bytes(),
+        )
     }
 
     /// Toggle scoped routing (on by default). Off = every request is
@@ -512,7 +672,7 @@ impl Controller {
         let mut places: Vec<(u64, Vec<usize>, Option<Record>)> = self
             .directory
             .iter()
-            .map(|(k, group)| (k.0, group.clone(), data.remove(&k.0)))
+            .map(|(k, group)| (k.0, group.to_vec(), data.remove(&k.0)))
             .collect();
         places.sort_by_key(|(k, _, _)| *k);
         let mut uniques: Vec<(String, Vec<String>)> = self
@@ -631,7 +791,7 @@ impl Controller {
     /// Push one record copy to backend `i` (recovery load path).
     fn load_replica(&mut self, i: usize, key: DbKey, record: &Record) -> Result<()> {
         let seq = self.next_seq();
-        if self.send_to(i, ToBackend::InsertWithKey(seq, key, record.clone())) {
+        if self.send_to(i, seq, BackendOp::InsertWithKey(key, record.clone())) {
             if let Some(result) = self.recv_reply(i, seq) {
                 result?;
             }
@@ -647,8 +807,14 @@ impl Controller {
         if i >= self.backends.len() || !self.health.is_serving(i) {
             return;
         }
+        let epoch = self.epoch;
         let b = &mut self.backends[i];
-        let _ = b.tx.send(ToBackend::Shutdown);
+        let _ = b.tx.send(Envelope {
+            seq: 0,
+            epoch,
+            reply: b.reply_tx.clone(),
+            op: BackendOp::Shutdown,
+        });
         if let Some(join) = b.join.take() {
             let _ = join.join();
         }
@@ -683,6 +849,18 @@ impl Controller {
         Ok(())
     }
 
+    /// Finish a restart a crashed primary began but never completed.
+    /// The shipped log (and therefore the promoted health board) says
+    /// backend `i` is alive, but its worker thread was never respawned:
+    /// mark the channel closed so `restart_backend` actually runs, then
+    /// redo the restart for real — exactly what cold replay does for an
+    /// unmatched `restart-begin` marker.
+    pub(crate) fn finish_interrupted_restart(&mut self, i: usize) -> Result<()> {
+        self.health.channel_closed(i);
+        self.degraded_dirty = true;
+        self.restart_backend(i)
+    }
+
     fn restart_backend_inner(&mut self, i: usize) -> Result<()> {
         // WAL protocol: `restart-begin` before any effect, `restart-end`
         // after re-replication completes. Recovery replays the whole
@@ -692,8 +870,19 @@ impl Controller {
         self.log_append(LogRecord::RestartBegin { backend: i })?;
         // Drop the old handle (closing its channels) and join the dead
         // worker if it has not exited yet.
-        let old = std::mem::replace(&mut self.backends[i], spawn_backend(i, Arc::clone(&self.faults)));
-        let _ = old.tx.send(ToBackend::Shutdown);
+        let old = std::mem::replace(
+            &mut self.backends[i],
+            spawn_backend(i, Arc::clone(&self.fence), Arc::clone(&self.faults)),
+        );
+        // Keep the shared bus current: a standby attached before this
+        // restart must promote onto the replacement channel.
+        self.bus.lock().expect("bus lock")[i] = self.backends[i].tx.clone();
+        let _ = old.tx.send(Envelope {
+            seq: 0,
+            epoch: self.epoch,
+            reply: old.reply_tx.clone(),
+            op: BackendOp::Shutdown,
+        });
         drop(old.tx);
         if let Some(join) = old.join {
             let _ = join.join();
@@ -704,7 +893,7 @@ impl Controller {
         // Replay the schema.
         for file in self.files.clone() {
             let seq = self.next_seq();
-            if !self.send_to(i, ToBackend::CreateFile(seq, file)) {
+            if !self.send_to(i, seq, BackendOp::CreateFile(file)) {
                 return Err(Error::Unavailable(format!("backend {i} died during restart")));
             }
             if self.recv_reply(i, seq).is_none() {
@@ -722,7 +911,7 @@ impl Controller {
             for (key, rec) in survivors.into_records() {
                 if self.directory.get(&key).is_some_and(|g| g.contains(&i)) {
                     let seq = self.next_seq();
-                    if !self.send_to(i, ToBackend::InsertWithKey(seq, key, rec)) {
+                    if !self.send_to(i, seq, BackendOp::InsertWithKey(key, rec)) {
                         return Err(Error::Unavailable(format!("backend {i} died during recovery")));
                     }
                     match self.recv_reply(i, seq) {
@@ -754,7 +943,7 @@ impl Controller {
         let mut sent = Vec::new();
         for i in 0..self.backends.len() {
             if self.health.is_serving(i)
-                && self.send_to(i, ToBackend::CreateFile(seq, name.to_owned()))
+                && self.send_to(i, seq, BackendOp::CreateFile(name.to_owned()))
             {
                 sent.push(i);
             }
@@ -789,10 +978,18 @@ impl Controller {
         self.log_append_stashing(LogRecord::Dead { backend: i });
     }
 
-    /// Send a message to backend `i`; a closed channel marks it dead.
-    fn send_to(&mut self, i: usize, msg: ToBackend) -> bool {
+    /// Send an operation to backend `i`; a closed channel marks it
+    /// dead. The envelope carries this controller's epoch and a clone
+    /// of its reply sender.
+    fn send_to(&mut self, i: usize, seq: u64, op: BackendOp) -> bool {
         self.totals.messages_sent += 1;
-        if self.backends[i].tx.send(msg).is_err() {
+        let env = Envelope {
+            seq,
+            epoch: self.epoch,
+            reply: self.backends[i].reply_tx.clone(),
+            op,
+        };
+        if self.backends[i].tx.send(env).is_err() {
             self.health.channel_closed(i);
             self.note_dead(i);
             return false;
@@ -854,7 +1051,7 @@ impl Controller {
             None => {
                 for i in 0..self.backends.len() {
                     if self.health.is_serving(i)
-                        && self.send_to(i, ToBackend::Exec(seq, request.clone()))
+                        && self.send_to(i, seq, BackendOp::Exec(request.clone()))
                     {
                         sent.push(i);
                     }
@@ -866,7 +1063,7 @@ impl Controller {
             Some(targets) => {
                 for &i in targets {
                     if self.health.is_serving(i)
-                        && self.send_to(i, ToBackend::Exec(seq, request.clone()))
+                        && self.send_to(i, seq, BackendOp::Exec(request.clone()))
                     {
                         sent.push(i);
                     }
@@ -972,7 +1169,9 @@ impl Controller {
     fn compute_degraded(&self) -> bool {
         let dead: Vec<bool> =
             (0..self.backends.len()).map(|i| !self.health.is_serving(i)).collect();
-        self.directory.values().any(|group| group.iter().all(|&r| dead[r]))
+        // Interned groups make this O(distinct replica sets), not
+        // O(records): a group is degraded iff its every member is dead.
+        self.directory.groups_in_use().any(|group| group.iter().all(|&r| dead[r]))
     }
 
     /// The records currently matching `query`, deduplicated across
@@ -1075,7 +1274,7 @@ impl Controller {
             let seq = self.next_seq();
             let mut sent = Vec::new();
             for &i in &wave {
-                if self.send_to(i, ToBackend::InsertWithKey(seq, key, record.clone())) {
+                if self.send_to(i, seq, BackendOp::InsertWithKey(key, record.clone())) {
                     sent.push(i);
                 }
             }
@@ -1160,7 +1359,15 @@ impl Kernel for Controller {
     }
 
     fn exec_totals(&self) -> ExecTotals {
-        self.totals
+        let mut totals = self.totals;
+        if let Some(wal) = self.wal.as_ref() {
+            let WalStats { appends, batches, syncs, snapshot_installs } = wal.stats();
+            totals.wal_appends = appends;
+            totals.wal_batches = batches;
+            totals.wal_syncs = syncs;
+            totals.wal_snapshots = snapshot_installs;
+        }
+        totals
     }
 
     fn health(&self) -> KernelHealth {
@@ -1286,8 +1493,21 @@ impl Controller {
 
 impl Drop for Controller {
     fn drop(&mut self) {
+        // A demoted primary (a standby promoted past our epoch) no
+        // longer owns the backend threads: detach without shutting them
+        // down — the promoted controller is serving over them.
+        let demoted = self.fence.load(Ordering::SeqCst) > self.epoch;
         for b in &mut self.backends {
-            let _ = b.tx.send(ToBackend::Shutdown);
+            if demoted {
+                let _ = b.join.take();
+                continue;
+            }
+            let _ = b.tx.send(Envelope {
+                seq: 0,
+                epoch: self.epoch,
+                reply: b.reply_tx.clone(),
+                op: BackendOp::Shutdown,
+            });
             if let Some(join) = b.join.take() {
                 let _ = join.join();
             }
@@ -1295,28 +1515,48 @@ impl Drop for Controller {
     }
 }
 
-fn spawn_backend(index: usize, faults: Arc<Mutex<FaultPlan>>) -> BackendHandle {
-    let (tx, backend_rx) = channel::<ToBackend>();
-    let (backend_tx, rx) = channel::<Reply>();
+fn spawn_backend(
+    index: usize,
+    fence: Arc<AtomicU64>,
+    faults: Arc<Mutex<FaultPlan>>,
+) -> BackendHandle {
+    let (tx, backend_rx) = channel::<Envelope>();
+    let (reply_tx, rx) = channel::<Reply>();
     let join = std::thread::Builder::new()
         .name(format!("mbds-backend-{index}"))
-        .spawn(move || backend_loop(index, backend_rx, backend_tx, faults))
+        .spawn(move || backend_loop(index, backend_rx, fence, faults))
         .expect("spawn backend thread");
-    BackendHandle { tx, rx, join: Some(join) }
+    BackendHandle { tx, rx, reply_tx, join: Some(join) }
 }
 
 /// One backend: a private store served over the bus, with fault
-/// injection on the per-backend message counter.
+/// injection on the per-backend message counter and epoch fencing on
+/// every envelope — messages from a controller below the cluster fence
+/// are refused (and a stale `Shutdown` is ignored outright, so a
+/// demoted primary being dropped cannot take the cluster down).
 fn backend_loop(
     index: usize,
-    rx: Receiver<ToBackend>,
-    tx: Sender<Reply>,
+    rx: Receiver<Envelope>,
+    fence: Arc<AtomicU64>,
     faults: Arc<Mutex<FaultPlan>>,
 ) {
     let mut store = Store::new();
     let mut handled: u64 = 0;
-    while let Ok(msg) = rx.recv() {
-        if matches!(msg, ToBackend::Shutdown) {
+    while let Ok(env) = rx.recv() {
+        if env.epoch < fence.load(Ordering::SeqCst) {
+            if !matches!(env.op, BackendOp::Shutdown) {
+                let _ = env.reply.send(Reply {
+                    seq: env.seq,
+                    result: Err(Error::Unavailable(format!(
+                        "backend {index}: request fenced (epoch {} < fence {})",
+                        env.epoch,
+                        fence.load(Ordering::SeqCst)
+                    ))),
+                });
+            }
+            continue;
+        }
+        if matches!(env.op, BackendOp::Shutdown) {
             return;
         }
         handled += 1;
@@ -1328,19 +1568,16 @@ fn backend_loop(
             }
             _ => {}
         }
-        let (seq, result) = match msg {
-            ToBackend::CreateFile(seq, name) => {
+        let result = match env.op {
+            BackendOp::CreateFile(name) => {
                 store.create_file(name);
-                (seq, Ok(Response::default()))
+                Ok(Response::default())
             }
-            ToBackend::InsertWithKey(seq, key, record) => (
-                seq,
-                store
-                    .insert_with_key(key, record)
-                    .map(|()| Response::with_affected(1, Default::default())),
-            ),
-            ToBackend::Exec(seq, req) => (seq, store.execute(&req)),
-            ToBackend::Shutdown => unreachable!("handled above"),
+            BackendOp::InsertWithKey(key, record) => store
+                .insert_with_key(key, record)
+                .map(|()| Response::with_affected(1, Default::default())),
+            BackendOp::Exec(req) => store.execute(&req),
+            BackendOp::Shutdown => unreachable!("handled above"),
         };
         match fault {
             Some(FaultKind::DropReply) => continue,
@@ -1349,7 +1586,7 @@ fn backend_loop(
             }
             _ => {}
         }
-        let _ = tx.send(Reply { seq, result });
+        let _ = env.reply.send(Reply { seq: env.seq, result });
     }
 }
 

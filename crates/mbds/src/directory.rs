@@ -1,0 +1,180 @@
+//! Directory memory: the record directory with interned replica sets.
+//!
+//! The controller keeps one `DbKey → replica set` entry per live
+//! record. With replication factor `k` over `n` backends there are at
+//! most `n·(n-1)···(n-k+1)` distinct replica sets in play — a handful —
+//! while records number in the millions. Storing a `Vec<usize>` per
+//! record therefore wastes almost all of its bytes on duplicates of
+//! the same few sets. [`Directory`] interns each distinct replica set
+//! once, maps every key to a small group id, and keeps per-group
+//! reference counts so degraded-mode detection can scan the *groups*
+//! (O(distinct sets)) instead of the keys (O(records)).
+
+use abdl::DbKey;
+use std::collections::HashMap;
+
+/// The record directory: `DbKey → replica set`, with replica sets
+/// interned into shared groups.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    /// The interned replica sets, indexed by group id.
+    groups: Vec<Vec<usize>>,
+    /// Live entries currently pointing at each group.
+    refcounts: Vec<u64>,
+    /// Reverse lookup: replica set → its group id.
+    ids: HashMap<Vec<usize>, u32>,
+    /// The directory proper: one small id per record.
+    map: HashMap<DbKey, u32>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    fn intern(&mut self, group: Vec<usize>) -> u32 {
+        if let Some(&id) = self.ids.get(&group) {
+            return id;
+        }
+        let id = u32::try_from(self.groups.len()).expect("more than 2^32 distinct replica sets");
+        self.groups.push(group.clone());
+        self.refcounts.push(0);
+        self.ids.insert(group, id);
+        id
+    }
+
+    /// Map `key` to `group`, replacing any previous mapping.
+    pub fn insert(&mut self, key: DbKey, group: Vec<usize>) {
+        let id = self.intern(group);
+        if let Some(old) = self.map.insert(key, id) {
+            self.refcounts[old as usize] -= 1;
+        }
+        self.refcounts[id as usize] += 1;
+    }
+
+    /// The replica set holding `key`, if the record is live.
+    pub fn get(&self, key: &DbKey) -> Option<&[usize]> {
+        self.map.get(key).map(|&id| self.groups[id as usize].as_slice())
+    }
+
+    /// True when `key` has a directory entry.
+    pub fn contains_key(&self, key: &DbKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Remove `key`, returning the replica set it mapped to.
+    pub fn remove(&mut self, key: &DbKey) -> Option<Vec<usize>> {
+        let id = self.map.remove(key)?;
+        self.refcounts[id as usize] -= 1;
+        Some(self.groups[id as usize].clone())
+    }
+
+    /// Number of live directory entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no record is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Every live entry, in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (DbKey, &[usize])> + '_ {
+        self.map.iter().map(|(&key, &id)| (key, self.groups[id as usize].as_slice()))
+    }
+
+    /// The distinct replica sets at least one live record points at —
+    /// degraded-mode detection scans these instead of every key.
+    pub fn groups_in_use(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        self.groups
+            .iter()
+            .zip(&self.refcounts)
+            .filter(|(_, &rc)| rc > 0)
+            .map(|(g, _)| g.as_slice())
+    }
+
+    /// Distinct replica sets ever interned (dead or alive).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Rough resident-byte estimate: per-entry cost (key + group id +
+    /// hash-table overhead) plus the interned group storage. The point
+    /// is the *scaling* — millions of entries cost ~tens of bytes each
+    /// instead of a heap-allocated `Vec<usize>` each.
+    pub fn estimated_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        // One map slot: the key, the id, and ~one word of table overhead.
+        let per_entry = size_of::<DbKey>() + size_of::<u32>() + size_of::<usize>();
+        let entries = self.map.len() * per_entry;
+        // Interned groups: the members plus the Vec header, counted for
+        // both `groups` and the `ids` reverse index.
+        let per_group_fixed = 2 * size_of::<Vec<usize>>() + size_of::<u32>() + size_of::<u64>();
+        let groups: usize = self
+            .groups
+            .iter()
+            .map(|g| 2 * g.len() * size_of::<usize>() + per_group_fixed)
+            .sum();
+        (entries + groups) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_replica_sets_share_one_group() {
+        let mut d = Directory::new();
+        for i in 0..100 {
+            d.insert(DbKey(i), vec![0, 1]);
+        }
+        for i in 100..200 {
+            d.insert(DbKey(i), vec![1, 2]);
+        }
+        assert_eq!(d.len(), 200);
+        assert_eq!(d.group_count(), 2);
+        assert_eq!(d.get(&DbKey(7)), Some(&[0, 1][..]));
+        assert_eq!(d.get(&DbKey(150)), Some(&[1, 2][..]));
+        assert_eq!(d.get(&DbKey(999)), None);
+    }
+
+    #[test]
+    fn remove_and_reinsert_maintain_refcounts() {
+        let mut d = Directory::new();
+        d.insert(DbKey(1), vec![0, 1]);
+        d.insert(DbKey(2), vec![0, 1]);
+        assert_eq!(d.remove(&DbKey(1)), Some(vec![0, 1]));
+        assert_eq!(d.remove(&DbKey(1)), None);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.groups_in_use().count(), 1);
+        d.remove(&DbKey(2));
+        assert_eq!(d.groups_in_use().count(), 0, "unreferenced groups drop out");
+        assert_eq!(d.group_count(), 1, "but stay interned");
+        // Re-mapping a key replaces its old group's reference.
+        d.insert(DbKey(3), vec![0, 1]);
+        d.insert(DbKey(3), vec![2, 3]);
+        assert_eq!(d.get(&DbKey(3)), Some(&[2, 3][..]));
+        let in_use: Vec<&[usize]> = d.groups_in_use().collect();
+        assert_eq!(in_use, vec![&[2, 3][..]]);
+    }
+
+    #[test]
+    fn estimated_bytes_scales_with_entries_not_groups() {
+        let mut d = Directory::new();
+        d.insert(DbKey(0), vec![0, 1]);
+        let one = d.estimated_bytes();
+        for i in 1..1000 {
+            d.insert(DbKey(i), vec![0, 1]);
+        }
+        let thousand = d.estimated_bytes();
+        // 999 more entries share the single interned group: the
+        // per-entry cost is the map slot alone, far below a dedicated
+        // Vec<usize> allocation per record.
+        let per_entry = (thousand - one) / 999;
+        assert!(per_entry <= 32, "per-entry cost {per_entry} bytes");
+        assert_eq!(d.group_count(), 1);
+    }
+}

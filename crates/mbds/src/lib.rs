@@ -55,7 +55,12 @@
 //!   [`Controller::recover`] rebuilds an equivalent controller —
 //!   directory, key allocator, placement rotors, health board and
 //!   backend contents — after a crash between any two operations
-//!   (experiment E14, `tests/crash_recovery.rs`).
+//!   (experiment E14, `tests/crash_recovery.rs`);
+//! * a **hot standby** ([`Standby`], the [`standby`] module) tails the
+//!   primary's log, mirrors the full controller state warm, and
+//!   promotes over the *existing* backends without replay; promotion is
+//!   epoch-fenced, so a demoted primary's stray writes reach neither
+//!   the backends nor the log (experiment E16, `tests/failover.rs`).
 
 //! ## Example
 //!
@@ -78,15 +83,19 @@
 //! ```
 
 mod controller;
+mod directory;
 pub mod fault;
 pub mod health;
 mod placement;
 mod sim;
+pub mod standby;
 pub mod wal;
 
 pub use controller::{Controller, DEFAULT_REPLICATION};
+pub use directory::Directory;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{BackendState, HealthBoard};
 pub use placement::Partitioner;
 pub use sim::{CostModel, SimCluster};
-pub use wal::{FileLog, LogRecord, LogStore, MemLog, SnapshotData, Wal};
+pub use standby::{LagStats, Standby};
+pub use wal::{FileLog, LogCursor, LogRecord, LogStore, MemLog, SnapshotData, Wal};

@@ -33,10 +33,11 @@
 //! (a ~30 ms track read, millisecond-scale bus messages); only the
 //! *shape* of the curves matters for the reproduction.
 
-use crate::controller::DEFAULT_REPLICATION;
+use crate::controller::{PromotedParts, DEFAULT_REPLICATION};
+use crate::directory::Directory;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::placement::Partitioner;
-use crate::wal::{LogRecord, LogStore, SnapshotData, Wal};
+use crate::wal::{LogRecord, LogStore, SnapshotData, Wal, WalStats};
 use abdl::engine::aggregate;
 use abdl::{
     DbKey, Error, ExecTotals, Kernel, KernelHealth, Record, RelOp, Request, Response, Result,
@@ -75,7 +76,9 @@ pub struct SimCluster {
     cost: CostModel,
     unique_groups: HashMap<String, Vec<Vec<String>>>,
     files: Vec<String>,
-    directory: HashMap<DbKey, Vec<usize>>,
+    /// Which backends hold each record, with interned replica sets
+    /// (same [`Directory`] structure as the threaded controller).
+    directory: Directory,
     faults: FaultPlan,
     /// Messages each backend has processed, mirroring the threaded
     /// workers' 1-based counters (creates, inserts and execs all
@@ -148,7 +151,7 @@ impl SimCluster {
             cost,
             unique_groups: HashMap::new(),
             files: Vec::new(),
-            directory: HashMap::new(),
+            directory: Directory::new(),
             faults: FaultPlan::new(),
             msg_counts: vec![0; n],
             last_response_us: 0.0,
@@ -472,8 +475,8 @@ impl SimCluster {
                     .iter()
                     .copied()
                     .filter(|&j| self.alive[j])
-                    .find_map(|j| self.backends[j].get(*k).cloned());
-                (k.0, group.clone(), rec)
+                    .find_map(|j| self.backends[j].get(k).cloned());
+                (k.0, group.to_vec(), rec)
             })
             .collect();
         places.sort_by_key(|(k, _, _)| *k);
@@ -501,7 +504,24 @@ impl SimCluster {
         self.snapshot_data().to_text()
     }
 
-    fn apply_snapshot(&mut self, snap: &SnapshotData) -> Result<()> {
+    /// Hand the mirrored state to a promoting [`crate::Standby`]: every
+    /// piece of controller bookkeeping the new primary needs, cloned
+    /// out of the serial twin.
+    pub(crate) fn promoted_parts(&self) -> PromotedParts {
+        PromotedParts {
+            partitioner: self.partitioner.clone(),
+            replication: self.replication,
+            next_key: self.next_key,
+            unique_groups: self.unique_groups.clone(),
+            files: self.files.clone(),
+            directory: self.directory.clone(),
+            unique_index: self.unique_index.clone(),
+            resident: self.resident.clone(),
+            dead: (0..self.alive.len()).filter(|&i| !self.alive[i]).collect(),
+        }
+    }
+
+    pub(crate) fn apply_snapshot(&mut self, snap: &SnapshotData) -> Result<()> {
         self.next_key = snap.next_key;
         for file in &snap.files {
             if !self.files.iter().any(|f| f == file) {
@@ -539,7 +559,7 @@ impl SimCluster {
         Ok(())
     }
 
-    fn apply_entry(&mut self, entry: &LogRecord) -> Result<()> {
+    pub(crate) fn apply_entry(&mut self, entry: &LogRecord) -> Result<()> {
         match entry {
             LogRecord::CreateFile { name } => {
                 self.create_file(name);
@@ -636,7 +656,7 @@ impl SimCluster {
             .directory
             .iter()
             .filter(|(_, group)| group.contains(&i))
-            .map(|(k, g)| (*k, g.clone()))
+            .map(|(k, g)| (k, g.to_vec()))
             .collect();
         for (key, group) in keys {
             let Some(donor) = group.iter().copied().find(|&j| j != i && self.alive[j]) else {
@@ -1051,7 +1071,15 @@ impl Kernel for SimCluster {
     }
 
     fn exec_totals(&self) -> ExecTotals {
-        self.totals
+        let mut totals = self.totals;
+        if let Some(wal) = &self.wal {
+            let WalStats { appends, batches, syncs, snapshot_installs } = wal.stats();
+            totals.wal_appends = appends;
+            totals.wal_batches = batches;
+            totals.wal_syncs = syncs;
+            totals.wal_snapshots = snapshot_installs;
+        }
+        totals
     }
 
     fn health(&self) -> KernelHealth {
@@ -1059,7 +1087,7 @@ impl Kernel for SimCluster {
             (0..self.alive.len()).filter(|&i| !self.alive[i]).collect();
         let degraded = self
             .directory
-            .values()
+            .groups_in_use()
             .any(|group| group.iter().all(|&r| !self.alive[r]));
         KernelHealth { backends: self.backends.len(), unavailable, degraded }
     }

@@ -28,6 +28,16 @@
 //! The crash-point injector ([`Wal::set_crash_after`]) makes the Nth
 //! append *succeed durably and then fail the controller*, which is
 //! exactly the adversarial schedule the recovery property tests sweep.
+//!
+//! For hot-standby replication (the [`crate::Standby`] subsystem) the
+//! log doubles as the replication stream: every line carries the
+//! writing controller's **epoch** next to its sequence number, a
+//! [`LogCursor`] tails the store incrementally (tolerating in-flight
+//! group-commit batches, torn tails, and snapshot installs that
+//! truncate the log underneath it), and the store itself holds a
+//! **fence epoch** — once a standby promotes and raises the fence,
+//! every append from the demoted lower-epoch [`Wal`] is refused before
+//! it reaches the store, so a zombie primary can never write again.
 
 use abdl::parse::parse_request;
 use abdl::{Error, Record, Request, Result};
@@ -368,14 +378,29 @@ pub trait LogStore: Send {
     /// True when the store already holds a snapshot or log entries.
     fn has_state(&self) -> Result<bool>;
     /// Drop every log line after the first `keep` — recovery discards a
-    /// torn tail so appends that follow are not shadowed by it.
+    /// torn tail so appends that follow are not shadowed by it. Must be
+    /// safe under concurrent readers: a [`LogCursor`] tailing the same
+    /// store observes either the old or the new log, never a partial
+    /// rewrite.
     fn drop_torn_tail(&mut self, keep: usize) -> Result<()>;
+    /// The store's fence epoch: the highest controller epoch allowed to
+    /// append. Raised by standby promotion; a [`Wal`] at a lower epoch
+    /// refuses every subsequent append.
+    fn fence_epoch(&self) -> Result<u64>;
+    /// Raise the fence epoch (monotonic; lowering is ignored).
+    fn set_fence_epoch(&mut self, epoch: u64) -> Result<()>;
+    /// Number of snapshot installs this store has seen — a generation
+    /// counter that lets a [`LogCursor`] detect that the log was
+    /// truncated (and its sequence numbering reset) underneath it.
+    fn generation(&self) -> Result<u64>;
 }
 
 #[derive(Debug, Default)]
 struct MemLogInner {
     snapshot: Option<String>,
     lines: Vec<String>,
+    fence: u64,
+    generation: u64,
 }
 
 /// An in-memory [`LogStore`]. Cloning shares the underlying buffer, so
@@ -415,6 +440,12 @@ impl MemLog {
     pub fn truncate_log(&self, keep: usize) {
         self.inner.lock().expect("memlog lock").lines.truncate(keep);
     }
+
+    /// Test hook: append a raw (possibly garbage) line, as a crash
+    /// mid-append would leave behind.
+    pub fn push_raw_line(&self, line: &str) {
+        self.inner.lock().expect("memlog lock").lines.push(line.to_owned());
+    }
 }
 
 impl LogStore for MemLog {
@@ -435,6 +466,7 @@ impl LogStore for MemLog {
         let mut inner = self.inner.lock().expect("memlog lock");
         inner.snapshot = Some(text.to_owned());
         inner.lines.clear();
+        inner.generation += 1;
         Ok(())
     }
 
@@ -446,6 +478,20 @@ impl LogStore for MemLog {
     fn drop_torn_tail(&mut self, keep: usize) -> Result<()> {
         self.truncate_log(keep);
         Ok(())
+    }
+
+    fn fence_epoch(&self) -> Result<u64> {
+        Ok(self.inner.lock().expect("memlog lock").fence)
+    }
+
+    fn set_fence_epoch(&mut self, epoch: u64) -> Result<()> {
+        let mut inner = self.inner.lock().expect("memlog lock");
+        inner.fence = inner.fence.max(epoch);
+        Ok(())
+    }
+
+    fn generation(&self) -> Result<u64> {
+        Ok(self.inner.lock().expect("memlog lock").generation)
     }
 }
 
@@ -476,6 +522,31 @@ impl FileLog {
 
     fn snapshot_path(&self) -> PathBuf {
         self.dir.join("snapshot.mbds")
+    }
+
+    fn fence_path(&self) -> PathBuf {
+        self.dir.join("fence.epoch")
+    }
+
+    fn generation_path(&self) -> PathBuf {
+        self.dir.join("snapshot.gen")
+    }
+
+    /// Read a small counter file, treating "missing" as zero.
+    fn read_counter(&self, path: &Path) -> Result<u64> {
+        match fs::read_to_string(path) {
+            Ok(text) => parse_u64(text.trim()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(io_err("read", path, e)),
+        }
+    }
+
+    /// Durably replace a small counter file via write-to-temp + rename.
+    fn write_counter(&self, path: &Path, value: u64) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, format!("{value}\n")).map_err(|e| io_err("write", &tmp, e))?;
+        fs::rename(&tmp, path).map_err(|e| io_err("install", path, e))?;
+        Ok(())
     }
 }
 
@@ -541,6 +612,13 @@ impl LogStore for FileLog {
         fs::write(&tmp, text).map_err(|e| io_err("write", &tmp, e))?;
         let snap = self.snapshot_path();
         fs::rename(&tmp, &snap).map_err(|e| io_err("install", &snap, e))?;
+        // Bump the generation *before* truncating: a cursor that sees
+        // the old generation with an already-truncated log just finds no
+        // new lines; one that sees the new generation reloads the
+        // snapshot either way.
+        let gen_path = self.generation_path();
+        let generation = self.read_counter(&gen_path)? + 1;
+        self.write_counter(&gen_path, generation)?;
         // Truncate the log only after the snapshot is durably in place.
         self.appender = None;
         let wal = self.wal_path();
@@ -561,19 +639,59 @@ impl LogStore for FileLog {
         if !text.is_empty() {
             text.push('\n');
         }
-        fs::write(&wal, text).map_err(|e| io_err("truncate", &wal, e))?;
+        // Rewrite via temp + atomic rename so a concurrent reader (a
+        // standby's [`LogCursor`] tailing this store) observes either
+        // the old log or the truncated one, never a half-written file.
+        let tmp = self.dir.join("wal.tmp");
+        fs::write(&tmp, text).map_err(|e| io_err("write", &tmp, e))?;
+        fs::rename(&tmp, &wal).map_err(|e| io_err("truncate", &wal, e))?;
         Ok(())
+    }
+
+    fn fence_epoch(&self) -> Result<u64> {
+        self.read_counter(&self.fence_path())
+    }
+
+    fn set_fence_epoch(&mut self, epoch: u64) -> Result<()> {
+        let path = self.fence_path();
+        if epoch > self.read_counter(&path)? {
+            self.write_counter(&path, epoch)?;
+        }
+        Ok(())
+    }
+
+    fn generation(&self) -> Result<u64> {
+        self.read_counter(&self.generation_path())
     }
 }
 
+/// Cumulative write-ahead-log I/O counters, surfaced through
+/// `Kernel::exec_totals` so experiments can attribute durability cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Entries appended (including those written through a batch).
+    pub appends: u64,
+    /// Group-commit batches flushed (each pays one sync for many lines).
+    pub batches: u64,
+    /// Store syncs paid: one per unbatched append plus one per flushed
+    /// batch. For [`FileLog`] every sync is an `fsync`.
+    pub syncs: u64,
+    /// Compacted snapshots installed (each truncates the log).
+    pub snapshot_installs: u64,
+}
+
 /// The write-ahead log: sequence numbering, per-line checksums,
-/// snapshot cadence, and the deterministic crash-point injector used
-/// by the recovery harness.
+/// snapshot cadence, epoch fencing, and the deterministic crash-point
+/// injector used by the recovery harness.
 pub struct Wal {
     store: Box<dyn LogStore>,
     /// Sequence number of the next entry; resets to 1 at each snapshot
     /// install (the log only ever holds post-snapshot entries).
     next_seq: u64,
+    /// The writing controller's epoch, stamped into every line. Raised
+    /// only by standby promotion; an append is refused once the store's
+    /// fence epoch exceeds it.
+    epoch: u64,
     appends_since_snapshot: u64,
     total_appends: u64,
     snapshot_every: Option<u64>,
@@ -584,6 +702,7 @@ pub struct Wal {
     buffered: Vec<String>,
     /// Open [`begin_batch`](Wal::begin_batch) nesting depth.
     batch_depth: u32,
+    stats: WalStats,
 }
 
 impl Wal {
@@ -593,6 +712,7 @@ impl Wal {
         Wal {
             store,
             next_seq: 1,
+            epoch: 0,
             appends_since_snapshot: 0,
             total_appends: 0,
             snapshot_every: None,
@@ -600,7 +720,25 @@ impl Wal {
             crashed: false,
             buffered: Vec::new(),
             batch_depth: 0,
+            stats: WalStats::default(),
         }
+    }
+
+    /// A log resuming an existing store at a known position — the
+    /// promotion path, where the standby's cursor already knows the
+    /// sequence high-water mark and the new (fenced) epoch, so no
+    /// replay pass over the store is needed.
+    pub(crate) fn resume(
+        store: Box<dyn LogStore>,
+        next_seq: u64,
+        appends_since_snapshot: u64,
+        epoch: u64,
+    ) -> Wal {
+        let mut wal = Wal::create(store);
+        wal.next_seq = next_seq;
+        wal.appends_since_snapshot = appends_since_snapshot;
+        wal.epoch = epoch;
+        wal
     }
 
     /// Read back a store written by a previous incarnation: the parsed
@@ -617,13 +755,15 @@ impl Wal {
         let lines = store.log_lines()?;
         let mut entries = Vec::new();
         let mut next_seq = 1u64;
+        let mut epoch = store.fence_epoch()?;
         for line in &lines {
-            let Ok((seq, rec)) = decode_line(line) else { break };
+            let Ok((seq, line_epoch, rec)) = decode_line(line) else { break };
             if seq != next_seq {
                 break; // sequence gap: treat the rest as torn
             }
             entries.push(rec);
             next_seq += 1;
+            epoch = epoch.max(line_epoch);
         }
         if entries.len() < lines.len() {
             // Physically drop the torn tail so entries appended after
@@ -634,6 +774,10 @@ impl Wal {
         let mut wal = Wal::create(store);
         wal.next_seq = next_seq;
         wal.appends_since_snapshot = appends;
+        // Continue at the highest epoch the store has seen (line stamps
+        // or the fence itself) so recovery after a promotion keeps
+        // writing at the promoted epoch rather than getting fenced.
+        wal.epoch = epoch;
         Ok((snapshot, entries, wal))
     }
 
@@ -645,14 +789,26 @@ impl Wal {
         if self.crashed {
             return Err(Error::Unavailable("controller crashed (injected)".into()));
         }
+        // Epoch fence: once a standby has promoted (raising the store's
+        // fence), every append from this demoted log is refused *before*
+        // anything is written — the store never sees a stale record.
+        let fence = self.store.fence_epoch()?;
+        if fence > self.epoch {
+            return Err(Error::Unavailable(format!(
+                "controller fenced: epoch {} superseded by {fence}",
+                self.epoch
+            )));
+        }
         let seq = self.next_seq;
-        let body = format!("{seq} {}", rec.encode());
+        let body = format!("{seq} {} {}", self.epoch, rec.encode());
         let line = format!("{:08x} {body}", crc32(body.as_bytes()));
         if self.batch_depth > 0 {
             self.buffered.push(line);
         } else {
             self.store.append_line(&line)?;
+            self.stats.syncs += 1;
         }
+        self.stats.appends += 1;
         self.next_seq += 1;
         self.appends_since_snapshot += 1;
         self.total_appends += 1;
@@ -692,7 +848,20 @@ impl Wal {
         if self.buffered.is_empty() {
             return Ok(());
         }
+        // Re-check the fence at flush time: a promotion that landed
+        // between buffering and commit must keep these lines out of the
+        // store (the demoted primary leaves no post-fence records).
+        let fence = self.store.fence_epoch()?;
+        if fence > self.epoch {
+            self.buffered.clear();
+            return Err(Error::Unavailable(format!(
+                "controller fenced: epoch {} superseded by {fence}",
+                self.epoch
+            )));
+        }
         let lines = std::mem::take(&mut self.buffered);
+        self.stats.batches += 1;
+        self.stats.syncs += 1;
         self.store.append_lines(&lines)
     }
 
@@ -701,7 +870,15 @@ impl Wal {
         // Entries still buffered by an open batch describe mutations the
         // snapshot already reflects; installing it makes them moot.
         self.buffered.clear();
+        let fence = self.store.fence_epoch()?;
+        if fence > self.epoch {
+            return Err(Error::Unavailable(format!(
+                "controller fenced: epoch {} superseded by {fence}",
+                self.epoch
+            )));
+        }
         self.store.install_snapshot(text)?;
+        self.stats.snapshot_installs += 1;
         self.appends_since_snapshot = 0;
         self.next_seq = 1;
         Ok(())
@@ -729,20 +906,155 @@ impl Wal {
         self.total_appends
     }
 
+    /// This log's controller epoch (stamped into every line).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative I/O counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
     /// True when the snapshot cadence says it is time to compact.
     pub fn needs_snapshot(&self) -> bool {
         !self.crashed && self.snapshot_every.is_some_and(|n| self.appends_since_snapshot >= n)
     }
 }
 
-fn decode_line(line: &str) -> Result<(u64, LogRecord)> {
+fn decode_line(line: &str) -> Result<(u64, u64, LogRecord)> {
     let (crc_s, body) = line.split_once(' ').ok_or_else(|| bad("wal: malformed line"))?;
     let crc = u32::from_str_radix(crc_s, 16).map_err(|_| bad("wal: malformed checksum"))?;
     if crc32(body.as_bytes()) != crc {
         return Err(bad("wal: checksum mismatch"));
     }
-    let (seq_s, payload) = body.split_once(' ').ok_or_else(|| bad("wal: missing seq"))?;
-    Ok((parse_u64(seq_s)?, LogRecord::decode(payload)?))
+    let (seq_s, rest) = body.split_once(' ').ok_or_else(|| bad("wal: missing seq"))?;
+    let (epoch_s, payload) = rest.split_once(' ').ok_or_else(|| bad("wal: missing epoch"))?;
+    Ok((parse_u64(seq_s)?, parse_u64(epoch_s)?, LogRecord::decode(payload)?))
+}
+
+/// What one [`LogCursor::poll`] observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CursorUpdate {
+    /// Fresh decoded log entries, in order. Empty when the cursor is
+    /// caught up.
+    Entries(Vec<LogRecord>),
+    /// The store installed a snapshot since the last poll: the log was
+    /// truncated and its sequence numbering reset, so the follower must
+    /// rebuild from this snapshot text before consuming further
+    /// entries.
+    Snapshot(String),
+}
+
+/// An incremental reader tailing a [`LogStore`] — the shipping half of
+/// the standby subsystem. Each [`poll`](LogCursor::poll) consumes
+/// whatever complete, in-sequence entries the store has gained since
+/// the last poll. A line that fails checksum or sequence checks stops
+/// the poll *without* being consumed: it may be a torn tail (junk
+/// forever) or the first half of an in-flight group-commit batch
+/// (valid on the next poll), and the cursor cannot tell yet — so it
+/// simply retries from the same spot next time.
+pub struct LogCursor {
+    store: Box<dyn LogStore>,
+    /// Store generation as of the last poll; starts at a sentinel no
+    /// store reports, so the first poll always loads the snapshot (if
+    /// any).
+    generation: u64,
+    /// Log lines consumed from the current generation.
+    consumed: usize,
+    next_seq: u64,
+    max_epoch: u64,
+    bytes_behind: u64,
+}
+
+impl LogCursor {
+    /// A cursor positioned at the very beginning of `store`. The first
+    /// [`poll`](LogCursor::poll) reports the installed snapshot (when
+    /// one exists) before any log entries.
+    pub fn new(store: Box<dyn LogStore>) -> LogCursor {
+        LogCursor {
+            store,
+            generation: u64::MAX,
+            consumed: 0,
+            next_seq: 1,
+            max_epoch: 0,
+            bytes_behind: 0,
+        }
+    }
+
+    /// Read whatever the store has gained since the last poll. Returns
+    /// `CursorUpdate::Snapshot` when the store's snapshot generation
+    /// changed (the follower must rebuild), otherwise the fresh
+    /// entries (possibly none).
+    pub fn poll(&mut self) -> Result<CursorUpdate> {
+        let generation = self.store.generation()?;
+        if generation != self.generation {
+            // The log was truncated (snapshot install) since the last
+            // poll — or this is the first poll ever. Restart from the
+            // snapshot; sequence numbering reset with the truncation.
+            self.generation = generation;
+            self.consumed = 0;
+            self.next_seq = 1;
+            self.bytes_behind = 0;
+            if let Some(text) = self.store.read_snapshot()? {
+                return Ok(CursorUpdate::Snapshot(text));
+            }
+            // No snapshot installed yet (fresh store): fall through and
+            // consume log entries directly.
+        }
+        let lines = self.store.log_lines()?;
+        let mut entries = Vec::new();
+        let mut behind = 0u64;
+        for line in lines.iter().skip(self.consumed) {
+            match decode_line(line) {
+                Ok((seq, epoch, rec)) if seq == self.next_seq => {
+                    entries.push(rec);
+                    self.consumed += 1;
+                    self.next_seq += 1;
+                    self.max_epoch = self.max_epoch.max(epoch);
+                }
+                // Torn tail or in-flight batch: stop here, do not
+                // consume — the line may become valid by the next poll.
+                _ => {
+                    behind = lines
+                        .iter()
+                        .skip(self.consumed)
+                        .map(|l| l.len() as u64 + 1)
+                        .sum();
+                    break;
+                }
+            }
+        }
+        self.bytes_behind = behind;
+        Ok(CursorUpdate::Entries(entries))
+    }
+
+    /// Log lines consumed from the current generation.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Sequence number the next consumed entry must carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Highest epoch stamp observed across all consumed entries.
+    pub fn max_epoch(&self) -> u64 {
+        self.max_epoch
+    }
+
+    /// Bytes of unconsumed log observed by the last poll (stuck lines
+    /// the cursor is waiting on — the replication-lag gauge).
+    pub fn bytes_behind(&self) -> u64 {
+        self.bytes_behind
+    }
+
+    /// Surrender the underlying store (the promotion path takes it over
+    /// for writing).
+    pub fn into_store(self) -> Box<dyn LogStore> {
+        self.store
+    }
 }
 
 #[cfg(test)]
@@ -876,6 +1188,193 @@ mod tests {
         let (loaded, entries, _) = Wal::load(Box::new(log)).unwrap();
         assert_eq!(loaded.unwrap().backends, 2);
         assert_eq!(entries, vec![LogRecord::ReserveKey { key: 9 }]);
+    }
+
+    #[test]
+    fn fence_refuses_stale_epoch_appends_before_they_reach_the_store() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        wal.append(&LogRecord::ReserveKey { key: 0 }).unwrap();
+        // A promotion elsewhere raises the store fence past our epoch 0.
+        let mut fencer: Box<dyn LogStore> = Box::new(log.clone());
+        fencer.set_fence_epoch(1).unwrap();
+        let err = wal.append(&LogRecord::ReserveKey { key: 1 }).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "fenced append must fail: {err:?}");
+        assert_eq!(log.log_len(), 1, "the fenced append left no trace");
+        // Batched appends are fenced at flush time too.
+        wal.begin_batch();
+        assert!(wal.append(&LogRecord::ReserveKey { key: 2 }).is_err());
+        assert!(wal.commit_batch().is_ok(), "empty flush after refusal");
+        assert_eq!(log.log_len(), 1);
+        // Snapshot installs from the demoted writer are refused as well.
+        let snap = SnapshotData { backends: 2, replication: 1, ..Default::default() };
+        assert!(wal.install_snapshot(&snap.to_text()).is_err());
+        assert_eq!(log.log_len(), 1);
+    }
+
+    #[test]
+    fn fence_raise_is_monotonic_and_survives_load() {
+        let log = MemLog::new();
+        let mut store: Box<dyn LogStore> = Box::new(log.clone());
+        store.set_fence_epoch(3).unwrap();
+        store.set_fence_epoch(1).unwrap(); // lowering is ignored
+        assert_eq!(store.fence_epoch().unwrap(), 3);
+        // A Wal loaded from a fenced store adopts the fence epoch and
+        // keeps writing (it *is* the promoted lineage).
+        let (_, _, mut wal) = Wal::load(Box::new(log.clone())).unwrap();
+        assert_eq!(wal.epoch(), 3);
+        wal.append(&LogRecord::ReserveKey { key: 7 }).unwrap();
+        let (_, entries, wal2) = Wal::load(Box::new(log)).unwrap();
+        assert_eq!(entries, vec![LogRecord::ReserveKey { key: 7 }]);
+        assert_eq!(wal2.epoch(), 3);
+    }
+
+    #[test]
+    fn wal_counts_appends_batches_syncs_and_snapshots() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        wal.append(&LogRecord::ReserveKey { key: 0 }).unwrap();
+        wal.begin_batch();
+        wal.append(&LogRecord::ReserveKey { key: 1 }).unwrap();
+        wal.append(&LogRecord::ReserveKey { key: 2 }).unwrap();
+        wal.commit_batch().unwrap();
+        let snap = SnapshotData { backends: 2, replication: 1, ..Default::default() };
+        wal.install_snapshot(&snap.to_text()).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 3);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.syncs, 2, "one unbatched append + one batch flush");
+        assert_eq!(stats.snapshot_installs, 1);
+    }
+
+    #[test]
+    fn cursor_tails_the_log_incrementally() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        let mut cursor = LogCursor::new(Box::new(log.clone()));
+        // Fresh store: first poll finds no snapshot and no entries.
+        assert_eq!(cursor.poll().unwrap(), CursorUpdate::Entries(vec![]));
+        wal.append(&LogRecord::ReserveKey { key: 0 }).unwrap();
+        wal.append(&LogRecord::ReserveKey { key: 1 }).unwrap();
+        assert_eq!(
+            cursor.poll().unwrap(),
+            CursorUpdate::Entries(vec![
+                LogRecord::ReserveKey { key: 0 },
+                LogRecord::ReserveKey { key: 1 },
+            ])
+        );
+        // Caught up: the next poll is empty, and position advanced.
+        assert_eq!(cursor.poll().unwrap(), CursorUpdate::Entries(vec![]));
+        assert_eq!(cursor.consumed(), 2);
+        assert_eq!(cursor.next_seq(), 3);
+        wal.append(&LogRecord::Dead { backend: 1 }).unwrap();
+        assert_eq!(
+            cursor.poll().unwrap(),
+            CursorUpdate::Entries(vec![LogRecord::Dead { backend: 1 }])
+        );
+    }
+
+    #[test]
+    fn cursor_waits_out_a_torn_tail_without_consuming_it() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        wal.append(&LogRecord::ReserveKey { key: 0 }).unwrap();
+        wal.append(&LogRecord::ReserveKey { key: 1 }).unwrap();
+        log.corrupt_line(1);
+        let mut cursor = LogCursor::new(Box::new(log.clone()));
+        assert_eq!(
+            cursor.poll().unwrap(),
+            CursorUpdate::Entries(vec![LogRecord::ReserveKey { key: 0 }])
+        );
+        assert!(cursor.bytes_behind() > 0, "the stuck line counts as lag");
+        // Recovery truncates the torn tail; the cursor just stops seeing
+        // the junk and resumes cleanly with post-recovery appends.
+        let (_, entries, mut wal2) = Wal::load(Box::new(log.clone())).unwrap();
+        assert_eq!(entries.len(), 1);
+        wal2.append(&LogRecord::ReserveKey { key: 9 }).unwrap();
+        assert_eq!(
+            cursor.poll().unwrap(),
+            CursorUpdate::Entries(vec![LogRecord::ReserveKey { key: 9 }])
+        );
+        assert_eq!(cursor.bytes_behind(), 0);
+    }
+
+    #[test]
+    fn cursor_resets_across_a_snapshot_install() {
+        let log = MemLog::new();
+        let mut wal = Wal::create(Box::new(log.clone()));
+        let mut cursor = LogCursor::new(Box::new(log.clone()));
+        wal.append(&LogRecord::ReserveKey { key: 0 }).unwrap();
+        assert_eq!(
+            cursor.poll().unwrap(),
+            CursorUpdate::Entries(vec![LogRecord::ReserveKey { key: 0 }])
+        );
+        // Install a snapshot: the log truncates and seq restarts at 1 —
+        // the cursor must notice and hand the follower the snapshot.
+        let snap = SnapshotData { backends: 2, replication: 1, next_key: 5, ..Default::default() };
+        wal.install_snapshot(&snap.to_text()).unwrap();
+        wal.append(&LogRecord::ReserveKey { key: 5 }).unwrap();
+        match cursor.poll().unwrap() {
+            CursorUpdate::Snapshot(text) => {
+                assert_eq!(SnapshotData::parse(&text).unwrap(), snap);
+            }
+            other => panic!("expected snapshot reset, got {other:?}"),
+        }
+        assert_eq!(
+            cursor.poll().unwrap(),
+            CursorUpdate::Entries(vec![LogRecord::ReserveKey { key: 5 }])
+        );
+    }
+
+    #[test]
+    fn cursor_tracks_the_highest_epoch_stamp() {
+        let log = MemLog::new();
+        let mut wal = Wal::resume(Box::new(log.clone()), 1, 0, 4);
+        wal.append(&LogRecord::ReserveKey { key: 0 }).unwrap();
+        let mut cursor = LogCursor::new(Box::new(log));
+        cursor.poll().unwrap();
+        assert_eq!(cursor.max_epoch(), 4);
+    }
+
+    #[test]
+    fn file_log_drop_torn_tail_is_atomic_under_a_concurrent_cursor() {
+        let dir =
+            std::env::temp_dir().join(format!("mbds-wal-tail-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut wal = Wal::create(Box::new(FileLog::open(&dir).unwrap()));
+            for i in 0..4 {
+                wal.append(&LogRecord::ReserveKey { key: i }).unwrap();
+            }
+        }
+        // Simulate a crash mid-append: hand-mangle the final line.
+        let wal_path = dir.join("wal.log");
+        let mut text = fs::read_to_string(&wal_path).unwrap();
+        text.truncate(text.len() - 10); // tear the last line
+        fs::write(&wal_path, text).unwrap();
+        // A standby cursor holds the store open across the recovery that
+        // discards the tail.
+        let mut cursor = LogCursor::new(Box::new(FileLog::open(&dir).unwrap()));
+        match cursor.poll().unwrap() {
+            CursorUpdate::Entries(entries) => assert_eq!(entries.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(cursor.bytes_behind() > 0);
+        let (_, entries, mut wal) = Wal::load(Box::new(FileLog::open(&dir).unwrap())).unwrap();
+        assert_eq!(entries.len(), 3, "recovery keeps the intact prefix");
+        // The rewrite went through a temp file + rename: no half-written
+        // wal.log was ever observable, and no temp file is left behind.
+        assert!(!dir.join("wal.tmp").exists());
+        // The cursor keeps tailing seamlessly after the truncation.
+        wal.append(&LogRecord::ReserveKey { key: 9 }).unwrap();
+        match cursor.poll().unwrap() {
+            CursorUpdate::Entries(entries) => {
+                assert_eq!(entries, vec![LogRecord::ReserveKey { key: 9 }]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cursor.bytes_behind(), 0);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

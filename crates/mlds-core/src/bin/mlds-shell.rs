@@ -26,6 +26,9 @@
 //! .save <path> / .load <path>   dump / restore the kernel as ABDL text
 //! .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
 //! .recover <dir>                rebuild the kernel from the write-ahead log in <dir>
+//! .standby <dir>                attach a hot standby tailing the WAL in <dir>
+//! .lag                          ship pending log records and print replication lag
+//! .promote                      fail over: promote the standby over the live backends
 //! .quit                         exit
 //! ```
 
@@ -62,6 +65,9 @@ struct Shell {
     kern: Kern,
     session: Session,
     echo_abdl: bool,
+    /// A hot standby tailing the durable kernel's WAL (`.standby`),
+    /// consumed by `.promote`.
+    standby: Option<Box<mbds::Standby>>,
 }
 
 fn main() {
@@ -69,6 +75,7 @@ fn main() {
         kern: Kern::Single(Box::new(Mlds::single_backend())),
         session: Session::None,
         echo_abdl: true,
+        standby: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(path) = args.first() {
@@ -241,20 +248,43 @@ impl Shell {
                 }),
                 None => eprintln!("usage: .functional <db>"),
             },
-            Some("stats") => with_mlds!(&self.kern, m, {
-                let t = m.exec_totals();
-                let h = m.health();
-                println!(
-                    "requests executed:  {}\nrecords examined:   {}\nbackend messages:   {}\n\
-                     backends:           {} ({} down{})",
-                    t.requests,
-                    t.records_examined,
-                    t.messages_sent,
-                    h.backends,
-                    h.unavailable.len(),
-                    if h.degraded { ", degraded" } else { "" }
-                );
-            }),
+            Some("stats") => {
+                with_mlds!(&self.kern, m, {
+                    let t = m.exec_totals();
+                    let h = m.health();
+                    println!(
+                        "requests executed:  {}\nrecords examined:   {}\nbackend messages:   {}\n\
+                         wal appends:        {} ({} batches, {} syncs, {} snapshots)\n\
+                         backends:           {} ({} down{})",
+                        t.requests,
+                        t.records_examined,
+                        t.messages_sent,
+                        t.wal_appends,
+                        t.wal_batches,
+                        t.wal_syncs,
+                        t.wal_snapshots,
+                        h.backends,
+                        h.unavailable.len(),
+                        if h.degraded { ", degraded" } else { "" }
+                    );
+                });
+                if let Kern::Durable(m) = &mut self.kern {
+                    let k = m.kernel_mut();
+                    let (records, groups, bytes) = k.directory_stats();
+                    println!(
+                        "controller epoch:   {}\ndirectory:          {records} record(s) in \
+                         {groups} replica group(s), ~{bytes} bytes resident",
+                        k.epoch()
+                    );
+                }
+                if let Some(sb) = &self.standby {
+                    let lag = sb.lag();
+                    println!(
+                        "standby lag:        {} record(s) shipped, {} bytes behind, {} µs applying",
+                        lag.records_shipped, lag.bytes_behind, lag.apply_micros
+                    );
+                }
+            }
             Some("abdl") => match words.next() {
                 Some("on") => self.echo_abdl = true,
                 Some("off") => self.echo_abdl = false,
@@ -299,6 +329,7 @@ impl Shell {
                         Ok(m) => {
                             self.kern = Kern::Durable(Box::new(m));
                             self.session = Session::None;
+                            self.standby = None;
                             println!(
                                 "durable {backends}-backend kernel logging to `{dir}` \
                                  (fresh kernel: .create or .demo, then .open)"
@@ -334,13 +365,56 @@ impl Shell {
                 },
                 None => eprintln!("usage: .recover <dir>"),
             },
+            Some("standby") => match (words.next(), &self.kern) {
+                (Some(dir), Kern::Durable(m)) => match m.standby_of(dir) {
+                    Ok(sb) => {
+                        self.standby = Some(Box::new(sb));
+                        println!(
+                            "standby attached, tailing `{dir}` (.lag to check, .promote to \
+                             fail over)"
+                        );
+                    }
+                    Err(e) => eprintln!("{e}"),
+                },
+                (Some(_), Kern::Single(_)) => {
+                    eprintln!(".standby requires a durable kernel (.durable <dir> first)")
+                }
+                (None, _) => eprintln!("usage: .standby <dir>"),
+            },
+            Some("lag") => match &mut self.standby {
+                Some(sb) => match sb.poll() {
+                    Ok(n) => {
+                        let lag = sb.lag();
+                        println!(
+                            "shipped {} record(s) total ({n} this poll), {} bytes behind, \
+                             {} µs applying",
+                            lag.records_shipped, lag.bytes_behind, lag.apply_micros
+                        );
+                    }
+                    Err(e) => eprintln!("{e}"),
+                },
+                None => eprintln!("no standby attached (.standby <dir>)"),
+            },
+            Some("promote") => match (self.standby.take(), &mut self.kern) {
+                (Some(sb), Kern::Durable(m)) => match m.promote(*sb) {
+                    Ok(()) => println!(
+                        "standby promoted: epoch-fenced controller installed over the \
+                         existing backends (schemas and sessions kept)"
+                    ),
+                    Err(e) => eprintln!("{e}"),
+                },
+                (Some(_), Kern::Single(_)) => {
+                    eprintln!(".promote requires a durable kernel")
+                }
+                (None, _) => eprintln!("no standby attached (.standby <dir>)"),
+            },
             other => eprintln!("unknown command {other:?} (try .help)"),
         }
         true
     }
 
     fn statement(&mut self, line: &str) {
-        let Shell { kern, session, echo_abdl } = self;
+        let Shell { kern, session, echo_abdl, .. } = self;
         let echo_abdl = *echo_abdl;
         match session {
             Session::None => eprintln!("no open session (try `.demo` then `.open university`)"),
@@ -417,6 +491,9 @@ const HELP: &str = "\
 .save <path> / .load <path>   dump / restore the kernel as ABDL text
 .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
 .recover <dir>                rebuild the kernel from the write-ahead log in <dir>
+.standby <dir>                attach a hot standby tailing the WAL in <dir>
+.lag                          ship pending log records and print replication lag
+.promote                      fail over: promote the standby over the live backends
 .quit                         exit
 Anything else is a statement for the open session, e.g.:
   MOVE 'Advanced Database' TO title IN course

@@ -92,6 +92,28 @@ impl Mlds<mbds::Controller> {
         self.kernel = mbds::Controller::recover(dir)?;
         Ok(())
     }
+
+    /// A hot standby tailing this system's write-ahead log through its
+    /// own reader handle on `dir` (the directory given to
+    /// [`Mlds::durable_backend`]). Keep it fresh with
+    /// [`mbds::Standby::poll`]; on controller failure hand it to
+    /// [`Mlds::promote`]. The shell's `.standby` path.
+    pub fn standby_of(&self, dir: impl AsRef<std::path::Path>) -> Result<mbds::Standby> {
+        Ok(self.kernel.standby(Box::new(mbds::FileLog::open(dir)?))?)
+    }
+
+    /// Fail over to `standby`: epoch-fenced promotion installs a new
+    /// controller over the existing backends (no log replay) and the
+    /// demoted kernel is dropped. Loaded schemas, caches and open
+    /// sessions survive, exactly as with [`Mlds::recover_kernel`] —
+    /// but warm. The shell's `.promote` path.
+    pub fn promote(&mut self, standby: mbds::Standby) -> Result<()> {
+        // Promote *before* replacing the kernel: the fence must rise
+        // while the primary still exists, so its drop detaches from
+        // the shared backend threads instead of shutting them down.
+        self.kernel = standby.promote()?;
+        Ok(())
+    }
 }
 
 impl Mlds<mbds::SimCluster> {
