@@ -48,6 +48,18 @@ pub struct ExecTotals {
     pub wal_syncs: u64,
     /// WAL snapshots installed (log truncations).
     pub wal_snapshots: u64,
+    /// Reply windows that expired without an answer (0 on a single-site
+    /// kernel; on the MBDS controller each expiry demotes the backend
+    /// one health step).
+    pub reply_timeouts: u64,
+    /// Requests retransmitted after a lost frame or expired wait (only
+    /// the socket transport retransmits; the in-process channel bus is
+    /// lossless).
+    pub retries: u64,
+    /// Total milliseconds spent in retry backoff waits — the visible
+    /// cost of degraded links, so slow networks are observable rather
+    /// than silent.
+    pub backoff_ms: u64,
 }
 
 /// Records per simulated disk block.

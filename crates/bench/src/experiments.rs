@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Experiment ids with one-line descriptions.
-pub const EXPERIMENTS: [(&str, &str); 16] = [
+pub const EXPERIMENTS: [(&str, &str); 17] = [
     ("e1", "Figure 2.1/2.2 — the University Daplex schema census"),
     ("e2", "Figure 2.3 — ABDM records, keyword predicates and DNF queries"),
     ("e3", "Figure 3.3 — the AB(functional) University kernel layout"),
@@ -25,6 +25,7 @@ pub const EXPERIMENTS: [(&str, &str); 16] = [
     ("e14", "Durability — controller recovery time vs WAL length and snapshot interval"),
     ("e15", "Broadcast-tax ablation — unique index, scoped routing, parallel writes, group commit"),
     ("e16", "Failover — hot-standby promotion vs cold recovery under churn"),
+    ("e17", "Socket transport — out-of-process overhead and retry cost under frame loss"),
 ];
 
 /// Run one experiment by id.
@@ -46,6 +47,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e14" => Some(e14()),
         "e15" => Some(e15()),
         "e16" => Some(e16()),
+        "e17" => Some(e17()),
         _ => None,
     }
 }
@@ -958,6 +960,180 @@ pub fn e16() -> String {
     e16_report().table
 }
 
+// ----- E17 ------------------------------------------------------------
+
+/// Raw numbers from the E17 socket-transport comparison, plus the
+/// rendered table. The `experiments` binary writes `json` to
+/// `BENCH_PR6.json` whenever e17 is selected so CI can archive the run.
+pub struct E17Report {
+    /// The human-readable table (what [`e17`] returns).
+    pub table: String,
+    /// The same numbers as a machine-readable JSON document.
+    pub json: String,
+    /// Wall-clock ratio of the socket transport over the in-process
+    /// channel bus on the clean workload (0.0 when skipped).
+    pub tcp_overhead_x: f64,
+    /// Every lossy regime reproduced the clean run's state digest.
+    pub lossy_converged: bool,
+    /// Retransmissions summed over the lossy regimes — zero would mean
+    /// the fault plans never actually cost anything.
+    pub lossy_retries: u64,
+    /// True when the `mbds-backend` binary was not found (the harness
+    /// was built without `mlds-core`'s bins) and the measurement was
+    /// skipped.
+    pub skipped: bool,
+}
+
+/// Load the flat file and drive the mixed workload, returning wall ms.
+fn e17_run(c: &mut mbds::Controller, records: usize, reqs: &[abdl::Request]) -> f64 {
+    let start = Instant::now();
+    workload::load_flat(c, records);
+    for req in reqs {
+        c.execute(req).expect("e17 request");
+    }
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Run the E17 comparison: the same mixed workload on the in-process
+/// channel bus, the clean socket transport, and the socket transport
+/// under seeded frame loss (drops + duplicates + delays + reorders) —
+/// measuring the overhead of real processes and what retry/backoff
+/// costs when the network misbehaves.
+pub fn e17_report() -> E17Report {
+    const RECORDS: usize = 400;
+    const REQS: usize = 300;
+    // The backend binary may not exist in this build (the bench package
+    // alone does not build `mlds-core`'s bins); degrade to a skip note.
+    if mbds::Controller::over_tcp(1, 1).is_err() {
+        let table = "socket transport unavailable (`mbds-backend` binary not built) — E17 \
+                     skipped;\nbuild it with `cargo build --release -p mlds-core --bin \
+                     mbds-backend` and re-run\n"
+            .to_owned();
+        let json = "{\n  \"experiment\": \"e17\",\n  \"available\": false\n}\n".to_owned();
+        return E17Report {
+            table,
+            json,
+            tcp_overhead_x: 0.0,
+            lossy_converged: false,
+            lossy_retries: 0,
+            skipped: true,
+        };
+    }
+    let reqs = workload::mixed_requests(REQS, RECORDS, 0xE17);
+    let per_req = |ms: f64| ms * 1000.0 / (RECORDS + REQS) as f64;
+
+    let mut chan = mbds::Controller::with_replication(4, 2);
+    let chan_ms = e17_run(&mut chan, RECORDS, &reqs);
+
+    let mut clean = mbds::Controller::over_tcp(4, 2).expect("tcp controller");
+    let clean_ms = e17_run(&mut clean, RECORDS, &reqs);
+    let clean_digest = clean.state_digest().expect("clean digest");
+    let overhead = clean_ms / chan_ms;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "4 backends, k = 2; {RECORDS} inserts + {REQS} mixed requests per run\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>12} {:>9} {:>12} {:>10}",
+        "transport", "total (ms)", "per-req (µs)", "retries", "backoff (ms)", "converged"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {chan_ms:>10.1} {:>12.1} {:>9} {:>12} {:>10}",
+        "in-process bus",
+        per_req(chan_ms),
+        0,
+        0,
+        "-"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {clean_ms:>10.1} {:>12.1} {:>9} {:>12} {:>10}",
+        "tcp, clean",
+        per_req(clean_ms),
+        0,
+        0,
+        "ref"
+    );
+
+    let mut rows = String::new();
+    let mut all_converged = true;
+    let mut total_retries = 0u64;
+    for (label, seed, bursts) in [("tcp, light loss", 0x5EED1u64, 2u64), ("tcp, heavy loss", 0x5EED2, 6)]
+    {
+        let mut lossy = mbds::Controller::over_tcp(4, 2).expect("tcp controller");
+        lossy.set_reply_timeout(std::time::Duration::from_millis(300));
+        lossy.set_retry_budget(4);
+        let mut plan = mbds::NetFaultPlan::seeded(seed, 4, 200);
+        // Guaranteed early bursts on top of the seeded background, so
+        // even an unlucky seed provably loses frames.
+        for b in 0..bursts {
+            plan = plan
+                .with((b % 4) as usize, mbds::LinkDir::Send, 5 + 11 * b, mbds::NetFaultKind::Drop)
+                .with(
+                    ((b + 1) % 4) as usize,
+                    mbds::LinkDir::Recv,
+                    9 + 7 * b,
+                    mbds::NetFaultKind::Duplicate,
+                );
+        }
+        lossy.set_net_fault_plan(plan);
+        let ms = e17_run(&mut lossy, RECORDS, &reqs);
+        let t = lossy.exec_totals();
+        let converged = lossy.state_digest().expect("lossy digest") == clean_digest;
+        all_converged &= converged;
+        total_retries += t.retries;
+        let _ = writeln!(
+            out,
+            "{label:<22} {ms:>10.1} {:>12.1} {:>9} {:>12} {:>10}",
+            per_req(ms),
+            t.retries,
+            t.backoff_ms,
+            if converged { "yes" } else { "NO" }
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{ \"label\": \"{label}\", \"ms\": {ms:.2}, \"retries\": {}, \
+             \"backoff_ms\": {}, \"reply_timeouts\": {}, \"converged\": {converged} }}",
+            t.retries, t.backoff_ms, t.reply_timeouts
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nsocket transport overhead: {overhead:.2}x per request; all lossy runs \
+         {}",
+        if all_converged { "converged to the clean digest" } else { "DIVERGED" }
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e17\",\n  \"available\": true,\n  \"backends\": 4,\n  \
+         \"replication\": 2,\n  \"records\": {RECORDS},\n  \"requests\": {REQS},\n  \
+         \"in_process_ms\": {chan_ms:.2},\n  \"tcp_clean_ms\": {clean_ms:.2},\n  \
+         \"tcp_overhead_x\": {overhead:.3},\n  \"lossy_converged\": {all_converged},\n  \
+         \"lossy\": [\n{rows}\n  ]\n}}\n"
+    );
+    E17Report {
+        table: out,
+        json,
+        tcp_overhead_x: overhead,
+        lossy_converged: all_converged,
+        lossy_retries: total_retries,
+        skipped: false,
+    }
+}
+
+/// The socket-transport comparison table; [`e17_report`] has the raw
+/// numbers.
+pub fn e17() -> String {
+    e17_report().table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1027,6 +1203,21 @@ mod tests {
             r.table
         );
         assert!(r.json.contains("\"promotion_speedup_16k\""), "JSON malformed:\n{}", r.json);
+    }
+
+    #[test]
+    fn e17_lossy_socket_runs_converge() {
+        let r = e17_report();
+        if r.skipped {
+            // The bench package alone does not build the backend
+            // binary; the report must say so rather than panic.
+            assert!(r.table.contains("skipped"), "skip note missing:\n{}", r.table);
+            return;
+        }
+        assert!(r.lossy_converged, "a lossy run diverged:\n{}", r.table);
+        assert!(r.lossy_retries > 0, "fault plans never cost a retry:\n{}", r.table);
+        assert!(r.tcp_overhead_x > 0.0);
+        assert!(r.json.contains("\"tcp_overhead_x\""), "JSON malformed:\n{}", r.json);
     }
 
     #[test]

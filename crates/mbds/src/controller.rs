@@ -22,6 +22,7 @@
 use crate::directory::Directory;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::health::{BackendState, HealthBoard};
+use crate::net::{self, kind, Frame, NetFaultPlan, TcpLink, WireOp, WireReply};
 use crate::placement::Partitioner;
 use crate::wal::{FileLog, LogRecord, LogStore, SnapshotData, Wal, WalStats};
 use abdl::engine::aggregate;
@@ -30,15 +31,31 @@ use abdl::{
     Store, Transaction, Value,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::net::SocketAddr;
 use std::path::Path;
+use std::process::Child;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default replica count per record (clamped to the backend count).
 pub const DEFAULT_REPLICATION: usize = 2;
+
+/// Default number of retransmissions the socket transport attempts
+/// inside one reply window before letting the health board demote the
+/// backend (the in-process channel bus is lossless and never retries).
+pub const DEFAULT_RETRY_BUDGET: u32 = 3;
+
+/// A stable client identity for idempotent request ids: constant
+/// across reconnects of one controller, distinct across controllers
+/// (and across promoted incarnations), so the backends' reply caches
+/// never mix two senders' sequence spaces.
+fn next_client_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    ((std::process::id() as u64) << 32) | NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 pub(crate) enum BackendOp {
     CreateFile(String),
@@ -70,17 +87,39 @@ struct BackendHandle {
     rx: Receiver<Reply>,
     reply_tx: Sender<Reply>,
     join: Option<JoinHandle<()>>,
+    /// `Some` when this backend is a separate OS process reached over
+    /// TCP; the channel fields above are inert placeholders then.
+    tcp: Option<TcpLink>,
+    /// The last frame sent on the TCP link — the retransmission stash.
+    /// The controller keeps at most one request in flight per backend,
+    /// so one slot is exactly enough.
+    last_frame: Option<Frame>,
+}
+
+/// The shared state of a socket-transport cluster: where the backend
+/// processes listen (kept current across restarts), their OS child
+/// handles (holding them keeps the backends' stdin pipes open — each
+/// backend's watchdog exits when every holder is gone), and the
+/// network fault plan every link consults. Shared between a primary
+/// and its standby, so a demoted primary being dropped cannot take the
+/// processes down while the promoted controller is serving over them.
+pub(crate) struct SharedNet {
+    addrs: Mutex<Vec<SocketAddr>>,
+    children: Mutex<Vec<Option<Child>>>,
+    plan: Arc<Mutex<NetFaultPlan>>,
 }
 
 /// Everything a [`crate::Standby`] needs to take over the primary's
 /// backend threads at promotion time: the shared sender bus (kept
 /// current across backend restarts), the shared fence, the shared
-/// fault plan, and the reply timeout.
+/// fault plan, the reply timeout, and (on the socket transport) the
+/// shared process/address table.
 pub(crate) struct ClusterLink {
     pub(crate) bus: Arc<Mutex<Vec<Sender<Envelope>>>>,
     pub(crate) fence: Arc<AtomicU64>,
     pub(crate) faults: Arc<Mutex<FaultPlan>>,
     pub(crate) reply_timeout: Duration,
+    pub(crate) net: Option<Arc<SharedNet>>,
 }
 
 /// The warm state a standby's mirror hands to
@@ -166,6 +205,13 @@ pub struct Controller {
     parallel_writes: bool,
     /// Lifetime execution counters (requests, messages, examined).
     totals: ExecTotals,
+    /// `Some` when the backends are separate OS processes over TCP.
+    net: Option<Arc<SharedNet>>,
+    /// Retransmissions attempted per reply window on the socket
+    /// transport (the channel bus never retries).
+    retry_budget: u32,
+    /// This controller's wire identity (0 on the channel transport).
+    client_id: u64,
 }
 
 impl Controller {
@@ -183,8 +229,75 @@ impl Controller {
     }
 
     /// Spawn a controller with `n` backend threads keeping `k` copies
-    /// of every record (`1 <= k <= n`).
+    /// of every record (`1 <= k <= n`). When the `MBDS_TRANSPORT=tcp`
+    /// environment variable is set, the backends are spawned as
+    /// separate OS processes reached over the socket transport instead
+    /// — which is how the existing crash/failover sweeps run unchanged
+    /// over TCP.
     pub fn with_replication(n: usize, k: usize) -> Self {
+        if std::env::var("MBDS_TRANSPORT").as_deref() == Ok("tcp") {
+            return Controller::over_tcp(n, k)
+                .expect("MBDS_TRANSPORT=tcp: spawning backend processes failed");
+        }
+        Controller::with_replication_chan(n, k)
+    }
+
+    /// Spawn a controller with `n` backends, `k` copies per record and
+    /// a caller-chosen reply window instead of the 1-second default —
+    /// the constructor form of [`set_reply_timeout`](Self::set_reply_timeout)
+    /// for deployments whose links are slower (or test rigs that want
+    /// failure detection in milliseconds).
+    pub fn with_timeouts(n: usize, k: usize, reply_timeout: Duration) -> Self {
+        let mut c = Controller::with_replication(n, k);
+        c.set_reply_timeout(reply_timeout);
+        c
+    }
+
+    /// Spawn a controller whose `n` backends are separate OS processes
+    /// (`mbds-backend`) reached over the fault-injectable socket
+    /// transport, keeping `k` copies of every record.
+    pub fn over_tcp(n: usize, k: usize) -> Result<Self> {
+        let mut c = Controller::with_replication_chan(n, k);
+        let client_id = next_client_id();
+        let plan: Arc<Mutex<NetFaultPlan>> = Arc::default();
+        let mut addrs = Vec::with_capacity(n);
+        let mut children = Vec::with_capacity(n);
+        for i in 0..n {
+            let bp = net::spawn_backend_process(i)?;
+            let mut link = TcpLink::new(i, bp.addr, client_id, Arc::clone(&plan));
+            link.connect(0, Duration::from_millis(3000)).map_err(|e| {
+                Error::Internal(format!("backend {i} at {} refused the handshake: {e:?}", bp.addr))
+            })?;
+            addrs.push(bp.addr);
+            children.push(Some(bp.child));
+            // Swap the thread-backed handle for a TCP one and retire
+            // the placeholder thread: dropping its command sender
+            // disconnects the worker loop, which then exits.
+            let (tx, _) = channel::<Envelope>();
+            let (reply_tx, rx) = channel::<Reply>();
+            let old = std::mem::replace(
+                &mut c.backends[i],
+                BackendHandle { tx, rx, reply_tx, join: None, tcp: Some(link), last_frame: None },
+            );
+            c.bus.lock().expect("bus lock")[i] = c.backends[i].tx.clone();
+            let BackendHandle { tx: old_tx, join: old_join, .. } = old;
+            drop(old_tx);
+            if let Some(join) = old_join {
+                let _ = join.join();
+            }
+        }
+        c.net = Some(Arc::new(SharedNet {
+            addrs: Mutex::new(addrs),
+            children: Mutex::new(children),
+            plan,
+        }));
+        c.client_id = client_id;
+        Ok(c)
+    }
+
+    /// The channel-transport constructor body: `n` worker threads on
+    /// the in-process bus.
+    fn with_replication_chan(n: usize, k: usize) -> Self {
         assert!(n > 0, "MBDS needs at least one backend");
         assert!((1..=n).contains(&k), "replication factor must be in 1..=n, got {k}");
         let faults: Arc<Mutex<FaultPlan>> = Arc::default();
@@ -217,6 +330,9 @@ impl Controller {
             unique_via_index: true,
             parallel_writes: true,
             totals: ExecTotals::default(),
+            net: None,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            client_id: 0,
         }
     }
 
@@ -240,6 +356,22 @@ impl Controller {
         c.wal = Some(Wal::create(Box::new(store)));
         // Anchor the configuration: even an empty log recovers n and k
         // from this initial snapshot.
+        c.snapshot_now()?;
+        Ok(c)
+    }
+
+    /// [`Controller::durable_with`] over the socket transport: the
+    /// backends are separate OS processes regardless of
+    /// `MBDS_TRANSPORT` (tests use this to mix transports in one
+    /// process without touching the environment).
+    pub fn durable_over_tcp(n: usize, k: usize, store: impl LogStore + 'static) -> Result<Self> {
+        if store.has_state()? {
+            return Err(Error::Internal(
+                "log already holds controller state; use Controller::recover".into(),
+            ));
+        }
+        let mut c = Controller::over_tcp(n, k)?;
+        c.wal = Some(Wal::create(Box::new(store)));
         c.snapshot_now()?;
         Ok(c)
     }
@@ -303,6 +435,7 @@ impl Controller {
             fence: Arc::clone(&self.fence),
             faults: Arc::clone(&self.faults),
             reply_timeout: self.reply_timeout,
+            net: self.net.clone(),
         }
     }
 
@@ -323,14 +456,36 @@ impl Controller {
         for &i in &parts.dead {
             health.channel_closed(i);
         }
-        let backends = senders
-            .into_iter()
-            .map(|tx| {
-                let (reply_tx, rx) = channel::<Reply>();
-                BackendHandle { tx, rx, reply_tx, join: None }
-            })
-            .collect();
-        Controller {
+        let client_id = if link.net.is_some() { next_client_id() } else { 0 };
+        let backends = if let Some(shared) = link.net.as_ref() {
+            // Socket transport: dial every backend process with a fresh
+            // identity. The Hello carries the promoted epoch, raising
+            // each reachable backend's fence *now* — the isolated old
+            // primary is fenced out of the remote backends before this
+            // controller serves its first request. Unreachable backends
+            // stay unconnected; the first send retries the dial.
+            let addrs = shared.addrs.lock().expect("net addrs lock").clone();
+            addrs
+                .into_iter()
+                .enumerate()
+                .map(|(i, addr)| {
+                    let mut tcp = TcpLink::new(i, addr, client_id, Arc::clone(&shared.plan));
+                    let _ = tcp.connect(epoch, link.reply_timeout);
+                    let (tx, _) = channel::<Envelope>();
+                    let (reply_tx, rx) = channel::<Reply>();
+                    BackendHandle { tx, rx, reply_tx, join: None, tcp: Some(tcp), last_frame: None }
+                })
+                .collect()
+        } else {
+            senders
+                .into_iter()
+                .map(|tx| {
+                    let (reply_tx, rx) = channel::<Reply>();
+                    BackendHandle { tx, rx, reply_tx, join: None, tcp: None, last_frame: None }
+                })
+                .collect()
+        };
+        let mut c = Controller {
             backends,
             health,
             partitioner: parts.partitioner,
@@ -355,7 +510,26 @@ impl Controller {
             unique_via_index: true,
             parallel_writes: true,
             totals: ExecTotals::default(),
+            net: link.net,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            client_id,
+        };
+        // Socket transport: a backend the mirror saw dead may only have
+        // been unreachable *from the partitioned primary* — if its
+        // process just answered our Hello, it is alive with its store
+        // intact. Restore those; the genuinely unreachable stay dead
+        // (and `finish_interrupted_restart` / `restart_backend` handle
+        // them the heavy way).
+        if c.net.is_some() {
+            for i in 0..c.backends.len() {
+                let connected =
+                    c.backends[i].tcp.as_ref().is_some_and(|link| link.is_connected());
+                if connected && !c.health.is_serving(i) {
+                    let _ = c.restore_reconnected(i);
+                }
+            }
         }
+        c
     }
 
     /// Total number of backends (alive or dead).
@@ -378,13 +552,168 @@ impl Controller {
     /// from the backend's first message ever, so install the plan
     /// before the traffic it should disturb.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        *self.faults.lock().expect("fault plan lock") = plan;
+        *self.faults.lock().expect("fault plan lock") = plan.clone();
+        if self.net.is_some() {
+            // Remote backends keep their own plan copy: ship it.
+            for i in 0..self.backends.len() {
+                if self.health.is_serving(i) {
+                    self.push_faults_tcp(i, &plan);
+                }
+            }
+        }
+    }
+
+    /// Ship the classic fault plan to backend process `i` and await
+    /// its ack (best effort — an unreachable backend will get the plan
+    /// again if it is restarted).
+    fn push_faults_tcp(&mut self, i: usize, plan: &FaultPlan) -> bool {
+        let seq = self.next_seq();
+        let frame = WireOp::SetFaults(plan.clone()).into_frame(seq, self.epoch);
+        let epoch = self.epoch;
+        let dial = self.reply_timeout;
+        let Some(link) = self.backends[i].tcp.as_mut() else { return false };
+        let sent = match link.send(&frame) {
+            Ok(()) => true,
+            Err(_) => link.connect(epoch, dial).is_ok() && link.send(&frame).is_ok(),
+        };
+        if !sent {
+            return false;
+        }
+        let deadline = Instant::now() + dial;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            match link.recv(left) {
+                Ok(Some(f)) if f.seq == seq && f.kind == kind::REPLY_OK => return true,
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => return false,
+            }
+        }
+    }
+
+    /// Wait (briefly) for backend process `i` to exit, then make sure
+    /// of it. No-op on the channel transport.
+    fn reap_child(&mut self, i: usize) {
+        let Some(shared) = self.net.as_ref() else { return };
+        let child = shared.children.lock().expect("net children lock")[i].take();
+        if let Some(mut child) = child {
+            for _ in 0..50 {
+                if matches!(child.try_wait(), Ok(Some(_))) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let _ = child.kill();
+            let _ = child.wait();
+        }
     }
 
     /// How long the controller waits for one reply window before
     /// demoting a backend (two windows: Alive → Suspect → Dead).
     pub fn set_reply_timeout(&mut self, timeout: Duration) {
         self.reply_timeout = timeout;
+    }
+
+    /// The configured reply-window length.
+    pub fn reply_timeout(&self) -> Duration {
+        self.reply_timeout
+    }
+
+    /// Retransmissions attempted inside one reply window on the socket
+    /// transport (ignored by the lossless channel bus).
+    pub fn set_retry_budget(&mut self, budget: u32) {
+        self.retry_budget = budget.min(8);
+    }
+
+    /// True when the backends are separate OS processes over TCP.
+    pub fn is_tcp(&self) -> bool {
+        self.net.is_some()
+    }
+
+    /// Install a network fault plan (socket transport only; a no-op on
+    /// the channel bus, which has no network to disturb). Applies to
+    /// frames not yet moved; per-link frame counters start at the
+    /// link's first frame ever.
+    pub fn set_net_fault_plan(&mut self, plan: NetFaultPlan) {
+        if let Some(shared) = self.net.as_ref() {
+            *shared.plan.lock().expect("net plan lock") = plan;
+        }
+    }
+
+    /// Sever the link to backend `i` — a real partition: frames in
+    /// both directions fail until [`heal_link`](Self::heal_link).
+    /// Socket transport only.
+    pub fn sever_link(&mut self, i: usize) {
+        if let Some(link) = self.backends.get_mut(i).and_then(|b| b.tcp.as_mut()) {
+            link.sever();
+        }
+    }
+
+    /// Heal a severed link; the next send re-dials.
+    pub fn heal_link(&mut self, i: usize) {
+        if let Some(link) = self.backends.get_mut(i).and_then(|b| b.tcp.as_mut()) {
+            link.heal();
+        }
+    }
+
+    /// The health board's current verdict on backend `i`.
+    pub fn backend_state(&self, i: usize) -> BackendState {
+        self.health.state(i)
+    }
+
+    /// Re-probe a backend that went Suspect/Dead and came back: dial
+    /// it, check its epoch against ours, and — if the same process
+    /// answers (its store intact; a dead process cannot answer) —
+    /// restore it to Alive without the full anti-entropy restart. A
+    /// process that is really gone falls back to
+    /// [`restart_backend`](Self::restart_backend), as does the channel
+    /// transport (a worker thread's death always loses its store).
+    pub fn reconnect_backend(&mut self, i: usize) -> Result<()> {
+        if i >= self.backends.len() {
+            return Err(Error::Internal(format!("no such backend {i}")));
+        }
+        if self.health.is_serving(i) && self.health.state(i) == BackendState::Alive {
+            return Ok(());
+        }
+        if self.backends[i].tcp.is_none() {
+            return self.restart_backend(i);
+        }
+        let epoch = self.epoch;
+        let dial = self.reply_timeout;
+        let link = self.backends[i].tcp.as_mut().expect("tcp link");
+        let fence = match link.connect(epoch, dial) {
+            Ok(fence) => fence,
+            Err(_) => return self.restart_backend(i),
+        };
+        if fence > epoch {
+            return Err(Error::Unavailable(format!(
+                "backend {i}: reconnect refused (fence epoch {fence} > controller epoch {epoch})"
+            )));
+        }
+        self.restore_reconnected(i)
+    }
+
+    /// The light half of [`reconnect_backend`](Self::reconnect_backend):
+    /// backend `i`'s process answered with its store intact, so restore
+    /// it to Alive without re-replication. Logs the same restart
+    /// markers a full restart would — replaying them re-runs a real
+    /// (idempotent) restart, so a recovered controller sees this
+    /// backend alive with its data rebuilt.
+    fn restore_reconnected(&mut self, i: usize) -> Result<()> {
+        self.wal_begin_batch();
+        let logged = self
+            .log_append(LogRecord::RestartBegin { backend: i })
+            .and_then(|()| self.log_append(LogRecord::RestartEnd { backend: i }));
+        let flush = self.wal_commit_batch();
+        self.backends[i].last_frame = None;
+        self.health.restarted(i);
+        self.degraded_dirty = true;
+        logged?;
+        flush?;
+        self.maybe_snapshot();
+        Ok(())
     }
 
     /// Compact the log into a snapshot every `every` appends (0
@@ -808,15 +1137,23 @@ impl Controller {
             return;
         }
         let epoch = self.epoch;
-        let b = &mut self.backends[i];
-        let _ = b.tx.send(Envelope {
-            seq: 0,
-            epoch,
-            reply: b.reply_tx.clone(),
-            op: BackendOp::Shutdown,
-        });
-        if let Some(join) = b.join.take() {
-            let _ = join.join();
+        if self.backends[i].tcp.is_some() {
+            let frame = WireOp::Shutdown.into_frame(0, epoch);
+            if let Some(link) = self.backends[i].tcp.as_mut() {
+                let _ = link.send(&frame);
+            }
+            self.reap_child(i);
+        } else {
+            let b = &mut self.backends[i];
+            let _ = b.tx.send(Envelope {
+                seq: 0,
+                epoch,
+                reply: b.reply_tx.clone(),
+                op: BackendOp::Shutdown,
+            });
+            if let Some(join) = b.join.take() {
+                let _ = join.join();
+            }
         }
         self.health.channel_closed(i);
         self.degraded_dirty = true;
@@ -868,24 +1205,55 @@ impl Controller {
         // mid-restart) is safely re-run by the caller — restarting an
         // already-alive backend is a no-op.
         self.log_append(LogRecord::RestartBegin { backend: i })?;
-        // Drop the old handle (closing its channels) and join the dead
-        // worker if it has not exited yet.
-        let old = std::mem::replace(
-            &mut self.backends[i],
-            spawn_backend(i, Arc::clone(&self.fence), Arc::clone(&self.faults)),
-        );
-        // Keep the shared bus current: a standby attached before this
-        // restart must promote onto the replacement channel.
-        self.bus.lock().expect("bus lock")[i] = self.backends[i].tx.clone();
-        let _ = old.tx.send(Envelope {
-            seq: 0,
-            epoch: self.epoch,
-            reply: old.reply_tx.clone(),
-            op: BackendOp::Shutdown,
-        });
-        drop(old.tx);
-        if let Some(join) = old.join {
-            let _ = join.join();
+        if let Some(shared) = self.net.clone() {
+            // Socket transport: retire the old process (best-effort
+            // shutdown, then reap) and spawn a fresh one at a new
+            // address — the shared table stays current so a standby
+            // promotes onto the replacement process.
+            if let Some(link) = self.backends[i].tcp.as_mut() {
+                let frame = WireOp::Shutdown.into_frame(0, self.epoch);
+                let _ = link.send(&frame);
+            }
+            self.reap_child(i);
+            let bp = net::spawn_backend_process(i)?;
+            shared.addrs.lock().expect("net addrs lock")[i] = bp.addr;
+            if let Some(mut old) =
+                shared.children.lock().expect("net children lock")[i].replace(bp.child)
+            {
+                let _ = old.kill();
+                let _ = old.wait();
+            }
+            let mut link = TcpLink::new(i, bp.addr, self.client_id, Arc::clone(&shared.plan));
+            let _ = link.connect(self.epoch, self.reply_timeout);
+            self.backends[i].tcp = Some(link);
+            self.backends[i].last_frame = None;
+            // A respawned process starts with an empty fault plan and a
+            // fresh message counter — exactly like a respawned worker
+            // thread, except the plan must be re-shipped.
+            let plan = self.faults.lock().expect("fault plan lock").clone();
+            if !plan.is_empty() {
+                self.push_faults_tcp(i, &plan);
+            }
+        } else {
+            // Drop the old handle (closing its channels) and join the
+            // dead worker if it has not exited yet.
+            let old = std::mem::replace(
+                &mut self.backends[i],
+                spawn_backend(i, Arc::clone(&self.fence), Arc::clone(&self.faults)),
+            );
+            // Keep the shared bus current: a standby attached before
+            // this restart must promote onto the replacement channel.
+            self.bus.lock().expect("bus lock")[i] = self.backends[i].tx.clone();
+            let _ = old.tx.send(Envelope {
+                seq: 0,
+                epoch: self.epoch,
+                reply: old.reply_tx.clone(),
+                op: BackendOp::Shutdown,
+            });
+            drop(old.tx);
+            if let Some(join) = old.join {
+                let _ = join.join();
+            }
         }
         self.health.restarted(i);
         self.degraded_dirty = true;
@@ -978,11 +1346,14 @@ impl Controller {
         self.log_append_stashing(LogRecord::Dead { backend: i });
     }
 
-    /// Send an operation to backend `i`; a closed channel marks it
-    /// dead. The envelope carries this controller's epoch and a clone
-    /// of its reply sender.
+    /// Send an operation to backend `i`; a closed channel (or an
+    /// unreachable process) marks it dead. The envelope carries this
+    /// controller's epoch and a clone of its reply sender.
     fn send_to(&mut self, i: usize, seq: u64, op: BackendOp) -> bool {
         self.totals.messages_sent += 1;
+        if self.backends[i].tcp.is_some() {
+            return self.send_to_tcp(i, seq, op);
+        }
         let env = Envelope {
             seq,
             epoch: self.epoch,
@@ -997,11 +1368,47 @@ impl Controller {
         true
     }
 
+    /// The wire frame for one backend operation.
+    fn op_frame(op: BackendOp, seq: u64, epoch: u64) -> Frame {
+        match op {
+            BackendOp::CreateFile(name) => WireOp::CreateFile(name),
+            BackendOp::InsertWithKey(key, record) => WireOp::InsertWithKey(key, record),
+            BackendOp::Exec(request) => WireOp::Exec(request),
+            BackendOp::Shutdown => WireOp::Shutdown,
+        }
+        .into_frame(seq, epoch)
+    }
+
+    /// Socket-transport send: write the frame, re-dialing once if the
+    /// connection is gone (connection re-establishment is part of the
+    /// transport's manners — only a failed re-dial demotes the
+    /// backend). The frame is stashed for retransmission.
+    fn send_to_tcp(&mut self, i: usize, seq: u64, op: BackendOp) -> bool {
+        let frame = Controller::op_frame(op, seq, self.epoch);
+        let epoch = self.epoch;
+        let dial = self.reply_timeout;
+        let link = self.backends[i].tcp.as_mut().expect("tcp link");
+        let sent = match link.send(&frame) {
+            Ok(()) => true,
+            Err(_) => link.connect(epoch, dial).is_ok() && link.send(&frame).is_ok(),
+        };
+        if sent {
+            self.backends[i].last_frame = Some(frame);
+            return true;
+        }
+        self.health.channel_closed(i);
+        self.note_dead(i);
+        false
+    }
+
     /// Await backend `i`'s reply to `seq`. Stale replies (from earlier
     /// rounds that timed out) are discarded; a missed window demotes
     /// the backend one step and `Suspect` earns one more window.
     /// Returns `None` when the backend is (now) dead.
     fn recv_reply(&mut self, i: usize, seq: u64) -> Option<Result<Response>> {
+        if self.backends[i].tcp.is_some() {
+            return self.recv_reply_tcp(i, seq);
+        }
         loop {
             match self.backends[i].rx.recv_timeout(self.reply_timeout) {
                 Ok(reply) if reply.seq == seq => {
@@ -1009,19 +1416,131 @@ impl Controller {
                     return Some(reply.result);
                 }
                 Ok(_) => continue, // stale reply from a timed-out round
-                Err(RecvTimeoutError::Timeout) => match self.health.missed_reply(i) {
-                    BackendState::Suspect => continue,
-                    _ => {
-                        self.note_dead(i);
-                        return None;
+                Err(RecvTimeoutError::Timeout) => {
+                    self.totals.reply_timeouts += 1;
+                    match self.health.missed_reply(i) {
+                        BackendState::Suspect => continue,
+                        _ => {
+                            self.note_dead(i);
+                            return None;
+                        }
                     }
-                },
+                }
                 Err(RecvTimeoutError::Disconnected) => {
                     self.health.channel_closed(i);
                     self.note_dead(i);
                     return None;
                 }
             }
+        }
+    }
+
+    /// Socket-transport reply wait: the same health-window discipline
+    /// as the channel bus, but each window is subdivided into
+    /// bounded-exponential retransmission sub-waits — a dropped frame
+    /// is usually recovered by a retry *inside* the window, so the
+    /// health board only sees losses the retry budget could not hide.
+    fn recv_reply_tcp(&mut self, i: usize, seq: u64) -> Option<Result<Response>> {
+        loop {
+            match self.await_window_tcp(i, seq) {
+                Ok(Some(result)) => {
+                    self.health.reply_received(i);
+                    return Some(result);
+                }
+                Ok(None) => {
+                    self.totals.reply_timeouts += 1;
+                    match self.health.missed_reply(i) {
+                        BackendState::Suspect => continue,
+                        _ => {
+                            self.note_dead(i);
+                            return None;
+                        }
+                    }
+                }
+                Err(()) => {
+                    self.health.channel_closed(i);
+                    self.note_dead(i);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// One reply window over the socket. The window is split into
+    /// `retry_budget + 1` sub-waits with doubling lengths (1, 2, 4, …
+    /// shares of the window); each expiry retransmits the stashed
+    /// frame — idempotent request ids make that safe — and counts into
+    /// `retries`/`backoff_ms`. `Ok(None)` = window exhausted (a health
+    /// strike); `Err(())` = connection lost and not re-establishable.
+    fn await_window_tcp(
+        &mut self,
+        i: usize,
+        seq: u64,
+    ) -> std::result::Result<Option<Result<Response>>, ()> {
+        let window = self.reply_timeout;
+        let budget = self.retry_budget;
+        let shares = (1u32 << (budget + 1)).saturating_sub(1).max(1);
+        let mut sub = (window / shares).max(Duration::from_millis(1));
+        let deadline = Instant::now() + window;
+        let mut attempt = 0u32;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            let wait = sub.min(left);
+            let link = self.backends[i].tcp.as_mut().expect("tcp link");
+            match link.recv(wait) {
+                Ok(Some(frame)) => {
+                    if frame.seq != seq
+                        || (frame.kind != kind::REPLY_OK && frame.kind != kind::REPLY_ERR)
+                    {
+                        continue; // stale round, duplicate, or probe ack
+                    }
+                    return Ok(Some(match WireReply::from_frame(&frame) {
+                        Ok(WireReply::Ok(resp)) => Ok(resp),
+                        Ok(WireReply::Err(e)) => Err(e),
+                        _ => Err(Error::Internal("wire: undecodable reply frame".into())),
+                    }));
+                }
+                Ok(None) => {
+                    if attempt >= budget {
+                        return Ok(None);
+                    }
+                    attempt += 1;
+                    self.totals.retries += 1;
+                    self.totals.backoff_ms += wait.as_millis() as u64;
+                    if !self.retransmit(i) {
+                        return Err(());
+                    }
+                    sub = sub.saturating_mul(2);
+                }
+                Err(_) => {
+                    // Connection lost mid-wait: re-dial once and resend.
+                    let epoch = self.epoch;
+                    let link = self.backends[i].tcp.as_mut().expect("tcp link");
+                    if link.connect(epoch, wait.max(Duration::from_millis(20))).is_err() {
+                        return Err(());
+                    }
+                    self.totals.retries += 1;
+                    if !self.retransmit(i) {
+                        return Err(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resend the stashed frame on backend `i`'s link, re-dialing once
+    /// if the write fails.
+    fn retransmit(&mut self, i: usize) -> bool {
+        let Some(frame) = self.backends[i].last_frame.clone() else { return true };
+        let epoch = self.epoch;
+        let dial = self.reply_timeout;
+        let link = self.backends[i].tcp.as_mut().expect("tcp link");
+        match link.send(&frame) {
+            Ok(()) => true,
+            Err(_) => link.connect(epoch, dial).is_ok() && link.send(&frame).is_ok(),
         }
     }
 
@@ -1497,6 +2016,21 @@ impl Drop for Controller {
         // longer owns the backend threads: detach without shutting them
         // down — the promoted controller is serving over them.
         let demoted = self.fence.load(Ordering::SeqCst) > self.epoch;
+        if self.net.is_some() {
+            if demoted {
+                // The promoted controller holds the SharedNet Arc and
+                // keeps serving over the same backend processes.
+                return;
+            }
+            let epoch = self.epoch;
+            for i in 0..self.backends.len() {
+                if let Some(link) = self.backends[i].tcp.as_mut() {
+                    let _ = link.send(&WireOp::Shutdown.into_frame(0, epoch));
+                }
+                self.reap_child(i);
+            }
+            return;
+        }
         for b in &mut self.backends {
             if demoted {
                 let _ = b.join.take();
@@ -1526,7 +2060,7 @@ fn spawn_backend(
         .name(format!("mbds-backend-{index}"))
         .spawn(move || backend_loop(index, backend_rx, fence, faults))
         .expect("spawn backend thread");
-    BackendHandle { tx, rx, reply_tx, join: Some(join) }
+    BackendHandle { tx, rx, reply_tx, join: Some(join), tcp: None, last_frame: None }
 }
 
 /// One backend: a private store served over the bus, with fault

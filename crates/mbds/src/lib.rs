@@ -86,6 +86,7 @@ mod controller;
 mod directory;
 pub mod fault;
 pub mod health;
+pub mod net;
 mod placement;
 mod sim;
 pub mod standby;
@@ -95,6 +96,10 @@ pub use controller::{Controller, DEFAULT_REPLICATION};
 pub use directory::Directory;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{BackendState, HealthBoard};
+pub use net::{
+    Frame, FrameReader, LinkDir, NetFaultEvent, NetFaultKind, NetFaultPlan, RemoteLog, ShipServer,
+    TcpLink,
+};
 pub use placement::Partitioner;
 pub use sim::{CostModel, SimCluster};
 pub use standby::{LagStats, Standby};

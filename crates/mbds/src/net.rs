@@ -1,0 +1,1844 @@
+//! Socket transport for the multi-backend kernel: a binary wire codec,
+//! a fault-injectable TCP link, the out-of-process backend server, and
+//! the primary→standby WAL-shipping stream.
+//!
+//! The 1987 MBDS is a controller driving *separate* backend machines
+//! over a communication bus; until this module the backends lived as
+//! threads inside the controller's process, so the fault harness could
+//! only simulate crashes. Here the bus becomes real: every message is a
+//! length-prefixed, CRC-checksummed, epoch-stamped frame over TCP, and
+//! every socket is wrapped in a [`TcpLink`] whose deterministic, seeded
+//! [`NetFaultPlan`] can drop, delay, duplicate, reorder or sever
+//! traffic per-link and per-direction — partitions and slow links as
+//! first-class injectable faults alongside the crash injector.
+//!
+//! Design rules, mirroring the WAL's discipline:
+//!
+//! * **Framing**: `[len u32 LE][crc u32 LE][kind u8][seq u64][epoch
+//!   u64][body]`; `crc` is [`wal::crc32`] over everything after it. A
+//!   bit-flipped frame fails its checksum and is *skipped in place* —
+//!   the reader consumed exactly `len` bytes, so the stream stays
+//!   aligned, just as recovery skips a torn WAL line without losing the
+//!   entries behind it. An insane length is fatal to the connection
+//!   (re-established by the controller's retry path).
+//! * **Idempotency**: the sequence number is a request id. The backend
+//!   keeps a small per-client cache of recent replies and answers a
+//!   retransmitted id from the cache without re-applying the operation,
+//!   so retries never double-apply writes (an UPDATE's `affected` count
+//!   is paid once).
+//! * **Fencing**: every frame carries the sender's controller epoch.
+//!   The backend raises its local fence to the highest epoch it has
+//!   ever seen and rejects lower-epoch requests with the same error the
+//!   in-process bus produces — so a promoted standby's first `Hello`
+//!   fences an isolated old primary out of remote backends.
+
+use crate::fault::{FaultKind, FaultPlan};
+use crate::wal::{crc32, LogStore};
+use abdl::engine::{ExecStats, GroupRow, Response, Store};
+use abdl::parse::parse_request;
+use abdl::{DbKey, Error, Record, Request, Result, Value};
+use abdl::prng::Prng;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufRead, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Upper bound on a frame's payload length; anything larger is treated
+/// as a desynced or hostile stream and kills the connection.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Fixed payload prefix: kind (1) + seq (8) + epoch (8).
+const FRAME_HEAD: usize = 17;
+
+/// Frame kind tags. A `u8` on the wire; unknown kinds are a decode
+/// error (skipped by the caller like a corrupt frame).
+pub mod kind {
+    /// Client introduces itself: body = client id (u64).
+    pub const HELLO: u8 = 0x01;
+    /// Server acknowledges a Hello: body = current fence epoch (u64).
+    pub const HELLO_ACK: u8 = 0x02;
+    /// Create a kernel file: body = name.
+    pub const CREATE_FILE: u8 = 0x03;
+    /// Insert a record under a controller-allocated key.
+    pub const INSERT_WITH_KEY: u8 = 0x04;
+    /// Execute an ABDL request (canonical text).
+    pub const EXEC: u8 = 0x05;
+    /// Liveness / epoch probe; answered by [`PONG`].
+    pub const PING: u8 = 0x06;
+    /// Orderly shutdown of the backend process.
+    pub const SHUTDOWN: u8 = 0x07;
+    /// Install a classic backend [`FaultPlan`](crate::FaultPlan).
+    pub const SET_FAULTS: u8 = 0x08;
+    /// Successful reply carrying an encoded [`Response`](abdl::Response).
+    pub const REPLY_OK: u8 = 0x09;
+    /// Failed reply carrying an encoded [`Error`](abdl::Error).
+    pub const REPLY_ERR: u8 = 0x0A;
+    /// Reply to [`PING`]: body = current fence epoch (u64).
+    pub const PONG: u8 = 0x0B;
+    /// WAL-shipping pull: body = generation (u64) + lines held (u64).
+    pub const PULL_LOG: u8 = 0x0C;
+    /// WAL-shipping response: snapshot and/or delta log lines.
+    pub const LOG_DELTA: u8 = 0x0D;
+}
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind (one of the [`kind`] constants).
+    pub kind: u8,
+    /// Request id; replies echo the id of the request they answer.
+    pub seq: u64,
+    /// The sender's controller epoch (fencing).
+    pub epoch: u64,
+    /// Kind-specific body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Encode the frame into its on-wire byte representation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(FRAME_HEAD + self.body.len());
+        payload.push(self.kind);
+        payload.extend_from_slice(&self.seq.to_le_bytes());
+        payload.extend_from_slice(&self.epoch.to_le_bytes());
+        payload.extend_from_slice(&self.body);
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Outcome of pulling one frame off the stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A checksum-verified frame.
+    Frame(Frame),
+    /// A frame-sized region whose checksum failed: consumed and
+    /// skipped; the stream remains aligned on the next frame.
+    Corrupt,
+}
+
+/// Incremental frame reader. Retains partial progress across read
+/// timeouts, so a `WouldBlock`/`TimedOut` in the middle of a frame
+/// never desyncs the stream — the next call resumes where it left off.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 8],
+    header_fill: usize,
+    payload: Vec<u8>,
+    payload_fill: usize,
+}
+
+impl FrameReader {
+    /// A reader with no partial progress.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Pull one frame from `r`. Timeout-style errors (`WouldBlock`,
+    /// `TimedOut`) are returned to the caller with all partial progress
+    /// retained; EOF surfaces as `UnexpectedEof`.
+    pub fn read_from(&mut self, r: &mut impl Read) -> io::Result<FrameRead> {
+        while self.header_fill < 8 {
+            let n = r.read(&mut self.header[self.header_fill..8])?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.header_fill += n;
+        }
+        if self.payload.is_empty() {
+            let len = u32::from_le_bytes(self.header[0..4].try_into().expect("4 bytes"));
+            if len < FRAME_HEAD as u32 || len > MAX_FRAME {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame length {len} outside [{FRAME_HEAD}, {MAX_FRAME}]"),
+                ));
+            }
+            self.payload = vec![0; len as usize];
+            self.payload_fill = 0;
+        }
+        while self.payload_fill < self.payload.len() {
+            let n = r.read(&mut self.payload[self.payload_fill..])?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.payload_fill += n;
+        }
+        let expect = u32::from_le_bytes(self.header[4..8].try_into().expect("4 bytes"));
+        let payload = std::mem::take(&mut self.payload);
+        self.header_fill = 0;
+        self.payload_fill = 0;
+        if crc32(&payload) != expect {
+            return Ok(FrameRead::Corrupt);
+        }
+        let kind = payload[0];
+        let seq = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+        let epoch = u64::from_le_bytes(payload[9..17].try_into().expect("8 bytes"));
+        Ok(FrameRead::Frame(Frame { kind, seq, epoch, body: payload[FRAME_HEAD..].to_vec() }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Body codecs
+// ---------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Cursor over a frame body; every take is bounds-checked so a
+/// malformed body decodes to an error, never a panic.
+struct Take<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Take<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Take { buf, at: 0 }
+    }
+
+    fn bad(what: &str) -> Error {
+        Error::Internal(format!("wire: malformed frame body ({what})"))
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self.buf.get(self.at).ok_or_else(|| Self::bad("u8"))?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let end = self.at + 8;
+        let bytes = self.buf.get(self.at..end).ok_or_else(|| Self::bad("u64"))?;
+        self.at = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u64()? as usize;
+        let end = self.at.checked_add(len).ok_or_else(|| Self::bad("len"))?;
+        let b = self.buf.get(self.at..end).ok_or_else(|| Self::bad("bytes"))?;
+        self.at = end;
+        Ok(b)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| Self::bad("utf8"))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Self::bad("trailing bytes"))
+        }
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            put_u64(out, *i as u64);
+        }
+        Value::Float(f) => {
+            out.push(2);
+            put_u64(out, f.to_bits());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+    }
+}
+
+fn take_value(t: &mut Take<'_>) -> Result<Value> {
+    Ok(match t.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(t.u64()? as i64),
+        2 => Value::Float(f64::from_bits(t.u64()?)),
+        3 => Value::Str(t.str()?),
+        tag => return Err(Take::bad(&format!("value tag {tag}"))),
+    })
+}
+
+/// Records cross the wire as their canonical ABDL text — the same
+/// `Display` ↔ [`parse_request`] round-trip the WAL's durability
+/// discipline already proves exact.
+fn put_record(out: &mut Vec<u8>, r: &Record) {
+    put_str(out, &r.to_string());
+}
+
+fn take_record(t: &mut Take<'_>) -> Result<Record> {
+    let text = t.str()?;
+    match parse_request(&format!("INSERT {text}"))? {
+        Request::Insert { record } => Ok(record),
+        _ => Err(Take::bad("record text")),
+    }
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &ExecStats) {
+    put_u64(out, s.records_examined);
+    put_u64(out, s.records_matched);
+    put_u64(out, s.records_returned);
+    put_u64(out, s.records_written);
+    put_u64(out, s.index_probes);
+    put_u64(out, s.blocks_touched);
+}
+
+fn take_stats(t: &mut Take<'_>) -> Result<ExecStats> {
+    Ok(ExecStats {
+        records_examined: t.u64()?,
+        records_matched: t.u64()?,
+        records_returned: t.u64()?,
+        records_written: t.u64()?,
+        index_probes: t.u64()?,
+        blocks_touched: t.u64()?,
+    })
+}
+
+/// Encode a [`Response`] into body bytes.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, resp.records().len() as u64);
+    for (key, rec) in resp.records() {
+        put_u64(&mut out, key.0);
+        put_record(&mut out, rec);
+    }
+    match &resp.groups {
+        None => out.push(0),
+        Some(rows) => {
+            out.push(1);
+            put_u64(&mut out, rows.len() as u64);
+            for row in rows {
+                match &row.group {
+                    None => out.push(0),
+                    Some(g) => {
+                        out.push(1);
+                        put_value(&mut out, g);
+                    }
+                }
+                put_u64(&mut out, row.values.len() as u64);
+                for v in &row.values {
+                    put_value(&mut out, v);
+                }
+            }
+        }
+    }
+    put_u64(&mut out, resp.affected as u64);
+    put_stats(&mut out, &resp.stats);
+    out.push(resp.degraded as u8);
+    put_u64(&mut out, resp.unavailable_backends.len() as u64);
+    for b in &resp.unavailable_backends {
+        put_u64(&mut out, *b as u64);
+    }
+    put_u64(&mut out, resp.messages_sent);
+    out
+}
+
+/// Decode a [`Response`] from body bytes.
+pub fn decode_response(body: &[u8]) -> Result<Response> {
+    let mut t = Take::new(body);
+    let n = t.u64()? as usize;
+    let mut records = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let key = DbKey(t.u64()?);
+        let rec = take_record(&mut t)?;
+        records.push((key, rec));
+    }
+    let groups = match t.u8()? {
+        0 => None,
+        1 => {
+            let rows = t.u64()? as usize;
+            let mut out = Vec::with_capacity(rows.min(4096));
+            for _ in 0..rows {
+                let group = match t.u8()? {
+                    0 => None,
+                    1 => Some(take_value(&mut t)?),
+                    tag => return Err(Take::bad(&format!("group tag {tag}"))),
+                };
+                let vals = t.u64()? as usize;
+                let mut values = Vec::with_capacity(vals.min(4096));
+                for _ in 0..vals {
+                    values.push(take_value(&mut t)?);
+                }
+                out.push(GroupRow { group, values });
+            }
+            Some(out)
+        }
+        tag => return Err(Take::bad(&format!("groups tag {tag}"))),
+    };
+    let affected = t.u64()? as usize;
+    let stats = take_stats(&mut t)?;
+    let degraded = t.u8()? != 0;
+    let unav = t.u64()? as usize;
+    let mut unavailable_backends = Vec::with_capacity(unav.min(4096));
+    for _ in 0..unav {
+        unavailable_backends.push(t.u64()? as usize);
+    }
+    let messages_sent = t.u64()?;
+    t.done()?;
+    let mut resp = Response::with_records(records, stats);
+    resp.groups = groups;
+    resp.affected = affected;
+    resp.degraded = degraded;
+    resp.unavailable_backends = unavailable_backends;
+    resp.messages_sent = messages_sent;
+    Ok(resp)
+}
+
+/// Encode an [`Error`] into body bytes.
+pub fn encode_error(err: &Error) -> Vec<u8> {
+    let mut out = Vec::new();
+    match err {
+        Error::Parse { msg, offset } => {
+            out.push(0);
+            put_str(&mut out, msg);
+            put_u64(&mut out, *offset as u64);
+        }
+        Error::UnknownFile(name) => {
+            out.push(1);
+            put_str(&mut out, name);
+        }
+        Error::DuplicateKey { file, attrs } => {
+            out.push(2);
+            put_str(&mut out, file);
+            put_u64(&mut out, attrs.len() as u64);
+            for a in attrs {
+                put_str(&mut out, a);
+            }
+        }
+        Error::MissingFileKeyword => out.push(3),
+        Error::NonNumericAggregate { attr } => {
+            out.push(4);
+            put_str(&mut out, attr);
+        }
+        Error::Unavailable(msg) => {
+            out.push(5);
+            put_str(&mut out, msg);
+        }
+        Error::Internal(msg) => {
+            out.push(6);
+            put_str(&mut out, msg);
+        }
+    }
+    out
+}
+
+/// Decode an [`Error`] from body bytes.
+pub fn decode_error(body: &[u8]) -> Result<Error> {
+    let mut t = Take::new(body);
+    let err = match t.u8()? {
+        0 => Error::Parse { msg: t.str()?, offset: t.u64()? as usize },
+        1 => Error::UnknownFile(t.str()?),
+        2 => {
+            let file = t.str()?;
+            let n = t.u64()? as usize;
+            let mut attrs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                attrs.push(t.str()?);
+            }
+            Error::DuplicateKey { file, attrs }
+        }
+        3 => Error::MissingFileKeyword,
+        4 => Error::NonNumericAggregate { attr: t.str()? },
+        5 => Error::Unavailable(t.str()?),
+        6 => Error::Internal(t.str()?),
+        tag => return Err(Take::bad(&format!("error tag {tag}"))),
+    };
+    t.done()?;
+    Ok(err)
+}
+
+/// Text codec for a classic [`FaultPlan`], so the controller can ship
+/// an installed plan to its backend processes.
+pub fn fault_plan_to_text(plan: &FaultPlan) -> String {
+    let mut out = String::new();
+    for e in plan.events() {
+        let kind = match e.kind {
+            FaultKind::DropReply => "drop".to_string(),
+            FaultKind::DelayReplyMs(ms) => format!("delay:{ms}"),
+            FaultKind::Crash => "crash".to_string(),
+            FaultKind::Panic => "panic".to_string(),
+        };
+        out.push_str(&format!("{} {} {}\n", e.backend, e.at_request, kind));
+    }
+    out
+}
+
+/// Parse the [`fault_plan_to_text`] representation back into a plan.
+pub fn fault_plan_from_text(text: &str) -> Result<FaultPlan> {
+    let mut plan = FaultPlan::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = || Error::Internal(format!("wire: bad fault plan line `{line}`"));
+        let backend: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let at: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let kind = match parts.next().ok_or_else(bad)? {
+            "drop" => FaultKind::DropReply,
+            "crash" => FaultKind::Crash,
+            "panic" => FaultKind::Panic,
+            d if d.starts_with("delay:") => {
+                FaultKind::DelayReplyMs(d[6..].parse().map_err(|_| bad())?)
+            }
+            _ => return Err(bad()),
+        };
+        plan = plan.with(backend, at, kind);
+    }
+    Ok(plan)
+}
+
+/// Operations a controller (or standby) sends to a backend process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOp {
+    /// Client introduction; the id keys the backend's idempotency
+    /// cache and stays constant across reconnects.
+    Hello {
+        /// Stable client identity.
+        client_id: u64,
+    },
+    /// Create a kernel file.
+    CreateFile(String),
+    /// Insert a record under a controller-allocated key.
+    InsertWithKey(DbKey, Record),
+    /// Execute an ABDL request.
+    Exec(Request),
+    /// Liveness and epoch probe.
+    Ping,
+    /// Orderly process shutdown.
+    Shutdown,
+    /// Install a classic backend fault plan.
+    SetFaults(FaultPlan),
+    /// WAL-shipping pull from the generation/line position held.
+    PullLog {
+        /// Snapshot generation the puller holds.
+        generation: u64,
+        /// Log lines the puller already has at that generation.
+        have: u64,
+    },
+}
+
+impl WireOp {
+    /// Encode into a [`Frame`] stamped with `seq` and `epoch`.
+    pub fn into_frame(self, seq: u64, epoch: u64) -> Frame {
+        let (kind, body) = match self {
+            WireOp::Hello { client_id } => {
+                let mut b = Vec::new();
+                put_u64(&mut b, client_id);
+                (kind::HELLO, b)
+            }
+            WireOp::CreateFile(name) => {
+                let mut b = Vec::new();
+                put_str(&mut b, &name);
+                (kind::CREATE_FILE, b)
+            }
+            WireOp::InsertWithKey(key, record) => {
+                let mut b = Vec::new();
+                put_u64(&mut b, key.0);
+                put_record(&mut b, &record);
+                (kind::INSERT_WITH_KEY, b)
+            }
+            WireOp::Exec(request) => {
+                let mut b = Vec::new();
+                put_str(&mut b, &request.to_string());
+                (kind::EXEC, b)
+            }
+            WireOp::Ping => (kind::PING, Vec::new()),
+            WireOp::Shutdown => (kind::SHUTDOWN, Vec::new()),
+            WireOp::SetFaults(plan) => {
+                let mut b = Vec::new();
+                put_str(&mut b, &fault_plan_to_text(&plan));
+                (kind::SET_FAULTS, b)
+            }
+            WireOp::PullLog { generation, have } => {
+                let mut b = Vec::new();
+                put_u64(&mut b, generation);
+                put_u64(&mut b, have);
+                (kind::PULL_LOG, b)
+            }
+        };
+        Frame { kind, seq, epoch, body }
+    }
+
+    /// Decode a request frame.
+    pub fn from_frame(frame: &Frame) -> Result<WireOp> {
+        let mut t = Take::new(&frame.body);
+        let op = match frame.kind {
+            kind::HELLO => WireOp::Hello { client_id: t.u64()? },
+            kind::CREATE_FILE => WireOp::CreateFile(t.str()?),
+            kind::INSERT_WITH_KEY => {
+                let key = DbKey(t.u64()?);
+                let record = take_record(&mut t)?;
+                WireOp::InsertWithKey(key, record)
+            }
+            kind::EXEC => WireOp::Exec(parse_request(&t.str()?)?),
+            kind::PING => WireOp::Ping,
+            kind::SHUTDOWN => WireOp::Shutdown,
+            kind::SET_FAULTS => WireOp::SetFaults(fault_plan_from_text(&t.str()?)?),
+            kind::PULL_LOG => WireOp::PullLog { generation: t.u64()?, have: t.u64()? },
+            k => return Err(Take::bad(&format!("request kind {k:#x}"))),
+        };
+        t.done()?;
+        Ok(op)
+    }
+}
+
+/// Replies a backend (or WAL shipper) sends back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireReply {
+    /// Hello acknowledgement with the backend's fence epoch.
+    HelloAck {
+        /// The backend's current fence epoch.
+        fence: u64,
+    },
+    /// Successful operation result.
+    Ok(Response),
+    /// Failed operation result.
+    Err(Error),
+    /// Ping acknowledgement with the backend's fence epoch.
+    Pong {
+        /// The backend's current fence epoch.
+        fence: u64,
+    },
+    /// WAL-shipping delta (or full state when `full`).
+    LogDelta {
+        /// Shipper's snapshot generation.
+        generation: u64,
+        /// Shipper's fence epoch.
+        fence: u64,
+        /// Snapshot text, present only on a full transfer.
+        snapshot: Option<String>,
+        /// Log lines: all of them when `full`, the tail past the
+        /// puller's position otherwise.
+        lines: Vec<String>,
+        /// True when the puller's generation was stale and the whole
+        /// state (snapshot + every line) was sent.
+        full: bool,
+    },
+}
+
+impl WireReply {
+    /// Encode into a [`Frame`] stamped with `seq` and `epoch`.
+    pub fn into_frame(self, seq: u64, epoch: u64) -> Frame {
+        let (kind, body) = match self {
+            WireReply::HelloAck { fence } => {
+                let mut b = Vec::new();
+                put_u64(&mut b, fence);
+                (kind::HELLO_ACK, b)
+            }
+            WireReply::Ok(resp) => (kind::REPLY_OK, encode_response(&resp)),
+            WireReply::Err(err) => (kind::REPLY_ERR, encode_error(&err)),
+            WireReply::Pong { fence } => {
+                let mut b = Vec::new();
+                put_u64(&mut b, fence);
+                (kind::PONG, b)
+            }
+            WireReply::LogDelta { generation, fence, snapshot, lines, full } => {
+                let mut b = Vec::new();
+                put_u64(&mut b, generation);
+                put_u64(&mut b, fence);
+                b.push(full as u8);
+                match &snapshot {
+                    None => b.push(0),
+                    Some(text) => {
+                        b.push(1);
+                        put_str(&mut b, text);
+                    }
+                }
+                put_u64(&mut b, lines.len() as u64);
+                for line in &lines {
+                    put_str(&mut b, line);
+                }
+                (kind::LOG_DELTA, b)
+            }
+        };
+        Frame { kind, seq, epoch, body }
+    }
+
+    /// Decode a reply frame.
+    pub fn from_frame(frame: &Frame) -> Result<WireReply> {
+        let mut t = Take::new(&frame.body);
+        let reply = match frame.kind {
+            kind::HELLO_ACK => WireReply::HelloAck { fence: t.u64()? },
+            kind::REPLY_OK => return decode_response(&frame.body).map(WireReply::Ok),
+            kind::REPLY_ERR => return decode_error(&frame.body).map(WireReply::Err),
+            kind::PONG => WireReply::Pong { fence: t.u64()? },
+            kind::LOG_DELTA => {
+                let generation = t.u64()?;
+                let fence = t.u64()?;
+                let full = t.u8()? != 0;
+                let snapshot = match t.u8()? {
+                    0 => None,
+                    1 => Some(t.str()?),
+                    tag => return Err(Take::bad(&format!("snapshot tag {tag}"))),
+                };
+                let n = t.u64()? as usize;
+                let mut lines = Vec::with_capacity(n.min(65536));
+                for _ in 0..n {
+                    lines.push(t.str()?);
+                }
+                WireReply::LogDelta { generation, fence, snapshot, lines, full }
+            }
+            k => return Err(Take::bad(&format!("reply kind {k:#x}"))),
+        };
+        t.done()?;
+        Ok(reply)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Network fault plan
+// ---------------------------------------------------------------------
+
+/// Which direction of a link a network fault applies to, from the
+/// client's (controller's) point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// Frames the controller sends toward the backend.
+    Send,
+    /// Frames the backend sends toward the controller.
+    Recv,
+}
+
+/// What a network fault does to the frame it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The frame vanishes (the retry path must recover it).
+    Drop,
+    /// The frame is delivered only after this many milliseconds.
+    DelayMs(u64),
+    /// The frame is delivered twice (idempotency must absorb it).
+    Duplicate,
+    /// The frame is held and delivered *after* the next frame on the
+    /// same link and direction.
+    Reorder,
+    /// The link is severed: every later frame in both directions fails
+    /// until [`TcpLink::heal`] — a real partition.
+    Sever,
+}
+
+/// One scheduled network fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultEvent {
+    /// Link (backend index) the fault fires on.
+    pub link: usize,
+    /// Direction it applies to.
+    pub dir: LinkDir,
+    /// Fires on the `at_frame`-th frame in that direction (1-based).
+    pub at_frame: u64,
+    /// What happens.
+    pub kind: NetFaultKind,
+}
+
+/// A deterministic schedule of per-link, per-direction network faults.
+/// The socket transport consults it on every frame it moves; equal
+/// plans produce bit-identical fault sequences, which is what lets the
+/// lossy-link convergence test compare digests against a clean run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    events: Vec<NetFaultEvent>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan (a perfect network).
+    pub fn new() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// Add an event: link `link`, direction `dir`, firing on that
+    /// direction's `at_frame`-th frame.
+    pub fn with(mut self, link: usize, dir: LinkDir, at_frame: u64, kind: NetFaultKind) -> Self {
+        self.events.push(NetFaultEvent { link, dir, at_frame, kind });
+        self
+    }
+
+    /// A seeded lossy-but-recoverable plan over `links` links: each
+    /// direction of each link independently has a ~1-in-2 chance of one
+    /// drop/delay/duplicate/reorder somewhere in its first `horizon`
+    /// frames. Severs are deliberately excluded — a seeded plan must
+    /// stay inside the retry budget so the workload converges; real
+    /// partitions are scheduled explicitly with [`with`](Self::with).
+    pub fn seeded(seed: u64, links: usize, horizon: u64) -> Self {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut plan = NetFaultPlan::new();
+        for link in 0..links {
+            for dir in [LinkDir::Send, LinkDir::Recv] {
+                if !rng.chance(1, 2) {
+                    continue;
+                }
+                let at_frame = 2 + rng.next_u64() % horizon.max(1);
+                let kind = match rng.index(4) {
+                    0 => NetFaultKind::Drop,
+                    1 => NetFaultKind::DelayMs(1 + rng.next_u64() % 10),
+                    2 => NetFaultKind::Duplicate,
+                    _ => NetFaultKind::Reorder,
+                };
+                plan.events.push(NetFaultEvent { link, dir, at_frame, kind });
+            }
+        }
+        plan
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[NetFaultEvent] {
+        &self.events
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The fault (if any) firing on `link`'s `frame_no`-th frame in
+    /// direction `dir`.
+    pub fn action(&self, link: usize, dir: LinkDir, frame_no: u64) -> Option<NetFaultKind> {
+        self.events
+            .iter()
+            .find(|e| e.link == link && e.dir == dir && e.at_frame == frame_no)
+            .map(|e| e.kind)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client link
+// ---------------------------------------------------------------------
+
+/// Why a [`TcpLink`] receive produced no frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The wait window expired with no frame (retry candidate).
+    Timeout,
+    /// The connection is gone (closed, reset, or severed).
+    Closed,
+}
+
+/// A fault-injectable framed TCP connection from the controller to one
+/// backend. All injected faults are applied on the client side — the
+/// send direction on the write path, the receive direction on the read
+/// path — which keeps a seeded plan deterministic: the controller is
+/// single-threaded per request round, so frame counters advance in
+/// program order.
+#[derive(Debug)]
+pub struct TcpLink {
+    index: usize,
+    addr: SocketAddr,
+    client_id: u64,
+    plan: Arc<Mutex<NetFaultPlan>>,
+    stream: Option<TcpStream>,
+    reader: FrameReader,
+    frames_sent: u64,
+    frames_recv: u64,
+    /// Frame held back by a send-direction Reorder, written after the
+    /// next outgoing frame.
+    held_send: Option<Vec<u8>>,
+    /// Frame held back by a recv-direction Reorder, delivered after
+    /// the next incoming frame.
+    held_recv: Option<Frame>,
+    /// Frames ready to deliver before touching the socket (duplicates,
+    /// released reorders).
+    pending_in: VecDeque<Frame>,
+    severed: bool,
+}
+
+impl TcpLink {
+    /// A link to `addr` identifying itself as `client_id`; faults on
+    /// this link consult `plan` under link id `index`.
+    pub fn new(
+        index: usize,
+        addr: SocketAddr,
+        client_id: u64,
+        plan: Arc<Mutex<NetFaultPlan>>,
+    ) -> Self {
+        TcpLink {
+            index,
+            addr,
+            client_id,
+            plan,
+            stream: None,
+            reader: FrameReader::new(),
+            frames_sent: 0,
+            frames_recv: 0,
+            held_send: None,
+            held_recv: None,
+            pending_in: VecDeque::new(),
+            severed: false,
+        }
+    }
+
+    /// The backend address this link dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sever the link: sends and receives fail until [`heal`](Self::heal).
+    pub fn sever(&mut self) {
+        self.severed = true;
+        self.stream = None;
+        self.reader = FrameReader::new();
+        self.pending_in.clear();
+        self.held_recv = None;
+        self.held_send = None;
+    }
+
+    /// Heal a severed link (the next send reconnects).
+    pub fn heal(&mut self) {
+        self.severed = false;
+    }
+
+    /// True while the link is severed.
+    pub fn is_severed(&self) -> bool {
+        self.severed
+    }
+
+    /// True when a TCP connection is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Establish (or re-establish) the connection: dial, send `Hello`
+    /// at `epoch`, and wait up to `timeout` for the `HelloAck`.
+    /// Returns the backend's fence epoch.
+    pub fn connect(&mut self, epoch: u64, timeout: Duration) -> std::result::Result<u64, LinkError> {
+        if self.severed {
+            return Err(LinkError::Closed);
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, timeout).map_err(|_| LinkError::Closed)?;
+        stream.set_nodelay(true).ok();
+        self.stream = Some(stream);
+        self.reader = FrameReader::new();
+        let hello = WireOp::Hello { client_id: self.client_id }.into_frame(0, epoch);
+        self.write_raw(&hello.to_bytes())?;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err(LinkError::Timeout);
+            }
+            match self.recv_raw(left)? {
+                Some(frame) if frame.kind == kind::HELLO_ACK => {
+                    let mut t = Take::new(&frame.body);
+                    return t.u64().map_err(|_| LinkError::Closed);
+                }
+                Some(_) => continue,
+                None => return Err(LinkError::Timeout),
+            }
+        }
+    }
+
+    fn write_raw(&mut self, bytes: &[u8]) -> std::result::Result<(), LinkError> {
+        let stream = self.stream.as_mut().ok_or(LinkError::Closed)?;
+        match stream.write_all(bytes).and_then(|_| stream.flush()) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.stream = None;
+                Err(LinkError::Closed)
+            }
+        }
+    }
+
+    /// Send one frame, applying send-direction faults. `Drop` consumes
+    /// the frame silently (the caller's retry path recovers it);
+    /// `Sever` partitions the link.
+    pub fn send(&mut self, frame: &Frame) -> std::result::Result<(), LinkError> {
+        if self.severed {
+            return Err(LinkError::Closed);
+        }
+        if self.stream.is_none() {
+            return Err(LinkError::Closed);
+        }
+        self.frames_sent += 1;
+        let action = {
+            let plan = self.plan.lock().expect("net plan lock");
+            plan.action(self.index, LinkDir::Send, self.frames_sent)
+        };
+        let bytes = frame.to_bytes();
+        match action {
+            Some(NetFaultKind::Drop) => return Ok(()),
+            Some(NetFaultKind::DelayMs(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.write_raw(&bytes)?;
+            }
+            Some(NetFaultKind::Duplicate) => {
+                self.write_raw(&bytes)?;
+                self.write_raw(&bytes)?;
+            }
+            Some(NetFaultKind::Reorder) => {
+                self.held_send = Some(bytes);
+                return Ok(());
+            }
+            Some(NetFaultKind::Sever) => {
+                self.sever();
+                return Err(LinkError::Closed);
+            }
+            None => self.write_raw(&bytes)?,
+        }
+        if let Some(held) = self.held_send.take() {
+            self.write_raw(&held)?;
+        }
+        Ok(())
+    }
+
+    /// Receive one frame within `timeout`, applying recv-direction
+    /// faults. Corrupt frames are skipped in place; `Ok(None)` means
+    /// the window expired.
+    pub fn recv(&mut self, timeout: Duration) -> std::result::Result<Option<Frame>, LinkError> {
+        if self.severed {
+            return Err(LinkError::Closed);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(frame) = self.pending_in.pop_front() {
+                return Ok(Some(frame));
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            let frame = match self.recv_raw(left)? {
+                Some(frame) => frame,
+                None => return Ok(None),
+            };
+            self.frames_recv += 1;
+            let action = {
+                let plan = self.plan.lock().expect("net plan lock");
+                plan.action(self.index, LinkDir::Recv, self.frames_recv)
+            };
+            let deliver = match action {
+                Some(NetFaultKind::Drop) => continue,
+                Some(NetFaultKind::DelayMs(ms)) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    frame
+                }
+                Some(NetFaultKind::Duplicate) => {
+                    self.pending_in.push_back(frame.clone());
+                    frame
+                }
+                Some(NetFaultKind::Reorder) => {
+                    self.held_recv = Some(frame);
+                    continue;
+                }
+                Some(NetFaultKind::Sever) => {
+                    self.sever();
+                    return Err(LinkError::Closed);
+                }
+                None => frame,
+            };
+            if let Some(held) = self.held_recv.take() {
+                self.pending_in.push_back(held);
+            }
+            return Ok(Some(deliver));
+        }
+    }
+
+    /// Read one verified frame off the socket (no fault injection),
+    /// skipping corrupt regions, within `timeout`. `Ok(None)` = window
+    /// expired; partial frame progress is retained for the next call.
+    fn recv_raw(&mut self, timeout: Duration) -> std::result::Result<Option<Frame>, LinkError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            let stream = self.stream.as_mut().ok_or(LinkError::Closed)?;
+            stream.set_read_timeout(Some(left.max(Duration::from_millis(1)))).ok();
+            match self.reader.read_from(stream) {
+                Ok(FrameRead::Frame(frame)) => return Ok(Some(frame)),
+                Ok(FrameRead::Corrupt) => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(_) => {
+                    self.stream = None;
+                    self.reader = FrameReader::new();
+                    return Err(LinkError::Closed);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend process: launcher and server
+// ---------------------------------------------------------------------
+
+/// Locate the `mbds-backend` helper binary: the `MBDS_BACKEND_BIN`
+/// environment variable wins; otherwise look next to the current
+/// executable and one directory up (test binaries live in
+/// `target/*/deps`, sibling bins in `target/*`).
+pub fn backend_binary() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("MBDS_BACKEND_BIN") {
+        let path = PathBuf::from(path);
+        if path.exists() {
+            return Some(path);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("mbds-backend{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        let d = dir?;
+        let cand = d.join(&name);
+        if cand.exists() {
+            return Some(cand);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// A spawned backend process and the address it listens on.
+#[derive(Debug)]
+pub struct BackendProc {
+    /// The OS child process. Dropping (or killing) it closes its stdin
+    /// pipe, which the backend's watchdog treats as an exit order — no
+    /// backend outlives every controller handle.
+    pub child: Child,
+    /// The backend's listening address.
+    pub addr: SocketAddr,
+}
+
+/// Spawn one backend process for logical index `index` and wait for
+/// its `MBDS-PORT` handshake line.
+pub fn spawn_backend_process(index: usize) -> Result<BackendProc> {
+    let bin = backend_binary().ok_or_else(|| {
+        Error::Internal(
+            "mbds-backend binary not found (build it, or set MBDS_BACKEND_BIN)".to_string(),
+        )
+    })?;
+    let mut child = Command::new(&bin)
+        .arg(index.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| Error::Internal(format!("spawn {}: {e}", bin.display())))?;
+    let stdout = child.stdout.take().ok_or_else(|| {
+        Error::Internal("backend child stdout not captured".to_string())
+    })?;
+    let mut lines = io::BufReader::new(stdout).lines();
+    let line = match lines.next() {
+        Some(Ok(line)) => line,
+        other => {
+            child.kill().ok();
+            return Err(Error::Internal(format!(
+                "backend {index} did not hand its port over: {other:?}"
+            )));
+        }
+    };
+    let port: u16 = line
+        .strip_prefix("MBDS-PORT ")
+        .and_then(|p| p.trim().parse().ok())
+        .ok_or_else(|| {
+            Error::Internal(format!("backend {index} handshake was `{line}`, not MBDS-PORT"))
+        })?;
+    // Keep stdout drained so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    let addr = SocketAddr::from(([127, 0, 0, 1], port));
+    Ok(BackendProc { child, addr })
+}
+
+/// Per-process state of one backend server.
+struct ServerState {
+    index: usize,
+    store: Store,
+    /// Highest controller epoch ever seen on any frame; lower-epoch
+    /// requests are fenced with the same error the in-process bus uses.
+    fence: u64,
+    /// Messages handled (creates, inserts, execs — not probes or
+    /// retransmitted duplicates), driving the classic fault plan on the
+    /// same counter the in-process backend loop uses.
+    handled: u64,
+    faults: FaultPlan,
+    /// Per-client reply cache: `client_id → seq → encoded reply frame`.
+    /// A retransmitted seq is answered from here without re-applying
+    /// the operation.
+    replies: BTreeMap<u64, BTreeMap<u64, Frame>>,
+}
+
+/// How many past replies are retained per client for idempotent
+/// retransmission. The controller's retry budget is tiny, so a short
+/// window is plenty.
+const REPLY_CACHE: u64 = 256;
+
+fn apply_op(state: &mut ServerState, op: &WireOp) -> Result<Response> {
+    match op {
+        WireOp::CreateFile(name) => {
+            state.store.create_file(name);
+            Ok(Response::default())
+        }
+        WireOp::InsertWithKey(key, record) => state
+            .store
+            .insert_with_key(*key, record.clone())
+            .map(|()| Response::with_affected(1, Default::default())),
+        WireOp::Exec(request) => state.store.execute(request),
+        _ => Err(Error::Internal("wire: apply_op on a non-apply op".to_string())),
+    }
+}
+
+/// Serve one accepted connection against the shared state. Returns
+/// when the peer hangs up; `Shutdown` exits the whole process.
+fn serve_conn(stream: TcpStream, state: &Arc<Mutex<ServerState>>) {
+    stream.set_nodelay(true).ok();
+    let mut reader = FrameReader::new();
+    let mut read_side = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut write_side = stream;
+    let mut client_id = 0u64;
+    loop {
+        let frame = match reader.read_from(&mut read_side) {
+            Ok(FrameRead::Frame(frame)) => frame,
+            Ok(FrameRead::Corrupt) => continue,
+            Err(_) => return,
+        };
+        let op = match WireOp::from_frame(&frame) {
+            Ok(op) => op,
+            Err(_) => continue,
+        };
+        let mut st = state.lock().expect("server state lock");
+        if frame.epoch > st.fence {
+            st.fence = frame.epoch;
+        }
+        let fenced = frame.epoch < st.fence;
+        let mut delay_ms = 0u64;
+        let reply: Option<Frame> = match &op {
+            WireOp::Hello { client_id: id } => {
+                client_id = *id;
+                Some(WireReply::HelloAck { fence: st.fence }.into_frame(frame.seq, st.fence))
+            }
+            WireOp::Ping => {
+                Some(WireReply::Pong { fence: st.fence }.into_frame(frame.seq, st.fence))
+            }
+            WireOp::Shutdown => {
+                if fenced {
+                    // A stale controller may not stop a fenced backend.
+                    None
+                } else {
+                    std::process::exit(0);
+                }
+            }
+            WireOp::SetFaults(plan) => {
+                st.faults = plan.clone();
+                Some(WireReply::Ok(Response::default()).into_frame(frame.seq, st.fence))
+            }
+            WireOp::PullLog { .. } => {
+                let err = Error::Internal("wire: backend does not ship logs".to_string());
+                Some(WireReply::Err(err).into_frame(frame.seq, st.fence))
+            }
+            WireOp::CreateFile(_) | WireOp::InsertWithKey(..) | WireOp::Exec(_) => {
+                if fenced {
+                    let index = st.index;
+                    let err = Error::Unavailable(format!(
+                        "backend {index}: request fenced (epoch {} < fence {})",
+                        frame.epoch, st.fence
+                    ));
+                    Some(WireReply::Err(err).into_frame(frame.seq, st.fence))
+                } else if let Some(cached) =
+                    st.replies.get(&client_id).and_then(|m| m.get(&frame.seq)).cloned()
+                {
+                    // Retransmission: answer from the cache, apply nothing.
+                    Some(cached)
+                } else {
+                    st.handled += 1;
+                    let action = st.faults.action(st.index, st.handled);
+                    match action {
+                        Some(FaultKind::Crash) => std::process::exit(1),
+                        Some(FaultKind::Panic) => std::process::abort(),
+                        _ => {}
+                    }
+                    let result = apply_op(&mut st, &op);
+                    let reply = match result {
+                        Ok(resp) => WireReply::Ok(resp).into_frame(frame.seq, st.fence),
+                        Err(err) => WireReply::Err(err).into_frame(frame.seq, st.fence),
+                    };
+                    let cache = st.replies.entry(client_id).or_default();
+                    cache.insert(frame.seq, reply.clone());
+                    while let Some((&low, _)) = cache.first_key_value() {
+                        if low + REPLY_CACHE < frame.seq {
+                            cache.remove(&low);
+                        } else {
+                            break;
+                        }
+                    }
+                    match action {
+                        Some(FaultKind::DropReply) => None,
+                        Some(FaultKind::DelayReplyMs(ms)) => {
+                            delay_ms = ms;
+                            Some(reply)
+                        }
+                        _ => Some(reply),
+                    }
+                }
+            }
+        };
+        drop(st);
+        if delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        if let Some(reply) = reply {
+            if write_side.write_all(&reply.to_bytes()).and_then(|_| write_side.flush()).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Run a backend server for logical index `index` on an ephemeral
+/// loopback port, announce it as `MBDS-PORT <port>` on stdout, and
+/// serve until `Shutdown` (or stdin EOF — the watchdog that ties the
+/// process's life to its last controller handle). This is the body of
+/// the `mbds-backend` binary.
+pub fn backend_process_main(index: usize) -> ! {
+    let listener = match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mbds-backend {index}: bind: {e}");
+            std::process::exit(3);
+        }
+    };
+    let port = listener.local_addr().map(|a| a.port()).unwrap_or(0);
+    println!("MBDS-PORT {port}");
+    io::stdout().flush().ok();
+    // Watchdog: when every holder of our stdin pipe is gone, so is the
+    // cluster that owned us.
+    std::thread::spawn(|| {
+        let mut sink = Vec::new();
+        let _ = io::stdin().lock().read_to_end(&mut sink);
+        std::process::exit(0);
+    });
+    let state = Arc::new(Mutex::new(ServerState {
+        index,
+        store: Store::new(),
+        fence: 0,
+        handled: 0,
+        faults: FaultPlan::new(),
+        replies: BTreeMap::new(),
+    }));
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || serve_conn(stream, &state));
+            }
+            Err(_) => continue,
+        }
+    }
+    std::process::exit(0);
+}
+
+// ---------------------------------------------------------------------
+// WAL shipping: ShipServer (primary side) and RemoteLog (standby side)
+// ---------------------------------------------------------------------
+
+/// Serves the primary's log store to remote pullers — the network form
+/// of handing the standby a cloned [`MemLog`](crate::MemLog). Holds its
+/// own read handle onto the same underlying store.
+pub struct ShipServer {
+    addr: SocketAddr,
+    stop: Arc<Mutex<bool>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShipServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShipServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl ShipServer {
+    /// Start serving `store` on an ephemeral loopback port.
+    pub fn spawn(store: Box<dyn LogStore>) -> Result<ShipServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| Error::Internal(format!("ship server bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::Internal(format!("ship server addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Internal(format!("ship server nonblocking: {e}")))?;
+        let stop = Arc::new(Mutex::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            let store = Mutex::new(store);
+            loop {
+                if *stop2.lock().expect("ship stop lock") {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => Self::serve_pull(stream, &store),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        Ok(ShipServer { addr, stop, join: Some(join) })
+    }
+
+    /// The address pullers dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn serve_pull(mut stream: TcpStream, store: &Mutex<Box<dyn LogStore>>) {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_millis(500))).ok();
+        let mut reader = FrameReader::new();
+        loop {
+            let frame = match reader.read_from(&mut stream) {
+                Ok(FrameRead::Frame(frame)) => frame,
+                Ok(FrameRead::Corrupt) => continue,
+                Err(_) => return,
+            };
+            let (have_gen, have) = match WireOp::from_frame(&frame) {
+                Ok(WireOp::PullLog { generation, have }) => (generation, have),
+                _ => continue,
+            };
+            let reply = {
+                let store = store.lock().expect("ship store lock");
+                let generation = store.generation().unwrap_or(0);
+                let fence = store.fence_epoch().unwrap_or(0);
+                let lines = store.log_lines().unwrap_or_default();
+                if generation != have_gen {
+                    let snapshot = store.read_snapshot().ok().flatten();
+                    WireReply::LogDelta { generation, fence, snapshot, lines, full: true }
+                } else {
+                    let tail = lines.get(have as usize..).unwrap_or(&[]).to_vec();
+                    WireReply::LogDelta { generation, fence, snapshot: None, lines: tail, full: false }
+                }
+            };
+            let bytes = reply.into_frame(frame.seq, 0).to_bytes();
+            if stream.write_all(&bytes).and_then(|_| stream.flush()).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for ShipServer {
+    fn drop(&mut self) {
+        *self.stop.lock().expect("ship stop lock") = true;
+        if let Some(join) = self.join.take() {
+            join.join().ok();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RemoteLogInner {
+    snapshot: Option<String>,
+    lines: Vec<String>,
+    fence: u64,
+    generation: u64,
+    /// While true, reads sync from the primary first. Any local write
+    /// permanently detaches — after promotion the new lineage's log is
+    /// local, never the partitioned old primary's.
+    online: bool,
+    seq: u64,
+}
+
+/// The standby's view of the primary's log, pulled over TCP. Implements
+/// [`LogStore`] against a local replica: reads first sync from the
+/// primary when reachable (serving the cached state when it is not —
+/// a partition must not wedge the standby), and the first local *write*
+/// permanently detaches the replica, because a write means promotion
+/// has begun and the log's ownership has moved here.
+pub struct RemoteLog {
+    addr: SocketAddr,
+    inner: Arc<Mutex<RemoteLogInner>>,
+    /// How long one pull may take before the standby falls back to its
+    /// cached state.
+    timeout: Duration,
+}
+
+impl std::fmt::Debug for RemoteLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteLog").field("addr", &self.addr).finish()
+    }
+}
+
+impl RemoteLog {
+    /// A remote log pulling from `addr` (a [`ShipServer`]).
+    pub fn connect(addr: SocketAddr) -> RemoteLog {
+        RemoteLog {
+            addr,
+            inner: Arc::new(Mutex::new(RemoteLogInner { online: true, ..Default::default() })),
+            timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Override the per-pull timeout (tests shorten it).
+    pub fn with_timeout(mut self, timeout: Duration) -> RemoteLog {
+        self.timeout = timeout;
+        self
+    }
+
+    /// True while reads still sync from the primary.
+    pub fn is_online(&self) -> bool {
+        self.inner.lock().expect("remote log lock").online
+    }
+
+    /// Pull the newest state from the primary into the local replica.
+    /// Unreachable or severed primaries leave the cache untouched.
+    fn sync(&self) {
+        let mut inner = self.inner.lock().expect("remote log lock");
+        if !inner.online {
+            return;
+        }
+        inner.seq += 1;
+        let seq = inner.seq;
+        let pull = WireOp::PullLog { generation: inner.generation, have: inner.lines.len() as u64 }
+            .into_frame(seq, 0);
+        let reply = (|| -> std::io::Result<Option<Frame>> {
+            let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(self.timeout)).ok();
+            stream.write_all(&pull.to_bytes())?;
+            stream.flush()?;
+            let mut reader = FrameReader::new();
+            loop {
+                match reader.read_from(&mut stream) {
+                    Ok(FrameRead::Frame(frame)) => return Ok(Some(frame)),
+                    Ok(FrameRead::Corrupt) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        })();
+        let Ok(Some(frame)) = reply else { return };
+        let Ok(WireReply::LogDelta { generation, fence, snapshot, lines, full }) =
+            WireReply::from_frame(&frame)
+        else {
+            return;
+        };
+        if full {
+            inner.snapshot = snapshot;
+            inner.lines = lines;
+            inner.generation = generation;
+        } else {
+            inner.lines.extend(lines);
+        }
+        inner.fence = inner.fence.max(fence);
+    }
+
+    fn detach(inner: &mut RemoteLogInner) {
+        inner.online = false;
+    }
+}
+
+impl LogStore for RemoteLog {
+    fn append_line(&mut self, line: &str) -> Result<()> {
+        let mut inner = self.inner.lock().expect("remote log lock");
+        Self::detach(&mut inner);
+        inner.lines.push(line.to_owned());
+        Ok(())
+    }
+
+    fn log_lines(&self) -> Result<Vec<String>> {
+        self.sync();
+        Ok(self.inner.lock().expect("remote log lock").lines.clone())
+    }
+
+    fn read_snapshot(&self) -> Result<Option<String>> {
+        self.sync();
+        Ok(self.inner.lock().expect("remote log lock").snapshot.clone())
+    }
+
+    fn install_snapshot(&mut self, text: &str) -> Result<()> {
+        let mut inner = self.inner.lock().expect("remote log lock");
+        Self::detach(&mut inner);
+        inner.snapshot = Some(text.to_owned());
+        inner.lines.clear();
+        inner.generation += 1;
+        Ok(())
+    }
+
+    fn has_state(&self) -> Result<bool> {
+        self.sync();
+        let inner = self.inner.lock().expect("remote log lock");
+        Ok(inner.snapshot.is_some() || !inner.lines.is_empty())
+    }
+
+    fn drop_torn_tail(&mut self, keep: usize) -> Result<()> {
+        let mut inner = self.inner.lock().expect("remote log lock");
+        Self::detach(&mut inner);
+        inner.lines.truncate(keep);
+        Ok(())
+    }
+
+    fn fence_epoch(&self) -> Result<u64> {
+        self.sync();
+        Ok(self.inner.lock().expect("remote log lock").fence)
+    }
+
+    fn set_fence_epoch(&mut self, epoch: u64) -> Result<()> {
+        let mut inner = self.inner.lock().expect("remote log lock");
+        Self::detach(&mut inner);
+        inner.fence = inner.fence.max(epoch);
+        Ok(())
+    }
+
+    fn generation(&self) -> Result<u64> {
+        self.sync();
+        Ok(self.inner.lock().expect("remote log lock").generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemLog;
+
+    fn seeded_record(rng: &mut Prng) -> Record {
+        let mut rec = Record::from_pairs([("FILE", Value::str("wire"))]);
+        for i in 0..rng.index(4) {
+            let val = match rng.index(4) {
+                0 => Value::Null,
+                1 => Value::Int(rng.next_u64() as i64),
+                2 => Value::Float((rng.next_u64() % 10_000) as f64 / 7.0),
+                _ => Value::str(format!("s{}", rng.next_u64() % 1000)),
+            };
+            rec.set(format!("a{i}"), val);
+        }
+        rec
+    }
+
+    fn seeded_frame(rng: &mut Prng) -> Frame {
+        let seq = rng.next_u64();
+        let epoch = rng.next_u64() % 16;
+        match rng.index(6) {
+            0 => WireOp::Hello { client_id: rng.next_u64() }.into_frame(seq, epoch),
+            1 => WireOp::CreateFile(format!("f{}", rng.next_u64() % 100)).into_frame(seq, epoch),
+            2 => WireOp::InsertWithKey(DbKey(rng.next_u64()), seeded_record(rng))
+                .into_frame(seq, epoch),
+            3 => WireOp::Ping.into_frame(seq, epoch),
+            4 => {
+                let mut resp = Response::with_records(
+                    vec![(DbKey(rng.next_u64() % 50), seeded_record(rng))],
+                    ExecStats { records_examined: rng.next_u64() % 99, ..Default::default() },
+                );
+                resp.degraded = rng.chance(1, 2);
+                resp.unavailable_backends = vec![rng.index(8)];
+                resp.messages_sent = rng.next_u64() % 30;
+                if rng.chance(1, 3) {
+                    resp.groups = Some(vec![GroupRow {
+                        group: Some(Value::Int(rng.next_u64() as i64)),
+                        values: vec![Value::Float(0.5 + rng.index(9) as f64)],
+                    }]);
+                }
+                WireReply::Ok(resp).into_frame(seq, epoch)
+            }
+            _ => WireReply::Err(Error::DuplicateKey {
+                file: "wire".into(),
+                attrs: vec![format!("a{}", rng.index(3))],
+            })
+            .into_frame(seq, epoch),
+        }
+    }
+
+    /// Fuzz-style property test: random envelopes survive the byte
+    /// round-trip exactly, including float bit patterns.
+    #[test]
+    fn random_envelopes_round_trip() {
+        let mut rng = Prng::seed_from_u64(2024);
+        for _ in 0..500 {
+            let frame = seeded_frame(&mut rng);
+            let bytes = frame.to_bytes();
+            let mut reader = FrameReader::new();
+            let mut cursor = io::Cursor::new(&bytes);
+            match reader.read_from(&mut cursor).expect("read") {
+                FrameRead::Frame(out) => {
+                    assert_eq!(out, frame);
+                    // And the typed layer round-trips too.
+                    match out.kind {
+                        k if k >= kind::REPLY_OK => {
+                            let reply = WireReply::from_frame(&out).expect("reply decode");
+                            assert_eq!(reply.into_frame(out.seq, out.epoch), frame);
+                        }
+                        _ => {
+                            let op = WireOp::from_frame(&out).expect("op decode");
+                            assert_eq!(op.into_frame(out.seq, out.epoch), frame);
+                        }
+                    }
+                }
+                FrameRead::Corrupt => panic!("clean frame read as corrupt"),
+            }
+        }
+    }
+
+    /// A bit-flipped frame fails its CRC and is skipped in place; the
+    /// stream stays aligned and the next frame decodes (the torn-tail
+    /// discipline, on a socket).
+    #[test]
+    fn bit_flipped_frame_is_skipped_without_desync() {
+        let a = WireOp::CreateFile("alpha".into()).into_frame(1, 0);
+        let b = WireOp::CreateFile("beta".into()).into_frame(2, 0);
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..64 {
+            let mut bytes = a.to_bytes();
+            // Flip one payload bit (past the 8-byte len+crc header).
+            let at = 8 + rng.index(bytes.len() - 8);
+            bytes[at] ^= 1 << rng.index(8);
+            bytes.extend_from_slice(&b.to_bytes());
+            let mut reader = FrameReader::new();
+            let mut cursor = io::Cursor::new(&bytes);
+            assert!(
+                matches!(reader.read_from(&mut cursor).expect("read"), FrameRead::Corrupt),
+                "flipped frame must fail its checksum"
+            );
+            match reader.read_from(&mut cursor).expect("read") {
+                FrameRead::Frame(out) => assert_eq!(out, b),
+                FrameRead::Corrupt => panic!("second frame lost: stream desynced"),
+            }
+        }
+    }
+
+    /// A truncated stream surfaces as EOF, never a bogus frame, and an
+    /// interrupted read keeps its partial progress.
+    #[test]
+    fn truncated_frames_are_eof_and_partial_reads_resume() {
+        let frame = WireOp::Exec(parse_request("RETRIEVE (FILE = f) (*)").unwrap())
+            .into_frame(9, 3);
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            let mut reader = FrameReader::new();
+            let mut cursor = io::Cursor::new(&bytes[..cut]);
+            let err = reader.read_from(&mut cursor).expect_err("truncated");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+            // Feed the remainder: the reader resumes and completes.
+            let mut rest = io::Cursor::new(&bytes[cut..]);
+            match reader.read_from(&mut rest).expect("resume") {
+                FrameRead::Frame(out) => assert_eq!(out, frame),
+                FrameRead::Corrupt => panic!("resumed frame corrupt"),
+            }
+        }
+    }
+
+    #[test]
+    fn insane_length_is_fatal() {
+        let mut bytes = WireOp::Ping.into_frame(1, 0).to_bytes();
+        bytes[0..4].copy_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut reader = FrameReader::new();
+        let err = reader
+            .read_from(&mut io::Cursor::new(&bytes))
+            .expect_err("oversized length must be fatal");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fault_plan_text_round_trips() {
+        let plan = FaultPlan::new()
+            .with(0, 3, FaultKind::DropReply)
+            .with(2, 7, FaultKind::DelayReplyMs(15))
+            .with(1, 1, FaultKind::Crash)
+            .with(3, 9, FaultKind::Panic);
+        let text = fault_plan_to_text(&plan);
+        assert_eq!(fault_plan_from_text(&text).expect("parse"), plan);
+        assert_eq!(fault_plan_from_text("").expect("empty"), FaultPlan::new());
+        assert!(fault_plan_from_text("x y z").is_err());
+    }
+
+    #[test]
+    fn seeded_net_plans_are_reproducible_and_never_sever() {
+        let a = NetFaultPlan::seeded(41, 6, 40);
+        let b = NetFaultPlan::seeded(41, 6, 40);
+        assert_eq!(a, b);
+        assert_ne!(a, NetFaultPlan::seeded(42, 6, 40));
+        assert!(!a.is_empty(), "seed 41 over 12 link-directions should fire something");
+        for e in a.events() {
+            assert_ne!(e.kind, NetFaultKind::Sever, "seeded plans must stay recoverable");
+        }
+    }
+
+    #[test]
+    fn net_plan_lookup_matches_events() {
+        let plan = NetFaultPlan::new()
+            .with(1, LinkDir::Send, 4, NetFaultKind::Drop)
+            .with(1, LinkDir::Recv, 4, NetFaultKind::Duplicate);
+        assert_eq!(plan.action(1, LinkDir::Send, 4), Some(NetFaultKind::Drop));
+        assert_eq!(plan.action(1, LinkDir::Recv, 4), Some(NetFaultKind::Duplicate));
+        assert_eq!(plan.action(1, LinkDir::Send, 5), None);
+        assert_eq!(plan.action(0, LinkDir::Send, 4), None);
+    }
+
+    /// ShipServer + RemoteLog: the standby's replica tracks the
+    /// primary's log over TCP — snapshot installs (generation bumps)
+    /// included — and a local write permanently detaches it.
+    #[test]
+    fn remote_log_tracks_primary_and_detaches_on_write() {
+        let primary = MemLog::new();
+        let mut writer: Box<dyn LogStore> = Box::new(primary.clone());
+        writer.append_line("one").unwrap();
+        writer.set_fence_epoch(2).unwrap();
+        let server = ShipServer::spawn(Box::new(primary.clone())).expect("ship server");
+        let mut remote = RemoteLog::connect(server.addr());
+        assert_eq!(remote.log_lines().unwrap(), vec!["one".to_string()]);
+        assert_eq!(remote.fence_epoch().unwrap(), 2);
+        assert!(remote.has_state().unwrap());
+
+        // Delta pull.
+        writer.append_line("two").unwrap();
+        assert_eq!(remote.log_lines().unwrap(), vec!["one".to_string(), "two".to_string()]);
+
+        // Generation bump forces a full refresh.
+        writer.install_snapshot("snap!").unwrap();
+        writer.append_line("three").unwrap();
+        assert_eq!(remote.read_snapshot().unwrap().as_deref(), Some("snap!"));
+        assert_eq!(remote.log_lines().unwrap(), vec!["three".to_string()]);
+        assert_eq!(remote.generation().unwrap(), 1);
+
+        // A local write detaches: later primary appends are invisible.
+        remote.set_fence_epoch(9).unwrap();
+        assert!(!remote.is_online());
+        writer.append_line("four").unwrap();
+        assert_eq!(remote.log_lines().unwrap(), vec!["three".to_string()]);
+        assert_eq!(remote.fence_epoch().unwrap(), 9);
+        remote.append_line("local").unwrap();
+        assert_eq!(
+            remote.log_lines().unwrap(),
+            vec!["three".to_string(), "local".to_string()]
+        );
+    }
+
+    /// A RemoteLog whose primary is unreachable serves its cache — a
+    /// partition never wedges the standby.
+    #[test]
+    fn remote_log_serves_cache_when_primary_unreachable() {
+        let primary = MemLog::new();
+        let mut writer: Box<dyn LogStore> = Box::new(primary.clone());
+        writer.append_line("kept").unwrap();
+        let server = ShipServer::spawn(Box::new(primary.clone())).expect("ship server");
+        let remote =
+            RemoteLog::connect(server.addr()).with_timeout(Duration::from_millis(200));
+        assert_eq!(remote.log_lines().unwrap(), vec!["kept".to_string()]);
+        drop(server);
+        // Primary gone: reads still answer from the replica.
+        assert_eq!(remote.log_lines().unwrap(), vec!["kept".to_string()]);
+        assert!(remote.has_state().unwrap());
+    }
+}

@@ -1,0 +1,24 @@
+//! One MBDS backend as its own OS process.
+//!
+//! The controller spawns one of these per backend when it runs over the
+//! socket transport (`Controller::over_tcp` / `MBDS_TRANSPORT=tcp`): the
+//! process binds an ephemeral TCP port, announces it on stdout as
+//! `MBDS-PORT <port>`, and then serves the checksummed wire protocol —
+//! a private `abdl::Store` behind epoch fencing, idempotent-reply
+//! caching and the classic injectable fault plan — until the controller
+//! sends `Shutdown` or closes the stdin pipe (the watchdog that ties
+//! the backend's life to its controller's).
+//!
+//! Usage: `mbds-backend <index>` — the backend's position on the bus,
+//! used for fault-plan addressing and error messages.
+
+fn main() {
+    let index: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("usage: mbds-backend <index>");
+            std::process::exit(2);
+        });
+    mbds::net::backend_process_main(index);
+}

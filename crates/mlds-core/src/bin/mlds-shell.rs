@@ -25,6 +25,8 @@
 //! .stats                        kernel work counters (requests, records, messages)
 //! .save <path> / .load <path>   dump / restore the kernel as ABDL text
 //! .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
+//! .tcp [backends]               switch to out-of-process backends over the TCP transport
+//! .timeout <ms>                 set the multi-backend kernel's reply window
 //! .recover <dir>                rebuild the kernel from the write-ahead log in <dir>
 //! .standby <dir>                attach a hot standby tailing the WAL in <dir>
 //! .lag                          ship pending log records and print replication lag
@@ -255,6 +257,7 @@ impl Shell {
                     println!(
                         "requests executed:  {}\nrecords examined:   {}\nbackend messages:   {}\n\
                          wal appends:        {} ({} batches, {} syncs, {} snapshots)\n\
+                         reply timeouts:     {} ({} retries, {} ms in backoff)\n\
                          backends:           {} ({} down{})",
                         t.requests,
                         t.records_examined,
@@ -263,6 +266,9 @@ impl Shell {
                         t.wal_batches,
                         t.wal_syncs,
                         t.wal_snapshots,
+                        t.reply_timeouts,
+                        t.retries,
+                        t.backoff_ms,
                         h.backends,
                         h.unavailable.len(),
                         if h.degraded { ", degraded" } else { "" }
@@ -321,6 +327,33 @@ impl Shell {
                                rebuild a durable kernel from its log")
                 }
                 (None, _) => eprintln!("usage: .load <path>"),
+            },
+            Some("tcp") => {
+                let backends = words.next().and_then(|w| w.parse().ok()).unwrap_or(4);
+                match Mlds::tcp_backend(backends) {
+                    Ok(m) => {
+                        self.kern = Kern::Durable(Box::new(m));
+                        self.session = Session::None;
+                        self.standby = None;
+                        println!(
+                            "{backends} backend processes spawned over the TCP transport \
+                             (fresh kernel: .create or .demo, then .open; .timeout tunes \
+                             the reply window)"
+                        );
+                    }
+                    Err(e) => eprintln!("{e}"),
+                }
+            }
+            Some("timeout") => match (words.next().and_then(|w| w.parse::<u64>().ok()), &mut self.kern)
+            {
+                (Some(ms), Kern::Durable(m)) if ms > 0 => {
+                    m.set_reply_timeout(std::time::Duration::from_millis(ms));
+                    println!("reply window set to {ms} ms (two expired windows demote a backend)");
+                }
+                (Some(_), Kern::Single(_)) => {
+                    eprintln!(".timeout requires a multi-backend kernel (.durable or .tcp first)")
+                }
+                _ => eprintln!("usage: .timeout <ms>"),
             },
             Some("durable") => match words.next() {
                 Some(dir) => {
@@ -490,6 +523,8 @@ const HELP: &str = "\
 .stats                        kernel work counters (requests, records, messages)
 .save <path> / .load <path>   dump / restore the kernel as ABDL text
 .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
+.tcp [backends]               switch to out-of-process backends over the TCP transport
+.timeout <ms>                 set the multi-backend kernel's reply window
 .recover <dir>                rebuild the kernel from the write-ahead log in <dir>
 .standby <dir>                attach a hot standby tailing the WAL in <dir>
 .lag                          ship pending log records and print replication lag

@@ -93,6 +93,33 @@ impl Mlds<mbds::Controller> {
         Ok(())
     }
 
+    /// An MLDS over the **out-of-process** multi-backend kernel: the
+    /// backend workers run as separate OS processes (`mbds-backend`)
+    /// reached over the checksummed TCP wire protocol, with retries,
+    /// idempotent request ids and injectable network faults. The same
+    /// controller the threaded kernel uses — only the transport
+    /// differs.
+    pub fn tcp_backend(backends: usize) -> Result<Self> {
+        Ok(Mlds::with_kernel(mbds::Controller::over_tcp(
+            backends,
+            mbds::DEFAULT_REPLICATION.min(backends),
+        )?))
+    }
+
+    /// Set how long the kernel waits for one backend reply window
+    /// before demoting the backend a health step (the shell's
+    /// `.timeout` path).
+    pub fn set_reply_timeout(&mut self, timeout: std::time::Duration) {
+        self.kernel.set_reply_timeout(timeout);
+    }
+
+    /// Set how many retransmissions the socket transport attempts
+    /// inside one reply window (ignored by the lossless in-process
+    /// bus).
+    pub fn set_retry_budget(&mut self, budget: u32) {
+        self.kernel.set_retry_budget(budget);
+    }
+
     /// A hot standby tailing this system's write-ahead log through its
     /// own reader handle on `dir` (the directory given to
     /// [`Mlds::durable_backend`]). Keep it fresh with
