@@ -57,6 +57,17 @@ pub trait Kernel {
         txn.requests.iter().map(|r| self.execute(r)).collect()
     }
 
+    /// Execute a batch of *independent* requests admitted together —
+    /// typically one request from each of several concurrent sessions.
+    /// Unlike a transaction, one request's failure does not stop the
+    /// rest: every admitted request gets its own result, in admission
+    /// order. The default executes sequentially; the multi-backend
+    /// controller overrides this with a conflict-scheduled, pipelined
+    /// path that group-commits the whole batch's WAL appends.
+    fn execute_batch(&mut self, requests: &[Request]) -> Vec<Result<Response>> {
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+
     /// Liveness summary. A single-site kernel is always healthy; the
     /// multi-backend controller overrides this with its health board.
     fn health(&self) -> KernelHealth {

@@ -60,6 +60,24 @@ pub struct ExecTotals {
     /// cost of degraded links, so slow networks are observable rather
     /// than silent.
     pub backoff_ms: u64,
+    /// Requests admitted through a cross-session batch
+    /// (`Kernel::execute_batch`) rather than one at a time.
+    pub batched_requests: u64,
+    /// Conflict-free flights the batch scheduler formed: each flight's
+    /// requests were staged to the backends together (in-flight
+    /// concurrently) instead of round-tripping one by one.
+    pub sched_flights: u64,
+    /// Largest flight formed — the peak number of requests in flight
+    /// on the backend bus at once.
+    pub sched_max_flight: u64,
+    /// Flight boundaries forced by a footprint conflict (same file
+    /// same key, write overlap, or a broadcast-footprint request):
+    /// the conflicting request stalled until the flight ahead of it
+    /// drained.
+    pub conflict_stalls: u64,
+    /// Largest cross-session WAL group-commit batch flushed — appends
+    /// paid for by a single sync (0 on a non-durable kernel).
+    pub wal_max_batch: u64,
 }
 
 /// Records per simulated disk block.

@@ -7,7 +7,7 @@
 //! cargo run --release -p mlds-bench --bin experiments -- e7 e8 # subset
 //! ```
 
-use mlds_bench::{e15_report, e16_report, e17_report, run_experiment, EXPERIMENTS};
+use mlds_bench::{e15_report, e16_report, e17_report, e18_report, run_experiment, EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +52,16 @@ fn main() {
             match std::fs::write("BENCH_PR6.json", &report.json) {
                 Ok(()) => eprintln!("wrote BENCH_PR6.json"),
                 Err(e) => eprintln!("could not write BENCH_PR6.json: {e}"),
+            }
+            continue;
+        }
+        if id == "e18" {
+            // e18 also emits its raw numbers for CI to archive.
+            let report = e18_report();
+            println!("{}", report.table);
+            match std::fs::write("BENCH_PR7.json", &report.json) {
+                Ok(()) => eprintln!("wrote BENCH_PR7.json"),
+                Err(e) => eprintln!("could not write BENCH_PR7.json: {e}"),
             }
             continue;
         }

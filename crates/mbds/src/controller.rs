@@ -24,6 +24,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::health::{BackendState, HealthBoard};
 use crate::net::{self, kind, Frame, NetFaultPlan, TcpLink, WireOp, WireReply};
 use crate::placement::Partitioner;
+use crate::sched::Footprint;
 use crate::wal::{FileLog, LogRecord, LogStore, SnapshotData, Wal, WalStats};
 use abdl::engine::aggregate;
 use abdl::{
@@ -80,6 +81,27 @@ pub(crate) struct Envelope {
 struct Reply {
     seq: u64,
     result: Result<Response>,
+}
+
+/// One flight member's state between the batch scheduler's staging
+/// (send) and collection (reply) phases — see
+/// `Controller::execute_flight`.
+struct StagedInsert {
+    key: DbKey,
+    file: String,
+    seq: u64,
+    /// Backends the staged wave reached.
+    sent: Vec<usize>,
+    /// Backends that acknowledged the write.
+    assigned: Vec<usize>,
+    /// First error any wave member returned (drained, as always).
+    err: Option<Error>,
+    /// Placement scan cursor: substitute waves continue where the
+    /// staged wave stopped.
+    primary: usize,
+    scanned: usize,
+    /// Backend messages attributed to this member's response.
+    msgs: u64,
 }
 
 struct BackendHandle {
@@ -1825,6 +1847,161 @@ impl Controller {
         self.log_append(LogRecord::Insert { key: key.0, group: assigned, record: record.clone() })?;
         Ok(Response::with_affected(1, Default::default()))
     }
+
+    /// Execute a flight of pairwise non-conflicting inserts with their
+    /// replica writes pipelined: every member's wave is sent before any
+    /// reply is awaited, so the flight costs one round-trip latency
+    /// instead of one per member.
+    ///
+    /// Order discipline: all three phases walk the flight in admission
+    /// order. The controller-side reads (unique check, key allocation,
+    /// rotor step) happen serially during staging, and the per-backend
+    /// channels are FIFO, so each backend observes the members' writes
+    /// in admission order and the replies come back in the same order
+    /// the collection phase awaits them — the flight is equivalent to
+    /// executing its members serially.
+    fn execute_flight(&mut self, records: &[&Record]) -> Vec<Result<Response>> {
+        let n = self.backends.len();
+        // Phase 1 — stage: per-member bookkeeping, then the first
+        // replica wave's sends, no replies awaited.
+        let mut staged: Vec<Result<StagedInsert>> = Vec::with_capacity(records.len());
+        for record in records {
+            self.totals.requests += 1;
+            if let Err(e) = self.check_unique(record) {
+                staged.push(Err(e));
+                continue;
+            }
+            let Some(file) = record.file().map(str::to_owned) else {
+                staged.push(Err(Error::MissingFileKeyword));
+                continue;
+            };
+            let key = self.alloc_key();
+            let group = self.partitioner.place_group(&file, self.replication);
+            let primary = group[0];
+            let want = if self.parallel_writes { self.replication } else { 1 };
+            let mut scanned = 0usize;
+            let mut wave = Vec::new();
+            while wave.len() < want && scanned < n {
+                let i = (primary + scanned) % n;
+                scanned += 1;
+                if self.health.is_serving(i) {
+                    wave.push(i);
+                }
+            }
+            let seq = self.next_seq();
+            let mut sent = Vec::new();
+            let mut msgs = 0u64;
+            for &i in &wave {
+                msgs += 1;
+                if self.send_to(i, seq, BackendOp::InsertWithKey(key, (*record).clone())) {
+                    sent.push(i);
+                }
+            }
+            staged.push(Ok(StagedInsert {
+                key,
+                file,
+                seq,
+                sent,
+                assigned: Vec::new(),
+                err: None,
+                primary,
+                scanned,
+                msgs,
+            }));
+        }
+        // Phase 2 — collect: await every staged reply in admission
+        // order (FIFO channels deliver them in exactly this order).
+        // Nothing new is sent here, so no member's pending reply can
+        // be mistaken for a stale one and discarded.
+        for s in staged.iter_mut().flatten() {
+            let mut first_err = None;
+            for idx in 0..s.sent.len() {
+                let i = s.sent[idx];
+                match self.recv_reply(i, s.seq) {
+                    Some(Ok(_)) => s.assigned.push(i),
+                    Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                    Some(Err(_)) => {}
+                    None => {} // died mid-flight; substituted in phase 3
+                }
+            }
+            s.err = first_err;
+        }
+        // Phase 3 — finish: with the bus idle again, run substitute
+        // waves for members short of replicas, then the directory /
+        // index / WAL bookkeeping, all in admission order.
+        records
+            .iter()
+            .zip(staged)
+            .map(|(record, s)| match s {
+                Err(e) => Err(e),
+                Ok(s) => self.finish_staged_insert(record, s),
+            })
+            .collect()
+    }
+
+    /// Complete one flight member: substitute replicas lost to
+    /// backends dying mid-flight (the same scan `insert` continues
+    /// with), then commit the controller-side bookkeeping.
+    fn finish_staged_insert(&mut self, record: &Record, mut s: StagedInsert) -> Result<Response> {
+        if let Some(e) = s.err {
+            // Key and rotor step are consumed even though the insert
+            // failed; log that so recovery agrees.
+            self.log_append(LogRecord::Alloc { key: s.key.0, file: s.file })?;
+            return Err(e);
+        }
+        let n = self.backends.len();
+        while s.assigned.len() < self.replication && s.scanned < n {
+            let want =
+                if self.parallel_writes { self.replication - s.assigned.len() } else { 1 };
+            let mut wave = Vec::new();
+            while wave.len() < want && s.scanned < n {
+                let i = (s.primary + s.scanned) % n;
+                s.scanned += 1;
+                if self.health.is_serving(i) {
+                    wave.push(i);
+                }
+            }
+            if wave.is_empty() {
+                break;
+            }
+            let seq = self.next_seq();
+            let mut sent = Vec::new();
+            for &i in &wave {
+                s.msgs += 1;
+                if self.send_to(i, seq, BackendOp::InsertWithKey(s.key, record.clone())) {
+                    sent.push(i);
+                }
+            }
+            let mut first_err = None;
+            for i in sent {
+                match self.recv_reply(i, seq) {
+                    Some(Ok(_)) => s.assigned.push(i),
+                    Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                    Some(Err(_)) => {}
+                    None => {}
+                }
+            }
+            if let Some(e) = first_err {
+                self.log_append(LogRecord::Alloc { key: s.key.0, file: s.file })?;
+                return Err(e);
+            }
+        }
+        if s.assigned.is_empty() {
+            self.log_append(LogRecord::Alloc { key: s.key.0, file: s.file })?;
+            return Err(Error::Unavailable("no live backend accepted the insert".into()));
+        }
+        self.directory.insert(s.key, s.assigned.clone());
+        self.resident_add(&s.file, &s.assigned);
+        self.index_insert(s.key, record);
+        self.log_append(LogRecord::Insert {
+            key: s.key.0,
+            group: s.assigned,
+            record: record.clone(),
+        })?;
+        let mut resp = self.finalize(Response::with_affected(1, Default::default()));
+        resp.messages_sent = s.msgs;
+        Ok(resp)
+    }
 }
 
 impl Kernel for Controller {
@@ -1877,14 +2054,93 @@ impl Kernel for Controller {
         Ok(out)
     }
 
+    /// The conflict-scheduled, pipelined batch path: one request from
+    /// each of several concurrent sessions, admitted together.
+    ///
+    /// The scheduler walks the batch in admission order, classifying
+    /// each request's [`Footprint`] and greedily forming *flights* of
+    /// consecutive non-conflicting inserts. A flight's writes are all
+    /// staged onto the backend bus before any reply is awaited, so
+    /// non-conflicting sessions' inserts are in flight concurrently on
+    /// the per-backend sender threads; a conflicting request closes
+    /// the flight (a `conflict_stalls` tick) and waits for it to
+    /// drain. Because the per-backend channels are FIFO and both the
+    /// staging and the collection walk in admission order, the result
+    /// is always equivalent to executing the batch serially in
+    /// admission order (`tests/concurrent_equivalence.rs`).
+    ///
+    /// The whole batch runs inside one WAL group-commit batch: every
+    /// session's appends are buffered and flushed with a single sync —
+    /// cross-session group commit. As with `execute_transaction`, the
+    /// batch is a durability optimisation, not atomicity: each request
+    /// keeps its own result, and a flush failure is stashed for the
+    /// next `execute` to surface.
+    fn execute_batch(&mut self, requests: &[Request]) -> Vec<Result<Response>> {
+        if requests.len() < 2 {
+            return requests.iter().map(|r| self.execute(r)).collect();
+        }
+        self.totals.batched_requests += requests.len() as u64;
+        self.wal_begin_batch();
+        let mut results = Vec::with_capacity(requests.len());
+        // Staging keeps several requests in flight per backend; the
+        // socket transport's single retransmission slot per link
+        // assumes at most one, and the legacy broadcast unique probe
+        // would interleave reads into the staged stream — both fall
+        // back to the solo path (still batched for group commit).
+        let stageable = self.net.is_none() && self.unique_via_index;
+        let mut i = 0;
+        while i < requests.len() {
+            let mut flight_fps: Vec<Footprint> = Vec::new();
+            let mut j = i;
+            while stageable && j < requests.len() {
+                if !matches!(requests[j], Request::Insert { .. }) {
+                    break;
+                }
+                let fp = Footprint::of(&requests[j], &self.unique_groups);
+                if fp.broadcast {
+                    break;
+                }
+                if flight_fps.iter().any(|f| f.conflicts(&fp)) {
+                    self.totals.conflict_stalls += 1;
+                    break;
+                }
+                flight_fps.push(fp);
+                j += 1;
+            }
+            if j - i >= 2 {
+                let records: Vec<&Record> = requests[i..j]
+                    .iter()
+                    .map(|r| match r {
+                        Request::Insert { record } => record,
+                        _ => unreachable!("flights hold only inserts"),
+                    })
+                    .collect();
+                self.totals.sched_flights += 1;
+                self.totals.sched_max_flight =
+                    self.totals.sched_max_flight.max((j - i) as u64);
+                results.extend(self.execute_flight(&records));
+                i = j;
+            } else {
+                results.push(self.execute(&requests[i]));
+                i += 1;
+            }
+        }
+        if let Err(e) = self.wal_commit_batch() {
+            self.pending_error.get_or_insert(e);
+        }
+        self.maybe_snapshot();
+        results
+    }
+
     fn exec_totals(&self) -> ExecTotals {
         let mut totals = self.totals;
         if let Some(wal) = self.wal.as_ref() {
-            let WalStats { appends, batches, syncs, snapshot_installs } = wal.stats();
+            let WalStats { appends, batches, syncs, snapshot_installs, max_batch } = wal.stats();
             totals.wal_appends = appends;
             totals.wal_batches = batches;
             totals.wal_syncs = syncs;
             totals.wal_snapshots = snapshot_installs;
+            totals.wal_max_batch = max_batch;
         }
         totals
     }
@@ -2435,5 +2691,98 @@ mod tests {
         assert_eq!(c.alive_count(), 2, "the crash was detected");
         let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
         assert_eq!(resp.records().len(), 20, "no record was lost to the crash");
+    }
+
+    fn insert_req(file: &str, key: i64, extra: &[(&str, Value)]) -> Request {
+        let mut rec = Record::from_pairs([("FILE", Value::str(file))]);
+        rec.set(file.to_owned(), Value::Int(key));
+        for (a, v) in extra {
+            rec.set((*a).to_owned(), v.clone());
+        }
+        Request::Insert { record: rec }
+    }
+
+    #[test]
+    fn batched_execution_is_equivalent_to_serial_admission_order() {
+        let mut serial = Controller::new(4);
+        let mut batched = Controller::new(4);
+        for c in [&mut serial, &mut batched] {
+            c.create_file("f");
+            c.add_unique_constraint("f", vec!["f".into()]);
+        }
+        let requests: Vec<Request> =
+            (0..16).map(|i| insert_req("f", i, &[("x", Value::Int(i % 3))])).collect();
+        for r in &requests {
+            serial.execute(r).unwrap();
+        }
+        for res in batched.execute_batch(&requests) {
+            res.unwrap();
+        }
+        assert_eq!(batched.unique_index_digest(), serial.unique_index_digest());
+        assert_eq!(batched.state_digest().unwrap(), serial.state_digest().unwrap());
+        let t = batched.exec_totals();
+        assert_eq!(t.batched_requests, 16);
+        assert!(t.sched_flights >= 1, "non-conflicting inserts must fly together");
+        assert!(t.sched_max_flight >= 2, "a flight holds more than one request");
+    }
+
+    #[test]
+    fn batch_rejects_a_duplicate_claimed_mid_flight() {
+        let mut c = Controller::new(3);
+        c.create_file("f");
+        c.add_unique_constraint("f", vec!["f".into()]);
+        // Keys 0..4 commute; the re-claim of key 2 must stall behind
+        // the flight, then lose its unique check once it has landed.
+        let mut reqs: Vec<Request> = (0..4).map(|i| insert_req("f", i, &[])).collect();
+        reqs.push(insert_req("f", 2, &[]));
+        reqs.push(insert_req("f", 9, &[]));
+        let results = c.execute_batch(&reqs);
+        assert_eq!(results.len(), 6);
+        for (i, r) in results.iter().enumerate() {
+            if i == 4 {
+                assert!(
+                    matches!(r, Err(Error::DuplicateKey { .. })),
+                    "the later-admitted duplicate must lose"
+                );
+            } else {
+                assert!(r.is_ok(), "request {i} should succeed");
+            }
+        }
+        let t = c.exec_totals();
+        assert!(t.conflict_stalls >= 1, "the duplicate had to close the flight");
+        let resp = c.execute(&parse_request("RETRIEVE (FILE = f) (*)").unwrap()).unwrap();
+        assert_eq!(resp.records().len(), 5);
+    }
+
+    #[test]
+    fn mixed_batch_reads_observe_exactly_the_writes_admitted_before_them() {
+        let mut c = Controller::new(3);
+        c.create_file("f");
+        c.add_unique_constraint("f", vec!["f".into()]);
+        let reqs = vec![
+            insert_req("f", 1, &[]),
+            insert_req("f", 2, &[]),
+            parse_request("RETRIEVE (FILE = f) (*)").unwrap(),
+            insert_req("f", 3, &[]),
+        ];
+        let results = c.execute_batch(&reqs);
+        let seen = results[2].as_ref().unwrap().records().len();
+        assert_eq!(seen, 2, "the read sees the two inserts admitted ahead of it, not the third");
+        assert!(results[3].as_ref().is_ok());
+    }
+
+    #[test]
+    fn batch_wal_appends_group_commit_under_one_sync() {
+        let log = crate::MemLog::new();
+        let mut c = Controller::durable_with(3, 2, log).unwrap();
+        c.try_create_file("f").unwrap();
+        let before = c.exec_totals().wal_syncs;
+        let reqs: Vec<Request> = (0..8).map(|i| insert_req("f", i, &[])).collect();
+        for r in c.execute_batch(&reqs) {
+            r.unwrap();
+        }
+        let t = c.exec_totals();
+        assert_eq!(t.wal_syncs - before, 1, "the whole batch pays a single sync");
+        assert_eq!(t.wal_max_batch, 8, "all eight appends flushed together");
     }
 }

@@ -88,6 +88,7 @@ pub mod fault;
 pub mod health;
 pub mod net;
 mod placement;
+pub mod sched;
 mod sim;
 pub mod standby;
 pub mod wal;
@@ -101,6 +102,7 @@ pub use net::{
     TcpLink,
 };
 pub use placement::Partitioner;
+pub use sched::Footprint;
 pub use sim::{CostModel, SimCluster};
 pub use standby::{LagStats, Standby};
 pub use wal::{FileLog, LogCursor, LogRecord, LogStore, MemLog, SnapshotData, Wal};

@@ -1,0 +1,235 @@
+//! Request footprint classification for the controller's batch
+//! scheduler.
+//!
+//! When several sessions' requests are admitted together
+//! (`Kernel::execute_batch`), the controller wants to keep more than
+//! one of them in flight on the backend bus at a time. That is safe
+//! exactly when the requests *commute*: executing them concurrently
+//! (in any interleaving the per-backend FIFO channels allow) produces
+//! the same state as executing them in admission order. This module
+//! computes a conservative **footprint** per request — the kernel
+//! files it touches, and for inserts the unique-index tuples it would
+//! claim — and a pairwise [`Footprint::conflicts`] predicate:
+//!
+//! * requests on **disjoint files** never conflict;
+//! * two **reads** never conflict, shared files or not;
+//! * two **inserts into the same file** conflict only when they claim
+//!   the same `DUPLICATES ARE NOT ALLOWED` tuple (the unique check is
+//!   the one piece of controller state an insert reads before its
+//!   effects land);
+//! * anything with a **broadcast** footprint (a query disjunct naming
+//!   no file, or a record without a `FILE` keyword) conflicts with
+//!   everything — it must observe the whole cluster at a well-defined
+//!   point in the admission order;
+//! * every other write overlap (delete/update vs. anything on a shared
+//!   file) conflicts.
+//!
+//! The scheduler never reorders: a conflicting request simply closes
+//! the current flight and waits for it to drain, so execution is
+//! always equivalent to the serial admission order — the property
+//! `tests/concurrent_equivalence.rs` pins.
+
+use abdl::{Request, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// The unique-constraint registry the classifier consults: per file,
+/// the declared `DUPLICATES ARE NOT ALLOWED` attribute groups, in
+/// declaration order (group index = position).
+pub type UniqueGroups = HashMap<String, Vec<Vec<String>>>;
+
+/// What one request touches, as seen by the batch scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    /// Kernel files named by the request's queries (or the inserted
+    /// record's `FILE` keyword).
+    pub files: BTreeSet<String>,
+    /// Unique-index tuples an insert would claim: one entry per
+    /// constraint group of the target file whose attributes the record
+    /// all carries — `(file, group index, value tuple)`.
+    pub keys: BTreeSet<(String, usize, Vec<Value>)>,
+    /// True for mutations (insert, delete, update).
+    pub write: bool,
+    /// True for inserts specifically (the only write whose same-file
+    /// overlap can be refined by key disjointness).
+    pub insert: bool,
+    /// True when the footprint cannot be scoped to `files` — the
+    /// request must serialize against everything.
+    pub broadcast: bool,
+}
+
+impl Footprint {
+    /// Classify `request` against the declared unique groups.
+    pub fn of(request: &Request, uniques: &UniqueGroups) -> Footprint {
+        match request {
+            Request::Insert { record } => {
+                let Some(file) = record.file() else {
+                    return Footprint::broadcast_write();
+                };
+                let mut keys = BTreeSet::new();
+                for (gi, group) in
+                    uniques.get(file).map(Vec::as_slice).unwrap_or_default().iter().enumerate()
+                {
+                    // Groups with absent attributes are not checked by
+                    // the kernel, so they claim nothing.
+                    if group.iter().all(|a| record.get(a).is_some()) {
+                        let tuple: Vec<Value> =
+                            group.iter().map(|a| record.get_or_null(a).clone()).collect();
+                        keys.insert((file.to_owned(), gi, tuple));
+                    }
+                }
+                Footprint {
+                    files: BTreeSet::from([file.to_owned()]),
+                    keys,
+                    write: true,
+                    insert: true,
+                    broadcast: false,
+                }
+            }
+            Request::Delete { query } => Footprint::of_query(&[query], true),
+            Request::Update { query, .. } => Footprint::of_query(&[query], true),
+            Request::Retrieve { query, .. } => Footprint::of_query(&[query], false),
+            Request::RetrieveCommon { left, right, .. } => {
+                Footprint::of_query(&[left, right], false)
+            }
+        }
+    }
+
+    fn of_query(queries: &[&abdl::Query], write: bool) -> Footprint {
+        let mut files = BTreeSet::new();
+        for q in queries {
+            for conj in &q.disjuncts {
+                let Some(file) = conj.file() else {
+                    return Footprint { write, ..Footprint::broadcast_write() };
+                };
+                files.insert(file.to_owned());
+            }
+        }
+        Footprint { files, keys: BTreeSet::new(), write, insert: false, broadcast: false }
+    }
+
+    fn broadcast_write() -> Footprint {
+        Footprint {
+            files: BTreeSet::new(),
+            keys: BTreeSet::new(),
+            write: true,
+            insert: false,
+            broadcast: true,
+        }
+    }
+
+    /// True when this request and `other` must not be in flight
+    /// together.
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        if self.broadcast || other.broadcast {
+            return true;
+        }
+        if !self.write && !other.write {
+            return false;
+        }
+        if self.files.is_disjoint(&other.files) {
+            return false;
+        }
+        if self.insert && other.insert {
+            // Same file, but inserts claiming disjoint unique tuples
+            // commute: each gets its own fresh database key, and the
+            // unique check of one cannot observe the other.
+            return !self.keys.is_disjoint(&other.keys);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abdl::parse::parse_request;
+
+    fn uniques() -> UniqueGroups {
+        HashMap::from([("g".to_owned(), vec![vec!["u".to_owned()]])])
+    }
+
+    fn fp(text: &str) -> Footprint {
+        Footprint::of(&parse_request(text).unwrap(), &uniques())
+    }
+
+    #[test]
+    fn disjoint_files_never_conflict() {
+        let a = fp("INSERT (<FILE, g>, <u, 1>)");
+        let b = fp("INSERT (<FILE, h>, <u, 1>)");
+        assert!(!a.conflicts(&b));
+        let c = fp("DELETE ((FILE = h) and (x = 3))");
+        assert!(!a.conflicts(&c));
+    }
+
+    #[test]
+    fn same_file_different_keys_do_not_conflict() {
+        let a = fp("INSERT (<FILE, g>, <u, 1>)");
+        let b = fp("INSERT (<FILE, g>, <u, 2>)");
+        assert!(!a.conflicts(&b));
+        assert!(!b.conflicts(&a));
+    }
+
+    #[test]
+    fn same_key_conflicts() {
+        let a = fp("INSERT (<FILE, g>, <u, 7>, <x, 1>)");
+        let b = fp("INSERT (<FILE, g>, <u, 7>, <x, 2>)");
+        assert!(a.conflicts(&b));
+    }
+
+    #[test]
+    fn same_file_unconstrained_inserts_commute() {
+        // File `h` has no unique groups: fresh-key inserts commute.
+        let a = fp("INSERT (<FILE, h>, <x, 1>)");
+        let b = fp("INSERT (<FILE, h>, <x, 1>)");
+        assert!(!a.conflicts(&b));
+    }
+
+    #[test]
+    fn reads_never_conflict_with_reads() {
+        let a = fp("RETRIEVE ((FILE = g) and (u = 1)) (*)");
+        let b = fp("RETRIEVE (FILE = g) (*)");
+        assert!(!a.conflicts(&b));
+    }
+
+    #[test]
+    fn writes_conflict_with_overlapping_reads_and_writes() {
+        let ins = fp("INSERT (<FILE, g>, <u, 1>)");
+        let read = fp("RETRIEVE (FILE = g) (*)");
+        let del = fp("DELETE (FILE = g)");
+        assert!(ins.conflicts(&read));
+        assert!(ins.conflicts(&del));
+        assert!(del.conflicts(&read));
+    }
+
+    #[test]
+    fn broadcast_footprints_serialize_everything() {
+        // A record without FILE, and a query disjunct without FILE,
+        // both classify as broadcast.
+        let no_file = Footprint::of(
+            &Request::Insert { record: abdl::Record::from_pairs([("x", Value::Int(1))]) },
+            &uniques(),
+        );
+        assert!(no_file.broadcast);
+        let unscoped = fp("RETRIEVE (x = 1) (*)");
+        assert!(unscoped.broadcast);
+        let other_file = fp("RETRIEVE (FILE = zzz) (*)");
+        assert!(no_file.conflicts(&other_file));
+        assert!(unscoped.conflicts(&other_file));
+        // Even two broadcast reads serialize (conservative: their scope
+        // is unknown).
+        assert!(unscoped.conflicts(&unscoped.clone()));
+    }
+
+    #[test]
+    fn retrieve_common_covers_both_sides() {
+        let j = fp("RETRIEVE-COMMON ((FILE = g)) (u) COMMON ((FILE = h)) (u) (x)");
+        assert_eq!(
+            j.files.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec!["g", "h"]
+        );
+        let ins_g = fp("INSERT (<FILE, g>, <u, 9>)");
+        let ins_k = fp("INSERT (<FILE, k>, <u, 9>)");
+        assert!(j.conflicts(&ins_g));
+        assert!(!j.conflicts(&ins_k));
+    }
+}

@@ -1073,11 +1073,12 @@ impl Kernel for SimCluster {
     fn exec_totals(&self) -> ExecTotals {
         let mut totals = self.totals;
         if let Some(wal) = &self.wal {
-            let WalStats { appends, batches, syncs, snapshot_installs } = wal.stats();
+            let WalStats { appends, batches, syncs, snapshot_installs, max_batch } = wal.stats();
             totals.wal_appends = appends;
             totals.wal_batches = batches;
             totals.wal_syncs = syncs;
             totals.wal_snapshots = snapshot_installs;
+            totals.wal_max_batch = max_batch;
         }
         totals
     }

@@ -678,6 +678,10 @@ pub struct WalStats {
     pub syncs: u64,
     /// Compacted snapshots installed (each truncates the log).
     pub snapshot_installs: u64,
+    /// Largest batch flushed: the most appends a single sync ever paid
+    /// for. Under cross-session group commit this is the number of
+    /// concurrent committers the one syncer served.
+    pub max_batch: u64,
 }
 
 /// The write-ahead log: sequence numbering, per-line checksums,
@@ -830,6 +834,16 @@ impl Wal {
     /// Open a group-commit batch: subsequent appends are buffered and
     /// written with one sync when the outermost batch commits. Batches
     /// nest (a transaction that triggers a backend restart, say).
+    ///
+    /// The batch is agnostic about *whose* appends it buffers: a
+    /// single transaction's, or — under the controller's batch
+    /// scheduler — one request from each of many concurrent sessions,
+    /// whose committers all park on the open batch while the one
+    /// closing caller pays the sync for all of them (cross-session
+    /// group commit). Crash soundness is unchanged either way: an
+    /// armed crash point flushes the open batch *through* the crashing
+    /// entry (see [`Wal::append`]), so the durable log is always an
+    /// admission-order prefix.
     pub fn begin_batch(&mut self) {
         self.batch_depth += 1;
     }
@@ -862,6 +876,7 @@ impl Wal {
         let lines = std::mem::take(&mut self.buffered);
         self.stats.batches += 1;
         self.stats.syncs += 1;
+        self.stats.max_batch = self.stats.max_batch.max(lines.len() as u64);
         self.store.append_lines(&lines)
     }
 

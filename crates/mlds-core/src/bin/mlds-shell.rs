@@ -22,7 +22,9 @@
 //! .schema <db>                  print a database's schema
 //! .transformed <db>             print a functional database's transformed network schema
 //! .abdl on|off                  echo generated ABDL requests (default on)
-//! .stats                        kernel work counters (requests, records, messages)
+//! .spawn <n> [requests]         drive <n> concurrent sessions through the service layer
+//! .sessions                     per-session roster from the last .spawn
+//! .stats                        kernel work counters (requests, records, scheduler occupancy)
 //! .save <path> / .load <path>   dump / restore the kernel as ABDL text
 //! .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
 //! .tcp [backends]               switch to out-of-process backends over the TCP transport
@@ -34,7 +36,11 @@
 //! .quit                         exit
 //! ```
 
-use mlds::{daplex, mbds, CodasylSession, DaplexSession, HierSession, Mlds, SqlSession};
+use mlds::abdl::{parse::parse_request, prng::Prng, Kernel};
+use mlds::{
+    daplex, mbds, CodasylSession, DaplexSession, HierSession, Mlds, MldsService, NamespacedKernel,
+    ServiceReport, SqlSession,
+};
 use std::io::{BufRead, Write};
 
 enum Session {
@@ -70,6 +76,10 @@ struct Shell {
     /// A hot standby tailing the durable kernel's WAL (`.standby`),
     /// consumed by `.promote`.
     standby: Option<Box<mbds::Standby>>,
+    /// Admission log and per-session roster from the last `.spawn`.
+    last_spawn: Option<ServiceReport>,
+    /// Monotonic key base so repeated `.spawn`s insert fresh keys.
+    spawn_seq: u64,
 }
 
 fn main() {
@@ -78,6 +88,8 @@ fn main() {
         session: Session::None,
         echo_abdl: true,
         standby: None,
+        last_spawn: None,
+        spawn_seq: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(path) = args.first() {
@@ -273,6 +285,15 @@ impl Shell {
                         h.unavailable.len(),
                         if h.degraded { ", degraded" } else { "" }
                     );
+                    println!(
+                        "scheduler:          {} batched request(s) in {} flight(s) \
+                         (max {} in flight, {} conflict stall(s), wal max batch {})",
+                        t.batched_requests,
+                        t.sched_flights,
+                        t.sched_max_flight,
+                        t.conflict_stalls,
+                        t.wal_max_batch
+                    );
                 });
                 if let Kern::Durable(m) = &mut self.kern {
                     let k = m.kernel_mut();
@@ -295,6 +316,46 @@ impl Shell {
                 Some("on") => self.echo_abdl = true,
                 Some("off") => self.echo_abdl = false,
                 _ => eprintln!("usage: .abdl on|off"),
+            },
+            Some("spawn") => {
+                let n = words.next().and_then(|w| w.parse::<usize>().ok()).unwrap_or(8);
+                let per = words.next().and_then(|w| w.parse::<usize>().ok()).unwrap_or(25);
+                if n == 0 || per == 0 {
+                    eprintln!("usage: .spawn <sessions> [requests-per-session]");
+                    return true;
+                }
+                let base = self.spawn_seq;
+                self.spawn_seq += (n * per) as u64;
+                // The service layer owns the Mlds while sessions run;
+                // swap a throwaway in, then swap the real one back.
+                match &mut self.kern {
+                    Kern::Single(m) => {
+                        let mlds = std::mem::replace(m.as_mut(), Mlds::single_backend());
+                        let (mlds, report) = run_spawn(mlds, n, per, base);
+                        **m = mlds;
+                        self.last_spawn = Some(report);
+                    }
+                    Kern::Durable(m) => {
+                        let dummy = Mlds::with_kernel(mbds::Controller::new(1));
+                        let mlds = std::mem::replace(m.as_mut(), dummy);
+                        let (mlds, report) = run_spawn(mlds, n, per, base);
+                        **m = mlds;
+                        self.last_spawn = Some(report);
+                    }
+                }
+            }
+            Some("sessions") => match &self.last_spawn {
+                Some(report) => {
+                    println!("session  uid       db       requests  errors");
+                    for s in &report.sessions {
+                        println!(
+                            "{:<8} {:<9} {:<8} {:<9} {}",
+                            s.id, s.uid, s.db, s.requests, s.errors
+                        );
+                    }
+                    println!("{} request(s) in the admission log", report.admissions.len());
+                }
+                None => eprintln!("no spawn yet (.spawn <n> first)"),
             },
             Some("save") => match (words.next(), &mut self.kern) {
                 (Some(path), Kern::Single(m)) => {
@@ -510,6 +571,59 @@ impl Shell {
     }
 }
 
+/// Drive `n` concurrent sessions through the service layer: each
+/// session thread runs a seeded insert/retrieve mix against a scratch
+/// `spawn` database, so `.stats` afterwards shows the scheduler's
+/// flight and group-commit counters on real contention.
+fn run_spawn<K: Kernel + Send + 'static>(
+    mut mlds: Mlds<K>,
+    n: usize,
+    per: usize,
+    base: u64,
+) -> (Mlds<K>, ServiceReport) {
+    {
+        let mut ns = NamespacedKernel::new(mlds.kernel_mut(), "spawn");
+        ns.create_file("t");
+    }
+    let mut svc = MldsService::start(mlds);
+    let start = std::time::Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for s in 0..n {
+        let session = svc.open(&format!("spawn-{s}"), "spawn");
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Prng::seed_from_u64(0x5AA5 + s as u64);
+            let mut errors = 0usize;
+            for i in 0..per {
+                let text = if rng.gen_range(0, 4) == 0 {
+                    "RETRIEVE (FILE = t) (*)".to_owned()
+                } else {
+                    let key = base + (s * per + i) as u64;
+                    format!("INSERT (<FILE, t>, <u, {key}>, <owner, {s}>)")
+                };
+                let req = parse_request(&text).expect("spawn workload request parses");
+                if session.submit(req).is_err() {
+                    errors += 1;
+                }
+            }
+            errors
+        }));
+    }
+    let mut errors = 0usize;
+    for h in handles {
+        errors += h.join().unwrap_or(0);
+    }
+    let elapsed = start.elapsed();
+    let (mlds, report) = svc.into_parts();
+    let total = n * per;
+    let rate = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "{n} session(s) x {per} request(s) in {:.1} ms ({rate:.0} req/s, {errors} error(s)); \
+         .sessions for the roster, .stats for scheduler occupancy",
+        elapsed.as_secs_f64() * 1e3
+    );
+    (mlds, report)
+}
+
 const HELP: &str = "\
 .help                         this text
 .demo                         load + populate the University database
@@ -520,7 +634,9 @@ const HELP: &str = "\
 .transformed <db>             print a functional database's transformed network schema
 .functional <db>              print a network database's reverse-transformed Daplex schema
 .abdl on|off                  echo generated ABDL requests (default on)
-.stats                        kernel work counters (requests, records, messages)
+.spawn <n> [requests]         drive <n> concurrent sessions through the service layer
+.sessions                     per-session roster from the last .spawn
+.stats                        kernel work counters (requests, records, scheduler occupancy)
 .save <path> / .load <path>   dump / restore the kernel as ABDL text
 .durable <dir> [backends]     switch to a durable multi-backend kernel (WAL in <dir>)
 .tcp [backends]               switch to out-of-process backends over the TCP transport

@@ -52,11 +52,13 @@
 pub mod error;
 pub mod kfs;
 pub mod namespace;
+pub mod service;
 pub mod session;
 pub mod system;
 
 pub use error::{Error, Result};
-pub use namespace::{kernel_file, NamespacedKernel};
+pub use namespace::{kernel_file, Namespace, NamespacedKernel};
+pub use service::{AdmissionEntry, MldsService, ServiceReport, ServiceSession, SessionStat};
 pub use session::{CodasylSession, DaplexSession, HierSession, SqlSession, StatementOutput};
 pub use system::Mlds;
 

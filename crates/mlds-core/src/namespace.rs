@@ -7,6 +7,14 @@
 //! that prefixes kernel file names with the database name
 //! (`university.department`) on the way in and strips the prefix on
 //! the way out. The language interfaces never see the prefix.
+//!
+//! The mapping itself lives in [`Namespace`], a plain value that does
+//! not borrow the kernel. That separation matters to the concurrent
+//! service layer: the dispatcher maps requests from *several* sessions
+//! (each with its own database prefix) before handing the whole group
+//! to `Kernel::execute_batch`, which a borrowing adapter could not
+//! express. [`NamespacedKernel`] composes a `Namespace` with a kernel
+//! borrow for the ordinary one-statement-at-a-time paths.
 
 use abdl::{DbKey, Kernel, Record, Request, Response, Value, FILE_ATTR};
 
@@ -15,16 +23,18 @@ pub fn kernel_file(db: &str, file: &str) -> String {
     format!("{db}.{file}")
 }
 
-/// A kernel view scoped to one database.
-pub struct NamespacedKernel<'a, K: Kernel> {
-    inner: &'a mut K,
+/// The request/response mapping for one database — prefixes kernel
+/// file names on the way in, strips them on the way out. Owns no
+/// kernel; pure data.
+#[derive(Debug, Clone)]
+pub struct Namespace {
     prefix: String,
 }
 
-impl<'a, K: Kernel> NamespacedKernel<'a, K> {
-    /// Scope `inner` to database `db`.
-    pub fn new(inner: &'a mut K, db: &str) -> Self {
-        NamespacedKernel { inner, prefix: format!("{db}.") }
+impl Namespace {
+    /// The namespace of database `db`.
+    pub fn new(db: &str) -> Self {
+        Namespace { prefix: format!("{db}.") }
     }
 
     fn add_prefix(&self, name: &str) -> String {
@@ -61,7 +71,8 @@ impl<'a, K: Kernel> NamespacedKernel<'a, K> {
         }
     }
 
-    fn map_request_in(&self, req: &Request) -> Request {
+    /// `request` with every file name scoped into this database.
+    pub fn map_request_in(&self, req: &Request) -> Request {
         let mut req = req.clone();
         match &mut req {
             Request::Insert { record } => self.map_record_in(record),
@@ -76,7 +87,9 @@ impl<'a, K: Kernel> NamespacedKernel<'a, K> {
         req
     }
 
-    fn map_response_out(&self, mut resp: Response) -> Response {
+    /// `resp` with this database's prefix stripped from returned
+    /// records.
+    pub fn map_response_out(&self, mut resp: Response) -> Response {
         let records: Vec<(DbKey, Record)> = resp
             .records()
             .iter()
@@ -96,14 +109,27 @@ impl<'a, K: Kernel> NamespacedKernel<'a, K> {
     }
 }
 
+/// A kernel view scoped to one database.
+pub struct NamespacedKernel<'a, K: Kernel> {
+    inner: &'a mut K,
+    ns: Namespace,
+}
+
+impl<'a, K: Kernel> NamespacedKernel<'a, K> {
+    /// Scope `inner` to database `db`.
+    pub fn new(inner: &'a mut K, db: &str) -> Self {
+        NamespacedKernel { inner, ns: Namespace::new(db) }
+    }
+}
+
 impl<K: Kernel> Kernel for NamespacedKernel<'_, K> {
     fn create_file(&mut self, name: &str) {
-        let name = self.add_prefix(name);
+        let name = self.ns.add_prefix(name);
         self.inner.create_file(&name);
     }
 
     fn add_unique_constraint(&mut self, file: &str, attrs: Vec<String>) {
-        let file = self.add_prefix(file);
+        let file = self.ns.add_prefix(file);
         self.inner.add_unique_constraint(&file, attrs);
     }
 
@@ -112,9 +138,18 @@ impl<K: Kernel> Kernel for NamespacedKernel<'_, K> {
     }
 
     fn execute(&mut self, request: &Request) -> abdl::Result<Response> {
-        let mapped = self.map_request_in(request);
+        let mapped = self.ns.map_request_in(request);
         let resp = self.inner.execute(&mapped)?;
-        Ok(self.map_response_out(resp))
+        Ok(self.ns.map_response_out(resp))
+    }
+
+    fn execute_batch(&mut self, requests: &[Request]) -> Vec<abdl::Result<Response>> {
+        let mapped: Vec<Request> = requests.iter().map(|r| self.ns.map_request_in(r)).collect();
+        self.inner
+            .execute_batch(&mapped)
+            .into_iter()
+            .map(|r| r.map(|resp| self.ns.map_response_out(resp)))
+            .collect()
     }
 
     fn health(&self) -> abdl::engine::KernelHealth {
@@ -189,5 +224,23 @@ mod tests {
             )
             .unwrap();
         assert_eq!(resp.records().len(), 1);
+    }
+
+    #[test]
+    fn batch_maps_every_request_and_response() {
+        let mut store = Store::new();
+        let mut ns = NamespacedKernel::new(&mut store, "db");
+        ns.create_file("t");
+        let reqs = vec![
+            parse_request("INSERT (<FILE, t>, <t, 1>)").unwrap(),
+            parse_request("INSERT (<FILE, t>, <t, 2>)").unwrap(),
+            parse_request("RETRIEVE (FILE = t) (*)").unwrap(),
+        ];
+        let results = ns.execute_batch(&reqs);
+        assert_eq!(results.len(), 3);
+        let recs = results[2].as_ref().unwrap().records().to_vec();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|(_, r)| r.file() == Some("t")), "prefix stripped on the way out");
+        assert!(store.file_names().any(|f| f == "db.t"));
     }
 }

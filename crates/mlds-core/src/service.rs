@@ -1,0 +1,357 @@
+//! The concurrent front door: a multi-session service over one MLDS.
+//!
+//! The 1987 system is described as serving "numerous databases" to
+//! many users at once, but [`Mlds`](crate::Mlds) itself is a
+//! single-threaded value: every `execute_*` call borrows it mutably.
+//! [`MldsService`] lifts that restriction without touching the kernel
+//! borrow discipline. It moves the whole `Mlds` into a dispatcher
+//! thread and hands out [`ServiceSession`] handles that are `Send` —
+//! each session submits ABDL requests over a channel and blocks on a
+//! private reply channel.
+//!
+//! The concurrency win comes from *admission batching*: when several
+//! sessions have requests queued at once, the dispatcher drains them
+//! all, maps each through its session's database [`Namespace`], and
+//! hands the whole group to [`Kernel::execute_batch`] in one call. On
+//! the multi-backend controller that means the batch scheduler keeps
+//! non-conflicting requests in flight on the backend bus together and
+//! the WAL group-commits every append under a single sync — the two
+//! costs that dominate a one-at-a-time front door.
+//!
+//! Every executed request is also recorded in the **admission log**
+//! (session id, database, session-level request, normalized outcome),
+//! in the exact order the dispatcher admitted it. Replaying that log
+//! serially on an identically-configured fresh system must reproduce
+//! every outcome and the same final state — the equivalence bar that
+//! `tests/concurrent_equivalence.rs` pins.
+
+use crate::namespace::Namespace;
+use crate::system::Mlds;
+use abdl::{Error, Kernel, Request, Response};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+/// Most jobs the dispatcher will drain into one admission batch.
+/// Bounds per-batch latency; the controller's scheduler decides how
+/// much of the batch actually flies concurrently.
+const MAX_BATCH: usize = 64;
+
+/// One admitted request, recorded in dispatcher admission order.
+#[derive(Debug, Clone)]
+pub struct AdmissionEntry {
+    /// Session that submitted the request.
+    pub session: u64,
+    /// Database the session was connected to.
+    pub db: String,
+    /// The session-level (unprefixed) request.
+    pub request: Request,
+    /// Normalized outcome observed by the live run — compare against
+    /// [`outcome_of`] on a serial replay.
+    pub outcome: String,
+}
+
+/// Per-session activity counters, for the shell's `.sessions` view.
+#[derive(Debug, Clone)]
+pub struct SessionStat {
+    /// Session id (service-unique, in open order).
+    pub id: u64,
+    /// User id given at open.
+    pub uid: String,
+    /// Database the session is scoped to.
+    pub db: String,
+    /// Requests executed on behalf of this session.
+    pub requests: u64,
+    /// Of those, how many returned an error.
+    pub errors: u64,
+}
+
+/// Everything the dispatcher hands back when the service stops.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Every executed request, in admission order.
+    pub admissions: Vec<AdmissionEntry>,
+    /// Per-session counters, in open order.
+    pub sessions: Vec<SessionStat>,
+}
+
+/// Normalize a request outcome for order-equivalence comparison:
+/// enough to distinguish any semantically different result, nothing
+/// that varies between a concurrent and a serial run of the same
+/// admission order.
+pub fn outcome_of(result: &abdl::Result<Response>) -> String {
+    match result {
+        Ok(r) => {
+            let mut keys: Vec<u64> = r.records().iter().map(|(k, _)| k.0).collect();
+            keys.sort_unstable();
+            format!(
+                "ok affected={} records={:?} groups={}",
+                r.affected,
+                keys,
+                r.groups.as_ref().map_or(0, Vec::len),
+            )
+        }
+        Err(e) => format!("err {e}"),
+    }
+}
+
+enum Job {
+    Open { id: u64, uid: String, db: String, ack: Sender<()> },
+    Exec { id: u64, request: Request, reply: Sender<abdl::Result<Response>> },
+    Stop,
+}
+
+/// A `Send` handle onto one open session of a running [`MldsService`].
+///
+/// Cloning is cheap; clones share the session (same id, same database,
+/// same counters).
+#[derive(Clone)]
+pub struct ServiceSession {
+    id: u64,
+    db: String,
+    tx: Sender<Job>,
+}
+
+impl ServiceSession {
+    /// The service-unique session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The database this session is scoped to.
+    pub fn database(&self) -> &str {
+        &self.db
+    }
+
+    /// Submit one ABDL request and block for its response. Safe to
+    /// call from any thread; concurrent submitters from different
+    /// sessions are admitted as one batch.
+    pub fn submit(&self, request: Request) -> abdl::Result<Response> {
+        let (rtx, rrx) = channel();
+        self.tx
+            .send(Job::Exec { id: self.id, request, reply: rtx })
+            .map_err(|_| Error::Unavailable("service stopped".into()))?;
+        rrx.recv().map_err(|_| Error::Unavailable("service stopped".into()))?
+    }
+
+    /// Parse `text` as one ABDL request and submit it.
+    pub fn execute_abdl(&self, text: &str) -> abdl::Result<Response> {
+        self.submit(abdl::parse::parse_request(text)?)
+    }
+}
+
+/// A running multi-session service wrapping one [`Mlds`].
+///
+/// Construct the `Mlds` first (create databases, load schemas), then
+/// [`start`](MldsService::start) it. The service owns the system until
+/// [`into_parts`](MldsService::into_parts) hands it back along with
+/// the admission log.
+pub struct MldsService<K: Kernel + Send + 'static> {
+    tx: Sender<Job>,
+    handle: JoinHandle<(Mlds<K>, ServiceReport)>,
+    next_id: u64,
+}
+
+impl<K: Kernel + Send + 'static> MldsService<K> {
+    /// Move `mlds` into a dispatcher thread and start serving.
+    pub fn start(mlds: Mlds<K>) -> Self {
+        let (tx, rx) = channel();
+        let handle = std::thread::spawn(move || dispatch(mlds, rx));
+        MldsService { tx, handle, next_id: 0 }
+    }
+
+    /// Open a session for `uid` against database `db`. The handle is
+    /// `Send` and may be moved to (or cloned across) worker threads.
+    pub fn open(&mut self, uid: &str, db: &str) -> ServiceSession {
+        self.next_id += 1;
+        let id = self.next_id;
+        let (ack_tx, ack_rx) = channel();
+        // The dispatcher owns the registry; wait for the ack so a
+        // session can never race ahead of its own registration.
+        let _ = self.tx.send(Job::Open {
+            id,
+            uid: uid.to_owned(),
+            db: db.to_owned(),
+            ack: ack_tx,
+        });
+        let _ = ack_rx.recv();
+        ServiceSession { id, db: db.to_owned(), tx: self.tx.clone() }
+    }
+
+    /// Stop the dispatcher and reclaim the `Mlds` plus the admission
+    /// log and per-session counters. Outstanding sessions' submits
+    /// fail with [`Error::Unavailable`] afterwards.
+    pub fn into_parts(self) -> (Mlds<K>, ServiceReport) {
+        let _ = self.tx.send(Job::Stop);
+        self.handle.join().expect("service dispatcher panicked")
+    }
+}
+
+fn dispatch<K: Kernel>(mut mlds: Mlds<K>, rx: Receiver<Job>) -> (Mlds<K>, ServiceReport) {
+    let mut report = ServiceReport::default();
+    // id → (namespace, index into report.sessions)
+    let mut registry: HashMap<u64, (Namespace, usize)> = HashMap::new();
+    'serve: loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        // Drain whatever else is already queued: these are the
+        // requests that were admitted "at the same time" and may
+        // execute as one batch.
+        let mut jobs = vec![first];
+        while jobs.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        while !jobs.is_empty() {
+            if matches!(jobs[0], Job::Exec { .. }) {
+                // Gather the run of consecutive Exec jobs.
+                let mut j = 1;
+                while j < jobs.len() && matches!(jobs[j], Job::Exec { .. }) {
+                    j += 1;
+                }
+                let run: Vec<Job> = jobs.drain(..j).collect();
+                execute_run(&mut mlds, &registry, &mut report, run);
+                continue;
+            }
+            match jobs.remove(0) {
+                Job::Open { id, uid, db, ack } => {
+                    registry.insert(id, (Namespace::new(&db), report.sessions.len()));
+                    report.sessions.push(SessionStat { id, uid, db, requests: 0, errors: 0 });
+                    let _ = ack.send(());
+                }
+                Job::Stop => break 'serve,
+                Job::Exec { .. } => unreachable!(),
+            }
+        }
+    }
+    (mlds, report)
+}
+
+fn execute_run<K: Kernel>(
+    mlds: &mut Mlds<K>,
+    registry: &HashMap<u64, (Namespace, usize)>,
+    report: &mut ServiceReport,
+    run: Vec<Job>,
+) {
+    let mut mapped = Vec::with_capacity(run.len());
+    let mut meta = Vec::with_capacity(run.len());
+    for job in run {
+        let Job::Exec { id, request, reply } = job else { unreachable!() };
+        let Some((ns, slot)) = registry.get(&id) else {
+            let _ = reply.send(Err(Error::Unavailable(format!("unknown session {id}"))));
+            continue;
+        };
+        mapped.push(ns.map_request_in(&request));
+        meta.push((id, request, reply, ns.clone(), *slot));
+    }
+    if mapped.is_empty() {
+        return;
+    }
+    let results = mlds.kernel_mut().execute_batch(&mapped);
+    for ((id, request, reply, ns, slot), result) in meta.into_iter().zip(results) {
+        let result = result.map(|r| ns.map_response_out(r));
+        let stat = &mut report.sessions[slot];
+        stat.requests += 1;
+        if result.is_err() {
+            stat.errors += 1;
+        }
+        report.admissions.push(AdmissionEntry {
+            session: id,
+            db: stat.db.clone(),
+            request,
+            outcome: outcome_of(&result),
+        });
+        let _ = reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abdl::Value;
+    use std::sync::{Arc, Barrier};
+
+    fn seeded_mlds() -> Mlds {
+        let mut mlds = Mlds::single_backend();
+        let k = mlds.kernel_mut();
+        let mut ns = crate::NamespacedKernel::new(k, "db");
+        ns.create_file("t");
+        ns.add_unique_constraint("t", vec!["t".into()]);
+        mlds
+    }
+
+    #[test]
+    fn sessions_execute_and_the_admission_log_replays() {
+        let mut svc = MldsService::start(seeded_mlds());
+        let a = svc.open("alice", "db");
+        let b = svc.open("bob", "db");
+        a.execute_abdl("INSERT (<FILE, t>, <t, 1>)").unwrap();
+        b.execute_abdl("INSERT (<FILE, t>, <t, 2>)").unwrap();
+        let dup = b.execute_abdl("INSERT (<FILE, t>, <t, 1>)");
+        assert!(matches!(dup, Err(Error::DuplicateKey { .. })));
+        let resp = a.execute_abdl("RETRIEVE (FILE = t) (*)").unwrap();
+        assert_eq!(resp.records().len(), 2);
+        assert_eq!(resp.records()[0].1.file(), Some("t"), "namespace stripped");
+
+        let (_mlds, report) = svc.into_parts();
+        assert_eq!(report.admissions.len(), 4);
+        assert_eq!(report.sessions.len(), 2);
+        assert_eq!(report.sessions[0].uid, "alice");
+        assert_eq!(report.sessions[1].requests, 2);
+        assert_eq!(report.sessions[1].errors, 1);
+
+        // Serial replay on a fresh system reproduces every outcome.
+        let mut fresh = seeded_mlds();
+        for entry in &report.admissions {
+            let mut ns = crate::NamespacedKernel::new(fresh.kernel_mut(), &entry.db);
+            let result = ns.execute(&entry.request);
+            assert_eq!(outcome_of(&result), entry.outcome);
+        }
+    }
+
+    #[test]
+    fn concurrent_sessions_from_many_threads() {
+        let mut svc = MldsService::start(seeded_mlds());
+        let barrier = Arc::new(Barrier::new(8));
+        let mut joins = Vec::new();
+        for s in 0..8u64 {
+            let session = svc.open(&format!("u{s}"), "db");
+            let barrier = barrier.clone();
+            joins.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..10u64 {
+                    let key = (s * 100 + i) as i64;
+                    let mut rec =
+                        abdl::Record::from_pairs([("FILE", Value::str("t"))]);
+                    rec.set("t".to_owned(), Value::Int(key));
+                    session.submit(Request::Insert { record: rec }).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let (mut mlds, report) = svc.into_parts();
+        assert_eq!(report.admissions.len(), 80);
+        let mut ns = crate::NamespacedKernel::new(mlds.kernel_mut(), "db");
+        let resp = ns
+            .execute(&abdl::parse::parse_request("RETRIEVE (FILE = t) (*)").unwrap())
+            .unwrap();
+        assert_eq!(resp.records().len(), 80, "every session's inserts landed");
+    }
+
+    #[test]
+    fn submitting_after_stop_reports_unavailable() {
+        let mut svc = MldsService::start(seeded_mlds());
+        let s = svc.open("u", "db");
+        let _ = svc.into_parts();
+        assert!(matches!(
+            s.execute_abdl("RETRIEVE (FILE = t) (*)"),
+            Err(Error::Unavailable(_))
+        ));
+    }
+}
