@@ -7,7 +7,9 @@
 //! cargo run --release -p mlds-bench --bin experiments -- e7 e8 # subset
 //! ```
 
-use mlds_bench::{e15_report, e16_report, e17_report, e18_report, run_experiment, EXPERIMENTS};
+use mlds_bench::{
+    e15_report, e16_report, e17_report, e18_report, e19_report, run_experiment, EXPERIMENTS,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +64,16 @@ fn main() {
             match std::fs::write("BENCH_PR7.json", &report.json) {
                 Ok(()) => eprintln!("wrote BENCH_PR7.json"),
                 Err(e) => eprintln!("could not write BENCH_PR7.json: {e}"),
+            }
+            continue;
+        }
+        if id == "e19" {
+            // e19 also emits its raw numbers for CI to archive.
+            let report = e19_report();
+            println!("{}", report.table);
+            match std::fs::write("BENCH_PR8.json", &report.json) {
+                Ok(()) => eprintln!("wrote BENCH_PR8.json"),
+                Err(e) => eprintln!("could not write BENCH_PR8.json: {e}"),
             }
             continue;
         }

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Experiment ids with one-line descriptions.
-pub const EXPERIMENTS: [(&str, &str); 18] = [
+pub const EXPERIMENTS: [(&str, &str); 19] = [
     ("e1", "Figure 2.1/2.2 — the University Daplex schema census"),
     ("e2", "Figure 2.3 — ABDM records, keyword predicates and DNF queries"),
     ("e3", "Figure 3.3 — the AB(functional) University kernel layout"),
@@ -27,6 +27,7 @@ pub const EXPERIMENTS: [(&str, &str); 18] = [
     ("e16", "Failover — hot-standby promotion vs cold recovery under churn"),
     ("e17", "Socket transport — out-of-process overhead and retry cost under frame loss"),
     ("e18", "Concurrent front door — throughput and latency vs session count"),
+    ("e19", "Model checker — failover state-space growth and mutation kill table"),
 ];
 
 /// Run one experiment by id.
@@ -50,6 +51,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e16" => Some(e16()),
         "e17" => Some(e17()),
         "e18" => Some(e18()),
+        "e19" => Some(e19()),
         _ => None,
     }
 }
@@ -1299,6 +1301,130 @@ pub fn e18_report() -> E18Report {
 /// numbers.
 pub fn e18() -> String {
     e18_report().table
+}
+
+// ----- E19 ------------------------------------------------------------
+
+/// Raw numbers from the E19 model-checking run, plus the JSON the
+/// `experiments` binary writes to `BENCH_PR8.json` whenever e19 is
+/// selected so CI can archive the run.
+pub struct E19Report {
+    /// The human-readable tables (what [`e19`] returns).
+    pub table: String,
+    /// Machine-readable record of the same numbers.
+    pub json: String,
+    /// True when the unmutated protocol held both invariants at every
+    /// swept depth.
+    pub protocol_holds: bool,
+    /// True when every catalogued mutation produced a counterexample.
+    pub all_mutations_caught: bool,
+}
+
+/// Run the E19 sweep: exhaust the failover model at growing depth
+/// bounds (the real protocol — both invariants must hold), then kill
+/// every mutation in the catalogue at the CI depth and record how
+/// short its counterexample trace is.
+pub fn e19_report() -> E19Report {
+    use mbds::model::{check, ModelConfig, Mutation};
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "failover model: 1 primary, 1 standby, 2 backends, 4 writes, 1 crash, 1 snapshot\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>12} {:>9} {:>9} {:>10}",
+        "depth", "states", "transitions", "frontier", "ms", "verdict"
+    );
+    let mut protocol_holds = true;
+    let mut depth_rows = String::new();
+    for depth in [8u32, 10, 12, 13, 14, 16] {
+        let config = ModelConfig { depth, ..ModelConfig::small() };
+        let report = check(&config);
+        let holds = report.counterexample.is_none();
+        protocol_holds &= holds;
+        let _ = writeln!(
+            out,
+            "{depth:>6} {:>10} {:>12} {:>9} {:>9} {:>10}",
+            report.states,
+            report.transitions,
+            report.frontier_peak,
+            report.elapsed.as_millis(),
+            if holds { "holds" } else { "VIOLATED" }
+        );
+        if !depth_rows.is_empty() {
+            depth_rows.push_str(",\n");
+        }
+        let _ = write!(
+            depth_rows,
+            "    {{ \"depth\": {depth}, \"states\": {}, \"transitions\": {}, \
+             \"frontier_peak\": {}, \"elapsed_ms\": {}, \"holds\": {holds} }}",
+            report.states,
+            report.transitions,
+            report.frontier_peak,
+            report.elapsed.as_millis()
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\nmutation kill table (CI depth {}):",
+        ModelConfig::small().depth
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9} {:>10} {:>9} {:>10}",
+        "mutation", "invariant", "trace len", "states", "verdict"
+    );
+    let mut caught_count = 0usize;
+    let mut mutation_rows = String::new();
+    for mutation in Mutation::ALL {
+        let report = check(&ModelConfig::with_mutation(mutation));
+        let (invariant, trace_len, caught) = match &report.counterexample {
+            Some(ce) => (ce.violation.invariant(), ce.trace.len(), true),
+            None => (0, 0, false),
+        };
+        caught_count += usize::from(caught);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>9} {:>10} {:>9} {:>10}",
+            mutation.name(),
+            if caught { format!("I{invariant}") } else { "-".to_owned() },
+            trace_len,
+            report.states,
+            if caught { "caught" } else { "MISSED" }
+        );
+        if !mutation_rows.is_empty() {
+            mutation_rows.push_str(",\n");
+        }
+        let _ = write!(
+            mutation_rows,
+            "    {{ \"mutation\": \"{}\", \"caught\": {caught}, \"invariant\": {invariant}, \
+             \"trace_len\": {trace_len}, \"states_searched\": {} }}",
+            mutation.name(),
+            report.states
+        );
+    }
+    let all_caught = caught_count == Mutation::ALL.len();
+    let _ = writeln!(
+        out,
+        "\nprotocol {} both invariants at every depth; {caught_count} of {} mutations caught",
+        if protocol_holds { "holds" } else { "VIOLATES" },
+        Mutation::ALL.len()
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"e19\",\n  \"protocol_holds\": {protocol_holds},\n  \
+         \"all_mutations_caught\": {all_caught},\n  \"depth_sweep\": [\n{depth_rows}\n  ],\n  \
+         \"mutations\": [\n{mutation_rows}\n  ]\n}}\n"
+    );
+    E19Report { table: out, json, protocol_holds, all_mutations_caught: all_caught }
+}
+
+/// The model-checker state-space table; [`e19_report`] has the raw
+/// numbers.
+pub fn e19() -> String {
+    e19_report().table
 }
 
 #[cfg(test)]

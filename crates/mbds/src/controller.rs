@@ -409,7 +409,7 @@ impl Controller {
 
     /// [`Controller::recover`] over any [`LogStore`].
     pub fn recover_with(store: impl LogStore + 'static) -> Result<Self> {
-        let (snapshot, entries, wal) = Wal::load(Box::new(store))?;
+        let (snapshot, entries, mut wal) = Wal::load(Box::new(store))?;
         let snapshot = snapshot.ok_or_else(|| {
             Error::Internal("no snapshot found — nothing to recover".into())
         })?;
@@ -425,9 +425,17 @@ impl Controller {
         for entry in &entries {
             c.apply_entry(entry)?;
         }
-        // Recovery continues the store's lineage: adopt the highest
-        // epoch the log has seen so a recovered post-promotion
-        // controller is not fenced out by its own store.
+        // Recovery starts a *new* lineage: bump past the highest epoch
+        // the store has seen (line stamps or fence) and durably raise
+        // the fence to match. Merely adopting the highest epoch would
+        // share it with whoever stamped it — a standby promoted from
+        // this store while its primary was down would write the same
+        // epoch as the recovered controller (the model checker's
+        // `recover-without-refence` counterexample). The bump also
+        // fences out any still-running earlier incarnation on the same
+        // store, making cold recovery safe even racing a promotion:
+        // the higher epoch wins, the other is refused at the store.
+        wal.refence(wal.epoch() + 1)?;
         c.epoch = wal.epoch();
         c.fence.store(c.epoch, Ordering::SeqCst);
         c.wal = Some(wal);
@@ -2126,6 +2134,24 @@ impl Kernel for Controller {
             }
         }
         if let Err(e) = self.wal_commit_batch() {
+            // The batch's log records never reached the store (a
+            // promotion fenced this controller mid-batch, or the sync
+            // failed). Acknowledging the writes anyway would hand the
+            // sessions a success the promoted lineage has never heard
+            // of — the model checker's `ack-despite-failed-flush`
+            // counterexample is exactly that: write → backend-write →
+            // wal-append → promote-fence → flush, and the acked write
+            // is not durable. Retract every mutating result in the
+            // batch; reads saw committed state and stand.
+            for (req, result) in requests.iter().zip(results.iter_mut()) {
+                let mutating = matches!(
+                    req,
+                    Request::Insert { .. } | Request::Delete { .. } | Request::Update { .. }
+                );
+                if mutating && result.is_ok() {
+                    *result = Err(e.clone());
+                }
+            }
             self.pending_error.get_or_insert(e);
         }
         self.maybe_snapshot();

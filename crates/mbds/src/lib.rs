@@ -86,6 +86,7 @@ mod controller;
 mod directory;
 pub mod fault;
 pub mod health;
+pub mod model;
 pub mod net;
 mod placement;
 pub mod sched;
@@ -97,6 +98,7 @@ pub use controller::{Controller, DEFAULT_REPLICATION};
 pub use directory::Directory;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{BackendState, HealthBoard};
+pub use model::{CheckReport, Counterexample, ModelConfig, Mutation, Violation};
 pub use net::{
     Frame, FrameReader, LinkDir, NetFaultEvent, NetFaultKind, NetFaultPlan, RemoteLog, ShipServer,
     TcpLink,

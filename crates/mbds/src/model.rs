@@ -1,0 +1,1018 @@
+//! An in-tree explicit-state model checker for the epoch-fenced
+//! failover protocol.
+//!
+//! The crash sweeps (`tests/crash_recovery.rs`), the failover sweep
+//! (`tests/failover.rs`) and the partition harness
+//! (`tests/net_partition.rs`) *sample* the protocol's interleaving
+//! space; this module *exhausts* it, up to a bounded depth, over an
+//! abstracted primary/standby/backend/log state machine. Every action
+//! of the real protocol that can interleave is a small-step transition
+//! on a hashable [`State`]:
+//!
+//! | model action | real code path it abstracts |
+//! |---|---|
+//! | [`Action::ClientWrite`] | a session submits a request to whichever controller it is connected to (`MldsService` → `Kernel::execute_batch`) |
+//! | [`Action::BackendWrite`] | the controller stages the write at the backends; each backend's fence rejects stale epochs (`Controller::execute_flight`, the envelope epoch check in `spawn_backend` / the remote fence in `mbds-backend`) |
+//! | [`Action::WalAppend`] | the write's log record is buffered into the open group-commit batch (`Wal::append` with `batch_depth > 0`) |
+//! | [`Action::GroupCommitFlush`] | the outermost `commit_batch` flushes the buffer with one sync; the store's fence is checked *atomically* with the append (`LogStore::append_lines_fenced`), and only a successful flush acknowledges the batch to the sessions |
+//! | [`Action::SnapshotInstall`] | `Controller::snapshot_now` compacts the log (`LogStore::install_snapshot_fenced`), bumping the store generation |
+//! | [`Action::Crash`] | the controller dies; its in-memory buffers (admitted requests, staged writes, the open batch) are lost |
+//! | [`Action::Recover`] | `Controller::recover` replays snapshot+log and **fences out every earlier incarnation** by bumping the epoch past everything the store has seen (`Wal::refence`) |
+//! | [`Action::ShipSend`] / [`Action::ShipDeliver`] | the standby's `LogCursor` polls the store and applies one shipped record to the mirror (`Standby::poll`); over TCP the poll is a `RemoteLog` pull |
+//! | [`Action::ShipDrop`] / [`Action::ShipDup`] | a lost or duplicated pull reply on the ship link (`NetFaultPlan` drop/duplicate); a delayed reply is an in-flight message that other actions simply overtake |
+//! | [`Action::ShipResync`] | the cursor notices a snapshot-install generation bump and rebuilds the mirror from the snapshot (`CursorUpdate::Snapshot`) |
+//! | [`Action::PromoteFence`] | `Standby::promote`, first half: the final poll consumes every whole durable record, then the store's fence epoch is raised past everything the log has seen |
+//! | [`Action::PromoteInstall`] | `Standby::promote`, second half: every backend's fence is raised (shared `AtomicU64` in-process, the `Hello` epoch over TCP) and the warm mirror becomes the serving controller |
+//!
+//! A breadth-first search over all interleavings (with a visited set
+//! over the hashed states) machine-checks two invariants at every
+//! state:
+//!
+//! 1. **Exclusive epoch writer** — no two controllers ever both
+//!    perform a fenced write (a WAL append or a backend apply) in the
+//!    same epoch, no acceptor ever accepts a write whose epoch its
+//!    fence already excludes, and no acceptor's accepted epochs ever
+//!    regress. Split brain is any of the three.
+//! 2. **Acknowledged writes survive** — every write acknowledged to a
+//!    client (group commit flushed) is durable in the store at every
+//!    subsequent state, and is part of the promoted controller's state
+//!    on every crash+promotion path.
+//!
+//! On a violation the checker reconstructs and returns the **full
+//! action trace** from the initial state. Intentionally broken
+//! protocol [`Mutation`]s re-open the historical windows the real code
+//! closed — each mutation's counterexample is pinned by
+//! `tests/model_check.rs`, and each has a transcribed deterministic
+//! regression test against the real `Controller`/`Standby` stack.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A client write, identified by issue order. At most
+/// [`ModelConfig::writes`] ≤ 16 exist, so sets of writes are `u16`
+/// bitmasks.
+pub type WriteId = u8;
+
+/// A controller slot: 0 is the initial primary, 1 is the controller a
+/// standby promotion installs.
+pub type CtrlId = u8;
+
+type Mask = u16;
+
+fn bit(w: WriteId) -> Mask {
+    1 << w
+}
+
+/// An intentionally broken protocol variant. [`Mutation::None`] is the
+/// protocol as shipped; every other variant re-opens a window the real
+/// implementation closes, and must produce a counterexample trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// The protocol as implemented (both invariants must hold).
+    #[default]
+    None,
+    /// `execute_batch` acknowledges its writes even when the
+    /// group-commit flush was refused by the fence — the pre-fix
+    /// behaviour of the controller's batch path (the flush failure was
+    /// stashed while the per-request results stayed `Ok`).
+    AckDespiteFailedFlush,
+    /// The flush checks the fence and lands the batch as two separate
+    /// steps — the check-then-act race `LogStore::append_lines_fenced`
+    /// exists to close. A promotion between the two steps lets a
+    /// demoted primary's records into the new lineage's log.
+    RacyFlushFence,
+    /// Promotion installs the new controller without raising the store
+    /// or backend fences: the demoted primary keeps writing.
+    SkipFenceRaiseOnPromote,
+    /// Promotion raises the fence but reuses the highest epoch it saw
+    /// instead of bumping past it: two controllers share an epoch.
+    PromoteWithoutEpochBump,
+    /// Cold recovery adopts the store's fence epoch instead of
+    /// fencing out its own predecessor — the pre-fix behaviour of
+    /// `Controller::recover`: a recovered zombie and a promoted
+    /// standby both write the same epoch.
+    RecoverWithoutRefence,
+    /// Promotion installs the standby's shipped prefix without the
+    /// final poll of the durable store — acknowledged writes that
+    /// shipped late are missing from the promoted state (the
+    /// async-replication caveat a remote standby must respect).
+    PromoteSkipsFinalPoll,
+}
+
+impl Mutation {
+    /// All mutations, for sweep harnesses.
+    pub const ALL: [Mutation; 6] = [
+        Mutation::AckDespiteFailedFlush,
+        Mutation::RacyFlushFence,
+        Mutation::SkipFenceRaiseOnPromote,
+        Mutation::PromoteWithoutEpochBump,
+        Mutation::RecoverWithoutRefence,
+        Mutation::PromoteSkipsFinalPoll,
+    ];
+
+    /// Parse a mutation name as accepted by the `mbds-model` binary.
+    pub fn parse(name: &str) -> Option<Mutation> {
+        Some(match name {
+            "none" => Mutation::None,
+            "ack-despite-failed-flush" => Mutation::AckDespiteFailedFlush,
+            "racy-flush-fence" => Mutation::RacyFlushFence,
+            "skip-fence-raise" => Mutation::SkipFenceRaiseOnPromote,
+            "promote-without-epoch-bump" => Mutation::PromoteWithoutEpochBump,
+            "recover-without-refence" => Mutation::RecoverWithoutRefence,
+            "promote-skips-final-poll" => Mutation::PromoteSkipsFinalPoll,
+            _ => return None,
+        })
+    }
+
+    /// The name [`Mutation::parse`] accepts for this mutation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::AckDespiteFailedFlush => "ack-despite-failed-flush",
+            Mutation::RacyFlushFence => "racy-flush-fence",
+            Mutation::SkipFenceRaiseOnPromote => "skip-fence-raise",
+            Mutation::PromoteWithoutEpochBump => "promote-without-epoch-bump",
+            Mutation::RecoverWithoutRefence => "recover-without-refence",
+            Mutation::PromoteSkipsFinalPoll => "promote-skips-final-poll",
+        }
+    }
+}
+
+/// Bounds and protocol variant for one exhaustive check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Backend count (each with its own fence).
+    pub backends: u8,
+    /// Client writes available to issue (≤ 16).
+    pub writes: u8,
+    /// BFS depth bound (actions along any explored path).
+    pub depth: u32,
+    /// Controller crashes allowed along any path.
+    pub max_crashes: u8,
+    /// Snapshot installs allowed along any path.
+    pub max_snapshots: u8,
+    /// Safety valve: stop exploring past this many distinct states
+    /// (0 = unbounded). The CI config never hits it.
+    pub max_states: usize,
+    /// The protocol variant to check.
+    pub mutation: Mutation,
+}
+
+impl ModelConfig {
+    /// The CI configuration named by the roadmap: 1 primary, 1
+    /// standby, 2 backends, 4 pending writes, depth 13 — exhausted in
+    /// seconds, > 10⁴ distinct states.
+    pub fn small() -> ModelConfig {
+        ModelConfig {
+            backends: 2,
+            writes: 4,
+            depth: 13,
+            max_crashes: 1,
+            max_snapshots: 1,
+            max_states: 0,
+            mutation: Mutation::None,
+        }
+    }
+
+    /// The small configuration with `mutation` applied.
+    pub fn with_mutation(mutation: Mutation) -> ModelConfig {
+        ModelConfig { mutation, ..ModelConfig::small() }
+    }
+}
+
+/// One small-step protocol action (see the module table for the real
+/// code path each abstracts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// A client submits the next write to controller `to`.
+    ClientWrite {
+        /// The controller the session is connected to.
+        to: CtrlId,
+    },
+    /// Controller `c` applies its oldest admitted write at the
+    /// backends (each backend's fence may reject it).
+    BackendWrite {
+        /// The writing controller.
+        c: CtrlId,
+    },
+    /// Controller `c` buffers its oldest backend-applied write into
+    /// the open group-commit batch.
+    WalAppend {
+        /// The writing controller.
+        c: CtrlId,
+    },
+    /// Controller `c` flushes the open batch durably (fence-checked
+    /// atomically at the store) and acknowledges it.
+    GroupCommitFlush {
+        /// The flushing controller.
+        c: CtrlId,
+    },
+    /// [`Mutation::RacyFlushFence`] only: the separated fence check.
+    FlushCheck {
+        /// The flushing controller.
+        c: CtrlId,
+    },
+    /// [`Mutation::RacyFlushFence`] only: the separated landing.
+    FlushLand {
+        /// The flushing controller.
+        c: CtrlId,
+    },
+    /// Controller `c` compacts the log into a snapshot.
+    SnapshotInstall {
+        /// The compacting controller.
+        c: CtrlId,
+    },
+    /// Controller `c` crashes, losing all in-memory buffers.
+    Crash {
+        /// The crashing controller.
+        c: CtrlId,
+    },
+    /// Controller `c` cold-recovers from the store.
+    Recover {
+        /// The recovering controller.
+        c: CtrlId,
+    },
+    /// The ship link picks up the next durable log record.
+    ShipSend,
+    /// The in-flight ship message reaches the standby and is applied
+    /// (stale messages are ignored by the cursor's sequence check).
+    ShipDeliver,
+    /// The in-flight ship message is delivered *and stays in flight*
+    /// — a duplicated frame; the copy must be ignored later.
+    ShipDup,
+    /// The in-flight ship message is lost; the pull protocol re-sends.
+    ShipDrop,
+    /// The standby notices a snapshot-install generation bump and
+    /// rebuilds its mirror from the snapshot.
+    ShipResync,
+    /// Promotion, first half: final poll + store fence raise.
+    PromoteFence,
+    /// Promotion, second half: backend fence raise + controller
+    /// install.
+    PromoteInstall,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::ClientWrite { to } => write!(f, "client-write → ctrl{to}"),
+            Action::BackendWrite { c } => write!(f, "ctrl{c}: backend-write"),
+            Action::WalAppend { c } => write!(f, "ctrl{c}: wal-append"),
+            Action::GroupCommitFlush { c } => write!(f, "ctrl{c}: group-commit-flush"),
+            Action::FlushCheck { c } => write!(f, "ctrl{c}: flush-fence-check"),
+            Action::FlushLand { c } => write!(f, "ctrl{c}: flush-land"),
+            Action::SnapshotInstall { c } => write!(f, "ctrl{c}: snapshot-install"),
+            Action::Crash { c } => write!(f, "ctrl{c}: crash"),
+            Action::Recover { c } => write!(f, "ctrl{c}: recover"),
+            Action::ShipSend => write!(f, "ship: send"),
+            Action::ShipDeliver => write!(f, "ship: deliver"),
+            Action::ShipDup => write!(f, "ship: deliver+duplicate"),
+            Action::ShipDrop => write!(f, "ship: drop"),
+            Action::ShipResync => write!(f, "ship: snapshot-resync"),
+            Action::PromoteFence => write!(f, "standby: promote (poll + fence raise)"),
+            Action::PromoteInstall => write!(f, "standby: promote (install controller)"),
+        }
+    }
+}
+
+/// Why a state is inconsistent. The first two variants are invariant
+/// 1 (exclusive epoch writer / no split brain); the last two are
+/// invariant 2 (acknowledged writes survive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// Two distinct controllers both performed a fenced write stamped
+    /// with the same epoch.
+    EpochSharedByTwoWriters {
+        /// The shared epoch.
+        epoch: u8,
+    },
+    /// An acceptor (the store, or backend `acceptor`) accepted a write
+    /// whose epoch its fence already excluded, or an epoch below one
+    /// it had already accepted.
+    FencedWriteAccepted {
+        /// `u8::MAX` for the store, else the backend index.
+        acceptor: u8,
+        /// The stale epoch that landed.
+        epoch: u8,
+        /// The fence (or highest accepted epoch) that should have
+        /// excluded it.
+        fence: u8,
+    },
+    /// An acknowledged write is no longer durable in the store.
+    AckedWriteNotDurable {
+        /// The lost write.
+        w: WriteId,
+    },
+    /// A crash+promotion path installed a controller missing an
+    /// acknowledged write.
+    AckedWriteLostAtPromotion {
+        /// The lost write.
+        w: WriteId,
+    },
+}
+
+impl Violation {
+    /// Which of the two checked invariants this violates (1-based).
+    pub fn invariant(&self) -> u8 {
+        match self {
+            Violation::EpochSharedByTwoWriters { .. }
+            | Violation::FencedWriteAccepted { .. } => 1,
+            Violation::AckedWriteNotDurable { .. }
+            | Violation::AckedWriteLostAtPromotion { .. } => 2,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::EpochSharedByTwoWriters { epoch } => {
+                write!(f, "invariant 1: two controllers both wrote in epoch {epoch}")
+            }
+            Violation::FencedWriteAccepted { acceptor, epoch, fence } => {
+                let who = if *acceptor == u8::MAX {
+                    "the log store".to_owned()
+                } else {
+                    format!("backend {acceptor}")
+                };
+                write!(f, "invariant 1: {who} accepted epoch {epoch} past fence/high-water {fence}")
+            }
+            Violation::AckedWriteNotDurable { w } => {
+                write!(f, "invariant 2: acknowledged write {w} is not durable in the store")
+            }
+            Violation::AckedWriteLostAtPromotion { w } => {
+                write!(f, "invariant 2: acknowledged write {w} missing from the promoted controller")
+            }
+        }
+    }
+}
+
+/// One controller slot's abstract state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Ctrl {
+    /// False for slot 1 before a promotion installs it.
+    live: bool,
+    crashed: bool,
+    epoch: u8,
+    /// Admitted client writes, not yet at the backends.
+    inbox: Vec<WriteId>,
+    /// Backend-applied writes, not yet in the WAL batch.
+    staged: Vec<WriteId>,
+    /// The open group-commit batch.
+    batch: Vec<WriteId>,
+    /// [`Mutation::RacyFlushFence`]: the fence check passed, the
+    /// landing has not happened yet.
+    flush_checked: bool,
+    /// Writes the controller's state contains (what a client reading
+    /// through it would see); the promoted controller starts from the
+    /// standby's view.
+    view: Mask,
+}
+
+impl Ctrl {
+    fn fresh(live: bool) -> Ctrl {
+        Ctrl {
+            live,
+            crashed: false,
+            epoch: 0,
+            inbox: Vec::new(),
+            staged: Vec::new(),
+            batch: Vec::new(),
+            flush_checked: false,
+            view: 0,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.live && !self.crashed
+    }
+}
+
+/// One durable log entry: which write, stamped with whose epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct LogEntryS {
+    w: WriteId,
+    epoch: u8,
+    writer: CtrlId,
+}
+
+/// The shared durable store (`LogStore`): fence, snapshot, log.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StoreS {
+    fence: u8,
+    generation: u8,
+    /// Writes compacted into the snapshot.
+    snap: Mask,
+    log: Vec<LogEntryS>,
+    /// Highest epoch ever accepted (monotonicity check).
+    max_epoch: u8,
+}
+
+impl StoreS {
+    fn durable(&self) -> Mask {
+        self.log.iter().fold(self.snap, |m, e| m | bit(e.w))
+    }
+}
+
+/// One backend's fence (contents are rebuilt from the log, so only
+/// the fencing state matters to the invariants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BackendS {
+    fence: u8,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum StandbyPhase {
+    Tailing,
+    /// PromoteFence done: the fence is up, the controller install is
+    /// still pending (the window [`Mutation::SkipFenceRaiseOnPromote`]
+    /// attacks). `acked` snapshots the acknowledged set at the fence
+    /// point — writes acknowledged *after* it belong to a superseding
+    /// lineage (a cold recovery that re-fenced past this promotion)
+    /// and stay covered by the durability half of invariant 2.
+    Fenced { epoch: u8, view: Mask, acked: Mask },
+    Promoted,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StandbyS {
+    generation: u8,
+    /// Log records applied to the mirror (within `generation`).
+    shipped: u8,
+    mirror: Mask,
+    phase: StandbyPhase,
+}
+
+/// A ship-link message in flight: one log record, tagged with the
+/// store generation and log index it was read at (the cursor's
+/// sequence check in miniature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ShipMsg {
+    generation: u8,
+    idx: u8,
+    w: WriteId,
+}
+
+/// One abstract protocol state — hashable, so BFS dedupes on it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    ctrls: [Ctrl; 2],
+    store: StoreS,
+    backends: Vec<BackendS>,
+    standby: StandbyS,
+    inflight: Option<ShipMsg>,
+    /// Writes acknowledged to clients.
+    acked: Mask,
+    next_write: u8,
+    crashes: u8,
+    snapshots: u8,
+    /// Which controller has written in which epoch — the exclusive
+    /// epoch writer ledger (sorted, deduped; tiny).
+    claims: Vec<(u8, CtrlId)>,
+}
+
+impl State {
+    fn initial(cfg: &ModelConfig) -> State {
+        State {
+            ctrls: [Ctrl::fresh(true), Ctrl::fresh(false)],
+            store: StoreS { fence: 0, generation: 0, snap: 0, log: Vec::new(), max_epoch: 0 },
+            backends: vec![BackendS { fence: 0 }; cfg.backends as usize],
+            standby: StandbyS {
+                generation: 0,
+                shipped: 0,
+                mirror: 0,
+                phase: StandbyPhase::Tailing,
+            },
+            inflight: None,
+            acked: 0,
+            next_write: 0,
+            crashes: 0,
+            snapshots: 0,
+            claims: Vec::new(),
+        }
+    }
+
+    /// Record that `writer` performed a fenced write in `epoch`.
+    fn claim(&mut self, epoch: u8, writer: CtrlId) -> Result<(), Violation> {
+        match self.claims.binary_search(&(epoch, writer)) {
+            Ok(_) => Ok(()),
+            Err(pos) => {
+                if self.claims.iter().any(|&(e, w)| e == epoch && w != writer) {
+                    return Err(Violation::EpochSharedByTwoWriters { epoch });
+                }
+                self.claims.insert(pos, (epoch, writer));
+                Ok(())
+            }
+        }
+    }
+
+    /// The acknowledged-durability half of invariant 2, checked at
+    /// every state.
+    fn check(&self) -> Result<(), Violation> {
+        let durable = self.store.durable();
+        let lost = self.acked & !durable;
+        if lost != 0 {
+            return Err(Violation::AckedWriteNotDurable { w: lost.trailing_zeros() as u8 });
+        }
+        Ok(())
+    }
+}
+
+/// The counterexample a failed check returns: the violated invariant
+/// and the full action trace from the initial state.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// What broke.
+    pub violation: Violation,
+    /// Every action from the initial state to the violating one.
+    pub trace: Vec<Action>,
+}
+
+impl Counterexample {
+    /// The trace rendered one action per line, violation last — the
+    /// artifact CI uploads.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, action) in self.trace.iter().enumerate() {
+            out.push_str(&format!("{:>3}. {action}\n", i + 1));
+        }
+        out.push_str(&format!("  ⇒ VIOLATION: {}\n", self.violation));
+        out
+    }
+}
+
+/// What one exhaustive check explored.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The configuration checked.
+    pub config: ModelConfig,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions taken (successor computations).
+    pub transitions: u64,
+    /// Deepest level reached (≤ `config.depth`).
+    pub max_depth: u32,
+    /// Peak BFS frontier length.
+    pub frontier_peak: usize,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// True when the depth bound pruned unexplored successors (the
+    /// search was exhaustive *up to the bound* either way).
+    pub depth_pruned: bool,
+    /// The first violation found (BFS ⇒ a shortest trace), if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CheckReport {
+    /// One summary line for logs and experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "mutation={} states={} transitions={} depth={} elapsed={:?} verdict={}",
+            self.config.mutation.name(),
+            self.states,
+            self.transitions,
+            self.max_depth,
+            self.elapsed,
+            match &self.counterexample {
+                None => "no violation".to_owned(),
+                Some(ce) => format!("VIOLATION ({}) at depth {}", ce.violation, ce.trace.len()),
+            }
+        )
+    }
+}
+
+/// Enumerate every action enabled in `s`.
+fn enabled(s: &State, cfg: &ModelConfig) -> Vec<Action> {
+    let mut out = Vec::with_capacity(16);
+    for c in 0..2u8 {
+        let ctrl = &s.ctrls[c as usize];
+        if ctrl.active() {
+            if s.next_write < cfg.writes {
+                out.push(Action::ClientWrite { to: c });
+            }
+            if !ctrl.inbox.is_empty() {
+                out.push(Action::BackendWrite { c });
+            }
+            if !ctrl.staged.is_empty() {
+                out.push(Action::WalAppend { c });
+            }
+            if !ctrl.batch.is_empty() {
+                if cfg.mutation == Mutation::RacyFlushFence {
+                    if ctrl.flush_checked {
+                        out.push(Action::FlushLand { c });
+                    } else {
+                        out.push(Action::FlushCheck { c });
+                    }
+                } else {
+                    out.push(Action::GroupCommitFlush { c });
+                }
+            }
+            if s.snapshots < cfg.max_snapshots
+                && !s.store.log.is_empty()
+                && s.store.fence <= ctrl.epoch
+            {
+                out.push(Action::SnapshotInstall { c });
+            }
+            if s.crashes < cfg.max_crashes {
+                out.push(Action::Crash { c });
+            }
+        }
+        if ctrl.live && ctrl.crashed {
+            out.push(Action::Recover { c });
+        }
+    }
+    match &s.standby.phase {
+        StandbyPhase::Tailing => {
+            if s.standby.generation != s.store.generation {
+                out.push(Action::ShipResync);
+            } else if s.inflight.is_none()
+                && (s.standby.shipped as usize) < s.store.log.len()
+            {
+                out.push(Action::ShipSend);
+            }
+            if s.inflight.is_some() {
+                out.push(Action::ShipDeliver);
+                out.push(Action::ShipDup);
+                out.push(Action::ShipDrop);
+            }
+            if !s.ctrls[1].live {
+                out.push(Action::PromoteFence);
+            }
+        }
+        StandbyPhase::Fenced { .. } => out.push(Action::PromoteInstall),
+        StandbyPhase::Promoted => {}
+    }
+    out
+}
+
+/// Apply `a` to a copy of `s`; `Err` is an invariant violation *at
+/// this transition* (state-level checks run separately).
+fn apply(s: &State, a: Action, cfg: &ModelConfig) -> Result<State, Violation> {
+    let mut n = s.clone();
+    match a {
+        Action::ClientWrite { to } => {
+            n.ctrls[to as usize].inbox.push(n.next_write);
+            n.next_write += 1;
+        }
+        Action::BackendWrite { c } => {
+            let epoch = n.ctrls[c as usize].epoch;
+            let w = n.ctrls[c as usize].inbox.remove(0);
+            let mut accepted = false;
+            for b in 0..n.backends.len() {
+                if n.backends[b].fence > epoch {
+                    continue; // fenced out: the backend rejects the envelope
+                }
+                n.claim(epoch, c)?;
+                accepted = true;
+            }
+            if accepted {
+                n.ctrls[c as usize].staged.push(w);
+                n.ctrls[c as usize].view |= bit(w);
+            }
+            // No backend accepted: the write fails, the client sees an
+            // error, nothing to track.
+        }
+        Action::WalAppend { c } => {
+            let w = n.ctrls[c as usize].staged.remove(0);
+            n.ctrls[c as usize].batch.push(w);
+        }
+        Action::GroupCommitFlush { c } => {
+            let epoch = n.ctrls[c as usize].epoch;
+            let batch = std::mem::take(&mut n.ctrls[c as usize].batch);
+            if n.store.fence > epoch {
+                // Atomic fence refusal: the batch is lost, the client
+                // sees an error — unless the mutation acks anyway.
+                if cfg.mutation == Mutation::AckDespiteFailedFlush {
+                    for w in batch {
+                        n.acked |= bit(w);
+                    }
+                }
+            } else {
+                land_batch(&mut n, c, epoch, &batch)?;
+            }
+        }
+        Action::FlushCheck { c } => {
+            let epoch = n.ctrls[c as usize].epoch;
+            if n.store.fence > epoch {
+                n.ctrls[c as usize].batch.clear();
+            } else {
+                n.ctrls[c as usize].flush_checked = true;
+            }
+        }
+        Action::FlushLand { c } => {
+            let epoch = n.ctrls[c as usize].epoch;
+            let batch = std::mem::take(&mut n.ctrls[c as usize].batch);
+            n.ctrls[c as usize].flush_checked = false;
+            if n.store.fence > epoch {
+                // The race: the fence rose between check and land, but
+                // the landing is unconditional — the stale records
+                // reach the store.
+                return Err(Violation::FencedWriteAccepted {
+                    acceptor: u8::MAX,
+                    epoch,
+                    fence: n.store.fence,
+                });
+            }
+            land_batch(&mut n, c, epoch, &batch)?;
+        }
+        Action::SnapshotInstall { c } => {
+            debug_assert!(n.store.fence <= n.ctrls[c as usize].epoch);
+            n.store.snap = n.store.durable();
+            n.store.log.clear();
+            n.store.generation += 1;
+            n.snapshots += 1;
+        }
+        Action::Crash { c } => {
+            let ctrl = &mut n.ctrls[c as usize];
+            ctrl.crashed = true;
+            ctrl.inbox.clear();
+            ctrl.staged.clear();
+            ctrl.batch.clear();
+            ctrl.flush_checked = false;
+            n.crashes += 1;
+        }
+        Action::Recover { c } => {
+            let seen = n.store.max_epoch.max(n.store.fence);
+            let epoch = if cfg.mutation == Mutation::RecoverWithoutRefence {
+                seen
+            } else {
+                // The fix the checker forced: every incarnation gets a
+                // fresh epoch and fences out its predecessors.
+                let e = seen + 1;
+                n.store.fence = n.store.fence.max(e);
+                e
+            };
+            let ctrl = &mut n.ctrls[c as usize];
+            ctrl.crashed = false;
+            ctrl.epoch = epoch;
+            ctrl.view = n.store.durable();
+        }
+        Action::ShipSend => {
+            let idx = n.standby.shipped;
+            let entry = n.store.log[idx as usize];
+            n.inflight =
+                Some(ShipMsg { generation: n.store.generation, idx, w: entry.w });
+        }
+        Action::ShipDeliver | Action::ShipDup => {
+            let msg = n.inflight.expect("enabled only with an in-flight message");
+            if a == Action::ShipDeliver {
+                n.inflight = None;
+            }
+            // The cursor's generation + sequence check: stale or
+            // duplicated messages are ignored.
+            if msg.generation == n.store.generation
+                && msg.generation == n.standby.generation
+                && msg.idx == n.standby.shipped
+            {
+                n.standby.mirror |= bit(msg.w);
+                n.standby.shipped += 1;
+            }
+        }
+        Action::ShipDrop => {
+            n.inflight = None;
+        }
+        Action::ShipResync => {
+            n.standby.generation = n.store.generation;
+            n.standby.shipped = 0;
+            n.standby.mirror = n.store.snap;
+        }
+        Action::PromoteFence => {
+            let view = if cfg.mutation == Mutation::PromoteSkipsFinalPoll {
+                n.standby.mirror
+            } else {
+                // The final poll: promote consumes every whole durable
+                // record before the fence rises.
+                n.store.durable()
+            };
+            let seen = n.store.max_epoch.max(n.store.fence);
+            let epoch = if cfg.mutation == Mutation::PromoteWithoutEpochBump {
+                seen
+            } else {
+                seen + 1
+            };
+            if cfg.mutation != Mutation::SkipFenceRaiseOnPromote {
+                n.store.fence = n.store.fence.max(epoch);
+            }
+            n.standby.phase = StandbyPhase::Fenced { epoch, view, acked: n.acked };
+        }
+        Action::PromoteInstall => {
+            let StandbyPhase::Fenced { epoch, view, acked } = n.standby.phase else {
+                unreachable!("enabled only in the fenced phase");
+            };
+            // Invariant 2, promotion half: every write acknowledged at
+            // the fence point must be part of the promoted
+            // controller's state.
+            let lost = acked & !view;
+            if lost != 0 {
+                return Err(Violation::AckedWriteLostAtPromotion {
+                    w: lost.trailing_zeros() as u8,
+                });
+            }
+            if cfg.mutation != Mutation::SkipFenceRaiseOnPromote {
+                for b in &mut n.backends {
+                    b.fence = b.fence.max(epoch);
+                }
+            }
+            let ctrl = &mut n.ctrls[1];
+            *ctrl = Ctrl::fresh(true);
+            ctrl.epoch = epoch;
+            ctrl.view = view;
+            n.standby.phase = StandbyPhase::Promoted;
+        }
+    }
+    Ok(n)
+}
+
+/// Land a flushed batch in the store: the fence has been checked (or
+/// deliberately not, under the racy mutation) — what remains is the
+/// monotonicity check, the writer ledger, and the acknowledgement.
+fn land_batch(n: &mut State, c: CtrlId, epoch: u8, batch: &[WriteId]) -> Result<(), Violation> {
+    for &w in batch {
+        if epoch < n.store.max_epoch {
+            return Err(Violation::FencedWriteAccepted {
+                acceptor: u8::MAX,
+                epoch,
+                fence: n.store.max_epoch,
+            });
+        }
+        n.claim(epoch, c)?;
+        n.store.log.push(LogEntryS { w, epoch, writer: c });
+        n.store.max_epoch = n.store.max_epoch.max(epoch);
+        // Ack strictly after the durable append — the discipline
+        // `execute_batch` enforces since the checker forced it.
+        n.acked |= bit(w);
+    }
+    Ok(())
+}
+
+/// Exhaustive breadth-first check of `cfg`. Returns the exploration
+/// statistics and, when an invariant fails, the shortest violating
+/// action trace.
+pub fn check(cfg: &ModelConfig) -> CheckReport {
+    let start = Instant::now();
+    let initial = State::initial(cfg);
+    // id → (parent id, action that produced it); trace reconstruction
+    // walks this without keeping parent states alive.
+    let mut meta: Vec<(u32, Option<Action>)> = vec![(0, None)];
+    let mut visited: HashMap<State, u32> = HashMap::new();
+    visited.insert(initial.clone(), 0);
+    let mut frontier: VecDeque<(State, u32, u32)> = VecDeque::new();
+    frontier.push_back((initial, 0, 0));
+    let mut transitions = 0u64;
+    let mut max_depth = 0u32;
+    let mut frontier_peak = 1usize;
+    let mut depth_pruned = false;
+
+    let trace_of = |meta: &Vec<(u32, Option<Action>)>, mut id: u32| -> Vec<Action> {
+        let mut trace = Vec::new();
+        while let (parent, Some(action)) = meta[id as usize] {
+            trace.push(action);
+            id = parent;
+        }
+        trace.reverse();
+        trace
+    };
+
+    while let Some((state, id, depth)) = frontier.pop_front() {
+        if depth >= cfg.depth {
+            depth_pruned = true;
+            continue;
+        }
+        for action in enabled(&state, cfg) {
+            transitions += 1;
+            let next = match apply(&state, action, cfg) {
+                Ok(next) => next,
+                Err(violation) => {
+                    let mut trace = trace_of(&meta, id);
+                    trace.push(action);
+                    return CheckReport {
+                        config: *cfg,
+                        states: visited.len(),
+                        transitions,
+                        max_depth: max_depth.max(depth + 1),
+                        frontier_peak,
+                        elapsed: start.elapsed(),
+                        depth_pruned,
+                        counterexample: Some(Counterexample { violation, trace }),
+                    };
+                }
+            };
+            if let Err(violation) = next.check() {
+                let mut trace = trace_of(&meta, id);
+                trace.push(action);
+                return CheckReport {
+                    config: *cfg,
+                    states: visited.len(),
+                    transitions,
+                    max_depth: max_depth.max(depth + 1),
+                    frontier_peak,
+                    elapsed: start.elapsed(),
+                    depth_pruned,
+                    counterexample: Some(Counterexample { violation, trace }),
+                };
+            }
+            match visited.entry(next) {
+                MapEntry::Occupied(_) => {}
+                MapEntry::Vacant(slot) => {
+                    let next_id = meta.len() as u32;
+                    meta.push((id, Some(action)));
+                    let state = slot.key().clone();
+                    slot.insert(next_id);
+                    max_depth = max_depth.max(depth + 1);
+                    frontier.push_back((state, next_id, depth + 1));
+                    frontier_peak = frontier_peak.max(frontier.len());
+                }
+            }
+        }
+        if cfg.max_states > 0 && visited.len() >= cfg.max_states {
+            break;
+        }
+    }
+
+    CheckReport {
+        config: *cfg,
+        states: visited.len(),
+        transitions,
+        max_depth,
+        frontier_peak,
+        elapsed: start.elapsed(),
+        depth_pruned,
+        counterexample: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mutation: Mutation, depth: u32) -> CheckReport {
+        check(&ModelConfig {
+            depth,
+            ..ModelConfig::with_mutation(mutation)
+        })
+    }
+
+    #[test]
+    fn shallow_run_has_no_violation_and_dedupes_states() {
+        let report = quick(Mutation::None, 8);
+        assert!(report.counterexample.is_none(), "{}", report.summary());
+        assert!(report.states > 500, "too few states: {}", report.summary());
+        assert!(report.transitions > report.states as u64, "BFS must revisit states");
+    }
+
+    #[test]
+    fn every_mutation_is_caught_at_shallow_depth() {
+        for mutation in Mutation::ALL {
+            let report = quick(mutation, 12);
+            let ce = report
+                .counterexample
+                .unwrap_or_else(|| panic!("{} produced no counterexample", mutation.name()));
+            assert!(!ce.trace.is_empty());
+            let expected = match mutation {
+                Mutation::AckDespiteFailedFlush | Mutation::PromoteSkipsFinalPoll => 2,
+                _ => 1,
+            };
+            assert_eq!(
+                ce.violation.invariant(),
+                expected,
+                "{}: wrong invariant: {}",
+                mutation.name(),
+                ce.violation
+            );
+        }
+    }
+
+    #[test]
+    fn counterexample_renders_the_full_trace() {
+        let report = quick(Mutation::SkipFenceRaiseOnPromote, 12);
+        let ce = report.counterexample.expect("counterexample");
+        let text = ce.render();
+        assert!(text.contains("VIOLATION"));
+        assert!(text.lines().count() == ce.trace.len() + 1);
+    }
+
+    #[test]
+    fn bfs_finds_a_shortest_trace() {
+        // The ack-despite-failed-flush window needs at least: write →
+        // backend-write → wal-append → promote(fence) → flush. BFS
+        // must find it at exactly that depth, not deeper.
+        let report = quick(Mutation::AckDespiteFailedFlush, 12);
+        let ce = report.counterexample.expect("counterexample");
+        assert!(
+            ce.trace.len() <= 6,
+            "expected a minimal trace, got {} actions:\n{}",
+            ce.trace.len(),
+            ce.render()
+        );
+    }
+
+    #[test]
+    fn mutation_names_round_trip() {
+        for mutation in Mutation::ALL.iter().chain([Mutation::None].iter()) {
+            assert_eq!(Mutation::parse(mutation.name()), Some(*mutation));
+        }
+        assert_eq!(Mutation::parse("no-such-mutation"), None);
+    }
+}

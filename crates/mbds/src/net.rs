@@ -1461,6 +1461,16 @@ struct RemoteLogInner {
     /// local, never the partitioned old primary's.
     online: bool,
     seq: u64,
+    /// Send-direction frame counter for the fault plan (pull requests).
+    pulls: u64,
+    /// Recv-direction frame counter for the fault plan (pull replies).
+    replies: u64,
+    /// Reply held back by a recv-direction `Reorder`, with the `have`
+    /// offset its pull carried; delivered after the next reply.
+    held: Option<(WireReply, u64)>,
+    /// A `Sever` fault partitions the ship link: later syncs serve the
+    /// cached mirror, exactly like an unreachable primary.
+    severed: bool,
 }
 
 /// The standby's view of the primary's log, pulled over TCP. Implements
@@ -1475,6 +1485,10 @@ pub struct RemoteLog {
     /// How long one pull may take before the standby falls back to its
     /// cached state.
     timeout: Duration,
+    /// Optional fault plan consulted on every pull (send direction) and
+    /// reply (recv direction) under link id `link`.
+    plan: Option<Arc<Mutex<NetFaultPlan>>>,
+    link: usize,
 }
 
 impl std::fmt::Debug for RemoteLog {
@@ -1490,6 +1504,8 @@ impl RemoteLog {
             addr,
             inner: Arc::new(Mutex::new(RemoteLogInner { online: true, ..Default::default() })),
             timeout: Duration::from_millis(500),
+            plan: None,
+            link: 0,
         }
     }
 
@@ -1497,6 +1513,25 @@ impl RemoteLog {
     pub fn with_timeout(mut self, timeout: Duration) -> RemoteLog {
         self.timeout = timeout;
         self
+    }
+
+    /// Subject the ship link to `plan` under link id `link`: the send
+    /// direction counts pull requests, the recv direction counts pull
+    /// replies. Because each pull is its own one-shot connection, a
+    /// send-direction `Reorder` degenerates to a short delay (there is
+    /// no later frame on the same connection to slip behind); a
+    /// recv-direction `Reorder` holds the reply and delivers it — by
+    /// then stale — after the *next* pull's reply.
+    pub fn with_fault_plan(mut self, link: usize, plan: Arc<Mutex<NetFaultPlan>>) -> RemoteLog {
+        self.plan = Some(plan);
+        self.link = link;
+        self
+    }
+
+    fn plan_action(&self, dir: LinkDir, frame_no: u64) -> Option<NetFaultKind> {
+        let plan = self.plan.as_ref()?;
+        let plan = plan.lock().expect("net plan lock");
+        plan.action(self.link, dir, frame_no)
     }
 
     /// True while reads still sync from the primary.
@@ -1508,18 +1543,40 @@ impl RemoteLog {
     /// Unreachable or severed primaries leave the cache untouched.
     fn sync(&self) {
         let mut inner = self.inner.lock().expect("remote log lock");
-        if !inner.online {
+        if !inner.online || inner.severed {
             return;
         }
         inner.seq += 1;
         let seq = inner.seq;
-        let pull = WireOp::PullLog { generation: inner.generation, have: inner.lines.len() as u64 }
-            .into_frame(seq, 0);
+        let have = inner.lines.len() as u64;
+        let pull = WireOp::PullLog { generation: inner.generation, have }.into_frame(seq, 0);
+
+        // Send-direction faults on the pull request.
+        inner.pulls += 1;
+        match self.plan_action(LinkDir::Send, inner.pulls) {
+            Some(NetFaultKind::Drop) => return, // pull lost; the next read retries
+            Some(NetFaultKind::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(NetFaultKind::Reorder) => std::thread::sleep(Duration::from_millis(1)),
+            Some(NetFaultKind::Sever) => {
+                inner.severed = true;
+                return;
+            }
+            Some(NetFaultKind::Duplicate) | None => {}
+        }
+        let duplicate_pull =
+            matches!(self.plan_action(LinkDir::Send, inner.pulls), Some(NetFaultKind::Duplicate));
+
         let reply = (|| -> std::io::Result<Option<Frame>> {
             let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
             stream.set_nodelay(true).ok();
             stream.set_read_timeout(Some(self.timeout)).ok();
             stream.write_all(&pull.to_bytes())?;
+            if duplicate_pull {
+                // The wire delivers the pull twice; the server answers
+                // twice. Only the first reply is read — the apply path
+                // must make the duplicate harmless either way.
+                stream.write_all(&pull.to_bytes())?;
+            }
             stream.flush()?;
             let mut reader = FrameReader::new();
             loop {
@@ -1531,16 +1588,57 @@ impl RemoteLog {
             }
         })();
         let Ok(Some(frame)) = reply else { return };
-        let Ok(WireReply::LogDelta { generation, fence, snapshot, lines, full }) =
-            WireReply::from_frame(&frame)
-        else {
+        let Ok(reply) = WireReply::from_frame(&frame) else { return };
+
+        // Recv-direction faults on the reply.
+        inner.replies += 1;
+        match self.plan_action(LinkDir::Recv, inner.replies) {
+            Some(NetFaultKind::Drop) => return,
+            Some(NetFaultKind::DelayMs(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Self::apply_reply(&mut inner, reply, have);
+            }
+            Some(NetFaultKind::Duplicate) => {
+                Self::apply_reply(&mut inner, reply.clone(), have);
+                Self::apply_reply(&mut inner, reply, have);
+            }
+            Some(NetFaultKind::Reorder) => {
+                // Held back: this reply arrives — stale — after the
+                // next pull's reply.
+                inner.held = Some((reply, have));
+                return;
+            }
+            Some(NetFaultKind::Sever) => {
+                inner.severed = true;
+                return;
+            }
+            None => Self::apply_reply(&mut inner, reply, have),
+        }
+        if let Some((stale, stale_have)) = inner.held.take() {
+            Self::apply_reply(&mut inner, stale, stale_have);
+        }
+    }
+
+    /// Fold one pull reply into the replica. Replies can arrive late,
+    /// twice, or out of order under a fault plan, so application is
+    /// guarded: a tail reply splices only when the mirror still sits
+    /// exactly at the `have` offset its pull asked for (a duplicate or
+    /// stale tail would double-append), and a full reply never regresses
+    /// the mirror to an older generation or a shorter same-generation
+    /// history. The fence is monotonic regardless — fences only rise.
+    fn apply_reply(inner: &mut RemoteLogInner, reply: WireReply, have: u64) {
+        let WireReply::LogDelta { generation, fence, snapshot, lines, full } = reply else {
             return;
         };
         if full {
-            inner.snapshot = snapshot;
-            inner.lines = lines;
-            inner.generation = generation;
-        } else {
+            let regresses = generation < inner.generation
+                || (generation == inner.generation && lines.len() < inner.lines.len());
+            if !regresses {
+                inner.snapshot = snapshot;
+                inner.lines = lines;
+                inner.generation = generation;
+            }
+        } else if generation == inner.generation && inner.lines.len() as u64 == have {
             inner.lines.extend(lines);
         }
         inner.fence = inner.fence.max(fence);
@@ -1823,6 +1921,89 @@ mod tests {
             remote.log_lines().unwrap(),
             vec!["three".to_string(), "local".to_string()]
         );
+    }
+
+    /// Reply application is at-most-once and never regresses: duplicated
+    /// tails don't double-append, stale tails and stale full refreshes
+    /// are ignored, and the fence stays monotonic even on ignored
+    /// replies. This is the guard the ship-link fault plan leans on.
+    #[test]
+    fn ship_reply_application_is_at_most_once_and_never_regresses() {
+        let full = |generation: u64, fence: u64, lines: &[&str]| WireReply::LogDelta {
+            generation,
+            fence,
+            snapshot: Some("S".to_owned()),
+            lines: lines.iter().map(|s| (*s).to_owned()).collect(),
+            full: true,
+        };
+        let tail = |generation: u64, fence: u64, lines: &[&str]| WireReply::LogDelta {
+            generation,
+            fence,
+            snapshot: None,
+            lines: lines.iter().map(|s| (*s).to_owned()).collect(),
+            full: false,
+        };
+        let mut inner = RemoteLogInner { online: true, ..Default::default() };
+
+        RemoteLog::apply_reply(&mut inner, full(1, 0, &["a", "b"]), 0);
+        assert_eq!((inner.generation, inner.lines.len()), (1, 2));
+
+        // A tail at the offset its pull asked for extends…
+        RemoteLog::apply_reply(&mut inner, tail(1, 0, &["c"]), 2);
+        assert_eq!(inner.lines, ["a", "b", "c"]);
+        // …its duplicate (same have, mirror moved on) does not.
+        RemoteLog::apply_reply(&mut inner, tail(1, 0, &["c"]), 2);
+        assert_eq!(inner.lines, ["a", "b", "c"]);
+        // A reordered tail from an older pull is stale: ignored.
+        RemoteLog::apply_reply(&mut inner, tail(1, 0, &["b", "c"]), 1);
+        assert_eq!(inner.lines, ["a", "b", "c"]);
+        // A wrong-generation tail never splices.
+        RemoteLog::apply_reply(&mut inner, tail(0, 0, &["x"]), 3);
+        assert_eq!(inner.lines, ["a", "b", "c"]);
+
+        // A stale full refresh (same generation, shorter history) and
+        // an older-generation refresh both leave the mirror alone — but
+        // their fences still count.
+        RemoteLog::apply_reply(&mut inner, full(1, 5, &["a", "b"]), 0);
+        RemoteLog::apply_reply(&mut inner, full(0, 6, &["z"]), 0);
+        assert_eq!((inner.generation, inner.fence), (1, 6));
+        assert_eq!(inner.lines, ["a", "b", "c"]);
+
+        // A genuinely newer generation installs.
+        RemoteLog::apply_reply(&mut inner, full(2, 6, &["n"]), 0);
+        assert_eq!((inner.generation, inner.fence), (2, 6));
+        assert_eq!(inner.lines, ["n"]);
+    }
+
+    /// End-to-end ship link under faults: duplicated and reordered pull
+    /// replies (plus a dropped pull) still converge the replica to the
+    /// primary's exact log.
+    #[test]
+    fn faulty_ship_link_still_converges() {
+        let primary = MemLog::new();
+        let mut writer: Box<dyn LogStore> = Box::new(primary.clone());
+        let server = ShipServer::spawn(Box::new(primary.clone())).expect("ship server");
+        let plan = Arc::new(Mutex::new(
+            NetFaultPlan::new()
+                .with(7, LinkDir::Send, 2, NetFaultKind::Drop)
+                .with(7, LinkDir::Send, 4, NetFaultKind::Duplicate)
+                .with(7, LinkDir::Recv, 2, NetFaultKind::Duplicate)
+                .with(7, LinkDir::Recv, 3, NetFaultKind::Reorder)
+                .with(7, LinkDir::Recv, 5, NetFaultKind::Drop),
+        ));
+        let remote = RemoteLog::connect(server.addr()).with_fault_plan(7, Arc::clone(&plan));
+        let mut want = Vec::new();
+        for i in 0..8 {
+            let line = format!("line-{i}");
+            writer.append_line(&line).unwrap();
+            want.push(line);
+            remote.log_lines().unwrap(); // one faulty pull per append
+        }
+        // Faults exhausted: the next pulls are clean and must land the
+        // replica on the primary's exact log, nothing torn or doubled.
+        remote.log_lines().unwrap();
+        assert_eq!(remote.log_lines().unwrap(), want);
+        assert_eq!(primary.log_lines().unwrap(), want);
     }
 
     /// A RemoteLog whose primary is unreachable serves its cache — a

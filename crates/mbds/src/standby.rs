@@ -309,8 +309,8 @@ mod tests {
         insert(&mut p, "f", 100);
         let digest = p.state_digest().unwrap();
         drop(p);
-        // Cold recovery adopts the fenced epoch — the store must not
-        // fence out its own lineage.
+        // Cold recovery starts a new lineage *above* the fenced epoch —
+        // the store must not fence out its own recovery.
         let mut r = Controller::recover_with(log).unwrap();
         assert_eq!(r.state_digest().unwrap(), digest);
         insert(&mut r, "f", 101);

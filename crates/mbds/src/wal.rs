@@ -356,6 +356,12 @@ impl SnapshotData {
     }
 }
 
+/// The error an epoch-fenced store operation returns when the fence
+/// has passed the writer's epoch.
+pub(crate) fn fence_refused(epoch: u64, fence: u64) -> Error {
+    Error::Unavailable(format!("controller fenced: epoch {epoch} superseded by {fence}"))
+}
+
 /// Where the snapshot and the log physically live.
 pub trait LogStore: Send {
     /// Durably append one log line.
@@ -368,6 +374,40 @@ pub trait LogStore: Send {
             self.append_line(line)?;
         }
         Ok(())
+    }
+    /// [`LogStore::append_line`], refused when the store's fence epoch
+    /// has passed `epoch` — *checked atomically with the append* where
+    /// the store can (the model checker's `racy-flush-fence` mutation
+    /// shows why: with a separate check-then-act, a promotion landing
+    /// between the two lets a demoted primary's line into the new
+    /// lineage's log). The default is the best a store without shared
+    /// locking can do; shared stores ([`MemLog`], `RemoteLog`) override
+    /// it to check under the same lock as the write.
+    fn append_line_fenced(&mut self, line: &str, epoch: u64) -> Result<()> {
+        let fence = self.fence_epoch()?;
+        if fence > epoch {
+            return Err(fence_refused(epoch, fence));
+        }
+        self.append_line(line)
+    }
+    /// [`LogStore::append_lines`] with the same atomic fence check as
+    /// [`LogStore::append_line_fenced`] — the group-commit flush path.
+    fn append_lines_fenced(&mut self, lines: &[String], epoch: u64) -> Result<()> {
+        let fence = self.fence_epoch()?;
+        if fence > epoch {
+            return Err(fence_refused(epoch, fence));
+        }
+        self.append_lines(lines)
+    }
+    /// [`LogStore::install_snapshot`] with the same atomic fence check
+    /// — a demoted primary must not truncate the promoted lineage's
+    /// log with a stale compaction.
+    fn install_snapshot_fenced(&mut self, text: &str, epoch: u64) -> Result<()> {
+        let fence = self.fence_epoch()?;
+        if fence > epoch {
+            return Err(fence_refused(epoch, fence));
+        }
+        self.install_snapshot(text)
     }
     /// All log lines appended since the last snapshot install.
     fn log_lines(&self) -> Result<Vec<String>>;
@@ -451,6 +491,40 @@ impl MemLog {
 impl LogStore for MemLog {
     fn append_line(&mut self, line: &str) -> Result<()> {
         self.inner.lock().expect("memlog lock").lines.push(line.to_owned());
+        Ok(())
+    }
+
+    // The fenced variants hold the one lock across check *and* write:
+    // a concurrent promotion raises the fence either before this append
+    // (refused) or after it (the line is part of the prefix the
+    // promotion consumed) — never in between.
+
+    fn append_line_fenced(&mut self, line: &str, epoch: u64) -> Result<()> {
+        let mut inner = self.inner.lock().expect("memlog lock");
+        if inner.fence > epoch {
+            return Err(fence_refused(epoch, inner.fence));
+        }
+        inner.lines.push(line.to_owned());
+        Ok(())
+    }
+
+    fn append_lines_fenced(&mut self, lines: &[String], epoch: u64) -> Result<()> {
+        let mut inner = self.inner.lock().expect("memlog lock");
+        if inner.fence > epoch {
+            return Err(fence_refused(epoch, inner.fence));
+        }
+        inner.lines.extend(lines.iter().cloned());
+        Ok(())
+    }
+
+    fn install_snapshot_fenced(&mut self, text: &str, epoch: u64) -> Result<()> {
+        let mut inner = self.inner.lock().expect("memlog lock");
+        if inner.fence > epoch {
+            return Err(fence_refused(epoch, inner.fence));
+        }
+        inner.snapshot = Some(text.to_owned());
+        inner.lines.clear();
+        inner.generation += 1;
         Ok(())
     }
 
@@ -796,12 +870,12 @@ impl Wal {
         // Epoch fence: once a standby has promoted (raising the store's
         // fence), every append from this demoted log is refused *before*
         // anything is written — the store never sees a stale record.
+        // This early check keeps already-fenced appends out of the batch
+        // buffer; the authoritative check is the store-side one, atomic
+        // with the write itself.
         let fence = self.store.fence_epoch()?;
         if fence > self.epoch {
-            return Err(Error::Unavailable(format!(
-                "controller fenced: epoch {} superseded by {fence}",
-                self.epoch
-            )));
+            return Err(fence_refused(self.epoch, fence));
         }
         let seq = self.next_seq;
         let body = format!("{seq} {} {}", self.epoch, rec.encode());
@@ -809,7 +883,7 @@ impl Wal {
         if self.batch_depth > 0 {
             self.buffered.push(line);
         } else {
-            self.store.append_line(&line)?;
+            self.store.append_line_fenced(&line, self.epoch)?;
             self.stats.syncs += 1;
         }
         self.stats.appends += 1;
@@ -862,22 +936,16 @@ impl Wal {
         if self.buffered.is_empty() {
             return Ok(());
         }
-        // Re-check the fence at flush time: a promotion that landed
-        // between buffering and commit must keep these lines out of the
-        // store (the demoted primary leaves no post-fence records).
-        let fence = self.store.fence_epoch()?;
-        if fence > self.epoch {
-            self.buffered.clear();
-            return Err(Error::Unavailable(format!(
-                "controller fenced: epoch {} superseded by {fence}",
-                self.epoch
-            )));
-        }
+        // The fence is re-checked at flush time, atomically with the
+        // write: a promotion that landed between buffering and commit
+        // must keep these lines out of the store (the demoted primary
+        // leaves no post-fence records), and a promotion landing
+        // *during* the flush must land on one side of it, not inside.
         let lines = std::mem::take(&mut self.buffered);
         self.stats.batches += 1;
         self.stats.syncs += 1;
         self.stats.max_batch = self.stats.max_batch.max(lines.len() as u64);
-        self.store.append_lines(&lines)
+        self.store.append_lines_fenced(&lines, self.epoch)
     }
 
     /// Install a compacted snapshot and truncate the log.
@@ -885,18 +953,23 @@ impl Wal {
         // Entries still buffered by an open batch describe mutations the
         // snapshot already reflects; installing it makes them moot.
         self.buffered.clear();
-        let fence = self.store.fence_epoch()?;
-        if fence > self.epoch {
-            return Err(Error::Unavailable(format!(
-                "controller fenced: epoch {} superseded by {fence}",
-                self.epoch
-            )));
-        }
-        self.store.install_snapshot(text)?;
+        self.store.install_snapshot_fenced(text, self.epoch)?;
         self.stats.snapshot_installs += 1;
         self.appends_since_snapshot = 0;
         self.next_seq = 1;
         Ok(())
+    }
+
+    /// Raise this log's epoch to at least `epoch` and durably raise the
+    /// store's fence to match. Cold recovery calls this to fence out
+    /// every earlier incarnation writing the same store: without it, a
+    /// recovered controller adopts the highest epoch the store has seen
+    /// and *shares* it with whoever stamped it — the model checker's
+    /// `recover-without-refence` mutation produces exactly that
+    /// split-brain trace.
+    pub fn refence(&mut self, epoch: u64) -> Result<()> {
+        self.epoch = self.epoch.max(epoch);
+        self.store.set_fence_epoch(self.epoch)
     }
 
     /// Snapshot every `every` appends (0 disables).
@@ -1002,22 +1075,37 @@ impl LogCursor {
     /// changed (the follower must rebuild), otherwise the fresh
     /// entries (possibly none).
     pub fn poll(&mut self) -> Result<CursorUpdate> {
-        let generation = self.store.generation()?;
-        if generation != self.generation {
-            // The log was truncated (snapshot install) since the last
-            // poll — or this is the first poll ever. Restart from the
-            // snapshot; sequence numbering reset with the truncation.
-            self.generation = generation;
-            self.consumed = 0;
-            self.next_seq = 1;
-            self.bytes_behind = 0;
-            if let Some(text) = self.store.read_snapshot()? {
-                return Ok(CursorUpdate::Snapshot(text));
+        let lines = loop {
+            let generation = self.store.generation()?;
+            if generation != self.generation {
+                // The log was truncated (snapshot install) since the
+                // last poll — or this is the first poll ever. Restart
+                // from the snapshot; sequence numbering reset with the
+                // truncation.
+                self.generation = generation;
+                self.consumed = 0;
+                self.next_seq = 1;
+                self.bytes_behind = 0;
+                if let Some(text) = self.store.read_snapshot()? {
+                    return Ok(CursorUpdate::Snapshot(text));
+                }
+                // No snapshot installed yet (fresh store): fall through
+                // and consume log entries directly.
             }
-            // No snapshot installed yet (fresh store): fall through and
-            // consume log entries directly.
-        }
-        let lines = self.store.log_lines()?;
+            let lines = self.store.log_lines()?;
+            // Generation sandwich: a snapshot install landing between
+            // the two reads above truncates the log and resets its
+            // sequence numbering, so `lines` belongs to a generation
+            // this cursor has not resynced to — its line at our
+            // `consumed` offset can even carry the sequence number we
+            // expect next, which a naïve read would consume as a
+            // continuation, silently skipping the snapshot (and every
+            // compacted entry in it). Re-read the generation and retry
+            // until the pair is consistent.
+            if self.store.generation()? == generation {
+                break lines;
+            }
+        };
         let mut entries = Vec::new();
         let mut behind = 0u64;
         for line in lines.iter().skip(self.consumed) {

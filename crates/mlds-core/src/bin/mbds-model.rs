@@ -1,0 +1,112 @@
+//! `mbds-model` — offline driver for the explicit-state model checker
+//! of the epoch-fenced failover protocol (`mbds::model`).
+//!
+//! CI runs the bounded configuration through `tests/model_check.rs`;
+//! this binary exists for deeper sweeps on a workstation:
+//!
+//! ```sh
+//! # the CI configuration, exhaustively:
+//! cargo run --release -p mlds-core --bin mbds-model
+//! # deeper / wider:
+//! cargo run --release -p mlds-core --bin mbds-model -- --depth 16 --writes 5
+//! # one intentionally broken protocol variant (expects a counterexample):
+//! cargo run --release -p mlds-core --bin mbds-model -- --mutation skip-fence-raise
+//! # the full verification matrix (protocol must hold, every mutation must fail):
+//! cargo run --release -p mlds-core --bin mbds-model -- --sweep
+//! ```
+//!
+//! Exit status is 0 when the run matches expectations (no violation
+//! for the real protocol, a counterexample for every mutation) and 1
+//! otherwise. `--trace-out PATH` writes the counterexample trace for
+//! CI to upload as an artifact.
+
+use mbds::model::{check, ModelConfig, Mutation};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mbds-model [--depth N] [--writes N] [--backends N] [--crashes N] \
+         [--snapshots N] [--max-states N] [--mutation NAME] [--sweep] [--trace-out PATH]\n\
+         mutations: {}",
+        Mutation::ALL
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ModelConfig::small();
+    let mut sweep = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> u32 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--depth" => cfg.depth = num(&mut args),
+            "--writes" => cfg.writes = num(&mut args).min(16) as u8,
+            "--backends" => cfg.backends = num(&mut args).min(8) as u8,
+            "--crashes" => cfg.max_crashes = num(&mut args) as u8,
+            "--snapshots" => cfg.max_snapshots = num(&mut args) as u8,
+            "--max-states" => cfg.max_states = num(&mut args) as usize,
+            "--mutation" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                cfg.mutation = Mutation::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown mutation `{name}`");
+                    usage()
+                });
+            }
+            "--sweep" => sweep = true,
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    let mutations: Vec<Mutation> = if sweep {
+        std::iter::once(Mutation::None).chain(Mutation::ALL).collect()
+    } else {
+        vec![cfg.mutation]
+    };
+
+    let mut ok = true;
+    for mutation in mutations {
+        let run_cfg = ModelConfig { mutation, ..cfg };
+        let report = check(&run_cfg);
+        println!("{}", report.summary());
+        let expected_violation = mutation != Mutation::None;
+        match (&report.counterexample, expected_violation) {
+            (None, false) | (Some(_), true) => {}
+            (None, true) => {
+                eprintln!("FAIL: mutation {} produced no counterexample", mutation.name());
+                ok = false;
+            }
+            (Some(_), false) => {
+                eprintln!("FAIL: the real protocol violated an invariant");
+                ok = false;
+            }
+        }
+        if let Some(ce) = &report.counterexample {
+            let rendered = ce.render();
+            if !expected_violation {
+                eprint!("{rendered}");
+            }
+            if let Some(path) = &trace_out {
+                let tagged = format!("mutation={}\n{rendered}", mutation.name());
+                if let Err(e) = std::fs::write(path, tagged) {
+                    eprintln!("could not write {path}: {e}");
+                }
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

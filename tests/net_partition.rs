@@ -7,7 +7,7 @@
 //! controller never pre-checks locally, so every rejection in this file
 //! travelled the wire.
 //!
-//! Four properties:
+//! Five properties:
 //!
 //! 1. **Transport parity** — the same seeded workload (inserts,
 //!    updates, deletes, kills, restarts) produces byte-identical state
@@ -27,6 +27,10 @@
 //!    goes down *again* must be tracked Alive→Dead→Alive→Dead by the
 //!    health board, with `reconnect_backend` restoring the live process
 //!    (data intact, no re-replication restart) on each recovery.
+//! 5. **Faulty ship link** — drops, duplicates and reorders on the WAL
+//!    ship link itself; the standby's at-most-once reply application
+//!    converges its mirror to the primary's digest and promotes
+//!    cleanly.
 
 use mlds::abdl::parse::parse_request;
 use mlds::abdl::prng::Prng;
@@ -320,4 +324,65 @@ fn health_board_tracks_a_flapping_backend() {
     let count = parse_request("RETRIEVE ((FILE = f) and (v > 99)) (*)").unwrap();
     let n = c.execute(&count).unwrap().records().len();
     assert_eq!(n, 25, "every write issued around the outages must exist exactly once");
+}
+
+/// Property 5 — a faulty *ship* link. The standby tails the primary's
+/// WAL through a `RemoteLog` whose pull requests and replies are
+/// dropped, duplicated and reordered by a `NetFaultPlan`. At-most-once
+/// reply application on the replica must absorb every duplicate and
+/// stale delivery: the standby converges, and its promotion serves the
+/// primary's exact digest and query answers.
+#[test]
+fn faulty_ship_link_standby_converges_and_promotes_to_primary_digest() {
+    use std::sync::{Arc, Mutex};
+
+    let ops = gen_ops(0x5711, 50, false);
+    let log = MemLog::new();
+    let mut c = Controller::durable_with(BACKENDS, REPLICATION, log.clone()).unwrap();
+    c.try_create_file("f").unwrap();
+
+    // The ship link carries faults: duplicates and reorders front and
+    // centre (the satellite under test), drops for good measure. All
+    // fire in the first ~30 frames; the workload generates ~150, so the
+    // tail of the run and promote's final poll are clean.
+    let plan = Arc::new(Mutex::new(
+        NetFaultPlan::new()
+            .with(0, LinkDir::Recv, 3, NetFaultKind::Reorder)
+            .with(0, LinkDir::Recv, 5, NetFaultKind::Duplicate)
+            .with(0, LinkDir::Recv, 9, NetFaultKind::Reorder)
+            .with(0, LinkDir::Recv, 11, NetFaultKind::Duplicate)
+            .with(0, LinkDir::Recv, 13, NetFaultKind::Drop)
+            .with(0, LinkDir::Recv, 17, NetFaultKind::Reorder)
+            .with(0, LinkDir::Recv, 21, NetFaultKind::Duplicate)
+            .with(0, LinkDir::Send, 4, NetFaultKind::Duplicate)
+            .with(0, LinkDir::Send, 7, NetFaultKind::Drop)
+            .with(0, LinkDir::Send, 14, NetFaultKind::Duplicate)
+            .with(0, LinkDir::Send, 19, NetFaultKind::Drop)
+            .with(0, LinkDir::Send, 25, NetFaultKind::Reorder),
+    ));
+    let ship = ShipServer::spawn(Box::new(log.clone())).unwrap();
+    let remote = RemoteLog::connect(ship.addr()).with_fault_plan(0, Arc::clone(&plan));
+    let mut sb = c.standby(Box::new(remote)).unwrap();
+
+    for op in &ops {
+        apply(&mut c, op);
+        sb.poll().unwrap();
+    }
+    let want_digest = c.state_digest().unwrap();
+    let want_answers = probe(&mut c);
+
+    // A couple of clean polls flush any reply still held by a reorder,
+    // then the standby's own mirror must already match the primary.
+    sb.poll().unwrap();
+    sb.poll().unwrap();
+    assert_eq!(sb.state_digest(), want_digest, "standby mirror diverged under ship faults");
+
+    // Promotion fences the primary and serves the identical state.
+    let mut p = sb.promote().unwrap();
+    assert_eq!(p.state_digest().unwrap(), want_digest);
+    assert_eq!(probe(&mut p), want_answers);
+    let err = c.execute(&insert_req(9001)).expect_err("fenced primary must not write");
+    assert!(err.to_string().contains("fenced"), "unexpected rejection: {err}");
+    drop(c);
+    p.execute(&insert_req(4242)).unwrap();
 }
