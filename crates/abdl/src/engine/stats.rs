@@ -67,6 +67,20 @@ pub struct ExecTotals {
     /// requests were staged to the backends together (in-flight
     /// concurrently) instead of round-tripping one by one.
     pub sched_flights: u64,
+    /// Of those, flights consisting solely of reads (retrieves staged
+    /// in parallel; broadcast reads may ride along since read pairs
+    /// always commute).
+    pub sched_read_flights: u64,
+    /// Of those, flights mixing reads and inserts — key-/file-disjoint
+    /// footprints let both kinds share the backend bus.
+    pub sched_mixed_flights: u64,
+    /// Key-scoped point reads sent as a *single-backend* probe instead
+    /// of a replica-group round (the flight scheduler's fast path; a
+    /// probe that dies mid-flight fails over to the next replica).
+    pub read_probes: u64,
+    /// Probe failovers: a probed backend died mid-flight and a replica
+    /// answered instead.
+    pub read_probe_failovers: u64,
     /// Largest flight formed — the peak number of requests in flight
     /// on the backend bus at once.
     pub sched_max_flight: u64,

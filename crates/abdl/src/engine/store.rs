@@ -92,7 +92,12 @@ impl Store {
     /// INSERTs whose values for *all* attributes of the group duplicate
     /// an existing record's are rejected.
     pub fn add_unique_constraint(&mut self, file: impl Into<String>, attrs: Vec<String>) {
-        self.files.entry(file.into()).or_default().unique_groups.push(attrs);
+        let groups = &mut self.files.entry(file.into()).or_default().unique_groups;
+        // Idempotent: re-registering an existing group (a reloaded
+        // schema, a repeated `.spawn` seed) must not double-check it.
+        if !groups.contains(&attrs) {
+            groups.push(attrs);
+        }
     }
 
     /// Names of all files, in sorted order.

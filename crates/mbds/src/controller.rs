@@ -104,6 +104,48 @@ struct StagedInsert {
     msgs: u64,
 }
 
+/// One read flight member's state between the batch scheduler's
+/// staging (send) and collection (reply) phases — the read-side
+/// counterpart of [`StagedInsert`].
+struct StagedRead {
+    seq: u64,
+    /// The request actually sent (`retrieve_all` for aggregates, the
+    /// original retrieve otherwise) — kept for probe failover resends.
+    wire: Request,
+    /// Backends the round reached.
+    sent: Vec<usize>,
+    /// Untried replicas that can each answer the whole probe, in
+    /// failover order (empty for non-probe reads).
+    fallback: Vec<usize>,
+    /// Merged partial responses collected so far.
+    merged: Response,
+    /// First error any contacted backend returned (the round is always
+    /// fully drained first).
+    err: Option<Error>,
+    /// A contacted backend died before answering. For a probe the
+    /// merged answer is missing entirely and phase 3 fails over to a
+    /// replica; for a routed round the survivors carry the answer
+    /// (degraded-mode reporting covers the rest), exactly like
+    /// `send_round`.
+    lost: bool,
+    /// True when this member went out as a single-backend probe.
+    probe: bool,
+    /// Backend messages attributed to this member's response.
+    msgs: u64,
+}
+
+/// One member of a batch flight, in admission order.
+enum FlightItem<'a> {
+    Insert(&'a Record),
+    Read(&'a Request),
+}
+
+/// A flight member's in-flight state, same position as its item.
+enum Staged {
+    Insert(Result<StagedInsert>),
+    Read(Box<StagedRead>),
+}
+
 struct BackendHandle {
     tx: Sender<Envelope>,
     rx: Receiver<Reply>,
@@ -225,6 +267,13 @@ pub struct Controller {
     /// Replica writes sent to the whole wave concurrently (`false` =
     /// one sequential round trip per replica, the E15 baseline).
     parallel_writes: bool,
+    /// Reads admitted into batch flights (`false` = every read
+    /// round-trips solo inside the batch, the pre-PR9 behaviour and
+    /// the E20 serial-read baseline).
+    parallel_reads: bool,
+    /// Key-scoped single-backend probes sent, per backend — how evenly
+    /// the point-read load spreads across replica groups.
+    read_probes_by_backend: Vec<u64>,
     /// Lifetime execution counters (requests, messages, examined).
     totals: ExecTotals,
     /// `Some` when the backends are separate OS processes over TCP.
@@ -351,6 +400,8 @@ impl Controller {
             scoped_routing: true,
             unique_via_index: true,
             parallel_writes: true,
+            parallel_reads: true,
+            read_probes_by_backend: vec![0; n],
             totals: ExecTotals::default(),
             net: None,
             retry_budget: DEFAULT_RETRY_BUDGET,
@@ -539,6 +590,8 @@ impl Controller {
             scoped_routing: true,
             unique_via_index: true,
             parallel_writes: true,
+            parallel_reads: true,
+            read_probes_by_backend: vec![0; n],
             totals: ExecTotals::default(),
             net: link.net,
             retry_budget: DEFAULT_RETRY_BUDGET,
@@ -818,6 +871,21 @@ impl Controller {
         self.parallel_writes = on;
     }
 
+    /// Toggle read flights in the batch scheduler (on by default).
+    /// Off = every read in an admitted batch round-trips solo in
+    /// admission order — the pre-flight behaviour and the E20
+    /// serial-read baseline. Insert flights are unaffected.
+    pub fn set_parallel_reads(&mut self, on: bool) {
+        self.parallel_reads = on;
+    }
+
+    /// Key-scoped single-backend probes sent, per backend — the
+    /// scheduler's point-read load spread. Sums to
+    /// [`ExecTotals::read_probes`](abdl::ExecTotals).
+    pub fn read_probe_counts(&self) -> &[u64] {
+        &self.read_probes_by_backend
+    }
+
     /// A deterministic rendering of the unique-value index, for the
     /// recovery harness: a rebuilt controller must produce exactly the
     /// live controller's digest.
@@ -928,6 +996,12 @@ impl Controller {
     /// rare). Shared by the live path and WAL replay.
     fn register_unique(&mut self, file: &str, attrs: Vec<String>) {
         let groups = self.unique_groups.entry(file.to_owned()).or_default();
+        // Idempotent: re-registering an existing group (WAL replay of
+        // a doubly-logged constraint, a repeated `.spawn` seed) must
+        // not add a second copy for every insert to check.
+        if groups.contains(&attrs) {
+            return;
+        }
         groups.push(attrs);
         let gi = groups.len() - 1;
         let populated =
@@ -1856,95 +1930,288 @@ impl Controller {
         Ok(Response::with_affected(1, Default::default()))
     }
 
-    /// Execute a flight of pairwise non-conflicting inserts with their
-    /// replica writes pipelined: every member's wave is sent before any
-    /// reply is awaited, so the flight costs one round-trip latency
-    /// instead of one per member.
+    /// Execute a flight of pairwise non-conflicting inserts and
+    /// retrieves with their backend rounds pipelined: every member's
+    /// sends go out before any reply is awaited, so the flight costs
+    /// one round-trip latency instead of one per member.
     ///
     /// Order discipline: all three phases walk the flight in admission
     /// order. The controller-side reads (unique check, key allocation,
-    /// rotor step) happen serially during staging, and the per-backend
-    /// channels are FIFO, so each backend observes the members' writes
-    /// in admission order and the replies come back in the same order
-    /// the collection phase awaits them — the flight is equivalent to
-    /// executing its members serially.
-    fn execute_flight(&mut self, records: &[&Record]) -> Vec<Result<Response>> {
-        let n = self.backends.len();
-        // Phase 1 — stage: per-member bookkeeping, then the first
-        // replica wave's sends, no replies awaited.
-        let mut staged: Vec<Result<StagedInsert>> = Vec::with_capacity(records.len());
-        for record in records {
+    /// rotor step, routing) happen serially during staging, and the
+    /// per-backend channels are FIFO, so each backend observes the
+    /// members' operations in admission order and the replies come
+    /// back in the same order the collection phase awaits them — the
+    /// flight is equivalent to executing its members serially.
+    ///
+    /// Reads ride the same discipline. A read staged after an insert
+    /// of the same flight routes against the directory as it stood
+    /// *before* the flight's inserts commit in phase 3 — harmless,
+    /// because the scheduler only admits a read next to inserts whose
+    /// footprints don't conflict with it: none of the flight's new
+    /// records can match the read's qualification, so missing their
+    /// placements cannot change the answer.
+    fn execute_flight(&mut self, items: &[FlightItem]) -> Vec<Result<Response>> {
+        // Phase 1 — stage: per-member bookkeeping, then the member's
+        // sends (first replica wave / routed read round), no replies
+        // awaited.
+        let mut staged: Vec<Staged> = Vec::with_capacity(items.len());
+        for item in items {
             self.totals.requests += 1;
-            if let Err(e) = self.check_unique(record) {
-                staged.push(Err(e));
-                continue;
-            }
-            let Some(file) = record.file().map(str::to_owned) else {
-                staged.push(Err(Error::MissingFileKeyword));
-                continue;
-            };
-            let key = self.alloc_key();
-            let group = self.partitioner.place_group(&file, self.replication);
-            let primary = group[0];
-            let want = if self.parallel_writes { self.replication } else { 1 };
-            let mut scanned = 0usize;
-            let mut wave = Vec::new();
-            while wave.len() < want && scanned < n {
-                let i = (primary + scanned) % n;
-                scanned += 1;
-                if self.health.is_serving(i) {
-                    wave.push(i);
+            match item {
+                FlightItem::Insert(record) => {
+                    staged.push(Staged::Insert(self.stage_insert(record)));
+                }
+                FlightItem::Read(request) => {
+                    staged.push(Staged::Read(Box::new(self.stage_read(request))));
                 }
             }
-            let seq = self.next_seq();
-            let mut sent = Vec::new();
-            let mut msgs = 0u64;
-            for &i in &wave {
-                msgs += 1;
-                if self.send_to(i, seq, BackendOp::InsertWithKey(key, (*record).clone())) {
-                    sent.push(i);
-                }
-            }
-            staged.push(Ok(StagedInsert {
-                key,
-                file,
-                seq,
-                sent,
-                assigned: Vec::new(),
-                err: None,
-                primary,
-                scanned,
-                msgs,
-            }));
         }
         // Phase 2 — collect: await every staged reply in admission
         // order (FIFO channels deliver them in exactly this order).
         // Nothing new is sent here, so no member's pending reply can
         // be mistaken for a stale one and discarded.
-        for s in staged.iter_mut().flatten() {
-            let mut first_err = None;
-            for idx in 0..s.sent.len() {
-                let i = s.sent[idx];
-                match self.recv_reply(i, s.seq) {
-                    Some(Ok(_)) => s.assigned.push(i),
-                    Some(Err(e)) if first_err.is_none() => first_err = Some(e),
-                    Some(Err(_)) => {}
-                    None => {} // died mid-flight; substituted in phase 3
+        for s in &mut staged {
+            match s {
+                Staged::Insert(Ok(si)) => {
+                    let mut first_err = None;
+                    for idx in 0..si.sent.len() {
+                        let i = si.sent[idx];
+                        match self.recv_reply(i, si.seq) {
+                            Some(Ok(_)) => si.assigned.push(i),
+                            Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                            Some(Err(_)) => {}
+                            None => {} // died mid-flight; substituted in phase 3
+                        }
+                    }
+                    si.err = first_err;
+                }
+                Staged::Insert(Err(_)) => {}
+                Staged::Read(sr) => {
+                    for idx in 0..sr.sent.len() {
+                        let i = sr.sent[idx];
+                        match self.recv_reply(i, sr.seq) {
+                            Some(Ok(resp)) => sr.merged.merge(resp),
+                            Some(Err(e)) if sr.err.is_none() => sr.err = Some(e),
+                            Some(Err(_)) => {}
+                            // Died mid-flight. A probe's whole answer is
+                            // gone (phase 3 fails over); a routed round's
+                            // survivors carry it, like `send_round`.
+                            None => sr.lost = true,
+                        }
+                    }
                 }
             }
-            s.err = first_err;
         }
         // Phase 3 — finish: with the bus idle again, run substitute
-        // waves for members short of replicas, then the directory /
-        // index / WAL bookkeeping, all in admission order.
-        records
+        // waves / probe failovers for members the mid-flight deaths
+        // left short, then the per-member bookkeeping, all in
+        // admission order.
+        items
             .iter()
             .zip(staged)
-            .map(|(record, s)| match s {
-                Err(e) => Err(e),
-                Ok(s) => self.finish_staged_insert(record, s),
+            .map(|(item, s)| match (item, s) {
+                (_, Staged::Insert(Err(e))) => Err(e),
+                (FlightItem::Insert(record), Staged::Insert(Ok(s))) => {
+                    self.finish_staged_insert(record, s)
+                }
+                (FlightItem::Read(request), Staged::Read(s)) => self.finish_staged_read(request, *s),
+                _ => unreachable!("flight item and staged state disagree"),
             })
             .collect()
+    }
+
+    /// Phase-1 bookkeeping and first replica wave for one insert
+    /// flight member — the staging half of [`Controller::insert`].
+    fn stage_insert(&mut self, record: &Record) -> Result<StagedInsert> {
+        self.check_unique(record)?;
+        let file = record.file().map(str::to_owned).ok_or(Error::MissingFileKeyword)?;
+        let n = self.backends.len();
+        let key = self.alloc_key();
+        let group = self.partitioner.place_group(&file, self.replication);
+        let primary = group[0];
+        let want = if self.parallel_writes { self.replication } else { 1 };
+        let mut scanned = 0usize;
+        let mut wave = Vec::new();
+        while wave.len() < want && scanned < n {
+            let i = (primary + scanned) % n;
+            scanned += 1;
+            if self.health.is_serving(i) {
+                wave.push(i);
+            }
+        }
+        let seq = self.next_seq();
+        let mut sent = Vec::new();
+        let mut msgs = 0u64;
+        for &i in &wave {
+            msgs += 1;
+            if self.send_to(i, seq, BackendOp::InsertWithKey(key, record.clone())) {
+                sent.push(i);
+            }
+        }
+        Ok(StagedInsert {
+            key,
+            file,
+            seq,
+            sent,
+            assigned: Vec::new(),
+            err: None,
+            primary,
+            scanned,
+            msgs,
+        })
+    }
+
+    /// Phase-1 routing and sends for one read flight member. Prefers a
+    /// single-backend probe when the unique index pins every disjunct
+    /// to keys one serving backend fully covers; otherwise the same
+    /// scoped/broadcast round `send_round` would run, just without
+    /// awaiting the replies yet.
+    fn stage_read(&mut self, request: &Request) -> StagedRead {
+        let (wire, query) = match request {
+            // Partial aggregates do not merge (AVG); stage the raw
+            // retrieve and aggregate globally in phase 3, exactly as
+            // the solo path does.
+            Request::Retrieve { query, target, .. } if target.has_aggregates() => {
+                (Request::retrieve_all(query.clone()), query)
+            }
+            Request::Retrieve { query, .. } => (request.clone(), query),
+            _ => unreachable!("read flights hold only retrieves"),
+        };
+        let (targets, fallback, probe) = match self.probe_plan(query) {
+            Some((first, rest)) => (Some(vec![first]), rest, true),
+            None => (self.route_targets(query), Vec::new(), false),
+        };
+        let unavailable = self.health.serving_count() == 0;
+        let seq = self.next_seq();
+        let mut sent = Vec::new();
+        let mut msgs = 0u64;
+        let round: Vec<usize> = match &targets {
+            None => (0..self.backends.len()).collect(),
+            Some(ts) => ts.clone(),
+        };
+        for i in round {
+            if self.health.is_serving(i) {
+                msgs += 1;
+                if self.send_to(i, seq, BackendOp::Exec(wire.clone())) {
+                    sent.push(i);
+                }
+            }
+        }
+        if probe {
+            self.totals.read_probes += sent.len() as u64;
+            for &i in &sent {
+                self.read_probes_by_backend[i] += 1;
+            }
+        }
+        // Mirror `send_round`'s unavailability contract: a broadcast
+        // (or any read, with zero serving backends) that reaches
+        // nobody is an error, while a scoped round whose targets all
+        // just died degrades to the survivors' (empty) answer.
+        let err = (sent.is_empty() && (targets.is_none() || unavailable))
+            .then(|| Error::Unavailable("no live backends".into()));
+        // A probe that reached nobody still has its fallbacks to try.
+        let lost = probe && sent.is_empty() && !fallback.is_empty();
+        StagedRead {
+            seq,
+            wire,
+            sent,
+            fallback,
+            merged: Response::default(),
+            err,
+            lost,
+            probe,
+            msgs,
+        }
+    }
+
+    /// A single-backend probe plan for a key-scoped read:
+    /// `Some((first, fallbacks))` when the unique index pins every
+    /// disjunct of `query` to candidate keys and at least one serving
+    /// backend holds a replica of *every* candidate record — that
+    /// backend alone can answer the read. `fallbacks` are the other
+    /// covering backends in failover order, tried one at a time if the
+    /// probed backend dies mid-flight. `None` when some disjunct is
+    /// only file-scoped, no single serving backend covers all keys, or
+    /// routing is disabled — the caller falls back to the
+    /// `route_targets` round.
+    fn probe_plan(&self, query: &abdl::Query) -> Option<(usize, Vec<usize>)> {
+        if !self.scoped_routing {
+            return None;
+        }
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for conj in &query.disjuncts {
+            let file = conj.file()?;
+            for key in self.unique_candidates(file, conj)? {
+                groups.push(self.directory.get(&key)?.to_vec());
+            }
+        }
+        // No candidate record at all: the routed round answers empty
+        // without a probe (and without any message).
+        let (head, rest) = groups.split_first()?;
+        let mut covering: Vec<usize> = head
+            .iter()
+            .copied()
+            .filter(|&i| self.health.is_serving(i) && rest.iter().all(|g| g.contains(&i)))
+            .collect();
+        if covering.is_empty() {
+            return None;
+        }
+        let first = covering.remove(0);
+        Some((first, covering))
+    }
+
+    /// Complete one read flight member: if a probed backend died
+    /// mid-flight, re-probe its replicas one at a time (the bus is
+    /// idle again, so a fresh seq per retry is safe), then merge,
+    /// aggregate if the request asked for it, and finalize — the same
+    /// shape the solo retrieve path produces.
+    fn finish_staged_read(&mut self, request: &Request, mut s: StagedRead) -> Result<Response> {
+        while s.probe && s.lost && !s.fallback.is_empty() {
+            let i = s.fallback.remove(0);
+            if !self.health.is_serving(i) {
+                continue;
+            }
+            let seq = self.next_seq();
+            s.msgs += 1;
+            self.totals.read_probes += 1;
+            self.totals.read_probe_failovers += 1;
+            self.read_probes_by_backend[i] += 1;
+            if !self.send_to(i, seq, BackendOp::Exec(s.wire.clone())) {
+                continue;
+            }
+            match self.recv_reply(i, seq) {
+                Some(Ok(resp)) => {
+                    s.merged.merge(resp);
+                    s.lost = false;
+                }
+                Some(Err(e)) => {
+                    if s.err.is_none() {
+                        s.err = Some(e);
+                    }
+                    s.lost = false;
+                }
+                None => {} // also died; try the next replica
+            }
+        }
+        if let Some(e) = s.err {
+            return Err(e);
+        }
+        s.merged.dedup_by_key();
+        let resp = match request {
+            Request::Retrieve { target, by, .. } if target.has_aggregates() => {
+                let mut stats = s.merged.stats;
+                let groups = aggregate(s.merged.records(), target, by.as_deref())?;
+                stats.records_returned = groups.len() as u64;
+                let mut resp = Response::with_records(Vec::new(), stats);
+                resp.groups = Some(groups);
+                resp
+            }
+            _ => s.merged,
+        };
+        self.totals.records_examined += resp.stats.records_examined;
+        let mut out = self.finalize(resp);
+        out.messages_sent = s.msgs;
+        Ok(out)
     }
 
     /// Complete one flight member: substitute replicas lost to
@@ -2067,12 +2334,15 @@ impl Kernel for Controller {
     ///
     /// The scheduler walks the batch in admission order, classifying
     /// each request's [`Footprint`] and greedily forming *flights* of
-    /// consecutive non-conflicting inserts. A flight's writes are all
-    /// staged onto the backend bus before any reply is awaited, so
-    /// non-conflicting sessions' inserts are in flight concurrently on
-    /// the per-backend sender threads; a conflicting request closes
-    /// the flight (a `conflict_stalls` tick) and waits for it to
-    /// drain. Because the per-backend channels are FIFO and both the
+    /// consecutive non-conflicting inserts and retrieves. A flight's
+    /// rounds are all staged onto the backend bus before any reply is
+    /// awaited, so non-conflicting sessions' requests are in flight
+    /// concurrently on the per-backend sender threads — read-only
+    /// flights (reads always commute, broadcast scans included) and
+    /// mixed read/insert flights (key-/file-disjoint footprints)
+    /// alike, with key-pinned point reads going out as single-backend
+    /// probes; a conflicting request closes the flight (a
+    /// `conflict_stalls` tick) and waits for it to drain. Because the per-backend channels are FIFO and both the
     /// staging and the collection walk in admission order, the result
     /// is always equivalent to executing the batch serially in
     /// admission order (`tests/concurrent_equivalence.rs`).
@@ -2101,11 +2371,23 @@ impl Kernel for Controller {
             let mut flight_fps: Vec<Footprint> = Vec::new();
             let mut j = i;
             while stageable && j < requests.len() {
-                if !matches!(requests[j], Request::Insert { .. }) {
+                // Inserts and retrieves stage; deletes, updates and
+                // joins run dependent controller-side rounds and
+                // execute solo.
+                let flyable = match &requests[j] {
+                    Request::Insert { .. } => true,
+                    Request::Retrieve { .. } => self.parallel_reads,
+                    _ => false,
+                };
+                if !flyable {
                     break;
                 }
                 let fp = Footprint::of(&requests[j], &self.unique_groups);
-                if fp.broadcast {
+                // A broadcast *write* cannot be staged at all; a
+                // broadcast read can ride a read-only flight (read
+                // pairs always commute; any write next to it is a
+                // footprint conflict and closes the flight).
+                if fp.broadcast && fp.write {
                     break;
                 }
                 if flight_fps.iter().any(|f| f.conflicts(&fp)) {
@@ -2116,17 +2398,25 @@ impl Kernel for Controller {
                 j += 1;
             }
             if j - i >= 2 {
-                let records: Vec<&Record> = requests[i..j]
+                let items: Vec<FlightItem> = requests[i..j]
                     .iter()
                     .map(|r| match r {
-                        Request::Insert { record } => record,
-                        _ => unreachable!("flights hold only inserts"),
+                        Request::Insert { record } => FlightItem::Insert(record),
+                        Request::Retrieve { .. } => FlightItem::Read(r),
+                        _ => unreachable!("flights hold only inserts and retrieves"),
                     })
                     .collect();
+                let reads =
+                    items.iter().filter(|m| matches!(m, FlightItem::Read(_))).count();
                 self.totals.sched_flights += 1;
+                if reads == items.len() {
+                    self.totals.sched_read_flights += 1;
+                } else if reads > 0 {
+                    self.totals.sched_mixed_flights += 1;
+                }
                 self.totals.sched_max_flight =
                     self.totals.sched_max_flight.max((j - i) as u64);
-                results.extend(self.execute_flight(&records));
+                results.extend(self.execute_flight(&items));
                 i = j;
             } else {
                 results.push(self.execute(&requests[i]));

@@ -1016,3 +1016,494 @@ mod tests {
         assert_eq!(Mutation::parse("no-such-mutation"), None);
     }
 }
+
+// ===========================================================================
+// Flight scheduling model: overlapped reads vs. write waves.
+// ===========================================================================
+
+/// Bounded model check of the *flight scheduler* (`Controller::
+/// execute_batch` + the staged read/insert pipeline): two reader
+/// sessions and one writer batch interleaving at the stores.
+///
+/// The abstraction keeps exactly what the torn-batch argument depends
+/// on and nothing else:
+///
+/// - `writes` records `r_0 .. r_{W-1}`, each replicated on two of
+///   `backends` stores (record `w` lives on backends `w % B` and
+///   `(w+1) % B`, the same round-robin-with-replication placement the
+///   directory produces).
+/// - One writer batch deletes the records in admission order. Each
+///   delete is **two wave envelopes** — one per replica — modelled as
+///   independent actions, because that is precisely where a torn
+///   observation can come from: a reader that union-merges across
+///   backends between the two envelope applications resurrects the
+///   half-deleted record.
+/// - Two reader sessions admitted at position `read_after` (after the
+///   first `read_after` writes, before the rest). Each reader probes
+///   every backend with an independent envelope action and
+///   union-merges what the probes returned, exactly like a staged
+///   broadcast read.
+///
+/// The protocol rule under test is the scheduler's conflict stall:
+/// a read stages only after every envelope of every *earlier-admitted*
+/// conflicting write has drained, and *later-admitted* writes stage
+/// only after the read's probes all returned. Within those fences the
+/// two readers overlap freely — the checker reports that overlap as
+/// reachable, which is the liveness half of the story (the fences do
+/// not accidentally serialise read against read).
+///
+/// Invariant (checked whenever a reader completes): the set of records
+/// the reader observed as deleted is **exactly the admission prefix**
+/// `{r_0 .. r_{read_after-1}}` — never a half-applied write (torn
+/// batch), never a write admitted after the read.
+pub mod flight {
+    use std::collections::hash_map::Entry as MapEntry;
+    use std::collections::{HashMap, VecDeque};
+    use std::fmt;
+    use std::time::{Duration, Instant};
+
+    /// Protocol mutations: each deletes one fence the real scheduler
+    /// enforces, and each must produce a counterexample.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum FlightMutation {
+        /// The shipped protocol, unmodified.
+        None,
+        /// Readers stage without waiting for earlier-admitted
+        /// conflicting writes to drain — probes interleave with the
+        /// per-replica delete waves.
+        OverlapConflictingRead,
+        /// Writes admitted *after* the readers stage their waves
+        /// before the readers' probes have all returned.
+        ReorderAheadOfWrites,
+    }
+
+    impl FlightMutation {
+        /// Every mutation in the catalogue (excluding `None`).
+        pub const ALL: [FlightMutation; 2] = [
+            FlightMutation::OverlapConflictingRead,
+            FlightMutation::ReorderAheadOfWrites,
+        ];
+
+        /// Stable identifier, e.g. for a CLI flag.
+        pub fn name(self) -> &'static str {
+            match self {
+                FlightMutation::None => "none",
+                FlightMutation::OverlapConflictingRead => "overlap-conflicting-read",
+                FlightMutation::ReorderAheadOfWrites => "reorder-ahead-of-writes",
+            }
+        }
+
+        /// Inverse of [`FlightMutation::name`].
+        pub fn parse(s: &str) -> Option<FlightMutation> {
+            FlightMutation::ALL
+                .iter()
+                .chain([FlightMutation::None].iter())
+                .copied()
+                .find(|m| m.name() == s)
+        }
+    }
+
+    /// Checker configuration. `small()` exhausts in well under a
+    /// second and is what CI pins.
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlightConfig {
+        /// Number of backend stores (each record lives on two).
+        pub backends: u8,
+        /// Writer batch size; records are deleted in admission order.
+        pub writes: u8,
+        /// Readers are admitted after this many writes.
+        pub read_after: u8,
+        /// Number of overlapping reader sessions.
+        pub readers: u8,
+        /// Protocol mutation under test.
+        pub mutation: FlightMutation,
+    }
+
+    impl FlightConfig {
+        /// The CI configuration: exhausts in microseconds.
+        pub fn small() -> FlightConfig {
+            FlightConfig {
+                backends: 3,
+                writes: 3,
+                read_after: 1,
+                readers: 2,
+                mutation: FlightMutation::None,
+            }
+        }
+
+        /// `small()` with one fence deleted.
+        pub fn with_mutation(mutation: FlightMutation) -> FlightConfig {
+            FlightConfig { mutation, ..FlightConfig::small() }
+        }
+    }
+
+    /// One atomic step of the interleaving.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum FlightAction {
+        /// Apply write `w`'s delete envelope at replica `replica`
+        /// (0 = primary copy, 1 = secondary copy).
+        WriteWave {
+            /// Which write of the batch.
+            w: u8,
+            /// Which of its two replicas (0 = primary, 1 = secondary).
+            replica: u8,
+        },
+        /// Reader `reader`'s probe envelope returns from `backend`.
+        Probe {
+            /// Which reader session.
+            reader: u8,
+            /// Which backend the probe envelope returned from.
+            backend: u8,
+        },
+    }
+
+    impl fmt::Display for FlightAction {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                FlightAction::WriteWave { w, replica } => {
+                    write!(f, "write-wave(r{w} replica {replica})")
+                }
+                FlightAction::Probe { reader, backend } => {
+                    write!(f, "probe(reader {reader} <- backend {backend})")
+                }
+            }
+        }
+    }
+
+    /// The invariant violation a counterexample demonstrates.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct TornRead {
+        /// Which reader observed the tear.
+        pub reader: u8,
+        /// Records the reader observed as deleted.
+        pub observed_deleted: Vec<u8>,
+        /// The admission prefix it should have observed.
+        pub expected_deleted: Vec<u8>,
+    }
+
+    impl fmt::Display for TornRead {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "reader {} observed deleted set {:?}, expected exact admission prefix {:?}",
+                self.reader, self.observed_deleted, self.expected_deleted
+            )
+        }
+    }
+
+    /// A violating interleaving: the invariant broken plus the exact
+    /// action sequence (shortest, by BFS) that reaches it.
+    #[derive(Clone, Debug)]
+    pub struct FlightCounterexample {
+        /// The invariant that broke.
+        pub violation: TornRead,
+        /// The shortest action sequence reaching the violation.
+        pub trace: Vec<FlightAction>,
+    }
+
+    impl FlightCounterexample {
+        /// The numbered action trace plus the violated invariant.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            for (i, action) in self.trace.iter().enumerate() {
+                out.push_str(&format!("{:>3}. {}\n", i + 1, action));
+            }
+            out.push_str(&format!("VIOLATION: {}", self.violation));
+            out
+        }
+    }
+
+    /// What an exhaustive run found.
+    #[derive(Clone, Debug)]
+    pub struct FlightReport {
+        /// The configuration that was checked.
+        pub config: FlightConfig,
+        /// Distinct states visited.
+        pub states: usize,
+        /// Transitions explored (states are revisited via BFS dedupe).
+        pub transitions: u64,
+        /// True iff the checker reached a state where two readers were
+        /// simultaneously mid-probe — i.e. the fences leave read–read
+        /// overlap genuinely reachable.
+        pub overlap_reached: bool,
+        /// Wall-clock time of the exhaustive search.
+        pub elapsed: Duration,
+        /// `Some` iff some interleaving violated the prefix invariant.
+        pub counterexample: Option<FlightCounterexample>,
+    }
+
+    impl FlightReport {
+        /// One-line stats: states, transitions, overlap, verdict.
+        pub fn summary(&self) -> String {
+            format!(
+                "{} states, {} transitions, overlap {}, {:?}, {}",
+                self.states,
+                self.transitions,
+                if self.overlap_reached { "reachable" } else { "UNREACHABLE" },
+                self.elapsed,
+                match &self.counterexample {
+                    Some(ce) => format!("VIOLATED ({})", ce.violation),
+                    None => "invariant holds".to_string(),
+                }
+            )
+        }
+    }
+
+    /// Reader-session state: which backends have returned, and the
+    /// union-merged set of records observed present.
+    #[derive(Clone, Hash, PartialEq, Eq)]
+    struct Reader {
+        /// Bitmask of backends whose probe envelope has returned.
+        probed: u8,
+        /// Bitmask of records seen present on some probed backend.
+        seen: u8,
+    }
+
+    #[derive(Clone, Hash, PartialEq, Eq)]
+    struct State {
+        /// `present[w]` = bitmask over {replica 0, replica 1} of the
+        /// copies of record `w` still present at their stores.
+        present: Vec<u8>,
+        /// `waves[w]` = bitmask of write `w`'s envelopes applied.
+        waves: Vec<u8>,
+        readers: Vec<Reader>,
+    }
+
+    impl State {
+        fn initial(cfg: &FlightConfig) -> State {
+            State {
+                present: vec![0b11; cfg.writes as usize],
+                waves: vec![0; cfg.writes as usize],
+                readers: vec![Reader { probed: 0, seen: 0 }; cfg.readers as usize],
+            }
+        }
+
+        /// Backend hosting `replica` of record `w`.
+        fn backend_of(w: u8, replica: u8, cfg: &FlightConfig) -> u8 {
+            (w + replica) % cfg.backends
+        }
+
+        fn all_probed(&self, reader: usize, cfg: &FlightConfig) -> bool {
+            self.readers[reader].probed == (1u8 << cfg.backends) - 1
+        }
+
+        fn readers_done(&self, cfg: &FlightConfig) -> bool {
+            (0..self.readers.len()).all(|k| self.all_probed(k, cfg))
+        }
+
+        /// Every envelope of every write admitted before the readers
+        /// has been applied.
+        fn prefix_drained(&self, cfg: &FlightConfig) -> bool {
+            self.waves[..cfg.read_after as usize].iter().all(|&m| m == 0b11)
+        }
+    }
+
+    fn enabled(state: &State, cfg: &FlightConfig) -> Vec<FlightAction> {
+        let mut actions = Vec::new();
+        for w in 0..cfg.writes {
+            for replica in 0..2u8 {
+                if state.waves[w as usize] & (1 << replica) != 0 {
+                    continue;
+                }
+                // Fence 2: writes admitted after the readers hold
+                // their waves until every probe has returned.
+                if w >= cfg.read_after
+                    && !state.readers_done(cfg)
+                    && cfg.mutation != FlightMutation::ReorderAheadOfWrites
+                {
+                    continue;
+                }
+                actions.push(FlightAction::WriteWave { w, replica });
+            }
+        }
+        // Fence 1: probes stage only once the earlier-admitted
+        // conflicting writes have fully drained.
+        let may_probe = state.prefix_drained(cfg)
+            || cfg.mutation == FlightMutation::OverlapConflictingRead;
+        if may_probe {
+            for reader in 0..cfg.readers {
+                for backend in 0..cfg.backends {
+                    if state.readers[reader as usize].probed & (1 << backend) == 0 {
+                        actions.push(FlightAction::Probe { reader, backend });
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// Apply `action`; returns the torn-read violation if the acting
+    /// reader completed with a non-prefix deleted set.
+    fn apply(
+        state: &State,
+        action: FlightAction,
+        cfg: &FlightConfig,
+    ) -> Result<State, TornRead> {
+        let mut next = state.clone();
+        match action {
+            FlightAction::WriteWave { w, replica } => {
+                next.waves[w as usize] |= 1 << replica;
+                next.present[w as usize] &= !(1 << replica);
+            }
+            FlightAction::Probe { reader, backend } => {
+                let r = &mut next.readers[reader as usize];
+                r.probed |= 1 << backend;
+                for w in 0..cfg.writes {
+                    for replica in 0..2u8 {
+                        if State::backend_of(w, replica, cfg) == backend
+                            && state.present[w as usize] & (1 << replica) != 0
+                        {
+                            r.seen |= 1 << w;
+                        }
+                    }
+                }
+                if next.all_probed(reader as usize, cfg) {
+                    let observed: Vec<u8> = (0..cfg.writes)
+                        .filter(|&w| next.readers[reader as usize].seen & (1 << w) == 0)
+                        .collect();
+                    let expected: Vec<u8> = (0..cfg.read_after).collect();
+                    if observed != expected {
+                        return Err(TornRead {
+                            reader,
+                            observed_deleted: observed,
+                            expected_deleted: expected,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    /// True in a state where two distinct readers are both mid-probe:
+    /// each has at least one envelope back and at least one pending.
+    fn readers_overlap(state: &State, cfg: &FlightConfig) -> bool {
+        let full = (1u8 << cfg.backends) - 1;
+        state
+            .readers
+            .iter()
+            .filter(|r| r.probed != 0 && r.probed != full)
+            .count()
+            >= 2
+    }
+
+    /// Exhaustive BFS over every interleaving. The state space is tiny
+    /// (thousands of states for `small()`), so there is no depth bound
+    /// — the frontier simply drains.
+    pub fn check_flights(cfg: &FlightConfig) -> FlightReport {
+        let start = Instant::now();
+        let initial = State::initial(cfg);
+        let mut meta: Vec<(u32, Option<FlightAction>)> = vec![(0, None)];
+        let mut visited: HashMap<State, u32> = HashMap::new();
+        visited.insert(initial.clone(), 0);
+        let mut frontier: VecDeque<(State, u32)> = VecDeque::new();
+        frontier.push_back((initial, 0));
+        let mut transitions = 0u64;
+        let mut overlap_reached = false;
+
+        let trace_of = |meta: &Vec<(u32, Option<FlightAction>)>, mut id: u32| {
+            let mut trace = Vec::new();
+            while let (parent, Some(action)) = meta[id as usize] {
+                trace.push(action);
+                id = parent;
+            }
+            trace.reverse();
+            trace
+        };
+
+        while let Some((state, id)) = frontier.pop_front() {
+            for action in enabled(&state, cfg) {
+                transitions += 1;
+                let next = match apply(&state, action, cfg) {
+                    Ok(next) => next,
+                    Err(violation) => {
+                        let mut trace = trace_of(&meta, id);
+                        trace.push(action);
+                        return FlightReport {
+                            config: *cfg,
+                            states: visited.len(),
+                            transitions,
+                            overlap_reached,
+                            elapsed: start.elapsed(),
+                            counterexample: Some(FlightCounterexample { violation, trace }),
+                        };
+                    }
+                };
+                overlap_reached |= readers_overlap(&next, cfg);
+                match visited.entry(next) {
+                    MapEntry::Occupied(_) => {}
+                    MapEntry::Vacant(slot) => {
+                        let next_id = meta.len() as u32;
+                        meta.push((id, Some(action)));
+                        let state = slot.key().clone();
+                        slot.insert(next_id);
+                        frontier.push_back((state, next_id));
+                    }
+                }
+            }
+        }
+
+        FlightReport {
+            config: *cfg,
+            states: visited.len(),
+            transitions,
+            overlap_reached,
+            elapsed: start.elapsed(),
+            counterexample: None,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn shipped_protocol_has_no_torn_reads_and_reads_overlap() {
+            let report = check_flights(&FlightConfig::small());
+            assert!(report.counterexample.is_none(), "{}", report.summary());
+            assert!(report.overlap_reached, "fences must not serialise read vs read");
+            assert!(report.states > 50, "{}", report.summary());
+        }
+
+        #[test]
+        fn overlapping_a_conflicting_read_yields_a_torn_prefix() {
+            let report = check_flights(&FlightConfig::with_mutation(
+                FlightMutation::OverlapConflictingRead,
+            ));
+            let ce = report.counterexample.expect("mutation must be caught");
+            // The tear is a *missing* prefix delete: a probe raced the
+            // two delete envelopes and resurrected the record.
+            assert!(
+                ce.violation.observed_deleted != ce.violation.expected_deleted,
+                "{}",
+                ce.render()
+            );
+            assert!(!ce.trace.is_empty());
+        }
+
+        #[test]
+        fn reordering_later_writes_ahead_of_probes_is_caught() {
+            let report = check_flights(&FlightConfig::with_mutation(
+                FlightMutation::ReorderAheadOfWrites,
+            ));
+            let ce = report.counterexample.expect("mutation must be caught");
+            // The reader saw a delete from a write admitted after it.
+            assert!(
+                ce.violation
+                    .observed_deleted
+                    .iter()
+                    .any(|w| *w >= report.config.read_after),
+                "{}",
+                ce.render()
+            );
+        }
+
+        #[test]
+        fn flight_mutation_names_round_trip() {
+            for m in FlightMutation::ALL.iter().chain([FlightMutation::None].iter()) {
+                assert_eq!(FlightMutation::parse(m.name()), Some(*m));
+            }
+            assert_eq!(FlightMutation::parse("bogus"), None);
+        }
+    }
+}

@@ -8,19 +8,28 @@
 //! (in any interleaving the per-backend FIFO channels allow) produces
 //! the same state as executing them in admission order. This module
 //! computes a conservative **footprint** per request — the kernel
-//! files it touches, and for inserts the unique-index tuples it would
-//! claim — and a pairwise [`Footprint::conflicts`] predicate:
+//! files it touches, and the unique-index tuples it would claim (an
+//! insert) or has fully pinned with equality predicates (a read) — and
+//! a pairwise [`Footprint::conflicts`] predicate:
 //!
+//! * two **reads** never conflict — reads change nothing, so any
+//!   interleaving is equivalent to admission order, *whatever* their
+//!   scope (even two broadcast reads commute);
 //! * requests on **disjoint files** never conflict;
-//! * two **reads** never conflict, shared files or not;
 //! * two **inserts into the same file** conflict only when they claim
 //!   the same `DUPLICATES ARE NOT ALLOWED` tuple (the unique check is
 //!   the one piece of controller state an insert reads before its
 //!   effects land);
-//! * anything with a **broadcast** footprint (a query disjunct naming
-//!   no file, or a record without a `FILE` keyword) conflicts with
-//!   everything — it must observe the whole cluster at a well-defined
-//!   point in the admission order;
+//! * a **key-scoped read** (every disjunct pins a full unique group
+//!   with equality predicates) commutes with same-file inserts whose
+//!   claimed tuples are disjoint from the pinned ones: the inserted
+//!   record cannot satisfy the read's equalities, so the read's answer
+//!   is identical whether it runs before or after the insert — this is
+//!   what lets **mixed read/insert flights** form;
+//! * any *write* with a **broadcast** footprint (a record without a
+//!   `FILE` keyword), or a write sharing a file with a broadcast read,
+//!   conflicts — an unscoped footprint must observe (or mutate) the
+//!   whole cluster at a well-defined point in the admission order;
 //! * every other write overlap (delete/update vs. anything on a shared
 //!   file) conflicts.
 //!
@@ -43,10 +52,17 @@ pub struct Footprint {
     /// Kernel files named by the request's queries (or the inserted
     /// record's `FILE` keyword).
     pub files: BTreeSet<String>,
-    /// Unique-index tuples an insert would claim: one entry per
-    /// constraint group of the target file whose attributes the record
-    /// all carries — `(file, group index, value tuple)`.
+    /// Unique-index tuples this request touches — `(file, group index,
+    /// value tuple)`. For an insert: one entry per constraint group of
+    /// the target file whose attributes the record all carries. For a
+    /// read: one entry per disjunct that pins a full constraint group
+    /// with equality predicates.
     pub keys: BTreeSet<(String, usize, Vec<Value>)>,
+    /// Files on which a *read* is key-scoped: every disjunct naming
+    /// the file pins a full unique group with (non-null) equality
+    /// predicates, so the read can only ever see the records those
+    /// tuples name. Always empty for writes.
+    pub key_scoped: BTreeSet<String>,
     /// True for mutations (insert, delete, update).
     pub write: bool,
     /// True for inserts specifically (the only write whose same-file
@@ -80,37 +96,87 @@ impl Footprint {
                 Footprint {
                     files: BTreeSet::from([file.to_owned()]),
                     keys,
+                    key_scoped: BTreeSet::new(),
                     write: true,
                     insert: true,
                     broadcast: false,
                 }
             }
-            Request::Delete { query } => Footprint::of_query(&[query], true),
-            Request::Update { query, .. } => Footprint::of_query(&[query], true),
-            Request::Retrieve { query, .. } => Footprint::of_query(&[query], false),
+            Request::Delete { query } => Footprint::of_query(&[query], true, uniques),
+            Request::Update { query, .. } => Footprint::of_query(&[query], true, uniques),
+            Request::Retrieve { query, .. } => Footprint::of_query(&[query], false, uniques),
             Request::RetrieveCommon { left, right, .. } => {
-                Footprint::of_query(&[left, right], false)
+                Footprint::of_query(&[left, right], false, uniques)
             }
         }
     }
 
-    fn of_query(queries: &[&abdl::Query], write: bool) -> Footprint {
+    fn of_query(queries: &[&abdl::Query], write: bool, uniques: &UniqueGroups) -> Footprint {
         let mut files = BTreeSet::new();
+        let mut keys = BTreeSet::new();
+        // Files some disjunct touches without pinning a unique group:
+        // they can never be key-scoped.
+        let mut loose = BTreeSet::new();
         for q in queries {
             for conj in &q.disjuncts {
                 let Some(file) = conj.file() else {
                     return Footprint { write, ..Footprint::broadcast_write() };
                 };
                 files.insert(file.to_owned());
+                match (!write).then(|| Footprint::pinned_tuple(file, conj, uniques)).flatten() {
+                    Some((gi, tuple)) => {
+                        keys.insert((file.to_owned(), gi, tuple));
+                    }
+                    None => {
+                        loose.insert(file.to_owned());
+                    }
+                }
             }
         }
-        Footprint { files, keys: BTreeSet::new(), write, insert: false, broadcast: false }
+        let key_scoped = files.difference(&loose).cloned().collect();
+        Footprint { files, keys, key_scoped, write, insert: false, broadcast: false }
+    }
+
+    /// The first `DUPLICATES ARE NOT ALLOWED` group of `file` whose
+    /// every attribute `conj` pins with a non-null equality predicate —
+    /// the same fast-path condition the controller's key-scoped router
+    /// uses. A pinned disjunct can only match the records holding
+    /// exactly that tuple (further predicates only narrow the answer).
+    fn pinned_tuple(
+        file: &str,
+        conj: &abdl::Conjunction,
+        uniques: &UniqueGroups,
+    ) -> Option<(usize, Vec<Value>)> {
+        for (gi, group) in uniques.get(file)?.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let tuple: Option<Vec<Value>> = group
+                .iter()
+                .map(|a| {
+                    conj.predicates
+                        .iter()
+                        .find(|p| p.attr == *a && p.op == abdl::RelOp::Eq)
+                        .map(|p| p.value.clone())
+                })
+                .collect();
+            // A null pin is not a scope: a record *lacking* the
+            // attribute claims no tuple for the group yet could still
+            // satisfy a null equality.
+            let Some(tuple) = tuple else { continue };
+            if tuple.iter().any(|v| matches!(v, Value::Null)) {
+                continue;
+            }
+            return Some((gi, tuple));
+        }
+        None
     }
 
     fn broadcast_write() -> Footprint {
         Footprint {
             files: BTreeSet::new(),
             keys: BTreeSet::new(),
+            key_scoped: BTreeSet::new(),
             write: true,
             insert: false,
             broadcast: true,
@@ -120,11 +186,15 @@ impl Footprint {
     /// True when this request and `other` must not be in flight
     /// together.
     pub fn conflicts(&self, other: &Footprint) -> bool {
-        if self.broadcast || other.broadcast {
-            return true;
-        }
+        // Reads never conflict with reads: they change nothing, so
+        // every interleaving is equivalent to admission order — even
+        // for two broadcast reads, whose scope is unknown but whose
+        // effect is none.
         if !self.write && !other.write {
             return false;
+        }
+        if self.broadcast || other.broadcast {
+            return true;
         }
         if self.files.is_disjoint(&other.files) {
             return false;
@@ -135,7 +205,19 @@ impl Footprint {
             // unique check of one cannot observe the other.
             return !self.keys.is_disjoint(&other.keys);
         }
-        true
+        // Insert vs. read: commute when the read is key-scoped on
+        // every shared file and the insert's claimed tuples miss every
+        // pinned one — the new record cannot satisfy the read's
+        // equality predicates, so the read's answer is order-blind.
+        let (ins, read) = if self.insert && !other.write {
+            (self, other)
+        } else if other.insert && !self.write {
+            (other, self)
+        } else {
+            return true;
+        };
+        let scoped = ins.files.intersection(&read.files).all(|f| read.key_scoped.contains(f));
+        !(scoped && ins.keys.is_disjoint(&read.keys))
     }
 }
 
@@ -189,6 +271,12 @@ mod tests {
         let a = fp("RETRIEVE ((FILE = g) and (u = 1)) (*)");
         let b = fp("RETRIEVE (FILE = g) (*)");
         assert!(!a.conflicts(&b));
+        // Scope does not matter for read pairs: broadcast reads
+        // commute with scoped reads and with each other.
+        let unscoped = fp("RETRIEVE (x = 1) (*)");
+        assert!(unscoped.broadcast);
+        assert!(!unscoped.conflicts(&a));
+        assert!(!unscoped.conflicts(&unscoped.clone()));
     }
 
     #[test]
@@ -202,7 +290,30 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_footprints_serialize_everything() {
+    fn key_scoped_reads_commute_with_key_disjoint_inserts() {
+        let read = fp("RETRIEVE ((FILE = g) and (u = 1)) (*)");
+        assert!(read.key_scoped.contains("g"));
+        // Different pinned tuple: the inserted record cannot match.
+        assert!(!read.conflicts(&fp("INSERT (<FILE, g>, <u, 2>)")));
+        // Same tuple: the read's answer depends on the order.
+        assert!(read.conflicts(&fp("INSERT (<FILE, g>, <u, 1>)")));
+        // An insert claiming nothing for the group (no `u`) cannot
+        // satisfy the read's pinned equality either.
+        assert!(!read.conflicts(&fp("INSERT (<FILE, g>, <x, 9>)")));
+        // A file-scoped read (file `h` has no unique groups to pin)
+        // stays conservative against same-file inserts.
+        let loose = fp("RETRIEVE ((FILE = h) and (u = 1)) (*)");
+        assert!(loose.key_scoped.is_empty());
+        assert!(loose.conflicts(&fp("INSERT (<FILE, h>, <u, 2>)")));
+        // One pinned disjunct plus one loose disjunct on the same file
+        // is not key-scoped.
+        let half = fp("RETRIEVE (((FILE = g) and (u = 1)) or ((FILE = g) and (x = 2))) (*)");
+        assert!(half.key_scoped.is_empty());
+        assert!(half.conflicts(&fp("INSERT (<FILE, g>, <u, 2>)")));
+    }
+
+    #[test]
+    fn broadcast_footprints_serialize_against_writes() {
         // A record without FILE, and a query disjunct without FILE,
         // both classify as broadcast.
         let no_file = Footprint::of(
@@ -214,10 +325,10 @@ mod tests {
         assert!(unscoped.broadcast);
         let other_file = fp("RETRIEVE (FILE = zzz) (*)");
         assert!(no_file.conflicts(&other_file));
-        assert!(unscoped.conflicts(&other_file));
-        // Even two broadcast reads serialize (conservative: their scope
-        // is unknown).
-        assert!(unscoped.conflicts(&unscoped.clone()));
+        // A broadcast read still serializes against any write — it
+        // must observe the cluster at one admission-order point.
+        assert!(unscoped.conflicts(&fp("INSERT (<FILE, g>, <u, 3>)")));
+        assert!(unscoped.conflicts(&fp("DELETE (FILE = g)")));
     }
 
     #[test]

@@ -392,6 +392,10 @@ impl SimCluster {
     /// path and WAL replay (same gate as the threaded controller).
     fn register_unique(&mut self, file: &str, attrs: Vec<String>) {
         let groups = self.unique_groups.entry(file.to_owned()).or_default();
+        // Idempotent, mirroring the threaded controller.
+        if groups.contains(&attrs) {
+            return;
+        }
         groups.push(attrs);
         let gi = groups.len() - 1;
         let populated =
@@ -1070,6 +1074,77 @@ impl Kernel for SimCluster {
         Ok(out)
     }
 
+    fn execute_batch(&mut self, requests: &[Request]) -> Vec<Result<Response>> {
+        // Mirror of the threaded controller's conflict scheduler: the
+        // simulator walks the same footprint algebra and counts the
+        // same flights/stalls, but executes members serially — the
+        // cost model already charges backend work as if concurrent
+        // members overlapped (per-backend busy times are maxed, not
+        // summed), so only the accounting needs mirroring here.
+        if requests.len() < 2 {
+            return requests.iter().map(|r| self.execute(r)).collect();
+        }
+        self.totals.batched_requests += requests.len() as u64;
+        self.wal_begin_batch();
+        let mut results = Vec::with_capacity(requests.len());
+        let mut i = 0;
+        while i < requests.len() {
+            let mut flight_fps: Vec<crate::sched::Footprint> = Vec::new();
+            let mut j = i;
+            while j < requests.len() {
+                let flyable = matches!(
+                    requests[j],
+                    Request::Insert { .. } | Request::Retrieve { .. }
+                );
+                if !flyable {
+                    break;
+                }
+                let fp = crate::sched::Footprint::of(&requests[j], &self.unique_groups);
+                if fp.broadcast && fp.write {
+                    break;
+                }
+                if flight_fps.iter().any(|f| f.conflicts(&fp)) {
+                    self.totals.conflict_stalls += 1;
+                    break;
+                }
+                flight_fps.push(fp);
+                j += 1;
+            }
+            if j - i >= 2 {
+                let reads = requests[i..j]
+                    .iter()
+                    .filter(|r| matches!(r, Request::Retrieve { .. }))
+                    .count();
+                self.totals.sched_flights += 1;
+                if reads == j - i {
+                    self.totals.sched_read_flights += 1;
+                } else if reads > 0 {
+                    self.totals.sched_mixed_flights += 1;
+                }
+                self.totals.sched_max_flight =
+                    self.totals.sched_max_flight.max((j - i) as u64);
+            }
+            for r in &requests[i..j.max(i + 1)] {
+                results.push(self.execute(r));
+            }
+            i = j.max(i + 1);
+        }
+        if let Err(e) = self.wal_commit_batch() {
+            for (req, result) in requests.iter().zip(results.iter_mut()) {
+                let mutating = matches!(
+                    req,
+                    Request::Insert { .. } | Request::Delete { .. } | Request::Update { .. }
+                );
+                if mutating && result.is_ok() {
+                    *result = Err(e.clone());
+                }
+            }
+            self.pending_error.get_or_insert(e);
+        }
+        self.maybe_snapshot();
+        results
+    }
+
     fn exec_totals(&self) -> ExecTotals {
         let mut totals = self.totals;
         if let Some(wal) = &self.wal {
@@ -1216,6 +1291,41 @@ mod tests {
     /// (the MBDS papers' regime of large responses is benched in E7/E8).
     fn shape_cost() -> CostModel {
         CostModel { block_time_us: 30_000.0, msg_time_us: 2_000.0, record_time_us: 10.0 }
+    }
+
+    /// The simulator's batch path mirrors the threaded controller's
+    /// scheduler accounting (flights, read/mixed split, stalls) while
+    /// producing exactly the serial answers.
+    #[test]
+    fn batch_mirrors_scheduler_accounting_and_serial_results() {
+        let mut cluster = SimCluster::new(4);
+        cluster.create_file("f");
+        cluster.add_unique_constraint("f", vec!["f".into()]);
+        for i in 0..8 {
+            let mut rec = Record::from_pairs([("FILE", Value::str("f"))]);
+            rec.set("f", Value::Int(i));
+            cluster.execute(&Request::Insert { record: rec }).unwrap();
+        }
+        let mut batch = Vec::new();
+        // Read-only flight: two key-scoped reads plus a broadcast scan.
+        batch.push(parse_request("RETRIEVE ((FILE = f) and (f = 1)) (*)").unwrap());
+        batch.push(parse_request("RETRIEVE ((FILE = f) and (f = 2)) (*)").unwrap());
+        batch.push(parse_request("RETRIEVE (FILE = f) (*)").unwrap());
+        // A delete closes the flight (not flyable).
+        batch.push(parse_request("DELETE ((FILE = f) and (f = 7))").unwrap());
+        // Mixed flight: key-disjoint insert + key-scoped read.
+        let mut rec = Record::from_pairs([("FILE", Value::str("f"))]);
+        rec.set("f", Value::Int(100));
+        batch.push(Request::Insert { record: rec });
+        batch.push(parse_request("RETRIEVE ((FILE = f) and (f = 3)) (*)").unwrap());
+        let results = cluster.execute_batch(&batch);
+        assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+        assert_eq!(results[2].as_ref().unwrap().records().len(), 8);
+        let t = cluster.exec_totals();
+        assert_eq!(t.sched_flights, 2);
+        assert_eq!(t.sched_read_flights, 1);
+        assert_eq!(t.sched_mixed_flights, 1);
+        assert_eq!(t.batched_requests, 6);
     }
 
     /// Claim 1: fixed database, growing backends → response time falls

@@ -22,7 +22,7 @@
 //! .schema <db>                  print a database's schema
 //! .transformed <db>             print a functional database's transformed network schema
 //! .abdl on|off                  echo generated ABDL requests (default on)
-//! .spawn <n> [requests]         drive <n> concurrent sessions through the service layer
+//! .spawn <n> [requests] [read%] drive <n> concurrent sessions through the service layer
 //! .sessions                     per-session roster from the last .spawn
 //! .stats                        kernel work counters (requests, records, scheduler occupancy)
 //! .save <path> / .load <path>   dump / restore the kernel as ABDL text
@@ -294,6 +294,14 @@ impl Shell {
                         t.conflict_stalls,
                         t.wal_max_batch
                     );
+                    println!(
+                        "read pipeline:      {} read flight(s), {} mixed flight(s), \
+                         {} probe(s) ({} failover(s))",
+                        t.sched_read_flights,
+                        t.sched_mixed_flights,
+                        t.read_probes,
+                        t.read_probe_failovers
+                    );
                 });
                 if let Kern::Durable(m) = &mut self.kern {
                     let k = m.kernel_mut();
@@ -303,6 +311,15 @@ impl Shell {
                          {groups} replica group(s), ~{bytes} bytes resident",
                         k.epoch()
                     );
+                    let probes = k.read_probe_counts();
+                    if probes.iter().any(|&c| c > 0) {
+                        let cells: Vec<String> = probes
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| format!("b{i}={c}"))
+                            .collect();
+                        println!("read probes/backend: {}", cells.join(" "));
+                    }
                 }
                 if let Some(sb) = &self.standby {
                     let lag = sb.lag();
@@ -320,8 +337,10 @@ impl Shell {
             Some("spawn") => {
                 let n = words.next().and_then(|w| w.parse::<usize>().ok()).unwrap_or(8);
                 let per = words.next().and_then(|w| w.parse::<usize>().ok()).unwrap_or(25);
-                if n == 0 || per == 0 {
-                    eprintln!("usage: .spawn <sessions> [requests-per-session]");
+                let read_pct =
+                    words.next().and_then(|w| w.parse::<u64>().ok()).unwrap_or(25);
+                if n == 0 || per == 0 || read_pct > 100 {
+                    eprintln!("usage: .spawn <sessions> [requests-per-session] [read%]");
                     return true;
                 }
                 let base = self.spawn_seq;
@@ -331,14 +350,14 @@ impl Shell {
                 match &mut self.kern {
                     Kern::Single(m) => {
                         let mlds = std::mem::replace(m.as_mut(), Mlds::single_backend());
-                        let (mlds, report) = run_spawn(mlds, n, per, base);
+                        let (mlds, report) = run_spawn(mlds, n, per, base, read_pct);
                         **m = mlds;
                         self.last_spawn = Some(report);
                     }
                     Kern::Durable(m) => {
                         let dummy = Mlds::with_kernel(mbds::Controller::new(1));
                         let mlds = std::mem::replace(m.as_mut(), dummy);
-                        let (mlds, report) = run_spawn(mlds, n, per, base);
+                        let (mlds, report) = run_spawn(mlds, n, per, base, read_pct);
                         **m = mlds;
                         self.last_spawn = Some(report);
                     }
@@ -572,18 +591,24 @@ impl Shell {
 }
 
 /// Drive `n` concurrent sessions through the service layer: each
-/// session thread runs a seeded insert/retrieve mix against a scratch
-/// `spawn` database, so `.stats` afterwards shows the scheduler's
-/// flight and group-commit counters on real contention.
+/// session thread runs a seeded insert/retrieve mix (`read_pct`% reads
+/// — mostly key-scoped point reads the scheduler can probe, plus the
+/// odd full scan) against a scratch `spawn` database, so `.stats`
+/// afterwards shows the scheduler's flight, probe and group-commit
+/// counters on real contention.
 fn run_spawn<K: Kernel + Send + 'static>(
     mut mlds: Mlds<K>,
     n: usize,
     per: usize,
     base: u64,
+    read_pct: u64,
 ) -> (Mlds<K>, ServiceReport) {
     {
         let mut ns = NamespacedKernel::new(mlds.kernel_mut(), "spawn");
         ns.create_file("t");
+        // Key the scratch file so point reads are key-scoped (single-
+        // backend probes) and repeat spawns stay conflict-realistic.
+        ns.add_unique_constraint("t", vec!["u".into()]);
     }
     let mut svc = MldsService::start(mlds);
     let start = std::time::Instant::now();
@@ -593,11 +618,18 @@ fn run_spawn<K: Kernel + Send + 'static>(
         handles.push(std::thread::spawn(move || {
             let mut rng = Prng::seed_from_u64(0x5AA5 + s as u64);
             let mut errors = 0usize;
+            let mut inserted: Vec<u64> = Vec::new();
             for i in 0..per {
-                let text = if rng.gen_range(0, 4) == 0 {
-                    "RETRIEVE (FILE = t) (*)".to_owned()
+                let text = if rng.gen_range(0, 100) < read_pct as i64 {
+                    if rng.gen_range(0, 8) == 0 || inserted.is_empty() {
+                        "RETRIEVE (FILE = t) (*)".to_owned()
+                    } else {
+                        let k = inserted[rng.gen_range(0, inserted.len() as i64) as usize];
+                        format!("RETRIEVE ((FILE = t) and (u = {k})) (*)")
+                    }
                 } else {
                     let key = base + (s * per + i) as u64;
+                    inserted.push(key);
                     format!("INSERT (<FILE, t>, <u, {key}>, <owner, {s}>)")
                 };
                 let req = parse_request(&text).expect("spawn workload request parses");
@@ -634,7 +666,7 @@ const HELP: &str = "\
 .transformed <db>             print a functional database's transformed network schema
 .functional <db>              print a network database's reverse-transformed Daplex schema
 .abdl on|off                  echo generated ABDL requests (default on)
-.spawn <n> [requests]         drive <n> concurrent sessions through the service layer
+.spawn <n> [requests] [read%] drive <n> concurrent sessions through the service layer
 .sessions                     per-session roster from the last .spawn
 .stats                        kernel work counters (requests, records, scheduler occupancy)
 .save <path> / .load <path>   dump / restore the kernel as ABDL text

@@ -24,6 +24,22 @@
 //! serially on an identically-configured fresh system must reproduce
 //! every outcome and the same final state — the equivalence bar that
 //! `tests/concurrent_equivalence.rs` pins.
+//!
+//! At high session counts the single dispatcher thread itself becomes
+//! the bottleneck: it namespace-maps every request of every session
+//! between kernel calls. [`start_sharded`](MldsService::start_sharded)
+//! splits that admission work across N workers, each owning a disjoint
+//! slice of the database namespace (sessions are routed to the worker
+//! that owns their database at open time). Workers drain and
+//! namespace-map their own queues in parallel and forward mapped runs
+//! to a single executor thread that owns the `Mlds`; the executor
+//! concatenates runs from different shards into one
+//! [`Kernel::execute_batch`] call, so the cross-session group commit
+//! and flight scheduling now span shards too. Per-worker channel
+//! ordering keeps every session's open-before-submit and
+//! submission-order guarantees; the admission log records the
+//! executor's concatenation order, which replays serially like any
+//! other admission order.
 
 use crate::namespace::Namespace;
 use crate::system::Mlds;
@@ -101,6 +117,40 @@ enum Job {
     Stop,
 }
 
+/// One Exec job a shard worker has already namespace-mapped, ready for
+/// the executor to run.
+struct MappedJob {
+    id: u64,
+    /// The session-level (unprefixed) request, for the admission log.
+    request: Request,
+    /// The namespace-mapped request handed to the kernel.
+    mapped: Request,
+    ns: Namespace,
+    reply: Sender<abdl::Result<Response>>,
+}
+
+/// Worker → executor traffic. A single mpsc receiver preserves each
+/// worker's send order, which is all the protocol needs: a session's
+/// `Open` always precedes its runs because both pass through the same
+/// worker.
+enum ShardMsg {
+    Open { id: u64, uid: String, db: String, ack: Sender<()> },
+    Run(Vec<MappedJob>),
+    WorkerDone,
+}
+
+/// The shard a database's sessions are admitted through: a fixed FNV-1a
+/// hash, so the mapping is stable across runs and every session of one
+/// database lands on the same worker (disjoint namespace slices).
+fn shard_of(db: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in db.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
 /// A `Send` handle onto one open session of a running [`MldsService`].
 ///
 /// Cloning is cheap; clones share the session (same id, same database,
@@ -147,7 +197,10 @@ impl ServiceSession {
 /// [`into_parts`](MldsService::into_parts) hands it back along with
 /// the admission log.
 pub struct MldsService<K: Kernel + Send + 'static> {
-    tx: Sender<Job>,
+    /// One admission queue per shard worker (one entry when classic).
+    txs: Vec<Sender<Job>>,
+    /// Shard worker threads (empty when classic).
+    workers: Vec<JoinHandle<()>>,
     handle: JoinHandle<(Mlds<K>, ServiceReport)>,
     next_id: u64,
 }
@@ -157,7 +210,33 @@ impl<K: Kernel + Send + 'static> MldsService<K> {
     pub fn start(mlds: Mlds<K>) -> Self {
         let (tx, rx) = channel();
         let handle = std::thread::spawn(move || dispatch(mlds, rx));
-        MldsService { tx, handle, next_id: 0 }
+        MldsService { txs: vec![tx], workers: Vec::new(), handle, next_id: 0 }
+    }
+
+    /// Like [`start`](MldsService::start), but admission is sharded:
+    /// `shards` workers each own a disjoint slice of the database
+    /// namespace and drain + namespace-map their sessions' requests in
+    /// parallel, feeding one executor thread that owns the `Mlds` and
+    /// batches mapped runs across shards into single
+    /// `execute_batch` calls (cross-shard group commit).
+    pub fn start_sharded(mlds: Mlds<K>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let (exec_tx, exec_rx) = channel();
+        let handle = std::thread::spawn(move || sharded_executor(mlds, exec_rx, shards));
+        let mut txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel();
+            let exec_tx = exec_tx.clone();
+            workers.push(std::thread::spawn(move || shard_worker(rx, exec_tx)));
+            txs.push(tx);
+        }
+        MldsService { txs, workers, handle, next_id: 0 }
+    }
+
+    /// The number of admission shards (1 for a classic service).
+    pub fn shards(&self) -> usize {
+        self.txs.len()
     }
 
     /// Open a session for `uid` against database `db`. The handle is
@@ -165,24 +244,30 @@ impl<K: Kernel + Send + 'static> MldsService<K> {
     pub fn open(&mut self, uid: &str, db: &str) -> ServiceSession {
         self.next_id += 1;
         let id = self.next_id;
+        let tx = self.txs[shard_of(db, self.txs.len())].clone();
         let (ack_tx, ack_rx) = channel();
         // The dispatcher owns the registry; wait for the ack so a
         // session can never race ahead of its own registration.
-        let _ = self.tx.send(Job::Open {
+        let _ = tx.send(Job::Open {
             id,
             uid: uid.to_owned(),
             db: db.to_owned(),
             ack: ack_tx,
         });
         let _ = ack_rx.recv();
-        ServiceSession { id, db: db.to_owned(), tx: self.tx.clone() }
+        ServiceSession { id, db: db.to_owned(), tx }
     }
 
     /// Stop the dispatcher and reclaim the `Mlds` plus the admission
     /// log and per-session counters. Outstanding sessions' submits
     /// fail with [`Error::Unavailable`] afterwards.
     pub fn into_parts(self) -> (Mlds<K>, ServiceReport) {
-        let _ = self.tx.send(Job::Stop);
+        for tx in &self.txs {
+            let _ = tx.send(Job::Stop);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
         self.handle.join().expect("service dispatcher panicked")
     }
 }
@@ -269,6 +354,144 @@ fn execute_run<K: Kernel>(
     }
 }
 
+/// One admission shard: drains its own queue, namespace-maps runs of
+/// Exec jobs (the parallelizable part of admission), and forwards them
+/// to the executor. Owns the namespaces of every session routed here.
+fn shard_worker(rx: Receiver<Job>, exec_tx: Sender<ShardMsg>) {
+    let mut registry: HashMap<u64, Namespace> = HashMap::new();
+    'serve: loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut jobs = vec![first];
+        while jobs.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        while !jobs.is_empty() {
+            if matches!(jobs[0], Job::Exec { .. }) {
+                let mut j = 1;
+                while j < jobs.len() && matches!(jobs[j], Job::Exec { .. }) {
+                    j += 1;
+                }
+                let mut mapped = Vec::with_capacity(j);
+                for job in jobs.drain(..j) {
+                    let Job::Exec { id, request, reply } = job else { unreachable!() };
+                    let Some(ns) = registry.get(&id) else {
+                        let _ = reply
+                            .send(Err(Error::Unavailable(format!("unknown session {id}"))));
+                        continue;
+                    };
+                    mapped.push(MappedJob {
+                        id,
+                        mapped: ns.map_request_in(&request),
+                        request,
+                        ns: ns.clone(),
+                        reply,
+                    });
+                }
+                if !mapped.is_empty() && exec_tx.send(ShardMsg::Run(mapped)).is_err() {
+                    break 'serve;
+                }
+                continue;
+            }
+            match jobs.remove(0) {
+                Job::Open { id, uid, db, ack } => {
+                    registry.insert(id, Namespace::new(&db));
+                    // The executor acks after registering the session
+                    // stat, so `open` still can't race registration.
+                    if exec_tx.send(ShardMsg::Open { id, uid, db, ack }).is_err() {
+                        break 'serve;
+                    }
+                }
+                Job::Stop => break 'serve,
+                Job::Exec { .. } => unreachable!(),
+            }
+        }
+    }
+    let _ = exec_tx.send(ShardMsg::WorkerDone);
+}
+
+/// The sharded service's kernel thread: owns the `Mlds`, concatenates
+/// mapped runs from all shard workers into cross-shard admission
+/// batches, and keeps the admission log. Exits once every worker has
+/// reported done.
+fn sharded_executor<K: Kernel>(
+    mut mlds: Mlds<K>,
+    rx: Receiver<ShardMsg>,
+    workers: usize,
+) -> (Mlds<K>, ServiceReport) {
+    let mut report = ServiceReport::default();
+    // id → index into report.sessions
+    let mut slots: HashMap<u64, usize> = HashMap::new();
+    let mut live = workers;
+    let open = |report: &mut ServiceReport,
+                    slots: &mut HashMap<u64, usize>,
+                    id: u64,
+                    uid: String,
+                    db: String,
+                    ack: Sender<()>| {
+        slots.insert(id, report.sessions.len());
+        report.sessions.push(SessionStat { id, uid, db, requests: 0, errors: 0 });
+        let _ = ack.send(());
+    };
+    while live > 0 {
+        let msg = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => break,
+        };
+        let mut batch = match msg {
+            ShardMsg::Open { id, uid, db, ack } => {
+                open(&mut report, &mut slots, id, uid, db, ack);
+                continue;
+            }
+            ShardMsg::WorkerDone => {
+                live -= 1;
+                continue;
+            }
+            ShardMsg::Run(run) => run,
+        };
+        // Concatenate whatever other shards have queued meanwhile:
+        // their namespace slices are disjoint, so the combined batch
+        // flies well and group-commits under one sync. Opens drained
+        // along the way are registered immediately (order with this
+        // batch is irrelevant: a session's own Open always precedes
+        // its runs on the same worker channel).
+        while batch.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(ShardMsg::Run(run)) => batch.extend(run),
+                Ok(ShardMsg::Open { id, uid, db, ack }) => {
+                    open(&mut report, &mut slots, id, uid, db, ack);
+                }
+                Ok(ShardMsg::WorkerDone) => live -= 1,
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        let mapped: Vec<Request> = batch.iter().map(|m| m.mapped.clone()).collect();
+        let results = mlds.kernel_mut().execute_batch(&mapped);
+        for (job, result) in batch.into_iter().zip(results) {
+            let result = result.map(|r| job.ns.map_response_out(r));
+            let slot = slots[&job.id];
+            let stat = &mut report.sessions[slot];
+            stat.requests += 1;
+            if result.is_err() {
+                stat.errors += 1;
+            }
+            report.admissions.push(AdmissionEntry {
+                session: job.id,
+                db: stat.db.clone(),
+                request: job.request,
+                outcome: outcome_of(&result),
+            });
+            let _ = job.reply.send(result);
+        }
+    }
+    (mlds, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +565,83 @@ mod tests {
             .execute(&abdl::parse::parse_request("RETRIEVE (FILE = t) (*)").unwrap())
             .unwrap();
         assert_eq!(resp.records().len(), 80, "every session's inserts landed");
+    }
+
+    fn seeded_multi_db() -> Mlds {
+        let mut mlds = Mlds::single_backend();
+        for db in ["dbx", "dby", "dbz"] {
+            let k = mlds.kernel_mut();
+            let mut ns = crate::NamespacedKernel::new(k, db);
+            ns.create_file("t");
+            ns.add_unique_constraint("t", vec!["t".into()]);
+        }
+        mlds
+    }
+
+    #[test]
+    fn sharded_sessions_execute_and_the_admission_log_replays() {
+        let mut svc = MldsService::start_sharded(seeded_multi_db(), 3);
+        assert_eq!(svc.shards(), 3);
+        let barrier = Arc::new(Barrier::new(9));
+        let mut joins = Vec::new();
+        for s in 0..9u64 {
+            let db = ["dbx", "dby", "dbz"][(s % 3) as usize];
+            let session = svc.open(&format!("u{s}"), db);
+            let barrier = barrier.clone();
+            joins.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..10u64 {
+                    let key = (s * 100 + i) as i64;
+                    let mut rec = abdl::Record::from_pairs([("FILE", Value::str("t"))]);
+                    rec.set("t".to_owned(), Value::Int(key));
+                    session.submit(Request::Insert { record: rec }).unwrap();
+                    if i % 3 == 0 {
+                        let resp = session
+                            .execute_abdl(&format!("RETRIEVE ((t = {key})) (*)"))
+                            .unwrap();
+                        assert_eq!(resp.records().len(), 1);
+                        assert_eq!(resp.records()[0].1.file(), Some("t"), "namespace stripped");
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let (mut mlds, report) = svc.into_parts();
+        assert_eq!(report.admissions.len(), 9 * 14);
+        assert_eq!(report.sessions.len(), 9);
+
+        // Every database holds exactly its three sessions' inserts.
+        for db in ["dbx", "dby", "dbz"] {
+            let mut ns = crate::NamespacedKernel::new(mlds.kernel_mut(), db);
+            let resp = ns
+                .execute(&abdl::parse::parse_request("RETRIEVE (FILE = t) (*)").unwrap())
+                .unwrap();
+            assert_eq!(resp.records().len(), 30);
+        }
+
+        // Serial replay of the admission log on a fresh system
+        // reproduces every outcome.
+        let mut fresh = seeded_multi_db();
+        for entry in &report.admissions {
+            let mut ns = crate::NamespacedKernel::new(fresh.kernel_mut(), &entry.db);
+            let result = ns.execute(&entry.request);
+            assert_eq!(outcome_of(&result), entry.outcome);
+        }
+    }
+
+    #[test]
+    fn sharding_routes_a_database_to_one_worker() {
+        // Same db → same shard, regardless of session; shard ids stay
+        // in range for any shard count.
+        for shards in 1..8 {
+            for db in ["dbx", "dby", "dbz", "spawn"] {
+                let s = shard_of(db, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(db, shards));
+            }
+        }
     }
 
     #[test]

@@ -88,16 +88,67 @@ fn session_requests(session: u64, n: usize) -> Vec<Request> {
         .collect()
 }
 
-/// Drive the seeded workload through `svc` with one thread per
-/// session, every thread released by a barrier at once.
-fn drive(svc: &mut MldsService<Controller>, sessions: u64, per_session: usize) {
+/// A 90%-read variant of the session stream: mostly key-scoped point
+/// reads (the scheduler's probe fast path), plus range reads,
+/// aggregates, full scans, and enough contended inserts to keep mixed
+/// read/insert flights forming.
+fn read_heavy_requests(session: u64, n: usize) -> Vec<Request> {
+    let mut rng = Prng::seed_from_u64(0x5EAD + session);
+    (0..n)
+        .map(|_| {
+            let roll = rng.gen_range(0, 100);
+            let text = if roll < 10 {
+                format!(
+                    "INSERT (<FILE, t>, <u, {}>, <v, {}>, <m, {}>)",
+                    rng.gen_range(0, 60),
+                    rng.gen_range(0, 1000),
+                    rng.gen_range(0, 7)
+                )
+            } else if roll < 60 {
+                format!("RETRIEVE ((FILE = t) and (u = {})) (*)", rng.gen_range(0, 60))
+            } else if roll < 75 {
+                format!("RETRIEVE ((FILE = t) and (v < {})) (*)", rng.gen_range(0, 1000))
+            } else if roll < 85 {
+                "RETRIEVE (FILE = t) (COUNT(v)) BY m".to_owned()
+            } else {
+                // Broadcast scan: rides read-only flights.
+                "RETRIEVE (FILE = t) (*)".to_owned()
+            };
+            parse_request(&text).unwrap()
+        })
+        .collect()
+}
+
+/// Records every session's reads can hit from the first admission on.
+fn prepopulate(kernel: &mut impl Kernel) {
+    for db in DATABASES {
+        let mut ns = NamespacedKernel::new(kernel, db);
+        for u in 0..30 {
+            let text = format!(
+                "INSERT (<FILE, t>, <u, {u}>, <v, {}>, <m, {}>)",
+                u * 37 % 1000,
+                u % 7
+            );
+            ns.execute(&parse_request(&text).unwrap()).expect("prepopulate insert");
+        }
+    }
+}
+
+/// Drive a seeded workload through `svc` with one thread per session,
+/// every thread released by a barrier at once.
+fn drive_with(
+    svc: &mut MldsService<Controller>,
+    sessions: u64,
+    per_session: usize,
+    gen: fn(u64, usize) -> Vec<Request>,
+) {
     let barrier = std::sync::Arc::new(std::sync::Barrier::new(sessions as usize));
     let mut joins = Vec::new();
     for s in 0..sessions {
         let session = svc.open(&format!("user{s}"), db_of(s));
         let barrier = barrier.clone();
         joins.push(std::thread::spawn(move || {
-            let reqs = session_requests(s, per_session);
+            let reqs = gen(s, per_session);
             barrier.wait();
             for req in reqs {
                 // Errors (duplicate-key losses) are outcomes, not
@@ -109,6 +160,14 @@ fn drive(svc: &mut MldsService<Controller>, sessions: u64, per_session: usize) {
     for j in joins {
         j.join().expect("session thread panicked");
     }
+}
+
+fn drive(svc: &mut MldsService<Controller>, sessions: u64, per_session: usize) {
+    drive_with(svc, sessions, per_session, session_requests);
+}
+
+fn tcp_transport() -> bool {
+    std::env::var("MBDS_TRANSPORT").is_ok_and(|v| v == "tcp")
 }
 
 /// The property test proper: N concurrent sessions over two databases,
@@ -155,6 +214,141 @@ fn concurrent_execution_matches_serial_admission_order() {
         serial.kernel_mut().unique_index_digest(),
         "concurrent and serial unique indexes differ"
     );
+}
+
+/// The read pipeline under real concurrency: a 90%-read seeded mix
+/// over prepopulated databases must form read flights (and send
+/// single-backend probes) in-process, and — transport-independently —
+/// every admitted outcome and the final state must match the serial
+/// admission-order replay.
+#[test]
+fn read_heavy_concurrent_execution_matches_serial_admission_order() {
+    let mut live = Mlds::multi_backend(BACKENDS);
+    configure(live.kernel_mut());
+    prepopulate(live.kernel_mut());
+    let mut svc = MldsService::start(live);
+    drive_with(&mut svc, SESSIONS, REQUESTS_PER_SESSION, read_heavy_requests);
+    let (mut live, report) = svc.into_parts();
+
+    assert_eq!(report.admissions.len(), SESSIONS as usize * REQUESTS_PER_SESSION);
+    let totals = live.exec_totals();
+    if !tcp_transport() {
+        // The socket transport falls back to the solo path (one
+        // in-flight request per link); the counters are an in-process
+        // claim, the equivalence below holds on both.
+        assert!(
+            totals.sched_read_flights > 0,
+            "a 90%-read concurrent mix never formed a read flight: {totals:?}"
+        );
+        assert!(
+            totals.read_probes > 0,
+            "key-scoped point reads never probed a single backend: {totals:?}"
+        );
+    }
+
+    let mut serial = Mlds::multi_backend(BACKENDS);
+    configure(serial.kernel_mut());
+    prepopulate(serial.kernel_mut());
+    for (i, entry) in report.admissions.iter().enumerate() {
+        let mut ns = NamespacedKernel::new(serial.kernel_mut(), &entry.db);
+        let outcome = outcome_of(&ns.execute(&entry.request));
+        assert_eq!(
+            outcome, entry.outcome,
+            "admission {i} (session {}, {:?}) diverged from the serial replay",
+            entry.session, entry.request
+        );
+    }
+    assert_eq!(
+        live.kernel_mut().state_digest().unwrap(),
+        serial.kernel_mut().state_digest().unwrap(),
+        "concurrent-read and serial final states differ"
+    );
+    assert_eq!(
+        live.kernel_mut().unique_index_digest(),
+        serial.kernel_mut().unique_index_digest(),
+        "concurrent-read and serial unique indexes differ"
+    );
+}
+
+/// The same property through the sharded dispatcher: admission workers
+/// own the two databases' namespace slices, the executor concatenates
+/// their runs — the admission log it records must still replay.
+#[test]
+fn sharded_dispatcher_matches_serial_admission_order() {
+    let mut live = Mlds::multi_backend(BACKENDS);
+    configure(live.kernel_mut());
+    prepopulate(live.kernel_mut());
+    let mut svc = MldsService::start_sharded(live, 2);
+    drive_with(&mut svc, SESSIONS, REQUESTS_PER_SESSION, read_heavy_requests);
+    let (mut live, report) = svc.into_parts();
+
+    assert_eq!(report.admissions.len(), SESSIONS as usize * REQUESTS_PER_SESSION);
+    let mut serial = Mlds::multi_backend(BACKENDS);
+    configure(serial.kernel_mut());
+    prepopulate(serial.kernel_mut());
+    for (i, entry) in report.admissions.iter().enumerate() {
+        let mut ns = NamespacedKernel::new(serial.kernel_mut(), &entry.db);
+        let outcome = outcome_of(&ns.execute(&entry.request));
+        assert_eq!(
+            outcome, entry.outcome,
+            "sharded admission {i} (session {}, {:?}) diverged from the serial replay",
+            entry.session, entry.request
+        );
+    }
+    assert_eq!(
+        live.kernel_mut().state_digest().unwrap(),
+        serial.kernel_mut().state_digest().unwrap(),
+        "sharded and serial final states differ"
+    );
+}
+
+/// Deterministic mixed-flight check, no thread timing involved: a
+/// hand-built batch of key-disjoint inserts and reads must fly as one
+/// mixed flight (with the point reads probing single backends) and
+/// still produce exactly the serial admission-order results and state.
+#[test]
+fn mixed_read_insert_flight_matches_serial_semantics() {
+    let build = || {
+        let mut c = Controller::new(BACKENDS);
+        c.create_file("t");
+        c.add_unique_constraint("t", vec!["u".to_owned()]);
+        for u in 0..8 {
+            let text = format!("INSERT (<FILE, t>, <u, {u}>, <v, {}>)", u * 10);
+            c.execute(&parse_request(&text).unwrap()).unwrap();
+        }
+        c
+    };
+    let batch: Vec<Request> = [
+        "INSERT (<FILE, t>, <u, 100>, <v, 1>)",
+        "RETRIEVE ((FILE = t) and (u = 3)) (*)",
+        "INSERT (<FILE, t>, <u, 101>, <v, 2>)",
+        "RETRIEVE ((FILE = t) and (u = 5)) (*)",
+        "RETRIEVE ((FILE = t) and (u = 7)) (*)",
+    ]
+    .iter()
+    .map(|t| parse_request(t).unwrap())
+    .collect();
+
+    let mut batched = build();
+    let batch_results = batched.execute_batch(&batch);
+    let mut serial = build();
+    let serial_results: Vec<_> = batch.iter().map(|r| serial.execute(r)).collect();
+    for (i, (b, s)) in batch_results.iter().zip(&serial_results).enumerate() {
+        assert_eq!(outcome_of(b), outcome_of(s), "request {i} diverged");
+    }
+    assert_eq!(
+        batched.state_digest().unwrap(),
+        serial.state_digest().unwrap(),
+        "mixed flight diverged from serial execution"
+    );
+    if !tcp_transport() {
+        let t = batched.exec_totals();
+        assert_eq!(t.sched_flights, 1, "batch should fly as one flight: {t:?}");
+        assert_eq!(t.sched_mixed_flights, 1);
+        assert_eq!(t.sched_max_flight, 5);
+        assert_eq!(t.conflict_stalls, 0);
+        assert!(t.read_probes >= 3, "point reads should probe single backends: {t:?}");
+    }
 }
 
 /// A hot standby tailing the concurrent primary's group-committed log

@@ -431,3 +431,42 @@ fn cursor_resyncs_across_a_racing_snapshot_install() {
     }
     assert_eq!(cursor.consumed(), 5);
 }
+
+// ---------------------------------------------------------------------------
+// Flight-scheduling model: overlapped reads never observe a torn batch.
+// ---------------------------------------------------------------------------
+
+use mlds::mbds::model::flight::{check_flights, FlightConfig, FlightMutation};
+
+/// The read pipeline's safety/liveness pair, machine-checked: with the
+/// scheduler's two fences in place (reads wait for earlier-admitted
+/// conflicting writes to drain; later-admitted writes wait for the
+/// probes), every interleaving of two reader sessions against a
+/// replicated write batch yields exactly the admission-prefix deleted
+/// set — and the two readers' probe envelopes still genuinely overlap.
+#[test]
+fn overlapped_reads_never_observe_a_torn_write_batch() {
+    let report = check_flights(&FlightConfig::small());
+    println!("flight_model: {}", report.summary());
+    if let Some(ce) = &report.counterexample {
+        panic!("the read pipeline violated the prefix invariant:\n{}", ce.render());
+    }
+    assert!(
+        report.overlap_reached,
+        "conflict fences must not serialise read against read"
+    );
+}
+
+/// Deleting either fence must produce a counterexample — the fences
+/// are load-bearing, not incidental.
+#[test]
+fn every_flight_mutation_is_caught() {
+    for mutation in FlightMutation::ALL {
+        let report = check_flights(&FlightConfig::with_mutation(mutation));
+        println!("{}: {}", mutation.name(), report.summary());
+        let ce = report
+            .counterexample
+            .unwrap_or_else(|| panic!("{} produced no counterexample", mutation.name()));
+        assert!(!ce.trace.is_empty());
+    }
+}

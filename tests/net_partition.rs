@@ -386,3 +386,74 @@ fn faulty_ship_link_standby_converges_and_promotes_to_primary_digest() {
     drop(c);
     p.execute(&insert_req(4242)).unwrap();
 }
+
+/// Property 3, through the batch front door: the same lossy links, but
+/// the workload arrives as `execute_batch` calls mixing inserts and
+/// point reads — the path every sharded-dispatcher session takes. Over
+/// TCP the scheduler keeps its serial fallback, so this pins that the
+/// batch API's retry/idempotency story is exactly the solo path's: the
+/// final digest equals a clean serial run's.
+#[test]
+fn lossy_link_batched_workload_converges_to_clean_digest() {
+    use mlds::abdl::parse::parse_request;
+
+    let mut rng = Prng::seed_from_u64(0xBA7C);
+    let mut batches: Vec<Vec<Request>> = Vec::new();
+    for _ in 0..10 {
+        let mut batch = Vec::new();
+        for _ in 0..8 {
+            let roll = rng.gen_range(0, 100);
+            batch.push(if roll < 40 {
+                Request::Insert {
+                    record: Record::from_pairs([("FILE", Value::str("f"))])
+                        .with("v", Value::Int(rng.gen_range(0, 1000))),
+                }
+            } else if roll < 55 {
+                parse_request(&format!(
+                    "UPDATE ((FILE = f) and (v < {})) (m = {})",
+                    rng.gen_range(0, 1000),
+                    rng.gen_range(0, 10)
+                ))
+                .unwrap()
+            } else if roll < 80 {
+                parse_request(&format!(
+                    "RETRIEVE ((FILE = f) and (v < {})) (*)",
+                    rng.gen_range(0, 1000)
+                ))
+                .unwrap()
+            } else {
+                parse_request("RETRIEVE (FILE = f) (*)").unwrap()
+            });
+        }
+        batches.push(batch);
+    }
+
+    let mut clean = Controller::over_tcp(BACKENDS, REPLICATION).unwrap();
+    clean.try_create_file("f").unwrap();
+    for batch in &batches {
+        for req in batch {
+            let _ = clean.execute(req);
+        }
+    }
+    let want_digest = clean.state_digest().unwrap();
+    let want_answers = probe(&mut clean);
+
+    let mut lossy = Controller::over_tcp(BACKENDS, REPLICATION).unwrap();
+    lossy.set_reply_timeout(std::time::Duration::from_millis(400));
+    lossy.set_retry_budget(4);
+    lossy.try_create_file("f").unwrap();
+    lossy.set_net_fault_plan(
+        NetFaultPlan::seeded(0x5EED5, BACKENDS, 40)
+            .with(0, LinkDir::Send, 3, NetFaultKind::Drop)
+            .with(1, LinkDir::Recv, 4, NetFaultKind::Reorder)
+            .with(2, LinkDir::Recv, 5, NetFaultKind::Drop),
+    );
+    for batch in &batches {
+        for res in lossy.execute_batch(batch) {
+            let _ = res;
+        }
+    }
+
+    assert_eq!(lossy.state_digest().unwrap(), want_digest, "batched lossy run diverged");
+    assert_eq!(probe(&mut lossy), want_answers);
+}

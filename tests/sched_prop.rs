@@ -71,7 +71,7 @@ fn gen_request(rng: &mut Prng) -> Request {
         record = record.with("x", Value::Int(rng.gen_range(0, 1000)));
         Request::Insert { record }
     } else {
-        let text = match rng.gen_range(0, 5) {
+        let text = match rng.gen_range(0, 6) {
             0 => format!("DELETE ((FILE = {file}) and (x < {}))", rng.gen_range(0, 1000)),
             1 => format!(
                 "UPDATE ((FILE = {file}) and (x < {})) (x = {})",
@@ -80,11 +80,38 @@ fn gen_request(rng: &mut Prng) -> Request {
             ),
             2 => format!("RETRIEVE ((FILE = {file}) and (x < {})) (*)", rng.gen_range(0, 1000)),
             3 => format!("RETRIEVE (FILE = {file}) (*)"),
+            // Key-scoped point read: pins g's unique group.
+            4 => format!("RETRIEVE ((FILE = g) and (u = {})) (*)", rng.gen_range(0, 8)),
             // Unscoped query: a broadcast read.
             _ => format!("RETRIEVE (x < {}) (*)", rng.gen_range(0, 1000)),
         };
         parse_request(&text).expect("generated request parses")
     }
+}
+
+/// One seeded random *read*: scoped and unscoped range reads, full
+/// scans, key-pinned point reads (single- and composite-group), and a
+/// mixed disjunction.
+fn gen_read(rng: &mut Prng) -> Request {
+    let file = FILES[rng.gen_range(0, FILES.len() as i64) as usize];
+    let text = match rng.gen_range(0, 6) {
+        0 => format!("RETRIEVE ((FILE = {file}) and (x < {})) (*)", rng.gen_range(0, 1000)),
+        1 => format!("RETRIEVE (FILE = {file}) (*)"),
+        // Unscoped: a broadcast read.
+        2 => format!("RETRIEVE (x < {}) (*)", rng.gen_range(0, 1000)),
+        3 => format!("RETRIEVE ((FILE = g) and (u = {})) (*)", rng.gen_range(0, 8)),
+        4 => format!(
+            "RETRIEVE ((FILE = k) and (u = {}) and (v = {})) (*)",
+            rng.gen_range(0, 8),
+            rng.gen_range(0, 4)
+        ),
+        _ => format!(
+            "RETRIEVE (((FILE = g) and (u = {})) or ((FILE = {file}) and (x < {}))) (*)",
+            rng.gen_range(0, 8),
+            rng.gen_range(0, 1000)
+        ),
+    };
+    parse_request(&text).expect("generated read parses")
 }
 
 /// Property 1: classification is symmetric over 2000 seeded pairs.
@@ -172,6 +199,53 @@ fn parallel_flights_commute_in_either_serial_order() {
             ab.state_digest().unwrap(),
             "flight execution diverges from serial admission order:\n  a = {a:?}\n  b = {b:?}"
         );
+    }
+}
+
+/// Satellite property of the read pipeline: reads always commute, so a
+/// seeded read-only batch — whatever mix of scopes, broadcast scans
+/// included — forms exactly one flight with zero conflict stalls.
+#[test]
+fn read_only_batches_always_form_a_single_flight() {
+    let uniques = uniques();
+    let mut rng = Prng::seed_from_u64(0xBEAD_5EED);
+    for round in 0..40u64 {
+        let n = 2 + (round % 7) as usize;
+        let batch: Vec<Request> = (0..n).map(|_| gen_read(&mut rng)).collect();
+        let fps: Vec<Footprint> =
+            batch.iter().map(|r| Footprint::of(r, &uniques)).collect();
+        for (i, fa) in fps.iter().enumerate() {
+            for (j, fb) in fps.iter().enumerate().skip(i + 1) {
+                assert!(
+                    !fa.conflicts(fb),
+                    "read pair classified conflicting:\n  a = {:?}\n  b = {:?}",
+                    batch[i],
+                    batch[j]
+                );
+            }
+        }
+        // Integration: the scheduler actually flies the whole batch as
+        // one read flight. (The socket transport executes batches on
+        // the solo path — one in-flight request per link — so the
+        // flight counters are an in-process claim.)
+        let mut c = kernel();
+        for i in 0..6 {
+            let rec = Record::from_pairs([("FILE", Value::str("g"))])
+                .with("u", Value::Int(i))
+                .with("x", Value::Int(i * 100));
+            c.execute(&Request::Insert { record: rec }).expect("seed insert");
+        }
+        let results = c.execute_batch(&batch);
+        assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+        if std::env::var("MBDS_TRANSPORT").is_ok_and(|v| v == "tcp") {
+            continue;
+        }
+        let t = c.exec_totals();
+        assert_eq!(t.sched_flights, 1, "batch of {n} reads split into flights");
+        assert_eq!(t.sched_read_flights, 1);
+        assert_eq!(t.sched_mixed_flights, 0);
+        assert_eq!(t.conflict_stalls, 0, "a read stalled on a read");
+        assert_eq!(t.sched_max_flight, n as u64);
     }
 }
 
