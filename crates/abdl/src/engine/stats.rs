@@ -92,6 +92,16 @@ pub struct ExecTotals {
     /// Largest cross-session WAL group-commit batch flushed — appends
     /// paid for by a single sync (0 on a non-durable kernel).
     pub wal_max_batch: u64,
+    /// Replica groups moved by the online rebalancer (backend
+    /// add/drain); each move is WAL-bracketed and atomic to readers.
+    pub groups_moved: u64,
+    /// Canonical-text bytes of record data copied by group moves — the
+    /// data volume the rebalancer shipped between backends.
+    pub move_bytes: u64,
+    /// Requests that lost their flight slot to an in-progress rebalance
+    /// (an in-flight group move is a write conflict, so batches execute
+    /// solo until the move queue drains).
+    pub rebalance_stalls: u64,
 }
 
 /// Records per simulated disk block.

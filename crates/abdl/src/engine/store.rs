@@ -164,6 +164,31 @@ impl Store {
         Ok(())
     }
 
+    /// Raw lookup by database key (MBDS chunked group moves: the
+    /// controller fetches exactly the keys of one move chunk instead of
+    /// scanning whole files). Returns `None` when the key is not stored
+    /// here.
+    pub fn record_by_key(&self, key: DbKey) -> Option<&Record> {
+        let file = self.key_files.get(&key)?;
+        self.files.get(file)?.records.get(&key)
+    }
+
+    /// Raw removal by database key (MBDS group moves: a record whose
+    /// replica group migrated away is physically deleted from its old
+    /// home so broadcast reads cannot resurrect it). Index maintenance
+    /// included; uniqueness bookkeeping stays with the controller, as
+    /// with [`Store::insert_with_key`]. Returns the removed record, or
+    /// `None` when the key was not stored here.
+    pub fn remove_by_key(&mut self, key: DbKey) -> Option<Record> {
+        let file = self.key_files.remove(&key)?;
+        let data = self.files.get_mut(&file)?;
+        let record = data.records.remove(&key)?;
+        if self.indexing {
+            data.index_remove(key, &record);
+        }
+        Some(record)
+    }
+
     /// Cumulative execution counters since the store was built.
     pub fn exec_totals(&self) -> ExecTotals {
         self.totals

@@ -8,8 +8,8 @@
 //! ```
 
 use mlds_bench::{
-    e15_report, e16_report, e17_report, e18_report, e19_report, e20_report, run_experiment,
-    EXPERIMENTS,
+    e15_report, e16_report, e17_report, e18_report, e19_report, e20_report, e21_report,
+    run_experiment, EXPERIMENTS,
 };
 
 fn main() {
@@ -75,6 +75,16 @@ fn main() {
             match std::fs::write("BENCH_PR9.json", &report.json) {
                 Ok(()) => eprintln!("wrote BENCH_PR9.json"),
                 Err(e) => eprintln!("could not write BENCH_PR9.json: {e}"),
+            }
+            continue;
+        }
+        if id == "e21" {
+            // e21 also emits its raw numbers for CI to archive.
+            let report = e21_report();
+            println!("{}", report.table);
+            match std::fs::write("BENCH_PR10.json", &report.json) {
+                Ok(()) => eprintln!("wrote BENCH_PR10.json"),
+                Err(e) => eprintln!("could not write BENCH_PR10.json: {e}"),
             }
             continue;
         }

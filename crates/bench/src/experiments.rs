@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Experiment ids with one-line descriptions.
-pub const EXPERIMENTS: [(&str, &str); 20] = [
+pub const EXPERIMENTS: [(&str, &str); 21] = [
     ("e1", "Figure 2.1/2.2 — the University Daplex schema census"),
     ("e2", "Figure 2.3 — ABDM records, keyword predicates and DNF queries"),
     ("e3", "Figure 3.3 — the AB(functional) University kernel layout"),
@@ -29,6 +29,7 @@ pub const EXPERIMENTS: [(&str, &str); 20] = [
     ("e18", "Concurrent front door — throughput and latency vs session count"),
     ("e19", "Model checker — failover state-space growth and mutation kill table"),
     ("e20", "Parallel read flights — throughput vs read fraction, sessions and backends"),
+    ("e21", "Elastic cluster — rebalance throughput vs foreground degradation"),
 ];
 
 /// Run one experiment by id.
@@ -54,6 +55,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e18" => Some(e18()),
         "e19" => Some(e19()),
         "e20" => Some(e20()),
+        "e21" => Some(e21()),
         _ => None,
     }
 }
@@ -1838,6 +1840,351 @@ pub fn e20() -> String {
     e20_report().table
 }
 
+// ----- E21 ------------------------------------------------------------
+
+/// Raw numbers from the E21 elastic-cluster sweep, plus the rendered
+/// tables. The `experiments` binary writes `json` to `BENCH_PR10.json`
+/// whenever e21 is selected so CI can archive the run.
+pub struct E21Report {
+    /// The human-readable tables (what [`e21`] returns).
+    pub table: String,
+    /// The same numbers as a machine-readable JSON document.
+    pub json: String,
+    /// Foreground throughput while the add-backend rebalance was in
+    /// flight, as a fraction of the quiescent baseline, at the largest
+    /// working set.
+    pub fg_retained_add: f64,
+    /// Same fraction while backend 0 was draining.
+    pub fg_retained_drain: f64,
+    /// Group-move shipping rate (MB/s) across add + drain at the
+    /// largest working set.
+    pub move_mb_per_s: f64,
+    /// Flat-map bytes / interval-compressed resident bytes of the
+    /// key→group directory map at the largest working set.
+    pub compression_ratio: f64,
+    /// The elastic run's logical digest matched a static cluster that
+    /// executed the same workload with no membership changes.
+    pub elastic_matches_static: bool,
+}
+
+/// One scale point of the E21 sweep.
+struct E21Scale {
+    rows: i64,
+    /// Quiescent foreground throughput (req/s) before any rebalance.
+    base_rps: f64,
+    /// Foreground req/s while the add (resp. drain) queue was
+    /// non-empty, and the wall-clock seconds of that window.
+    add_rps: f64,
+    add_secs: f64,
+    drain_rps: f64,
+    drain_secs: f64,
+    /// Worst single 64-request batch (seconds) observed across the add
+    /// and drain windows — the per-client stall bound the chunked
+    /// brackets guarantee.
+    worst_batch_secs: f64,
+    /// Rebalance work across add + drain: groups retargeted, record
+    /// bytes shipped, foreground batches stalled out of flight
+    /// formation.
+    groups: u64,
+    bytes: u64,
+    stalls: u64,
+    compression: mbds::CompressionStats,
+    /// `Some(matched)` when the static-cluster digest replay ran.
+    matches_static: Option<bool>,
+}
+
+/// Foreground batch for the elastic sweep: 64 requests, 90% key-scoped
+/// point reads over the seeded working set, 10% fresh unique inserts
+/// (whose keys are pushed onto `inserted` so a static replay can
+/// reproduce the run).
+fn e21_batch(
+    rows: i64,
+    probe: &mut i64,
+    next_key: &mut i64,
+    inserted: &mut Vec<i64>,
+) -> Vec<abdl::Request> {
+    let mut batch = Vec::with_capacity(64);
+    for i in 0..64 {
+        if i % 10 == 9 {
+            *next_key += 1;
+            inserted.push(*next_key);
+            batch.push(abdl::Request::Insert {
+                record: abdl::Record::from_pairs([("FILE", abdl::Value::str("t"))])
+                    .with("u", abdl::Value::Int(*next_key))
+                    .with("v", abdl::Value::Int(*next_key % 997)),
+            });
+        } else {
+            *probe += 7919; // a prime stride scatters probes over the set
+            batch.push(
+                abdl::parse::parse_request(&format!(
+                    "RETRIEVE ((FILE = t) and (u = {})) (*)",
+                    *probe % rows
+                ))
+                .unwrap(),
+            );
+        }
+    }
+    batch
+}
+
+/// A 3-backend in-memory controller with `rows` unique-keyed records
+/// in file `t`, seeded through the batch path.
+fn e21_controller(rows: i64) -> mbds::Controller {
+    let mut c = mbds::Controller::new(3);
+    // The bench measures throughput, not failure detection: at millions
+    // of rows a snapshot-scale scan can outlast the default 1 s reply
+    // window, and a wrongly-demoted backend would silently drop records
+    // from the elastic run. Give the window benchmark-scale headroom.
+    c.set_reply_timeout(std::time::Duration::from_secs(300));
+    // Gentle rebalance pacing: each foreground request piggybacks at
+    // most one 8-record move bracket, so the worst-case per-request
+    // stall stays in the sub-millisecond range at the cost of a longer
+    // rebalance window. (The default 512-record chunk optimizes for
+    // window length instead and retains almost no foreground
+    // throughput at this scale.)
+    c.set_move_chunk(8);
+    c.create_file("t");
+    c.add_unique_constraint("t", vec!["u".to_owned()]);
+    let seed: Vec<abdl::Request> = (0..rows)
+        .map(|u| abdl::Request::Insert {
+            record: abdl::Record::from_pairs([("FILE", abdl::Value::str("t"))])
+                .with("u", abdl::Value::Int(u))
+                .with("v", abdl::Value::Int(u * 37 % 997)),
+        })
+        .collect();
+    for chunk in seed.chunks(256) {
+        for res in c.execute_batch(chunk) {
+            res.expect("e21 seed insert");
+        }
+    }
+    c
+}
+
+/// Run foreground batches until `done(c)`, returning (req/s, secs,
+/// worst single-batch seconds). At least one batch always runs so a
+/// quiescent window still measures something. The worst-batch figure
+/// is the degradation bound a client actually observes: no 64-request
+/// batch stalls longer than this while moves are in flight.
+fn e21_drive(
+    c: &mut mbds::Controller,
+    rows: i64,
+    probe: &mut i64,
+    next_key: &mut i64,
+    inserted: &mut Vec<i64>,
+    mut done: impl FnMut(&mbds::Controller) -> bool,
+) -> (f64, f64, f64) {
+    let mut n = 0u64;
+    let mut worst = 0.0f64;
+    let start = Instant::now();
+    loop {
+        let batch = e21_batch(rows, probe, next_key, inserted);
+        n += batch.len() as u64;
+        let batch_start = Instant::now();
+        for res in c.execute_batch(&batch) {
+            res.expect("e21 foreground request");
+        }
+        worst = worst.max(batch_start.elapsed().as_secs_f64());
+        if done(c) {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (n as f64 / secs, secs, worst)
+}
+
+/// One E21 scale point: seed `rows` records on 3 backends, measure the
+/// quiescent foreground baseline, then add a backend and drain backend
+/// 0 with foreground traffic flowing — the controller amortizes the
+/// queued group moves behind each request. With `check_static`, a
+/// fresh 3-backend cluster replays the same logical workload and the
+/// placement-independent digests are compared.
+fn e21_measure(rows: i64, check_static: bool) -> E21Scale {
+    const BASELINE_BATCHES: usize = 24;
+    let mut c = e21_controller(rows);
+    let compression = c.directory_compression();
+    let mut probe = 0i64;
+    let mut next_key = rows;
+    let mut inserted: Vec<i64> = Vec::new();
+
+    // Quiescent baseline (warm one batch untimed first).
+    for res in c.execute_batch(&e21_batch(rows, &mut probe, &mut next_key, &mut inserted)) {
+        res.expect("e21 warmup");
+    }
+    let mut left = BASELINE_BATCHES;
+    let (base_rps, _, _) =
+        e21_drive(&mut c, rows, &mut probe, &mut next_key, &mut inserted, |_| {
+            left -= 1;
+            left == 0
+        });
+
+    let t0 = c.exec_totals();
+    c.add_backend().expect("e21 add backend");
+    let (add_rps, add_secs, add_worst) =
+        e21_drive(&mut c, rows, &mut probe, &mut next_key, &mut inserted, |c| {
+            c.rebalance_pending() == 0
+        });
+
+    c.drain_backend(0).expect("e21 drain backend 0");
+    let (drain_rps, drain_secs, drain_worst) =
+        e21_drive(&mut c, rows, &mut probe, &mut next_key, &mut inserted, |c| {
+            c.rebalance_pending() == 0
+        });
+    let t1 = c.exec_totals();
+
+    let matches_static = check_static.then(|| {
+        let mut s = e21_controller(rows);
+        let extra: Vec<abdl::Request> = inserted
+            .iter()
+            .map(|&u| abdl::Request::Insert {
+                record: abdl::Record::from_pairs([("FILE", abdl::Value::str("t"))])
+                    .with("u", abdl::Value::Int(u))
+                    .with("v", abdl::Value::Int(u % 997)),
+            })
+            .collect();
+        for chunk in extra.chunks(256) {
+            for res in s.execute_batch(chunk) {
+                res.expect("e21 static replay insert");
+            }
+        }
+        s.logical_digest().expect("static digest") == c.logical_digest().expect("elastic digest")
+    });
+
+    E21Scale {
+        rows,
+        base_rps,
+        add_rps,
+        add_secs,
+        drain_rps,
+        drain_secs,
+        worst_batch_secs: add_worst.max(drain_worst),
+        groups: t1.groups_moved - t0.groups_moved,
+        bytes: t1.move_bytes - t0.move_bytes,
+        stalls: t1.rebalance_stalls - t0.rebalance_stalls,
+        compression,
+        matches_static,
+    }
+}
+
+/// Run the E21 sweep: three working-set sizes up to `MLDS_E21_ROWS`
+/// records (default 1,000,000 — override the env var for a quicker or
+/// deeper run), each measuring the quiescent foreground baseline, then
+/// an online add-backend and a drain with traffic flowing; the largest
+/// scale also replays the workload on a static cluster and compares
+/// placement-independent digests.
+pub fn e21_report() -> E21Report {
+    let full: i64 = std::env::var("MLDS_E21_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1_000)
+        .unwrap_or(1_000_000);
+    let scales = [full / 10, full / 3, full];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "elastic cluster: 3 in-memory backends (k = 2), 64-request foreground batches \
+         (90% point reads / 10% fresh inserts); .addbackend then .drain 0 with traffic \
+         flowing, group moves amortized behind each request\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>10} {:>13} {:>8} {:>13} {:>8} {:>8} {:>7} {:>9} {:>7} {:>8}",
+        "rows", "base req/s", "add-win req/s", "add s", "drain-win r/s", "drain s", "worst ms",
+        "groups", "moved MB", "MB/s", "stalls"
+    );
+    let mut rows_json = String::new();
+    let mut last: Option<E21Scale> = None;
+    for (i, &rows) in scales.iter().enumerate() {
+        let m = e21_measure(rows, i == scales.len() - 1);
+        let mb = m.bytes as f64 / 1e6;
+        let mbps = mb / (m.add_secs + m.drain_secs).max(1e-9);
+        let _ = writeln!(
+            out,
+            "{:>9} {:>10.0} {:>13.0} {:>8.2} {:>13.0} {:>8.2} {:>8.1} {:>7} {:>9.1} {:>7.1} {:>8}",
+            m.rows, m.base_rps, m.add_rps, m.add_secs, m.drain_rps, m.drain_secs,
+            m.worst_batch_secs * 1e3, m.groups, mb, mbps, m.stalls
+        );
+        if !rows_json.is_empty() {
+            rows_json.push_str(",\n");
+        }
+        let _ = write!(
+            rows_json,
+            "    {{ \"rows\": {}, \"baseline_rps\": {:.1}, \"add_window_rps\": {:.1}, \
+             \"add_window_s\": {:.3}, \"drain_window_rps\": {:.1}, \"drain_window_s\": {:.3}, \
+             \"worst_batch_s\": {:.4}, \
+             \"groups_moved\": {}, \"move_bytes\": {}, \"rebalance_stalls\": {}, \
+             \"dir_entries\": {}, \"dir_flat_bytes\": {}, \"dir_resident_bytes\": {}, \
+             \"dir_runs\": {}, \"dir_overlay\": {}, \"matches_static\": {} }}",
+            m.rows,
+            m.base_rps,
+            m.add_rps,
+            m.add_secs,
+            m.drain_rps,
+            m.drain_secs,
+            m.worst_batch_secs,
+            m.groups,
+            m.bytes,
+            m.stalls,
+            m.compression.entries,
+            m.compression.flat_bytes,
+            m.compression.resident_bytes,
+            m.compression.runs,
+            m.compression.overlay,
+            m.matches_static.map_or("null".to_owned(), |b| b.to_string())
+        );
+        last = Some(m);
+    }
+    let m = last.expect("at least one scale ran");
+    let fg_retained_add = m.add_rps / m.base_rps;
+    let fg_retained_drain = m.drain_rps / m.base_rps;
+    let move_mb_per_s = m.bytes as f64 / 1e6 / (m.add_secs + m.drain_secs).max(1e-9);
+    let compression_ratio =
+        m.compression.flat_bytes as f64 / m.compression.resident_bytes.max(1) as f64;
+    let elastic_matches_static = m.matches_static.unwrap_or(false);
+    let _ = writeln!(
+        out,
+        "\ndirectory map at {} rows: {} entries, flat ~{} B vs compressed ~{} B \
+         ({compression_ratio:.1}x, {} run(s) + {} overlay)",
+        m.rows,
+        m.compression.entries,
+        m.compression.flat_bytes,
+        m.compression.resident_bytes,
+        m.compression.runs,
+        m.compression.overlay
+    );
+    let _ = writeln!(
+        out,
+        "foreground retained during rebalance: {:.0}% (add), {:.0}% (drain); \
+         worst 64-request batch stalled {:.1} ms; moves shipped at {move_mb_per_s:.1} MB/s; \
+         elastic digest {} the static cluster's",
+        fg_retained_add * 100.0,
+        fg_retained_drain * 100.0,
+        m.worst_batch_secs * 1e3,
+        if elastic_matches_static { "matches" } else { "DIVERGED from" }
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"e21\",\n  \"backends\": 3,\n  \"replication\": 2,\n  \
+         \"fg_retained_add\": {fg_retained_add:.3},\n  \
+         \"fg_retained_drain\": {fg_retained_drain:.3},\n  \
+         \"move_mb_per_s\": {move_mb_per_s:.2},\n  \
+         \"compression_ratio\": {compression_ratio:.2},\n  \
+         \"elastic_matches_static\": {elastic_matches_static},\n  \"runs\": [\n{rows_json}\n  ]\n}}\n"
+    );
+    E21Report {
+        table: out,
+        json,
+        fg_retained_add,
+        fg_retained_drain,
+        move_mb_per_s,
+        compression_ratio,
+        elastic_matches_static,
+    }
+}
+
+/// The elastic-cluster sweep; [`e21_report`] has the raw numbers.
+pub fn e21() -> String {
+    e21_report().table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1845,7 +2192,7 @@ mod tests {
     #[test]
     fn every_experiment_runs() {
         for (id, _) in EXPERIMENTS {
-            if id == "e9" || id == "e20" {
+            if id == "e9" || id == "e20" || id == "e21" {
                 continue; // timing sweeps; covered by their own tests
             }
             let out = run_experiment(id).unwrap_or_else(|| panic!("missing {id}"));
@@ -1972,6 +2319,25 @@ mod tests {
             "JSON malformed:\n{}",
             r.json
         );
+    }
+
+    #[test]
+    fn e21_elastic_run_matches_the_static_cluster() {
+        // A CI-scale point of the E21 sweep: the timing columns are
+        // whatever the host gives, but the correctness columns are
+        // asserted — groups actually moved, bytes actually shipped,
+        // and the elastic run's placement-independent digest matches
+        // a static cluster that executed the same workload.
+        let m = e21_measure(2_000, true);
+        assert!(m.groups > 0, "add + drain moved no groups");
+        assert!(m.bytes > 0, "group moves shipped no record bytes");
+        assert_eq!(
+            m.matches_static,
+            Some(true),
+            "elastic digest diverged from the static cluster"
+        );
+        assert!(m.base_rps > 0.0 && m.add_rps > 0.0 && m.drain_rps > 0.0);
+        assert_eq!(m.compression.entries, 2_000);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::health::{BackendState, HealthBoard};
 use crate::net::{self, kind, Frame, NetFaultPlan, TcpLink, WireOp, WireReply};
 use crate::placement::Partitioner;
+use crate::rebalance::{self, MoveJob, Rebalancer};
 use crate::sched::Footprint;
 use crate::wal::{FileLog, LogRecord, LogStore, SnapshotData, Wal, WalStats};
 use abdl::engine::aggregate;
@@ -62,6 +63,14 @@ pub(crate) enum BackendOp {
     CreateFile(String),
     InsertWithKey(DbKey, Record),
     Exec(Request),
+    /// Physically remove records by key — the cleanup half of a
+    /// rebalance group move. A copy left behind on an abandoned member
+    /// would be resurrected by the next broadcast read.
+    DeleteKeys(Vec<DbKey>),
+    /// Fetch records by key — the copy half of a rebalance chunk. The
+    /// move path asks for exactly the chunk's keys instead of scanning
+    /// whole files, so a chunk costs O(chunk), not O(database).
+    FetchKeys(Vec<DbKey>),
     Shutdown,
 }
 
@@ -198,6 +207,9 @@ pub(crate) struct PromotedParts {
     pub(crate) unique_index: HashMap<(String, usize), BTreeMap<Vec<Value>, BTreeSet<DbKey>>>,
     pub(crate) resident: HashMap<String, Vec<u64>>,
     pub(crate) dead: Vec<usize>,
+    pub(crate) draining: BTreeSet<usize>,
+    pub(crate) retired: BTreeSet<usize>,
+    pub(crate) unwrapping: bool,
 }
 
 /// The MBDS controller: owns the backends, assigns database keys,
@@ -276,6 +288,24 @@ pub struct Controller {
     read_probes_by_backend: Vec<u64>,
     /// Lifetime execution counters (requests, messages, examined).
     totals: ExecTotals,
+    /// Backends being drained: excluded from new placement and from
+    /// drain-substitute choices, still serving reads until their last
+    /// group move commits and `drain-end` retires them.
+    draining: BTreeSet<usize>,
+    /// True between `add-backend` and `add-end`: the unwrap rebalance
+    /// for an online add has not finished yet (recovery re-plans the
+    /// remaining moves from this flag).
+    unwrapping: bool,
+    /// The throttled queue of pending group moves.
+    rebalancer: Rebalancer,
+    /// Records relocated per WAL bracket: large groups move as a
+    /// sequence of bounded chunks so a pump step never stalls a
+    /// foreground request behind a whole-group copy.
+    move_chunk: usize,
+    /// Remaining key list of the group currently being moved, scanned
+    /// once and drained chunk by chunk. Purely an in-memory cache: it
+    /// is never persisted, and recovery / retry paths rescan instead.
+    move_cursor: Option<(Vec<usize>, Vec<DbKey>)>,
     /// `Some` when the backends are separate OS processes over TCP.
     net: Option<Arc<SharedNet>>,
     /// Retransmissions attempted per reply window on the socket
@@ -403,6 +433,11 @@ impl Controller {
             parallel_reads: true,
             read_probes_by_backend: vec![0; n],
             totals: ExecTotals::default(),
+            draining: BTreeSet::new(),
+            unwrapping: false,
+            rebalancer: Rebalancer::new(),
+            move_chunk: rebalance::DEFAULT_MOVE_CHUNK,
+            move_cursor: None,
             net: None,
             retry_budget: DEFAULT_RETRY_BUDGET,
             client_id: 0,
@@ -476,6 +511,13 @@ impl Controller {
         for entry in &entries {
             c.apply_entry(entry)?;
         }
+        // A crash mid-rebalance leaves the membership goal durable
+        // (`add-backend` without `add-end`, `drain-begin` without
+        // `drain-end`) but the move queue in memory: re-derive the
+        // remaining moves from the recovered directory. Planning is
+        // state-based, so moves that committed before the crash drop
+        // out and the re-plan converges to the same final placement.
+        c.replan_rebalance();
         // Recovery starts a *new* lineage: bump past the highest epoch
         // the store has seen (line stamps or fence) and durably raise
         // the fence to match. Merely adopting the highest epoch would
@@ -538,6 +580,7 @@ impl Controller {
             health.channel_closed(i);
         }
         let client_id = if link.net.is_some() { next_client_id() } else { 0 };
+        let retired = parts.retired.clone();
         let backends = if let Some(shared) = link.net.as_ref() {
             // Socket transport: dial every backend process with a fresh
             // identity. The Hello carries the promoted epoch, raising
@@ -593,6 +636,11 @@ impl Controller {
             parallel_reads: true,
             read_probes_by_backend: vec![0; n],
             totals: ExecTotals::default(),
+            draining: parts.draining,
+            unwrapping: parts.unwrapping,
+            rebalancer: Rebalancer::new(),
+            move_chunk: rebalance::DEFAULT_MOVE_CHUNK,
+            move_cursor: None,
             net: link.net,
             retry_budget: DEFAULT_RETRY_BUDGET,
             client_id,
@@ -608,7 +656,19 @@ impl Controller {
                 let connected =
                     c.backends[i].tcp.as_ref().is_some_and(|link| link.is_connected());
                 if connected && !c.health.is_serving(i) {
-                    let _ = c.restore_reconnected(i);
+                    if retired.contains(&i) {
+                        // Not a partition casualty: the primary logged
+                        // `drain-end` but died before stopping the
+                        // worker. Finish the retirement instead of
+                        // restoring an emptied backend into service.
+                        let frame = WireOp::Shutdown.into_frame(0, c.epoch);
+                        if let Some(link) = c.backends[i].tcp.as_mut() {
+                            let _ = link.send(&frame);
+                        }
+                        c.reap_child(i);
+                    } else {
+                        let _ = c.restore_reconnected(i);
+                    }
                 }
             }
         }
@@ -848,6 +908,12 @@ impl Controller {
             self.directory.groups_in_use().count(),
             self.directory.estimated_bytes(),
         )
+    }
+
+    /// The key-map compression picture (`.stats`): what a flat map
+    /// would cost versus the interval-compressed resident bytes.
+    pub fn directory_compression(&self) -> crate::directory::CompressionStats {
+        self.directory.compression_stats()
     }
 
     /// Toggle scoped routing (on by default). Off = every request is
@@ -1119,6 +1185,8 @@ impl Controller {
             replication: self.replication,
             next_key: self.next_key,
             dead: self.health.unavailable(),
+            draining: self.draining.iter().copied().collect(),
+            unwrap: self.unwrapping,
             rotors: self.partitioner.rotors(),
             files: self.files.clone(),
             uniques,
@@ -1170,6 +1238,8 @@ impl Controller {
         for &i in &snap.dead {
             self.kill_backend(i);
         }
+        self.draining = snap.draining.iter().copied().collect();
+        self.unwrapping = snap.unwrap;
         self.degraded_dirty = true;
         Ok(())
     }
@@ -1218,6 +1288,47 @@ impl Controller {
             // re-running the restart is idempotent.
             LogRecord::RestartBegin { backend } => self.restart_backend(*backend),
             LogRecord::RestartEnd { .. } => Ok(()),
+            // Same bracket discipline for rebalance moves: the chunk is
+            // (re)performed at the begin marker with exactly the keys
+            // the live run bracketed — so replay commits placement in
+            // the same per-key/retarget sequence the live run did, and
+            // an unmatched begin from a crash mid-chunk is safely
+            // redone. (`self.wal` is `None` during replay, so the
+            // bracket re-logs nothing.)
+            LogRecord::MoveBegin { from, to, keys } => {
+                let (from, to) = (from.clone(), to.clone());
+                let keys: Vec<DbKey> = keys.iter().map(|&k| DbKey(k)).collect();
+                self.wal_begin_batch();
+                let result = self.move_group_inner(&from, &to, &keys);
+                let flush = self.wal_commit_batch();
+                result?;
+                flush?;
+                self.degraded_dirty = true;
+                Ok(())
+            }
+            LogRecord::MoveEnd { .. } => Ok(()),
+            LogRecord::AddBackend { backend } => {
+                // A snapshot taken after the add already spawned the
+                // wider cluster; only grow past the current width.
+                if *backend + 1 > self.backends.len() {
+                    self.grow_cluster(*backend + 1)?;
+                }
+                self.unwrapping = true;
+                Ok(())
+            }
+            LogRecord::AddEnd { .. } => {
+                self.unwrapping = false;
+                Ok(())
+            }
+            LogRecord::DrainBegin { backend } => {
+                self.draining.insert(*backend);
+                Ok(())
+            }
+            LogRecord::DrainEnd { backend } => {
+                self.draining.remove(backend);
+                self.shutdown_backend(*backend);
+                Ok(())
+            }
         }
     }
 
@@ -1237,6 +1348,19 @@ impl Controller {
     /// partition is unavailable until `restart_backend` (which can then
     /// only recover what other replicas still hold).
     pub fn kill_backend(&mut self, i: usize) {
+        if i >= self.backends.len() || !self.health.is_serving(i) {
+            return;
+        }
+        self.shutdown_backend(i);
+        self.log_append_stashing(LogRecord::Dead { backend: i });
+        self.maybe_snapshot();
+    }
+
+    /// The transport half of [`kill_backend`](Self::kill_backend):
+    /// stop backend `i`'s worker (thread or process) and mark it dead,
+    /// without logging — callers decide whether the death is recorded
+    /// as a failure (`dead`) or a retirement (`drain-end`).
+    fn shutdown_backend(&mut self, i: usize) {
         if i >= self.backends.len() || !self.health.is_serving(i) {
             return;
         }
@@ -1261,8 +1385,6 @@ impl Controller {
         }
         self.health.channel_closed(i);
         self.degraded_dirty = true;
-        self.log_append_stashing(LogRecord::Dead { backend: i });
-        self.maybe_snapshot();
     }
 
     /// Recovery: respawn backend `i` with an empty store, replay the
@@ -1402,6 +1524,596 @@ impl Controller {
         self.log_append(LogRecord::RestartEnd { backend: i })
     }
 
+    // --- Elastic membership: online backend add / drain -------------
+
+    /// True when no membership change is in flight.
+    fn rebalance_idle(&self) -> bool {
+        self.rebalancer.is_idle() && !self.unwrapping && self.draining.is_empty()
+    }
+
+    /// Group moves still queued (0 = the cluster is in its goal
+    /// placement).
+    pub fn rebalance_pending(&self) -> usize {
+        self.rebalancer.pending()
+    }
+
+    /// Bound the group moves piggybacked on each foreground request
+    /// (floored at 1) — the knob experiment E21 sweeps.
+    pub fn set_rebalance_throttle(&mut self, throttle: usize) {
+        self.rebalancer.set_throttle(throttle);
+    }
+
+    /// Bound the records relocated per move bracket (floored at 1).
+    /// Together with the throttle this caps the work a pump step can
+    /// piggyback on one foreground request at
+    /// O(throttle × chunk) records.
+    pub fn set_move_chunk(&mut self, chunk: usize) {
+        self.move_chunk = chunk.max(1);
+    }
+
+    /// Backends currently being drained, ascending.
+    pub fn draining_backends(&self) -> Vec<usize> {
+        self.draining.iter().copied().collect()
+    }
+
+    /// Add one backend to the live cluster and rebalance onto it
+    /// online: the new worker (thread, or `mbds-backend` process over
+    /// the socket transport) joins immediately for *new* placements,
+    /// and the wrapped replica groups of the old ring are moved onto
+    /// the widened ring by WAL-bracketed group moves worked off a
+    /// throttled queue between foreground requests. Returns the new
+    /// backend's index.
+    ///
+    /// Refused while another membership change is still rebalancing.
+    pub fn add_backend(&mut self) -> Result<usize> {
+        if !self.rebalance_idle() {
+            return Err(Error::Unavailable(
+                "a rebalance is already in progress; finish it before another membership change"
+                    .into(),
+            ));
+        }
+        let i = self.backends.len();
+        // Durable goal first (the `restart-begin` discipline): a crash
+        // anywhere past this append recovers into the widened cluster
+        // and re-plans the remaining moves.
+        self.log_append(LogRecord::AddBackend { backend: i })?;
+        self.grow_cluster(i + 1)?;
+        self.unwrapping = true;
+        self.replan_add(i);
+        self.maybe_snapshot();
+        Ok(i)
+    }
+
+    /// Drain backend `i` out of the cluster online: it stops receiving
+    /// new placements immediately, every replica group containing it is
+    /// moved to a substitute backend by WAL-bracketed group moves
+    /// worked off the throttled queue, and when the last move commits
+    /// the backend is retired (`drain-end`, then shutdown). Reads keep
+    /// being served — from the old placement until each move commits,
+    /// from the new one after.
+    ///
+    /// Refused when it would leave fewer serving backends than the
+    /// replication factor, or while another membership change is still
+    /// rebalancing. Re-draining an already-draining backend is a no-op
+    /// (recovery re-plans the remaining moves itself).
+    pub fn drain_backend(&mut self, i: usize) -> Result<()> {
+        if i >= self.backends.len() {
+            return Err(Error::Internal(format!("no such backend {i}")));
+        }
+        if self.draining.contains(&i) {
+            return Ok(());
+        }
+        if !self.health.is_serving(i) {
+            return Err(Error::Unavailable(format!("backend {i} is not serving")));
+        }
+        if !self.rebalance_idle() {
+            return Err(Error::Unavailable(
+                "a rebalance is already in progress; finish it before another membership change"
+                    .into(),
+            ));
+        }
+        if self.health.serving_count() <= self.replication {
+            return Err(Error::Unavailable(format!(
+                "draining backend {i} would leave fewer serving backends than replication {}",
+                self.replication
+            )));
+        }
+        self.log_append(LogRecord::DrainBegin { backend: i })?;
+        self.draining.insert(i);
+        self.replan_drain(i);
+        self.maybe_snapshot();
+        Ok(())
+    }
+
+    /// Perform one queued rebalance job (one move *chunk*, or a finish
+    /// marker). `Ok(true)` = a job ran; `Ok(false)` = the queue is
+    /// empty. A move with chunks still to go — and any failed job —
+    /// goes back to the *front* of the queue, so a `FinishAdd` /
+    /// `FinishDrain` marker can never overtake the moves it commits.
+    /// Planning is state-based, so retrying a failed job later is
+    /// always safe.
+    pub fn rebalance_step(&mut self) -> Result<bool> {
+        let Some(job) = self.rebalancer.pop() else { return Ok(false) };
+        let result = match &job {
+            MoveJob::Move { from, to } => {
+                let (from, to) = (from.clone(), to.clone());
+                self.move_group(&from, &to).map(|done| !done)
+            }
+            MoveJob::FinishAdd { backend } => self.finish_add(*backend).map(|()| false),
+            MoveJob::FinishDrain { backend } => self.finish_drain(*backend).map(|()| false),
+        };
+        match result {
+            Ok(more_chunks) => {
+                if more_chunks {
+                    self.rebalancer.requeue(job);
+                }
+                Ok(true)
+            }
+            Err(e) => {
+                self.rebalancer.requeue(job);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drain the rebalance queue synchronously — the blocking endgame
+    /// of [`add_backend`](Self::add_backend) /
+    /// [`drain_backend`](Self::drain_backend) when the caller wants the
+    /// goal placement *now* instead of amortized over foreground
+    /// traffic.
+    pub fn finish_rebalance(&mut self) -> Result<()> {
+        while self.rebalance_step()? {}
+        self.maybe_snapshot();
+        Ok(())
+    }
+
+    /// Work off up to `throttle` queued jobs behind a foreground
+    /// request; an error is stashed for the next `execute` (the job
+    /// stays queued).
+    fn pump_rebalance(&mut self) {
+        for _ in 0..self.rebalancer.throttle() {
+            match self.rebalance_step() {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    self.pending_error.get_or_insert(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Spawn backends until the cluster is `new_n` wide, growing every
+    /// per-backend structure alongside (health board, placement ring,
+    /// residency vectors, probe counters, shared bus/process tables).
+    /// The new store replays the schema so later record loads land in
+    /// existing files.
+    fn grow_cluster(&mut self, new_n: usize) -> Result<()> {
+        while self.backends.len() < new_n {
+            self.spawn_join_backend()?;
+            self.partitioner.grow(self.backends.len());
+            for counts in self.resident.values_mut() {
+                counts.push(0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Spawn backends until the cluster matches the width a standby's
+    /// mirror reached — promotion's membership reconciliation. An
+    /// `add-backend` record can ship while the primary dies before
+    /// spawning the worker, leaving the shared bus one slot short; the
+    /// mirror's placement ring and residency vectors already account
+    /// for the backend (and no move can have landed data on it — the
+    /// crash preceded the spawn), so only the worker itself is missing.
+    pub(crate) fn adopt_missing_backends(&mut self, target: usize) -> Result<()> {
+        while self.backends.len() < target {
+            self.spawn_join_backend()?;
+        }
+        Ok(())
+    }
+
+    /// The transport half of [`grow_cluster`](Self::grow_cluster):
+    /// spawn worker `backends.len()` (thread, or `mbds-backend`
+    /// process on the socket transport), wire it onto the shared bus
+    /// and process tables, grow the health board and probe counters,
+    /// and replay the schema into its empty store. Leaves the
+    /// placement ring and residency vectors alone — callers widening
+    /// the ring grow those; promotion inherits them from the mirror.
+    fn spawn_join_backend(&mut self) -> Result<()> {
+        {
+            let i = self.backends.len();
+            if let Some(shared) = self.net.clone() {
+                let bp = net::spawn_backend_process(i)?;
+                let mut link = TcpLink::new(i, bp.addr, self.client_id, Arc::clone(&shared.plan));
+                link.connect(self.epoch, self.reply_timeout).map_err(|e| {
+                    Error::Internal(format!(
+                        "added backend {i} at {} refused the handshake: {e:?}",
+                        bp.addr
+                    ))
+                })?;
+                shared.addrs.lock().expect("net addrs lock").push(bp.addr);
+                shared.children.lock().expect("net children lock").push(Some(bp.child));
+                let (tx, _) = channel::<Envelope>();
+                let (reply_tx, rx) = channel::<Reply>();
+                self.backends.push(BackendHandle {
+                    tx,
+                    rx,
+                    reply_tx,
+                    join: None,
+                    tcp: Some(link),
+                    last_frame: None,
+                });
+                self.bus.lock().expect("bus lock").push(self.backends[i].tx.clone());
+                let plan = self.faults.lock().expect("fault plan lock").clone();
+                if !plan.is_empty() {
+                    self.push_faults_tcp(i, &plan);
+                }
+            } else {
+                let handle = spawn_backend(i, Arc::clone(&self.fence), Arc::clone(&self.faults));
+                self.bus.lock().expect("bus lock").push(handle.tx.clone());
+                self.backends.push(handle);
+            }
+            self.health.grow();
+            self.read_probes_by_backend.push(0);
+            for file in self.files.clone() {
+                let seq = self.next_seq();
+                if !self.send_to(i, seq, BackendOp::CreateFile(file)) {
+                    return Err(Error::Unavailable(format!("backend {i} died while joining")));
+                }
+                if self.recv_reply(i, seq).is_none() {
+                    return Err(Error::Unavailable(format!("backend {i} died while joining")));
+                }
+            }
+            self.degraded_dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Queue the unwrap moves for the add of backend `added` plus the
+    /// `add-end` marker. Pure in the directory state — see
+    /// [`rebalance::plan_unwrap`].
+    fn replan_add(&mut self, added: usize) {
+        let new_n = self.backends.len();
+        let moves = rebalance::plan_unwrap(
+            self.directory.groups_in_use().map(|g| g.to_vec()),
+            added,
+            new_n,
+        );
+        for (from, to) in moves {
+            self.rebalancer.push(MoveJob::Move { from, to });
+        }
+        self.rebalancer.push(MoveJob::FinishAdd { backend: new_n - 1 });
+    }
+
+    /// Queue the moves that vacate draining backend `i` plus the
+    /// `drain-end` marker. Pure in the directory state — see
+    /// [`rebalance::plan_drain`].
+    fn replan_drain(&mut self, i: usize) {
+        let n = self.backends.len();
+        let health = &self.health;
+        let draining = &self.draining;
+        let moves = rebalance::plan_drain(
+            self.directory.groups_in_use().map(|g| g.to_vec()),
+            i,
+            n,
+            |b| health.is_serving(b) && !draining.contains(&b),
+        );
+        for (from, to) in moves {
+            self.rebalancer.push(MoveJob::Move { from, to });
+        }
+        self.rebalancer.push(MoveJob::FinishDrain { backend: i });
+    }
+
+    /// Re-derive the whole rebalance queue from durable state — called
+    /// after recovery replay and after standby promotion. Moves that
+    /// committed before the crash no longer match the planners'
+    /// predicates and drop out; the rest are re-queued.
+    pub(crate) fn replan_rebalance(&mut self) {
+        self.rebalancer.clear();
+        let n = self.backends.len();
+        if self.unwrapping && n > 1 {
+            self.replan_add(n - 1);
+        }
+        let draining: Vec<usize> = self.draining.iter().copied().collect();
+        for i in draining {
+            self.replan_drain(i);
+        }
+    }
+
+    /// Finish a move chunk a crashed primary began but never committed
+    /// (the standby's unmatched `move-begin`) — promotion's analogue of
+    /// [`finish_interrupted_restart`](Self::finish_interrupted_restart).
+    ///
+    /// The standby's mirror applies the chunk at the begin marker, so
+    /// the promoted directory already routes the chunk's keys to `to`
+    /// while the physical copy on the real backends was interrupted
+    /// partway. Redo exactly those keys under a fresh WAL bracket,
+    /// pulling from the old members as extra sources — idempotent
+    /// against any intermediate state the crash left behind. Chunks the
+    /// crashed primary never began are *not* healed here: the group
+    /// still matches the state-based plan and `replan_rebalance`
+    /// requeues the rest of the move.
+    pub(crate) fn finish_interrupted_move(
+        &mut self,
+        from: &[usize],
+        to: &[usize],
+        keys: &[u64],
+    ) -> Result<()> {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let keys: Vec<DbKey> = keys.iter().map(|&k| DbKey(k)).collect();
+        self.wal_begin_batch();
+        let result = self.heal_move_inner(from, to, &keys);
+        let flush = self.wal_commit_batch();
+        result?;
+        flush?;
+        self.degraded_dirty = true;
+        Ok(())
+    }
+
+    /// The forced-redo body of
+    /// [`finish_interrupted_move`](Self::finish_interrupted_move): the
+    /// directory already routes the chunk to `to`, but new members may
+    /// hold only part of the data and abandoned members still hold
+    /// stale copies. Residency and the placement commit came over warm
+    /// from the mirror, so only the physical copy and delete are
+    /// redone.
+    fn heal_move_inner(&mut self, from: &[usize], to: &[usize], keys: &[DbKey]) -> Result<()> {
+        self.log_append(LogRecord::MoveBegin {
+            from: from.to_vec(),
+            to: to.to_vec(),
+            keys: keys.iter().map(|k| k.0).collect(),
+        })?;
+        let removed: Vec<usize> = from.iter().copied().filter(|m| !to.contains(m)).collect();
+        // Any member of either group may hold the only surviving copy.
+        let mut sources: Vec<usize> = from
+            .iter()
+            .chain(to.iter())
+            .copied()
+            .filter(|&m| self.health.is_serving(m))
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let moved = self.fetch_records(&sources, keys)?;
+        for (key, rec) in &moved {
+            let bytes = rec.to_string().len() as u64;
+            for &m in to {
+                if !self.health.is_serving(m) {
+                    continue;
+                }
+                self.load_replica(m, *key, rec)?;
+                self.totals.move_bytes += bytes;
+            }
+        }
+        if !removed.is_empty() {
+            let seq = self.next_seq();
+            let mut sent = Vec::new();
+            for &m in &removed {
+                if self.health.is_serving(m)
+                    && self.send_to(m, seq, BackendOp::DeleteKeys(keys.to_vec()))
+                {
+                    sent.push(m);
+                }
+            }
+            for m in sent {
+                let _ = self.recv_reply(m, seq);
+            }
+        }
+        // Usually a no-op (the mirror already committed the chunk);
+        // kept so the bracket converges from either directory shape.
+        self.commit_chunk_placement(from, to, keys);
+        self.log_append(LogRecord::MoveEnd { from: from.to_vec(), to: to.to_vec() })
+    }
+
+    /// Relocate one *chunk* (up to `move_chunk` records) of replica
+    /// group `from` to `to`: the unit of online rebalance.
+    /// WAL-bracketed (`move-begin` … `move-end` in one group commit)
+    /// and idempotent — replaying the bracket against any intermediate
+    /// state converges to the same placement, and a `from` group
+    /// nothing points at is a silent no-op. Returns `Ok(true)` when the
+    /// group is fully vacated, `Ok(false)` when more chunks remain (the
+    /// caller requeues the move at the *front* of the queue).
+    ///
+    /// Reads are never served from a half-moved chunk: the directory
+    /// commit is the *last* effect before the end marker, so routing
+    /// answers from the old (complete) placement during the copy and
+    /// from the new (complete) placement after — per key for mid-group
+    /// chunks, per group for the final one.
+    fn move_group(&mut self, from: &[usize], to: &[usize]) -> Result<bool> {
+        // The group's key list is scanned once and cursored across
+        // chunks — rescanning the whole directory per chunk would put
+        // an O(keys) walk behind every foreground request. Keys the
+        // cursor hands back are re-validated against the live directory
+        // (a foreground delete may have unbound them since the scan).
+        let mut pending = match self.move_cursor.take() {
+            Some((group, pending)) if group == from => pending,
+            _ => self.directory.keys_of_group(from),
+        };
+        let mut keys = Vec::with_capacity(self.move_chunk.min(pending.len()));
+        let mut consumed = 0;
+        for key in &pending {
+            if keys.len() == self.move_chunk {
+                break;
+            }
+            consumed += 1;
+            if self.directory.get(key).is_some_and(|g| g == from) {
+                keys.push(*key);
+            }
+        }
+        pending.drain(..consumed);
+        if keys.is_empty() {
+            return Ok(true);
+        }
+        self.wal_begin_batch();
+        let result = self.move_group_inner(from, to, &keys);
+        let flush = self.wal_commit_batch();
+        // On failure the cursor stays cleared: the retry rescans, so
+        // the chunk drained above is not lost.
+        result?;
+        flush?;
+        self.degraded_dirty = true;
+        // Foreground inserts may have bound fresh keys to the group
+        // after the scan; the refcount check catches them (the next
+        // step rescans), where trusting the cursor would strand them.
+        let done = pending.is_empty() && self.directory.group_live_entries(from) == 0;
+        if !pending.is_empty() {
+            self.move_cursor = Some((from.to_vec(), pending));
+        }
+        Ok(done)
+    }
+
+    fn move_group_inner(&mut self, from: &[usize], to: &[usize], keys: &[DbKey]) -> Result<()> {
+        self.log_append(LogRecord::MoveBegin {
+            from: from.to_vec(),
+            to: to.to_vec(),
+            keys: keys.iter().map(|k| k.0).collect(),
+        })?;
+        let added: Vec<usize> = to.iter().copied().filter(|m| !from.contains(m)).collect();
+        let removed: Vec<usize> = from.iter().copied().filter(|m| !to.contains(m)).collect();
+        // Pull one surviving copy of each chunk record from the group's
+        // serving members — key-scoped, so a chunk costs O(chunk) at
+        // the backends, never a file scan.
+        let sources: Vec<usize> =
+            from.iter().copied().filter(|&m| self.health.is_serving(m)).collect();
+        let moved = self.fetch_records(&sources, keys)?;
+        // Copy to the members the move adds — pipelined: every insert
+        // of the chunk is in flight before the first ack is awaited,
+        // so a chunk costs one reply round instead of one per record …
+        let mut acks: Vec<(usize, u64)> = Vec::new();
+        for (key, rec) in &moved {
+            let bytes = rec.to_string().len() as u64;
+            for &m in &added {
+                if !self.health.is_serving(m) {
+                    continue;
+                }
+                let seq = self.next_seq();
+                if self.send_to(m, seq, BackendOp::InsertWithKey(*key, rec.clone())) {
+                    acks.push((m, seq));
+                }
+                self.totals.move_bytes += bytes;
+            }
+            if let Some(file) = rec.file().map(str::to_owned) {
+                self.resident_add(&file, &added);
+                self.resident_remove(&file, &removed);
+            }
+        }
+        for (m, seq) in acks {
+            if let Some(result) = self.recv_reply(m, seq) {
+                result?;
+            }
+        }
+        // … physically remove from the members it abandons (a stale
+        // copy would be resurrected by the next broadcast read) …
+        if !removed.is_empty() {
+            let seq = self.next_seq();
+            let mut sent = Vec::new();
+            for &m in &removed {
+                if self.health.is_serving(m)
+                    && self.send_to(m, seq, BackendOp::DeleteKeys(keys.to_vec()))
+                {
+                    sent.push(m);
+                }
+            }
+            for m in sent {
+                let _ = self.recv_reply(m, seq);
+            }
+        }
+        // … and only then commit the new placement: reads routed before
+        // this line saw the complete old group, reads after see the
+        // complete new one.
+        self.commit_chunk_placement(from, to, keys);
+        self.log_append(LogRecord::MoveEnd { from: from.to_vec(), to: to.to_vec() })
+    }
+
+    /// Commit a chunk's placement switch: per-key rebinds while the
+    /// group still holds keys outside the chunk, a whole-group retarget
+    /// when this chunk empties it. Every redo path — live move, cold
+    /// replay, the standby mirror, promotion heal — commits through
+    /// here, so they all converge on byte-identical directory state.
+    fn commit_chunk_placement(&mut self, from: &[usize], to: &[usize], keys: &[DbKey]) {
+        // "Does the group hold keys beyond this chunk?" via the interned
+        // refcounts — O(chunk), where comparing key lists would rescan
+        // the whole directory on every bracket.
+        let live_in_chunk =
+            keys.iter().filter(|k| self.directory.get(k).is_some_and(|g| g == from)).count();
+        let remaining = self.directory.group_live_entries(from) > live_in_chunk as u64;
+        if remaining {
+            for key in keys {
+                self.directory.insert(*key, to.to_vec());
+            }
+        } else if self.directory.retarget(from, to.to_vec()) > 0 {
+            self.totals.groups_moved += 1;
+        }
+    }
+
+    /// Fetch exactly `keys` from `sources`, keeping the first copy of
+    /// each key that answers — the key-scoped read under group moves
+    /// and promotion heals. Backend errors propagate (the move is
+    /// requeued and retried); a dead source simply contributes nothing,
+    /// as with `send_round`.
+    fn fetch_records(
+        &mut self,
+        sources: &[usize],
+        keys: &[DbKey],
+    ) -> Result<Vec<(DbKey, Record)>> {
+        let seq = self.next_seq();
+        let mut sent = Vec::new();
+        for &m in sources {
+            if self.send_to(m, seq, BackendOp::FetchKeys(keys.to_vec())) {
+                sent.push(m);
+            }
+        }
+        let mut by_key: BTreeMap<DbKey, Record> = BTreeMap::new();
+        let mut first_err = None;
+        for m in sent {
+            match self.recv_reply(m, seq) {
+                Some(Ok(resp)) => {
+                    for (key, rec) in resp.into_records() {
+                        by_key.entry(key).or_insert(rec);
+                    }
+                }
+                Some(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                None => {}
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(by_key.into_iter().collect()),
+        }
+    }
+
+    /// Commit an online add: every unwrap move is done.
+    fn finish_add(&mut self, backend: usize) -> Result<()> {
+        self.log_append(LogRecord::AddEnd { backend })?;
+        self.unwrapping = false;
+        Ok(())
+    }
+
+    /// Retire a drained backend: every group containing it has moved
+    /// off, so shut it down. `drain-end` (not `dead`) records the
+    /// retirement — the store it takes down holds no current replica.
+    fn finish_drain(&mut self, backend: usize) -> Result<()> {
+        self.log_append(LogRecord::DrainEnd { backend })?;
+        self.draining.remove(&backend);
+        self.shutdown_backend(backend);
+        Ok(())
+    }
+
+    /// A deterministic rendering of the controller's *logical* contents
+    /// — allocator high-water mark, schema, constraints and records —
+    /// with all placement detail (groups, rotors, dead set, membership)
+    /// stripped. Two clusters of different shapes holding the same data
+    /// produce equal logical digests; this is what the elastic-vs-static
+    /// acceptance check compares.
+    pub fn logical_digest(&mut self) -> Result<String> {
+        let snap = self.snapshot_data()?;
+        Ok(logical_digest_of(&snap))
+    }
+
     /// Fallible file creation: sends the create through the health
     /// machine and fails only when *no* backend acknowledged it.
     /// Backends that die mid-create are marked dead; a later
@@ -1478,6 +2190,8 @@ impl Controller {
             BackendOp::CreateFile(name) => WireOp::CreateFile(name),
             BackendOp::InsertWithKey(key, record) => WireOp::InsertWithKey(key, record),
             BackendOp::Exec(request) => WireOp::Exec(request),
+            BackendOp::DeleteKeys(keys) => WireOp::DeleteKeys(keys),
+            BackendOp::FetchKeys(keys) => WireOp::FetchKeys(keys),
             BackendOp::Shutdown => WireOp::Shutdown,
         }
         .into_frame(seq, epoch)
@@ -1887,7 +2601,9 @@ impl Controller {
             while wave.len() < want && scanned < n {
                 let i = (primary + scanned) % n;
                 scanned += 1;
-                if self.health.is_serving(i) {
+                // Draining backends take no new placements: their
+                // groups are being vacated.
+                if self.health.is_serving(i) && !self.draining.contains(&i) {
                     wave.push(i);
                 }
             }
@@ -2035,7 +2751,7 @@ impl Controller {
         while wave.len() < want && scanned < n {
             let i = (primary + scanned) % n;
             scanned += 1;
-            if self.health.is_serving(i) {
+            if self.health.is_serving(i) && !self.draining.contains(&i) {
                 wave.push(i);
             }
         }
@@ -2232,7 +2948,7 @@ impl Controller {
             while wave.len() < want && s.scanned < n {
                 let i = (s.primary + s.scanned) % n;
                 s.scanned += 1;
-                if self.health.is_serving(i) {
+                if self.health.is_serving(i) && !self.draining.contains(&i) {
                     wave.push(i);
                 }
             }
@@ -2311,6 +3027,12 @@ impl Kernel for Controller {
         let mut resp = self.execute_inner(request)?;
         resp.messages_sent = self.totals.messages_sent - msgs_before;
         self.totals.records_examined += resp.stats.records_examined;
+        // Piggyback up to `throttle` queued rebalance moves on this
+        // foreground request — the online add/drain progresses in
+        // bounded slices while traffic flows. Runs after the message
+        // attribution above so move traffic never pollutes the
+        // response's own counters.
+        self.pump_rebalance();
         self.maybe_snapshot();
         Ok(resp)
     }
@@ -2364,8 +3086,17 @@ impl Kernel for Controller {
         // socket transport's single retransmission slot per link
         // assumes at most one, and the legacy broadcast unique probe
         // would interleave reads into the staged stream — both fall
-        // back to the solo path (still batched for group commit).
-        let stageable = self.net.is_none() && self.unique_via_index;
+        // back to the solo path (still batched for group commit). An
+        // in-flight group move is a standing broadcast-write conflict:
+        // while the rebalance queue is non-empty the scheduler refuses
+        // to stage flights at all (each batch member runs solo, after
+        // any move its own `execute` pumps), so no staged read can
+        // overlap a directory retarget.
+        let rebalancing = !self.rebalancer.is_idle();
+        if rebalancing && self.net.is_none() && self.unique_via_index {
+            self.totals.rebalance_stalls += requests.len() as u64;
+        }
+        let stageable = self.net.is_none() && self.unique_via_index && !rebalancing;
         let mut i = 0;
         while i < requests.len() {
             let mut flight_fps: Vec<Footprint> = Vec::new();
@@ -2621,6 +3352,32 @@ impl Drop for Controller {
     }
 }
 
+/// Render the placement-independent projection of a snapshot: what the
+/// cluster *stores*, not where. Shared by [`Controller::logical_digest`]
+/// and [`crate::SimCluster::logical_digest`].
+pub(crate) fn logical_digest_of(snap: &SnapshotData) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "next-key {}", snap.next_key);
+    for file in &snap.files {
+        let _ = writeln!(out, "file {file}");
+    }
+    for (file, attrs) in &snap.uniques {
+        let _ = writeln!(out, "unique {file} {}", attrs.join(" "));
+    }
+    for (key, _, record) in &snap.places {
+        match record {
+            Some(record) => {
+                let _ = writeln!(out, "{key} {record}");
+            }
+            None => {
+                let _ = writeln!(out, "{key} ?");
+            }
+        }
+    }
+    out
+}
+
 fn spawn_backend(
     index: usize,
     fence: Arc<AtomicU64>,
@@ -2683,6 +3440,18 @@ fn backend_loop(
                 .insert_with_key(key, record)
                 .map(|()| Response::with_affected(1, Default::default())),
             BackendOp::Exec(req) => store.execute(&req),
+            BackendOp::DeleteKeys(keys) => {
+                let removed =
+                    keys.iter().filter(|&&k| store.remove_by_key(k).is_some()).count();
+                Ok(Response::with_affected(removed, Default::default()))
+            }
+            BackendOp::FetchKeys(keys) => {
+                let records: Vec<(DbKey, Record)> = keys
+                    .iter()
+                    .filter_map(|&k| store.record_by_key(k).map(|r| (k, r.clone())))
+                    .collect();
+                Ok(Response::with_records(records, Default::default()))
+            }
             BackendOp::Shutdown => unreachable!("handled above"),
         };
         match fault {

@@ -83,6 +83,13 @@ impl HealthBoard {
     pub fn restarted(&mut self, i: usize) {
         self.states[i] = BackendState::Alive;
     }
+
+    /// A new backend joined the cluster (online add): one more member,
+    /// alive. Returns its index.
+    pub fn grow(&mut self) -> usize {
+        self.states.push(BackendState::Alive);
+        self.states.len() - 1
+    }
 }
 
 #[cfg(test)]

@@ -89,13 +89,14 @@ pub mod health;
 pub mod model;
 pub mod net;
 mod placement;
+pub mod rebalance;
 pub mod sched;
 mod sim;
 pub mod standby;
 pub mod wal;
 
 pub use controller::{Controller, DEFAULT_REPLICATION};
-pub use directory::Directory;
+pub use directory::{CompressionStats, Directory};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{BackendState, HealthBoard};
 pub use model::{CheckReport, Counterexample, ModelConfig, Mutation, Violation};
@@ -104,6 +105,7 @@ pub use net::{
     TcpLink,
 };
 pub use placement::Partitioner;
+pub use rebalance::{MoveJob, Rebalancer};
 pub use sched::Footprint;
 pub use sim::{CostModel, SimCluster};
 pub use standby::{LagStats, Standby};

@@ -1507,3 +1507,567 @@ pub mod flight {
         }
     }
 }
+
+/// An explicit-state model of one WAL-bracketed live group move
+/// (`mbds::rebalance`), exhaustively interleaved with foreground
+/// reads, a crash, and recovery or standby promotion.
+///
+/// The crash-point sweep in `tests/rebalance.rs` *samples* the move
+/// protocol's failure space; this module *exhausts* it over a small
+/// abstraction. One interned directory group of
+/// [`RebalanceConfig::records`] records moves from its old member set
+/// to a new one:
+///
+/// | model action | real code path it abstracts |
+/// |---|---|
+/// | [`RebalanceAction::MoveBegin`] | `move_group` logs the durable `MoveBegin {from, to, keys}` marker — the chunk's exact keys — before any copy is sent (`Controller::move_group_inner`) |
+/// | [`RebalanceAction::ChunkCopy`] | one record of the bracketed chunk lands durably on the new members (`load_replica` / the insert envelope in `move_group_inner`) |
+/// | [`RebalanceAction::MoveCommit`] | the old copies are deleted, the directory commits the chunk's placement (per-key rebinds, or the whole-group retarget when the chunk empties it), and `MoveEnd` is logged — the single atomic step at which reads switch placement |
+/// | [`RebalanceAction::Read`] | a foreground scoped read routes through the directory and observes the group's record set |
+/// | [`RebalanceAction::Crash`] | the primary dies mid-chunk; the begin marker and the copies already landed are durable, the directory and move queue are not |
+/// | [`RebalanceAction::Recover`] | `Controller::recover` replays the log; an unmatched `MoveBegin` re-runs exactly the bracketed keys idempotently at the marker (`apply_entry`), and `replan_rebalance` re-derives the group's remaining chunks |
+/// | [`RebalanceAction::Promote`] | `Standby::promote` — the mirror applied the chunk at `MoveBegin`, so promotion heals the bracketed keys with a fresh bracket before serving (`finish_interrupted_move` / `heal_move_inner`) |
+///
+/// Two invariants are machine-checked at every state:
+///
+/// 1. **No read observes a half-moved group** — every read sees the
+///    group's complete record set: old placement until the commit
+///    point, new placement after, never a partial copy set.
+/// 2. **Every committed move survives crash and promotion** — once
+///    `MoveEnd` is durable, recovery and promotion both land on the
+///    new placement with all records present.
+///
+/// Both seeded [`RebalanceMutation`]s re-open windows the shipped
+/// protocol closes, and each must be killed with a shortest
+/// counterexample trace (BFS order).
+pub mod rebalance {
+    use std::collections::hash_map::Entry as MapEntry;
+    use std::collections::{HashMap, VecDeque};
+    use std::fmt;
+    use std::time::{Duration, Instant};
+
+    /// Protocol mutations: each deletes one guard the real move
+    /// protocol enforces, and each must produce a counterexample.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RebalanceMutation {
+        /// The shipped protocol, unmodified.
+        None,
+        /// The directory retargets the group at `MoveBegin` instead of
+        /// at the commit point — reads route to the new members while
+        /// the copies are still landing.
+        ServeFromNewBeforeCommit,
+        /// Recovery treats an unmatched `MoveBegin` as already
+        /// committed: it retargets the directory without re-running
+        /// the copy redo (`finish_interrupted_move` skipped).
+        SkipMoveEndOnRecovery,
+    }
+
+    impl RebalanceMutation {
+        /// Every mutation in the catalogue (excluding `None`).
+        pub const ALL: [RebalanceMutation; 2] = [
+            RebalanceMutation::ServeFromNewBeforeCommit,
+            RebalanceMutation::SkipMoveEndOnRecovery,
+        ];
+
+        /// Stable identifier, e.g. for a CLI flag.
+        pub fn name(self) -> &'static str {
+            match self {
+                RebalanceMutation::None => "none",
+                RebalanceMutation::ServeFromNewBeforeCommit => "serve-from-new-before-commit",
+                RebalanceMutation::SkipMoveEndOnRecovery => "skip-move-end-on-recovery",
+            }
+        }
+
+        /// Inverse of [`RebalanceMutation::name`].
+        pub fn parse(s: &str) -> Option<RebalanceMutation> {
+            RebalanceMutation::ALL
+                .iter()
+                .chain([RebalanceMutation::None].iter())
+                .copied()
+                .find(|m| m.name() == s)
+        }
+    }
+
+    /// Checker configuration. `small()` exhausts in microseconds and
+    /// is what CI pins.
+    #[derive(Clone, Copy, Debug)]
+    pub struct RebalanceConfig {
+        /// Records in the moving group (copied one per chunk step).
+        pub records: u8,
+        /// Crash budget; each crash may be followed by either a
+        /// primary recovery or a standby promotion.
+        pub max_crashes: u8,
+        /// Protocol mutation under test.
+        pub mutation: RebalanceMutation,
+    }
+
+    impl RebalanceConfig {
+        /// The CI configuration: exhausts in microseconds.
+        pub fn small() -> RebalanceConfig {
+            RebalanceConfig { records: 3, max_crashes: 2, mutation: RebalanceMutation::None }
+        }
+
+        /// `small()` with one guard deleted.
+        pub fn with_mutation(mutation: RebalanceMutation) -> RebalanceConfig {
+            RebalanceConfig { mutation, ..RebalanceConfig::small() }
+        }
+    }
+
+    /// One atomic step of the interleaving.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RebalanceAction {
+        /// The durable `MoveBegin` marker is logged; copying starts.
+        MoveBegin,
+        /// Record `r` of the group lands durably on the new members.
+        ChunkCopy {
+            /// Which record of the group.
+            r: u8,
+        },
+        /// Old copies deleted, directory retargeted, `MoveEnd` logged.
+        MoveCommit,
+        /// A foreground read routes through the directory and observes
+        /// the group's record set at the placement it names.
+        Read,
+        /// The primary dies; in-memory routing and the move queue are
+        /// lost, durable markers and landed copies are not.
+        Crash,
+        /// The primary restarts and replays the log, re-running an
+        /// unmatched move at its begin marker.
+        Promote,
+        /// The standby (whose mirror applied the whole move at
+        /// `MoveBegin`) takes over, healing partial copies before it
+        /// serves.
+        Recover,
+    }
+
+    impl fmt::Display for RebalanceAction {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RebalanceAction::MoveBegin => write!(f, "move-begin"),
+                RebalanceAction::ChunkCopy { r } => write!(f, "chunk-copy(record {r})"),
+                RebalanceAction::MoveCommit => write!(f, "move-commit"),
+                RebalanceAction::Read => write!(f, "read"),
+                RebalanceAction::Crash => write!(f, "crash"),
+                RebalanceAction::Recover => write!(f, "recover"),
+                RebalanceAction::Promote => write!(f, "promote"),
+            }
+        }
+    }
+
+    /// The invariant violation a counterexample demonstrates.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum MoveViolation {
+        /// A read observed a partial record set for the group.
+        HalfMovedRead {
+            /// Records the read observed.
+            observed: u8,
+            /// Records the group holds.
+            expected: u8,
+        },
+        /// After recovery or promotion a committed move had regressed:
+        /// the directory or the record set no longer reflect it.
+        CommittedMoveLost {
+            /// Records present at the placement being served.
+            present: u8,
+            /// Records the group holds.
+            expected: u8,
+        },
+    }
+
+    impl fmt::Display for MoveViolation {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                MoveViolation::HalfMovedRead { observed, expected } => write!(
+                    f,
+                    "a read observed {observed} of the group's {expected} records — a half-moved group"
+                ),
+                MoveViolation::CommittedMoveLost { present, expected } => write!(
+                    f,
+                    "a committed move regressed: {present} of {expected} records at the served placement"
+                ),
+            }
+        }
+    }
+
+    /// A violating interleaving: the invariant broken plus the exact
+    /// action sequence (shortest, by BFS) that reaches it.
+    #[derive(Clone, Debug)]
+    pub struct RebalanceCounterexample {
+        /// The invariant that broke.
+        pub violation: MoveViolation,
+        /// The shortest action sequence reaching the violation.
+        pub trace: Vec<RebalanceAction>,
+    }
+
+    impl RebalanceCounterexample {
+        /// The numbered action trace plus the violated invariant.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            for (i, action) in self.trace.iter().enumerate() {
+                out.push_str(&format!("{:>3}. {}\n", i + 1, action));
+            }
+            out.push_str(&format!("VIOLATION: {}", self.violation));
+            out
+        }
+    }
+
+    /// What an exhaustive run found.
+    #[derive(Clone, Debug)]
+    pub struct RebalanceReport {
+        /// The configuration that was checked.
+        pub config: RebalanceConfig,
+        /// Distinct states visited.
+        pub states: usize,
+        /// Transitions explored (states are revisited via BFS dedupe).
+        pub transitions: u64,
+        /// True iff a crash landed strictly inside a bracket — the
+        /// window the redo/heal paths exist for is actually explored.
+        pub mid_move_crash_reached: bool,
+        /// True iff a crash landed *after* the commit point — the
+        /// "committed moves survive" invariant is exercised, not
+        /// vacuous.
+        pub committed_crash_reached: bool,
+        /// Wall-clock time of the exhaustive search.
+        pub elapsed: Duration,
+        /// `Some` iff some interleaving violated an invariant.
+        pub counterexample: Option<RebalanceCounterexample>,
+    }
+
+    impl RebalanceReport {
+        /// One-line stats: states, transitions, coverage, verdict.
+        pub fn summary(&self) -> String {
+            format!(
+                "{} states, {} transitions, mid-move crash {}, committed crash {}, {:?}, {}",
+                self.states,
+                self.transitions,
+                if self.mid_move_crash_reached { "reachable" } else { "UNREACHABLE" },
+                if self.committed_crash_reached { "reachable" } else { "UNREACHABLE" },
+                self.elapsed,
+                match &self.counterexample {
+                    Some(ce) => format!("VIOLATED ({})", ce.violation),
+                    None => "invariants hold".to_string(),
+                }
+            )
+        }
+    }
+
+    /// Where the move stands, from the serving controller's view.
+    #[derive(Clone, Copy, Hash, PartialEq, Eq)]
+    enum Phase {
+        /// No bracket open.
+        Idle,
+        /// `MoveBegin` durable; chunk copies in flight.
+        Copying,
+        /// The commit point passed (or recovery declared it so).
+        Done,
+    }
+
+    #[derive(Clone, Hash, PartialEq, Eq)]
+    struct State {
+        phase: Phase,
+        /// Bitmask of records durably landed on the new members.
+        copied: u8,
+        /// True while the old members still hold the whole group
+        /// (copies are deleted only at the commit point).
+        old_present: bool,
+        /// In-memory directory routing: false = old placement.
+        dir_new: bool,
+        /// `MoveBegin` durable in the log.
+        begun: bool,
+        /// `MoveEnd` durable in the log — the move is committed.
+        committed: bool,
+        /// The primary is down; only `Recover`/`Promote` are enabled.
+        crashed: bool,
+        crashes: u8,
+    }
+
+    impl State {
+        fn initial() -> State {
+            State {
+                phase: Phase::Idle,
+                copied: 0,
+                old_present: true,
+                dir_new: false,
+                begun: false,
+                committed: false,
+                crashed: false,
+                crashes: 0,
+            }
+        }
+
+        fn all(cfg: &RebalanceConfig) -> u8 {
+            (1u8 << cfg.records) - 1
+        }
+    }
+
+    fn enabled(state: &State, cfg: &RebalanceConfig) -> Vec<RebalanceAction> {
+        let mut actions = Vec::new();
+        if state.crashed {
+            actions.push(RebalanceAction::Recover);
+            actions.push(RebalanceAction::Promote);
+            return actions;
+        }
+        match state.phase {
+            Phase::Idle if !state.begun => actions.push(RebalanceAction::MoveBegin),
+            Phase::Copying => {
+                for r in 0..cfg.records {
+                    if state.copied & (1 << r) == 0 {
+                        actions.push(RebalanceAction::ChunkCopy { r });
+                    }
+                }
+                if state.copied == State::all(cfg) {
+                    actions.push(RebalanceAction::MoveCommit);
+                }
+            }
+            _ => {}
+        }
+        actions.push(RebalanceAction::Read);
+        if state.crashes < cfg.max_crashes {
+            actions.push(RebalanceAction::Crash);
+        }
+        actions
+    }
+
+    /// The post-crash redo both recovery paths share: given the
+    /// durable markers, land on a consistent serving state (or refuse
+    /// to, under a mutation).
+    fn replay(next: &mut State, promoted: bool, cfg: &RebalanceConfig) {
+        next.crashed = false;
+        if next.committed {
+            // Replaying a committed move converges on the new
+            // placement (the redo at the begin marker is idempotent).
+            next.dir_new = true;
+            next.phase = Phase::Done;
+        } else if next.begun {
+            if cfg.mutation == RebalanceMutation::SkipMoveEndOnRecovery {
+                // Mutated recovery declares the unmatched bracket
+                // committed without re-running the copies.
+                next.dir_new = true;
+                next.phase = Phase::Done;
+            } else if promoted {
+                // The standby's mirror applied the whole move at
+                // `MoveBegin`; promotion heals the partial copies with
+                // a fresh bracket before serving (`heal_move_inner`).
+                next.copied = State::all(cfg);
+                next.old_present = false;
+                next.dir_new = true;
+                next.committed = true;
+                next.phase = Phase::Done;
+            } else {
+                // Cold replay re-runs the move at the begin marker;
+                // already-landed copies are overwritten idempotently.
+                next.dir_new = false;
+                next.phase = Phase::Copying;
+            }
+        } else {
+            next.dir_new = false;
+            next.phase = Phase::Idle;
+        }
+    }
+
+    /// Apply `action`; returns the violation if a read observed a
+    /// partial group or a committed move regressed across recovery.
+    fn apply(
+        state: &State,
+        action: RebalanceAction,
+        cfg: &RebalanceConfig,
+    ) -> Result<State, MoveViolation> {
+        let mut next = state.clone();
+        let all = State::all(cfg);
+        match action {
+            RebalanceAction::MoveBegin => {
+                next.begun = true;
+                next.phase = Phase::Copying;
+                if cfg.mutation == RebalanceMutation::ServeFromNewBeforeCommit {
+                    next.dir_new = true;
+                }
+            }
+            RebalanceAction::ChunkCopy { r } => {
+                next.copied |= 1 << r;
+            }
+            RebalanceAction::MoveCommit => {
+                // The single atomic step (w.r.t. foreground traffic):
+                // delete the old copies, retarget, log `MoveEnd`.
+                next.old_present = false;
+                next.dir_new = true;
+                next.committed = true;
+                next.phase = Phase::Done;
+            }
+            RebalanceAction::Read => {
+                let observed = if state.dir_new {
+                    state.copied.count_ones() as u8
+                } else if state.old_present {
+                    cfg.records
+                } else {
+                    0
+                };
+                if observed != cfg.records {
+                    return Err(MoveViolation::HalfMovedRead {
+                        observed,
+                        expected: cfg.records,
+                    });
+                }
+            }
+            RebalanceAction::Crash => {
+                next.crashed = true;
+                next.crashes += 1;
+            }
+            RebalanceAction::Recover => {
+                replay(&mut next, false, cfg);
+            }
+            RebalanceAction::Promote => {
+                replay(&mut next, true, cfg);
+            }
+        }
+        // Invariant 2, checked whenever a controller starts serving:
+        // a committed move must still be whole at the new placement.
+        if matches!(action, RebalanceAction::Recover | RebalanceAction::Promote)
+            && state.committed
+            && !(next.dir_new && next.copied == all)
+        {
+            return Err(MoveViolation::CommittedMoveLost {
+                present: next.copied.count_ones() as u8,
+                expected: cfg.records,
+            });
+        }
+        Ok(next)
+    }
+
+    /// Exhaustive BFS over every interleaving. The state space is tiny
+    /// (hundreds of states for `small()`), so there is no depth bound
+    /// — the frontier simply drains.
+    pub fn check_rebalance(cfg: &RebalanceConfig) -> RebalanceReport {
+        let start = Instant::now();
+        let initial = State::initial();
+        let mut meta: Vec<(u32, Option<RebalanceAction>)> = vec![(0, None)];
+        let mut visited: HashMap<State, u32> = HashMap::new();
+        visited.insert(initial.clone(), 0);
+        let mut frontier: VecDeque<(State, u32)> = VecDeque::new();
+        frontier.push_back((initial, 0));
+        let mut transitions = 0u64;
+        let mut mid_move_crash_reached = false;
+        let mut committed_crash_reached = false;
+
+        let trace_of = |meta: &Vec<(u32, Option<RebalanceAction>)>, mut id: u32| {
+            let mut trace = Vec::new();
+            while let (parent, Some(action)) = meta[id as usize] {
+                trace.push(action);
+                id = parent;
+            }
+            trace.reverse();
+            trace
+        };
+
+        while let Some((state, id)) = frontier.pop_front() {
+            for action in enabled(&state, cfg) {
+                transitions += 1;
+                let next = match apply(&state, action, cfg) {
+                    Ok(next) => next,
+                    Err(violation) => {
+                        let mut trace = trace_of(&meta, id);
+                        trace.push(action);
+                        return RebalanceReport {
+                            config: *cfg,
+                            states: visited.len(),
+                            transitions,
+                            mid_move_crash_reached,
+                            committed_crash_reached,
+                            elapsed: start.elapsed(),
+                            counterexample: Some(RebalanceCounterexample { violation, trace }),
+                        };
+                    }
+                };
+                if next.crashed {
+                    mid_move_crash_reached |= next.begun && !next.committed;
+                    committed_crash_reached |= next.committed;
+                }
+                match visited.entry(next) {
+                    MapEntry::Occupied(_) => {}
+                    MapEntry::Vacant(slot) => {
+                        let next_id = meta.len() as u32;
+                        meta.push((id, Some(action)));
+                        let state = slot.key().clone();
+                        slot.insert(next_id);
+                        frontier.push_back((state, next_id));
+                    }
+                }
+            }
+        }
+
+        RebalanceReport {
+            config: *cfg,
+            states: visited.len(),
+            transitions,
+            mid_move_crash_reached,
+            committed_crash_reached,
+            elapsed: start.elapsed(),
+            counterexample: None,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn shipped_move_protocol_holds_both_invariants() {
+            let report = check_rebalance(&RebalanceConfig::small());
+            assert!(report.counterexample.is_none(), "{}", report.summary());
+            assert!(
+                report.mid_move_crash_reached,
+                "a crash inside the bracket must be explored: {}",
+                report.summary()
+            );
+            assert!(
+                report.committed_crash_reached,
+                "a crash after the commit point must be explored: {}",
+                report.summary()
+            );
+            assert!(report.states > 30, "{}", report.summary());
+        }
+
+        #[test]
+        fn serving_from_the_new_placement_before_commit_is_caught() {
+            let report = check_rebalance(&RebalanceConfig::with_mutation(
+                RebalanceMutation::ServeFromNewBeforeCommit,
+            ));
+            let ce = report.counterexample.expect("mutation must be caught");
+            // Shortest counterexample: retarget at move-begin, read
+            // before any chunk lands — two steps.
+            assert_eq!(ce.trace.len(), 2, "{}", ce.render());
+            assert!(
+                matches!(ce.violation, MoveViolation::HalfMovedRead { observed, .. } if observed < report.config.records),
+                "{}",
+                ce.render()
+            );
+        }
+
+        #[test]
+        fn skipping_the_move_redo_on_recovery_is_caught() {
+            let report = check_rebalance(&RebalanceConfig::with_mutation(
+                RebalanceMutation::SkipMoveEndOnRecovery,
+            ));
+            let ce = report.counterexample.expect("mutation must be caught");
+            // The trace must pass through a crash: the mutation only
+            // fires on the recovery path.
+            assert!(
+                ce.trace.contains(&RebalanceAction::Crash),
+                "{}",
+                ce.render()
+            );
+            assert!(
+                matches!(ce.violation, MoveViolation::HalfMovedRead { .. }),
+                "{}",
+                ce.render()
+            );
+        }
+
+        #[test]
+        fn rebalance_mutation_names_round_trip() {
+            for m in RebalanceMutation::ALL.iter().chain([RebalanceMutation::None].iter()) {
+                assert_eq!(RebalanceMutation::parse(m.name()), Some(*m));
+            }
+            assert_eq!(RebalanceMutation::parse("bogus"), None);
+        }
+    }
+}

@@ -82,6 +82,12 @@ pub mod kind {
     pub const PULL_LOG: u8 = 0x0C;
     /// WAL-shipping response: snapshot and/or delta log lines.
     pub const LOG_DELTA: u8 = 0x0D;
+    /// Remove records by database key (rebalance move cleanup):
+    /// body = count (u64) + that many keys (u64 each).
+    pub const DELETE_KEYS: u8 = 0x0E;
+    /// Fetch records by database key (rebalance chunk copy):
+    /// body = count (u64) + that many keys (u64 each).
+    pub const FETCH_KEYS: u8 = 0x0F;
 }
 
 /// One decoded wire frame.
@@ -524,6 +530,14 @@ pub enum WireOp {
     InsertWithKey(DbKey, Record),
     /// Execute an ABDL request.
     Exec(Request),
+    /// Physically remove records by key — the cleanup half of a
+    /// rebalance group move (a moved-away copy must not survive to be
+    /// resurrected by a later broadcast read).
+    DeleteKeys(Vec<DbKey>),
+    /// Fetch records by key — the key-scoped read under a rebalance
+    /// chunk copy (a whole-file scan per chunk would make every move
+    /// O(database)).
+    FetchKeys(Vec<DbKey>),
     /// Liveness and epoch probe.
     Ping,
     /// Orderly process shutdown.
@@ -564,6 +578,22 @@ impl WireOp {
                 put_str(&mut b, &request.to_string());
                 (kind::EXEC, b)
             }
+            WireOp::DeleteKeys(keys) => {
+                let mut b = Vec::new();
+                put_u64(&mut b, keys.len() as u64);
+                for k in &keys {
+                    put_u64(&mut b, k.0);
+                }
+                (kind::DELETE_KEYS, b)
+            }
+            WireOp::FetchKeys(keys) => {
+                let mut b = Vec::new();
+                put_u64(&mut b, keys.len() as u64);
+                for k in &keys {
+                    put_u64(&mut b, k.0);
+                }
+                (kind::FETCH_KEYS, b)
+            }
             WireOp::Ping => (kind::PING, Vec::new()),
             WireOp::Shutdown => (kind::SHUTDOWN, Vec::new()),
             WireOp::SetFaults(plan) => {
@@ -593,6 +623,28 @@ impl WireOp {
                 WireOp::InsertWithKey(key, record)
             }
             kind::EXEC => WireOp::Exec(parse_request(&t.str()?)?),
+            kind::DELETE_KEYS => {
+                let count = t.u64()?;
+                if count > MAX_FRAME as u64 / 8 {
+                    return Err(Take::bad("delete-keys count"));
+                }
+                let mut keys = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    keys.push(DbKey(t.u64()?));
+                }
+                WireOp::DeleteKeys(keys)
+            }
+            kind::FETCH_KEYS => {
+                let count = t.u64()?;
+                if count > MAX_FRAME as u64 {
+                    return Err(Take::bad("fetch-keys count"));
+                }
+                let mut keys = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    keys.push(DbKey(t.u64()?));
+                }
+                WireOp::FetchKeys(keys)
+            }
             kind::PING => WireOp::Ping,
             kind::SHUTDOWN => WireOp::Shutdown,
             kind::SET_FAULTS => WireOp::SetFaults(fault_plan_from_text(&t.str()?)?),
@@ -1195,6 +1247,18 @@ fn apply_op(state: &mut ServerState, op: &WireOp) -> Result<Response> {
             .insert_with_key(*key, record.clone())
             .map(|()| Response::with_affected(1, Default::default())),
         WireOp::Exec(request) => state.store.execute(request),
+        WireOp::DeleteKeys(keys) => {
+            let removed =
+                keys.iter().filter(|&&k| state.store.remove_by_key(k).is_some()).count();
+            Ok(Response::with_affected(removed, Default::default()))
+        }
+        WireOp::FetchKeys(keys) => {
+            let records: Vec<(DbKey, Record)> = keys
+                .iter()
+                .filter_map(|&k| state.store.record_by_key(k).map(|r| (k, r.clone())))
+                .collect();
+            Ok(Response::with_records(records, Default::default()))
+        }
         _ => Err(Error::Internal("wire: apply_op on a non-apply op".to_string())),
     }
 }
@@ -1250,7 +1314,11 @@ fn serve_conn(stream: TcpStream, state: &Arc<Mutex<ServerState>>) {
                 let err = Error::Internal("wire: backend does not ship logs".to_string());
                 Some(WireReply::Err(err).into_frame(frame.seq, st.fence))
             }
-            WireOp::CreateFile(_) | WireOp::InsertWithKey(..) | WireOp::Exec(_) => {
+            WireOp::CreateFile(_)
+            | WireOp::InsertWithKey(..)
+            | WireOp::Exec(_)
+            | WireOp::DeleteKeys(_)
+            | WireOp::FetchKeys(_) => {
                 if fenced {
                     let index = st.index;
                     let err = Error::Unavailable(format!(

@@ -66,6 +66,15 @@ impl Partitioner {
     pub fn set_rotor(&mut self, file: &str, v: usize) {
         self.next.insert(file.to_owned(), v % self.backends);
     }
+
+    /// Grow the ring to `backends` members (online backend add). Rotor
+    /// positions are kept as-is: they are always used mod the current
+    /// backend count, so existing files simply start rotating over the
+    /// wider ring.
+    pub fn grow(&mut self, backends: usize) {
+        assert!(backends >= self.backends, "the ring only grows");
+        self.backends = backends;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,268 @@
+//! Online cluster rebalancing: the planners and move queue behind
+//! [`Controller::add_backend`](crate::Controller::add_backend) and
+//! [`Controller::drain_backend`](crate::Controller::drain_backend).
+//!
+//! Membership changes never move records eagerly. They enqueue *group
+//! moves* — each one relocating every record of a single interned
+//! replica group — which the controller works through a throttled
+//! queue interleaved with foreground traffic. Each move is bracketed
+//! in the WAL ([`LogRecord::MoveBegin`](crate::LogRecord::MoveBegin) …
+//! [`LogRecord::MoveEnd`](crate::LogRecord::MoveEnd), mirroring the
+//! restart brackets), so a crash mid-move replays the whole move
+//! idempotently; reads keep serving from the old placement until the
+//! directory retarget inside the move commits.
+//!
+//! Planning is **state-based**: a plan is a pure function of the
+//! directory's current in-use groups and the membership goal, so
+//! re-planning after a crash, a snapshot rebuild, or a standby
+//! promotion re-derives exactly the not-yet-done moves — finished
+//! moves no longer match the predicate and drop out, which is what
+//! makes the crash-at-every-append sweep converge to the same state.
+//!
+//! * **Add (unwrap the ring).** New inserts immediately rotate over
+//!   the grown ring. Existing groups laid out contiguously mod the old
+//!   ring are already valid contiguous slots of the new ring — except
+//!   the ones that *wrapped* past the old edge (`(3,0)` on a 4-ring).
+//!   Those are re-laid from the same primary on the new ring
+//!   (`(3,0) → (3,4)` growing 4 → 5), spreading load onto the new
+//!   member without touching any unwrapped group.
+//! * **Drain.** Every group containing the draining backend swaps it
+//!   for the first serving, non-draining backend scanning upward from
+//!   the drained index — deterministic, replication-preserving, and a
+//!   no-op for groups that already dropped it.
+
+use std::collections::VecDeque;
+
+/// One unit of rebalance work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoveJob {
+    /// Relocate every record of replica group `from` to `to`.
+    Move {
+        /// The group being vacated (identified by member-set value).
+        from: Vec<usize>,
+        /// The destination member set.
+        to: Vec<usize>,
+    },
+    /// All unwrap moves for the add of `backend` are queued ahead of
+    /// this marker: reaching it commits the add
+    /// ([`LogRecord::AddEnd`](crate::LogRecord::AddEnd)).
+    FinishAdd {
+        /// The added backend.
+        backend: usize,
+    },
+    /// All drain moves for `backend` are queued ahead of this marker:
+    /// reaching it retires the backend
+    /// ([`LogRecord::DrainEnd`](crate::LogRecord::DrainEnd)).
+    FinishDrain {
+        /// The draining backend.
+        backend: usize,
+    },
+}
+
+/// Default bound on group moves performed per foreground request — the
+/// rebalance throttle that keeps foreground degradation proportional
+/// and measurable.
+pub const DEFAULT_THROTTLE: usize = 1;
+
+/// Default bound on records relocated per WAL bracket. A large group
+/// moves as a sequence of chunks, each its own complete
+/// `move-begin` … `move-end` bracket, so one pump step behind a
+/// foreground request costs O(throttle × chunk) records instead of
+/// O(group) — the knob that makes foreground degradation bounded
+/// rather than proportional to the biggest group.
+pub const DEFAULT_MOVE_CHUNK: usize = 512;
+
+/// The throttled queue of pending rebalance work.
+#[derive(Debug, Clone, Default)]
+pub struct Rebalancer {
+    queue: VecDeque<MoveJob>,
+    throttle: usize,
+}
+
+impl Rebalancer {
+    /// An idle rebalancer with the default throttle.
+    pub fn new() -> Rebalancer {
+        Rebalancer { queue: VecDeque::new(), throttle: DEFAULT_THROTTLE }
+    }
+
+    /// Append a job.
+    pub fn push(&mut self, job: MoveJob) {
+        self.queue.push_back(job);
+    }
+
+    /// Take the next job.
+    pub fn pop(&mut self) -> Option<MoveJob> {
+        self.queue.pop_front()
+    }
+
+    /// Put a job back at the *front* of the queue — used when a move
+    /// ran one chunk and has more, or when a job failed and must retry
+    /// before anything queued behind it (a `FinishDrain` marker must
+    /// never overtake the moves that vacate its backend).
+    pub fn requeue(&mut self, job: MoveJob) {
+        self.queue.push_front(job);
+    }
+
+    /// Jobs still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no rebalance is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Group moves to perform per foreground request (at least 1 per
+    /// explicit `rebalance_step`).
+    pub fn throttle(&self) -> usize {
+        self.throttle
+    }
+
+    /// Bound the moves piggybacked on each foreground request.
+    pub fn set_throttle(&mut self, throttle: usize) {
+        self.throttle = throttle.max(1);
+    }
+
+    /// Drop all queued work (promotion hand-off re-plans from state).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+/// True when `group` is laid out as consecutive ring slots mod `n`
+/// starting from its first member *and wraps past the ring edge* —
+/// the only layout an add invalidates.
+fn is_wrapped(group: &[usize], n: usize) -> bool {
+    if group.is_empty() || group.len() > n {
+        return false;
+    }
+    let p = group[0];
+    group.iter().enumerate().all(|(j, &m)| m == (p + j) % n) && p + group.len() > n
+}
+
+/// Plan the unwrap rebalance for growing `old_n → new_n` backends:
+/// `(from, to)` per wrapped group, sorted for determinism. Pure in the
+/// directory's in-use groups, so re-planning after a partial rebalance
+/// yields exactly the remaining moves.
+pub fn plan_unwrap(
+    groups_in_use: impl Iterator<Item = Vec<usize>>,
+    old_n: usize,
+    new_n: usize,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut moves: Vec<(Vec<usize>, Vec<usize>)> = groups_in_use
+        .filter(|g| is_wrapped(g, old_n))
+        .filter_map(|g| {
+            let p = g[0];
+            let to: Vec<usize> = (0..g.len()).map(|j| (p + j) % new_n).collect();
+            (to != g).then_some((g, to))
+        })
+        .collect();
+    moves.sort();
+    moves.dedup();
+    moves
+}
+
+/// Plan the moves that vacate `drained`: each in-use group containing
+/// it swaps it for the first backend scanning upward from
+/// `drained + 1` (mod `n`) that is serving, not draining, and not
+/// already a member. Groups with no legal substitute are skipped (the
+/// capacity guard in `drain_backend` makes that unreachable in
+/// practice). Sorted for determinism; pure in the in-use groups.
+pub fn plan_drain(
+    groups_in_use: impl Iterator<Item = Vec<usize>>,
+    drained: usize,
+    n: usize,
+    eligible: impl Fn(usize) -> bool,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut moves: Vec<(Vec<usize>, Vec<usize>)> = groups_in_use
+        .filter(|g| g.contains(&drained))
+        .filter_map(|g| {
+            let substitute = (1..n)
+                .map(|step| (drained + step) % n)
+                .find(|&i| eligible(i) && !g.contains(&i))?;
+            let to: Vec<usize> =
+                g.iter().map(|&m| if m == drained { substitute } else { m }).collect();
+            Some((g, to))
+        })
+        .collect();
+    moves.sort();
+    moves.dedup();
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_moves_only_wrapped_groups() {
+        let groups = vec![vec![0, 1], vec![2, 3], vec![3, 0], vec![1, 3]];
+        let moves = plan_unwrap(groups.into_iter(), 4, 5);
+        // Only (3,0) wraps the 4-ring; (1,3) is non-contiguous (a
+        // dead-substitution shape) and is left alone.
+        assert_eq!(moves, vec![(vec![3, 0], vec![3, 4])]);
+    }
+
+    #[test]
+    fn unwrap_is_idempotent_after_completion() {
+        // Re-planning against the post-move state finds nothing.
+        let groups = vec![vec![0, 1], vec![2, 3], vec![3, 4]];
+        assert!(plan_unwrap(groups.into_iter(), 4, 5).is_empty());
+    }
+
+    #[test]
+    fn unwrap_handles_multi_member_wraps() {
+        let moves = plan_unwrap(vec![vec![2, 0, 1]].into_iter(), 3, 4);
+        assert_eq!(moves, vec![(vec![2, 0, 1], vec![2, 3, 0])]);
+    }
+
+    #[test]
+    fn drain_substitutes_next_eligible_backend() {
+        let groups = vec![vec![0, 1], vec![1, 2], vec![3, 1]];
+        let moves = plan_drain(groups.into_iter(), 1, 4, |_| true);
+        assert_eq!(
+            moves,
+            vec![
+                (vec![0, 1], vec![0, 2]),
+                (vec![1, 2], vec![3, 2]),
+                (vec![3, 1], vec![3, 2]),
+            ]
+        );
+    }
+
+    #[test]
+    fn drain_skips_dead_and_already_member_substitutes() {
+        let groups = vec![vec![1, 2]];
+        // Backend 2 is already a member and 3 is ineligible (dead or
+        // draining): the scan wraps to 0.
+        let moves = plan_drain(groups.into_iter(), 1, 4, |i| i != 3);
+        assert_eq!(moves, vec![(vec![1, 2], vec![0, 2])]);
+        // No eligible substitute at all: the group is skipped.
+        let moves = plan_drain(vec![vec![1, 2]].into_iter(), 1, 4, |_| false);
+        assert!(moves.is_empty());
+    }
+
+    #[test]
+    fn drain_replan_after_partial_completion_finds_the_rest() {
+        // First move done: (0,1)→(0,2) already applied, so only the
+        // remaining group still names backend 1.
+        let groups = vec![vec![0, 2], vec![1, 3]];
+        let moves = plan_drain(groups.into_iter(), 1, 4, |_| true);
+        assert_eq!(moves, vec![(vec![1, 3], vec![2, 3])]);
+    }
+
+    #[test]
+    fn rebalancer_queue_and_throttle() {
+        let mut r = Rebalancer::new();
+        assert!(r.is_idle());
+        r.push(MoveJob::Move { from: vec![3, 0], to: vec![3, 4] });
+        r.push(MoveJob::FinishAdd { backend: 4 });
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.pop(), Some(MoveJob::Move { from: vec![3, 0], to: vec![3, 4] }));
+        assert_eq!(r.pop(), Some(MoveJob::FinishAdd { backend: 4 }));
+        assert!(r.pop().is_none());
+        r.set_throttle(0);
+        assert_eq!(r.throttle(), 1, "throttle floors at one move per step");
+    }
+}

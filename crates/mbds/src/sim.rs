@@ -37,6 +37,7 @@ use crate::controller::{PromotedParts, DEFAULT_REPLICATION};
 use crate::directory::Directory;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::placement::Partitioner;
+use crate::rebalance::{self, MoveJob, Rebalancer};
 use crate::wal::{LogRecord, LogStore, SnapshotData, Wal, WalStats};
 use abdl::engine::aggregate;
 use abdl::{
@@ -115,6 +116,18 @@ pub struct SimCluster {
     parallel_writes: bool,
     /// Cumulative execution counters (see [`ExecTotals`]).
     totals: ExecTotals,
+    /// Backends being drained out of the cluster: they take no new
+    /// placements and retire when their last group move commits.
+    draining: BTreeSet<usize>,
+    /// Backends retired by a completed drain (`drain-end`), as opposed
+    /// to dead by failure. A promoting standby must not restore a
+    /// retired backend's still-running process, and must finish the
+    /// shutdown the crashed primary never got to.
+    retired: BTreeSet<usize>,
+    /// An online add's unwrap rebalance is still in progress.
+    unwrapping: bool,
+    /// Queued group moves for the in-flight membership change.
+    rebalancer: Rebalancer,
 }
 
 impl SimCluster {
@@ -165,6 +178,10 @@ impl SimCluster {
             unique_via_index: true,
             parallel_writes: true,
             totals: ExecTotals::default(),
+            draining: BTreeSet::new(),
+            retired: BTreeSet::new(),
+            unwrapping: false,
+            rebalancer: Rebalancer::new(),
         }
     }
 
@@ -210,6 +227,10 @@ impl SimCluster {
         for entry in &entries {
             sim.apply_entry(entry)?;
         }
+        // An interrupted membership change re-derives its remaining
+        // moves from the rebuilt state (same as the threaded
+        // controller's recovery).
+        sim.replan_rebalance();
         sim.reset_clock();
         sim.wal = Some(wal);
         Ok(sim)
@@ -499,6 +520,8 @@ impl SimCluster {
             files: self.files.clone(),
             uniques,
             places,
+            draining: self.draining.iter().copied().collect(),
+            unwrap: self.unwrapping,
         }
     }
 
@@ -522,6 +545,9 @@ impl SimCluster {
             unique_index: self.unique_index.clone(),
             resident: self.resident.clone(),
             dead: (0..self.alive.len()).filter(|&i| !self.alive[i]).collect(),
+            draining: self.draining.clone(),
+            retired: self.retired.clone(),
+            unwrapping: self.unwrapping,
         }
     }
 
@@ -560,6 +586,8 @@ impl SimCluster {
         for &i in &snap.dead {
             self.alive[i] = false;
         }
+        self.draining = snap.draining.iter().copied().collect();
+        self.unwrapping = snap.unwrap;
         Ok(())
     }
 
@@ -605,6 +633,38 @@ impl SimCluster {
             }
             LogRecord::RestartBegin { backend } => self.restart_backend(*backend),
             LogRecord::RestartEnd { .. } => Ok(()),
+            // Same bracket discipline for rebalance moves: the chunk is
+            // (re)performed at the begin marker with exactly the keys
+            // the live run bracketed, keeping this mirror in lockstep
+            // with the primary's per-chunk placement commits.
+            LogRecord::MoveBegin { from, to, keys } => {
+                let (from, to) = (from.clone(), to.clone());
+                let keys: Vec<DbKey> = keys.iter().map(|&k| DbKey(k)).collect();
+                self.move_group_inner(&from, &to, &keys)
+            }
+            LogRecord::MoveEnd { .. } => Ok(()),
+            LogRecord::AddBackend { backend } => {
+                // A snapshot taken after the add already has the wider
+                // cluster; only grow past the current width.
+                if *backend + 1 > self.backends.len() {
+                    self.grow_cluster(*backend + 1);
+                }
+                self.unwrapping = true;
+                Ok(())
+            }
+            LogRecord::AddEnd { .. } => {
+                self.unwrapping = false;
+                Ok(())
+            }
+            LogRecord::DrainBegin { backend } => {
+                self.draining.insert(*backend);
+                Ok(())
+            }
+            LogRecord::DrainEnd { backend } => {
+                self.draining.remove(backend);
+                self.retire_backend(*backend);
+                Ok(())
+            }
         }
     }
 
@@ -972,7 +1032,8 @@ impl SimCluster {
             while wave.len() < want && scanned < n {
                 let i = (primary + scanned) % n;
                 scanned += 1;
-                if self.alive[i] {
+                // Draining backends take no new placements.
+                if self.alive[i] && !self.draining.contains(&i) {
                     wave.push(i);
                 }
             }
@@ -1016,6 +1077,352 @@ impl SimCluster {
         self.charge(&busy);
         Ok(Response::with_affected(1, Default::default()))
     }
+
+    // --- Elastic membership: online backend add / drain -------------
+    //
+    // A full mirror of the threaded controller's `mbds::rebalance`
+    // integration: same WAL grammar, same state-based planners, same
+    // throttled queue — so crash/recovery schedules through membership
+    // changes can be explored deterministically without threads.
+
+    /// True when no membership change is in flight.
+    fn rebalance_idle(&self) -> bool {
+        self.rebalancer.is_idle() && !self.unwrapping && self.draining.is_empty()
+    }
+
+    /// Group moves still queued (0 = the cluster is in its goal
+    /// placement).
+    pub fn rebalance_pending(&self) -> usize {
+        self.rebalancer.pending()
+    }
+
+    /// Bound the group moves piggybacked on each foreground request
+    /// (floored at 1).
+    pub fn set_rebalance_throttle(&mut self, throttle: usize) {
+        self.rebalancer.set_throttle(throttle);
+    }
+
+    /// Backends currently being drained, ascending.
+    pub fn draining_backends(&self) -> Vec<usize> {
+        self.draining.iter().copied().collect()
+    }
+
+    /// Add one backend and rebalance onto it online — the simulated
+    /// twin of [`crate::Controller::add_backend`]. Returns the new
+    /// backend's index.
+    pub fn add_backend(&mut self) -> Result<usize> {
+        if !self.rebalance_idle() {
+            return Err(Error::Unavailable(
+                "a rebalance is already in progress; finish it before another membership change"
+                    .into(),
+            ));
+        }
+        let i = self.backends.len();
+        // Durable goal first (the `restart-begin` discipline): a crash
+        // anywhere past this append recovers into the widened cluster
+        // and re-plans the remaining moves.
+        self.log_append(LogRecord::AddBackend { backend: i })?;
+        self.grow_cluster(i + 1);
+        self.unwrapping = true;
+        self.replan_add(i);
+        self.maybe_snapshot();
+        Ok(i)
+    }
+
+    /// Drain backend `i` out of the cluster online — the simulated twin
+    /// of [`crate::Controller::drain_backend`]. Re-draining an
+    /// already-draining backend is a no-op.
+    pub fn drain_backend(&mut self, i: usize) -> Result<()> {
+        if i >= self.backends.len() {
+            return Err(Error::Internal(format!("no such backend {i}")));
+        }
+        if self.draining.contains(&i) {
+            return Ok(());
+        }
+        if !self.alive[i] {
+            return Err(Error::Unavailable(format!("backend {i} is not serving")));
+        }
+        if !self.rebalance_idle() {
+            return Err(Error::Unavailable(
+                "a rebalance is already in progress; finish it before another membership change"
+                    .into(),
+            ));
+        }
+        if self.alive_count() <= self.replication {
+            return Err(Error::Unavailable(format!(
+                "draining backend {i} would leave fewer serving backends than replication {}",
+                self.replication
+            )));
+        }
+        self.log_append(LogRecord::DrainBegin { backend: i })?;
+        self.draining.insert(i);
+        self.replan_drain(i);
+        self.maybe_snapshot();
+        Ok(())
+    }
+
+    /// Perform one queued rebalance job (one move *chunk*, or a finish
+    /// marker). `Ok(true)` = a job ran; `Ok(false)` = the queue is
+    /// empty. A move with chunks still to go — and any failed job —
+    /// goes back to the *front* so a finish marker can never overtake
+    /// the moves it commits.
+    pub fn rebalance_step(&mut self) -> Result<bool> {
+        let Some(job) = self.rebalancer.pop() else { return Ok(false) };
+        let result = match &job {
+            MoveJob::Move { from, to } => {
+                let (from, to) = (from.clone(), to.clone());
+                self.move_group(&from, &to).map(|done| !done)
+            }
+            MoveJob::FinishAdd { backend } => self.finish_add(*backend).map(|()| false),
+            MoveJob::FinishDrain { backend } => self.finish_drain(*backend).map(|()| false),
+        };
+        match result {
+            Ok(more_chunks) => {
+                if more_chunks {
+                    self.rebalancer.requeue(job);
+                }
+                Ok(true)
+            }
+            Err(e) => {
+                self.rebalancer.requeue(job);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drain the rebalance queue synchronously.
+    pub fn finish_rebalance(&mut self) -> Result<()> {
+        while self.rebalance_step()? {}
+        self.maybe_snapshot();
+        Ok(())
+    }
+
+    /// Work off up to `throttle` queued jobs behind a foreground
+    /// request; an error is stashed for the next `execute` (the job
+    /// stays queued).
+    fn pump_rebalance(&mut self) {
+        for _ in 0..self.rebalancer.throttle() {
+            match self.rebalance_step() {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    self.pending_error.get_or_insert(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Grow every per-backend structure until the cluster is `new_n`
+    /// wide; the new store replays the schema (message-counted, like
+    /// the threaded controller's joining handshake).
+    fn grow_cluster(&mut self, new_n: usize) {
+        while self.backends.len() < new_n {
+            let i = self.backends.len();
+            self.backends.push(Store::new());
+            self.alive.push(true);
+            self.msg_counts.push(0);
+            self.partitioner.grow(self.backends.len());
+            for counts in self.resident.values_mut() {
+                counts.push(0);
+            }
+            for file in self.files.clone() {
+                self.msg_counts[i] += 1;
+                self.totals.messages_sent += 1;
+                self.backends[i].create_file(file);
+            }
+        }
+    }
+
+    /// Queue the unwrap moves for the add of backend `added` plus the
+    /// `add-end` marker (see [`rebalance::plan_unwrap`]).
+    fn replan_add(&mut self, added: usize) {
+        let new_n = self.backends.len();
+        let moves = rebalance::plan_unwrap(
+            self.directory.groups_in_use().map(|g| g.to_vec()),
+            added,
+            new_n,
+        );
+        for (from, to) in moves {
+            self.rebalancer.push(MoveJob::Move { from, to });
+        }
+        self.rebalancer.push(MoveJob::FinishAdd { backend: new_n - 1 });
+    }
+
+    /// Queue the moves that vacate draining backend `i` plus the
+    /// `drain-end` marker (see [`rebalance::plan_drain`]).
+    fn replan_drain(&mut self, i: usize) {
+        let n = self.backends.len();
+        let alive = &self.alive;
+        let draining = &self.draining;
+        let moves = rebalance::plan_drain(
+            self.directory.groups_in_use().map(|g| g.to_vec()),
+            i,
+            n,
+            |b| alive[b] && !draining.contains(&b),
+        );
+        for (from, to) in moves {
+            self.rebalancer.push(MoveJob::Move { from, to });
+        }
+        self.rebalancer.push(MoveJob::FinishDrain { backend: i });
+    }
+
+    /// Re-derive the whole rebalance queue from durable state — called
+    /// after recovery replay. Moves that committed before the crash no
+    /// longer match the planners' predicates and drop out.
+    pub(crate) fn replan_rebalance(&mut self) {
+        self.rebalancer.clear();
+        let n = self.backends.len();
+        if self.unwrapping && n > 1 {
+            self.replan_add(n - 1);
+        }
+        let draining: Vec<usize> = self.draining.iter().copied().collect();
+        for i in draining {
+            self.replan_drain(i);
+        }
+    }
+
+    /// Relocate one *chunk* (up to
+    /// [`rebalance::DEFAULT_MOVE_CHUNK`]) of replica group `from` to
+    /// `to` under a `move-begin` … `move-end` WAL bracket (one group
+    /// commit). Idempotent: a `from` group nothing points at is a
+    /// silent no-op. Returns `Ok(true)` when the group is fully
+    /// vacated, `Ok(false)` when more chunks remain.
+    fn move_group(&mut self, from: &[usize], to: &[usize]) -> Result<bool> {
+        let mut keys = self.directory.keys_of_group(from);
+        if keys.is_empty() {
+            return Ok(true);
+        }
+        let done = keys.len() <= rebalance::DEFAULT_MOVE_CHUNK;
+        keys.truncate(rebalance::DEFAULT_MOVE_CHUNK);
+        self.wal_begin_batch();
+        let result = self.move_group_inner(from, to, &keys);
+        let flush = self.wal_commit_batch();
+        result?;
+        flush?;
+        Ok(done)
+    }
+
+    fn move_group_inner(&mut self, from: &[usize], to: &[usize], keys: &[DbKey]) -> Result<()> {
+        self.log_append(LogRecord::MoveBegin {
+            from: from.to_vec(),
+            to: to.to_vec(),
+            keys: keys.iter().map(|k| k.0).collect(),
+        })?;
+        let added: Vec<usize> = to.iter().copied().filter(|m| !from.contains(m)).collect();
+        let removed: Vec<usize> = from.iter().copied().filter(|m| !to.contains(m)).collect();
+        // Pull one surviving copy of each chunk record from the group's
+        // alive members — key-scoped, never a file scan.
+        let sources: Vec<usize> = from.iter().copied().filter(|&m| self.alive[m]).collect();
+        let mut moved: Vec<(DbKey, Record)> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for &m in &sources {
+            let wanted = keys.to_vec();
+            let mut extra = 0.0;
+            if let Some(result) = self.deliver(m, &mut extra, move |b| {
+                let records: Vec<(DbKey, Record)> = wanted
+                    .iter()
+                    .filter_map(|&k| b.record_by_key(k).map(|r| (k, r.clone())))
+                    .collect();
+                Ok(Response::with_records(records, Default::default()))
+            }) {
+                for (key, rec) in result?.into_records() {
+                    if seen.insert(key.0) {
+                        moved.push((key, rec));
+                    }
+                }
+            }
+        }
+        moved.sort_by_key(|(k, _)| k.0);
+        // Copy to the members the move adds …
+        let mut busy = vec![0.0; self.backends.len()];
+        for (key, rec) in &moved {
+            let bytes = rec.to_string().len() as u64;
+            for &m in &added {
+                if !self.alive[m] {
+                    continue;
+                }
+                let mut extra = 0.0;
+                let (key, rec) = (*key, rec.clone());
+                if let Some(result) = self.deliver(m, &mut extra, move |b| {
+                    b.insert_with_key(key, rec)
+                        .map(|()| Response::with_affected(1, Default::default()))
+                }) {
+                    result?;
+                }
+                busy[m] += self.cost.block_time_us + extra;
+                self.totals.move_bytes += bytes;
+            }
+            if let Some(file) = rec.file().map(str::to_owned) {
+                self.resident_add(&file, &added);
+                self.resident_remove(&file, &removed);
+            }
+        }
+        // … physically remove from the members it abandons (a stale
+        // copy would be resurrected by the next broadcast read) …
+        for &m in &removed {
+            if !self.alive[m] {
+                continue;
+            }
+            let mut extra = 0.0;
+            let keys = keys.to_vec();
+            let _ = self.deliver(m, &mut extra, move |b| {
+                let gone = keys.iter().filter(|&&k| b.remove_by_key(k).is_some()).count();
+                Ok(Response::with_affected(gone, Default::default()))
+            });
+        }
+        self.charge(&busy);
+        // … and only then commit the new placement: per-key rebinds
+        // while the group still holds keys outside the chunk, a
+        // whole-group retarget when this chunk empties it (the same
+        // commit rule as the threaded controller, so every redo path
+        // converges on byte-identical directory state).
+        let live_in_chunk =
+            keys.iter().filter(|k| self.directory.get(k).is_some_and(|g| g == from)).count();
+        let remaining = self.directory.group_live_entries(from) > live_in_chunk as u64;
+        if remaining {
+            for key in keys {
+                self.directory.insert(*key, to.to_vec());
+            }
+        } else if self.directory.retarget(from, to.to_vec()) > 0 {
+            self.totals.groups_moved += 1;
+        }
+        self.log_append(LogRecord::MoveEnd { from: from.to_vec(), to: to.to_vec() })
+    }
+
+    /// Commit an online add: every unwrap move is done.
+    fn finish_add(&mut self, backend: usize) -> Result<()> {
+        self.log_append(LogRecord::AddEnd { backend })?;
+        self.unwrapping = false;
+        Ok(())
+    }
+
+    /// Retire a drained backend: every group containing it has moved
+    /// off. `drain-end` (not `dead`) records the retirement.
+    fn finish_drain(&mut self, backend: usize) -> Result<()> {
+        self.log_append(LogRecord::DrainEnd { backend })?;
+        self.draining.remove(&backend);
+        self.retire_backend(backend);
+        Ok(())
+    }
+
+    /// The simulated analogue of the threaded controller's
+    /// `shutdown_backend`: the store goes away without a `dead` log
+    /// record — callers decide how the death is recorded.
+    fn retire_backend(&mut self, i: usize) {
+        if i < self.alive.len() {
+            self.alive[i] = false;
+            self.retired.insert(i);
+        }
+    }
+
+    /// The placement-independent projection of the cluster's contents
+    /// (see [`crate::Controller::logical_digest`]): two clusters of
+    /// different shapes holding the same data produce equal logical
+    /// digests.
+    pub fn logical_digest(&self) -> String {
+        crate::controller::logical_digest_of(&self.snapshot_data())
+    }
 }
 
 impl Kernel for SimCluster {
@@ -1058,6 +1465,10 @@ impl Kernel for SimCluster {
         let mut resp = self.execute_inner(request)?;
         resp.messages_sent = self.totals.messages_sent - msgs_before;
         self.totals.records_examined += resp.stats.records_examined;
+        // Piggyback up to `throttle` queued rebalance moves on this
+        // foreground request, after the message attribution above so
+        // move traffic never pollutes the response's own counters.
+        self.pump_rebalance();
         self.maybe_snapshot();
         Ok(resp)
     }
@@ -1087,11 +1498,19 @@ impl Kernel for SimCluster {
         self.totals.batched_requests += requests.len() as u64;
         self.wal_begin_batch();
         let mut results = Vec::with_capacity(requests.len());
+        // An in-flight group move is a standing broadcast-write
+        // conflict: while the rebalance queue is non-empty the
+        // scheduler refuses to stage flights at all, mirroring the
+        // threaded controller's stall accounting.
+        let rebalancing = !self.rebalancer.is_idle();
+        if rebalancing {
+            self.totals.rebalance_stalls += requests.len() as u64;
+        }
         let mut i = 0;
         while i < requests.len() {
             let mut flight_fps: Vec<crate::sched::Footprint> = Vec::new();
             let mut j = i;
-            while j < requests.len() {
+            while !rebalancing && j < requests.len() {
                 let flyable = matches!(
                     requests[j],
                     Request::Insert { .. } | Request::Retrieve { .. }
@@ -1306,13 +1725,14 @@ mod tests {
             rec.set("f", Value::Int(i));
             cluster.execute(&Request::Insert { record: rec }).unwrap();
         }
-        let mut batch = Vec::new();
-        // Read-only flight: two key-scoped reads plus a broadcast scan.
-        batch.push(parse_request("RETRIEVE ((FILE = f) and (f = 1)) (*)").unwrap());
-        batch.push(parse_request("RETRIEVE ((FILE = f) and (f = 2)) (*)").unwrap());
-        batch.push(parse_request("RETRIEVE (FILE = f) (*)").unwrap());
-        // A delete closes the flight (not flyable).
-        batch.push(parse_request("DELETE ((FILE = f) and (f = 7))").unwrap());
+        let mut batch = vec![
+            // Read-only flight: two key-scoped reads plus a broadcast scan.
+            parse_request("RETRIEVE ((FILE = f) and (f = 1)) (*)").unwrap(),
+            parse_request("RETRIEVE ((FILE = f) and (f = 2)) (*)").unwrap(),
+            parse_request("RETRIEVE (FILE = f) (*)").unwrap(),
+            // A delete closes the flight (not flyable).
+            parse_request("DELETE ((FILE = f) and (f = 7))").unwrap(),
+        ];
         // Mixed flight: key-disjoint insert + key-scoped read.
         let mut rec = Record::from_pairs([("FILE", Value::str("f"))]);
         rec.set("f", Value::Int(100));

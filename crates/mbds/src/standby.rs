@@ -66,6 +66,12 @@ pub struct Standby {
     /// but the real backend thread was never respawned — promotion
     /// finishes these restarts for real.
     mid_restart: BTreeSet<usize>,
+    /// Move chunks whose `MoveBegin` shipped without a matching
+    /// `MoveEnd`: the primary crashed mid-chunk. The mirror has already
+    /// applied the chunk (exactly as cold replay would), but the
+    /// physical copy on the real backends was interrupted — promotion
+    /// redoes exactly these keys for real.
+    mid_move: Vec<(Vec<usize>, Vec<usize>, Vec<u64>)>,
     records_shipped: u64,
     apply_micros: u64,
 }
@@ -86,6 +92,7 @@ impl Standby {
             mirror: Standby::mirror_of(&text)?,
             link,
             mid_restart: BTreeSet::new(),
+            mid_move: Vec::new(),
             records_shipped: 0,
             apply_micros: 0,
         };
@@ -120,10 +127,11 @@ impl Standby {
                 CursorUpdate::Snapshot(text) => {
                     // The primary compacted its log: rebuild and keep
                     // polling — entries may already follow the install.
-                    // Snapshots are never taken between a restart's
-                    // begin/end markers, so nothing is mid-restart.
+                    // Snapshots are never taken between begin/end
+                    // markers, so nothing is mid-restart or mid-move.
                     self.mirror = Standby::mirror_of(&text)?;
                     self.mid_restart.clear();
+                    self.mid_move.clear();
                 }
                 CursorUpdate::Entries(entries) => {
                     for entry in &entries {
@@ -133,6 +141,12 @@ impl Standby {
                             }
                             LogRecord::RestartEnd { backend } => {
                                 self.mid_restart.remove(backend);
+                            }
+                            LogRecord::MoveBegin { from, to, keys } => {
+                                self.mid_move.push((from.clone(), to.clone(), keys.clone()));
+                            }
+                            LogRecord::MoveEnd { from, to } => {
+                                self.mid_move.retain(|(f, t, _)| f != from || t != to);
                             }
                             _ => {}
                         }
@@ -180,6 +194,7 @@ impl Standby {
     pub fn promote(mut self) -> Result<Controller> {
         self.poll()?;
         let unfinished: Vec<usize> = self.mid_restart.iter().copied().collect();
+        let unfinished_moves = std::mem::take(&mut self.mid_move);
         let consumed = self.cursor.consumed();
         let next_seq = self.cursor.next_seq();
         let max_epoch = self.cursor.max_epoch();
@@ -195,7 +210,13 @@ impl Standby {
         store.set_fence_epoch(new_epoch)?;
         self.link.fence.store(new_epoch, Ordering::SeqCst);
         let wal = Wal::resume(store, next_seq, consumed as u64, new_epoch);
+        let mirror_n = self.mirror.backend_count();
         let mut c = Controller::promoted(self.link, wal, new_epoch, self.mirror.promoted_parts());
+        // Elastic membership: an `add-backend` record may have shipped
+        // while the primary died before spawning the worker — the shared
+        // bus is still the old width. Adopt the missing backends before
+        // any heal touches them.
+        c.adopt_missing_backends(mirror_n)?;
         // A restart the primary began but never finished: the log (and
         // the mirror) say the backend is alive again, but its thread
         // was never respawned. Redo the restart for real, exactly as
@@ -203,6 +224,17 @@ impl Standby {
         for i in unfinished {
             c.finish_interrupted_restart(i)?;
         }
+        // A move chunk the primary began but never committed: the
+        // mirror (and so the promoted directory) already routes the
+        // chunk's keys to the new placement, but the physical copy was
+        // interrupted — heal exactly those keys for real, then
+        // re-derive whatever rebalance work the crashed membership
+        // change still owes from the warm state (remaining chunks
+        // included: the group still matches the state-based plan).
+        for (from, to, keys) in unfinished_moves {
+            c.finish_interrupted_move(&from, &to, &keys)?;
+        }
+        c.replan_rebalance();
         Ok(c)
     }
 }

@@ -129,6 +129,56 @@ pub enum LogRecord {
         /// The backend index.
         backend: usize,
     },
+    /// One *chunk* of a live group move began: the records with exactly
+    /// these `keys`, placed on replica group `from`, are being copied so
+    /// they live on group `to` instead. Large groups move as a sequence
+    /// of bounded chunks, each its own complete bracket, so foreground
+    /// traffic is never stalled behind a whole-group copy. Replay
+    /// re-performs exactly the listed keys here; the matching
+    /// [`LogRecord::MoveEnd`] marks the chunk committed (its absence
+    /// means the controller crashed mid-chunk — re-running the chunk is
+    /// idempotent).
+    MoveBegin {
+        /// The replica group being vacated (its member set identifies
+        /// it; interned group ids are not stable across snapshots).
+        from: Vec<usize>,
+        /// The replica group the records now live on.
+        to: Vec<usize>,
+        /// The database keys of this chunk.
+        keys: Vec<u64>,
+    },
+    /// The matching group move committed: reads switch to `to`.
+    MoveEnd {
+        /// The vacated replica group.
+        from: Vec<usize>,
+        /// The now-serving replica group.
+        to: Vec<usize>,
+    },
+    /// A new backend joined the cluster at index `backend`, growing the
+    /// cluster to `backend + 1` members and starting the unwrap
+    /// rebalance (groups that wrapped around the old ring are moved to
+    /// contiguous slots on the grown ring).
+    AddBackend {
+        /// The new backend's index.
+        backend: usize,
+    },
+    /// The unwrap rebalance following [`LogRecord::AddBackend`]
+    /// finished: no wrapped groups remain.
+    AddEnd {
+        /// The backend whose join triggered the rebalance.
+        backend: usize,
+    },
+    /// A backend drain began: every group it serves is being moved to
+    /// the remaining members.
+    DrainBegin {
+        /// The backend being drained.
+        backend: usize,
+    },
+    /// The matching drain finished; the backend left service for good.
+    DrainEnd {
+        /// The drained backend.
+        backend: usize,
+    },
 }
 
 fn bad(msg: impl Into<String>) -> Error {
@@ -151,6 +201,17 @@ impl LogRecord {
             LogRecord::Dead { backend } => format!("dead {backend}"),
             LogRecord::RestartBegin { backend } => format!("restart-begin {backend}"),
             LogRecord::RestartEnd { backend } => format!("restart-end {backend}"),
+            LogRecord::MoveBegin { from, to, keys } => {
+                let keys: Vec<String> = keys.iter().map(u64::to_string).collect();
+                format!("move-begin {} {} {}", join_members(from), join_members(to), keys.join(","))
+            }
+            LogRecord::MoveEnd { from, to } => {
+                format!("move-end {} {}", join_members(from), join_members(to))
+            }
+            LogRecord::AddBackend { backend } => format!("add-backend {backend}"),
+            LogRecord::AddEnd { backend } => format!("add-end {backend}"),
+            LogRecord::DrainBegin { backend } => format!("drain-begin {backend}"),
+            LogRecord::DrainEnd { backend } => format!("drain-end {backend}"),
         }
     }
 
@@ -179,16 +240,12 @@ impl LogRecord {
                     rest.split_once(' ').ok_or_else(|| bad("wal: insert without group"))?;
                 let (group, record) =
                     rest.split_once(' ').ok_or_else(|| bad("wal: insert without record"))?;
-                let group: Result<Vec<usize>> = group
-                    .split(',')
-                    .map(|s| {
-                        s.parse::<usize>().map_err(|_| bad(format!("wal: bad group member `{s}`")))
-                    })
-                    .collect();
                 match parse_request(&format!("INSERT {record}"))? {
-                    Request::Insert { record } => {
-                        Ok(LogRecord::Insert { key: parse_u64(key)?, group: group?, record })
-                    }
+                    Request::Insert { record } => Ok(LogRecord::Insert {
+                        key: parse_u64(key)?,
+                        group: parse_members(group)?,
+                        record,
+                    }),
                     _ => Err(bad("wal: insert payload did not parse as a record")),
                 }
             }
@@ -196,9 +253,43 @@ impl LogRecord {
             "dead" => Ok(LogRecord::Dead { backend: parse_usize(rest)? }),
             "restart-begin" => Ok(LogRecord::RestartBegin { backend: parse_usize(rest)? }),
             "restart-end" => Ok(LogRecord::RestartEnd { backend: parse_usize(rest)? }),
+            "move-begin" => {
+                let (from, rest) =
+                    rest.split_once(' ').ok_or_else(|| bad("wal: move without target group"))?;
+                let (to, keys) =
+                    rest.split_once(' ').ok_or_else(|| bad("wal: move-begin without keys"))?;
+                let keys = keys
+                    .split(',')
+                    .filter(|k| !k.is_empty())
+                    .map(parse_u64)
+                    .collect::<Result<Vec<u64>>>()?;
+                Ok(LogRecord::MoveBegin { from: parse_members(from)?, to: parse_members(to)?, keys })
+            }
+            "move-end" => {
+                let (from, to) =
+                    rest.split_once(' ').ok_or_else(|| bad("wal: move without target group"))?;
+                Ok(LogRecord::MoveEnd { from: parse_members(from)?, to: parse_members(to)? })
+            }
+            "add-backend" => Ok(LogRecord::AddBackend { backend: parse_usize(rest)? }),
+            "add-end" => Ok(LogRecord::AddEnd { backend: parse_usize(rest)? }),
+            "drain-begin" => Ok(LogRecord::DrainBegin { backend: parse_usize(rest)? }),
+            "drain-end" => Ok(LogRecord::DrainEnd { backend: parse_usize(rest)? }),
             _ => Err(bad(format!("wal: unknown entry `{payload}`"))),
         }
     }
+}
+
+/// Render a replica-group member list as the log's `a,b,c` form.
+fn join_members(group: &[usize]) -> String {
+    let members: Vec<String> = group.iter().map(usize::to_string).collect();
+    members.join(",")
+}
+
+/// Parse a `a,b,c` replica-group member list.
+fn parse_members(s: &str) -> Result<Vec<usize>> {
+    s.split(',')
+        .map(|m| m.parse::<usize>().map_err(|_| bad(format!("wal: bad group member `{m}`"))))
+        .collect()
 }
 
 fn parse_u64(s: &str) -> Result<u64> {
@@ -226,6 +317,13 @@ pub struct SnapshotData {
     pub next_key: u64,
     /// Dead backends, ascending.
     pub dead: Vec<usize>,
+    /// Backends mid-drain, ascending: their groups were still being
+    /// moved off when the snapshot was taken — recovery re-plans and
+    /// finishes the drain.
+    pub draining: Vec<usize>,
+    /// True while an add-backend unwrap rebalance is in progress:
+    /// recovery re-plans the remaining wrapped-group moves.
+    pub unwrap: bool,
     /// Per-file placement rotor positions, sorted by file.
     pub rotors: Vec<(String, usize)>,
     /// Kernel files in creation order.
@@ -250,6 +348,13 @@ impl SnapshotData {
         if !self.dead.is_empty() {
             let dead: Vec<String> = self.dead.iter().map(usize::to_string).collect();
             let _ = writeln!(out, "--! dead {}", dead.join(" "));
+        }
+        if !self.draining.is_empty() {
+            let draining: Vec<String> = self.draining.iter().map(usize::to_string).collect();
+            let _ = writeln!(out, "--! draining {}", draining.join(" "));
+        }
+        if self.unwrap {
+            let _ = writeln!(out, "--! rebalance unwrap");
         }
         for (file, v) in &self.rotors {
             let _ = writeln!(out, "--! rotor {file} {v}");
@@ -306,6 +411,19 @@ impl SnapshotData {
                             .map(parse_usize)
                             .collect::<Result<_>>()?;
                     }
+                    "draining" => {
+                        snap.draining = rest
+                            .split(' ')
+                            .filter(|s| !s.is_empty())
+                            .map(parse_usize)
+                            .collect::<Result<_>>()?;
+                    }
+                    "rebalance" => match rest {
+                        "unwrap" => snap.unwrap = true,
+                        other => {
+                            return Err(bad(format!("snapshot: unknown rebalance state `{other}`")))
+                        }
+                    },
                     "rotor" => {
                         let (file, v) =
                             rest.split_once(' ').ok_or_else(|| bad("snapshot: malformed rotor"))?;
@@ -1193,6 +1311,12 @@ mod tests {
             LogRecord::Dead { backend: 3 },
             LogRecord::RestartBegin { backend: 0 },
             LogRecord::RestartEnd { backend: 0 },
+            LogRecord::MoveBegin { from: vec![3, 0], to: vec![3, 4], keys: vec![7, 12, 40] },
+            LogRecord::MoveEnd { from: vec![3, 0], to: vec![3, 4] },
+            LogRecord::AddBackend { backend: 4 },
+            LogRecord::AddEnd { backend: 4 },
+            LogRecord::DrainBegin { backend: 1 },
+            LogRecord::DrainEnd { backend: 1 },
         ];
         for e in entries {
             let decoded = LogRecord::decode(&e.encode()).unwrap();
@@ -1259,6 +1383,8 @@ mod tests {
             replication: 2,
             next_key: 17,
             dead: vec![1, 3],
+            draining: vec![2],
+            unwrap: true,
             rotors: vec![("a".into(), 2), ("b".into(), 0)],
             files: vec!["a".into(), "b".into()],
             uniques: vec![("a".into(), vec!["name".into()])],

@@ -33,6 +33,8 @@
 //! .standby <dir>                attach a hot standby tailing the WAL in <dir>
 //! .lag                          ship pending log records and print replication lag
 //! .promote                      fail over: promote the standby over the live backends
+//! .addbackend                   grow the cluster: add a backend and rebalance onto it
+//! .drain <id>                   shrink the cluster: move backend <id>'s groups away
 //! .quit                         exit
 //! ```
 
@@ -305,11 +307,24 @@ impl Shell {
                 });
                 if let Kern::Durable(m) = &mut self.kern {
                     let k = m.kernel_mut();
+                    let t = k.exec_totals();
                     let (records, groups, bytes) = k.directory_stats();
                     println!(
                         "controller epoch:   {}\ndirectory:          {records} record(s) in \
                          {groups} replica group(s), ~{bytes} bytes resident",
                         k.epoch()
+                    );
+                    let cz = k.directory_compression();
+                    println!(
+                        "directory map:      {} entr(ies) flat ~{} B -> compressed ~{} B \
+                         ({} run(s), {} overlay)",
+                        cz.entries, cz.flat_bytes, cz.resident_bytes, cz.runs, cz.overlay
+                    );
+                    let pending = k.rebalance_pending();
+                    println!(
+                        "rebalance:          {} group(s) moved, {} byte(s) shipped, \
+                         {} stalled request(s), {} move(s) pending",
+                        t.groups_moved, t.move_bytes, t.rebalance_stalls, pending
                     );
                     let probes = k.read_probe_counts();
                     if probes.iter().any(|&c| c > 0) {
@@ -521,6 +536,46 @@ impl Shell {
                 }
                 (None, _) => eprintln!("no standby attached (.standby <dir>)"),
             },
+            Some("addbackend") => match &mut self.kern {
+                Kern::Durable(m) => {
+                    let k = m.kernel_mut();
+                    let before = k.exec_totals().groups_moved;
+                    match k.add_backend().and_then(|i| k.finish_rebalance().map(|()| i)) {
+                        Ok(i) => {
+                            let moved = k.exec_totals().groups_moved - before;
+                            println!(
+                                "backend {i} joined; {moved} group(s) rebalanced onto it \
+                                 (.stats for move totals)"
+                            );
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    }
+                }
+                Kern::Single(_) => {
+                    eprintln!(".addbackend requires a multi-backend kernel (.durable or .tcp first)")
+                }
+            },
+            Some("drain") => match (words.next().and_then(|w| w.parse::<usize>().ok()), &mut self.kern)
+            {
+                (Some(i), Kern::Durable(m)) => {
+                    let k = m.kernel_mut();
+                    let before = k.exec_totals().groups_moved;
+                    match k.drain_backend(i).and_then(|()| k.finish_rebalance()) {
+                        Ok(()) => {
+                            let moved = k.exec_totals().groups_moved - before;
+                            println!(
+                                "backend {i} drained and retired; {moved} group(s) moved away \
+                                 (.stats for move totals)"
+                            );
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    }
+                }
+                (Some(_), Kern::Single(_)) => {
+                    eprintln!(".drain requires a multi-backend kernel (.durable or .tcp first)")
+                }
+                _ => eprintln!("usage: .drain <backend-id>"),
+            },
             other => eprintln!("unknown command {other:?} (try .help)"),
         }
         true
@@ -677,6 +732,8 @@ const HELP: &str = "\
 .standby <dir>                attach a hot standby tailing the WAL in <dir>
 .lag                          ship pending log records and print replication lag
 .promote                      fail over: promote the standby over the live backends
+.addbackend                   grow the cluster: add a backend and rebalance onto it
+.drain <id>                   shrink the cluster: move backend <id>'s groups away
 .quit                         exit
 Anything else is a statement for the open session, e.g.:
   MOVE 'Advanced Database' TO title IN course

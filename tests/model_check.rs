@@ -470,3 +470,39 @@ fn every_flight_mutation_is_caught() {
         assert!(!ce.trace.is_empty());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Rebalance model: WAL-bracketed group moves vs reads, crash, promotion.
+// ---------------------------------------------------------------------------
+
+use mlds::mbds::model::rebalance::{check_rebalance, RebalanceConfig, RebalanceMutation};
+
+/// The live-move protocol's two invariants, machine-checked: reads
+/// route to the old placement until the commit point and to the new
+/// one after (never a partial copy set), and a committed move survives
+/// both a cold recovery and a standby promotion — including crashes
+/// landing strictly inside the bracket.
+#[test]
+fn bracketed_group_moves_hold_both_invariants() {
+    let report = check_rebalance(&RebalanceConfig::small());
+    println!("rebalance_model: {}", report.summary());
+    if let Some(ce) = &report.counterexample {
+        panic!("the move protocol violated an invariant:\n{}", ce.render());
+    }
+    assert!(report.mid_move_crash_reached, "mid-bracket crashes must be explored");
+    assert!(report.committed_crash_reached, "post-commit crashes must be explored");
+}
+
+/// Deleting either guard — commit-point routing, or the recovery redo
+/// at an unmatched begin marker — must produce a counterexample.
+#[test]
+fn every_rebalance_mutation_is_caught() {
+    for mutation in RebalanceMutation::ALL {
+        let report = check_rebalance(&RebalanceConfig::with_mutation(mutation));
+        println!("{}: {}", mutation.name(), report.summary());
+        let ce = report
+            .counterexample
+            .unwrap_or_else(|| panic!("{} produced no counterexample", mutation.name()));
+        assert!(!ce.trace.is_empty());
+    }
+}
